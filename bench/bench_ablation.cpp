@@ -1,0 +1,81 @@
+// Extension ablations beyond the paper's Table III:
+//   (a) query-strategy study — the paper's entropy sampler against the
+//       classic selectors its introduction cites (predictive entropy [9],
+//       BADGE [13], core-set) and random selection, on a shared benchmark;
+//   (b) decision-boundary sweep — the effect of the h parameter of Eq. 6
+//       (the paper fixes h = 0.4 for imbalanced sets);
+//   (c) GMM component sweep — sensitivity of the density seeding.
+
+#include <cstdio>
+
+#include "harness.hpp"
+
+int main() {
+  using namespace hsd;
+  using core::SamplerKind;
+
+  // ---- (a) strategy study on ICCAD16-3 and ICCAD16-4. ---------------------
+  {
+    std::printf("Ablation (a): query strategies (extension study)\n");
+    const std::vector<std::pair<std::string, SamplerKind>> strategies{
+        {"Ours", SamplerKind::kEntropy},
+        {"PredEntropy", SamplerKind::kPredictiveEntropy},
+        {"BADGE", SamplerKind::kBadge},
+        {"Coreset", SamplerKind::kCoreset},
+        {"Random", SamplerKind::kRandom}};
+    for (int case_id : {3, 4}) {
+      const auto& built = harness::get_benchmark(data::iccad16_spec(case_id));
+      std::printf("  == %s ==\n", built.bench.spec.name.c_str());
+      std::printf("  %-12s %8s %8s %7s\n", "strategy", "Acc%", "Litho#", "HS@L");
+      for (const auto& [name, kind] : strategies) {
+        const auto run = harness::run_strategy(built, kind);
+        std::printf("  %-12s %8.2f %8zu %7zu\n", name.c_str(),
+                    run.metrics.accuracy * 100.0, run.metrics.litho,
+                    run.outcome.train.num_hotspots());
+      }
+    }
+    std::printf("\n");
+  }
+
+  // ---- (b) decision boundary h sweep on ICCAD16-4. ------------------------
+  {
+    const auto& built = harness::get_benchmark(data::iccad16_spec(4));
+    std::printf("Ablation (b): Eq. 6 boundary h sweep on %s (paper fixes 0.4)\n",
+                built.bench.spec.name.c_str());
+    std::printf("  %-6s %8s %8s\n", "h", "Acc%", "Litho#");
+    for (double h : {0.2, 0.3, 0.4, 0.5, 0.6}) {
+      core::FrameworkConfig cfg = harness::default_config(built);
+      cfg.sampler.h = h;
+      cfg.decision_threshold = h;
+      const auto run = harness::run_strategy(built, cfg);
+      std::printf("  %-6.1f %8.2f %8zu\n", h, run.metrics.accuracy * 100.0,
+                  run.metrics.litho);
+    }
+    std::printf("\n");
+  }
+
+  // ---- (c) GMM components sweep on ICCAD16-3. ------------------------------
+  {
+    const auto& built = harness::get_benchmark(data::iccad16_spec(3));
+    std::printf("Ablation (c): GMM component count on %s\n",
+                built.bench.spec.name.c_str());
+    std::printf("  %-6s %8s %8s %7s\n", "K", "Acc%", "Litho#", "seedHS");
+    for (std::size_t k : {1u, 2u, 4u, 8u}) {
+      core::FrameworkConfig cfg = harness::default_config(built);
+      cfg.gmm_components = k;
+      const auto run = harness::run_strategy(built, cfg);
+      // Hotspots among the first |L0| seeds.
+      std::size_t seed_hs = 0;
+      for (std::size_t i = 0; i < cfg.initial_train && i < run.outcome.train.size(); ++i) {
+        seed_hs += run.outcome.train.labels[i] == 1;
+      }
+      std::printf("  %-6zu %8.2f %8zu %7zu\n", k, run.metrics.accuracy * 100.0,
+                  run.metrics.litho, seed_hs);
+    }
+  }
+
+  std::printf("\nShape expectations: the paper's sampler matches or beats the"
+              " classic selectors at equal budget; h near 0.4 is the sweet"
+              " spot for these imbalanced sets; seeding is robust to K.\n");
+  return 0;
+}

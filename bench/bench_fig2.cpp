@@ -1,0 +1,80 @@
+// Fig. 2 — reliability diagrams (confidence vs. accuracy, 10 bins) of the
+// hotspot CNN before and after temperature scaling, on the ICCAD12-style
+// benchmark. Prints each bin's mean confidence, empirical accuracy, and gap
+// plus the summary calibration metrics (ECE / MCE / NLL).
+
+#include <cstdio>
+
+#include "core/calibration.hpp"
+#include "data/dataset.hpp"
+#include "core/detector.hpp"
+#include "harness.hpp"
+#include "stats/reliability.hpp"
+
+namespace {
+
+void print_diagram(const char* title, const hsd::stats::ReliabilityDiagram& d) {
+  std::printf("%s\n", title);
+  std::printf("  %-12s %6s %10s %9s %7s\n", "bin", "count", "confidence", "accuracy",
+              "gap");
+  for (const auto& bin : d.bins) {
+    if (bin.count == 0) {
+      std::printf("  [%.1f, %.1f)  %6s %10s %9s %7s\n", bin.lo, bin.hi, "-", "-", "-",
+                  "-");
+      continue;
+    }
+    std::printf("  [%.1f, %.1f)  %6zu %10.3f %9.3f %7.3f\n", bin.lo, bin.hi, bin.count,
+                bin.mean_confidence, bin.accuracy,
+                bin.mean_confidence - bin.accuracy);
+  }
+  std::printf("  ECE = %.4f   MCE = %.4f   NLL = %.4f   top-1 acc = %.4f\n\n", d.ece,
+              d.mce, d.nll, d.accuracy);
+}
+
+}  // namespace
+
+int main() {
+  using namespace hsd;
+
+  const auto& built = harness::get_benchmark(data::iccad12_spec(harness::iccad12_scale()));
+  const std::size_t n = built.bench.size();
+
+  // Deterministic split: a small (active-learning sized) training set so the
+  // CNN is realistically under-trained and mis-calibrated as in Fig. 2(a),
+  // a validation set for fitting T, and a held-out set for the diagrams.
+  (void)n;
+  stats::Rng rng(2021);
+  const data::Split split =
+      data::shuffled_split(built.bench.labels, 400, 300,
+                           std::min<std::size_t>(4000, n - 700), rng);
+  const data::LabeledSet& train = split.train;
+  const data::LabeledSet& val = split.val;
+  const data::LabeledSet& test = split.test;
+
+  core::DetectorConfig det_cfg;
+  det_cfg.input_side = built.bench.spec.feature_keep;
+  det_cfg.initial_epochs = 40;
+  core::HotspotDetector detector(det_cfg, rng.split());
+  detector.train_initial(data::make_batch(built.features, train.indices), train.labels);
+
+  const tensor::Tensor val_logits =
+      detector.logits(data::make_batch(built.features, val.indices));
+  const core::CalibrationResult cal = core::fit_temperature(val_logits, val.labels);
+
+  const tensor::Tensor test_logits =
+      detector.logits(data::make_batch(built.features, test.indices));
+  const auto probs_raw = core::calibrated_probabilities(test_logits, 1.0);
+  const auto probs_cal = core::calibrated_probabilities(test_logits, cal.temperature);
+
+  std::printf("Fig. 2: Reliability diagrams, confidence vs. accuracy (10 bins)\n");
+  std::printf("Fitted temperature T = %.3f (validation NLL %.4f -> %.4f)\n\n",
+              cal.temperature, cal.nll_before, cal.nll_after);
+  print_diagram("(a) Original (T = 1)",
+                stats::reliability_diagram(probs_raw, test.labels, 10));
+  print_diagram("(b) Calibrated (temperature scaling)",
+                stats::reliability_diagram(probs_cal, test.labels, 10));
+
+  std::printf("Paper shape check: the calibrated diagram's gaps (and ECE) shrink"
+              " relative to the original.\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Fig. 4 — trade-off of batch selection strategies: each method (Ours, QP,
+// TS) is run repeatedly with alternative parameters and seeds; runs are
+// grouped by achieved detection accuracy and the lithography overhead is
+// averaged per accuracy level, reproducing the paper's accuracy-vs-Litho#
+// scatter/curves on ICCAD16-2/3/4 and ICCAD12.
+
+#include <cstdio>
+
+#include "harness.hpp"
+#include "stats/bootstrap.hpp"
+#include "stats/summary.hpp"
+
+int main() {
+  using namespace hsd;
+  using core::SamplerKind;
+
+  const auto specs = harness::paper_specs();
+  const std::size_t reps = harness::repeats();
+  const std::vector<std::pair<std::string, SamplerKind>> methods{
+      {"Ours", SamplerKind::kEntropy},
+      {"QP", SamplerKind::kQp},
+      {"TS", SamplerKind::kTsOnly}};
+
+  std::printf("Fig. 4: accuracy vs. lithography overhead trade-off"
+              " (%zu repetitions per method, varied batch sizes and seeds)\n\n",
+              reps);
+
+  for (const auto& spec : specs) {
+    const auto& built = harness::get_benchmark(spec);
+    std::printf("== %s ==\n", spec.name.c_str());
+    for (const auto& [name, kind] : methods) {
+      std::vector<double> acc, litho;
+      for (std::size_t r = 0; r < reps; ++r) {
+        core::FrameworkConfig cfg = harness::default_config(built, 100 + r);
+        cfg.sampler.kind = kind;
+        // "Alternative parameters": sweep the batch size around the default,
+        // which moves the operating point along the trade-off curve.
+        cfg.batch_k = std::max<std::size_t>(8, cfg.batch_k / 2 + r * 8);
+        const auto run = harness::run_strategy(built, cfg);
+        acc.push_back(run.metrics.accuracy);
+        litho.push_back(static_cast<double>(run.metrics.litho));
+      }
+      // Average litho overhead per accuracy level (2-decimal buckets), the
+      // paper's per-accuracy averaging.
+      const auto series = stats::group_mean_by(acc, litho, 2);
+      std::printf("  %-5s:", name.c_str());
+      for (const auto& [a, l] : series) std::printf("  (%.2f, %.0f)", a, l);
+      stats::Rng ci_rng(911);
+      const auto acc_ci = stats::bootstrap_mean_ci(acc, ci_rng);
+      const auto litho_ci = stats::bootstrap_mean_ci(litho, ci_rng);
+      std::printf("\n         acc %.4f [%.4f, %.4f]  litho %.0f [%.0f, %.0f]"
+                  " (95%% bootstrap CI)\n",
+                  acc_ci.point, acc_ci.lo, acc_ci.hi, litho_ci.point, litho_ci.lo,
+                  litho_ci.hi);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("Paper shape check: Ours sits lowest (least litho overhead) at"
+              " matched accuracy, QP above it, TS cheapest but accuracy-capped;"
+              " Ours occupies a narrow accuracy band (stability).\n");
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Fig. 5 — hotspot distribution and sampled clips on the ICCAD16-2 layout
+// for PM-exact, TS, QP, and Ours. Each method's lithography-simulated clips
+// are drawn on an ASCII chip map together with the real hotspot positions:
+//   X  real hotspot, litho-simulated by the method
+//   x  real hotspot, not simulated
+//   #  clean clip that was litho-simulated (overhead)
+//   .  clean clip, untouched
+
+#include <cstdio>
+#include <vector>
+
+#include "harness.hpp"
+
+namespace {
+
+using hsd::harness::BuiltBenchmark;
+
+void print_map(const char* title, const BuiltBenchmark& built,
+               const std::vector<bool>& simulated) {
+  const auto& bench = built.bench;
+  std::printf("%s\n", title);
+  std::size_t sim_count = 0, hs_sim = 0;
+  for (std::size_t i = 0; i < bench.size(); ++i) {
+    sim_count += simulated[i];
+    hs_sim += simulated[i] && bench.labels[i] == 1;
+  }
+  // Downsample the chip grid to at most 64 columns for terminal output;
+  // a cell aggregates its clips (hotspot/simulated dominate).
+  const std::size_t max_cols = 64;
+  const std::size_t stride = (bench.chip_cols + max_cols - 1) / max_cols;
+  const std::size_t cols = (bench.chip_cols + stride - 1) / stride;
+  const std::size_t rows = (bench.chip_rows + stride - 1) / stride;
+  std::vector<int> cell_hs(cols * rows, 0), cell_sim(cols * rows, 0);
+  for (std::size_t i = 0; i < bench.size(); ++i) {
+    const std::size_t c = (i % bench.chip_cols) / stride;
+    const std::size_t r = (i / bench.chip_cols) / stride;
+    cell_hs[r * cols + c] |= (bench.labels[i] == 1);
+    cell_sim[r * cols + c] |= simulated[i] ? (bench.labels[i] == 1 ? 2 : 1)
+                                           : 0;
+  }
+  for (std::size_t r = 0; r < rows; ++r) {
+    std::printf("  ");
+    for (std::size_t c = 0; c < cols; ++c) {
+      const bool hs = cell_hs[r * cols + c] != 0;
+      const int sim = cell_sim[r * cols + c];
+      char ch = '.';
+      if (hs && sim == 2) {
+        ch = 'X';
+      } else if (hs) {
+        ch = 'x';
+      } else if (sim != 0) {
+        ch = '#';
+      }
+      std::putchar(ch);
+    }
+    std::printf("\n");
+  }
+  std::printf("  simulated clips: %zu (%.1f%% of chip), hotspots among them: %zu\n\n",
+              sim_count, 100.0 * static_cast<double>(sim_count) /
+                             static_cast<double>(bench.size()),
+              hs_sim);
+}
+
+std::vector<bool> al_simulated(const BuiltBenchmark& built,
+                               const hsd::core::AlOutcome& out) {
+  std::vector<bool> sim(built.bench.size(), false);
+  for (std::size_t i : out.train.indices) sim[i] = true;
+  for (std::size_t i : out.val.indices) sim[i] = true;
+  // False alarms are verified by lithography as well (Definition 3).
+  for (std::size_t p = 0; p < out.unlabeled_indices.size(); ++p) {
+    if (out.predicted[p] == 1 && built.bench.labels[out.unlabeled_indices[p]] == 0) {
+      sim[out.unlabeled_indices[p]] = true;
+    }
+  }
+  return sim;
+}
+
+}  // namespace
+
+int main() {
+  using namespace hsd;
+
+  const auto& built = harness::get_benchmark(data::iccad16_spec(2));
+  std::printf("Fig. 5: hotspot distribution and sampled clips on the ICCAD16-2"
+              " layout (%zux%zu clip grid)\n",
+              built.bench.chip_cols, built.bench.chip_rows);
+  std::printf("legend: X hotspot+simulated, x hotspot missed by sampling,"
+              " # clean simulated, . clean untouched\n\n");
+
+  {
+    pm::PmConfig cfg;
+    cfg.mode = pm::MatchMode::kExact;
+    const auto run = harness::run_pm(built, cfg);
+    std::vector<bool> sim(built.bench.size(), false);
+    for (std::size_t rep : run.result.representatives) sim[rep] = true;
+    print_map("(a) PM-exact", built, sim);
+  }
+  {
+    const auto run = harness::run_strategy(built, core::SamplerKind::kTsOnly);
+    print_map("(b) TS", built, al_simulated(built, run.outcome));
+  }
+  {
+    const auto run = harness::run_strategy(built, core::SamplerKind::kQp);
+    print_map("(c) QP [14]", built, al_simulated(built, run.outcome));
+  }
+  {
+    const auto run = harness::run_strategy(built, core::SamplerKind::kEntropy);
+    print_map("(d) Ours", built, al_simulated(built, run.outcome));
+  }
+
+  std::printf("Paper shape check: PM-exact shades most of the chip; the active"
+              " learning methods touch a small fraction, with Ours covering the"
+              " hotspot regions at the least shaded area.\n");
+  return 0;
+}

@@ -1,0 +1,137 @@
+// Kernel microbenchmarks (google-benchmark): the dense primitives behind
+// the reproduction — GEMM, CNN forward, 2-D DCT, the Gaussian aerial-image
+// model, GMM fitting, the min-distance diversity metric vs. the QP solve,
+// and the capped-simplex projection.
+
+#include <benchmark/benchmark.h>
+
+#include "core/detector.hpp"
+#include "core/diversity.hpp"
+#include "data/pattern_generator.hpp"
+#include "gmm/gmm.hpp"
+#include "litho/optical.hpp"
+#include "qp/qp.hpp"
+#include "tensor/dct.hpp"
+#include "tensor/ops.hpp"
+
+namespace {
+
+using hsd::stats::Rng;
+using hsd::tensor::Tensor;
+
+std::vector<std::vector<double>> random_rows(std::size_t n, std::size_t dim,
+                                             std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<double>> rows(n, std::vector<double>(dim));
+  for (auto& r : rows) {
+    for (auto& v : r) v = rng.normal();
+  }
+  return rows;
+}
+
+void BM_Matmul(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  const Tensor a = Tensor::randn({n, n}, rng);
+  const Tensor b = Tensor::randn({n, n}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hsd::tensor::matmul(a, b));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * n * n));
+}
+BENCHMARK(BM_Matmul)->Arg(64)->Arg(128);
+
+void BM_CnnForward(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  hsd::core::DetectorConfig cfg;
+  hsd::core::HotspotDetector det(cfg, rng.split());
+  const Tensor x = Tensor::rand_uniform({batch, 1, 8, 8}, rng, 0.0F, 1.0F);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(det.forward(x));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_CnnForward)->Arg(32)->Arg(512);
+
+void BM_Dct2d(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  hsd::tensor::Dct2d dct(n);
+  Rng rng(3);
+  std::vector<float> block(n * n);
+  for (auto& v : block) v = static_cast<float>(rng.uniform());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dct.forward_lowfreq(block, 8));
+  }
+}
+BENCHMARK(BM_Dct2d)->Arg(32)->Arg(64);
+
+void BM_AerialImage(benchmark::State& state) {
+  const auto grid = static_cast<std::size_t>(state.range(0));
+  Rng rng(4);
+  std::vector<float> mask(grid * grid);
+  for (auto& v : mask) v = rng.bernoulli(0.4) ? 1.0F : 0.0F;
+  const auto model = hsd::litho::duv28_model();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hsd::litho::aerial_image(mask, grid, model));
+  }
+}
+BENCHMARK(BM_AerialImage)->Arg(64);
+
+void BM_GmmFit(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto rows = random_rows(n, 8, 5);
+  for (auto _ : state) {
+    Rng rng(6);
+    hsd::gmm::GmmConfig cfg;
+    cfg.components = 4;
+    cfg.max_iters = 20;
+    benchmark::DoNotOptimize(hsd::gmm::GaussianMixture::fit(rows, cfg, rng));
+  }
+}
+BENCHMARK(BM_GmmFit)->Arg(1000);
+
+void BM_DiversityScores(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto rows = random_rows(n, 32, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hsd::core::diversity_scores(rows));
+  }
+}
+BENCHMARK(BM_DiversityScores)->Arg(128)->Arg(512);
+
+void BM_QpDiversity(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto rows = random_rows(n, 32, 8);
+  const auto s = hsd::core::similarity_matrix(rows);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        hsd::qp::solve_box_budget_qp(s, n, {}, static_cast<double>(n / 10)));
+  }
+}
+BENCHMARK(BM_QpDiversity)->Arg(128)->Arg(512);
+
+void BM_CappedSimplexProjection(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(9);
+  std::vector<double> y(n);
+  for (auto& v : y) v = rng.normal();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        hsd::qp::project_capped_simplex(y, static_cast<double>(n) / 8.0));
+  }
+}
+BENCHMARK(BM_CappedSimplexProjection)->Arg(512);
+
+void BM_PatternGeneration(benchmark::State& state) {
+  hsd::data::GeneratorConfig cfg;
+  hsd::data::PatternGenerator gen(cfg, Rng(10));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen.next());
+  }
+}
+BENCHMARK(BM_PatternGeneration);
+
+}  // namespace

@@ -1,0 +1,57 @@
+// Process-variation extension bench: runs the PV-band corner sweep over a
+// benchmark population and reports (a) how the hotspot rate grows from the
+// nominal corner to the worst case, and (b) how strongly the PV-band width
+// separates hotspots from clean clips — evidence that the synthetic litho
+// substrate has realistic margin structure.
+
+#include <cstdio>
+
+#include "harness.hpp"
+#include "litho/pvband.hpp"
+#include "stats/roc.hpp"
+#include "stats/summary.hpp"
+
+int main() {
+  using namespace hsd;
+
+  std::printf("PV-band analysis (dose +-5%%, defocus +15%%)\n\n");
+  std::printf("%-11s %9s %9s %9s %12s %12s %10s\n", "Benchmark", "sampled",
+              "nominalHS", "worstHS", "bandLatent", "bandRobust", "latentAUC");
+
+  for (int case_id : {2, 3, 4}) {
+    const auto& built = harness::get_benchmark(data::iccad16_spec(case_id));
+    const auto& bench = built.bench;
+    const litho::OpticalModel model = bench.spec.optics;
+
+    std::size_t sampled = 0, nominal_hs = 0, worst_hs = 0;
+    // Among nominally-clean clips: does the core PV band predict which ones
+    // fail under process excursions (latent hotspots)?
+    std::vector<double> band_latent, band_robust, clean_scores;
+    std::vector<int> clean_labels;
+    const std::size_t stride = bench.size() > 1500 ? bench.size() / 1500 : 1;
+    for (std::size_t i = 0; i < bench.size(); i += stride) {
+      const auto res =
+          litho::pv_band_analysis(bench.clips[i], bench.spec.grid, model);
+      sampled++;
+      nominal_hs += res.nominal_hotspot;
+      worst_hs += res.worst_case_hotspot;
+      if (!res.nominal_hotspot) {
+        const auto band = static_cast<double>(res.core_band_area_px);
+        const bool latent = res.worst_case_hotspot;
+        (latent ? band_latent : band_robust).push_back(band);
+        clean_scores.push_back(band);
+        clean_labels.push_back(latent ? 1 : 0);
+      }
+    }
+    const auto roc = stats::roc_curve(clean_scores, clean_labels);
+    std::printf("%-11s %9zu %9zu %9zu %12.1f %12.1f %10.3f\n",
+                bench.spec.name.c_str(), sampled, nominal_hs, worst_hs,
+                stats::mean(band_latent), stats::mean(band_robust), roc.auc);
+  }
+
+  std::printf("\nShape expectations: worst-case hotspots strictly exceed"
+              " nominal ones; among nominally-clean clips, the ones that fail"
+              " at some corner (latent hotspots) carry wider core PV bands,"
+              " so the band predicts latent marginality (AUC > 0.5).\n");
+  return 0;
+}

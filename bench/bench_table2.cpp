@@ -1,0 +1,88 @@
+// Table II — full chip pattern sampling and hotspot detection on the
+// ICCAD12/16 benchmarks: PM-exact / PM-a95 / PM-a90 / PM-e2 (Chen et al.),
+// TS (calibrated uncertainty only), QP (Yang et al. [14]), and Ours
+// (entropy-based sampling with model calibration). Reports Acc% (Eq. 1) and
+// Litho# (Eq. 2) per benchmark, plus Average and Ratio rows.
+
+#include <cstdio>
+
+#include "harness.hpp"
+
+int main() {
+  using namespace hsd;
+  using core::SamplerKind;
+
+  const auto specs = harness::paper_specs();
+  const std::vector<std::string> methods{"PM-exact", "PM-a95", "PM-a90", "PM-e2",
+                                         "TS", "QP", "Ours"};
+
+  // metrics[method][benchmark]
+  std::vector<std::vector<core::PshdMetrics>> metrics(methods.size());
+
+  for (const auto& spec : specs) {
+    const auto& built = harness::get_benchmark(spec);
+
+    pm::PmConfig pm_exact;
+    pm_exact.mode = pm::MatchMode::kExact;
+    metrics[0].push_back(harness::run_pm(built, pm_exact).metrics);
+
+    pm::PmConfig pm_a95;
+    pm_a95.mode = pm::MatchMode::kSimilarity;
+    pm_a95.sim_threshold = 0.95;
+    metrics[1].push_back(harness::run_pm(built, pm_a95).metrics);
+
+    pm::PmConfig pm_a90;
+    pm_a90.mode = pm::MatchMode::kSimilarity;
+    pm_a90.sim_threshold = 0.90;
+    metrics[2].push_back(harness::run_pm(built, pm_a90).metrics);
+
+    pm::PmConfig pm_e2;
+    pm_e2.mode = pm::MatchMode::kEdgeTolerance;
+    pm_e2.edge_tol = 2 * built.bench.spec.gen.step;
+    metrics[3].push_back(harness::run_pm(built, pm_e2).metrics);
+
+    metrics[4].push_back(harness::run_strategy(built, SamplerKind::kTsOnly).metrics);
+    metrics[5].push_back(harness::run_strategy(built, SamplerKind::kQp).metrics);
+    metrics[6].push_back(harness::run_strategy(built, SamplerKind::kEntropy).metrics);
+
+    std::fprintf(stderr, "[table2] %s done\n", spec.name.c_str());
+  }
+
+  std::printf("Table II: Full chip pattern sampling and hotspot detection\n");
+  std::printf("%-11s", "Benchmark");
+  for (const auto& m : methods) std::printf(" |%9s: Acc%%  Litho#", m.c_str());
+  std::printf("\n");
+  for (std::size_t b = 0; b < specs.size(); ++b) {
+    std::printf("%-11s", specs[b].name.c_str());
+    for (std::size_t m = 0; m < methods.size(); ++m) {
+      std::printf(" |%10s %6.2f %7zu", "", metrics[m][b].accuracy * 100.0,
+                  metrics[m][b].litho);
+    }
+    std::printf("\n");
+  }
+
+  // Average + Ratio rows (reference = Ours).
+  const std::size_t ref = methods.size() - 1;
+  std::vector<double> avg_acc(methods.size(), 0.0), avg_litho(methods.size(), 0.0);
+  for (std::size_t m = 0; m < methods.size(); ++m) {
+    for (const auto& x : metrics[m]) {
+      avg_acc[m] += x.accuracy;
+      avg_litho[m] += static_cast<double>(x.litho);
+    }
+    avg_acc[m] /= static_cast<double>(specs.size());
+    avg_litho[m] /= static_cast<double>(specs.size());
+  }
+  std::printf("%-11s", "Average");
+  for (std::size_t m = 0; m < methods.size(); ++m) {
+    std::printf(" |%10s %6.2f %7.0f", "", avg_acc[m] * 100.0, avg_litho[m]);
+  }
+  std::printf("\n%-11s", "Ratio");
+  for (std::size_t m = 0; m < methods.size(); ++m) {
+    std::printf(" |%10s %6.3f %7.3f", "", avg_acc[m] / avg_acc[ref],
+                avg_litho[m] / avg_litho[ref]);
+  }
+  std::printf("\n\nPaper shape check: PM-exact 100%% Acc at the largest Litho#;"
+              " fuzzy PM degrades sharply; Ours >= QP >= TS in Acc at the lowest"
+              " Litho# among learning methods.\n");
+  return 0;
+}

@@ -1,0 +1,97 @@
+#include "harness.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <stdexcept>
+
+namespace hsd::harness {
+
+namespace {
+
+double env_double(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return std::strtod(v, nullptr);
+}
+
+}  // namespace
+
+double iccad12_scale() {
+  const double s = env_double("HSD_ICCAD12_SCALE", 0.05);
+  if (s <= 0.0 || s > 1.0) throw std::runtime_error("HSD_ICCAD12_SCALE out of (0, 1]");
+  return s;
+}
+
+std::size_t repeats() {
+  const double r = env_double("HSD_REPEATS", 5.0);
+  return r < 1.0 ? 1 : static_cast<std::size_t>(r);
+}
+
+const BuiltBenchmark& get_benchmark(const data::BenchmarkSpec& spec) {
+  static std::map<std::string, BuiltBenchmark> cache;
+  auto it = cache.find(spec.name);
+  if (it != cache.end()) return it->second;
+
+  std::fprintf(stderr, "[harness] building %s (%zu HS / %zu NHS)...\n",
+               spec.name.c_str(), spec.hs_target, spec.nhs_target);
+  BuiltBenchmark built;
+  built.bench = data::build_benchmark(spec);
+  const data::FeatureExtractor fx(spec.feature_grid, spec.feature_keep);
+  built.features = fx.extract_benchmark(built.bench);
+  built.rows = data::to_double_rows(built.features);
+  auto [pos, inserted] = cache.emplace(spec.name, std::move(built));
+  return pos->second;
+}
+
+std::vector<data::BenchmarkSpec> paper_specs() {
+  return data::evaluated_specs(iccad12_scale());
+}
+
+core::FrameworkConfig default_config(const BuiltBenchmark& built, std::uint64_t seed) {
+  const std::size_t n = built.bench.size();
+  core::FrameworkConfig cfg;
+  cfg.seed = seed;
+  // Scale the sampling schedule with the population, bounded to keep runs
+  // laptop-sized; ratios follow the paper's regime (a few percent of the
+  // chip ends up labeled).
+  cfg.initial_train = std::clamp<std::size_t>(n / 40, 24, 160);
+  cfg.validation = std::clamp<std::size_t>(n / 40, 24, 160);
+  cfg.query_size = std::clamp<std::size_t>(n / 6, 120, 1200);
+  cfg.batch_k = std::clamp<std::size_t>(n / 80, 16, 96);
+  cfg.iterations = 14;
+  cfg.detector.initial_epochs = 30;
+  cfg.detector.finetune_epochs = 6;
+  return cfg;
+}
+
+RunResult run_strategy(const BuiltBenchmark& built, core::SamplerKind kind,
+                       std::uint64_t seed) {
+  core::FrameworkConfig cfg = default_config(built, seed);
+  cfg.sampler.kind = kind;
+  return run_strategy(built, cfg);
+}
+
+RunResult run_strategy(const BuiltBenchmark& built,
+                       const core::FrameworkConfig& config) {
+  litho::LithoOracle oracle = built.bench.make_oracle();
+  RunResult r;
+  r.outcome = core::run_active_learning(config, built.features, built.bench.clips, oracle);
+  r.metrics = core::evaluate_outcome(r.outcome, built.bench.labels);
+  return r;
+}
+
+PmRunResult run_pm(const BuiltBenchmark& built, const pm::PmConfig& config) {
+  litho::LithoOracle oracle = built.bench.make_oracle();
+  const auto t0 = std::chrono::steady_clock::now();
+  PmRunResult r;
+  r.result = pm::run_pattern_matching(built.bench.clips, built.rows, oracle, config);
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  r.metrics = core::evaluate_pm(r.result, built.bench.labels, secs);
+  return r;
+}
+
+}  // namespace hsd::harness

@@ -1,0 +1,68 @@
+#pragma once
+// Shared experiment harness for the table/figure reproduction binaries:
+// benchmark construction with feature extraction (cached per process),
+// per-benchmark default framework configurations, strategy runners, and
+// paper-style table printing.
+//
+// Environment knobs (all optional):
+//   HSD_ICCAD12_SCALE  fraction of the full ICCAD12 population to build
+//                      (default 0.05 — Table I ratios are preserved; see
+//                      EXPERIMENTS.md for the effect on absolute numbers)
+//   HSD_REPEATS        repetition count for averaged experiments (default 5)
+
+#include <string>
+#include <vector>
+
+#include "core/framework.hpp"
+#include "core/metrics.hpp"
+#include "data/benchmark.hpp"
+#include "data/features.hpp"
+#include "pm/pattern_matching.hpp"
+
+namespace hsd::harness {
+
+/// A benchmark plus everything the experiments need derived from it.
+struct BuiltBenchmark {
+  data::Benchmark bench;
+  tensor::Tensor features;                  ///< (N, 1, 8, 8) DCT features
+  std::vector<std::vector<double>> rows;    ///< flattened double rows
+};
+
+/// ICCAD12 population scale from HSD_ICCAD12_SCALE (default 0.05).
+double iccad12_scale();
+
+/// Repetition count from HSD_REPEATS (default 5).
+std::size_t repeats();
+
+/// Builds (or returns the cached) benchmark + features for a spec.
+const BuiltBenchmark& get_benchmark(const data::BenchmarkSpec& spec);
+
+/// The paper's four evaluated benchmarks at the configured ICCAD12 scale.
+std::vector<data::BenchmarkSpec> paper_specs();
+
+/// Framework configuration scaled to the benchmark population: the query
+/// size, batch size, and iteration count grow with the clip count the way
+/// the paper's settings do.
+core::FrameworkConfig default_config(const BuiltBenchmark& built,
+                                     std::uint64_t seed = 1);
+
+/// Result of one strategy run.
+struct RunResult {
+  core::AlOutcome outcome;
+  core::PshdMetrics metrics;
+};
+
+/// Runs one active-learning strategy with the default (or given) config.
+RunResult run_strategy(const BuiltBenchmark& built, core::SamplerKind kind,
+                       std::uint64_t seed = 1);
+RunResult run_strategy(const BuiltBenchmark& built,
+                       const core::FrameworkConfig& config);
+
+/// Runs a pattern-matching baseline and scores it.
+struct PmRunResult {
+  pm::PmResult result;
+  core::PshdMetrics metrics;
+};
+PmRunResult run_pm(const BuiltBenchmark& built, const pm::PmConfig& config);
+
+}  // namespace hsd::harness

@@ -1,0 +1,42 @@
+// Benchmark persistence workflow: build a population once, save it as an
+// HSDL bundle, reload it, and verify the reloaded oracle reproduces the
+// stored ground truth — the build-once / experiment-many pattern for the
+// expensive large-scale populations.
+//
+// Build & run:  ./build/examples/benchmark_io [path]
+
+#include <cstdio>
+#include <string>
+
+#include "data/io.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hsd;
+
+  const std::string path = argc > 1 ? argv[1] : "/tmp/hsd_iccad16_2.hsdl";
+
+  data::BenchmarkSpec spec = data::iccad16_spec(2);
+  std::printf("building %s (%zu HS / %zu NHS)...\n", spec.name.c_str(), spec.hs_target,
+              spec.nhs_target);
+  const data::Benchmark bench = data::build_benchmark(spec);
+
+  std::printf("saving to %s...\n", path.c_str());
+  data::save_benchmark_file(path, bench);
+
+  std::printf("reloading...\n");
+  const data::Benchmark loaded = data::load_benchmark_file(path);
+  std::printf("loaded %zu clips (%zu hotspots) on a %zux%zu chip grid\n",
+              loaded.size(), loaded.num_hotspots, loaded.chip_cols, loaded.chip_rows);
+
+  // The bundle carries the optics, so a fresh oracle must agree with the
+  // stored labels — spot-check a stride of clips.
+  litho::LithoOracle oracle = loaded.make_oracle();
+  std::size_t checked = 0, agreed = 0;
+  for (std::size_t i = 0; i < loaded.size(); i += 17) {
+    checked++;
+    agreed += (oracle.label(loaded.clips[i]) ? 1 : 0) == loaded.labels[i];
+  }
+  std::printf("oracle agreement on reload: %zu/%zu clips\n", agreed, checked);
+  std::printf("%s\n", agreed == checked ? "round trip OK" : "ROUND TRIP MISMATCH");
+  return agreed == checked ? 0 : 1;
+}

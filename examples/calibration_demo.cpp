@@ -1,0 +1,78 @@
+// Calibration demo: trains the hotspot CNN on a small labeled slice and
+// shows, with ASCII reliability diagrams, how temperature scaling closes the
+// confidence/accuracy gap (the paper's Fig. 2) without changing a single
+// prediction.
+//
+// Build & run:  ./build/examples/calibration_demo
+
+#include <cstdio>
+#include <string>
+
+#include "core/calibration.hpp"
+#include "data/dataset.hpp"
+#include "core/detector.hpp"
+#include "data/benchmark.hpp"
+#include "data/features.hpp"
+#include "stats/reliability.hpp"
+
+namespace {
+
+void print_ascii_diagram(const char* title, const hsd::stats::ReliabilityDiagram& d) {
+  std::printf("%s  (ECE %.4f, NLL %.4f)\n", title, d.ece, d.nll);
+  for (const auto& bin : d.bins) {
+    if (bin.count == 0) continue;
+    const auto conf_bar = static_cast<int>(bin.mean_confidence * 40);
+    const auto acc_bar = static_cast<int>(bin.accuracy * 40);
+    std::printf("  [%.1f,%.1f) conf |%s\n", bin.lo, bin.hi,
+                std::string(static_cast<std::size_t>(conf_bar), '#').c_str());
+    std::printf("             acc |%s  (n=%zu)\n",
+                std::string(static_cast<std::size_t>(acc_bar), '=').c_str(), bin.count);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  using namespace hsd;
+
+  const data::BenchmarkSpec spec = data::iccad16_spec(3);
+  std::printf("building %s...\n", spec.name.c_str());
+  const data::Benchmark bench = data::build_benchmark(spec);
+  const data::FeatureExtractor extractor(spec.feature_grid, spec.feature_keep);
+  const tensor::Tensor features = extractor.extract_benchmark(bench);
+
+  // Small training slice -> realistically mis-calibrated model.
+  stats::Rng rng(99);
+  const data::Split split = data::shuffled_split(bench.labels, 300, 200, 0, rng);
+  const data::LabeledSet& train = split.train;
+  const data::LabeledSet& val = split.val;
+  const data::LabeledSet& test = split.test;
+
+  core::DetectorConfig cfg;
+  cfg.input_side = spec.feature_keep;
+  cfg.initial_epochs = 40;
+  core::HotspotDetector detector(cfg, rng.split());
+  std::printf("training CNN on %zu labeled clips...\n", train.size());
+  detector.train_initial(data::make_batch(features, train.indices), train.labels);
+
+  const tensor::Tensor val_logits =
+      detector.logits(data::make_batch(features, val.indices));
+  const core::CalibrationResult cal = core::fit_temperature(val_logits, val.labels);
+  std::printf("fitted temperature T = %.3f (val NLL %.4f -> %.4f, %zu evals)\n\n",
+              cal.temperature, cal.nll_before, cal.nll_after, cal.evaluations);
+
+  const tensor::Tensor test_logits =
+      detector.logits(data::make_batch(features, test.indices));
+  const auto before = stats::reliability_diagram(
+      core::calibrated_probabilities(test_logits, 1.0), test.labels);
+  const auto after = stats::reliability_diagram(
+      core::calibrated_probabilities(test_logits, cal.temperature), test.labels);
+
+  print_ascii_diagram("Original (T = 1):", before);
+  print_ascii_diagram("Calibrated:", after);
+
+  std::printf("top-1 accuracy unchanged: %.4f -> %.4f (scaling preserves argmax)\n",
+              before.accuracy, after.accuracy);
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Full-chip scanning flow: assemble a flat chip layout, re-cut clips with a
+// scanning window (the way a production flow ingests a GDS), then run the
+// active-learning detector on the extracted population — demonstrating that
+// the framework operates on extracted windows, not only on pre-cut sets.
+//
+// Build & run:  ./build/examples/full_chip_scan
+
+#include <cstdio>
+
+#include "core/framework.hpp"
+#include "core/metrics.hpp"
+#include "data/benchmark.hpp"
+#include "data/features.hpp"
+#include "layout/chip.hpp"
+
+int main() {
+  using namespace hsd;
+
+  // Source population -> one flat chip.
+  const data::BenchmarkSpec spec = data::iccad16_spec(3);
+  std::printf("building %s and assembling the chip...\n", spec.name.c_str());
+  const data::Benchmark bench = data::build_benchmark(spec);
+  const layout::Chip chip = layout::assemble_chip(bench.clips);
+  std::printf("chip: %zu shapes over [%d, %d] x [%d, %d] nm\n", chip.shape_count(),
+              chip.extent.x0, chip.extent.x1, chip.extent.y0, chip.extent.y1);
+
+  // Scanning extraction on the placement grid.
+  layout::ExtractionConfig extraction;
+  extraction.window_side = spec.gen.clip_side;
+  extraction.stride = spec.gen.clip_side;
+  extraction.core_fraction = spec.gen.core_fraction;
+  const std::vector<layout::Clip> clips = layout::extract_clips(chip, extraction);
+  std::printf("extracted %zu clips with a %d nm scanning window\n", clips.size(),
+              extraction.window_side);
+
+  // Ground truth for evaluation only: label the extracted clips once.
+  litho::LithoOracle truth_oracle = bench.make_oracle();
+  std::vector<int> truth(clips.size());
+  std::size_t hotspots = 0;
+  for (std::size_t i = 0; i < clips.size(); ++i) {
+    truth[i] = truth_oracle.label(clips[i]) ? 1 : 0;
+    hotspots += truth[i];
+  }
+  std::printf("extracted population: %zu hotspots (%.1f%%)\n", hotspots,
+              100.0 * static_cast<double>(hotspots) /
+                  static_cast<double>(clips.size()));
+
+  // The PSHD flow on the extracted clips.
+  const data::FeatureExtractor fx(spec.feature_grid, spec.feature_keep);
+  const tensor::Tensor features = fx.extract_batch(clips);
+  litho::LithoOracle oracle = bench.make_oracle();
+  core::FrameworkConfig cfg;
+  cfg.initial_train = 100;
+  cfg.validation = 100;
+  cfg.query_size = 800;
+  cfg.batch_k = 48;
+  cfg.iterations = 10;
+  const core::AlOutcome out = core::run_active_learning(cfg, features, clips, oracle);
+  const core::PshdMetrics m = core::evaluate_outcome(out, truth);
+
+  std::printf("\nscan-flow results: Acc %.2f%%  Litho# %zu of %zu clips"
+              " (hits %zu, FA %zu)\n",
+              m.accuracy * 100.0, m.litho, clips.size(), m.hits, m.false_alarms);
+  return 0;
+}

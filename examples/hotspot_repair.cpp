@@ -1,0 +1,90 @@
+// Detect-repair-verify: the full flow the paper's introduction motivates —
+// find hotspots cheaply with active entropy sampling, repair the detected
+// clips with rule-based OPC, and re-verify with lithography simulation.
+//
+// Build & run:  ./build/examples/hotspot_repair
+
+#include <cstdio>
+
+#include "core/framework.hpp"
+#include "core/metrics.hpp"
+#include "data/benchmark.hpp"
+#include "data/features.hpp"
+#include "opc/rules.hpp"
+
+int main() {
+  using namespace hsd;
+
+  // The 28 nm-node set: rule-based OPC has headroom there (the 7 nm sets
+  // contain sub-resolution geometry only a redesign could save).
+  const data::BenchmarkSpec spec = data::iccad12_spec(0.01);
+  std::printf("building %s (1%% slice)...\n", spec.name.c_str());
+  const data::Benchmark bench = data::build_benchmark(spec);
+  const data::FeatureExtractor fx(spec.feature_grid, spec.feature_keep);
+  const tensor::Tensor features = fx.extract_benchmark(bench);
+
+  // --- 1. detect: active entropy sampling. --------------------------------
+  litho::LithoOracle oracle = bench.make_oracle();
+  core::FrameworkConfig cfg;
+  cfg.initial_train = 45;
+  cfg.validation = 45;
+  cfg.query_size = 300;
+  cfg.batch_k = 24;
+  cfg.iterations = 10;
+  const core::AlOutcome out =
+      core::run_active_learning(cfg, features, bench.clips, oracle);
+  const core::PshdMetrics m = core::evaluate_outcome(out, bench.labels);
+  std::printf("detection: Acc %.2f%% at %zu litho-clips\n", m.accuracy * 100.0,
+              m.litho);
+
+  // --- 2. collect every clip the flow flagged as hotspot. -----------------
+  std::vector<std::size_t> flagged;
+  for (std::size_t i = 0; i < out.train.size(); ++i) {
+    if (out.train.labels[i] == 1) flagged.push_back(out.train.indices[i]);
+  }
+  for (std::size_t i = 0; i < out.val.size(); ++i) {
+    if (out.val.labels[i] == 1) flagged.push_back(out.val.indices[i]);
+  }
+  for (std::size_t i = 0; i < out.unlabeled_indices.size(); ++i) {
+    if (out.predicted[i] == 1) flagged.push_back(out.unlabeled_indices[i]);
+  }
+  std::printf("flagged for repair: %zu clips\n", flagged.size());
+
+  // --- 3. repair with rule-based OPC and re-verify. -----------------------
+  opc::OpcRules rules;  // aggressive single-pass repair for the 28 nm node
+  rules.min_safe_width = 45;
+  rules.width_bias = 15;
+  rules.hammer_length = 40;
+  rules.hammer_bias = 15;
+  rules.min_space = 40;
+  rules.min_keep = 30;
+
+  std::size_t true_hotspots = 0, fixed = 0, widened = 0, serifs = 0, gaps = 0;
+  std::size_t defects_before = 0, defects_after = 0;
+  for (std::size_t idx : flagged) {
+    if (bench.labels[idx] != 1) continue;  // false alarm: nothing to fix
+    true_hotspots++;
+    defects_before += oracle.simulate(bench.clips[idx]).defects.size();
+    const opc::OpcResult r = opc::correct_clip(bench.clips[idx], rules);
+    defects_after += oracle.simulate(r.corrected).defects.size();
+    fixed += !oracle.label(r.corrected);
+    widened += r.widened_shapes;
+    serifs += r.hammerheads;
+    gaps += r.spacing_repairs;
+  }
+  std::printf("repair: %zu/%zu true hotspots fully fixed by OPC\n", fixed,
+              true_hotspots);
+  std::printf("  core defect pixels: %zu -> %zu (%.0f%% reduction)\n",
+              defects_before, defects_after,
+              defects_before > 0
+                  ? 100.0 * (1.0 - static_cast<double>(defects_after) /
+                                       static_cast<double>(defects_before))
+                  : 0.0);
+  std::printf("  corrections applied: %zu widenings, %zu hammerheads,"
+              " %zu spacing repairs\n", widened, serifs, gaps);
+  std::printf("\nNote: single-pass rule-based OPC shaves the easy margin"
+              " violations; the residual defects (corner rounding, dense"
+              " sub-limit geometry) are what model-based OPC or redesign"
+              " handles in production flows.\n");
+  return 0;
+}

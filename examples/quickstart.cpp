@@ -1,0 +1,60 @@
+// Quickstart: the smallest end-to-end use of the library.
+//
+// 1. Build a small synthetic benchmark (ICCAD16-2-style population).
+// 2. Extract DCT features for every clip.
+// 3. Run the active-learning PSHD framework (Algorithm 2 with the
+//    entropy-based sampler of Algorithm 1).
+// 4. Report detection accuracy (Eq. 1) and lithography overhead (Eq. 2).
+//
+// Build & run:  ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/framework.hpp"
+#include "core/metrics.hpp"
+#include "data/benchmark.hpp"
+#include "data/features.hpp"
+
+int main() {
+  using namespace hsd;
+
+  // 1. A benchmark with known ground truth, labeled by the built-in
+  //    lithography simulator (Table I's ICCAD16-2 statistics).
+  const data::BenchmarkSpec spec = data::iccad16_spec(2);
+  std::printf("building %s (%zu hotspots / %zu clean clips)...\n", spec.name.c_str(),
+              spec.hs_target, spec.nhs_target);
+  const data::Benchmark bench = data::build_benchmark(spec);
+
+  // 2. Low-frequency DCT features on a 64x64 raster, 16x16 low-frequency block per clip.
+  const data::FeatureExtractor extractor(spec.feature_grid, spec.feature_keep);
+  const tensor::Tensor features = extractor.extract_benchmark(bench);
+
+  // 3. Active learning: every label the framework consumes is counted by
+  //    this oracle — the quantity the paper minimizes.
+  litho::LithoOracle oracle = bench.make_oracle();
+  core::FrameworkConfig config;  // defaults: entropy sampler, h = 0.4
+  config.initial_train = 32;
+  config.validation = 32;
+  config.query_size = 250;
+  config.batch_k = 16;
+  config.iterations = 6;
+
+  std::printf("running active entropy sampling (%zu iterations, k=%zu)...\n",
+              config.iterations, config.batch_k);
+  const core::AlOutcome outcome =
+      core::run_active_learning(config, features, bench.clips, oracle);
+
+  // 4. Score against ground truth.
+  const core::PshdMetrics m = core::evaluate_outcome(outcome, bench.labels);
+  std::printf("\nresults on %s:\n", spec.name.c_str());
+  std::printf("  detection accuracy (Eq. 1): %.2f%%\n", m.accuracy * 100.0);
+  std::printf("  litho-clips spent  (Eq. 2): %zu of %zu clips (%.1f%%)\n", m.litho,
+              bench.size(), 100.0 * static_cast<double>(m.litho) /
+                                static_cast<double>(bench.size()));
+  std::printf("  hotspots: %zu in train, %zu in val, %zu hits, %zu missed\n",
+              m.hs_train, m.hs_val, m.hits,
+              m.hs_total - m.hs_train - m.hs_val - m.hits);
+  std::printf("  false alarms: %zu, fitted temperature: %.3f\n", m.false_alarms,
+              outcome.final_temperature);
+  return 0;
+}

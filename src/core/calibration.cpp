@@ -1,0 +1,80 @@
+#include "core/calibration.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/reliability.hpp"
+#include "tensor/ops.hpp"
+
+namespace hsd::core {
+
+std::vector<std::vector<double>> calibrated_probabilities(
+    const tensor::Tensor& logits, double temperature) {
+  if (logits.rank() != 2) throw std::invalid_argument("calibrated_probabilities: rank != 2");
+  const std::size_t n = logits.dim(0);
+  const std::size_t c = logits.dim(1);
+  std::vector<std::vector<double>> out(n, std::vector<double>(c));
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<double> row(c);
+    for (std::size_t j = 0; j < c; ++j) {
+      row[j] = static_cast<double>(logits[i * c + j]);
+    }
+    out[i] = tensor::softmax(row, temperature);
+  }
+  return out;
+}
+
+CalibrationResult fit_temperature(const tensor::Tensor& logits,
+                                  const std::vector<int>& labels, double t_min,
+                                  double t_max) {
+  if (logits.rank() != 2 || logits.dim(0) != labels.size()) {
+    throw std::invalid_argument("fit_temperature: shape/label mismatch");
+  }
+  if (t_min <= 0.0 || t_max <= t_min) throw std::invalid_argument("fit_temperature: bad range");
+
+  CalibrationResult res;
+  auto nll_at = [&](double t) {
+    res.evaluations++;
+    return hsd::stats::negative_log_likelihood(calibrated_probabilities(logits, t),
+                                               labels);
+  };
+  res.nll_before = hsd::stats::negative_log_likelihood(
+      calibrated_probabilities(logits, 1.0), labels);
+
+  // Golden-section search on u = log T.
+  const double phi = (std::sqrt(5.0) - 1.0) / 2.0;
+  double lo = std::log(t_min);
+  double hi = std::log(t_max);
+  double x1 = hi - phi * (hi - lo);
+  double x2 = lo + phi * (hi - lo);
+  double f1 = nll_at(std::exp(x1));
+  double f2 = nll_at(std::exp(x2));
+  for (int iter = 0; iter < 60 && (hi - lo) > 1e-5; ++iter) {
+    if (f1 <= f2) {
+      hi = x2;
+      x2 = x1;
+      f2 = f1;
+      x1 = hi - phi * (hi - lo);
+      f1 = nll_at(std::exp(x1));
+    } else {
+      lo = x1;
+      x1 = x2;
+      f1 = f2;
+      x2 = lo + phi * (hi - lo);
+      f2 = nll_at(std::exp(x2));
+    }
+  }
+  const double t_star = std::exp(0.5 * (lo + hi));
+  const double nll_star = nll_at(t_star);
+  // Never report a temperature worse than the identity.
+  if (nll_star <= res.nll_before) {
+    res.temperature = t_star;
+    res.nll_after = nll_star;
+  } else {
+    res.temperature = 1.0;
+    res.nll_after = res.nll_before;
+  }
+  return res;
+}
+
+}  // namespace hsd::core

@@ -1,0 +1,33 @@
+#pragma once
+// Temperature scaling (Guo et al., ICML'17; Eq. 5 of the paper): a single
+// scalar T > 0 divides the logits before the softmax. T is fitted by
+// minimizing the negative log likelihood on the held-out validation set.
+// Scaling never changes the argmax, only the confidence, so calibration is
+// "free" accuracy-wise — which is why the paper can plug it directly into
+// its uncertainty score.
+
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace hsd::core {
+
+struct CalibrationResult {
+  double temperature = 1.0;
+  double nll_before = 0.0;  ///< validation NLL at T = 1
+  double nll_after = 0.0;   ///< validation NLL at the fitted T
+  std::size_t evaluations = 0;  ///< objective evaluations spent
+};
+
+/// Fits T by golden-section search on log T over [log t_min, log t_max]
+/// (the NLL is unimodal in T for fixed logits). `logits` is (N, C); labels
+/// are class indices.
+CalibrationResult fit_temperature(const tensor::Tensor& logits,
+                                  const std::vector<int>& labels,
+                                  double t_min = 0.05, double t_max = 20.0);
+
+/// Softmax probabilities at temperature T, one row per sample (Eq. 5).
+std::vector<std::vector<double>> calibrated_probabilities(
+    const tensor::Tensor& logits, double temperature);
+
+}  // namespace hsd::core

@@ -1,0 +1,149 @@
+#include "core/calibrators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/calibration.hpp"
+
+namespace hsd::core {
+
+namespace {
+
+/// Binary logit margin z1 - z0 per sample.
+std::vector<double> margins(const tensor::Tensor& logits) {
+  if (logits.rank() != 2 || logits.dim(1) != 2) {
+    throw std::invalid_argument("calibrator: binary (N, 2) logits expected");
+  }
+  const std::size_t n = logits.dim(0);
+  std::vector<double> z(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    z[i] = static_cast<double>(logits[i * 2 + 1]) - logits[i * 2 + 0];
+  }
+  return z;
+}
+
+double sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+
+}  // namespace
+
+// ---- temperature -----------------------------------------------------------
+
+void TemperatureCalibrator::fit(const tensor::Tensor& logits,
+                                const std::vector<int>& labels) {
+  temperature_ = fit_temperature(logits, labels).temperature;
+}
+
+std::vector<std::vector<double>> TemperatureCalibrator::transform(
+    const tensor::Tensor& logits) const {
+  return calibrated_probabilities(logits, temperature_);
+}
+
+// ---- Platt ------------------------------------------------------------------
+
+PlattCalibrator::PlattCalibrator(std::size_t iterations, double learning_rate)
+    : iterations_(iterations), lr_(learning_rate) {
+  if (iterations == 0 || learning_rate <= 0.0) {
+    throw std::invalid_argument("PlattCalibrator: bad hyperparameters");
+  }
+}
+
+void PlattCalibrator::fit(const tensor::Tensor& logits, const std::vector<int>& labels) {
+  const std::vector<double> z = margins(logits);
+  if (z.size() != labels.size()) throw std::invalid_argument("PlattCalibrator: sizes");
+  if (z.empty()) return;
+  const auto n = static_cast<double>(z.size());
+  a_ = 1.0;
+  b_ = 0.0;
+  for (std::size_t iter = 0; iter < iterations_; ++iter) {
+    double ga = 0.0, gb = 0.0;
+    for (std::size_t i = 0; i < z.size(); ++i) {
+      const double p = sigmoid(a_ * z[i] + b_);
+      const double err = p - (labels[i] == 1 ? 1.0 : 0.0);
+      ga += err * z[i];
+      gb += err;
+    }
+    a_ -= lr_ * ga / n;
+    b_ -= lr_ * gb / n;
+  }
+}
+
+std::vector<std::vector<double>> PlattCalibrator::transform(
+    const tensor::Tensor& logits) const {
+  const std::vector<double> z = margins(logits);
+  std::vector<std::vector<double>> out;
+  out.reserve(z.size());
+  for (double zi : z) {
+    const double p1 = sigmoid(a_ * zi + b_);
+    out.push_back({1.0 - p1, p1});
+  }
+  return out;
+}
+
+// ---- histogram binning ------------------------------------------------------
+
+HistogramBinningCalibrator::HistogramBinningCalibrator(std::size_t bins) : bins_(bins) {
+  if (bins == 0) throw std::invalid_argument("HistogramBinningCalibrator: bins == 0");
+}
+
+void HistogramBinningCalibrator::fit(const tensor::Tensor& logits,
+                                     const std::vector<int>& labels) {
+  const auto probs = calibrated_probabilities(logits, 1.0);
+  if (probs.size() != labels.size()) {
+    throw std::invalid_argument("HistogramBinningCalibrator: sizes");
+  }
+  std::vector<double> sum(bins_, 0.0);
+  std::vector<std::size_t> count(bins_, 0);
+  for (std::size_t i = 0; i < probs.size(); ++i) {
+    auto b = static_cast<std::size_t>(probs[i][1] * static_cast<double>(bins_));
+    if (b >= bins_) b = bins_ - 1;
+    sum[b] += labels[i] == 1 ? 1.0 : 0.0;
+    count[b]++;
+  }
+  bin_value_.assign(bins_, 0.0);
+  for (std::size_t b = 0; b < bins_; ++b) {
+    // Empty bins fall back to the bin midpoint (identity behaviour).
+    bin_value_[b] = count[b] > 0
+                        ? sum[b] / static_cast<double>(count[b])
+                        : (static_cast<double>(b) + 0.5) / static_cast<double>(bins_);
+  }
+}
+
+std::vector<std::vector<double>> HistogramBinningCalibrator::transform(
+    const tensor::Tensor& logits) const {
+  if (bin_value_.empty()) throw std::logic_error("HistogramBinningCalibrator: not fitted");
+  const auto probs = calibrated_probabilities(logits, 1.0);
+  std::vector<std::vector<double>> out;
+  out.reserve(probs.size());
+  for (const auto& p : probs) {
+    auto b = static_cast<std::size_t>(p[1] * static_cast<double>(bins_));
+    if (b >= bins_) b = bins_ - 1;
+    const double p1 = std::clamp(bin_value_[b], 1e-6, 1.0 - 1e-6);
+    out.push_back({1.0 - p1, p1});
+  }
+  return out;
+}
+
+// ---- identity ---------------------------------------------------------------
+
+void IdentityCalibrator::fit(const tensor::Tensor& logits,
+                             const std::vector<int>& labels) {
+  (void)logits;
+  (void)labels;
+}
+
+std::vector<std::vector<double>> IdentityCalibrator::transform(
+    const tensor::Tensor& logits) const {
+  return calibrated_probabilities(logits, 1.0);
+}
+
+std::vector<std::unique_ptr<Calibrator>> all_calibrators() {
+  std::vector<std::unique_ptr<Calibrator>> out;
+  out.push_back(std::make_unique<IdentityCalibrator>());
+  out.push_back(std::make_unique<TemperatureCalibrator>());
+  out.push_back(std::make_unique<PlattCalibrator>());
+  out.push_back(std::make_unique<HistogramBinningCalibrator>());
+  return out;
+}
+
+}  // namespace hsd::core

@@ -1,0 +1,89 @@
+#pragma once
+// Alternative post-hoc calibrators to compare against the paper's choice of
+// temperature scaling (Guo et al. study all three): Platt scaling fits a
+// 2-parameter logistic map on the logit margin; histogram binning replaces
+// each confidence by its bin's empirical accuracy. All operate on binary
+// (non-hotspot / hotspot) logits and share a common interface so the
+// calibration ablation bench can swap them.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace hsd::core {
+
+/// Common interface: fit on validation logits/labels, then map logits to
+/// calibrated [p0, p1] rows.
+class Calibrator {
+ public:
+  virtual ~Calibrator() = default;
+  virtual void fit(const tensor::Tensor& logits, const std::vector<int>& labels) = 0;
+  virtual std::vector<std::vector<double>> transform(
+      const tensor::Tensor& logits) const = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Temperature scaling (Eq. 5 of the paper) behind the common interface.
+class TemperatureCalibrator : public Calibrator {
+ public:
+  void fit(const tensor::Tensor& logits, const std::vector<int>& labels) override;
+  std::vector<std::vector<double>> transform(
+      const tensor::Tensor& logits) const override;
+  std::string name() const override { return "temperature"; }
+  double temperature() const { return temperature_; }
+
+ private:
+  double temperature_ = 1.0;
+};
+
+/// Platt scaling: p(hotspot) = sigmoid(a * (z1 - z0) + b), (a, b) fitted by
+/// gradient descent on the validation NLL.
+class PlattCalibrator : public Calibrator {
+ public:
+  explicit PlattCalibrator(std::size_t iterations = 500, double learning_rate = 0.1);
+  void fit(const tensor::Tensor& logits, const std::vector<int>& labels) override;
+  std::vector<std::vector<double>> transform(
+      const tensor::Tensor& logits) const override;
+  std::string name() const override { return "platt"; }
+  double slope() const { return a_; }
+  double intercept() const { return b_; }
+
+ private:
+  std::size_t iterations_;
+  double lr_;
+  double a_ = 1.0;
+  double b_ = 0.0;
+};
+
+/// Histogram binning: the hotspot probability is replaced by the empirical
+/// hotspot rate of its validation bin. Non-monotone but often the lowest ECE
+/// on enough data.
+class HistogramBinningCalibrator : public Calibrator {
+ public:
+  explicit HistogramBinningCalibrator(std::size_t bins = 10);
+  void fit(const tensor::Tensor& logits, const std::vector<int>& labels) override;
+  std::vector<std::vector<double>> transform(
+      const tensor::Tensor& logits) const override;
+  std::string name() const override { return "histogram"; }
+  const std::vector<double>& bin_values() const { return bin_value_; }
+
+ private:
+  std::size_t bins_;
+  std::vector<double> bin_value_;  // calibrated p(hotspot) per bin
+};
+
+/// Raw uncalibrated softmax behind the same interface (control condition).
+class IdentityCalibrator : public Calibrator {
+ public:
+  void fit(const tensor::Tensor& logits, const std::vector<int>& labels) override;
+  std::vector<std::vector<double>> transform(
+      const tensor::Tensor& logits) const override;
+  std::string name() const override { return "identity"; }
+};
+
+/// Factory covering all calibrators for sweep benches.
+std::vector<std::unique_ptr<Calibrator>> all_calibrators();
+
+}  // namespace hsd::core

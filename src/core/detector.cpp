@@ -1,0 +1,104 @@
+#include "core/detector.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/calibration.hpp"
+#include "tensor/ops.hpp"
+
+namespace hsd::core {
+
+nn::Network make_hotspot_cnn(const DetectorConfig& config, hsd::stats::Rng& rng) {
+  if (config.input_side < 4 || config.input_side % 4 != 0) {
+    throw std::invalid_argument("make_hotspot_cnn: input_side must be a multiple of 4");
+  }
+  nn::Network net;
+  net.add<nn::Conv2d>(1, config.conv1_channels, 3, rng, 1, 1);
+  net.add<nn::Relu>();
+  net.add<nn::MaxPool2d>(2);
+  net.add<nn::Conv2d>(config.conv1_channels, config.conv2_channels, 3, rng, 1, 1);
+  net.add<nn::Relu>();
+  net.add<nn::MaxPool2d>(2);
+  net.add<nn::Flatten>();
+  const std::size_t spatial = config.input_side / 4;
+  net.add<nn::Dense>(config.conv2_channels * spatial * spatial, config.hidden, rng);
+  net.add<nn::Relu>();
+  if (config.dropout > 0.0) net.add<nn::Dropout>(config.dropout, rng.split());
+  net.add<nn::Dense>(config.hidden, 2, rng);
+  return net;
+}
+
+HotspotDetector::HotspotDetector(DetectorConfig config, hsd::stats::Rng rng)
+    : config_(config), rng_(rng), net_(make_hotspot_cnn(config, rng_)),
+      opt_(config.learning_rate) {}
+
+std::vector<double> HotspotDetector::class_weights(const std::vector<int>& labels) {
+  double n1 = 0.0;
+  for (int y : labels) n1 += (y == 1);
+  const double n = static_cast<double>(labels.size());
+  const double n0 = n - n1;
+  if (n0 <= 0.0 || n1 <= 0.0) return {1.0, 1.0};
+  // Inverse-frequency weights normalized so the average weight is 1.
+  return {n / (2.0 * n0), n / (2.0 * n1)};
+}
+
+void HotspotDetector::train_epochs(const tensor::Tensor& x,
+                                   const std::vector<int>& labels,
+                                   std::size_t epochs) {
+  if (x.dim(0) == 0) return;
+  const std::vector<double> weights = class_weights(labels);
+  net_.set_training(true);
+  net_.fit(x, labels, opt_, epochs, config_.batch_size, rng_, weights);
+  net_.set_training(false);
+}
+
+void HotspotDetector::train_initial(const tensor::Tensor& x,
+                                    const std::vector<int>& labels) {
+  train_epochs(x, labels, config_.initial_epochs);
+}
+
+void HotspotDetector::finetune(const tensor::Tensor& x, const std::vector<int>& labels) {
+  train_epochs(x, labels, config_.finetune_epochs);
+}
+
+tensor::Tensor HotspotDetector::logits(const tensor::Tensor& x) {
+  return forward(x).logits;
+}
+
+nn::ForwardResult HotspotDetector::forward(const tensor::Tensor& x) {
+  const std::size_t n = x.dim(0);
+  const std::size_t chunk = std::max<std::size_t>(config_.inference_chunk, 1);
+  nn::ForwardResult out;
+  if (n == 0) return out;
+
+  std::vector<std::size_t> idx;
+  for (std::size_t start = 0; start < n; start += chunk) {
+    const std::size_t end = std::min(start + chunk, n);
+    idx.resize(end - start);
+    for (std::size_t i = start; i < end; ++i) idx[i - start] = i;
+    const tensor::Tensor xb = tensor::gather_rows(x, idx);
+    nn::ForwardResult r = net_.forward_with_features(xb);
+    if (start == 0) {
+      tensor::Shape lshape = r.logits.shape();
+      lshape[0] = n;
+      tensor::Shape fshape = r.features.shape();
+      fshape[0] = n;
+      out.logits = tensor::Tensor(lshape);
+      out.features = tensor::Tensor(fshape);
+    }
+    const std::size_t lrow = r.logits.size() / (end - start);
+    const std::size_t frow = r.features.size() / (end - start);
+    std::copy(r.logits.data(), r.logits.data() + r.logits.size(),
+              out.logits.data() + start * lrow);
+    std::copy(r.features.data(), r.features.data() + r.features.size(),
+              out.features.data() + start * frow);
+  }
+  return out;
+}
+
+std::vector<std::vector<double>> HotspotDetector::probabilities(
+    const tensor::Tensor& x, double temperature) {
+  return calibrated_probabilities(logits(x), temperature);
+}
+
+}  // namespace hsd::core

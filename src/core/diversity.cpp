@@ -1,0 +1,64 @@
+#include "core/diversity.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "stats/normalize.hpp"
+
+namespace hsd::core {
+
+namespace {
+
+std::vector<std::vector<double>> normalized_copy(
+    const std::vector<std::vector<double>>& features) {
+  std::vector<std::vector<double>> unit = features;
+  for (auto& row : unit) hsd::stats::l2_normalize(row);
+  return unit;
+}
+
+}  // namespace
+
+std::vector<double> similarity_matrix(const std::vector<std::vector<double>>& features) {
+  const auto unit = normalized_copy(features);
+  const std::size_t n = unit.size();
+  std::vector<double> s(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    s[i * n + i] = 1.0;
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double sim = hsd::stats::dot(unit[i], unit[j]);
+      s[i * n + j] = sim;
+      s[j * n + i] = sim;
+    }
+  }
+  return s;
+}
+
+std::vector<double> diversity_matrix(const std::vector<std::vector<double>>& features) {
+  std::vector<double> d = similarity_matrix(features);
+  const std::size_t n = features.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      d[i * n + j] = i == j ? 0.0 : 1.0 - d[i * n + j];
+    }
+  }
+  return d;
+}
+
+std::vector<double> diversity_scores(const std::vector<std::vector<double>>& features) {
+  const auto unit = normalized_copy(features);
+  const std::size_t n = unit.size();
+  std::vector<double> scores(n, 0.0);
+  if (n <= 1) return scores;  // a lone sample has no neighbor; score 0
+  for (std::size_t i = 0; i < n; ++i) {
+    double max_sim = -std::numeric_limits<double>::infinity();
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      max_sim = std::max(max_sim, hsd::stats::dot(unit[i], unit[j]));
+    }
+    scores[i] = 1.0 - max_sim;  // min distance == 1 - max similarity
+  }
+  return scores;
+}
+
+}  // namespace hsd::core

@@ -1,0 +1,24 @@
+#pragma once
+// The paper's diversity metric (Eqs. 7-8): features (penultimate CNN layer)
+// are L2-normalized; the pairwise difference is D_ij = 1 - x_i . x_j, and a
+// sample's diversity score is its distance to its nearest neighbor in the
+// query set. High scores = isolated/boundary samples worth labeling.
+
+#include <cstddef>
+#include <vector>
+
+namespace hsd::core {
+
+/// Full pairwise difference matrix D (row-major n x n, zero diagonal) of
+/// Eq. 8 over L2-normalized copies of `features`.
+std::vector<double> diversity_matrix(const std::vector<std::vector<double>>& features);
+
+/// Per-sample diversity scores d_i = min_{j != i} D_ij (Eq. 7), computed
+/// directly in O(n^2 d) without materializing D.
+std::vector<double> diversity_scores(const std::vector<std::vector<double>>& features);
+
+/// Similarity matrix S_ij = x_i . x_j on normalized features (the quadratic
+/// form of the QP baseline); diagonal is 1.
+std::vector<double> similarity_matrix(const std::vector<std::vector<double>>& features);
+
+}  // namespace hsd::core

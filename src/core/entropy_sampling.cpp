@@ -1,0 +1,206 @@
+#include "core/entropy_sampling.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "core/diversity.hpp"
+#include "core/uncertainty.hpp"
+#include "qp/qp.hpp"
+#include "stats/entropy.hpp"
+#include "stats/kmeans.hpp"
+#include "stats/normalize.hpp"
+
+namespace hsd::core {
+
+namespace {
+
+std::vector<std::size_t> top_k_positions(const std::vector<double>& score,
+                                         std::size_t k) {
+  std::vector<std::size_t> idx(score.size());
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  k = std::min(k, idx.size());
+  std::partial_sort(idx.begin(), idx.begin() + static_cast<std::ptrdiff_t>(k), idx.end(),
+                    [&](std::size_t a, std::size_t b) { return score[a] > score[b]; });
+  idx.resize(k);
+  return idx;
+}
+
+std::vector<std::size_t> entropy_batch(const std::vector<std::vector<double>>& probs,
+                                       const std::vector<std::vector<double>>& features,
+                                       std::size_t k, const SamplerConfig& config,
+                                       SamplingDiagnostics* diag) {
+  const std::size_t n = probs.size();
+  SamplingDiagnostics local;
+  SamplingDiagnostics& d = diag != nullptr ? *diag : local;
+
+  d.uncertainty = config.use_uncertainty
+                      ? hotspot_aware_uncertainty(probs, config.h)
+                      : std::vector<double>(n, 0.0);
+  d.diversity = config.use_diversity ? diversity_scores(features)
+                                     : std::vector<double>(n, 0.0);
+
+  const std::vector<double> nu = hsd::stats::minmax_normalized(d.uncertainty);
+  const std::vector<double> nd = hsd::stats::minmax_normalized(d.diversity);
+
+  if (config.use_uncertainty && config.use_diversity) {
+    if (config.dynamic_weights) {
+      const auto w = hsd::stats::entropy_weighting(nu, nd);
+      d.w_uncertainty = w.w_uncertainty;
+      d.w_diversity = w.w_diversity;
+      d.e_uncertainty = w.e_uncertainty;
+      d.e_diversity = w.e_diversity;
+    } else {
+      d.w_diversity = config.fixed_w2;
+      d.w_uncertainty = 1.0 - config.fixed_w2;
+    }
+  } else if (config.use_uncertainty) {
+    d.w_uncertainty = 1.0;
+    d.w_diversity = 0.0;
+  } else if (config.use_diversity) {
+    d.w_uncertainty = 0.0;
+    d.w_diversity = 1.0;
+  } else {
+    throw std::invalid_argument("select_batch: both metrics disabled");
+  }
+
+  d.score.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    d.score[i] = d.w_uncertainty * nu[i] + d.w_diversity * nd[i];
+  }
+  return top_k_positions(d.score, k);
+}
+
+std::vector<std::size_t> qp_batch(const std::vector<std::vector<double>>& probs,
+                                  const std::vector<std::vector<double>>& features,
+                                  std::size_t k, const SamplerConfig& config,
+                                  SamplingDiagnostics* diag) {
+  const std::size_t n = probs.size();
+  // Yang et al. [14]: maximize batch diversity and uncertainty via
+  //   min 0.5 x^T S x - lambda u^T x,  sum x = k, x in [0,1],
+  // with S the pairwise similarity and u the (uncalibrated) BvSB score.
+  const std::vector<double> s = similarity_matrix(features);
+  const std::vector<double> u = bvsb_uncertainty(probs);
+  std::vector<double> c(n);
+  for (std::size_t i = 0; i < n; ++i) c[i] = -config.qp_uncertainty_weight * u[i];
+  const hsd::qp::QpResult sol =
+      hsd::qp::solve_box_budget_qp(s, n, c, static_cast<double>(std::min(k, n)));
+  if (diag != nullptr) {
+    diag->uncertainty = u;
+    diag->score = sol.x;
+  }
+  return hsd::qp::top_k_indices(sol.x, std::min(k, n));
+}
+
+std::vector<std::size_t> predictive_entropy_batch(
+    const std::vector<std::vector<double>>& probs, std::size_t k) {
+  std::vector<double> score;
+  score.reserve(probs.size());
+  for (const auto& p : probs) score.push_back(hsd::stats::shannon_entropy(p));
+  return top_k_positions(score, k);
+}
+
+std::vector<std::size_t> coreset_batch(const std::vector<std::vector<double>>& features,
+                                       std::size_t k) {
+  // Greedy k-center: repeatedly pick the point farthest (Euclidean) from the
+  // current selection; the first pick is the point farthest from the mean.
+  const std::size_t n = features.size();
+  const std::size_t dim = features[0].size();
+  std::vector<double> mean(dim, 0.0);
+  for (const auto& f : features) {
+    for (std::size_t j = 0; j < dim; ++j) mean[j] += f[j];
+  }
+  for (double& m : mean) m /= static_cast<double>(n);
+
+  std::vector<double> min_d2(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    min_d2[i] = hsd::stats::squared_distance(features[i], mean);
+  }
+  std::vector<std::size_t> picked;
+  picked.reserve(k);
+  std::vector<bool> taken(n, false);
+  for (std::size_t round = 0; round < k; ++round) {
+    std::size_t best = 0;
+    double best_d = -1.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!taken[i] && min_d2[i] > best_d) {
+        best_d = min_d2[i];
+        best = i;
+      }
+    }
+    picked.push_back(best);
+    taken[best] = true;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (taken[i]) continue;
+      min_d2[i] = std::min(min_d2[i],
+                           hsd::stats::squared_distance(features[i], features[best]));
+    }
+  }
+  return picked;
+}
+
+std::vector<std::size_t> badge_batch(const std::vector<std::vector<double>>& probs,
+                                     const std::vector<std::vector<double>>& features,
+                                     std::size_t k, hsd::stats::Rng& rng) {
+  // BADGE (Ash et al.): the last-layer loss-gradient embedding of sample i
+  // under its own predicted label is (p - onehot(argmax p)) (x) features;
+  // its norm encodes uncertainty and its direction diversity. k-means++
+  // seeding over the embeddings picks an uncertain AND diverse batch.
+  const std::size_t n = probs.size();
+  const std::size_t dim = features[0].size();
+  const std::size_t classes = probs[0].size();
+  std::vector<std::vector<double>> embeddings(n, std::vector<double>(dim * classes));
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t pred = 0;
+    for (std::size_t c = 1; c < classes; ++c) {
+      if (probs[i][c] > probs[i][pred]) pred = c;
+    }
+    for (std::size_t c = 0; c < classes; ++c) {
+      const double g = probs[i][c] - (c == pred ? 1.0 : 0.0);
+      for (std::size_t j = 0; j < dim; ++j) {
+        embeddings[i][c * dim + j] = g * features[i][j];
+      }
+    }
+  }
+  return hsd::stats::kmeanspp_seed(embeddings, k, rng);
+}
+
+}  // namespace
+
+std::vector<std::size_t> select_batch(const std::vector<std::vector<double>>& probs,
+                                      const std::vector<std::vector<double>>& features,
+                                      std::size_t k, const SamplerConfig& config,
+                                      hsd::stats::Rng& rng, SamplingDiagnostics* diag) {
+  const std::size_t n = probs.size();
+  if (features.size() != n) throw std::invalid_argument("select_batch: probs/features size");
+  if (n == 0) return {};
+  if (k >= n) {
+    std::vector<std::size_t> all(n);
+    std::iota(all.begin(), all.end(), std::size_t{0});
+    return all;
+  }
+
+  switch (config.kind) {
+    case SamplerKind::kEntropy:
+      return entropy_batch(probs, features, k, config, diag);
+    case SamplerKind::kTsOnly: {
+      SamplerConfig ts = config;
+      ts.use_uncertainty = true;
+      ts.use_diversity = false;
+      return entropy_batch(probs, features, k, ts, diag);
+    }
+    case SamplerKind::kQp:
+      return qp_batch(probs, features, k, config, diag);
+    case SamplerKind::kRandom:
+      return rng.sample_without_replacement(n, k);
+    case SamplerKind::kPredictiveEntropy:
+      return predictive_entropy_batch(probs, k);
+    case SamplerKind::kCoreset:
+      return coreset_batch(features, k);
+    case SamplerKind::kBadge:
+      return badge_batch(probs, features, k, rng);
+  }
+  throw std::invalid_argument("select_batch: unknown sampler kind");
+}
+
+}  // namespace hsd::core

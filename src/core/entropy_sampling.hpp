@@ -1,0 +1,69 @@
+#pragma once
+// Algorithm 1 of the paper (EntropySampling) plus the baseline batch
+// selectors it is compared against (TS-only, the QP formulation of [14],
+// and uniform random), all operating on one query set.
+
+#include <cstddef>
+#include <vector>
+
+#include "stats/rng.hpp"
+
+namespace hsd::core {
+
+/// Which batch-selection strategy to run.
+///
+/// The first four are the paper's method and its evaluated baselines; the
+/// remaining three are the classic active-learning selectors the paper's
+/// introduction cites ([9], [13], and core-set selection), provided for
+/// extension studies (bench_ablation).
+enum class SamplerKind {
+  kEntropy,            ///< the paper's method (Alg. 1)
+  kTsOnly,             ///< calibrated-uncertainty-only top-k ("TS" column)
+  kQp,                 ///< relaxed QP diversity + uncertainty of Yang et al. [14]
+  kRandom,             ///< uniform random batch
+  kPredictiveEntropy,  ///< top-k by Shannon entropy of the prediction [9]
+  kCoreset,            ///< greedy k-center coverage on features (Sener & Savarese)
+  kBadge               ///< k-means++ on loss-gradient embeddings (Ash et al. [13])
+};
+
+struct SamplerConfig {
+  SamplerKind kind = SamplerKind::kEntropy;
+  /// Decision boundary h of Eq. 6 (paper fixes 0.4 for imbalanced sets).
+  double h = 0.4;
+  /// Ablation switches (Table III): disabling diversity is "w/o.D",
+  /// disabling uncertainty is "w/o.U", static weights is "w/o.E".
+  bool use_uncertainty = true;
+  bool use_diversity = true;
+  bool dynamic_weights = true;
+  /// Diversity weight omega_2 when dynamic_weights is false.
+  double fixed_w2 = 0.5;
+  /// QP baseline: weight of the (uncalibrated BvSB) uncertainty linear term.
+  double qp_uncertainty_weight = 1.0;
+};
+
+/// Per-call diagnostics (entropy weights, raw scores) for logging and the
+/// weight-comparison experiment of Fig. 6(a).
+struct SamplingDiagnostics {
+  double w_uncertainty = 0.0;
+  double w_diversity = 0.0;
+  double e_uncertainty = 1.0;
+  double e_diversity = 1.0;
+  std::vector<double> uncertainty;  ///< raw per-sample uncertainty scores
+  std::vector<double> diversity;    ///< raw per-sample diversity scores
+  std::vector<double> score;        ///< fused entropy-based scores
+};
+
+/// Selects k batch positions (indices into the query set).
+///
+/// `probs` are per-sample [p_non_hotspot, p_hotspot] rows — already
+/// temperature-calibrated for kEntropy/kTsOnly, uncalibrated (T = 1) for
+/// the kQp baseline, matching each method's published formulation.
+/// `features` are the penultimate-layer representations of the same query
+/// samples. Returns min(k, n) distinct positions.
+std::vector<std::size_t> select_batch(const std::vector<std::vector<double>>& probs,
+                                      const std::vector<std::vector<double>>& features,
+                                      std::size_t k, const SamplerConfig& config,
+                                      hsd::stats::Rng& rng,
+                                      SamplingDiagnostics* diag = nullptr);
+
+}  // namespace hsd::core

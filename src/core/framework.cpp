@@ -1,0 +1,176 @@
+#include "core/framework.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <numeric>
+#include <stdexcept>
+
+#include "core/calibration.hpp"
+#include "data/features.hpp"
+#include "stats/pca.hpp"
+
+namespace hsd::core {
+
+namespace {
+
+/// Indices of the `count` smallest values in `score` restricted to `among`.
+std::vector<std::size_t> lowest_k(const std::vector<double>& score,
+                                  const std::vector<std::size_t>& among,
+                                  std::size_t count) {
+  std::vector<std::size_t> idx = among;
+  count = std::min(count, idx.size());
+  std::partial_sort(idx.begin(), idx.begin() + static_cast<std::ptrdiff_t>(count),
+                    idx.end(),
+                    [&](std::size_t a, std::size_t b) { return score[a] < score[b]; });
+  idx.resize(count);
+  return idx;
+}
+
+}  // namespace
+
+AlOutcome run_active_learning(const FrameworkConfig& config,
+                              const tensor::Tensor& features,
+                              const std::vector<layout::Clip>& clips,
+                              litho::LithoOracle& oracle) {
+  const std::size_t n_total = features.dim(0);
+  if (clips.size() != n_total) {
+    throw std::invalid_argument("run_active_learning: features/clips size mismatch");
+  }
+  // The CNN input side follows the feature tensor, not the config default.
+  FrameworkConfig cfg = config;
+  if (features.rank() == 4) cfg.detector.input_side = features.dim(2);
+  if (n_total < cfg.initial_train + cfg.validation + 1) {
+    throw std::invalid_argument("run_active_learning: population too small");
+  }
+
+  const auto t_start = std::chrono::steady_clock::now();
+  AlOutcome out;
+  hsd::stats::Rng rng(cfg.seed);
+  const std::size_t litho_before = oracle.simulation_count();
+
+  // ---- Alg. 2 line 1: GMM density over all clip features. ----------------
+  std::vector<std::vector<double>> rows = data::to_double_rows(features);
+  std::vector<std::vector<double>> gmm_rows;
+  if (cfg.gmm_pca_dims > 0 && cfg.gmm_pca_dims < rows[0].size()) {
+    const auto pca = hsd::stats::Pca::fit(rows, cfg.gmm_pca_dims);
+    gmm_rows = pca.transform(rows);
+  } else {
+    gmm_rows = rows;
+  }
+  gmm::GmmConfig gmm_cfg;
+  gmm_cfg.components = std::min(cfg.gmm_components, n_total);
+  hsd::stats::Rng gmm_rng = rng.split();
+  const auto mixture = gmm::GaussianMixture::fit(gmm_rows, gmm_cfg, gmm_rng);
+  const std::vector<double> density = mixture.log_densities(gmm_rows);
+
+  // ---- Alg. 2 line 2: split into L0 (lowest density), V0, U0. -------------
+  std::vector<std::size_t> all(n_total);
+  std::iota(all.begin(), all.end(), std::size_t{0});
+  const std::vector<std::size_t> seed_train =
+      lowest_k(density, all, cfg.initial_train);
+
+  data::UnlabeledPool unlabeled(n_total);
+  for (std::size_t idx : seed_train) {
+    unlabeled.remove(idx);
+    out.train.add(idx, oracle.label(clips[idx]) ? 1 : 0);
+  }
+  // Validation: random sample of the remainder so both classes can appear
+  // and temperature scaling sees the natural class balance.
+  {
+    const auto& rest = unlabeled.indices();
+    const std::vector<std::size_t> pick =
+        rng.sample_without_replacement(rest.size(), std::min(cfg.validation, rest.size()));
+    std::vector<std::size_t> val_indices;
+    val_indices.reserve(pick.size());
+    for (std::size_t p : pick) val_indices.push_back(rest[p]);
+    for (std::size_t idx : val_indices) {
+      unlabeled.remove(idx);
+      out.val.add(idx, oracle.label(clips[idx]) ? 1 : 0);
+    }
+  }
+
+  // ---- Alg. 2 lines 3-5: initialize and train the model on L0. -----------
+  HotspotDetector detector(cfg.detector, rng.split());
+  {
+    const tensor::Tensor x0 = data::make_batch(features, out.train.indices);
+    detector.train_initial(x0, out.train.labels);
+  }
+  const tensor::Tensor val_x = data::make_batch(features, out.val.indices);
+
+  // ---- Alg. 2 lines 6-13: iterative batch-mode sampling. ------------------
+  hsd::stats::Rng sample_rng = rng.split();
+  std::size_t dry_batches = 0;
+  for (std::size_t iter = 0; iter < cfg.iterations && !unlabeled.empty(); ++iter) {
+    // Line 7: query set = n lowest-density unlabeled clips. Unselected
+    // query clips stay in U (no discarding), so re-querying them later is
+    // possible — the information-loss fix the paper highlights.
+    const std::vector<std::size_t> query =
+        lowest_k(density, unlabeled.indices(), cfg.query_size);
+    if (query.empty()) break;
+
+    // Line 8: fit T on the validation set.
+    const tensor::Tensor val_logits = detector.logits(val_x);
+    const CalibrationResult cal = fit_temperature(val_logits, out.val.labels);
+
+    // Line 9: batch selection on the query set.
+    const tensor::Tensor qx = data::make_batch(features, query);
+    const nn::ForwardResult fwd = detector.forward(qx);
+    const double t_used =
+        cfg.sampler.kind == SamplerKind::kQp ? 1.0 : cal.temperature;
+    const std::vector<std::vector<double>> probs =
+        calibrated_probabilities(fwd.logits, t_used);
+    const std::vector<std::vector<double>> qfeat = data::to_double_rows(fwd.features);
+
+    SamplingDiagnostics diag;
+    const std::vector<std::size_t> picked_pos =
+        select_batch(probs, qfeat, cfg.batch_k, cfg.sampler, sample_rng, &diag);
+
+    // Lines 10-11: litho-label the batch, move it from U to L.
+    IterationLog log;
+    log.iteration = iter + 1;
+    log.temperature = cal.temperature;
+    log.w_uncertainty = diag.w_uncertainty;
+    log.w_diversity = diag.w_diversity;
+    for (std::size_t pos : picked_pos) {
+      const std::size_t idx = query[pos];
+      unlabeled.remove(idx);
+      const int label = oracle.label(clips[idx]) ? 1 : 0;
+      out.train.add(idx, label);
+      log.new_hotspots += (label == 1);
+    }
+    // Line 12: update the model on the grown L.
+    const tensor::Tensor lx = data::make_batch(features, out.train.indices);
+    detector.finetune(lx, out.train.labels);
+    log.labeled_size = out.train.size();
+    out.iterations.push_back(log);
+
+    // Termination condition: the query stream has run dry of hotspots.
+    dry_batches = log.new_hotspots == 0 ? dry_batches + 1 : 0;
+    if (cfg.patience > 0 && dry_batches >= cfg.patience) break;
+  }
+
+  // ---- Final calibrated full-chip detection on the remaining U. ----------
+  {
+    const tensor::Tensor val_logits = detector.logits(val_x);
+    const CalibrationResult cal = fit_temperature(val_logits, out.val.labels);
+    out.final_temperature = cal.temperature;
+
+    out.unlabeled_indices = unlabeled.indices();
+    const tensor::Tensor ux = data::make_batch(features, out.unlabeled_indices);
+    const std::vector<std::vector<double>> probs =
+        detector.probabilities(ux, cal.temperature);
+    out.predicted.resize(probs.size());
+    out.confidence_hotspot.resize(probs.size());
+    for (std::size_t i = 0; i < probs.size(); ++i) {
+      out.confidence_hotspot[i] = probs[i][1];
+      out.predicted[i] = probs[i][1] >= cfg.decision_threshold ? 1 : 0;
+    }
+  }
+
+  out.litho_labeling = oracle.simulation_count() - litho_before;
+  out.pshd_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t_start).count();
+  return out;
+}
+
+}  // namespace hsd::core

@@ -1,0 +1,90 @@
+#pragma once
+// Algorithm 2: the overall pattern sampling and hotspot detection (PSHD)
+// framework. Given the full-chip clip population, it
+//   1. fits a GMM over (PCA-reduced) clip features and scores every clip's
+//      density — low density = hotspot-like outlier,
+//   2. seeds the labeled training set L0 with the lowest-density clips and a
+//      validation set V0 for temperature scaling (all labels paid for at the
+//      counted lithography oracle),
+//   3. iterates: query the n lowest-density unlabeled clips, fit T on V0,
+//      select a batch of k via the configured strategy (Alg. 1 / TS / QP /
+//      random), litho-label it, fine-tune the CNN — never discarding
+//      unselected query clips,
+//   4. runs calibrated full-chip inference on the remaining unlabeled clips.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/detector.hpp"
+#include "core/entropy_sampling.hpp"
+#include "data/dataset.hpp"
+#include "gmm/gmm.hpp"
+#include "layout/clip.hpp"
+#include "litho/oracle.hpp"
+#include "tensor/tensor.hpp"
+
+namespace hsd::core {
+
+struct FrameworkConfig {
+  SamplerConfig sampler;
+  DetectorConfig detector;
+  /// |L0|: lowest-GMM-density seeds for the initial training set.
+  std::size_t initial_train = 48;
+  /// |V0|: validation clips for temperature scaling.
+  std::size_t validation = 48;
+  /// n: query-set size per iteration (Alg. 2 line 7).
+  std::size_t query_size = 512;
+  /// k: batch size selected per iteration (Alg. 1).
+  std::size_t batch_k = 32;
+  /// N: maximum number of sampling iterations.
+  std::size_t iterations = 10;
+  /// Early termination: stop once this many consecutive batches contain no
+  /// new hotspots (0 disables — always run all N iterations). This is the
+  /// "termination condition" of Alg. 2: when the query stream stops yielding
+  /// hotspots, further labeling buys nothing.
+  std::size_t patience = 0;
+  std::size_t gmm_components = 4;
+  /// PCA dimensions before GMM fitting (0 = fit on raw features).
+  std::size_t gmm_pca_dims = 8;
+  /// Hotspot decision boundary for the final full-chip detection; the paper
+  /// fixes h = 0.4 because the benchmark sets are imbalanced (Section
+  /// III-A1), trading false alarms for recall.
+  double decision_threshold = 0.4;
+  std::uint64_t seed = 1;
+};
+
+/// Per-iteration diagnostics for the weight/trade-off figures.
+struct IterationLog {
+  std::size_t iteration = 0;
+  double temperature = 1.0;
+  double w_uncertainty = 0.0;
+  double w_diversity = 0.0;
+  std::size_t labeled_size = 0;
+  std::size_t new_hotspots = 0;  ///< hotspots among the freshly labeled batch
+};
+
+/// Everything the evaluation needs from one framework run.
+struct AlOutcome {
+  data::LabeledSet train;                    ///< L after the final iteration
+  data::LabeledSet val;                      ///< V0
+  std::vector<std::size_t> unlabeled_indices;///< remaining U (clip indices)
+  std::vector<int> predicted;                ///< predictions aligned with U
+  std::vector<double> confidence_hotspot;    ///< calibrated p(hotspot) for U
+  double final_temperature = 1.0;
+  std::size_t litho_labeling = 0;            ///< oracle calls spent on L + V
+  double pshd_seconds = 0.0;                 ///< compute wall time of the run
+  std::vector<IterationLog> iterations;
+};
+
+/// Runs Algorithm 2 on a clip population.
+///
+/// `features` is the (N, 1, s, s) DCT feature tensor of all clips, `clips`
+/// the geometry (for oracle labeling), `oracle` the counted lithography
+/// simulator. Ground-truth labels are never consulted; all supervision is
+/// bought from the oracle.
+AlOutcome run_active_learning(const FrameworkConfig& config,
+                              const tensor::Tensor& features,
+                              const std::vector<layout::Clip>& clips,
+                              litho::LithoOracle& oracle);
+
+}  // namespace hsd::core

@@ -1,0 +1,83 @@
+#include "core/metrics.hpp"
+
+#include <ostream>
+#include <stdexcept>
+
+namespace hsd::core {
+
+PshdMetrics evaluate_outcome(const AlOutcome& outcome,
+                             const std::vector<int>& ground_truth,
+                             double seconds_per_litho) {
+  PshdMetrics m;
+  for (int y : ground_truth) m.hs_total += (y == 1);
+
+  for (std::size_t i = 0; i < outcome.train.size(); ++i) {
+    const std::size_t idx = outcome.train.indices[i];
+    if (idx >= ground_truth.size()) throw std::invalid_argument("evaluate_outcome: index");
+    m.hs_train += (ground_truth[idx] == 1);
+  }
+  for (std::size_t i = 0; i < outcome.val.size(); ++i) {
+    m.hs_val += (ground_truth[outcome.val.indices[i]] == 1);
+  }
+  for (std::size_t i = 0; i < outcome.unlabeled_indices.size(); ++i) {
+    const std::size_t idx = outcome.unlabeled_indices[i];
+    if (outcome.predicted[i] == 1) {
+      if (ground_truth[idx] == 1) {
+        m.hits++;
+      } else {
+        m.false_alarms++;
+      }
+    }
+  }
+
+  m.accuracy = m.hs_total > 0
+                   ? static_cast<double>(m.hs_train + m.hs_val + m.hits) /
+                         static_cast<double>(m.hs_total)
+                   : 1.0;
+  m.litho = outcome.train.size() + outcome.val.size() + m.false_alarms;
+  m.pshd_seconds = outcome.pshd_seconds;
+  m.modeled_runtime_seconds =
+      m.pshd_seconds + seconds_per_litho * static_cast<double>(m.litho);
+  return m;
+}
+
+PshdMetrics evaluate_pm(const pm::PmResult& result,
+                        const std::vector<int>& ground_truth,
+                        double pshd_seconds, double seconds_per_litho) {
+  if (result.predicted.size() != ground_truth.size()) {
+    throw std::invalid_argument("evaluate_pm: size mismatch");
+  }
+  PshdMetrics m;
+  std::vector<char> is_rep(ground_truth.size(), 0);
+  for (std::size_t r : result.representatives) is_rep[r] = 1;
+
+  std::size_t detected_hs = 0;
+  for (std::size_t i = 0; i < ground_truth.size(); ++i) {
+    m.hs_total += (ground_truth[i] == 1);
+    if (result.predicted[i] == 1 && ground_truth[i] == 1) detected_hs++;
+    if (result.predicted[i] == 1 && ground_truth[i] == 0 && !is_rep[i]) {
+      m.false_alarms++;
+    }
+  }
+  m.hits = detected_hs;
+  m.accuracy = m.hs_total > 0
+                   ? static_cast<double>(detected_hs) / static_cast<double>(m.hs_total)
+                   : 1.0;
+  m.litho = result.litho_count + m.false_alarms;
+  m.pshd_seconds = pshd_seconds;
+  m.modeled_runtime_seconds =
+      pshd_seconds + seconds_per_litho * static_cast<double>(m.litho);
+  return m;
+}
+
+void write_iteration_csv(std::ostream& os, const AlOutcome& outcome) {
+  os << "iteration,temperature,w_uncertainty,w_diversity,labeled_size,new_hotspots\n";
+  for (const IterationLog& log : outcome.iterations) {
+    os << log.iteration << ',' << log.temperature << ',' << log.w_uncertainty << ','
+       << log.w_diversity << ',' << log.labeled_size << ',' << log.new_hotspots
+       << '\n';
+  }
+  if (!os) throw std::runtime_error("write_iteration_csv: stream failure");
+}
+
+}  // namespace hsd::core

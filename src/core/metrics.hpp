@@ -1,0 +1,46 @@
+#pragma once
+// PSHD evaluation metrics: detection accuracy (Eq. 1), lithography
+// simulation overhead (Eq. 2), and the paper's runtime model (Fig. 6b:
+// PSHD compute time + 10 s per litho-clip).
+
+#include <cstddef>
+#include <iosfwd>
+#include <vector>
+
+#include "core/framework.hpp"
+#include "pm/pattern_matching.hpp"
+
+namespace hsd::core {
+
+struct PshdMetrics {
+  double accuracy = 0.0;      ///< Eq. 1, in [0, 1]
+  std::size_t litho = 0;      ///< Eq. 2: #Tr + #Val + #FA (or clusters + #FA for PM)
+  std::size_t hits = 0;       ///< true hotspots predicted in the unlabeled set
+  std::size_t false_alarms = 0;
+  std::size_t hs_train = 0;   ///< hotspots captured into the training set
+  std::size_t hs_val = 0;     ///< hotspots captured into the validation set
+  std::size_t hs_total = 0;
+  double pshd_seconds = 0.0;
+  /// Modeled end-to-end runtime: pshd_seconds + seconds_per_litho * litho.
+  double modeled_runtime_seconds = 0.0;
+};
+
+/// Scores an active-learning outcome against ground truth (1 = hotspot).
+PshdMetrics evaluate_outcome(const AlOutcome& outcome,
+                             const std::vector<int>& ground_truth,
+                             double seconds_per_litho = 10.0);
+
+/// Scores a pattern-matching result. Representatives were litho-labeled
+/// (correct by construction); non-representative clips predicted hotspot
+/// that are clean are false alarms.
+PshdMetrics evaluate_pm(const pm::PmResult& result,
+                        const std::vector<int>& ground_truth,
+                        double pshd_seconds = 0.0,
+                        double seconds_per_litho = 10.0);
+
+/// Writes the per-iteration log of a run as CSV (header + one row per
+/// sampling iteration): iteration, temperature, w_uncertainty, w_diversity,
+/// labeled_size, new_hotspots.
+void write_iteration_csv(std::ostream& os, const AlOutcome& outcome);
+
+}  // namespace hsd::core

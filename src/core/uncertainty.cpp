@@ -1,0 +1,43 @@
+#include "core/uncertainty.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hsd::core {
+
+double bvsb_uncertainty(double p_hotspot) {
+  const double p0 = 1.0 - p_hotspot;
+  return 1.0 - std::abs(p0 - p_hotspot);
+}
+
+double hotspot_aware_uncertainty(double p_hotspot, double h) {
+  if (h <= 0.0 || h >= 1.0) throw std::invalid_argument("hotspot_aware_uncertainty: h");
+  const double p0 = 1.0 - p_hotspot;
+  if (p_hotspot > h) return p0 + h;
+  return p_hotspot;
+}
+
+std::vector<double> bvsb_uncertainty(const std::vector<std::vector<double>>& probs) {
+  std::vector<double> out;
+  out.reserve(probs.size());
+  for (const auto& p : probs) {
+    if (p.size() != 2) throw std::invalid_argument("bvsb_uncertainty: binary rows expected");
+    out.push_back(bvsb_uncertainty(p[1]));
+  }
+  return out;
+}
+
+std::vector<double> hotspot_aware_uncertainty(
+    const std::vector<std::vector<double>>& probs, double h) {
+  std::vector<double> out;
+  out.reserve(probs.size());
+  for (const auto& p : probs) {
+    if (p.size() != 2) {
+      throw std::invalid_argument("hotspot_aware_uncertainty: binary rows expected");
+    }
+    out.push_back(hotspot_aware_uncertainty(p[1], h));
+  }
+  return out;
+}
+
+}  // namespace hsd::core

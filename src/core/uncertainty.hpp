@@ -1,0 +1,26 @@
+#pragma once
+// Uncertainty scores over binary hotspot/non-hotspot probabilities.
+// Class convention throughout the library: class 0 = non-hotspot,
+// class 1 = hotspot.
+
+#include <vector>
+
+namespace hsd::core {
+
+/// Binary Best-versus-Second-Best uncertainty (Eq. 3):
+/// u = 1 - |p0 - p1|, maximal (1) at p = 0.5, minimal (0) at p in {0, 1}.
+double bvsb_uncertainty(double p_hotspot);
+
+/// The paper's hotspot-aware uncertainty score (Eq. 6) with decision
+/// boundary h (fixed to 0.4 in the paper because the sets are imbalanced):
+///   u = p0 + h  if p1 > h   (uncertain or hotspot-leaning: elevated score)
+///   u = p1      if p1 < h   (confident non-hotspot: score = its small p1)
+/// `p_hotspot` must already come from the *calibrated* softmax (Eq. 5).
+double hotspot_aware_uncertainty(double p_hotspot, double h = 0.4);
+
+/// Batch versions over per-sample [p0, p1] rows.
+std::vector<double> bvsb_uncertainty(const std::vector<std::vector<double>>& probs);
+std::vector<double> hotspot_aware_uncertainty(
+    const std::vector<std::vector<double>>& probs, double h = 0.4);
+
+}  // namespace hsd::core

@@ -1,0 +1,155 @@
+#include "data/benchmark.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hsd::data {
+
+Benchmark build_benchmark(const BenchmarkSpec& spec) {
+  Benchmark bench;
+  bench.spec = spec;
+
+  PatternGenerator gen(spec.gen, hsd::stats::Rng(spec.seed));
+  litho::LithoOracle oracle(spec.grid, spec.optics);  // build-time, uncounted
+
+  std::vector<layout::Clip> hs_pool;
+  std::vector<layout::Clip> nhs_pool;
+  hs_pool.reserve(spec.hs_target);
+  nhs_pool.reserve(spec.nhs_target);
+
+  const std::size_t want = spec.hs_target + spec.nhs_target;
+  const std::size_t max_attempts = spec.max_attempts_factor * std::max<std::size_t>(want, 1);
+  std::size_t attempts = 0;
+  while ((hs_pool.size() < spec.hs_target || nhs_pool.size() < spec.nhs_target) &&
+         attempts < max_attempts) {
+    attempts++;
+    layout::Clip clip = gen.next();
+    const bool hs = oracle.label(clip);
+    if (hs && hs_pool.size() < spec.hs_target) {
+      hs_pool.push_back(std::move(clip));
+    } else if (!hs && nhs_pool.size() < spec.nhs_target) {
+      nhs_pool.push_back(std::move(clip));
+    }
+  }
+  if (hs_pool.size() < spec.hs_target || nhs_pool.size() < spec.nhs_target) {
+    throw std::runtime_error("build_benchmark('" + spec.name +
+                             "'): generator could not meet the HS/NHS quota");
+  }
+
+  // Interleave the pools in a deterministic shuffled order so hotspots are
+  // scattered across the chip rather than clustered by generation time.
+  bench.clips.reserve(want);
+  bench.labels.reserve(want);
+  hsd::stats::Rng mix(spec.seed ^ 0x9E3779B97F4A7C15ULL);
+  std::size_t hi = 0;
+  std::size_t ni = 0;
+  while (hi < hs_pool.size() || ni < nhs_pool.size()) {
+    const std::size_t hs_left = hs_pool.size() - hi;
+    const std::size_t nhs_left = nhs_pool.size() - ni;
+    const bool pick_hs =
+        nhs_left == 0 ||
+        (hs_left > 0 &&
+         mix.uniform() < static_cast<double>(hs_left) /
+                             static_cast<double>(hs_left + nhs_left));
+    if (pick_hs) {
+      bench.clips.push_back(std::move(hs_pool[hi++]));
+      bench.labels.push_back(1);
+    } else {
+      bench.clips.push_back(std::move(nhs_pool[ni++]));
+      bench.labels.push_back(0);
+    }
+  }
+  bench.num_hotspots = spec.hs_target;
+  bench.num_non_hotspots = spec.nhs_target;
+
+  // Lay the clips out on a square-ish full-chip grid for visualization.
+  bench.chip_cols = static_cast<std::size_t>(
+      std::ceil(std::sqrt(static_cast<double>(bench.clips.size()))));
+  if (bench.chip_cols == 0) bench.chip_cols = 1;
+  bench.chip_rows = (bench.clips.size() + bench.chip_cols - 1) / bench.chip_cols;
+  const auto side = spec.gen.clip_side;
+  for (std::size_t i = 0; i < bench.clips.size(); ++i) {
+    bench.clips[i].chip_origin = {
+        static_cast<layout::Coord>((i % bench.chip_cols) * static_cast<std::size_t>(side)),
+        static_cast<layout::Coord>((i / bench.chip_cols) * static_cast<std::size_t>(side))};
+  }
+  return bench;
+}
+
+BenchmarkSpec iccad12_spec(double scale) {
+  if (scale <= 0.0 || scale > 1.0) throw std::invalid_argument("iccad12_spec: scale");
+  BenchmarkSpec spec;
+  spec.name = "ICCAD12";
+  spec.hs_target = static_cast<std::size_t>(std::lround(3728 * scale));
+  spec.nhs_target = static_cast<std::size_t>(std::lround(159672 * scale));
+  spec.tech_nm = 28;
+  spec.optics = litho::duv28_model();
+  spec.grid = 64;
+  spec.seed = 2012;
+  spec.gen.clip_side = 640;
+  spec.gen.step = 10;
+  spec.gen.min_width = 20;
+  spec.gen.max_width = 80;
+  spec.gen.min_space = 20;
+  spec.gen.max_space = 80;
+  spec.gen.risky_fraction = 0.30;
+  spec.gen.family_weights = {3.0, 2.0, 2.0, 1.5, 1.0, 2.0};
+  return spec;
+}
+
+BenchmarkSpec iccad16_spec(int case_id) {
+  BenchmarkSpec spec;
+  spec.tech_nm = 7;
+  spec.optics = litho::euv7_model();
+  spec.grid = 64;
+  spec.gen.clip_side = 320;
+  spec.gen.step = 5;
+  spec.gen.min_width = 10;
+  spec.gen.max_width = 40;
+  spec.gen.min_space = 10;
+  spec.gen.max_space = 40;
+  switch (case_id) {
+    case 1:
+      spec.name = "ICCAD16-1";
+      spec.hs_target = 0;
+      spec.nhs_target = 63;
+      spec.seed = 1601;
+      spec.gen.risky_fraction = 0.0;
+      spec.gen.family_weights = {3.0, 1.0, 1.0, 1.0, 1.0, 1.0};
+      break;
+    case 2:
+      spec.name = "ICCAD16-2";
+      spec.hs_target = 56;
+      spec.nhs_target = 967;
+      spec.seed = 1602;
+      spec.gen.risky_fraction = 0.25;
+      spec.gen.family_weights = {2.0, 3.0, 1.0, 1.0, 2.0, 1.0};
+      break;
+    case 3:
+      spec.name = "ICCAD16-3";
+      spec.hs_target = 1100;
+      spec.nhs_target = 3916;
+      spec.seed = 1603;
+      spec.gen.risky_fraction = 0.40;
+      spec.gen.family_weights = {2.0, 2.0, 1.5, 3.0, 1.0, 1.5};
+      break;
+    case 4:
+      spec.name = "ICCAD16-4";
+      spec.hs_target = 157;
+      spec.nhs_target = 1678;
+      spec.seed = 1604;
+      spec.gen.risky_fraction = 0.30;
+      spec.gen.family_weights = {1.5, 2.0, 2.0, 1.0, 3.0, 1.5};
+      break;
+    default:
+      throw std::invalid_argument("iccad16_spec: case_id must be 1-4");
+  }
+  return spec;
+}
+
+std::vector<BenchmarkSpec> evaluated_specs(double iccad12_scale) {
+  return {iccad12_spec(iccad12_scale), iccad16_spec(2), iccad16_spec(3),
+          iccad16_spec(4)};
+}
+
+}  // namespace hsd::data

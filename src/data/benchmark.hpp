@@ -1,0 +1,70 @@
+#pragma once
+// Synthetic benchmark suites mirroring the statistics of the ICCAD-2012 and
+// ICCAD-2016 contest sets (Table I of the paper). A benchmark is a list of
+// clips with lithography-derived ground-truth labels (computed once at build
+// time with an *uncounted* oracle — the counted oracle is what the active
+// learning framework pays for) plus the optics configuration the framework
+// must use so its labels agree with the ground truth.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/pattern_generator.hpp"
+#include "litho/oracle.hpp"
+
+namespace hsd::data {
+
+/// Build recipe for one benchmark.
+struct BenchmarkSpec {
+  std::string name;
+  std::size_t hs_target = 0;    ///< number of hotspot clips to include
+  std::size_t nhs_target = 0;   ///< number of non-hotspot clips
+  int tech_nm = 28;             ///< nominal technology node (reporting only)
+  GeneratorConfig gen;          ///< pattern generator configuration
+  litho::OpticalModel optics;   ///< lithography model labeling this set
+  std::size_t grid = 64;        ///< lithography simulation raster resolution
+  std::size_t feature_grid = 64;///< raster used for DCT feature extraction
+  std::size_t feature_keep = 16;///< retained low-frequency DCT block side
+  std::uint64_t seed = 42;      ///< generation seed
+  /// Give up if quota is not met after this many generated candidates per
+  /// requested clip (guards against mis-tuned generators looping forever).
+  std::size_t max_attempts_factor = 400;
+};
+
+/// A fully built benchmark.
+struct Benchmark {
+  BenchmarkSpec spec;
+  std::vector<layout::Clip> clips;
+  std::vector<int> labels;      ///< ground truth: 1 = hotspot, 0 = non-hotspot
+  std::size_t num_hotspots = 0;
+  std::size_t num_non_hotspots = 0;
+  std::size_t chip_cols = 0;    ///< clips arranged on a chip_cols x chip_rows grid
+  std::size_t chip_rows = 0;
+
+  std::size_t size() const { return clips.size(); }
+
+  /// Oracle configured identically to the one that labeled the ground truth;
+  /// use this (counted) instance inside the sampling framework.
+  litho::LithoOracle make_oracle() const {
+    return litho::LithoOracle(spec.grid, spec.optics);
+  }
+};
+
+/// Builds a benchmark by generating pattern candidates and litho-labeling
+/// them until the HS/NHS quotas are met; throws std::runtime_error if the
+/// generator cannot reach the quota within the attempt budget.
+Benchmark build_benchmark(const BenchmarkSpec& spec);
+
+/// ICCAD-2012-like spec (28 nm, DUV optics). `scale` shrinks the clip counts
+/// (Table I: 3728 HS / 159672 NHS at scale 1) while preserving the ratio.
+BenchmarkSpec iccad12_spec(double scale = 1.0);
+
+/// ICCAD-2016-like specs, cases 1-4 (7 nm, EUV optics), Table I counts.
+BenchmarkSpec iccad16_spec(int case_id);
+
+/// The four evaluated benchmarks of the paper (ICCAD12 at `iccad12_scale`,
+/// ICCAD16-2/3/4; case 1 has no hotspots and is skipped, as in the paper).
+std::vector<BenchmarkSpec> evaluated_specs(double iccad12_scale = 1.0);
+
+}  // namespace hsd::data

@@ -1,0 +1,85 @@
+#include "data/dataset.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+
+namespace hsd::data {
+
+UnlabeledPool::UnlabeledPool(std::size_t universe_size) {
+  indices_.resize(universe_size);
+  std::iota(indices_.begin(), indices_.end(), std::size_t{0});
+  position_.resize(universe_size);
+  for (std::size_t i = 0; i < universe_size; ++i) position_[i] = i + 1;
+}
+
+UnlabeledPool::UnlabeledPool(std::vector<std::size_t> indices)
+    : indices_(std::move(indices)) {
+  std::size_t universe = 0;
+  for (std::size_t idx : indices_) universe = std::max(universe, idx + 1);
+  position_.assign(universe, 0);
+  for (std::size_t pos = 0; pos < indices_.size(); ++pos) {
+    const std::size_t idx = indices_[pos];
+    if (position_[idx] != 0) throw std::invalid_argument("UnlabeledPool: duplicate index");
+    position_[idx] = pos + 1;
+  }
+}
+
+bool UnlabeledPool::contains(std::size_t index) const {
+  return index < position_.size() && position_[index] != 0;
+}
+
+bool UnlabeledPool::remove(std::size_t index) {
+  if (!contains(index)) return false;
+  const std::size_t pos = position_[index] - 1;
+  const std::size_t last = indices_.back();
+  indices_[pos] = last;
+  position_[last] = pos + 1;
+  indices_.pop_back();
+  position_[index] = 0;
+  return true;
+}
+
+void UnlabeledPool::remove_all(const std::vector<std::size_t>& indices) {
+  for (std::size_t idx : indices) remove(idx);
+}
+
+tensor::Tensor make_batch(const tensor::Tensor& features,
+                          const std::vector<std::size_t>& indices) {
+  return tensor::gather_rows(features, indices);
+}
+
+}  // namespace hsd::data
+
+namespace hsd::data {
+
+Split shuffled_split(const std::vector<int>& labels, std::size_t train_size,
+                     std::size_t val_size, std::size_t test_size,
+                     hsd::stats::Rng& rng) {
+  const std::size_t n = labels.size();
+  if (train_size + val_size + test_size > n) {
+    throw std::invalid_argument("shuffled_split: sizes exceed population");
+  }
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  rng.shuffle(order);
+
+  Split split;
+  const std::size_t effective_test =
+      test_size == 0 ? n - train_size - val_size : test_size;
+  for (std::size_t pos = 0; pos < n; ++pos) {
+    const std::size_t idx = order[pos];
+    if (split.train.size() < train_size) {
+      split.train.add(idx, labels[idx]);
+    } else if (split.val.size() < val_size) {
+      split.val.add(idx, labels[idx]);
+    } else if (split.test.size() < effective_test) {
+      split.test.add(idx, labels[idx]);
+    }
+  }
+  return split;
+}
+
+}  // namespace hsd::data

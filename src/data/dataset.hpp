@@ -1,0 +1,83 @@
+#pragma once
+// Index-set bookkeeping shared by the sampling framework and baselines:
+// the labeled training pool L, validation pool V, and unlabeled pool U of
+// Algorithm 2 are all index sets over one immutable feature tensor.
+
+#include <cstddef>
+#include <vector>
+
+#include "stats/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace hsd::data {
+
+/// Clip indices paired with their lithography-obtained labels.
+struct LabeledSet {
+  std::vector<std::size_t> indices;
+  std::vector<int> labels;
+
+  std::size_t size() const { return indices.size(); }
+  bool empty() const { return indices.empty(); }
+
+  void add(std::size_t index, int label) {
+    indices.push_back(index);
+    labels.push_back(label);
+  }
+
+  void append(const LabeledSet& other) {
+    indices.insert(indices.end(), other.indices.begin(), other.indices.end());
+    labels.insert(labels.end(), other.labels.begin(), other.labels.end());
+  }
+
+  /// Number of samples labeled hotspot (label == 1).
+  std::size_t num_hotspots() const {
+    std::size_t n = 0;
+    for (int y : labels) n += (y == 1);
+    return n;
+  }
+};
+
+/// An unlabeled pool of clip indices with O(1) removal (swap-and-pop; order
+/// is not preserved, which the sampling framework never relies on).
+class UnlabeledPool {
+ public:
+  UnlabeledPool() = default;
+  explicit UnlabeledPool(std::size_t universe_size);
+  explicit UnlabeledPool(std::vector<std::size_t> indices);
+
+  std::size_t size() const { return indices_.size(); }
+  bool empty() const { return indices_.empty(); }
+  const std::vector<std::size_t>& indices() const { return indices_; }
+
+  bool contains(std::size_t index) const;
+
+  /// Removes one index; returns false if it was not present.
+  bool remove(std::size_t index);
+
+  /// Removes many indices; ignores absent ones.
+  void remove_all(const std::vector<std::size_t>& indices);
+
+ private:
+  std::vector<std::size_t> indices_;
+  std::vector<std::size_t> position_;  // universe index -> position+1 (0 = absent)
+};
+
+/// Gathers the feature rows of `indices` into a batch tensor.
+tensor::Tensor make_batch(const tensor::Tensor& features,
+                          const std::vector<std::size_t>& indices);
+
+/// A three-way labeled split for supervised experiments.
+struct Split {
+  LabeledSet train;
+  LabeledSet val;
+  LabeledSet test;
+};
+
+/// Deterministic shuffled split of a labeled population into train/val/test
+/// of the given sizes (test_size 0 = "all the rest"). Throws if the
+/// requested sizes exceed the population.
+Split shuffled_split(const std::vector<int>& labels, std::size_t train_size,
+                     std::size_t val_size, std::size_t test_size,
+                     hsd::stats::Rng& rng);
+
+}  // namespace hsd::data

@@ -1,0 +1,50 @@
+#include "data/features.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+namespace hsd::data {
+
+FeatureExtractor::FeatureExtractor(std::size_t grid, std::size_t keep)
+    : raster_(grid), dct_(grid), keep_(keep) {
+  if (keep == 0 || keep > grid) throw std::invalid_argument("FeatureExtractor: bad keep");
+}
+
+std::vector<float> FeatureExtractor::extract(const layout::Clip& clip) const {
+  const std::vector<float> mask = raster_.rasterize(clip);
+  std::vector<float> coeffs = dct_.forward_lowfreq(mask, keep_);
+  // Magnitude spectrum: dropping the coefficient signs makes the encoding
+  // quasi-shift-invariant, so two placements of the same structure map to
+  // nearby features while marginal widths/pitches (the hotspot drivers)
+  // move the frequency content — exactly the separation the GMM density
+  // seeding and the diversity metric rely on.
+  const auto scale = 1.0F / static_cast<float>(raster_.grid());
+  for (auto& c : coeffs) c = std::abs(c) * scale;
+  return coeffs;
+}
+
+tensor::Tensor FeatureExtractor::extract_batch(
+    const std::vector<layout::Clip>& clips) const {
+  tensor::Tensor out({clips.size(), 1, keep_, keep_});
+  const std::size_t row = keep_ * keep_;
+  for (std::size_t i = 0; i < clips.size(); ++i) {
+    const std::vector<float> f = extract(clips[i]);
+    std::memcpy(out.data() + i * row, f.data(), row * sizeof(float));
+  }
+  return out;
+}
+
+std::vector<std::vector<double>> to_double_rows(const tensor::Tensor& x) {
+  if (x.rank() < 1) throw std::invalid_argument("to_double_rows: rank 0");
+  const std::size_t n = x.dim(0);
+  const std::size_t row = n > 0 ? x.size() / n : 0;
+  std::vector<std::vector<double>> rows(n, std::vector<double>(row));
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* src = x.data() + i * row;
+    for (std::size_t j = 0; j < row; ++j) rows[i][j] = static_cast<double>(src[j]);
+  }
+  return rows;
+}
+
+}  // namespace hsd::data

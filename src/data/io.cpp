@@ -1,0 +1,100 @@
+#include "data/io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "layout/io.hpp"
+
+namespace hsd::data {
+
+namespace {
+constexpr const char* kMagic = "hsd-benchmark";
+constexpr int kVersion = 1;
+}  // namespace
+
+void save_benchmark(std::ostream& os, const Benchmark& bench) {
+  const BenchmarkSpec& s = bench.spec;
+  os << kMagic << ' ' << kVersion << '\n';
+  // Spec line: everything needed to rebuild oracles and extractors.
+  os << "spec " << (s.name.empty() ? "unnamed" : s.name) << ' ' << s.hs_target << ' '
+     << s.nhs_target << ' ' << s.tech_nm << ' ' << s.grid << ' ' << s.feature_grid
+     << ' ' << s.feature_keep << ' ' << s.seed << '\n';
+  os << "optics " << s.optics.sigma_px << ' ' << s.optics.resist_threshold << ' '
+     << s.optics.truncate << '\n';
+  os << "gen " << s.gen.clip_side << ' ' << s.gen.step << ' ' << s.gen.min_width << ' '
+     << s.gen.max_width << ' ' << s.gen.min_space << ' ' << s.gen.max_space << ' '
+     << s.gen.core_fraction << ' ' << s.gen.risky_fraction << '\n';
+  os << "chip " << bench.chip_cols << ' ' << bench.chip_rows << '\n';
+  os << "labels " << bench.labels.size();
+  for (int y : bench.labels) os << ' ' << y;
+  os << '\n';
+  layout::write_clips(os, bench.clips);
+  if (!os) throw std::runtime_error("save_benchmark: stream failure");
+}
+
+Benchmark load_benchmark(std::istream& is) {
+  std::string magic;
+  int version = 0;
+  if (!(is >> magic >> version) || magic != kMagic || version != kVersion) {
+    throw std::runtime_error("load_benchmark: not a benchmark bundle");
+  }
+  Benchmark bench;
+  BenchmarkSpec& s = bench.spec;
+  std::string tag;
+  if (!(is >> tag >> s.name >> s.hs_target >> s.nhs_target >> s.tech_nm >> s.grid >>
+        s.feature_grid >> s.feature_keep >> s.seed) ||
+      tag != "spec") {
+    throw std::runtime_error("load_benchmark: malformed spec line");
+  }
+  if (!(is >> tag >> s.optics.sigma_px >> s.optics.resist_threshold >>
+        s.optics.truncate) ||
+      tag != "optics") {
+    throw std::runtime_error("load_benchmark: malformed optics line");
+  }
+  if (!(is >> tag >> s.gen.clip_side >> s.gen.step >> s.gen.min_width >>
+        s.gen.max_width >> s.gen.min_space >> s.gen.max_space >> s.gen.core_fraction >>
+        s.gen.risky_fraction) ||
+      tag != "gen") {
+    throw std::runtime_error("load_benchmark: malformed gen line");
+  }
+  if (!(is >> tag >> bench.chip_cols >> bench.chip_rows) || tag != "chip") {
+    throw std::runtime_error("load_benchmark: malformed chip line");
+  }
+  std::size_t nlabels = 0;
+  if (!(is >> tag >> nlabels) || tag != "labels") {
+    throw std::runtime_error("load_benchmark: malformed labels line");
+  }
+  bench.labels.resize(nlabels);
+  for (auto& y : bench.labels) {
+    if (!(is >> y) || (y != 0 && y != 1)) {
+      throw std::runtime_error("load_benchmark: malformed label value");
+    }
+  }
+  bench.clips = layout::read_clips(is);
+  if (bench.clips.size() != bench.labels.size()) {
+    throw std::runtime_error("load_benchmark: clip/label count mismatch");
+  }
+  for (int y : bench.labels) {
+    if (y == 1) {
+      bench.num_hotspots++;
+    } else {
+      bench.num_non_hotspots++;
+    }
+  }
+  return bench;
+}
+
+void save_benchmark_file(const std::string& path, const Benchmark& bench) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("save_benchmark_file: cannot open " + path);
+  save_benchmark(os, bench);
+}
+
+Benchmark load_benchmark_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("load_benchmark_file: cannot open " + path);
+  return load_benchmark(is);
+}
+
+}  // namespace hsd::data

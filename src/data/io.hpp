@@ -1,0 +1,24 @@
+#pragma once
+// Benchmark persistence: saves/loads a complete benchmark (spec, clips,
+// ground-truth labels, chip layout) as an HSDL-based text bundle so
+// expensive populations can be built once and reused across experiment runs.
+
+#include <iosfwd>
+#include <string>
+
+#include "data/benchmark.hpp"
+
+namespace hsd::data {
+
+/// Writes the benchmark (spec + clips + labels) to a stream.
+void save_benchmark(std::ostream& os, const Benchmark& bench);
+
+/// Reads a benchmark written by save_benchmark; throws std::runtime_error
+/// on malformed input.
+Benchmark load_benchmark(std::istream& is);
+
+/// File-path conveniences.
+void save_benchmark_file(const std::string& path, const Benchmark& bench);
+Benchmark load_benchmark_file(const std::string& path);
+
+}  // namespace hsd::data

@@ -1,0 +1,275 @@
+#include "data/pattern_generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace hsd::data {
+
+using layout::Clip;
+using layout::Coord;
+using layout::Rect;
+
+PatternGenerator::PatternGenerator(GeneratorConfig config, hsd::stats::Rng rng)
+    : config_(std::move(config)), rng_(rng) {
+  if (config_.clip_side <= 0 || config_.step <= 0) {
+    throw std::invalid_argument("PatternGenerator: bad clip_side/step");
+  }
+  if (config_.min_width > config_.max_width || config_.min_space > config_.max_space) {
+    throw std::invalid_argument("PatternGenerator: inverted dimension ranges");
+  }
+  if (!config_.family_weights.empty() &&
+      config_.family_weights.size() != static_cast<std::size_t>(Family::kCount)) {
+    throw std::invalid_argument("PatternGenerator: family_weights size");
+  }
+}
+
+Coord PatternGenerator::snap(double v) const {
+  const double s = static_cast<double>(config_.step);
+  return static_cast<Coord>(std::llround(v / s) * config_.step);
+}
+
+Coord PatternGenerator::draw_width(bool risky) {
+  // Risky draws concentrate at the narrow end where pinching starts.
+  const Coord lo = config_.min_width;
+  const Coord hi = risky
+      ? std::min<Coord>(config_.max_width,
+                        static_cast<Coord>(lo + 2 * config_.step))
+      : config_.max_width;
+  const auto steps_lo = lo / config_.step;
+  const auto steps_hi = std::max<Coord>(hi / config_.step, steps_lo);
+  return static_cast<Coord>(rng_.randint(steps_lo, steps_hi) * config_.step);
+}
+
+Coord PatternGenerator::draw_space(bool risky) {
+  const Coord lo = config_.min_space;
+  const Coord hi = risky
+      ? std::min<Coord>(config_.max_space,
+                        static_cast<Coord>(lo + 2 * config_.step))
+      : config_.max_space;
+  const auto steps_lo = lo / config_.step;
+  const auto steps_hi = std::max<Coord>(hi / config_.step, steps_lo);
+  return static_cast<Coord>(rng_.randint(steps_lo, steps_hi) * config_.step);
+}
+
+Clip PatternGenerator::blank_clip(Family family) const {
+  Clip clip;
+  clip.window = Rect{0, 0, config_.clip_side, config_.clip_side};
+  clip.core = layout::centered_core(clip.window, config_.core_fraction);
+  clip.family = static_cast<int>(family);
+  return clip;
+}
+
+Clip PatternGenerator::next() {
+  std::vector<double> weights = config_.family_weights;
+  if (weights.empty()) {
+    weights.assign(static_cast<std::size_t>(Family::kCount), 1.0);
+  }
+  const auto fam = static_cast<Family>(rng_.weighted_index(weights));
+  return next_from(fam);
+}
+
+Clip PatternGenerator::next_from(Family family) {
+  const bool risky = rng_.bernoulli(config_.risky_fraction);
+  switch (family) {
+    case Family::kParallelLines: return make_parallel_lines(risky);
+    case Family::kLineEnds: return make_line_ends(risky);
+    case Family::kJogs: return make_jogs(risky);
+    case Family::kComb: return make_comb(risky);
+    case Family::kViaArray: return make_via_array(risky);
+    case Family::kTJunction: return make_t_junction(risky);
+    case Family::kCount: break;
+  }
+  throw std::invalid_argument("PatternGenerator::next_from: bad family");
+}
+
+Coord PatternGenerator::jitter(int steps) {
+  return static_cast<Coord>(rng_.randint(-steps, steps) * config_.step);
+}
+
+Clip PatternGenerator::make_parallel_lines(bool risky) {
+  Clip clip = blank_clip(Family::kParallelLines);
+  const Coord side = config_.clip_side;
+  const bool horizontal = rng_.bernoulli(0.5);
+  const Coord width = draw_width(risky);
+  const Coord space = draw_space(risky);
+  const Coord pitch = static_cast<Coord>(width + space);
+  const auto count = static_cast<Coord>(rng_.randint(2, std::max<Coord>(2, side / pitch - 1)));
+  const Coord extent = static_cast<Coord>(count * pitch - space);
+  const Coord start =
+      std::max<Coord>(0, static_cast<Coord>(snap((side - extent) / 2.0) + jitter(4)));
+  const Coord margin = std::max<Coord>(0, static_cast<Coord>(snap(side * 0.05) + jitter(3)));
+  for (Coord i = 0; i < count; ++i) {
+    const Coord lo = static_cast<Coord>(start + i * pitch);
+    if (horizontal) {
+      clip.shapes.push_back(Rect{margin, lo, static_cast<Coord>(side - margin),
+                                 static_cast<Coord>(lo + width)});
+    } else {
+      clip.shapes.push_back(Rect{lo, margin, static_cast<Coord>(lo + width),
+                                 static_cast<Coord>(side - margin)});
+    }
+  }
+  clamp_to_window(clip);
+  layout::finalize(clip);
+  return clip;
+}
+
+Clip PatternGenerator::make_line_ends(bool risky) {
+  // Two collinear wires with a tip-to-tip gap across the core; the classic
+  // line-end pull-back / bridging structure.
+  Clip clip = blank_clip(Family::kLineEnds);
+  const Coord side = config_.clip_side;
+  const Coord width = draw_width(risky);
+  const Coord gap = draw_space(risky);
+  const Coord y = static_cast<Coord>(snap(side / 2.0 - width / 2.0) + jitter(5));
+  const Coord gap_lo = static_cast<Coord>(snap(side / 2.0 - gap / 2.0) + jitter(5));
+  const Coord gap_hi = static_cast<Coord>(gap_lo + gap);
+  const Coord margin = std::max<Coord>(0, static_cast<Coord>(snap(side * 0.05) + jitter(3)));
+  clip.shapes.push_back(Rect{margin, y, gap_lo, static_cast<Coord>(y + width)});
+  clip.shapes.push_back(
+      Rect{gap_hi, y, static_cast<Coord>(side - margin), static_cast<Coord>(y + width)});
+  // A few context lines above/below.
+  const auto rails = rng_.randint(0, 2);
+  const Coord rail_space = draw_space(false);
+  for (std::int64_t r = 0; r < rails; ++r) {
+    const Coord offset = static_cast<Coord>((r + 1) * (width + rail_space));
+    clip.shapes.push_back(Rect{margin, static_cast<Coord>(y - offset),
+                               static_cast<Coord>(side - margin),
+                               static_cast<Coord>(y - offset + width)});
+    clip.shapes.push_back(Rect{margin, static_cast<Coord>(y + offset),
+                               static_cast<Coord>(side - margin),
+                               static_cast<Coord>(y + offset + width)});
+  }
+  clamp_to_window(clip);
+  layout::finalize(clip);
+  return clip;
+}
+
+Clip PatternGenerator::make_jogs(bool risky) {
+  // An L/Z-shaped route built from two overlapping rectangles plus a
+  // neighbor wire at drawn spacing.
+  Clip clip = blank_clip(Family::kJogs);
+  const Coord side = config_.clip_side;
+  const Coord width = draw_width(risky);
+  const Coord space = draw_space(risky);
+  const Coord margin = snap(side * 0.1);
+  const Coord jog_x = snap(side * (0.35 + 0.3 * rng_.uniform()));
+  const Coord y = snap(side * (0.35 + 0.3 * rng_.uniform()));
+  // Horizontal segment, then vertical segment up from its end.
+  clip.shapes.push_back(Rect{margin, y, static_cast<Coord>(jog_x + width),
+                             static_cast<Coord>(y + width)});
+  clip.shapes.push_back(Rect{jog_x, y, static_cast<Coord>(jog_x + width),
+                             static_cast<Coord>(side - margin)});
+  // Neighbor wire hugging the vertical segment.
+  const Coord nx = static_cast<Coord>(jog_x + width + space);
+  if (nx + width < side - margin) {
+    clip.shapes.push_back(Rect{nx, static_cast<Coord>(y + width + space),
+                               static_cast<Coord>(nx + width),
+                               static_cast<Coord>(side - margin)});
+  }
+  clamp_to_window(clip);
+  layout::finalize(clip);
+  return clip;
+}
+
+Clip PatternGenerator::make_comb(bool risky) {
+  // Comb/serpentine: a spine with fingers interdigitated against a second
+  // comb — dense spacing stress.
+  Clip clip = blank_clip(Family::kComb);
+  const Coord side = config_.clip_side;
+  const Coord width = draw_width(risky);
+  const Coord space = draw_space(risky);
+  const Coord pitch = static_cast<Coord>(2 * (width + space));
+  const Coord margin =
+      std::max<Coord>(config_.step, static_cast<Coord>(snap(side * 0.08) + jitter(4)));
+  const auto fingers = std::max<Coord>(1, (side - 2 * margin) / pitch);
+  // Left spine and right spine.
+  clip.shapes.push_back(Rect{margin, margin, static_cast<Coord>(margin + width),
+                             static_cast<Coord>(side - margin)});
+  clip.shapes.push_back(Rect{static_cast<Coord>(side - margin - width), margin,
+                             static_cast<Coord>(side - margin),
+                             static_cast<Coord>(side - margin)});
+  for (Coord f = 0; f < fingers; ++f) {
+    const Coord y = static_cast<Coord>(margin + f * pitch);
+    // Finger from the left spine.
+    clip.shapes.push_back(Rect{static_cast<Coord>(margin + width), y,
+                               static_cast<Coord>(side - margin - width - space),
+                               static_cast<Coord>(y + width)});
+    // Finger from the right spine, offset by width + space.
+    const Coord y2 = static_cast<Coord>(y + width + space);
+    if (y2 + width <= side - margin) {
+      clip.shapes.push_back(Rect{static_cast<Coord>(margin + width + space), y2,
+                                 static_cast<Coord>(side - margin - width),
+                                 static_cast<Coord>(y2 + width)});
+    }
+  }
+  clamp_to_window(clip);
+  layout::finalize(clip);
+  return clip;
+}
+
+Clip PatternGenerator::make_via_array(bool risky) {
+  // Square via-like islands on a coarse grid; small isolated squares are
+  // the features most prone to failing to print.
+  Clip clip = blank_clip(Family::kViaArray);
+  const Coord side = config_.clip_side;
+  const Coord via = draw_width(risky);
+  const Coord space = static_cast<Coord>(draw_space(risky) + via);
+  const auto rows = rng_.randint(1, 3);
+  const auto cols = rng_.randint(1, 3);
+  const Coord extent_x = static_cast<Coord>(cols * via + (cols - 1) * (space - via));
+  const Coord extent_y = static_cast<Coord>(rows * via + (rows - 1) * (space - via));
+  const Coord x0 = static_cast<Coord>(snap((side - extent_x) / 2.0) + jitter(6));
+  const Coord y0 = static_cast<Coord>(snap((side - extent_y) / 2.0) + jitter(6));
+  for (std::int64_t r = 0; r < rows; ++r) {
+    for (std::int64_t c = 0; c < cols; ++c) {
+      const Coord x = static_cast<Coord>(x0 + c * space);
+      const Coord y = static_cast<Coord>(y0 + r * space);
+      clip.shapes.push_back(
+          Rect{x, y, static_cast<Coord>(x + via), static_cast<Coord>(y + via)});
+    }
+  }
+  clamp_to_window(clip);
+  layout::finalize(clip);
+  return clip;
+}
+
+Clip PatternGenerator::make_t_junction(bool risky) {
+  Clip clip = blank_clip(Family::kTJunction);
+  const Coord side = config_.clip_side;
+  const Coord width = draw_width(risky);
+  const Coord space = draw_space(risky);
+  const Coord margin =
+      std::max<Coord>(0, static_cast<Coord>(snap(side * 0.08) + jitter(3)));
+  const Coord y = static_cast<Coord>(snap(side / 2.0 - width / 2.0) + jitter(5));
+  const Coord xmid = static_cast<Coord>(snap(side / 2.0 - width / 2.0) + jitter(5));
+  // Horizontal bar and vertical stem.
+  clip.shapes.push_back(
+      Rect{margin, y, static_cast<Coord>(side - margin), static_cast<Coord>(y + width)});
+  clip.shapes.push_back(Rect{xmid, static_cast<Coord>(y + width),
+                             static_cast<Coord>(xmid + width),
+                             static_cast<Coord>(side - margin)});
+  // A parallel wire below the bar at drawn spacing.
+  const Coord ny = static_cast<Coord>(y - space - width);
+  if (ny > margin) {
+    clip.shapes.push_back(Rect{margin, ny, static_cast<Coord>(side - margin),
+                               static_cast<Coord>(ny + width)});
+  }
+  clamp_to_window(clip);
+  layout::finalize(clip);
+  return clip;
+}
+
+void PatternGenerator::clamp_to_window(Clip& clip) const {
+  // Jittered placements may poke past the window; clip them back and drop
+  // shapes that fall outside entirely.
+  std::vector<Rect> kept;
+  kept.reserve(clip.shapes.size());
+  for (const Rect& r : clip.shapes) {
+    const Rect c = layout::intersection(r, clip.window);
+    if (c.valid() && c.width() > 0 && c.height() > 0) kept.push_back(c);
+  }
+  clip.shapes = std::move(kept);
+}
+
+}  // namespace hsd::data

@@ -1,0 +1,82 @@
+#pragma once
+// Procedural Manhattan pattern families standing in for the ICCAD contest
+// layouts. Each family draws a parameterized structure (parallel lines,
+// tip-to-tip line ends, jogs, combs, via arrays, T-junctions) with all
+// dimensions quantized to a grid step, so identical parameter draws yield
+// bit-identical clips — giving the exact/fuzzy duplicate structure the
+// pattern-matching baselines rely on.
+//
+// Whether a generated clip is a hotspot is NOT decided here: the lithography
+// simulator is the single source of truth. Families merely skew toward or
+// away from marginal dimensions.
+
+#include <cstdint>
+#include <vector>
+
+#include "layout/clip.hpp"
+#include "stats/rng.hpp"
+
+namespace hsd::data {
+
+/// Identifier of a pattern family.
+enum class Family : std::uint8_t {
+  kParallelLines = 0,
+  kLineEnds,
+  kJogs,
+  kComb,
+  kViaArray,
+  kTJunction,
+  kCount  // sentinel
+};
+
+/// Dimension ranges (in nm, pre-quantization) for one benchmark's generator.
+struct GeneratorConfig {
+  layout::Coord clip_side = 640;   ///< clip window side in nm
+  layout::Coord step = 10;         ///< quantization step; all coords snap to it
+  layout::Coord min_width = 20;    ///< narrowest drawn feature
+  layout::Coord max_width = 80;
+  layout::Coord min_space = 20;    ///< tightest spacing the generator draws
+  layout::Coord max_space = 80;
+  double core_fraction = 0.5;      ///< core region side as fraction of window
+  /// Mixture weight per family (size Family::kCount); uniform if empty.
+  std::vector<double> family_weights;
+  /// Probability that a draw is biased toward marginal (risky) dimensions.
+  double risky_fraction = 0.35;
+};
+
+/// Generates clips one at a time from the configured family mixture.
+class PatternGenerator {
+ public:
+  PatternGenerator(GeneratorConfig config, hsd::stats::Rng rng);
+
+  /// Draws the next clip; geometry is canonicalized and hashed.
+  layout::Clip next();
+
+  /// Draws a clip from a specific family.
+  layout::Clip next_from(Family family);
+
+  const GeneratorConfig& config() const { return config_; }
+
+ private:
+  layout::Coord snap(double v) const;
+  layout::Coord draw_width(bool risky);
+  layout::Coord draw_space(bool risky);
+  /// Quantized positional jitter in [-steps, steps] grid steps.
+  layout::Coord jitter(int steps);
+  /// Clips jittered geometry back into the window.
+  void clamp_to_window(layout::Clip& clip) const;
+
+  layout::Clip make_parallel_lines(bool risky);
+  layout::Clip make_line_ends(bool risky);
+  layout::Clip make_jogs(bool risky);
+  layout::Clip make_comb(bool risky);
+  layout::Clip make_via_array(bool risky);
+  layout::Clip make_t_junction(bool risky);
+
+  layout::Clip blank_clip(Family family) const;
+
+  GeneratorConfig config_;
+  hsd::stats::Rng rng_;
+};
+
+}  // namespace hsd::data

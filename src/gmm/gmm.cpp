@@ -1,0 +1,165 @@
+#include "gmm/gmm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "stats/kmeans.hpp"
+
+namespace hsd::gmm {
+
+namespace {
+
+double log_sum_exp(const std::vector<double>& v) {
+  double mx = v[0];
+  for (double x : v) mx = std::max(mx, x);
+  double s = 0.0;
+  for (double x : v) s += std::exp(x - mx);
+  return mx + std::log(s);
+}
+
+}  // namespace
+
+double GaussianMixture::component_log_joint(std::size_t c,
+                                            const std::vector<double>& x) const {
+  const auto& mean = means_[c];
+  const auto& var = variances_[c];
+  double quad = 0.0;
+  for (std::size_t j = 0; j < mean.size(); ++j) {
+    const double d = x[j] - mean[j];
+    quad += d * d / var[j];
+  }
+  return std::log(weights_[c]) + log_norm_[c] - 0.5 * quad;
+}
+
+double GaussianMixture::log_density(const std::vector<double>& x) const {
+  if (x.size() != dimension()) throw std::invalid_argument("GaussianMixture: bad dim");
+  std::vector<double> lj(components());
+  for (std::size_t c = 0; c < components(); ++c) lj[c] = component_log_joint(c, x);
+  return log_sum_exp(lj);
+}
+
+std::vector<double> GaussianMixture::posterior(const std::vector<double>& x) const {
+  if (x.size() != dimension()) throw std::invalid_argument("GaussianMixture: bad dim");
+  std::vector<double> lj(components());
+  for (std::size_t c = 0; c < components(); ++c) lj[c] = component_log_joint(c, x);
+  const double lse = log_sum_exp(lj);
+  std::vector<double> post(components());
+  for (std::size_t c = 0; c < components(); ++c) post[c] = std::exp(lj[c] - lse);
+  return post;
+}
+
+std::vector<double> GaussianMixture::log_densities(
+    const std::vector<std::vector<double>>& data) const {
+  std::vector<double> out;
+  out.reserve(data.size());
+  for (const auto& x : data) out.push_back(log_density(x));
+  return out;
+}
+
+GaussianMixture GaussianMixture::fit(const std::vector<std::vector<double>>& data,
+                                     const GmmConfig& config, hsd::stats::Rng& rng) {
+  const std::size_t n = data.size();
+  const std::size_t k = config.components;
+  if (n == 0) throw std::invalid_argument("GaussianMixture::fit: empty data");
+  if (k == 0 || k > n) throw std::invalid_argument("GaussianMixture::fit: bad components");
+  const std::size_t dim = data[0].size();
+
+  GaussianMixture g;
+  g.weights_.assign(k, 1.0 / static_cast<double>(k));
+  g.means_.assign(k, std::vector<double>(dim, 0.0));
+  g.variances_.assign(k, std::vector<double>(dim, 1.0));
+  g.log_norm_.assign(k, 0.0);
+
+  // Global variance for initialization floors.
+  std::vector<double> gmean(dim, 0.0);
+  for (const auto& row : data) {
+    if (row.size() != dim) throw std::invalid_argument("GaussianMixture::fit: ragged data");
+    for (std::size_t j = 0; j < dim; ++j) gmean[j] += row[j];
+  }
+  for (double& m : gmean) m /= static_cast<double>(n);
+  std::vector<double> gvar(dim, 0.0);
+  for (const auto& row : data) {
+    for (std::size_t j = 0; j < dim; ++j) {
+      const double d = row[j] - gmean[j];
+      gvar[j] += d * d;
+    }
+  }
+  for (double& v : gvar) v = std::max(v / static_cast<double>(n), config.reg);
+
+  // k-means++ seeding for the means; variances start at the global variance.
+  const auto seeds = hsd::stats::kmeanspp_seed(data, k, rng);
+  for (std::size_t c = 0; c < k; ++c) {
+    g.means_[c] = data[seeds[c]];
+    g.variances_[c] = gvar;
+  }
+
+  const double log2pi = std::log(2.0 * std::numbers::pi);
+  auto refresh_log_norm = [&]() {
+    for (std::size_t c = 0; c < k; ++c) {
+      double sum_log_var = 0.0;
+      for (double v : g.variances_[c]) sum_log_var += std::log(v);
+      g.log_norm_[c] = -0.5 * (static_cast<double>(dim) * log2pi + sum_log_var);
+    }
+  };
+  refresh_log_norm();
+
+  std::vector<std::vector<double>> resp(n, std::vector<double>(k, 0.0));
+  double prev_ll = -std::numeric_limits<double>::infinity();
+
+  for (std::size_t iter = 0; iter < config.max_iters; ++iter) {
+    // E step.
+    double total_ll = 0.0;
+    std::vector<double> lj(k);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t c = 0; c < k; ++c) lj[c] = g.component_log_joint(c, data[i]);
+      const double lse = log_sum_exp(lj);
+      total_ll += lse;
+      for (std::size_t c = 0; c < k; ++c) resp[i][c] = std::exp(lj[c] - lse);
+    }
+    const double mean_ll = total_ll / static_cast<double>(n);
+    g.history_.push_back(mean_ll);
+    g.iterations_ = iter + 1;
+    g.final_log_likelihood_ = mean_ll;
+    if (mean_ll - prev_ll < config.tol && iter > 0) break;
+    prev_ll = mean_ll;
+
+    // M step.
+    for (std::size_t c = 0; c < k; ++c) {
+      double nk = 0.0;
+      for (std::size_t i = 0; i < n; ++i) nk += resp[i][c];
+      if (nk < 1e-10) {
+        // Dead component: reseed at a random point with global variance.
+        const auto pick = static_cast<std::size_t>(
+            rng.randint(0, static_cast<std::int64_t>(n) - 1));
+        g.means_[c] = data[pick];
+        g.variances_[c] = gvar;
+        g.weights_[c] = 1.0 / static_cast<double>(n);
+        continue;
+      }
+      g.weights_[c] = nk / static_cast<double>(n);
+      for (std::size_t j = 0; j < dim; ++j) {
+        double m = 0.0;
+        for (std::size_t i = 0; i < n; ++i) m += resp[i][c] * data[i][j];
+        g.means_[c][j] = m / nk;
+      }
+      for (std::size_t j = 0; j < dim; ++j) {
+        double v = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+          const double d = data[i][j] - g.means_[c][j];
+          v += resp[i][c] * d * d;
+        }
+        g.variances_[c][j] = std::max(v / nk, config.reg);
+      }
+    }
+    // Renormalize weights (reseeded components may have perturbed the sum).
+    double wsum = 0.0;
+    for (double w : g.weights_) wsum += w;
+    for (double& w : g.weights_) w /= wsum;
+    refresh_log_norm();
+  }
+  return g;
+}
+
+}  // namespace hsd::gmm

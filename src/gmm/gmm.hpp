@@ -1,0 +1,65 @@
+#pragma once
+// Diagonal-covariance Gaussian mixture model fitted by EM, used in
+// Algorithm 2 to compute the posterior probability of each unlabeled clip:
+// low-density clips are outliers of the dominant (non-hotspot) pattern
+// population and therefore "hotspot-like", seeding both the initial
+// training set and each iteration's query set.
+
+#include <cstddef>
+#include <vector>
+
+#include "stats/rng.hpp"
+
+namespace hsd::gmm {
+
+struct GmmConfig {
+  std::size_t components = 4;
+  std::size_t max_iters = 100;
+  /// Stop when mean log-likelihood improves by less than this.
+  double tol = 1e-5;
+  /// Variance floor added to every dimension (numerical stability).
+  double reg = 1e-6;
+};
+
+/// A fitted mixture of axis-aligned Gaussians.
+class GaussianMixture {
+ public:
+  /// Fits by k-means++-seeded EM on row-major data. Requires at least as
+  /// many samples as components.
+  static GaussianMixture fit(const std::vector<std::vector<double>>& data,
+                             const GmmConfig& config, hsd::stats::Rng& rng);
+
+  /// Log density log p(x) under the mixture.
+  double log_density(const std::vector<double>& x) const;
+
+  /// Component responsibilities p(z = c | x) (sums to 1).
+  std::vector<double> posterior(const std::vector<double>& x) const;
+
+  /// Log densities for a batch.
+  std::vector<double> log_densities(const std::vector<std::vector<double>>& data) const;
+
+  std::size_t components() const { return weights_.size(); }
+  std::size_t dimension() const { return means_.empty() ? 0 : means_[0].size(); }
+  const std::vector<double>& weights() const { return weights_; }
+  const std::vector<std::vector<double>>& means() const { return means_; }
+  const std::vector<std::vector<double>>& variances() const { return variances_; }
+  double final_log_likelihood() const { return final_log_likelihood_; }
+  std::size_t iterations() const { return iterations_; }
+  /// Mean log-likelihood per EM iteration (monotone non-decreasing).
+  const std::vector<double>& log_likelihood_history() const { return history_; }
+
+ private:
+  GaussianMixture() = default;
+  /// Per-component log N(x | mean_c, var_c) + log weight_c.
+  double component_log_joint(std::size_t c, const std::vector<double>& x) const;
+
+  std::vector<double> weights_;
+  std::vector<std::vector<double>> means_;
+  std::vector<std::vector<double>> variances_;
+  std::vector<double> log_norm_;  // cached -0.5*(d log 2pi + sum log var)
+  double final_log_likelihood_ = 0.0;
+  std::size_t iterations_ = 0;
+  std::vector<double> history_;
+};
+
+}  // namespace hsd::gmm

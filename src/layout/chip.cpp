@@ -1,0 +1,51 @@
+#include "layout/chip.hpp"
+
+#include <stdexcept>
+
+namespace hsd::layout {
+
+Chip assemble_chip(const std::vector<Clip>& clips) {
+  Chip chip;
+  for (const Clip& c : clips) {
+    for (const Rect& r : c.shapes) {
+      const Rect placed = r.shifted(c.chip_origin.x, c.chip_origin.y);
+      chip.shapes.push_back(placed);
+      chip.extent = bounding_box(chip.extent, placed);
+    }
+    // The chip extends at least to each clip's window, shapes or not.
+    chip.extent = bounding_box(
+        chip.extent, c.window.shifted(c.chip_origin.x, c.chip_origin.y));
+  }
+  return chip;
+}
+
+std::vector<Clip> extract_clips(const Chip& chip, const ExtractionConfig& config) {
+  if (config.window_side <= 0 || config.stride <= 0) {
+    throw std::invalid_argument("extract_clips: non-positive window/stride");
+  }
+  std::vector<Clip> clips;
+  if (!chip.extent.valid()) return clips;
+
+  for (Coord y = chip.extent.y0; y <= chip.extent.y1; y = static_cast<Coord>(y + config.stride)) {
+    for (Coord x = chip.extent.x0; x <= chip.extent.x1;
+         x = static_cast<Coord>(x + config.stride)) {
+      const Rect window{x, y, static_cast<Coord>(x + config.window_side),
+                        static_cast<Coord>(y + config.window_side)};
+      Clip clip;
+      clip.window = Rect{0, 0, config.window_side, config.window_side};
+      clip.core = centered_core(clip.window, config.core_fraction);
+      clip.chip_origin = {x, y};
+      for (const Rect& s : chip.shapes) {
+        const Rect cut = intersection(s, window);
+        if (!cut.valid() || cut.width() <= 0 || cut.height() <= 0) continue;
+        clip.shapes.push_back(cut.shifted(-x, -y));
+      }
+      if (config.skip_empty && clip.shapes.empty()) continue;
+      finalize(clip);
+      clips.push_back(std::move(clip));
+    }
+  }
+  return clips;
+}
+
+}  // namespace hsd::layout

@@ -1,0 +1,39 @@
+#pragma once
+// Full-chip layout assembly and clip extraction. The PSHD problem statement
+// takes "full chip layout designs as input"; this substrate assembles clip
+// populations into one flat chip-coordinate layout and re-cuts fixed-size
+// windows out of it — the scanning pass a production flow runs before any
+// sampling or detection happens.
+
+#include <vector>
+
+#include "layout/clip.hpp"
+
+namespace hsd::layout {
+
+/// A flat full-chip layout: shapes in chip coordinates plus the chip extent.
+struct Chip {
+  std::vector<Rect> shapes;
+  Rect extent;
+
+  std::size_t shape_count() const { return shapes.size(); }
+};
+
+/// Flattens clips (placed at their chip_origin) into one chip layout.
+Chip assemble_chip(const std::vector<Clip>& clips);
+
+/// Extraction configuration for the scanning pass.
+struct ExtractionConfig {
+  Coord window_side = 640;   ///< clip window size in nm
+  Coord stride = 640;        ///< scan step (== window for non-overlapping)
+  double core_fraction = 0.5;///< core region of each extracted clip
+  /// Skip windows whose intersection with the layout is empty.
+  bool skip_empty = true;
+};
+
+/// Cuts clips out of a chip on a regular grid. Shapes are clipped to each
+/// window and translated to window-local coordinates; `chip_origin` records
+/// the cut position. Geometry is canonicalized and hashed.
+std::vector<Clip> extract_clips(const Chip& chip, const ExtractionConfig& config);
+
+}  // namespace hsd::layout

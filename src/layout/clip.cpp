@@ -1,0 +1,111 @@
+#include "layout/clip.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace hsd::layout {
+
+namespace {
+
+void hash_mix(std::uint64_t& h, std::uint64_t v) {
+  // FNV-1a over the 8 bytes of v.
+  constexpr std::uint64_t kPrime = 1099511628211ULL;
+  for (int b = 0; b < 8; ++b) {
+    h ^= (v >> (8 * b)) & 0xFFULL;
+    h *= kPrime;
+  }
+}
+
+}  // namespace
+
+void canonicalize(Clip& clip) {
+  std::sort(clip.shapes.begin(), clip.shapes.end(), [](const Rect& a, const Rect& b) {
+    if (a.x0 != b.x0) return a.x0 < b.x0;
+    if (a.y0 != b.y0) return a.y0 < b.y0;
+    if (a.x1 != b.x1) return a.x1 < b.x1;
+    return a.y1 < b.y1;
+  });
+}
+
+std::uint64_t hash_geometry(const Clip& clip) {
+  std::uint64_t h = 14695981039346656037ULL;  // FNV offset basis
+  for (const auto& r : clip.shapes) {
+    hash_mix(h, static_cast<std::uint64_t>(static_cast<std::uint32_t>(r.x0)));
+    hash_mix(h, static_cast<std::uint64_t>(static_cast<std::uint32_t>(r.y0)));
+    hash_mix(h, static_cast<std::uint64_t>(static_cast<std::uint32_t>(r.x1)));
+    hash_mix(h, static_cast<std::uint64_t>(static_cast<std::uint32_t>(r.y1)));
+  }
+  return h;
+}
+
+void finalize(Clip& clip) {
+  canonicalize(clip);
+  clip.pattern_hash = hash_geometry(clip);
+}
+
+namespace {
+
+/// Applies a per-rect transform, re-finalizing the result.
+template <typename F>
+Clip transformed(const Clip& clip, F&& f) {
+  Clip out = clip;
+  for (Rect& r : out.shapes) r = f(r);
+  finalize(out);
+  return out;
+}
+
+void require_square(const Clip& clip, const char* what) {
+  if (clip.window.width() != clip.window.height()) {
+    throw std::invalid_argument(std::string(what) + ": window must be square");
+  }
+}
+
+}  // namespace
+
+Clip rotated90(const Clip& clip) {
+  require_square(clip, "rotated90");
+  const Coord x0 = clip.window.x0, y0 = clip.window.y0;
+  const Coord side = clip.window.width();
+  // CCW rotation in window-local coordinates: (x, y) -> (y, side - x).
+  return transformed(clip, [&](const Rect& r) {
+    return Rect{static_cast<Coord>(x0 + (r.y0 - y0)),
+                static_cast<Coord>(y0 + side - (r.x1 - x0)),
+                static_cast<Coord>(x0 + (r.y1 - y0)),
+                static_cast<Coord>(y0 + side - (r.x0 - x0))};
+  });
+}
+
+Clip mirrored_x(const Clip& clip) {
+  require_square(clip, "mirrored_x");
+  const Coord x0 = clip.window.x0;
+  const Coord side = clip.window.width();
+  return transformed(clip, [&](const Rect& r) {
+    return Rect{static_cast<Coord>(x0 + side - (r.x1 - x0)), r.y0,
+                static_cast<Coord>(x0 + side - (r.x0 - x0)), r.y1};
+  });
+}
+
+Clip mirrored_y(const Clip& clip) {
+  require_square(clip, "mirrored_y");
+  const Coord y0 = clip.window.y0;
+  const Coord side = clip.window.height();
+  return transformed(clip, [&](const Rect& r) {
+    return Rect{r.x0, static_cast<Coord>(y0 + side - (r.y1 - y0)), r.x1,
+                static_cast<Coord>(y0 + side - (r.y0 - y0))};
+  });
+}
+
+Rect centered_core(const Rect& window, double fraction) {
+  const double side_x = window.width() * fraction;
+  const double side_y = window.height() * fraction;
+  const auto cx = (window.x0 + window.x1) / 2;
+  const auto cy = (window.y0 + window.y1) / 2;
+  return {static_cast<Coord>(std::lround(cx - side_x / 2)),
+          static_cast<Coord>(std::lround(cy - side_y / 2)),
+          static_cast<Coord>(std::lround(cx + side_x / 2)),
+          static_cast<Coord>(std::lround(cy + side_y / 2))};
+}
+
+}  // namespace hsd::layout

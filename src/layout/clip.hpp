@@ -1,0 +1,57 @@
+#pragma once
+// A layout clip: the unit the hotspot detector classifies. A clip is a
+// fixed-size window of Manhattan shapes cut from a full-chip layout, with a
+// central core region in which lithography defects count (Definitions 1-2 of
+// the paper).
+
+#include <cstdint>
+#include <vector>
+
+#include "layout/geometry.hpp"
+
+namespace hsd::layout {
+
+struct Clip {
+  /// Shapes in clip-local coordinates, clipped to `window`.
+  std::vector<Rect> shapes;
+  /// The clip extent, conventionally [0, side] x [0, side].
+  Rect window;
+  /// Central core region where defects are scored.
+  Rect core;
+  /// Position of the clip's window origin on the full chip (for Fig. 5 maps).
+  Point chip_origin;
+  /// Generator family id (diagnostic only; not visible to the detector).
+  int family = -1;
+  /// Stable content hash of the quantized geometry; equal hashes <=> equal
+  /// patterns for the exact pattern-matching baseline.
+  std::uint64_t pattern_hash = 0;
+};
+
+/// Canonical FNV-1a hash of the clip geometry (shapes sorted, window-local).
+/// Two clips with identical shape lists hash equal; used by PM-exact.
+std::uint64_t hash_geometry(const Clip& clip);
+
+/// Recomputes and stores `pattern_hash`.
+void finalize(Clip& clip);
+
+/// Centered square core region covering `fraction` of the window side.
+Rect centered_core(const Rect& window, double fraction);
+
+/// Sorts shapes lexicographically to make geometry canonical.
+void canonicalize(Clip& clip);
+
+/// Orientation transforms for data augmentation (square windows only):
+/// lithography is orientation-covariant under these, so a transformed
+/// hotspot is still a hotspot — free extra training samples for the
+/// imbalanced minority class.
+
+/// Rotates the clip 90 degrees counter-clockwise about the window center.
+Clip rotated90(const Clip& clip);
+
+/// Mirrors the clip about the window's vertical axis (x -> side - x).
+Clip mirrored_x(const Clip& clip);
+
+/// Mirrors the clip about the window's horizontal axis (y -> side - y).
+Clip mirrored_y(const Clip& clip);
+
+}  // namespace hsd::layout

@@ -1,0 +1,92 @@
+#include "layout/geometry.hpp"
+
+#include <algorithm>
+
+namespace hsd::layout {
+
+bool intersects(const Rect& a, const Rect& b) {
+  return a.valid() && b.valid() && a.x0 <= b.x1 && b.x0 <= a.x1 && a.y0 <= b.y1 &&
+         b.y0 <= a.y1;
+}
+
+Rect intersection(const Rect& a, const Rect& b) {
+  return {std::max(a.x0, b.x0), std::max(a.y0, b.y0), std::min(a.x1, b.x1),
+          std::min(a.y1, b.y1)};
+}
+
+Rect bounding_box(const Rect& a, const Rect& b) {
+  if (!a.valid()) return b;
+  if (!b.valid()) return a;
+  return {std::min(a.x0, b.x0), std::min(a.y0, b.y0), std::max(a.x1, b.x1),
+          std::max(a.y1, b.y1)};
+}
+
+Rect bounding_box(const std::vector<Rect>& rects) {
+  Rect box;  // invalid
+  for (const auto& r : rects) box = bounding_box(box, r);
+  return box;
+}
+
+Coord spacing(const Rect& a, const Rect& b) {
+  if (!a.valid() || !b.valid()) return 0;
+  Coord dx = 0;
+  if (b.x0 > a.x1) {
+    dx = b.x0 - a.x1;
+  } else if (a.x0 > b.x1) {
+    dx = a.x0 - b.x1;
+  }
+  Coord dy = 0;
+  if (b.y0 > a.y1) {
+    dy = b.y0 - a.y1;
+  } else if (a.y0 > b.y1) {
+    dy = a.y0 - b.y1;
+  }
+  return std::max(dx, dy);
+}
+
+std::int64_t union_area(std::vector<Rect> rects) {
+  std::erase_if(rects, [](const Rect& r) { return !r.valid(); });
+  if (rects.empty()) return 0;
+
+  // Coordinate-compressed slab sweep along x.
+  std::vector<Coord> xs;
+  xs.reserve(rects.size() * 2);
+  for (const auto& r : rects) {
+    xs.push_back(r.x0);
+    xs.push_back(static_cast<Coord>(r.x1 + 1));  // half-open in pixel space
+  }
+  std::sort(xs.begin(), xs.end());
+  xs.erase(std::unique(xs.begin(), xs.end()), xs.end());
+
+  std::int64_t total = 0;
+  for (std::size_t s = 0; s + 1 < xs.size(); ++s) {
+    const Coord xa = xs[s];
+    const Coord xb = xs[s + 1];
+    // Collect y-intervals of rects covering this slab and merge them.
+    std::vector<std::pair<Coord, Coord>> spans;  // [y0, y1+1)
+    for (const auto& r : rects) {
+      if (r.x0 <= xa && r.x1 + 1 >= xb) {
+        spans.emplace_back(r.y0, static_cast<Coord>(r.y1 + 1));
+      }
+    }
+    if (spans.empty()) continue;
+    std::sort(spans.begin(), spans.end());
+    std::int64_t covered = 0;
+    Coord cur_lo = spans[0].first;
+    Coord cur_hi = spans[0].second;
+    for (std::size_t i = 1; i < spans.size(); ++i) {
+      if (spans[i].first > cur_hi) {
+        covered += cur_hi - cur_lo;
+        cur_lo = spans[i].first;
+        cur_hi = spans[i].second;
+      } else {
+        cur_hi = std::max(cur_hi, spans[i].second);
+      }
+    }
+    covered += cur_hi - cur_lo;
+    total += static_cast<std::int64_t>(xb - xa) * covered;
+  }
+  return total;
+}
+
+}  // namespace hsd::layout

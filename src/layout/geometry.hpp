@@ -1,0 +1,82 @@
+#pragma once
+// Manhattan (axis-aligned) geometry in integer nanometers — the coordinate
+// system of the layout clips the detector classifies.
+
+#include <cstdint>
+#include <vector>
+
+namespace hsd::layout {
+
+/// Integer nanometer coordinate.
+using Coord = std::int32_t;
+
+struct Point {
+  Coord x = 0;
+  Coord y = 0;
+  friend bool operator==(const Point&, const Point&) = default;
+};
+
+/// Closed axis-aligned rectangle [x0, x1] x [y0, y1] in nm.
+/// A rectangle is valid iff x0 <= x1 and y0 <= y1; an "empty" rectangle is
+/// represented by an invalid one.
+struct Rect {
+  Coord x0 = 0;
+  Coord y0 = 0;
+  Coord x1 = -1;
+  Coord y1 = -1;
+
+  Rect() = default;
+  Rect(Coord x0_, Coord y0_, Coord x1_, Coord y1_) : x0(x0_), y0(y0_), x1(x1_), y1(y1_) {}
+
+  bool valid() const { return x0 <= x1 && y0 <= y1; }
+  Coord width() const { return valid() ? x1 - x0 : 0; }
+  Coord height() const { return valid() ? y1 - y0 : 0; }
+  std::int64_t area() const {
+    return valid() ? static_cast<std::int64_t>(width()) * height() : 0;
+  }
+  Point center() const { return {static_cast<Coord>((x0 + x1) / 2), static_cast<Coord>((y0 + y1) / 2)}; }
+
+  bool contains(Point p) const {
+    return valid() && p.x >= x0 && p.x <= x1 && p.y >= y0 && p.y <= y1;
+  }
+  bool contains(const Rect& r) const {
+    return valid() && r.valid() && r.x0 >= x0 && r.x1 <= x1 && r.y0 >= y0 && r.y1 <= y1;
+  }
+
+  /// Rectangle grown by `d` on every side (negative shrinks).
+  Rect expanded(Coord d) const {
+    return {static_cast<Coord>(x0 - d), static_cast<Coord>(y0 - d),
+            static_cast<Coord>(x1 + d), static_cast<Coord>(y1 + d)};
+  }
+
+  /// Translated copy.
+  Rect shifted(Coord dx, Coord dy) const {
+    return {static_cast<Coord>(x0 + dx), static_cast<Coord>(y0 + dy),
+            static_cast<Coord>(x1 + dx), static_cast<Coord>(y1 + dy)};
+  }
+
+  friend bool operator==(const Rect&, const Rect&) = default;
+};
+
+/// True if the two rectangles share at least one point (closed intersection).
+bool intersects(const Rect& a, const Rect& b);
+
+/// Intersection rectangle; invalid if disjoint.
+Rect intersection(const Rect& a, const Rect& b);
+
+/// Smallest rectangle covering both (either may be invalid/empty).
+Rect bounding_box(const Rect& a, const Rect& b);
+
+/// Bounding box of a rectangle list (invalid for an empty list).
+Rect bounding_box(const std::vector<Rect>& rects);
+
+/// Minimum Manhattan gap between two disjoint rectangles: the larger of the
+/// axis gaps (0 if they touch or overlap). This is the spacing a design rule
+/// checker would measure between Manhattan shapes.
+Coord spacing(const Rect& a, const Rect& b);
+
+/// Total area of a rectangle set counting overlaps once (sweep over
+/// x-slabs). Rectangles must be valid.
+std::int64_t union_area(std::vector<Rect> rects);
+
+}  // namespace hsd::layout

@@ -1,0 +1,68 @@
+#include "layout/io.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace hsd::layout {
+
+void write_clips(std::ostream& os, const std::vector<Clip>& clips) {
+  os << "hsdl 1\n" << clips.size() << "\n";
+  for (const Clip& c : clips) {
+    os << "clip " << c.family << ' '                                     //
+       << c.window.x0 << ' ' << c.window.y0 << ' ' << c.window.x1 << ' '  //
+       << c.window.y1 << ' '                                              //
+       << c.core.x0 << ' ' << c.core.y0 << ' ' << c.core.x1 << ' '        //
+       << c.core.y1 << ' '                                                //
+       << c.chip_origin.x << ' ' << c.chip_origin.y << ' '                //
+       << c.shapes.size() << '\n';
+    for (const Rect& r : c.shapes) {
+      os << "rect " << r.x0 << ' ' << r.y0 << ' ' << r.x1 << ' ' << r.y1 << '\n';
+    }
+  }
+  if (!os) throw std::runtime_error("write_clips: stream failure");
+}
+
+std::vector<Clip> read_clips(std::istream& is) {
+  std::string magic;
+  int version = 0;
+  if (!(is >> magic >> version) || magic != "hsdl" || version != 1) {
+    throw std::runtime_error("read_clips: not an HSDL v1 stream");
+  }
+  std::size_t count = 0;
+  if (!(is >> count)) throw std::runtime_error("read_clips: missing clip count");
+
+  std::vector<Clip> clips;
+  clips.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    std::string tag;
+    Clip c;
+    std::size_t nshapes = 0;
+    if (!(is >> tag) || tag != "clip") {
+      throw std::runtime_error("read_clips: expected 'clip' record");
+    }
+    if (!(is >> c.family >> c.window.x0 >> c.window.y0 >> c.window.x1 >>
+          c.window.y1 >> c.core.x0 >> c.core.y0 >> c.core.x1 >> c.core.y1 >>
+          c.chip_origin.x >> c.chip_origin.y >> nshapes)) {
+      throw std::runtime_error("read_clips: malformed clip header");
+    }
+    if (!c.window.valid()) throw std::runtime_error("read_clips: invalid window");
+    c.shapes.reserve(nshapes);
+    for (std::size_t s = 0; s < nshapes; ++s) {
+      Rect r;
+      if (!(is >> tag) || tag != "rect" ||
+          !(is >> r.x0 >> r.y0 >> r.x1 >> r.y1)) {
+        throw std::runtime_error("read_clips: malformed rect record");
+      }
+      if (!r.valid()) throw std::runtime_error("read_clips: invalid rect");
+      c.shapes.push_back(r);
+    }
+    finalize(c);
+    clips.push_back(std::move(c));
+  }
+  return clips;
+}
+
+}  // namespace hsd::layout

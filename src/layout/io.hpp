@@ -1,0 +1,25 @@
+#pragma once
+// Plain-text clip interchange format ("HSDL v1"), a lightweight stand-in for
+// GDSII so benchmarks can be saved, inspected, and reloaded:
+//
+//   hsdl 1
+//   clip <family> <window x0 y0 x1 y1> <core x0 y0 x1 y1> <origin x y> <nshapes>
+//   rect <x0> <y0> <x1> <y1>          (nshapes times)
+//
+// Coordinates are integer nanometers. Pattern hashes are recomputed on load,
+// so the file does not need to carry them.
+
+#include <iosfwd>
+#include <vector>
+
+#include "layout/clip.hpp"
+
+namespace hsd::layout {
+
+/// Writes clips in HSDL v1. Throws std::runtime_error on stream failure.
+void write_clips(std::ostream& os, const std::vector<Clip>& clips);
+
+/// Reads an HSDL v1 stream; throws std::runtime_error on malformed input.
+std::vector<Clip> read_clips(std::istream& is);
+
+}  // namespace hsd::layout

@@ -1,0 +1,66 @@
+#include "layout/raster.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace hsd::layout {
+
+Rasterizer::Rasterizer(std::size_t grid) : grid_(grid) {
+  if (grid == 0) throw std::invalid_argument("Rasterizer: grid == 0");
+}
+
+std::vector<float> Rasterizer::rasterize(const Clip& clip) const {
+  if (!clip.window.valid() || clip.window.width() <= 0 || clip.window.height() <= 0) {
+    throw std::invalid_argument("Rasterizer::rasterize: invalid window");
+  }
+  std::vector<float> out(grid_ * grid_, 0.0F);
+  const double px_w = static_cast<double>(clip.window.width()) / static_cast<double>(grid_);
+  const double px_h = static_cast<double>(clip.window.height()) / static_cast<double>(grid_);
+
+  for (const auto& s : clip.shapes) {
+    const Rect r = intersection(s, clip.window);
+    if (!r.valid() || r.width() <= 0 || r.height() <= 0) continue;
+    // Shape extent in pixel units (continuous).
+    const double fx0 = (r.x0 - clip.window.x0) / px_w;
+    const double fx1 = (r.x1 - clip.window.x0) / px_w;
+    const double fy0 = (r.y0 - clip.window.y0) / px_h;
+    const double fy1 = (r.y1 - clip.window.y0) / px_h;
+    const auto cx0 = static_cast<std::size_t>(std::clamp(std::floor(fx0), 0.0,
+                                                         static_cast<double>(grid_ - 1)));
+    const auto cx1 = static_cast<std::size_t>(std::clamp(std::ceil(fx1) - 1.0, 0.0,
+                                                         static_cast<double>(grid_ - 1)));
+    const auto cy0 = static_cast<std::size_t>(std::clamp(std::floor(fy0), 0.0,
+                                                         static_cast<double>(grid_ - 1)));
+    const auto cy1 = static_cast<std::size_t>(std::clamp(std::ceil(fy1) - 1.0, 0.0,
+                                                         static_cast<double>(grid_ - 1)));
+    for (std::size_t row = cy0; row <= cy1; ++row) {
+      const double cell_y0 = static_cast<double>(row);
+      const double cell_y1 = cell_y0 + 1.0;
+      const double oy = std::min(fy1, cell_y1) - std::max(fy0, cell_y0);
+      if (oy <= 0.0) continue;
+      for (std::size_t col = cx0; col <= cx1; ++col) {
+        const double cell_x0 = static_cast<double>(col);
+        const double cell_x1 = cell_x0 + 1.0;
+        const double ox = std::min(fx1, cell_x1) - std::max(fx0, cell_x0);
+        if (ox <= 0.0) continue;
+        float& px = out[row * grid_ + col];
+        px = std::min(1.0F, px + static_cast<float>(ox * oy));
+      }
+    }
+  }
+  return out;
+}
+
+Rect Rasterizer::to_pixels(const Rect& shape, const Rect& window) const {
+  const double px_w = static_cast<double>(window.width()) / static_cast<double>(grid_);
+  const double px_h = static_cast<double>(window.height()) / static_cast<double>(grid_);
+  const Rect r = intersection(shape, window);
+  if (!r.valid()) return {};
+  return {static_cast<Coord>(std::floor((r.x0 - window.x0) / px_w)),
+          static_cast<Coord>(std::floor((r.y0 - window.y0) / px_h)),
+          static_cast<Coord>(std::ceil((r.x1 - window.x0) / px_w) - 1),
+          static_cast<Coord>(std::ceil((r.y1 - window.y0) / px_h) - 1)};
+}
+
+}  // namespace hsd::layout

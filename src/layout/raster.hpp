@@ -1,0 +1,34 @@
+#pragma once
+// Rasterizes clip geometry to fixed-size coverage grids: each pixel holds
+// the fraction of its area covered by drawn shapes (anti-aliased), which is
+// both the CNN feature source (after DCT) and the lithography simulator's
+// mask function.
+
+#include <cstddef>
+#include <vector>
+
+#include "layout/clip.hpp"
+
+namespace hsd::layout {
+
+/// Converts clips to `grid x grid` row-major coverage bitmaps in [0, 1].
+class Rasterizer {
+ public:
+  /// `grid` pixels per side (>= 1).
+  explicit Rasterizer(std::size_t grid);
+
+  std::size_t grid() const { return grid_; }
+
+  /// Rasterizes `clip.shapes` over `clip.window` into a coverage grid.
+  /// Pixel (row, col) covers y-rows top-down matching matrix convention:
+  /// row 0 = lowest y. Overlapping shapes saturate at 1.
+  std::vector<float> rasterize(const Clip& clip) const;
+
+  /// Maps a window-relative rect to the pixel rect it covers (for tests).
+  Rect to_pixels(const Rect& shape, const Rect& window) const;
+
+ private:
+  std::size_t grid_;
+};
+
+}  // namespace hsd::layout

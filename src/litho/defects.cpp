@@ -1,0 +1,55 @@
+#include "litho/defects.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace hsd::litho {
+
+LithoResult check_printability(const std::vector<float>& mask,
+                               const std::vector<float>& aerial,
+                               const std::vector<std::uint8_t>& printed,
+                               std::size_t grid, const layout::Rect& core_px,
+                               const OpticalModel& model,
+                               const IntentMargins& margins) {
+  if (mask.size() != grid * grid || aerial.size() != grid * grid ||
+      printed.size() != grid * grid) {
+    throw std::invalid_argument("check_printability: size mismatch");
+  }
+  LithoResult res;
+  res.min_core_margin = std::numeric_limits<double>::infinity();
+
+  const auto r0 = static_cast<std::size_t>(std::max<layout::Coord>(core_px.y0, 0));
+  const auto r1 = static_cast<std::size_t>(
+      std::min<layout::Coord>(core_px.y1, static_cast<layout::Coord>(grid) - 1));
+  const auto c0 = static_cast<std::size_t>(std::max<layout::Coord>(core_px.x0, 0));
+  const auto c1 = static_cast<std::size_t>(
+      std::min<layout::Coord>(core_px.x1, static_cast<layout::Coord>(grid) - 1));
+
+  for (std::size_t r = r0; r <= r1 && r < grid; ++r) {
+    for (std::size_t c = c0; c <= c1 && c < grid; ++c) {
+      const std::size_t i = r * grid + c;
+      const double cov = mask[i];
+      const bool solid = cov >= margins.hi;
+      const bool empty = cov <= margins.lo;
+      if (!solid && !empty) continue;  // ambiguous edge pixel
+      const double margin = std::abs(static_cast<double>(aerial[i]) -
+                                     model.resist_threshold);
+      res.min_core_margin = std::min(res.min_core_margin, margin);
+      if (solid && printed[i] == 0) {
+        res.defects.push_back({DefectKind::kPinch, r, c, margin});
+      } else if (empty && printed[i] == 1) {
+        res.defects.push_back({DefectKind::kBridge, r, c, margin});
+      }
+    }
+  }
+  res.hotspot = !res.defects.empty();
+  for (const auto& d : res.defects) {
+    res.worst_severity = std::max(res.worst_severity, d.severity);
+  }
+  if (!std::isfinite(res.min_core_margin)) res.min_core_margin = 0.0;
+  return res;
+}
+
+}  // namespace hsd::litho

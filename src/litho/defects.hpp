@@ -1,0 +1,50 @@
+#pragma once
+// Printability checking: compares the printed image against the drawn intent
+// inside the clip core region and reports pinch (intended metal fails to
+// print) and bridge (prints where no metal is drawn) defects.
+
+#include <cstdint>
+#include <vector>
+
+#include "layout/clip.hpp"
+#include "litho/optical.hpp"
+
+namespace hsd::litho {
+
+enum class DefectKind : std::uint8_t { kPinch, kBridge };
+
+struct Defect {
+  DefectKind kind = DefectKind::kPinch;
+  std::size_t row = 0;   ///< pixel row in the working grid
+  std::size_t col = 0;   ///< pixel column
+  double severity = 0.0; ///< |aerial - threshold| at the defect pixel
+};
+
+/// Result of simulating one clip.
+struct LithoResult {
+  bool hotspot = false;
+  std::vector<Defect> defects;  ///< defects inside the core region only
+  double worst_severity = 0.0;
+  double min_core_margin = 0.0; ///< smallest |aerial - threshold| over decided core pixels
+};
+
+/// Intent margins: a pixel is treated as intended-solid when coverage >= hi
+/// and intended-empty when coverage <= lo; in-between (shape edges) is
+/// ambiguous and not checked, mirroring the edge tolerance real printability
+/// checkers apply.
+struct IntentMargins {
+  double lo = 0.25;
+  double hi = 0.75;
+};
+
+/// Checks a printed image against the mask intent inside `core_px`
+/// (pixel-space rect, inclusive). `mask`, `aerial`, `printed` are row-major
+/// grid x grid.
+LithoResult check_printability(const std::vector<float>& mask,
+                               const std::vector<float>& aerial,
+                               const std::vector<std::uint8_t>& printed,
+                               std::size_t grid, const layout::Rect& core_px,
+                               const OpticalModel& model,
+                               const IntentMargins& margins = {});
+
+}  // namespace hsd::litho

@@ -1,0 +1,79 @@
+#include "litho/epe.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace hsd::litho {
+
+std::vector<std::uint8_t> contour_of(const std::vector<std::uint8_t>& image,
+                                     std::size_t grid) {
+  if (image.size() != grid * grid) throw std::invalid_argument("contour_of: size");
+  std::vector<std::uint8_t> contour(grid * grid, 0);
+  for (std::size_t r = 0; r < grid; ++r) {
+    for (std::size_t c = 0; c < grid; ++c) {
+      const std::size_t i = r * grid + c;
+      if (!image[i]) continue;
+      const bool border = r == 0 || r + 1 == grid || c == 0 || c + 1 == grid;
+      const bool exposed = border || !image[i - grid] || !image[i + grid] ||
+                           !image[i - 1] || !image[i + 1];
+      contour[i] = exposed ? 1 : 0;
+    }
+  }
+  return contour;
+}
+
+std::vector<std::uint8_t> intended_pattern(const std::vector<float>& mask) {
+  std::vector<std::uint8_t> out(mask.size());
+  for (std::size_t i = 0; i < mask.size(); ++i) out[i] = mask[i] >= 0.5F ? 1 : 0;
+  return out;
+}
+
+EpeResult measure_epe(const std::vector<std::uint8_t>& intended,
+                      const std::vector<std::uint8_t>& printed, std::size_t grid,
+                      const layout::Rect& roi) {
+  if (intended.size() != grid * grid || printed.size() != grid * grid) {
+    throw std::invalid_argument("measure_epe: size mismatch");
+  }
+  const std::vector<std::uint8_t> intended_edge = contour_of(intended, grid);
+  const std::vector<std::uint8_t> printed_edge = contour_of(printed, grid);
+
+  // Collect printed contour coordinates once.
+  std::vector<std::pair<double, double>> printed_pts;
+  for (std::size_t r = 0; r < grid; ++r) {
+    for (std::size_t c = 0; c < grid; ++c) {
+      if (printed_edge[r * grid + c]) {
+        printed_pts.emplace_back(static_cast<double>(r), static_cast<double>(c));
+      }
+    }
+  }
+
+  EpeResult res;
+  for (std::size_t r = 0; r < grid; ++r) {
+    for (std::size_t c = 0; c < grid; ++c) {
+      if (!intended_edge[r * grid + c]) continue;
+      if (!roi.contains(layout::Point{static_cast<layout::Coord>(c),
+                                      static_cast<layout::Coord>(r)})) {
+        continue;
+      }
+      double best = static_cast<double>(grid);  // catastrophic default
+      for (const auto& [pr, pc] : printed_pts) {
+        const double dr = pr - static_cast<double>(r);
+        const double dc = pc - static_cast<double>(c);
+        best = std::min(best, dr * dr + dc * dc);
+      }
+      const double epe = printed_pts.empty() ? static_cast<double>(grid)
+                                             : std::sqrt(best);
+      res.per_edge_pixel.push_back(epe);
+      res.max_epe = std::max(res.max_epe, epe);
+      res.mean_epe += epe;
+    }
+  }
+  res.contour_pixels = res.per_edge_pixel.size();
+  if (res.contour_pixels > 0) {
+    res.mean_epe /= static_cast<double>(res.contour_pixels);
+  }
+  return res;
+}
+
+}  // namespace hsd::litho

@@ -1,0 +1,40 @@
+#pragma once
+// Edge placement error (EPE): for every pixel on the intended pattern
+// contour, the distance (in pixels) to the nearest printed-contour pixel.
+// Large EPE means the printed edge pulled away from the drawn edge — the
+// continuous-valued severity measure behind the binary pinch/bridge check.
+
+#include <cstdint>
+#include <vector>
+
+#include "layout/geometry.hpp"
+
+namespace hsd::litho {
+
+struct EpeResult {
+  /// EPE per intended-contour pixel (pixel units); empty if no contour.
+  std::vector<double> per_edge_pixel;
+  double max_epe = 0.0;
+  double mean_epe = 0.0;
+  /// Number of intended-contour pixels evaluated.
+  std::size_t contour_pixels = 0;
+};
+
+/// Extracts the contour of a binary image: pixels set to 1 with at least one
+/// 4-neighbor equal to 0 (image borders count as outside).
+std::vector<std::uint8_t> contour_of(const std::vector<std::uint8_t>& image,
+                                     std::size_t grid);
+
+/// Measures EPE between an intended binary pattern and the printed binary
+/// pattern, restricted to intended-contour pixels inside `roi` (pass the
+/// full grid rect to measure everywhere). Distances are Euclidean in pixel
+/// units, computed against the printed contour; if the printed image has no
+/// contour at all, every intended edge pixel gets EPE = grid (catastrophic).
+EpeResult measure_epe(const std::vector<std::uint8_t>& intended,
+                      const std::vector<std::uint8_t>& printed, std::size_t grid,
+                      const layout::Rect& roi);
+
+/// Thresholds a coverage mask into the intended binary pattern (>= 0.5).
+std::vector<std::uint8_t> intended_pattern(const std::vector<float>& mask);
+
+}  // namespace hsd::litho

@@ -1,0 +1,49 @@
+#pragma once
+// Simplified optical lithography model: the mask coverage grid is convolved
+// with a Gaussian point-spread function (a standard first-order stand-in for
+// the partially coherent aerial image) and thresholded by a resist model.
+//
+// This is the synthetic substitute for the commercial lithography simulator
+// the paper uses as its labeling oracle; what matters to the reproduced
+// algorithms is that labels are deterministic, pattern-dependent, and that
+// marginal geometry (narrow lines, tight spacing) fails first — all of which
+// the Gaussian model provides.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace hsd::litho {
+
+/// Optical + resist parameters.
+struct OpticalModel {
+  /// Gaussian PSF standard deviation in pixels of the working grid.
+  double sigma_px = 1.2;
+  /// Resist development threshold on the normalized aerial intensity.
+  double resist_threshold = 0.5;
+  /// Kernel truncation radius in sigmas.
+  double truncate = 3.0;
+};
+
+/// Preset mimicking a DUV-era 28 nm metal layer (looser imaging).
+OpticalModel duv28_model();
+
+/// Preset mimicking an EUV-era 7 nm layer (tighter imaging, sharper PSF but
+/// smaller features relative to the grid -> more marginal).
+OpticalModel euv7_model();
+
+/// Separable Gaussian blur of a row-major `grid x grid` image.
+/// The kernel is normalized to unit sum, so a fully covered mask region maps
+/// to intensity 1.
+std::vector<float> aerial_image(const std::vector<float>& mask, std::size_t grid,
+                                const OpticalModel& model);
+
+/// Thresholds an aerial image into a printed bitmap (1 = resist prints).
+std::vector<std::uint8_t> printed_image(const std::vector<float>& aerial,
+                                        const OpticalModel& model);
+
+/// Builds the normalized 1-D Gaussian kernel used by aerial_image (exposed
+/// for tests).
+std::vector<float> gaussian_kernel(double sigma_px, double truncate);
+
+}  // namespace hsd::litho

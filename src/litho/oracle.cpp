@@ -1,0 +1,29 @@
+#include "litho/oracle.hpp"
+
+namespace hsd::litho {
+
+LithoOracle::LithoOracle(std::size_t grid, OpticalModel model, IntentMargins margins)
+    : raster_(grid), model_(model), margins_(margins) {}
+
+LithoResult LithoOracle::simulate(const layout::Clip& clip) {
+  const std::vector<float> mask = raster_.rasterize(clip);
+  const layout::Rect core_px = raster_.to_pixels(clip.core, clip.window);
+  count_++;
+  const std::vector<float> aerial = aerial_image(mask, raster_.grid(), model_);
+  const std::vector<std::uint8_t> printed = printed_image(aerial, model_);
+  return check_printability(mask, aerial, printed, raster_.grid(), core_px,
+                            model_, margins_);
+}
+
+bool LithoOracle::label(const layout::Clip& clip) { return simulate(clip).hotspot; }
+
+LithoResult LithoOracle::simulate_mask(const std::vector<float>& mask,
+                                       const layout::Rect& core_px) {
+  count_++;
+  const std::vector<float> aerial = aerial_image(mask, raster_.grid(), model_);
+  const std::vector<std::uint8_t> printed = printed_image(aerial, model_);
+  return check_printability(mask, aerial, printed, raster_.grid(), core_px,
+                            model_, margins_);
+}
+
+}  // namespace hsd::litho

@@ -1,0 +1,56 @@
+#pragma once
+// The counted lithography simulation oracle. Every simulate() call models
+// one expensive lithography run (Definition 3: a litho-clip); the framework
+// minimizes the number of such calls while maximizing detection accuracy.
+
+#include <cstddef>
+#include <vector>
+
+#include "layout/clip.hpp"
+#include "layout/raster.hpp"
+#include "litho/defects.hpp"
+#include "litho/optical.hpp"
+
+namespace hsd::litho {
+
+/// Lithography simulator wrapper that rasters a clip, computes the aerial
+/// image, checks printability in the core, and counts every invocation.
+class LithoOracle {
+ public:
+  /// `grid` is the simulation raster resolution; `model` the optics preset.
+  LithoOracle(std::size_t grid, OpticalModel model,
+              IntentMargins margins = {});
+
+  /// Full simulation of one clip (counted).
+  LithoResult simulate(const layout::Clip& clip);
+
+  /// Label only: true = hotspot (counted).
+  bool label(const layout::Clip& clip);
+
+  /// Simulation of an already-rasterized mask (counted); `core_px` in pixels.
+  LithoResult simulate_mask(const std::vector<float>& mask,
+                            const layout::Rect& core_px);
+
+  /// Number of simulations performed so far.
+  std::size_t simulation_count() const { return count_; }
+
+  /// Resets the simulation counter (e.g. between experiment repetitions).
+  void reset_count() { count_ = 0; }
+
+  /// Modeled wall-clock cost of the simulations so far, at
+  /// `seconds_per_clip` each (the paper's runtime model uses 10 s).
+  double modeled_cost_seconds(double seconds_per_clip = 10.0) const {
+    return static_cast<double>(count_) * seconds_per_clip;
+  }
+
+  const OpticalModel& model() const { return model_; }
+  std::size_t grid() const { return raster_.grid(); }
+
+ private:
+  layout::Rasterizer raster_;
+  OpticalModel model_;
+  IntentMargins margins_;
+  std::size_t count_ = 0;
+};
+
+}  // namespace hsd::litho

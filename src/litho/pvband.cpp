@@ -1,0 +1,64 @@
+#include "litho/pvband.hpp"
+
+#include <stdexcept>
+
+#include "layout/raster.hpp"
+
+namespace hsd::litho {
+
+PvBandResult pv_band_analysis(const std::vector<float>& mask, std::size_t grid,
+                              const layout::Rect& core_px, const OpticalModel& model,
+                              const PvBandConfig& config,
+                              const IntentMargins& margins) {
+  if (mask.size() != grid * grid) throw std::invalid_argument("pv_band_analysis: mask size");
+  if (config.corners.empty()) throw std::invalid_argument("pv_band_analysis: no corners");
+
+  PvBandResult res;
+  res.always_printed.assign(grid * grid, 1);
+  res.ever_printed.assign(grid * grid, 0);
+  res.corner_defects.reserve(config.corners.size());
+
+  for (std::size_t c = 0; c < config.corners.size(); ++c) {
+    const ProcessCorner& corner = config.corners[c];
+    OpticalModel m = model;
+    m.sigma_px = model.sigma_px * corner.defocus_scale;
+    const std::vector<float> aerial_nominal = aerial_image(mask, grid, m);
+    // Dose excursion scales the delivered intensity.
+    std::vector<float> aerial = aerial_nominal;
+    for (auto& v : aerial) v = static_cast<float>(v * corner.dose_scale);
+    const std::vector<std::uint8_t> printed = printed_image(aerial, m);
+
+    for (std::size_t i = 0; i < printed.size(); ++i) {
+      res.always_printed[i] = res.always_printed[i] && printed[i];
+      res.ever_printed[i] = res.ever_printed[i] || printed[i];
+    }
+    const LithoResult check =
+        check_printability(mask, aerial, printed, grid, core_px, m, margins);
+    res.corner_defects.push_back(check.defects.size());
+    res.worst_case_hotspot = res.worst_case_hotspot || check.hotspot;
+    if (c == 0) res.nominal_hotspot = check.hotspot;
+  }
+
+  for (std::size_t i = 0; i < mask.size(); ++i) {
+    if (res.ever_printed[i] && !res.always_printed[i]) {
+      res.band_area_px++;
+      const auto row = static_cast<layout::Coord>(i / grid);
+      const auto col = static_cast<layout::Coord>(i % grid);
+      if (core_px.contains(layout::Point{col, row})) res.core_band_area_px++;
+    }
+  }
+  res.band_fraction =
+      static_cast<double>(res.band_area_px) / static_cast<double>(grid * grid);
+  return res;
+}
+
+PvBandResult pv_band_analysis(const layout::Clip& clip, std::size_t grid,
+                              const OpticalModel& model, const PvBandConfig& config,
+                              const IntentMargins& margins) {
+  const layout::Rasterizer raster(grid);
+  const std::vector<float> mask = raster.rasterize(clip);
+  const layout::Rect core_px = raster.to_pixels(clip.core, clip.window);
+  return pv_band_analysis(mask, grid, core_px, model, config, margins);
+}
+
+}  // namespace hsd::litho

@@ -1,0 +1,68 @@
+#pragma once
+// Process-variation (PV) band analysis: the printed image is simulated at a
+// set of process corners (dose and focus excursions); the PV band is the
+// region that prints under some corners but not others. Narrow margins show
+// up as wide bands, and a clip that fails at any corner is a worst-case
+// hotspot — the analysis real sign-off flows run on top of nominal checks.
+
+#include <cstdint>
+#include <vector>
+
+#include "layout/clip.hpp"
+#include "litho/defects.hpp"
+#include "litho/optical.hpp"
+
+namespace hsd::litho {
+
+/// One process corner: multiplicative excursions on exposure dose (scales
+/// the aerial intensity) and focus (scales the PSF sigma).
+struct ProcessCorner {
+  double dose_scale = 1.0;
+  double defocus_scale = 1.0;
+};
+
+/// Corner set for PV analysis; defaults to the nominal plus four single-axis
+/// excursions (±5 % dose, +15 % defocus blur at both doses).
+struct PvBandConfig {
+  std::vector<ProcessCorner> corners{
+      {1.00, 1.00},   // nominal
+      {0.95, 1.00},   // under-exposed
+      {1.05, 1.00},   // over-exposed
+      {0.95, 1.15},   // under-exposed, defocused
+      {1.05, 1.15},   // over-exposed, defocused
+  };
+};
+
+struct PvBandResult {
+  /// Pixels printed under every corner (inner contour).
+  std::vector<std::uint8_t> always_printed;
+  /// Pixels printed under at least one corner (outer contour).
+  std::vector<std::uint8_t> ever_printed;
+  /// Pixels in the PV band (ever - always).
+  std::size_t band_area_px = 0;
+  /// band_area_px / grid^2.
+  double band_fraction = 0.0;
+  /// Band pixels inside the core region.
+  std::size_t core_band_area_px = 0;
+  /// True if any corner produces a core defect (worst-case hotspot).
+  bool worst_case_hotspot = false;
+  /// Nominal-corner defect status for comparison.
+  bool nominal_hotspot = false;
+  /// Per-corner defect counts inside the core.
+  std::vector<std::size_t> corner_defects;
+};
+
+/// Runs the corner sweep on a rasterized mask. `core_px` is the pixel-space
+/// core rect; `model` the nominal optics.
+PvBandResult pv_band_analysis(const std::vector<float>& mask, std::size_t grid,
+                              const layout::Rect& core_px, const OpticalModel& model,
+                              const PvBandConfig& config = {},
+                              const IntentMargins& margins = {});
+
+/// Convenience overload: rasterizes the clip at `grid` first.
+PvBandResult pv_band_analysis(const layout::Clip& clip, std::size_t grid,
+                              const OpticalModel& model,
+                              const PvBandConfig& config = {},
+                              const IntentMargins& margins = {});
+
+}  // namespace hsd::litho

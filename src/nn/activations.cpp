@@ -1,0 +1,49 @@
+#include "nn/activations.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hsd::nn {
+
+Tensor Relu::forward(const Tensor& input) {
+  Tensor out = input;
+  mask_ = Tensor(input.shape());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (out[i] > 0.0F) {
+      mask_[i] = 1.0F;
+    } else {
+      out[i] = 0.0F;
+    }
+  }
+  return out;
+}
+
+Tensor Relu::backward(const Tensor& grad_output) {
+  if (grad_output.shape() != mask_.shape()) {
+    throw std::invalid_argument("Relu::backward: shape mismatch with forward");
+  }
+  Tensor grad = grad_output;
+  for (std::size_t i = 0; i < grad.size(); ++i) grad[i] *= mask_[i];
+  return grad;
+}
+
+Tensor Tanh::forward(const Tensor& input) {
+  output_ = input;
+  for (std::size_t i = 0; i < output_.size(); ++i) {
+    output_[i] = std::tanh(output_[i]);
+  }
+  return output_;
+}
+
+Tensor Tanh::backward(const Tensor& grad_output) {
+  if (grad_output.shape() != output_.shape()) {
+    throw std::invalid_argument("Tanh::backward: shape mismatch with forward");
+  }
+  Tensor grad = grad_output;
+  for (std::size_t i = 0; i < grad.size(); ++i) {
+    grad[i] *= 1.0F - output_[i] * output_[i];
+  }
+  return grad;
+}
+
+}  // namespace hsd::nn

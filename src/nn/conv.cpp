@@ -1,0 +1,111 @@
+#include "nn/conv.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+
+namespace hsd::nn {
+
+using hsd::tensor::col2im;
+using hsd::tensor::conv_out_extent;
+using hsd::tensor::im2col;
+
+Conv2d::Conv2d(std::size_t in_channels, std::size_t out_channels,
+               std::size_t kernel, hsd::stats::Rng& rng, std::size_t stride,
+               std::size_t pad)
+    : in_c_(in_channels),
+      out_c_(out_channels),
+      k_(kernel),
+      stride_(stride),
+      pad_(pad),
+      w_(Tensor::randn({out_channels, in_channels * kernel * kernel}, rng, 0.0F,
+                       std::sqrt(2.0F / static_cast<float>(
+                                             in_channels * kernel * kernel)))),
+      b_({out_channels}),
+      w_grad_({out_channels, in_channels * kernel * kernel}),
+      b_grad_({out_channels}) {
+  if (in_channels == 0 || out_channels == 0 || kernel == 0 || stride == 0) {
+    throw std::invalid_argument("Conv2d: zero-sized configuration");
+  }
+}
+
+Tensor Conv2d::forward(const Tensor& input) {
+  if (input.rank() != 4 || input.dim(1) != in_c_) {
+    throw std::invalid_argument("Conv2d::forward: expected NCHW input with matching C");
+  }
+  input_ = input;
+  const std::size_t n = input.dim(0);
+  const std::size_t h = input.dim(2);
+  const std::size_t w = input.dim(3);
+  const std::size_t oh = conv_out_extent(h, k_, stride_, pad_);
+  const std::size_t ow = conv_out_extent(w, k_, stride_, pad_);
+  const std::size_t patch = in_c_ * k_ * k_;
+  const std::size_t out_spatial = oh * ow;
+
+  columns_.resize(patch * out_spatial);
+  Tensor out({n, out_c_, oh, ow});
+  for (std::size_t img = 0; img < n; ++img) {
+    const float* src = input.data() + img * in_c_ * h * w;
+    im2col(src, in_c_, h, w, k_, k_, stride_, pad_, columns_.data());
+    float* dst = out.data() + img * out_c_ * out_spatial;
+    // (out_c x patch) * (patch x out_spatial)
+    hsd::tensor::matmul(w_.data(), columns_.data(), dst, out_c_, patch, out_spatial);
+    for (std::size_t oc = 0; oc < out_c_; ++oc) {
+      float* plane = dst + oc * out_spatial;
+      for (std::size_t s = 0; s < out_spatial; ++s) plane[s] += b_[oc];
+    }
+  }
+  return out;
+}
+
+Tensor Conv2d::backward(const Tensor& grad_output) {
+  const std::size_t n = input_.dim(0);
+  const std::size_t h = input_.dim(2);
+  const std::size_t w = input_.dim(3);
+  const std::size_t oh = conv_out_extent(h, k_, stride_, pad_);
+  const std::size_t ow = conv_out_extent(w, k_, stride_, pad_);
+  const std::size_t patch = in_c_ * k_ * k_;
+  const std::size_t out_spatial = oh * ow;
+  if (grad_output.rank() != 4 || grad_output.dim(0) != n ||
+      grad_output.dim(1) != out_c_ || grad_output.dim(2) != oh ||
+      grad_output.dim(3) != ow) {
+    throw std::invalid_argument("Conv2d::backward: bad grad shape");
+  }
+
+  Tensor grad_input(input_.shape());
+  std::vector<float> grad_columns(patch * out_spatial);
+  Tensor w_grad_img({out_c_, patch});
+
+  for (std::size_t img = 0; img < n; ++img) {
+    const float* src = input_.data() + img * in_c_ * h * w;
+    const float* gout = grad_output.data() + img * out_c_ * out_spatial;
+
+    // dW += dY * columns^T : (out_c x out_spatial) * (out_spatial x patch)
+    im2col(src, in_c_, h, w, k_, k_, stride_, pad_, columns_.data());
+    hsd::tensor::matmul_a_bt(gout, columns_.data(), w_grad_img.data(), out_c_,
+                             out_spatial, patch);
+    w_grad_ += w_grad_img;
+
+    // db += spatial sums of dY
+    for (std::size_t oc = 0; oc < out_c_; ++oc) {
+      const float* plane = gout + oc * out_spatial;
+      float s = 0.0F;
+      for (std::size_t i = 0; i < out_spatial; ++i) s += plane[i];
+      b_grad_[oc] += s;
+    }
+
+    // dColumns = W^T * dY : (patch x out_c) * (out_c x out_spatial)
+    hsd::tensor::matmul_at_b(w_.data(), gout, grad_columns.data(), patch, out_c_,
+                             out_spatial);
+    float* gin = grad_input.data() + img * in_c_ * h * w;
+    col2im(grad_columns.data(), in_c_, h, w, k_, k_, stride_, pad_, gin);
+  }
+  return grad_input;
+}
+
+std::vector<Param> Conv2d::params() {
+  return {{&w_, &w_grad_, "weight"}, {&b_, &b_grad_, "bias"}};
+}
+
+}  // namespace hsd::nn

@@ -1,0 +1,40 @@
+#pragma once
+// 2-D convolution layer implemented as im2col + GEMM.
+// Input and output are NCHW tensors.
+
+#include "nn/layer.hpp"
+#include "stats/rng.hpp"
+
+namespace hsd::nn {
+
+class Conv2d : public Layer {
+ public:
+  /// Square-kernel convolution with stride and zero padding, He init.
+  Conv2d(std::size_t in_channels, std::size_t out_channels, std::size_t kernel,
+         hsd::stats::Rng& rng, std::size_t stride = 1, std::size_t pad = 0);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Param> params() override;
+  std::string name() const override { return "Conv2d"; }
+
+  std::size_t in_channels() const { return in_c_; }
+  std::size_t out_channels() const { return out_c_; }
+  std::size_t kernel() const { return k_; }
+  std::size_t stride() const { return stride_; }
+  std::size_t pad() const { return pad_; }
+
+  Tensor& weight() { return w_; }
+  Tensor& bias() { return b_; }
+
+ private:
+  std::size_t in_c_, out_c_, k_, stride_, pad_;
+  Tensor w_;       // (out_c, in_c * k * k)
+  Tensor b_;       // (out_c)
+  Tensor w_grad_;
+  Tensor b_grad_;
+  Tensor input_;   // cached NCHW input
+  std::vector<float> columns_;  // scratch im2col buffer for one image
+};
+
+}  // namespace hsd::nn

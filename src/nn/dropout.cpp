@@ -1,0 +1,40 @@
+#include "nn/dropout.hpp"
+
+#include <stdexcept>
+
+namespace hsd::nn {
+
+Dropout::Dropout(double p, hsd::stats::Rng rng) : p_(p), rng_(rng) {
+  if (p < 0.0 || p >= 1.0) throw std::invalid_argument("Dropout: p must be in [0, 1)");
+}
+
+Tensor Dropout::forward(const Tensor& input) {
+  if (!training_ || p_ == 0.0) {
+    mask_ = Tensor(input.shape(), 1.0F);
+    return input;
+  }
+  mask_ = Tensor(input.shape());
+  const auto scale = static_cast<float>(1.0 / (1.0 - p_));
+  Tensor out = input;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (rng_.bernoulli(p_)) {
+      mask_[i] = 0.0F;
+      out[i] = 0.0F;
+    } else {
+      mask_[i] = scale;
+      out[i] *= scale;
+    }
+  }
+  return out;
+}
+
+Tensor Dropout::backward(const Tensor& grad_output) {
+  if (grad_output.shape() != mask_.shape()) {
+    throw std::invalid_argument("Dropout::backward: shape mismatch with forward");
+  }
+  Tensor grad = grad_output;
+  for (std::size_t i = 0; i < grad.size(); ++i) grad[i] *= mask_[i];
+  return grad;
+}
+
+}  // namespace hsd::nn

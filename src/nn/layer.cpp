@@ -1,0 +1,19 @@
+#include "nn/layer.hpp"
+
+namespace hsd::nn {
+
+void Layer::zero_grad() {
+  for (auto& p : params()) {
+    if (p.grad != nullptr) p.grad->fill(0.0F);
+  }
+}
+
+std::size_t Layer::num_params() {
+  std::size_t n = 0;
+  for (auto& p : params()) {
+    if (p.value != nullptr) n += p.value->size();
+  }
+  return n;
+}
+
+}  // namespace hsd::nn

@@ -1,0 +1,55 @@
+#pragma once
+// Layer interface of the from-scratch neural-network engine.
+//
+// Layers are stateful: forward() caches whatever backward() needs, so a
+// backward() call must follow the forward() it differentiates. Parameters
+// and their gradients are exposed as (value, grad) tensor pairs for the
+// optimizers.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace hsd::nn {
+
+using hsd::tensor::Tensor;
+
+/// A trainable parameter: the value tensor and its accumulated gradient.
+struct Param {
+  Tensor* value = nullptr;
+  Tensor* grad = nullptr;
+  std::string name;
+};
+
+/// Abstract differentiable layer.
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Maps an input batch to an output batch, caching for backward().
+  virtual Tensor forward(const Tensor& input) = 0;
+
+  /// Maps d(loss)/d(output) to d(loss)/d(input), accumulating parameter
+  /// gradients. Must be preceded by a forward() on the same batch.
+  virtual Tensor backward(const Tensor& grad_output) = 0;
+
+  /// Trainable parameters (empty for stateless layers).
+  virtual std::vector<Param> params() { return {}; }
+
+  /// Zeroes all parameter gradients.
+  void zero_grad();
+
+  /// Switches between training and inference behaviour (dropout etc.);
+  /// no-op for layers without mode-dependent behaviour.
+  virtual void set_training(bool training) { (void)training; }
+
+  /// Human-readable layer name for summaries and serialization.
+  virtual std::string name() const = 0;
+
+  /// Number of scalar parameters.
+  std::size_t num_params();
+};
+
+}  // namespace hsd::nn

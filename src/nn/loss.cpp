@@ -1,0 +1,58 @@
+#include "nn/loss.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+
+namespace hsd::nn {
+
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 const std::vector<int>& labels,
+                                 const std::vector<double>& class_weights) {
+  if (logits.rank() != 2) throw std::invalid_argument("softmax_cross_entropy: rank != 2");
+  const std::size_t n = logits.dim(0);
+  const std::size_t c = logits.dim(1);
+  if (labels.size() != n) throw std::invalid_argument("softmax_cross_entropy: label count");
+  if (!class_weights.empty() && class_weights.size() != c) {
+    throw std::invalid_argument("softmax_cross_entropy: class weight count");
+  }
+
+  LossResult res;
+  res.grad_logits = Tensor({n, c});
+  const Tensor probs = hsd::tensor::softmax_rows(logits);
+
+  double total_weight = 0.0;
+  std::vector<double> sample_weight(n, 1.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const int y = labels[i];
+    if (y < 0 || static_cast<std::size_t>(y) >= c) {
+      throw std::invalid_argument("softmax_cross_entropy: label out of range");
+    }
+    if (!class_weights.empty()) sample_weight[i] = class_weights[static_cast<std::size_t>(y)];
+    total_weight += sample_weight[i];
+  }
+  if (total_weight <= 0.0) throw std::invalid_argument("softmax_cross_entropy: zero weight");
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* prow = probs.data() + i * c;
+    float* grow = res.grad_logits.data() + i * c;
+    const auto y = static_cast<std::size_t>(labels[i]);
+    const double w = sample_weight[i] / total_weight;
+    const double p_true = std::max(static_cast<double>(prow[y]), 1e-12);
+    res.value += -w * std::log(p_true);
+    for (std::size_t j = 0; j < c; ++j) {
+      grow[j] = static_cast<float>(w * (static_cast<double>(prow[j]) -
+                                        (j == y ? 1.0 : 0.0)));
+    }
+    std::size_t arg = 0;
+    for (std::size_t j = 1; j < c; ++j) {
+      if (prow[j] > prow[arg]) arg = j;
+    }
+    if (arg == y) res.correct++;
+  }
+  return res;
+}
+
+}  // namespace hsd::nn

@@ -1,0 +1,28 @@
+#pragma once
+// Softmax cross-entropy loss with optional per-class weights, the standard
+// objective for the imbalanced hotspot/non-hotspot classification task.
+
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace hsd::nn {
+
+using hsd::tensor::Tensor;
+
+/// Result of a loss evaluation over a batch.
+struct LossResult {
+  double value = 0.0;     ///< mean (weighted) loss
+  Tensor grad_logits;     ///< d(loss)/d(logits), same shape as logits
+  std::size_t correct = 0;///< number of argmax-correct predictions
+};
+
+/// Computes mean softmax cross-entropy over a batch of logits (N, C) with
+/// integer labels; `class_weights` (empty = uniform) scales each sample's
+/// loss by the weight of its true class, re-normalized by the batch's total
+/// weight so the gradient magnitude stays comparable across batches.
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 const std::vector<int>& labels,
+                                 const std::vector<double>& class_weights = {});
+
+}  // namespace hsd::nn

@@ -1,0 +1,106 @@
+#include "nn/network.hpp"
+
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+
+namespace hsd::nn {
+
+using hsd::tensor::gather_rows;
+
+Tensor Network::forward(const Tensor& input) {
+  Tensor x = input;
+  for (auto& layer : layers_) x = layer->forward(x);
+  return x;
+}
+
+ForwardResult Network::forward_with_features(const Tensor& input) {
+  if (layers_.empty()) throw std::logic_error("Network::forward_with_features: empty net");
+  ForwardResult out;
+  Tensor x = input;
+  for (std::size_t i = 0; i + 1 < layers_.size(); ++i) x = layers_[i]->forward(x);
+  // The input of the final (classifier) layer is the feature representation.
+  const std::size_t n = x.dim(0);
+  out.features = x.rank() == 2 ? x : x.reshaped({n, x.size() / n});
+  out.logits = layers_.back()->forward(x);
+  return out;
+}
+
+Tensor Network::backward(const Tensor& grad_logits) {
+  Tensor g = grad_logits;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    g = (*it)->backward(g);
+  }
+  return g;
+}
+
+std::vector<Param> Network::params() {
+  std::vector<Param> all;
+  for (auto& layer : layers_) {
+    for (auto& p : layer->params()) all.push_back(p);
+  }
+  return all;
+}
+
+void Network::zero_grad() {
+  for (auto& layer : layers_) layer->zero_grad();
+}
+
+void Network::set_training(bool training) {
+  for (auto& layer : layers_) layer->set_training(training);
+}
+
+std::size_t Network::num_params() {
+  std::size_t n = 0;
+  for (auto& layer : layers_) n += layer->num_params();
+  return n;
+}
+
+LossResult Network::train_batch(const Tensor& x, const std::vector<int>& labels,
+                                Optimizer& opt,
+                                const std::vector<double>& class_weights) {
+  zero_grad();
+  const Tensor logits = forward(x);
+  LossResult loss = softmax_cross_entropy(logits, labels, class_weights);
+  backward(loss.grad_logits);
+  opt.step(params());
+  return loss;
+}
+
+std::vector<EpochStats> Network::fit(const Tensor& x, const std::vector<int>& labels,
+                                     Optimizer& opt, std::size_t epochs,
+                                     std::size_t batch_size, hsd::stats::Rng& rng,
+                                     const std::vector<double>& class_weights) {
+  const std::size_t n = x.dim(0);
+  if (labels.size() != n) throw std::invalid_argument("Network::fit: label count mismatch");
+  if (batch_size == 0) throw std::invalid_argument("Network::fit: batch_size == 0");
+
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+
+  std::vector<EpochStats> history;
+  history.reserve(epochs);
+  for (std::size_t e = 0; e < epochs; ++e) {
+    rng.shuffle(order);
+    EpochStats stats;
+    std::size_t correct = 0;
+    for (std::size_t start = 0; start < n; start += batch_size) {
+      const std::size_t end = std::min(start + batch_size, n);
+      std::vector<std::size_t> idx(order.begin() + static_cast<std::ptrdiff_t>(start),
+                                   order.begin() + static_cast<std::ptrdiff_t>(end));
+      const Tensor xb = gather_rows(x, idx);
+      std::vector<int> yb(idx.size());
+      for (std::size_t i = 0; i < idx.size(); ++i) yb[i] = labels[idx[i]];
+      const LossResult lr = train_batch(xb, yb, opt, class_weights);
+      stats.mean_loss += lr.value;
+      correct += lr.correct;
+      stats.batches++;
+    }
+    if (stats.batches > 0) stats.mean_loss /= static_cast<double>(stats.batches);
+    stats.accuracy = n > 0 ? static_cast<double>(correct) / static_cast<double>(n) : 0.0;
+    history.push_back(stats);
+  }
+  return history;
+}
+
+}  // namespace hsd::nn

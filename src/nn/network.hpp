@@ -1,0 +1,93 @@
+#pragma once
+// Sequential network container: owns layers, drives forward/backward,
+// exposes logits and penultimate-layer features (the representation the
+// paper's diversity metric operates on), and implements minibatch training.
+
+#include <iosfwd>
+#include <memory>
+#include <vector>
+
+#include "nn/layer.hpp"
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+#include "stats/rng.hpp"
+
+namespace hsd::nn {
+
+/// Output of a forward pass that also taps the penultimate representation.
+struct ForwardResult {
+  Tensor logits;    ///< (N, num_classes)
+  Tensor features;  ///< (N, feature_dim): input to the final Dense layer
+};
+
+/// Aggregate statistics of one training epoch.
+struct EpochStats {
+  double mean_loss = 0.0;
+  double accuracy = 0.0;
+  std::size_t batches = 0;
+};
+
+/// A feed-forward network as an ordered list of layers. The last layer is
+/// expected to produce logits (no softmax layer; losses and calibration
+/// apply softmax themselves).
+class Network {
+ public:
+  Network() = default;
+  Network(Network&&) = default;
+  Network& operator=(Network&&) = default;
+
+  /// Appends a layer constructed in place and returns a reference to it.
+  template <typename L, typename... Args>
+  L& add(Args&&... args) {
+    auto layer = std::make_unique<L>(std::forward<Args>(args)...);
+    L& ref = *layer;
+    layers_.push_back(std::move(layer));
+    return ref;
+  }
+
+  std::size_t num_layers() const { return layers_.size(); }
+  Layer& layer(std::size_t i) { return *layers_.at(i); }
+
+  /// Forward pass producing logits.
+  Tensor forward(const Tensor& input);
+
+  /// Forward pass that also captures the input of the last layer as the
+  /// feature representation (flattened to rank 2 if needed).
+  ForwardResult forward_with_features(const Tensor& input);
+
+  /// Backward pass from d(loss)/d(logits); accumulates parameter grads.
+  Tensor backward(const Tensor& grad_logits);
+
+  /// All trainable parameters across layers.
+  std::vector<Param> params();
+
+  /// Zeroes all gradients.
+  void zero_grad();
+
+  /// Propagates training/inference mode to every layer.
+  void set_training(bool training);
+
+  /// Total scalar parameter count.
+  std::size_t num_params();
+
+  /// One optimization step on a batch; returns the loss diagnostics.
+  LossResult train_batch(const Tensor& x, const std::vector<int>& labels,
+                         Optimizer& opt,
+                         const std::vector<double>& class_weights = {});
+
+  /// Runs `epochs` shuffled-minibatch epochs over (x, labels).
+  /// `x` is the full dataset batch (first dimension = samples).
+  std::vector<EpochStats> fit(const Tensor& x, const std::vector<int>& labels,
+                              Optimizer& opt, std::size_t epochs,
+                              std::size_t batch_size, hsd::stats::Rng& rng,
+                              const std::vector<double>& class_weights = {});
+
+  /// Serializes all parameters (shape-checked on load).
+  void save(std::ostream& os);
+  void load(std::istream& is);
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+}  // namespace hsd::nn

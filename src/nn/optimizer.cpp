@@ -1,0 +1,98 @@
+#include "nn/optimizer.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hsd::nn {
+
+Sgd::Sgd(double lr, double momentum, double weight_decay)
+    : lr_(lr), momentum_(momentum), weight_decay_(weight_decay) {
+  if (lr <= 0.0) throw std::invalid_argument("Sgd: lr <= 0");
+}
+
+void Sgd::step(const std::vector<Param>& params) {
+  for (const auto& p : params) {
+    if (p.value == nullptr || p.grad == nullptr) continue;
+    Tensor& val = *p.value;
+    const Tensor& grad = *p.grad;
+    if (momentum_ > 0.0) {
+      auto [it, inserted] = velocity_.try_emplace(p.value, Tensor(val.shape()));
+      Tensor& vel = it->second;
+      for (std::size_t i = 0; i < val.size(); ++i) {
+        const float g = grad[i] + static_cast<float>(weight_decay_) * val[i];
+        vel[i] = static_cast<float>(momentum_) * vel[i] + g;
+        val[i] -= static_cast<float>(lr_) * vel[i];
+      }
+    } else {
+      for (std::size_t i = 0; i < val.size(); ++i) {
+        const float g = grad[i] + static_cast<float>(weight_decay_) * val[i];
+        val[i] -= static_cast<float>(lr_) * g;
+      }
+    }
+  }
+}
+
+RmsProp::RmsProp(double lr, double decay, double eps, double weight_decay)
+    : lr_(lr), decay_(decay), eps_(eps), weight_decay_(weight_decay) {
+  if (lr <= 0.0) throw std::invalid_argument("RmsProp: lr <= 0");
+  if (decay <= 0.0 || decay >= 1.0) throw std::invalid_argument("RmsProp: decay");
+}
+
+void RmsProp::step(const std::vector<Param>& params) {
+  for (const auto& p : params) {
+    if (p.value == nullptr || p.grad == nullptr) continue;
+    Tensor& val = *p.value;
+    const Tensor& grad = *p.grad;
+    auto [it, inserted] = mean_square_.try_emplace(p.value, Tensor(val.shape()));
+    Tensor& ms = it->second;
+    for (std::size_t i = 0; i < val.size(); ++i) {
+      const double g = static_cast<double>(grad[i]) + weight_decay_ * val[i];
+      ms[i] = static_cast<float>(decay_ * ms[i] + (1.0 - decay_) * g * g);
+      val[i] -= static_cast<float>(lr_ * g / (std::sqrt(static_cast<double>(ms[i])) + eps_));
+    }
+  }
+}
+
+StepDecaySchedule::StepDecaySchedule(Optimizer& optimizer, std::size_t period,
+                                     double gamma)
+    : optimizer_(optimizer), period_(period), gamma_(gamma) {
+  if (period == 0) throw std::invalid_argument("StepDecaySchedule: period == 0");
+  if (gamma <= 0.0 || gamma > 1.0) throw std::invalid_argument("StepDecaySchedule: gamma");
+}
+
+void StepDecaySchedule::advance() {
+  steps_++;
+  if (steps_ % period_ == 0) {
+    optimizer_.set_learning_rate(optimizer_.learning_rate() * gamma_);
+  }
+}
+
+Adam::Adam(double lr, double beta1, double beta2, double eps, double weight_decay)
+    : lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps), weight_decay_(weight_decay) {
+  if (lr <= 0.0) throw std::invalid_argument("Adam: lr <= 0");
+}
+
+void Adam::step(const std::vector<Param>& params) {
+  step_count_++;
+  const double bc1 = 1.0 - std::pow(beta1_, step_count_);
+  const double bc2 = 1.0 - std::pow(beta2_, step_count_);
+  for (const auto& p : params) {
+    if (p.value == nullptr || p.grad == nullptr) continue;
+    Tensor& val = *p.value;
+    const Tensor& grad = *p.grad;
+    auto [it, inserted] =
+        moments_.try_emplace(p.value, Moments{Tensor(val.shape()), Tensor(val.shape())});
+    Tensor& m = it->second.m;
+    Tensor& v = it->second.v;
+    for (std::size_t i = 0; i < val.size(); ++i) {
+      const double g = static_cast<double>(grad[i]) + weight_decay_ * val[i];
+      m[i] = static_cast<float>(beta1_ * m[i] + (1.0 - beta1_) * g);
+      v[i] = static_cast<float>(beta2_ * v[i] + (1.0 - beta2_) * g * g);
+      const double mhat = m[i] / bc1;
+      const double vhat = v[i] / bc2;
+      val[i] -= static_cast<float>(lr_ * mhat / (std::sqrt(vhat) + eps_));
+    }
+  }
+}
+
+}  // namespace hsd::nn

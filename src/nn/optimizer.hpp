@@ -1,0 +1,90 @@
+#pragma once
+// First-order optimizers operating on the Param pairs exposed by layers.
+
+#include <unordered_map>
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace hsd::nn {
+
+/// Abstract optimizer: consumes accumulated gradients and updates values.
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  /// Applies one update step to every parameter, then the caller typically
+  /// zeroes gradients.
+  virtual void step(const std::vector<Param>& params) = 0;
+
+  virtual void set_learning_rate(double lr) = 0;
+  virtual double learning_rate() const = 0;
+};
+
+/// Plain SGD with optional momentum and weight decay.
+class Sgd : public Optimizer {
+ public:
+  explicit Sgd(double lr, double momentum = 0.0, double weight_decay = 0.0);
+  void step(const std::vector<Param>& params) override;
+  void set_learning_rate(double lr) override { lr_ = lr; }
+  double learning_rate() const override { return lr_; }
+
+ private:
+  double lr_;
+  double momentum_;
+  double weight_decay_;
+  std::unordered_map<const Tensor*, Tensor> velocity_;
+};
+
+/// RMSProp (Tieleman & Hinton) with optional weight decay.
+class RmsProp : public Optimizer {
+ public:
+  explicit RmsProp(double lr = 1e-3, double decay = 0.9, double eps = 1e-8,
+                   double weight_decay = 0.0);
+  void step(const std::vector<Param>& params) override;
+  void set_learning_rate(double lr) override { lr_ = lr; }
+  double learning_rate() const override { return lr_; }
+
+ private:
+  double lr_, decay_, eps_, weight_decay_;
+  std::unordered_map<const Tensor*, Tensor> mean_square_;
+};
+
+/// Multiplicative step-decay learning-rate schedule: every `period` calls to
+/// advance(), the wrapped optimizer's learning rate is multiplied by `gamma`.
+class StepDecaySchedule {
+ public:
+  StepDecaySchedule(Optimizer& optimizer, std::size_t period, double gamma);
+
+  /// Call once per epoch (or batch); applies the decay on period boundaries.
+  void advance();
+
+  std::size_t steps() const { return steps_; }
+
+ private:
+  Optimizer& optimizer_;
+  std::size_t period_;
+  double gamma_;
+  std::size_t steps_ = 0;
+};
+
+/// Adam (Kingma & Ba, ICLR'15) with bias correction and weight decay.
+class Adam : public Optimizer {
+ public:
+  explicit Adam(double lr = 1e-3, double beta1 = 0.9, double beta2 = 0.999,
+                double eps = 1e-8, double weight_decay = 0.0);
+  void step(const std::vector<Param>& params) override;
+  void set_learning_rate(double lr) override { lr_ = lr; }
+  double learning_rate() const override { return lr_; }
+
+ private:
+  struct Moments {
+    Tensor m;
+    Tensor v;
+  };
+  double lr_, beta1_, beta2_, eps_, weight_decay_;
+  long step_count_ = 0;
+  std::unordered_map<const Tensor*, Moments> moments_;
+};
+
+}  // namespace hsd::nn

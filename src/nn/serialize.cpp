@@ -1,0 +1,61 @@
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "nn/network.hpp"
+
+namespace hsd::nn {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x48534431;  // "HSD1"
+
+void write_u64(std::ostream& os, std::uint64_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+std::uint64_t read_u64(std::istream& is) {
+  std::uint64_t v = 0;
+  is.read(reinterpret_cast<char*>(&v), sizeof(v));
+  if (!is) throw std::runtime_error("Network::load: truncated stream");
+  return v;
+}
+
+}  // namespace
+
+void Network::save(std::ostream& os) {
+  const auto ps = params();
+  os.write(reinterpret_cast<const char*>(&kMagic), sizeof(kMagic));
+  write_u64(os, ps.size());
+  for (const auto& p : ps) {
+    const auto& shape = p.value->shape();
+    write_u64(os, shape.size());
+    for (std::size_t d : shape) write_u64(os, d);
+    os.write(reinterpret_cast<const char*>(p.value->data()),
+             static_cast<std::streamsize>(p.value->size() * sizeof(float)));
+  }
+  if (!os) throw std::runtime_error("Network::save: write failure");
+}
+
+void Network::load(std::istream& is) {
+  std::uint32_t magic = 0;
+  is.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  if (!is || magic != kMagic) throw std::runtime_error("Network::load: bad magic");
+  const auto ps = params();
+  const std::uint64_t count = read_u64(is);
+  if (count != ps.size()) throw std::runtime_error("Network::load: parameter count mismatch");
+  for (const auto& p : ps) {
+    const std::uint64_t rank = read_u64(is);
+    hsd::tensor::Shape shape(rank);
+    for (auto& d : shape) d = static_cast<std::size_t>(read_u64(is));
+    if (shape != p.value->shape()) {
+      throw std::runtime_error("Network::load: parameter shape mismatch");
+    }
+    is.read(reinterpret_cast<char*>(p.value->data()),
+            static_cast<std::streamsize>(p.value->size() * sizeof(float)));
+    if (!is) throw std::runtime_error("Network::load: truncated stream");
+  }
+}
+
+}  // namespace hsd::nn

@@ -1,0 +1,243 @@
+#include "opc/rules.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hsd::opc {
+
+namespace {
+
+using layout::Clip;
+using layout::Coord;
+using layout::Rect;
+
+Coord snap_down(Coord v, Coord snap) {
+  return static_cast<Coord>((v / snap) * snap);
+}
+
+/// True if placing `candidate` would violate min_space against any shape in
+/// `others` it does not already touch (indices != self).
+bool violates_spacing(const Rect& candidate, const std::vector<Rect>& others,
+                      std::size_t self, Coord min_space) {
+  for (std::size_t j = 0; j < others.size(); ++j) {
+    if (j == self) continue;
+    const Rect& s = others[j];
+    if (layout::intersects(candidate, s)) continue;  // touching/merged is allowed
+    if (layout::spacing(candidate, s) < min_space) return true;
+  }
+  return false;
+}
+
+/// Expands `r` by `bias` on both sides perpendicular to its run direction,
+/// backing off in `snap` steps until spacing rules hold. Returns the final
+/// applied per-side bias.
+Coord biased_width(Rect& r, Coord bias, const std::vector<Rect>& shapes,
+                   std::size_t self, const OpcRules& rules, bool horizontal_run) {
+  for (Coord b = bias; b > 0; b = static_cast<Coord>(b - rules.snap)) {
+    Rect candidate = r;
+    if (horizontal_run) {
+      candidate.y0 = static_cast<Coord>(candidate.y0 - b);
+      candidate.y1 = static_cast<Coord>(candidate.y1 + b);
+    } else {
+      candidate.x0 = static_cast<Coord>(candidate.x0 - b);
+      candidate.x1 = static_cast<Coord>(candidate.x1 + b);
+    }
+    if (!violates_spacing(candidate, shapes, self, rules.min_space)) {
+      r = candidate;
+      return b;
+    }
+  }
+  return 0;
+}
+
+/// Builds a hammerhead serif at one line end. `at_low_end` selects the
+/// x0/y0 end of the run.
+Rect make_hammerhead(const Rect& r, const OpcRules& rules, bool horizontal_run,
+                     bool at_low_end) {
+  Rect serif = r;
+  if (horizontal_run) {
+    serif.y0 = static_cast<Coord>(r.y0 - rules.hammer_bias);
+    serif.y1 = static_cast<Coord>(r.y1 + rules.hammer_bias);
+    if (at_low_end) {
+      serif.x1 = static_cast<Coord>(r.x0 + rules.hammer_length);
+    } else {
+      serif.x0 = static_cast<Coord>(r.x1 - rules.hammer_length);
+    }
+  } else {
+    serif.x0 = static_cast<Coord>(r.x0 - rules.hammer_bias);
+    serif.x1 = static_cast<Coord>(r.x1 + rules.hammer_bias);
+    if (at_low_end) {
+      serif.y1 = static_cast<Coord>(r.y0 + rules.hammer_length);
+    } else {
+      serif.y0 = static_cast<Coord>(r.y1 - rules.hammer_length);
+    }
+  }
+  return serif;
+}
+
+Coord snap_up(Coord v, Coord snap) {
+  return static_cast<Coord>(((v + snap - 1) / snap) * snap);
+}
+
+/// Rule 0 — spacing repair: pulls the facing edges of pairs closer than
+/// min_space apart until the gap is legal, never shrinking a shape's
+/// gap-axis extent below min_keep. Returns the number of repaired gaps.
+std::size_t repair_spacing(std::vector<Rect>& shapes, const OpcRules& rules) {
+  std::size_t repaired = 0;
+  for (std::size_t i = 0; i < shapes.size(); ++i) {
+    for (std::size_t j = i + 1; j < shapes.size(); ++j) {
+      Rect& a = shapes[i];
+      Rect& b = shapes[j];
+      if (layout::intersects(a, b)) continue;
+      const Coord gap = layout::spacing(a, b);
+      if (gap >= rules.min_space || gap <= 0) continue;
+      const Coord deficit = snap_up(static_cast<Coord>(rules.min_space - gap),
+                                    rules.snap);
+      // Gap axis: the one with the larger separation.
+      Coord dx = 0;
+      if (b.x0 > a.x1) {
+        dx = static_cast<Coord>(b.x0 - a.x1);
+      } else if (a.x0 > b.x1) {
+        dx = static_cast<Coord>(a.x0 - b.x1);
+      }
+      const bool along_x = dx == gap;
+      auto extent = [&](const Rect& r) { return along_x ? r.width() : r.height(); };
+      auto give = [&](Rect& r, bool pull_high_edge, Coord amount) {
+        const Coord can = std::max<Coord>(0, static_cast<Coord>(extent(r) - rules.min_keep));
+        const Coord applied = snap_down(std::min(amount, can), rules.snap);
+        if (applied <= 0) return Coord{0};
+        if (along_x) {
+          if (pull_high_edge) {
+            r.x1 = static_cast<Coord>(r.x1 - applied);
+          } else {
+            r.x0 = static_cast<Coord>(r.x0 + applied);
+          }
+        } else {
+          if (pull_high_edge) {
+            r.y1 = static_cast<Coord>(r.y1 - applied);
+          } else {
+            r.y0 = static_cast<Coord>(r.y0 + applied);
+          }
+        }
+        return applied;
+      };
+      // Which shape is on the low side of the gap axis?
+      const bool a_low = along_x ? a.x1 < b.x0 : a.y1 < b.y0;
+      Rect& low = a_low ? a : b;
+      Rect& high = a_low ? b : a;
+      const Rect saved_low = low;
+      const Rect saved_high = high;
+      Coord opened = give(low, /*pull_high_edge=*/true,
+                          static_cast<Coord>((deficit + 1) / 2));
+      if (opened < deficit) {
+        opened = static_cast<Coord>(
+            opened + give(high, /*pull_high_edge=*/false,
+                          static_cast<Coord>(deficit - opened)));
+      }
+      if (opened < deficit) {
+        // Second pass on the low shape with whatever is still missing.
+        opened = static_cast<Coord>(
+            opened + give(low, /*pull_high_edge=*/true,
+                          static_cast<Coord>(deficit - opened)));
+      }
+      if (opened >= deficit) {
+        repaired++;
+      } else {
+        // Partial opening still bridges but costs line width: revert.
+        low = saved_low;
+        high = saved_high;
+      }
+    }
+  }
+  return repaired;
+}
+
+}  // namespace
+
+OpcResult correct_clip(const Clip& clip, const OpcRules& rules) {
+  if (rules.snap <= 0) throw std::invalid_argument("correct_clip: snap <= 0");
+  OpcResult res;
+  res.corrected = clip;
+  std::vector<Rect>& shapes = res.corrected.shapes;
+
+  // Rule 0: open sub-limit gaps before any upsizing.
+  res.spacing_repairs = repair_spacing(shapes, rules);
+
+  const std::size_t original_count = shapes.size();
+  std::vector<Rect> serifs;
+
+  for (std::size_t i = 0; i < original_count; ++i) {
+    Rect& r = shapes[i];
+    const bool horizontal_run = r.width() >= r.height();
+    const Coord thickness = horizontal_run ? r.height() : r.width();
+    const Coord run = horizontal_run ? r.width() : r.height();
+
+    // Rule 1: selective upsizing of thin features. Near-square contacts/vias
+    // are thin along both axes and get biased in both directions.
+    if (thickness <= rules.min_safe_width) {
+      const Coord applied = biased_width(r, rules.width_bias, shapes, i, rules,
+                                         horizontal_run);
+      Coord applied_other = 0;
+      if (run <= rules.min_safe_width) {
+        applied_other = biased_width(r, rules.width_bias, shapes, i, rules,
+                                     !horizontal_run);
+      }
+      if (applied > 0 || applied_other > 0) {
+        res.widened_shapes++;
+        if (applied < rules.width_bias ||
+            (run <= rules.min_safe_width && applied_other < rules.width_bias)) {
+          res.clamped++;
+        }
+      } else {
+        res.clamped++;
+      }
+    }
+
+    // Rule 2: hammerheads on the ends of thin, long runs whose tips are
+    // inside the clip (tips on the window boundary continue off-clip).
+    if (thickness <= rules.min_safe_width && run >= 2 * rules.hammer_length) {
+      for (bool low_end : {true, false}) {
+        const Coord tip = horizontal_run ? (low_end ? r.x0 : r.x1)
+                                         : (low_end ? r.y0 : r.y1);
+        const Coord window_lo = horizontal_run ? clip.window.x0 : clip.window.y0;
+        const Coord window_hi = horizontal_run ? clip.window.x1 : clip.window.y1;
+        if (tip <= window_lo || tip >= window_hi) continue;
+        const Rect serif = make_hammerhead(r, rules, horizontal_run, low_end);
+        if (!violates_spacing(serif, shapes, i, rules.min_space)) {
+          serifs.push_back(serif);
+          res.hammerheads++;
+        } else {
+          res.clamped++;
+        }
+      }
+    }
+  }
+
+  shapes.insert(shapes.end(), serifs.begin(), serifs.end());
+
+  // Snap and clip back into the window.
+  for (Rect& r : shapes) {
+    r.x0 = snap_down(r.x0, rules.snap);
+    r.y0 = snap_down(r.y0, rules.snap);
+    r.x1 = snap_down(r.x1, rules.snap);
+    r.y1 = snap_down(r.y1, rules.snap);
+    r = layout::intersection(r, clip.window);
+  }
+  std::erase_if(shapes, [](const Rect& r) {
+    return !r.valid() || r.width() <= 0 || r.height() <= 0;
+  });
+
+  layout::finalize(res.corrected);
+  return res;
+}
+
+RepairOutcome repair_and_verify(const Clip& clip, const OpcRules& rules,
+                                litho::LithoOracle& oracle) {
+  RepairOutcome out;
+  out.hotspot_before = oracle.label(clip);
+  out.opc = correct_clip(clip, rules);
+  out.hotspot_after = oracle.label(out.opc.corrected);
+  return out;
+}
+
+}  // namespace hsd::opc

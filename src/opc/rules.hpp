@@ -1,0 +1,60 @@
+#pragma once
+// Rule-based optical proximity correction (OPC): the classic pre-model-based
+// mask fixes — selective upsizing of sub-threshold widths, line-end
+// hammerheads, and spacing-aware clamping so corrections never bridge
+// neighbors. This is the "hotspot removal" stage downstream of detection
+// (the flow of Roseboom et al. the paper's introduction cites): detect with
+// the CNN, repair with OPC, re-verify with the litho oracle.
+//
+// Everything operates on Manhattan rectangles in clip-local coordinates.
+
+#include <vector>
+
+#include "layout/clip.hpp"
+#include "litho/oracle.hpp"
+
+namespace hsd::opc {
+
+/// Correction rule set (all dimensions in nm).
+struct OpcRules {
+  /// Widths at or below this are biased up (per side, `width_bias`).
+  layout::Coord min_safe_width = 40;
+  /// Per-side bias applied to thin features.
+  layout::Coord width_bias = 10;
+  /// Line ends shorter than this in the run direction get a hammerhead.
+  layout::Coord hammer_length = 30;
+  /// Hammerhead extension per side, perpendicular to the run direction.
+  layout::Coord hammer_bias = 10;
+  /// Never bring two shapes closer than this (bias clamping); gaps already
+  /// tighter than this are opened by the spacing-repair rule.
+  layout::Coord min_space = 40;
+  /// Spacing repair never shrinks a shape's gap-axis extent below this.
+  layout::Coord min_keep = 30;
+  /// Grid the corrected coordinates are snapped to.
+  layout::Coord snap = 5;
+};
+
+/// Outcome of correcting one clip.
+struct OpcResult {
+  layout::Clip corrected;
+  std::size_t widened_shapes = 0;   ///< shapes that received a width bias
+  std::size_t hammerheads = 0;      ///< line-end serifs added
+  std::size_t clamped = 0;          ///< biases reduced to respect min_space
+  std::size_t spacing_repairs = 0;  ///< sub-limit gaps opened by edge pull-back
+};
+
+/// Applies the rules to a clip. Geometry is re-canonicalized and re-hashed;
+/// the window and core are unchanged.
+OpcResult correct_clip(const layout::Clip& clip, const OpcRules& rules);
+
+/// Detect-repair-verify convenience: corrects the clip and re-simulates it
+/// with `oracle` (counted); returns the corrected clip's hotspot status.
+struct RepairOutcome {
+  OpcResult opc;
+  bool hotspot_before = false;
+  bool hotspot_after = false;
+};
+RepairOutcome repair_and_verify(const layout::Clip& clip, const OpcRules& rules,
+                                litho::LithoOracle& oracle);
+
+}  // namespace hsd::opc

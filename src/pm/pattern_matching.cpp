@@ -1,0 +1,150 @@
+#include "pm/pattern_matching.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "stats/normalize.hpp"
+
+namespace hsd::pm {
+
+namespace {
+
+/// Clusters by a precomputed exact key (pattern hash or tolerance-quantized
+/// hash): one cluster per distinct key.
+void cluster_by_key(const std::vector<std::uint64_t>& keys, PmResult& res) {
+  std::unordered_map<std::uint64_t, std::size_t> first_of;
+  first_of.reserve(keys.size());
+  res.cluster_of.resize(keys.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    auto [it, inserted] = first_of.try_emplace(keys[i], res.representatives.size());
+    if (inserted) res.representatives.push_back(i);
+    res.cluster_of[i] = it->second;
+  }
+}
+
+/// Hash of geometry normalized to its bounding-box origin: translations of
+/// the same pattern inside the clip window collide (clip shifting).
+std::uint64_t shift_hash(const layout::Clip& clip) {
+  layout::Clip shifted = clip;
+  const layout::Rect box = layout::bounding_box(shifted.shapes);
+  if (box.valid()) {
+    for (auto& r : shifted.shapes) r = r.shifted(-box.x0, -box.y0);
+  }
+  layout::canonicalize(shifted);
+  return layout::hash_geometry(shifted);
+}
+
+/// Hash of geometry with every coordinate snapped to `tol` buckets; clips
+/// whose corresponding edges lie within the same buckets collide.
+std::uint64_t tolerance_hash(const layout::Clip& clip, layout::Coord tol) {
+  layout::Clip snapped = clip;
+  const layout::Coord t = std::max<layout::Coord>(tol, 1);
+  for (auto& r : snapped.shapes) {
+    r.x0 = static_cast<layout::Coord>(r.x0 / t);
+    r.y0 = static_cast<layout::Coord>(r.y0 / t);
+    r.x1 = static_cast<layout::Coord>(r.x1 / t);
+    r.y1 = static_cast<layout::Coord>(r.y1 / t);
+  }
+  layout::canonicalize(snapped);
+  return layout::hash_geometry(snapped);
+}
+
+/// Greedy leader clustering under cosine similarity, bucketed by the first
+/// feature component (mean pattern density) so each clip is compared only
+/// against representatives of similar density.
+void cluster_by_similarity(const std::vector<std::vector<double>>& features,
+                           double threshold, PmResult& res) {
+  const std::size_t n = features.size();
+  res.cluster_of.resize(n);
+
+  std::vector<std::vector<double>> unit = features;
+  for (auto& row : unit) hsd::stats::l2_normalize(row);
+
+  // Density bucketing: cos >= threshold clusters have similar DC terms, so
+  // comparing against +-1 neighboring buckets is a sound speedup for the
+  // baseline without changing its character.
+  const double bucket_width = 0.02;
+  std::unordered_map<long long, std::vector<std::size_t>> reps_by_bucket;
+  auto bucket_of = [&](std::size_t i) {
+    const double dc = features[i].empty() ? 0.0 : features[i][0];
+    return static_cast<long long>(std::floor(dc / bucket_width));
+  };
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const long long b = bucket_of(i);
+    double best_sim = -1.0;
+    std::size_t best_cluster = 0;
+    for (long long nb = b - 1; nb <= b + 1; ++nb) {
+      const auto it = reps_by_bucket.find(nb);
+      if (it == reps_by_bucket.end()) continue;
+      for (std::size_t rep_pos : it->second) {
+        const std::size_t rep_clip = res.representatives[rep_pos];
+        const double sim = hsd::stats::dot(unit[i], unit[rep_clip]);
+        if (sim > best_sim) {
+          best_sim = sim;
+          best_cluster = rep_pos;
+        }
+      }
+    }
+    if (best_sim >= threshold) {
+      res.cluster_of[i] = best_cluster;
+    } else {
+      const std::size_t cluster = res.representatives.size();
+      res.representatives.push_back(i);
+      reps_by_bucket[b].push_back(cluster);
+      res.cluster_of[i] = cluster;
+    }
+  }
+}
+
+}  // namespace
+
+PmResult run_pattern_matching(const std::vector<layout::Clip>& clips,
+                              const std::vector<std::vector<double>>& features,
+                              litho::LithoOracle& oracle, const PmConfig& config) {
+  PmResult res;
+  const std::size_t n = clips.size();
+  if (n == 0) return res;
+
+  switch (config.mode) {
+    case MatchMode::kExact: {
+      std::vector<std::uint64_t> keys(n);
+      for (std::size_t i = 0; i < n; ++i) keys[i] = clips[i].pattern_hash;
+      cluster_by_key(keys, res);
+      break;
+    }
+    case MatchMode::kEdgeTolerance: {
+      std::vector<std::uint64_t> keys(n);
+      for (std::size_t i = 0; i < n; ++i) keys[i] = tolerance_hash(clips[i], config.edge_tol);
+      cluster_by_key(keys, res);
+      break;
+    }
+    case MatchMode::kShiftExact: {
+      std::vector<std::uint64_t> keys(n);
+      for (std::size_t i = 0; i < n; ++i) keys[i] = shift_hash(clips[i]);
+      cluster_by_key(keys, res);
+      break;
+    }
+    case MatchMode::kSimilarity: {
+      if (features.size() != n) {
+        throw std::invalid_argument(
+            "run_pattern_matching: similarity mode needs one feature row per clip");
+      }
+      cluster_by_similarity(features, config.sim_threshold, res);
+      break;
+    }
+  }
+
+  // Lithography-simulate one representative per cluster and propagate.
+  std::vector<int> cluster_label(res.representatives.size(), 0);
+  for (std::size_t c = 0; c < res.representatives.size(); ++c) {
+    cluster_label[c] = oracle.label(clips[res.representatives[c]]) ? 1 : 0;
+  }
+  res.litho_count = res.representatives.size();
+  res.predicted.resize(n);
+  for (std::size_t i = 0; i < n; ++i) res.predicted[i] = cluster_label[res.cluster_of[i]];
+  return res;
+}
+
+}  // namespace hsd::pm

@@ -1,0 +1,55 @@
+#pragma once
+// Pattern-matching hotspot detection baselines (Chen et al., DAC'17 — the
+// "PM" columns of Table II). The full-chip clip population is clustered by
+// pattern equivalence; one representative per cluster is sent to lithography
+// simulation (the counted cost) and its label is propagated to the whole
+// cluster.
+//
+// Three equivalences are provided:
+//   kExact         — bit-identical geometry (PM-exact; always correct,
+//                    maximal litho count),
+//   kSimilarity    — cosine similarity of clip features above a threshold
+//                    (PM-a95 / PM-a90 fuzzy matching),
+//   kEdgeTolerance — all rectangle edges within +-tol nm (PM-e2).
+
+#include <cstddef>
+#include <vector>
+
+#include "layout/clip.hpp"
+#include "litho/oracle.hpp"
+
+namespace hsd::pm {
+
+/// kShiftExact additionally canonicalizes translation (clips that are the
+/// same pattern shifted inside the window cluster together) — the
+/// clip-shifting cluster-minimization idea of Chen et al. [2].
+enum class MatchMode { kExact, kSimilarity, kEdgeTolerance, kShiftExact };
+
+struct PmConfig {
+  MatchMode mode = MatchMode::kExact;
+  /// Cosine similarity threshold for kSimilarity (e.g. 0.95 for PM-a95).
+  double sim_threshold = 0.95;
+  /// Edge displacement tolerance in nm for kEdgeTolerance (e.g. 2).
+  layout::Coord edge_tol = 2;
+};
+
+struct PmResult {
+  /// Predicted label per clip (1 = hotspot).
+  std::vector<int> predicted;
+  /// Cluster id per clip.
+  std::vector<std::size_t> cluster_of;
+  /// Clip index of each cluster's litho-simulated representative.
+  std::vector<std::size_t> representatives;
+  /// Number of lithography simulations spent (== representatives.size()).
+  std::size_t litho_count = 0;
+};
+
+/// Runs the pattern-matching flow. `features` must be one row per clip for
+/// kSimilarity mode (any per-clip descriptor; rows are L2-normalized
+/// internally) and may be empty for the other modes. Simulations go through
+/// `oracle` and are counted there as well.
+PmResult run_pattern_matching(const std::vector<layout::Clip>& clips,
+                              const std::vector<std::vector<double>>& features,
+                              litho::LithoOracle& oracle, const PmConfig& config);
+
+}  // namespace hsd::pm

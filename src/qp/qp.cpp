@@ -1,0 +1,133 @@
+#include "qp/qp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace hsd::qp {
+
+namespace {
+
+void matvec(const std::vector<double>& s, std::size_t n,
+            const std::vector<double>& x, std::vector<double>& out) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* row = s.data() + i * n;
+    double acc = 0.0;
+    for (std::size_t j = 0; j < n; ++j) acc += row[j] * x[j];
+    out[i] = acc;
+  }
+}
+
+/// Largest-eigenvalue estimate of symmetric S by power iteration.
+double spectral_norm_estimate(const std::vector<double>& s, std::size_t n) {
+  std::vector<double> v(n, 1.0 / std::sqrt(static_cast<double>(n)));
+  std::vector<double> w(n, 0.0);
+  double lambda = 1.0;
+  for (int it = 0; it < 30; ++it) {
+    matvec(s, n, v, w);
+    double norm = 0.0;
+    for (double x : w) norm += x * x;
+    norm = std::sqrt(norm);
+    if (norm < 1e-30) return 1.0;
+    lambda = norm;
+    for (std::size_t i = 0; i < n; ++i) v[i] = w[i] / norm;
+  }
+  return lambda;
+}
+
+}  // namespace
+
+std::vector<double> project_capped_simplex(const std::vector<double>& y, double k) {
+  const std::size_t n = y.size();
+  if (k < 0.0 || k > static_cast<double>(n)) {
+    throw std::invalid_argument("project_capped_simplex: k out of range");
+  }
+  // x_i(lambda) = clamp(y_i - lambda, 0, 1) is non-increasing in lambda;
+  // bisect for sum x = k.
+  auto sum_at = [&](double lambda) {
+    double s = 0.0;
+    for (double v : y) s += std::clamp(v - lambda, 0.0, 1.0);
+    return s;
+  };
+  double lo = *std::min_element(y.begin(), y.end()) - 1.0;  // sum = n >= k
+  double hi = *std::max_element(y.begin(), y.end());        // sum = 0 <= k
+  for (int it = 0; it < 100; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    if (sum_at(mid) > k) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  const double lambda = 0.5 * (lo + hi);
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) x[i] = std::clamp(y[i] - lambda, 0.0, 1.0);
+  return x;
+}
+
+QpResult solve_box_budget_qp(const std::vector<double>& s, std::size_t n,
+                             const std::vector<double>& c, double k,
+                             const QpConfig& config) {
+  if (s.size() != n * n) throw std::invalid_argument("solve_box_budget_qp: bad S size");
+  if (!c.empty() && c.size() != n) throw std::invalid_argument("solve_box_budget_qp: bad c size");
+  if (n == 0) return {};
+
+  QpResult res;
+  // Feasible start: uniform k/n.
+  res.x.assign(n, k / static_cast<double>(n));
+
+  double step = config.step;
+  if (step <= 0.0) {
+    const double l = spectral_norm_estimate(s, n);
+    step = 1.0 / std::max(l, 1e-12);
+  }
+
+  std::vector<double> grad(n, 0.0);
+  std::vector<double> y(n, 0.0);
+  for (std::size_t iter = 0; iter < config.max_iters; ++iter) {
+    matvec(s, n, res.x, grad);
+    if (!c.empty()) {
+      for (std::size_t i = 0; i < n; ++i) grad[i] += c[i];
+    }
+    for (std::size_t i = 0; i < n; ++i) y[i] = res.x[i] - step * grad[i];
+    std::vector<double> x_new = project_capped_simplex(y, k);
+    double delta = 0.0;
+    for (std::size_t i = 0; i < n; ++i) delta = std::max(delta, std::abs(x_new[i] - res.x[i]));
+    res.x = std::move(x_new);
+    res.iterations = iter + 1;
+    if (delta < config.tol) {
+      res.converged = true;
+      break;
+    }
+  }
+
+  // Objective and KKT residual at the final iterate.
+  matvec(s, n, res.x, grad);
+  res.objective = 0.0;
+  for (std::size_t i = 0; i < n; ++i) res.objective += 0.5 * res.x[i] * grad[i];
+  if (!c.empty()) {
+    for (std::size_t i = 0; i < n; ++i) {
+      grad[i] += c[i];
+      res.objective += c[i] * res.x[i];
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) y[i] = res.x[i] - grad[i];
+  const std::vector<double> proj = project_capped_simplex(y, k);
+  for (std::size_t i = 0; i < n; ++i) {
+    res.kkt_residual = std::max(res.kkt_residual, std::abs(proj[i] - res.x[i]));
+  }
+  return res;
+}
+
+std::vector<std::size_t> top_k_indices(const std::vector<double>& x, std::size_t k) {
+  if (k > x.size()) throw std::invalid_argument("top_k_indices: k > n");
+  std::vector<std::size_t> idx(x.size());
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  std::partial_sort(idx.begin(), idx.begin() + static_cast<std::ptrdiff_t>(k), idx.end(),
+                    [&](std::size_t a, std::size_t b) { return x[a] > x[b]; });
+  idx.resize(k);
+  return idx;
+}
+
+}  // namespace hsd::qp

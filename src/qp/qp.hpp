@@ -1,0 +1,50 @@
+#pragma once
+// Projected-gradient solver for the box-and-budget quadratic program behind
+// the batch-diversity formulation of Yang et al. (TCAD'20), the baseline the
+// paper compares its min-distance diversity metric against:
+//
+//   minimize    0.5 * x^T S x + c^T x
+//   subject to  sum_i x_i = k,   0 <= x_i <= 1,
+//
+// where S is a (symmetric) pairwise-similarity matrix. The integer
+// constraint x_i in {0,1} is relaxed to the box, exactly as in the baseline,
+// and the k largest entries of the relaxed solution are rounded to the
+// selected batch — the relaxation whose diversity loss the paper criticizes.
+
+#include <cstddef>
+#include <vector>
+
+namespace hsd::qp {
+
+struct QpConfig {
+  std::size_t max_iters = 500;
+  /// Stop when the projected-gradient step moves x by less than this (inf norm).
+  double tol = 1e-7;
+  /// Step size; 0 picks 1/L with L estimated by power iteration on S.
+  double step = 0.0;
+};
+
+struct QpResult {
+  std::vector<double> x;
+  double objective = 0.0;
+  std::size_t iterations = 0;
+  /// Inf-norm distance between x and the projection of x - grad — zero at a
+  /// KKT point of the relaxed problem.
+  double kkt_residual = 0.0;
+  bool converged = false;
+};
+
+/// Euclidean projection of y onto {x : sum x = k, 0 <= x <= 1}.
+/// Requires 0 <= k <= y.size().
+std::vector<double> project_capped_simplex(const std::vector<double>& y, double k);
+
+/// Solves the relaxed QP. `s` is the row-major n x n matrix; `c` may be
+/// empty (treated as zero).
+QpResult solve_box_budget_qp(const std::vector<double>& s, std::size_t n,
+                             const std::vector<double>& c, double k,
+                             const QpConfig& config = {});
+
+/// Indices of the `k` largest entries of x (the rounding step).
+std::vector<std::size_t> top_k_indices(const std::vector<double>& x, std::size_t k);
+
+}  // namespace hsd::qp

@@ -1,0 +1,46 @@
+#include "stats/bootstrap.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "stats/summary.hpp"
+
+namespace hsd::stats {
+
+BootstrapInterval bootstrap_mean_ci(const std::vector<double>& sample, Rng& rng,
+                                    double confidence, std::size_t resamples) {
+  if (confidence <= 0.0 || confidence >= 1.0) {
+    throw std::invalid_argument("bootstrap_mean_ci: confidence must be in (0, 1)");
+  }
+  if (resamples == 0) throw std::invalid_argument("bootstrap_mean_ci: resamples == 0");
+
+  BootstrapInterval ci;
+  ci.resamples = resamples;
+  if (sample.empty()) return ci;
+  ci.point = mean(sample);
+  if (sample.size() == 1) {
+    ci.lo = ci.hi = ci.point;
+    return ci;
+  }
+
+  const std::size_t n = sample.size();
+  std::vector<double> means(resamples);
+  for (std::size_t r = 0; r < resamples; ++r) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      total += sample[static_cast<std::size_t>(
+          rng.randint(0, static_cast<std::int64_t>(n) - 1))];
+    }
+    means[r] = total / static_cast<double>(n);
+  }
+  std::sort(means.begin(), means.end());
+  const double alpha = (1.0 - confidence) / 2.0;
+  const auto lo_idx = static_cast<std::size_t>(alpha * static_cast<double>(resamples - 1));
+  const auto hi_idx = static_cast<std::size_t>((1.0 - alpha) *
+                                               static_cast<double>(resamples - 1));
+  ci.lo = means[lo_idx];
+  ci.hi = means[hi_idx];
+  return ci;
+}
+
+}  // namespace hsd::stats

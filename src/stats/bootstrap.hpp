@@ -1,0 +1,28 @@
+#pragma once
+// Nonparametric bootstrap confidence intervals for experiment summaries:
+// repeated runs of a stochastic PSHD flow produce small samples of accuracy
+// and litho overhead; percentile-bootstrap intervals quantify how stable a
+// method's operating point is (the Fig. 4 "narrow band" stability claim).
+
+#include <cstddef>
+#include <vector>
+
+#include "stats/rng.hpp"
+
+namespace hsd::stats {
+
+struct BootstrapInterval {
+  double point = 0.0;  ///< statistic on the original sample (mean)
+  double lo = 0.0;     ///< lower percentile bound
+  double hi = 0.0;     ///< upper percentile bound
+  std::size_t resamples = 0;
+};
+
+/// Percentile-bootstrap CI for the mean of `sample` at the given confidence
+/// level (e.g. 0.95). Empty samples yield a zero interval; single-element
+/// samples collapse to the point.
+BootstrapInterval bootstrap_mean_ci(const std::vector<double>& sample, Rng& rng,
+                                    double confidence = 0.95,
+                                    std::size_t resamples = 2000);
+
+}  // namespace hsd::stats

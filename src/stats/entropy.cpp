@@ -1,0 +1,65 @@
+#include "stats/entropy.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hsd::stats {
+
+double shannon_entropy(const std::vector<double>& p) {
+  double total = 0.0;
+  for (double v : p) {
+    if (v < 0.0) throw std::invalid_argument("shannon_entropy: negative probability");
+    total += v;
+  }
+  if (total <= 0.0) return 0.0;
+  double h = 0.0;
+  for (double v : p) {
+    if (v > 0.0) {
+      const double q = v / total;
+      h -= q * std::log(q);
+    }
+  }
+  return h;
+}
+
+double indicator_entropy(const std::vector<double>& scores) {
+  const std::size_t n = scores.size();
+  if (n <= 1) return 1.0;
+  double total = 0.0;
+  for (double v : scores) {
+    if (v < 0.0) throw std::invalid_argument("indicator_entropy: negative score");
+    total += v;
+  }
+  if (total <= 0.0) return 1.0;  // all-zero column: no information
+  const double b = 1.0 / std::log(static_cast<double>(n));
+  double h = 0.0;
+  for (double v : scores) {
+    if (v > 0.0) {
+      const double q = v / total;
+      h -= q * std::log(q);
+    }
+  }
+  return b * h;
+}
+
+EntropyWeights entropy_weighting(const std::vector<double>& uncertainty,
+                                 const std::vector<double>& diversity) {
+  if (uncertainty.size() != diversity.size()) {
+    throw std::invalid_argument("entropy_weighting: column sizes differ");
+  }
+  EntropyWeights w;
+  w.e_uncertainty = indicator_entropy(uncertainty);
+  w.e_diversity = indicator_entropy(diversity);
+  const double denom = 2.0 - (w.e_uncertainty + w.e_diversity);
+  if (denom <= 1e-12) {
+    // Both indicators uniform: neither discriminates, split evenly.
+    w.w_uncertainty = 0.5;
+    w.w_diversity = 0.5;
+  } else {
+    w.w_uncertainty = (1.0 - w.e_uncertainty) / denom;
+    w.w_diversity = (1.0 - w.e_diversity) / denom;
+  }
+  return w;
+}
+
+}  // namespace hsd::stats

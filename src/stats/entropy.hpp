@@ -1,0 +1,39 @@
+#pragma once
+// Shannon entropy and the entropy weighting method of the paper
+// (Eqs. 10-13): dynamic weights for fusing the uncertainty and diversity
+// indicators according to their dispersion in the current query set.
+
+#include <array>
+#include <vector>
+
+namespace hsd::stats {
+
+/// Shannon entropy (natural log) of a discrete distribution `p`.
+/// Entries must be non-negative; they are normalized internally.
+/// Zero entries contribute zero (lim p->0 of p ln p).
+double shannon_entropy(const std::vector<double>& p);
+
+/// Normalized entropy of an *indicator column* per Eqs. 11-12 of the paper:
+/// scores are turned into proportions q_i = r_i / sum(r), and
+/// E = -(1/ln n) * sum q_i ln q_i, guaranteed in [0, 1].
+/// `scores` must already be min-max normalized (Eq. 10) and non-negative.
+/// For n <= 1 or an all-zero column the entropy is defined as 1 (the
+/// indicator carries no information).
+double indicator_entropy(const std::vector<double>& scores);
+
+/// Result of the entropy weighting method for two indicators.
+struct EntropyWeights {
+  double w_uncertainty = 0.5;  ///< omega_1 of Eq. 13
+  double w_diversity = 0.5;    ///< omega_2 of Eq. 13
+  double e_uncertainty = 1.0;  ///< E_1 of Eq. 12
+  double e_diversity = 1.0;    ///< E_2 of Eq. 12
+};
+
+/// Computes the dynamic weights of Eq. 13 from the (already min-max
+/// normalized) uncertainty and diversity columns. Weights are in [0, 1] and
+/// sum to 1. If both indicators are fully uninformative (E_1 = E_2 = 1) the
+/// weights fall back to 0.5/0.5.
+EntropyWeights entropy_weighting(const std::vector<double>& uncertainty,
+                                 const std::vector<double>& diversity);
+
+}  // namespace hsd::stats

@@ -1,0 +1,104 @@
+#include "stats/kmeans.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace hsd::stats {
+
+double squared_distance(const std::vector<double>& a, const std::vector<double>& b) {
+  if (a.size() != b.size()) throw std::invalid_argument("squared_distance: size mismatch");
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    s += d * d;
+  }
+  return s;
+}
+
+std::vector<std::size_t> kmeanspp_seed(const std::vector<std::vector<double>>& data,
+                                       std::size_t k, Rng& rng) {
+  const std::size_t n = data.size();
+  if (k == 0 || k > n) throw std::invalid_argument("kmeanspp_seed: bad k");
+
+  std::vector<std::size_t> seeds;
+  seeds.reserve(k);
+  seeds.push_back(static_cast<std::size_t>(rng.randint(0, static_cast<std::int64_t>(n) - 1)));
+
+  std::vector<double> d2(n, std::numeric_limits<double>::infinity());
+  while (seeds.size() < k) {
+    const auto& last = data[seeds.back()];
+    for (std::size_t i = 0; i < n; ++i) {
+      d2[i] = std::min(d2[i], squared_distance(data[i], last));
+    }
+    double total = 0.0;
+    for (double d : d2) total += d;
+    std::size_t next;
+    if (total <= 0.0) {
+      // All remaining points coincide with chosen seeds; pick any unseeded.
+      next = static_cast<std::size_t>(rng.randint(0, static_cast<std::int64_t>(n) - 1));
+    } else {
+      next = rng.weighted_index(d2);
+    }
+    seeds.push_back(next);
+  }
+  return seeds;
+}
+
+KMeansResult kmeans(const std::vector<std::vector<double>>& data, std::size_t k,
+                    Rng& rng, std::size_t max_iters) {
+  const std::size_t n = data.size();
+  if (n == 0) throw std::invalid_argument("kmeans: empty data");
+  const std::size_t dim = data[0].size();
+
+  KMeansResult res;
+  const auto seeds = kmeanspp_seed(data, k, rng);
+  res.centroids.reserve(k);
+  for (std::size_t s : seeds) res.centroids.push_back(data[s]);
+  res.assignment.assign(n, 0);
+
+  for (std::size_t iter = 0; iter < max_iters; ++iter) {
+    bool changed = false;
+    // Assignment step.
+    for (std::size_t i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      std::size_t best_c = res.assignment[i];
+      for (std::size_t c = 0; c < k; ++c) {
+        const double d = squared_distance(data[i], res.centroids[c]);
+        if (d < best) {
+          best = d;
+          best_c = c;
+        }
+      }
+      if (best_c != res.assignment[i]) {
+        res.assignment[i] = best_c;
+        changed = true;
+      }
+    }
+    res.iterations = iter + 1;
+    if (!changed && iter > 0) break;
+
+    // Update step.
+    std::vector<std::vector<double>> sums(k, std::vector<double>(dim, 0.0));
+    std::vector<std::size_t> counts(k, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      counts[res.assignment[i]]++;
+      for (std::size_t j = 0; j < dim; ++j) sums[res.assignment[i]][j] += data[i][j];
+    }
+    for (std::size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) continue;  // empty cluster keeps its centroid
+      for (std::size_t j = 0; j < dim; ++j) {
+        res.centroids[c][j] = sums[c][j] / static_cast<double>(counts[c]);
+      }
+    }
+    if (!changed) break;
+  }
+
+  res.inertia = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    res.inertia += squared_distance(data[i], res.centroids[res.assignment[i]]);
+  }
+  return res;
+}
+
+}  // namespace hsd::stats

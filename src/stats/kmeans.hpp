@@ -1,0 +1,36 @@
+#pragma once
+// Lloyd k-means with k-means++ seeding. Serves as (a) the clustering
+// diversity baseline referenced by the paper ([11]) and (b) the fuzzy
+// pattern-matching clusterer's refinement step.
+
+#include <cstddef>
+#include <vector>
+
+#include "stats/rng.hpp"
+
+namespace hsd::stats {
+
+/// Result of a k-means run.
+struct KMeansResult {
+  std::vector<std::vector<double>> centroids;  ///< k centroids
+  std::vector<std::size_t> assignment;         ///< cluster id per sample
+  double inertia = 0.0;   ///< sum of squared distances to assigned centroid
+  std::size_t iterations = 0;  ///< Lloyd iterations executed
+};
+
+/// Runs k-means++ seeding followed by Lloyd iterations.
+///
+/// `data` is row-major (sample per row); `k` must satisfy 1 <= k <= n.
+/// Iterates until assignment is stable or `max_iters` is reached.
+KMeansResult kmeans(const std::vector<std::vector<double>>& data, std::size_t k,
+                    Rng& rng, std::size_t max_iters = 100);
+
+/// k-means++ seeding only: returns `k` distinct sample indices, the first
+/// uniform, the rest D^2-weighted (Arthur & Vassilvitskii, SODA'07).
+std::vector<std::size_t> kmeanspp_seed(const std::vector<std::vector<double>>& data,
+                                       std::size_t k, Rng& rng);
+
+/// Squared Euclidean distance between equal-length vectors.
+double squared_distance(const std::vector<double>& a, const std::vector<double>& b);
+
+}  // namespace hsd::stats

@@ -1,0 +1,63 @@
+#include "stats/normalize.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace hsd::stats {
+
+void minmax_normalize(std::vector<double>& v) {
+  if (v.empty()) return;
+  const auto [lo_it, hi_it] = std::minmax_element(v.begin(), v.end());
+  const double lo = *lo_it;
+  const double hi = *hi_it;
+  const double range = hi - lo;
+  if (range <= 0.0) {
+    std::fill(v.begin(), v.end(), 0.0);
+    return;
+  }
+  for (double& x : v) x = (x - lo) / range;
+}
+
+std::vector<double> minmax_normalized(const std::vector<double>& v) {
+  std::vector<double> out = v;
+  minmax_normalize(out);
+  return out;
+}
+
+double l2_norm(const std::vector<double>& v) {
+  double s = 0.0;
+  for (double x : v) s += x * x;
+  return std::sqrt(s);
+}
+
+void l2_normalize(std::vector<double>& v) {
+  const double n = l2_norm(v);
+  if (n <= 0.0) return;
+  for (double& x : v) x /= n;
+}
+
+double dot(const std::vector<double>& a, const std::vector<double>& b) {
+  if (a.size() != b.size()) throw std::invalid_argument("dot: size mismatch");
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+void zscore_normalize(std::vector<double>& v) {
+  if (v.empty()) return;
+  double mean = 0.0;
+  for (double x : v) mean += x;
+  mean /= static_cast<double>(v.size());
+  double var = 0.0;
+  for (double x : v) var += (x - mean) * (x - mean);
+  var /= static_cast<double>(v.size());
+  const double sd = std::sqrt(var);
+  if (sd <= 0.0) {
+    std::fill(v.begin(), v.end(), 0.0);
+    return;
+  }
+  for (double& x : v) x = (x - mean) / sd;
+}
+
+}  // namespace hsd::stats

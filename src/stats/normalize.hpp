@@ -1,0 +1,29 @@
+#pragma once
+// Score and feature normalization helpers (Eq. 10 of the paper and the
+// L2 feature normalization behind the diversity metric of Eq. 8).
+
+#include <vector>
+
+namespace hsd::stats {
+
+/// Min-max normalizes a column in place per Eq. 10:
+/// r_i = (a_i - min) / (max - min). A constant column maps to all zeros.
+void minmax_normalize(std::vector<double>& v);
+
+/// Min-max normalization returning a copy.
+std::vector<double> minmax_normalized(const std::vector<double>& v);
+
+/// L2-normalizes a vector in place; a zero vector is left unchanged.
+void l2_normalize(std::vector<double>& v);
+
+/// Returns the L2 norm of `v`.
+double l2_norm(const std::vector<double>& v);
+
+/// Inner product of equal-length vectors.
+double dot(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Z-score standardization in place (mean 0, stddev 1); a constant column
+/// maps to all zeros.
+void zscore_normalize(std::vector<double>& v);
+
+}  // namespace hsd::stats

@@ -1,0 +1,145 @@
+#include "stats/pca.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace hsd::stats {
+
+void symmetric_eigen(std::vector<double> a, std::size_t n,
+                     std::vector<double>& values,
+                     std::vector<std::vector<double>>& vectors) {
+  if (a.size() != n * n) throw std::invalid_argument("symmetric_eigen: bad matrix size");
+  // V starts as identity; accumulates the rotations.
+  std::vector<double> v(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) v[i * n + i] = 1.0;
+
+  const int max_sweeps = 64;
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (std::size_t p = 0; p < n; ++p)
+      for (std::size_t q = p + 1; q < n; ++q) off += a[p * n + q] * a[p * n + q];
+    if (off < 1e-24) break;
+
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = a[p * n + q];
+        if (std::abs(apq) < 1e-300) continue;
+        const double app = a[p * n + p];
+        const double aqq = a[q * n + q];
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        // Apply rotation G(p,q,theta) on both sides of A and accumulate in V.
+        for (std::size_t k = 0; k < n; ++k) {
+          const double akp = a[k * n + p];
+          const double akq = a[k * n + q];
+          a[k * n + p] = c * akp - s * akq;
+          a[k * n + q] = s * akp + c * akq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double apk = a[p * n + k];
+          const double aqk = a[q * n + k];
+          a[p * n + k] = c * apk - s * aqk;
+          a[q * n + k] = s * apk + c * aqk;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vkp = v[k * n + p];
+          const double vkq = v[k * n + q];
+          v[k * n + p] = c * vkp - s * vkq;
+          v[k * n + q] = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Extract and sort by descending eigenvalue.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::vector<double> diag(n);
+  for (std::size_t i = 0; i < n; ++i) diag[i] = a[i * n + i];
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t x, std::size_t y) { return diag[x] > diag[y]; });
+
+  values.assign(n, 0.0);
+  vectors.assign(n, std::vector<double>(n, 0.0));
+  for (std::size_t r = 0; r < n; ++r) {
+    values[r] = diag[order[r]];
+    for (std::size_t k = 0; k < n; ++k) vectors[r][k] = v[k * n + order[r]];
+  }
+}
+
+Pca Pca::fit(const std::vector<std::vector<double>>& data, std::size_t num_components) {
+  if (data.empty()) throw std::invalid_argument("Pca::fit: empty data");
+  const std::size_t dim = data[0].size();
+  if (num_components == 0 || num_components > dim) {
+    throw std::invalid_argument("Pca::fit: bad num_components");
+  }
+
+  Pca pca;
+  pca.mean_.assign(dim, 0.0);
+  for (const auto& row : data) {
+    if (row.size() != dim) throw std::invalid_argument("Pca::fit: ragged data");
+    for (std::size_t j = 0; j < dim; ++j) pca.mean_[j] += row[j];
+  }
+  const auto n = static_cast<double>(data.size());
+  for (double& m : pca.mean_) m /= n;
+
+  // Sample covariance (row-major symmetric).
+  std::vector<double> cov(dim * dim, 0.0);
+  for (const auto& row : data) {
+    for (std::size_t i = 0; i < dim; ++i) {
+      const double di = row[i] - pca.mean_[i];
+      for (std::size_t j = i; j < dim; ++j) {
+        cov[i * dim + j] += di * (row[j] - pca.mean_[j]);
+      }
+    }
+  }
+  const double denom = std::max(n - 1.0, 1.0);
+  for (std::size_t i = 0; i < dim; ++i)
+    for (std::size_t j = i; j < dim; ++j) {
+      cov[i * dim + j] /= denom;
+      cov[j * dim + i] = cov[i * dim + j];
+    }
+
+  std::vector<double> values;
+  std::vector<std::vector<double>> vectors;
+  symmetric_eigen(std::move(cov), dim, values, vectors);
+
+  double total_var = 0.0;
+  for (double v : values) total_var += std::max(v, 0.0);
+  pca.components_.assign(vectors.begin(),
+                         vectors.begin() + static_cast<std::ptrdiff_t>(num_components));
+  pca.explained_variance_ratio_.resize(num_components);
+  for (std::size_t c = 0; c < num_components; ++c) {
+    pca.explained_variance_ratio_[c] =
+        total_var > 0.0 ? std::max(values[c], 0.0) / total_var : 0.0;
+  }
+  return pca;
+}
+
+std::vector<double> Pca::transform(const std::vector<double>& x) const {
+  if (x.size() != mean_.size()) throw std::invalid_argument("Pca::transform: bad dimension");
+  std::vector<double> out(components_.size(), 0.0);
+  for (std::size_t c = 0; c < components_.size(); ++c) {
+    double s = 0.0;
+    for (std::size_t j = 0; j < mean_.size(); ++j) {
+      s += (x[j] - mean_[j]) * components_[c][j];
+    }
+    out[c] = s;
+  }
+  return out;
+}
+
+std::vector<std::vector<double>> Pca::transform(
+    const std::vector<std::vector<double>>& data) const {
+  std::vector<std::vector<double>> out;
+  out.reserve(data.size());
+  for (const auto& row : data) out.push_back(transform(row));
+  return out;
+}
+
+}  // namespace hsd::stats

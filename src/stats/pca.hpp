@@ -1,0 +1,50 @@
+#pragma once
+// Principal component analysis via Jacobi eigendecomposition of the sample
+// covariance matrix. Used to project penultimate-layer features to 2-D for
+// the diversity visualization of Fig. 3(a) and to compress DCT features
+// before GMM fitting.
+
+#include <cstddef>
+#include <vector>
+
+namespace hsd::stats {
+
+/// A fitted PCA model: per-dimension mean and the leading principal axes.
+class Pca {
+ public:
+  /// Fits `num_components` principal axes to row-major data
+  /// (`data[i]` = sample i). Requires at least one sample and
+  /// 1 <= num_components <= dimension.
+  static Pca fit(const std::vector<std::vector<double>>& data,
+                 std::size_t num_components);
+
+  /// Projects one sample onto the fitted axes.
+  std::vector<double> transform(const std::vector<double>& x) const;
+
+  /// Projects a batch of samples.
+  std::vector<std::vector<double>> transform(
+      const std::vector<std::vector<double>>& data) const;
+
+  /// Fraction of total variance captured by each kept component.
+  const std::vector<double>& explained_variance_ratio() const {
+    return explained_variance_ratio_;
+  }
+
+  std::size_t num_components() const { return components_.size(); }
+  std::size_t input_dimension() const { return mean_.size(); }
+
+ private:
+  Pca() = default;
+  std::vector<double> mean_;
+  std::vector<std::vector<double>> components_;  // each row: one unit axis
+  std::vector<double> explained_variance_ratio_;
+};
+
+/// Symmetric eigendecomposition by cyclic Jacobi rotations.
+/// `a` is a dense symmetric matrix (row-major, n*n). Returns eigenvalues in
+/// descending order and matching unit eigenvectors (rows of `vectors`).
+void symmetric_eigen(std::vector<double> a, std::size_t n,
+                     std::vector<double>& values,
+                     std::vector<std::vector<double>>& vectors);
+
+}  // namespace hsd::stats

@@ -1,0 +1,87 @@
+#include "stats/reliability.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace hsd::stats {
+
+namespace {
+constexpr double kEps = 1e-12;
+}
+
+ReliabilityDiagram reliability_diagram(const std::vector<std::vector<double>>& probs,
+                                       const std::vector<int>& labels,
+                                       std::size_t num_bins) {
+  if (probs.size() != labels.size()) {
+    throw std::invalid_argument("reliability_diagram: probs/labels size mismatch");
+  }
+  if (num_bins == 0) throw std::invalid_argument("reliability_diagram: num_bins == 0");
+
+  ReliabilityDiagram d;
+  d.bins.resize(num_bins);
+  const double width = 1.0 / static_cast<double>(num_bins);
+  for (std::size_t b = 0; b < num_bins; ++b) {
+    d.bins[b].lo = static_cast<double>(b) * width;
+    d.bins[b].hi = static_cast<double>(b + 1) * width;
+  }
+
+  std::vector<double> conf_sum(num_bins, 0.0);
+  std::vector<std::size_t> correct(num_bins, 0);
+  std::size_t total_correct = 0;
+  const std::size_t n = probs.size();
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& p = probs[i];
+    if (p.empty()) throw std::invalid_argument("reliability_diagram: empty probability row");
+    const auto arg = static_cast<std::size_t>(
+        std::max_element(p.begin(), p.end()) - p.begin());
+    const double conf = p[arg];
+    auto b = static_cast<std::size_t>(conf / width);
+    if (b >= num_bins) b = num_bins - 1;  // conf == 1.0 lands in the last bin
+    d.bins[b].count++;
+    conf_sum[b] += conf;
+    const bool ok = static_cast<int>(arg) == labels[i];
+    if (ok) {
+      correct[b]++;
+      total_correct++;
+    }
+    const std::size_t label = static_cast<std::size_t>(labels[i]);
+    const double p_true = label < p.size() ? p[label] : 0.0;
+    d.nll += -std::log(std::max(p_true, kEps));
+    d.brier += (conf - (ok ? 1.0 : 0.0)) * (conf - (ok ? 1.0 : 0.0));
+  }
+
+  for (std::size_t b = 0; b < num_bins; ++b) {
+    if (d.bins[b].count == 0) continue;
+    const auto cnt = static_cast<double>(d.bins[b].count);
+    d.bins[b].mean_confidence = conf_sum[b] / cnt;
+    d.bins[b].accuracy = static_cast<double>(correct[b]) / cnt;
+    const double gap = std::abs(d.bins[b].mean_confidence - d.bins[b].accuracy);
+    d.ece += (cnt / static_cast<double>(n)) * gap;
+    d.mce = std::max(d.mce, gap);
+  }
+  if (n > 0) {
+    d.nll /= static_cast<double>(n);
+    d.brier /= static_cast<double>(n);
+    d.accuracy = static_cast<double>(total_correct) / static_cast<double>(n);
+  }
+  return d;
+}
+
+double negative_log_likelihood(const std::vector<std::vector<double>>& probs,
+                               const std::vector<int>& labels) {
+  if (probs.size() != labels.size()) {
+    throw std::invalid_argument("negative_log_likelihood: size mismatch");
+  }
+  if (probs.empty()) return 0.0;
+  double nll = 0.0;
+  for (std::size_t i = 0; i < probs.size(); ++i) {
+    const auto label = static_cast<std::size_t>(labels[i]);
+    const double p = label < probs[i].size() ? probs[i][label] : 0.0;
+    nll += -std::log(std::max(p, kEps));
+  }
+  return nll / static_cast<double>(probs.size());
+}
+
+}  // namespace hsd::stats

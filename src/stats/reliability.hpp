@@ -1,0 +1,48 @@
+#pragma once
+// Reliability diagrams and calibration error metrics (Fig. 2 of the paper
+// and Guo et al., ICML'17).
+//
+// Predictions are partitioned into equally spaced confidence bins; each bin
+// tracks its average confidence and empirical accuracy. The gap between the
+// two visualizes mis-calibration; the Expected Calibration Error (ECE) is the
+// sample-weighted mean absolute gap.
+
+#include <cstddef>
+#include <vector>
+
+namespace hsd::stats {
+
+/// One confidence bin of a reliability diagram.
+struct ReliabilityBin {
+  double lo = 0.0;              ///< inclusive lower confidence edge
+  double hi = 0.0;              ///< exclusive upper edge (inclusive for last bin)
+  std::size_t count = 0;        ///< number of predictions in the bin
+  double mean_confidence = 0.0; ///< average max-probability in the bin
+  double accuracy = 0.0;        ///< fraction of correct predictions in the bin
+};
+
+/// A binned reliability diagram plus summary calibration metrics.
+struct ReliabilityDiagram {
+  std::vector<ReliabilityBin> bins;
+  double ece = 0.0;  ///< expected calibration error
+  double mce = 0.0;  ///< maximum calibration error (max per-bin |gap|)
+  double nll = 0.0;  ///< mean negative log likelihood of the true class
+  double brier = 0.0;///< mean Brier score on the predicted-class probability
+  double accuracy = 0.0;  ///< overall top-1 accuracy
+};
+
+/// Builds a reliability diagram from per-sample class-probability rows.
+///
+/// `probs[i]` holds the (already softmaxed) class probabilities of sample i;
+/// `labels[i]` is the true class index. `num_bins` equally spaced bins cover
+/// [0, 1] on the predicted-class confidence, mirroring Fig. 2.
+ReliabilityDiagram reliability_diagram(const std::vector<std::vector<double>>& probs,
+                                       const std::vector<int>& labels,
+                                       std::size_t num_bins = 10);
+
+/// Mean negative log likelihood of the true class (cross-entropy), the
+/// objective minimized by temperature scaling.
+double negative_log_likelihood(const std::vector<std::vector<double>>& probs,
+                               const std::vector<int>& labels);
+
+}  // namespace hsd::stats

@@ -1,0 +1,63 @@
+#pragma once
+// Deterministic random number generation for reproducible experiments.
+//
+// All stochastic components of the library (weight initialization, data
+// generation, EM initialization, batch shuffling, ...) draw from an Rng
+// instance so that a single seed fixes an entire experiment end to end.
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace hsd::stats {
+
+/// Seedable pseudo-random generator with the helpers the library needs.
+///
+/// Wraps std::mt19937_64; cheap to copy, so child components can be handed
+/// independent streams via split().
+class Rng {
+ public:
+  /// Constructs a generator from a 64-bit seed (default: fixed seed 42).
+  explicit Rng(std::uint64_t seed = 42) : engine_(seed) {}
+
+  /// Uniform real in [lo, hi).
+  double uniform(double lo = 0.0, double hi = 1.0);
+
+  /// Standard normal (mean 0, stddev 1) scaled to (mean, stddev).
+  double normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t randint(std::int64_t lo, std::int64_t hi);
+
+  /// Bernoulli draw with probability p of true.
+  bool bernoulli(double p);
+
+  /// Fisher-Yates shuffle of an index-like vector.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(randint(0, static_cast<std::int64_t>(i) - 1));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Samples k distinct indices from [0, n) without replacement.
+  /// Requires k <= n.
+  std::vector<std::size_t> sample_without_replacement(std::size_t n, std::size_t k);
+
+  /// Draws an index in [0, weights.size()) with probability proportional to
+  /// weights[i]. Requires at least one strictly positive weight.
+  std::size_t weighted_index(const std::vector<double>& weights);
+
+  /// Derives an independent generator; deterministic given this generator's
+  /// current state.
+  Rng split();
+
+  /// Underlying engine access (for std::distributions in callers).
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace hsd::stats

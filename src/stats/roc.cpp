@@ -1,0 +1,77 @@
+#include "stats/roc.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace hsd::stats {
+
+RocCurve roc_curve(const std::vector<double>& scores, const std::vector<int>& labels) {
+  if (scores.size() != labels.size()) {
+    throw std::invalid_argument("roc_curve: scores/labels size mismatch");
+  }
+  RocCurve curve;
+  std::size_t positives = 0;
+  for (int y : labels) positives += (y == 1);
+  const std::size_t negatives = labels.size() - positives;
+  if (positives == 0 || negatives == 0) {
+    curve.points = {{1.0, 0.0, 0.0}, {0.0, 1.0, 1.0}};
+    curve.auc = 0.5;
+    return curve;
+  }
+
+  std::vector<std::size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return scores[a] > scores[b]; });
+
+  std::size_t tp = 0, fp = 0;
+  curve.points.push_back({scores[order.front()] + 1.0, 0.0, 0.0});
+  for (std::size_t i = 0; i < order.size();) {
+    const double threshold = scores[order[i]];
+    // Consume all samples tied at this score before emitting a point.
+    while (i < order.size() && scores[order[i]] == threshold) {
+      if (labels[order[i]] == 1) {
+        tp++;
+      } else {
+        fp++;
+      }
+      i++;
+    }
+    curve.points.push_back({threshold,
+                            static_cast<double>(tp) / static_cast<double>(positives),
+                            static_cast<double>(fp) / static_cast<double>(negatives)});
+  }
+
+  // Trapezoidal AUC over the FPR axis.
+  for (std::size_t i = 1; i < curve.points.size(); ++i) {
+    const auto& a = curve.points[i - 1];
+    const auto& b = curve.points[i];
+    curve.auc += (b.fpr - a.fpr) * (a.tpr + b.tpr) / 2.0;
+  }
+  return curve;
+}
+
+Confusion confusion_at(const std::vector<double>& scores,
+                       const std::vector<int>& labels, double threshold) {
+  if (scores.size() != labels.size()) {
+    throw std::invalid_argument("confusion_at: size mismatch");
+  }
+  Confusion c;
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    const bool pred = scores[i] >= threshold;
+    const bool pos = labels[i] == 1;
+    if (pred && pos) {
+      c.tp++;
+    } else if (pred && !pos) {
+      c.fp++;
+    } else if (!pred && pos) {
+      c.fn++;
+    } else {
+      c.tn++;
+    }
+  }
+  return c;
+}
+
+}  // namespace hsd::stats

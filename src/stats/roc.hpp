@@ -1,0 +1,46 @@
+#pragma once
+// ROC analysis for the hotspot detector: the full TPR/FPR curve over score
+// thresholds, the area under it, and the operating point at a given
+// threshold. Used by the extension benches to characterize detector quality
+// independently of the fixed decision boundary.
+
+#include <cstddef>
+#include <vector>
+
+namespace hsd::stats {
+
+struct RocPoint {
+  double threshold = 0.0;
+  double tpr = 0.0;  ///< true-positive rate (recall)
+  double fpr = 0.0;  ///< false-positive rate
+};
+
+struct RocCurve {
+  std::vector<RocPoint> points;  ///< sorted by decreasing threshold
+  double auc = 0.0;              ///< area under the curve (trapezoidal)
+};
+
+/// Builds the ROC curve of `scores` (higher = more positive) against binary
+/// labels (1 = positive). Degenerate inputs (single class) yield auc = 0.5
+/// by convention and a two-point curve.
+RocCurve roc_curve(const std::vector<double>& scores, const std::vector<int>& labels);
+
+/// Confusion counts at a fixed threshold (score >= threshold => positive).
+struct Confusion {
+  std::size_t tp = 0, fp = 0, fn = 0, tn = 0;
+  double precision() const {
+    return tp + fp > 0 ? static_cast<double>(tp) / static_cast<double>(tp + fp) : 0.0;
+  }
+  double recall() const {
+    return tp + fn > 0 ? static_cast<double>(tp) / static_cast<double>(tp + fn) : 0.0;
+  }
+  double f1() const {
+    const double p = precision(), r = recall();
+    return p + r > 0.0 ? 2.0 * p * r / (p + r) : 0.0;
+  }
+};
+
+Confusion confusion_at(const std::vector<double>& scores,
+                       const std::vector<int>& labels, double threshold);
+
+}  // namespace hsd::stats

@@ -1,0 +1,57 @@
+#include "stats/summary.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace hsd::stats {
+
+Summary summarize(const std::vector<double>& v) {
+  Summary s;
+  s.count = v.size();
+  if (v.empty()) return s;
+  std::vector<double> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  s.min = sorted.front();
+  s.max = sorted.back();
+  const std::size_t n = sorted.size();
+  s.median = (n % 2 == 1) ? sorted[n / 2]
+                          : 0.5 * (sorted[n / 2 - 1] + sorted[n / 2]);
+  double total = 0.0;
+  for (double x : v) total += x;
+  s.mean = total / static_cast<double>(n);
+  double var = 0.0;
+  for (double x : v) var += (x - s.mean) * (x - s.mean);
+  s.stddev = std::sqrt(var / static_cast<double>(n));
+  return s;
+}
+
+double mean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double total = 0.0;
+  for (double x : v) total += x;
+  return total / static_cast<double>(v.size());
+}
+
+std::vector<std::pair<double, double>> group_mean_by(
+    const std::vector<double>& keys, const std::vector<double>& values,
+    int decimals) {
+  const double scale = std::pow(10.0, decimals);
+  std::map<long long, std::pair<double, std::size_t>> buckets;
+  const std::size_t n = std::min(keys.size(), values.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto key = static_cast<long long>(std::llround(keys[i] * scale));
+    auto& [sum, count] = buckets[key];
+    sum += values[i];
+    count++;
+  }
+  std::vector<std::pair<double, double>> out;
+  out.reserve(buckets.size());
+  for (const auto& [key, sc] : buckets) {
+    out.emplace_back(static_cast<double>(key) / scale,
+                     sc.first / static_cast<double>(sc.second));
+  }
+  return out;
+}
+
+}  // namespace hsd::stats

@@ -1,0 +1,33 @@
+#pragma once
+// Small descriptive-statistics helpers used by the benchmark harnesses when
+// reporting averaged results (Table II/III rows, Fig. 4 curves).
+
+#include <cstddef>
+#include <vector>
+
+namespace hsd::stats {
+
+/// Five-number-ish summary of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< population standard deviation
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+};
+
+/// Computes mean/stddev/min/max/median of `v` (empty input -> zeros).
+Summary summarize(const std::vector<double>& v);
+
+/// Arithmetic mean (0 for empty input).
+double mean(const std::vector<double>& v);
+
+/// Groups `values` by rounding `keys` to `decimals` decimal places and
+/// averages values within each group; returns (key, mean value) pairs sorted
+/// by key. Used to average litho overhead per accuracy level in Fig. 4.
+std::vector<std::pair<double, double>> group_mean_by(
+    const std::vector<double>& keys, const std::vector<double>& values,
+    int decimals = 3);
+
+}  // namespace hsd::stats

@@ -1,0 +1,86 @@
+#include "tensor/dct.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace hsd::tensor {
+
+Dct2d::Dct2d(std::size_t n) : n_(n), basis_(n * n) {
+  if (n == 0) throw std::invalid_argument("Dct2d: n == 0");
+  const double pi = std::numbers::pi;
+  const double nf = static_cast<double>(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const double scale = k == 0 ? std::sqrt(1.0 / nf) : std::sqrt(2.0 / nf);
+    for (std::size_t i = 0; i < n; ++i) {
+      basis_[k * n + i] = static_cast<float>(
+          scale * std::cos(pi * (static_cast<double>(i) + 0.5) *
+                           static_cast<double>(k) / nf));
+    }
+  }
+}
+
+std::vector<float> Dct2d::forward(const std::vector<float>& block) const {
+  if (block.size() != n_ * n_) throw std::invalid_argument("Dct2d::forward: bad block size");
+  // tmp = C * X
+  std::vector<float> tmp(n_ * n_, 0.0F);
+  for (std::size_t k = 0; k < n_; ++k) {
+    for (std::size_t i = 0; i < n_; ++i) {
+      const float cki = basis_[k * n_ + i];
+      if (cki == 0.0F) continue;
+      const float* xrow = block.data() + i * n_;
+      float* trow = tmp.data() + k * n_;
+      for (std::size_t j = 0; j < n_; ++j) trow[j] += cki * xrow[j];
+    }
+  }
+  // out = tmp * C^T
+  std::vector<float> out(n_ * n_, 0.0F);
+  for (std::size_t k = 0; k < n_; ++k) {
+    for (std::size_t l = 0; l < n_; ++l) {
+      const float* trow = tmp.data() + k * n_;
+      const float* crow = basis_.data() + l * n_;
+      float s = 0.0F;
+      for (std::size_t j = 0; j < n_; ++j) s += trow[j] * crow[j];
+      out[k * n_ + l] = s;
+    }
+  }
+  return out;
+}
+
+std::vector<float> Dct2d::inverse(const std::vector<float>& coeffs) const {
+  if (coeffs.size() != n_ * n_) throw std::invalid_argument("Dct2d::inverse: bad size");
+  // X = C^T * Y * C
+  std::vector<float> tmp(n_ * n_, 0.0F);
+  for (std::size_t i = 0; i < n_; ++i) {
+    for (std::size_t k = 0; k < n_; ++k) {
+      const float cki = basis_[k * n_ + i];
+      if (cki == 0.0F) continue;
+      const float* yrow = coeffs.data() + k * n_;
+      float* trow = tmp.data() + i * n_;
+      for (std::size_t l = 0; l < n_; ++l) trow[l] += cki * yrow[l];
+    }
+  }
+  std::vector<float> out(n_ * n_, 0.0F);
+  for (std::size_t i = 0; i < n_; ++i) {
+    for (std::size_t j = 0; j < n_; ++j) {
+      const float* trow = tmp.data() + i * n_;
+      float s = 0.0F;
+      for (std::size_t l = 0; l < n_; ++l) s += trow[l] * basis_[l * n_ + j];
+      out[i * n_ + j] = s;
+    }
+  }
+  return out;
+}
+
+std::vector<float> Dct2d::forward_lowfreq(const std::vector<float>& block,
+                                          std::size_t keep) const {
+  if (keep > n_) throw std::invalid_argument("Dct2d::forward_lowfreq: keep > n");
+  const std::vector<float> full = forward(block);
+  std::vector<float> out(keep * keep);
+  for (std::size_t i = 0; i < keep; ++i) {
+    for (std::size_t j = 0; j < keep; ++j) out[i * keep + j] = full[i * n_ + j];
+  }
+  return out;
+}
+
+}  // namespace hsd::tensor

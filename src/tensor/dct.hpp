@@ -1,0 +1,36 @@
+#pragma once
+// 2-D type-II discrete cosine transform, the layout feature encoder used by
+// DCT-based hotspot detectors (Yang et al., JM3'17 / TCAD'20). The low
+// frequency block of the transformed clip raster is the CNN input feature.
+
+#include <cstddef>
+#include <vector>
+
+namespace hsd::tensor {
+
+/// Precomputed orthonormal DCT-II basis for a fixed size n, enabling the
+/// separable 2-D transform C * X * C^T with two small GEMMs.
+class Dct2d {
+ public:
+  /// Builds the basis for n x n blocks (n >= 1).
+  explicit Dct2d(std::size_t n);
+
+  std::size_t size() const { return n_; }
+
+  /// Forward 2-D DCT of a row-major n x n block.
+  std::vector<float> forward(const std::vector<float>& block) const;
+
+  /// Inverse 2-D DCT (orthonormal, so inverse = transpose pair).
+  std::vector<float> inverse(const std::vector<float>& coeffs) const;
+
+  /// Forward transform keeping only the top-left `keep x keep` low-frequency
+  /// coefficients in zig-zag-free row-major order (keep <= n).
+  std::vector<float> forward_lowfreq(const std::vector<float>& block,
+                                     std::size_t keep) const;
+
+ private:
+  std::size_t n_;
+  std::vector<float> basis_;   // row-major n x n, basis_[k*n + i] = C_{k,i}
+};
+
+}  // namespace hsd::tensor

@@ -1,0 +1,192 @@
+#include "tensor/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+namespace hsd::tensor {
+
+void matmul(const float* a, const float* b, float* c, std::size_t m,
+            std::size_t k, std::size_t n) {
+  // ikj loop order keeps B and C accesses sequential; good enough for the
+  // small GEMMs the CNN needs without pulling in a BLAS.
+  std::memset(c, 0, m * n * sizeof(float));
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t p = 0; p < k; ++p) {
+      const float aip = a[i * k + p];
+      if (aip == 0.0F) continue;
+      const float* brow = b + p * n;
+      float* crow = c + i * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += aip * brow[j];
+    }
+  }
+}
+
+void matmul_at_b(const float* a, const float* b, float* c, std::size_t m,
+                 std::size_t k, std::size_t n) {
+  std::memset(c, 0, m * n * sizeof(float));
+  for (std::size_t p = 0; p < k; ++p) {
+    const float* arow = a + p * m;
+    const float* brow = b + p * n;
+    for (std::size_t i = 0; i < m; ++i) {
+      const float api = arow[i];
+      if (api == 0.0F) continue;
+      float* crow = c + i * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += api * brow[j];
+    }
+  }
+}
+
+void matmul_a_bt(const float* a, const float* b, float* c, std::size_t m,
+                 std::size_t k, std::size_t n) {
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    for (std::size_t j = 0; j < n; ++j) {
+      const float* brow = b + j * k;
+      float s = 0.0F;
+      for (std::size_t p = 0; p < k; ++p) s += arow[p] * brow[p];
+      c[i * n + j] = s;
+    }
+  }
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  if (a.rank() != 2 || b.rank() != 2 || a.dim(1) != b.dim(0)) {
+    throw std::invalid_argument("matmul: incompatible shapes");
+  }
+  Tensor c({a.dim(0), b.dim(1)});
+  matmul(a.data(), b.data(), c.data(), a.dim(0), a.dim(1), b.dim(1));
+  return c;
+}
+
+std::size_t conv_out_extent(std::size_t in, std::size_t kernel,
+                            std::size_t stride, std::size_t pad) {
+  if (stride == 0) throw std::invalid_argument("conv_out_extent: stride == 0");
+  if (in + 2 * pad < kernel) {
+    throw std::invalid_argument("conv_out_extent: kernel larger than padded input");
+  }
+  return (in + 2 * pad - kernel) / stride + 1;
+}
+
+void im2col(const float* image, std::size_t channels, std::size_t height,
+            std::size_t width, std::size_t kh, std::size_t kw,
+            std::size_t stride, std::size_t pad, float* columns) {
+  const std::size_t oh = conv_out_extent(height, kh, stride, pad);
+  const std::size_t ow = conv_out_extent(width, kw, stride, pad);
+  const std::size_t out_spatial = oh * ow;
+  for (std::size_t c = 0; c < channels; ++c) {
+    for (std::size_t ki = 0; ki < kh; ++ki) {
+      for (std::size_t kj = 0; kj < kw; ++kj) {
+        const std::size_t row = (c * kh + ki) * kw + kj;
+        float* dst = columns + row * out_spatial;
+        for (std::size_t oi = 0; oi < oh; ++oi) {
+          const std::ptrdiff_t ii =
+              static_cast<std::ptrdiff_t>(oi * stride + ki) -
+              static_cast<std::ptrdiff_t>(pad);
+          for (std::size_t oj = 0; oj < ow; ++oj) {
+            const std::ptrdiff_t jj =
+                static_cast<std::ptrdiff_t>(oj * stride + kj) -
+                static_cast<std::ptrdiff_t>(pad);
+            float v = 0.0F;
+            if (ii >= 0 && ii < static_cast<std::ptrdiff_t>(height) && jj >= 0 &&
+                jj < static_cast<std::ptrdiff_t>(width)) {
+              v = image[(c * height + static_cast<std::size_t>(ii)) * width +
+                        static_cast<std::size_t>(jj)];
+            }
+            dst[oi * ow + oj] = v;
+          }
+        }
+      }
+    }
+  }
+}
+
+void col2im(const float* columns, std::size_t channels, std::size_t height,
+            std::size_t width, std::size_t kh, std::size_t kw,
+            std::size_t stride, std::size_t pad, float* image_grad) {
+  const std::size_t oh = conv_out_extent(height, kh, stride, pad);
+  const std::size_t ow = conv_out_extent(width, kw, stride, pad);
+  const std::size_t out_spatial = oh * ow;
+  for (std::size_t c = 0; c < channels; ++c) {
+    for (std::size_t ki = 0; ki < kh; ++ki) {
+      for (std::size_t kj = 0; kj < kw; ++kj) {
+        const std::size_t row = (c * kh + ki) * kw + kj;
+        const float* src = columns + row * out_spatial;
+        for (std::size_t oi = 0; oi < oh; ++oi) {
+          const std::ptrdiff_t ii =
+              static_cast<std::ptrdiff_t>(oi * stride + ki) -
+              static_cast<std::ptrdiff_t>(pad);
+          if (ii < 0 || ii >= static_cast<std::ptrdiff_t>(height)) continue;
+          for (std::size_t oj = 0; oj < ow; ++oj) {
+            const std::ptrdiff_t jj =
+                static_cast<std::ptrdiff_t>(oj * stride + kj) -
+                static_cast<std::ptrdiff_t>(pad);
+            if (jj < 0 || jj >= static_cast<std::ptrdiff_t>(width)) continue;
+            image_grad[(c * height + static_cast<std::size_t>(ii)) * width +
+                       static_cast<std::size_t>(jj)] += src[oi * ow + oj];
+          }
+        }
+      }
+    }
+  }
+}
+
+std::vector<double> softmax(const std::vector<double>& logits, double temperature) {
+  if (temperature <= 0.0) throw std::invalid_argument("softmax: temperature <= 0");
+  std::vector<double> out(logits.size());
+  if (logits.empty()) return out;
+  double mx = logits[0];
+  for (double z : logits) mx = std::max(mx, z);
+  double denom = 0.0;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    out[i] = std::exp((logits[i] - mx) / temperature);
+    denom += out[i];
+  }
+  for (double& p : out) p /= denom;
+  return out;
+}
+
+Tensor softmax_rows(const Tensor& logits, double temperature) {
+  if (logits.rank() != 2) throw std::invalid_argument("softmax_rows: rank != 2");
+  if (temperature <= 0.0) throw std::invalid_argument("softmax_rows: temperature <= 0");
+  const std::size_t rows = logits.dim(0);
+  const std::size_t cols = logits.dim(1);
+  Tensor out({rows, cols});
+  for (std::size_t i = 0; i < rows; ++i) {
+    const float* src = logits.data() + i * cols;
+    float* dst = out.data() + i * cols;
+    float mx = src[0];
+    for (std::size_t j = 1; j < cols; ++j) mx = std::max(mx, src[j]);
+    float denom = 0.0F;
+    for (std::size_t j = 0; j < cols; ++j) {
+      dst[j] = std::exp((src[j] - mx) / static_cast<float>(temperature));
+      denom += dst[j];
+    }
+    for (std::size_t j = 0; j < cols; ++j) dst[j] /= denom;
+  }
+  return out;
+}
+
+std::size_t argmax(const std::vector<double>& row) {
+  if (row.empty()) throw std::invalid_argument("argmax: empty row");
+  return static_cast<std::size_t>(std::max_element(row.begin(), row.end()) -
+                                  row.begin());
+}
+
+Tensor gather_rows(const Tensor& x, const std::vector<std::size_t>& indices) {
+  if (x.rank() < 1) throw std::invalid_argument("gather_rows: rank 0 tensor");
+  const std::size_t n = x.dim(0);
+  const std::size_t row_size = n > 0 ? x.size() / n : 0;
+  Shape shape = x.shape();
+  shape[0] = indices.size();
+  Tensor out(shape);
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    if (indices[i] >= n) throw std::out_of_range("gather_rows: index out of range");
+    std::memcpy(out.data() + i * row_size, x.data() + indices[i] * row_size,
+                row_size * sizeof(float));
+  }
+  return out;
+}
+
+}  // namespace hsd::tensor

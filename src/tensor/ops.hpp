@@ -1,0 +1,61 @@
+#pragma once
+// Dense kernels behind the neural-network engine: GEMM, im2col/col2im for
+// convolution, pooling helpers, softmax, and reductions.
+
+#include <cstddef>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace hsd::tensor {
+
+/// C = A * B for row-major matrices; A is (m x k), B is (k x n), C is (m x n).
+/// C is overwritten.
+void matmul(const float* a, const float* b, float* c, std::size_t m,
+            std::size_t k, std::size_t n);
+
+/// C = A^T * B; A is (k x m), B is (k x n), C is (m x n).
+void matmul_at_b(const float* a, const float* b, float* c, std::size_t m,
+                 std::size_t k, std::size_t n);
+
+/// C = A * B^T; A is (m x k), B is (n x k), C is (m x n).
+void matmul_a_bt(const float* a, const float* b, float* c, std::size_t m,
+                 std::size_t k, std::size_t n);
+
+/// Rank-2 convenience overload: returns A(m x k) * B(k x n).
+Tensor matmul(const Tensor& a, const Tensor& b);
+
+/// Spatial output extent for a convolution/pooling dimension.
+/// Requires in + 2*pad >= kernel and stride >= 1.
+std::size_t conv_out_extent(std::size_t in, std::size_t kernel,
+                            std::size_t stride, std::size_t pad);
+
+/// im2col: unpacks one image (C, H, W) into a (C*KH*KW) x (OH*OW) matrix so
+/// convolution becomes a single GEMM. Zero padding.
+void im2col(const float* image, std::size_t channels, std::size_t height,
+            std::size_t width, std::size_t kh, std::size_t kw,
+            std::size_t stride, std::size_t pad, float* columns);
+
+/// col2im: scatters gradient columns back into an image gradient; the
+/// adjoint of im2col. `image_grad` is accumulated into (caller zeroes it).
+void col2im(const float* columns, std::size_t channels, std::size_t height,
+            std::size_t width, std::size_t kh, std::size_t kw,
+            std::size_t stride, std::size_t pad, float* image_grad);
+
+/// Numerically stable softmax over the last dimension of a rank-2 tensor of
+/// logits (rows = samples). Optional temperature divides logits first
+/// (Eq. 5 of the paper); T must be > 0.
+Tensor softmax_rows(const Tensor& logits, double temperature = 1.0);
+
+/// Softmax of a single logit row.
+std::vector<double> softmax(const std::vector<double>& logits,
+                            double temperature = 1.0);
+
+/// argmax over a row.
+std::size_t argmax(const std::vector<double>& row);
+
+/// Copies rows `indices` of the sample-major tensor `x` (any rank >= 1,
+/// first dim = samples) into a new batch tensor.
+Tensor gather_rows(const Tensor& x, const std::vector<std::size_t>& indices);
+
+}  // namespace hsd::tensor

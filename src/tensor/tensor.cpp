@@ -1,0 +1,162 @@
+#include "tensor/tensor.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <ostream>
+
+namespace hsd::tensor {
+
+std::size_t volume(const Shape& shape) {
+  if (shape.empty()) return 0;
+  std::size_t v = 1;
+  for (std::size_t d : shape) v *= d;
+  return v;
+}
+
+Tensor::Tensor(Shape shape) : shape_(std::move(shape)), data_(volume(shape_), 0.0F) {}
+
+Tensor::Tensor(Shape shape, float value)
+    : shape_(std::move(shape)), data_(volume(shape_), value) {}
+
+Tensor::Tensor(Shape shape, std::vector<float> data)
+    : shape_(std::move(shape)), data_(std::move(data)) {
+  if (data_.size() != volume(shape_)) {
+    throw std::invalid_argument("Tensor: data size does not match shape volume");
+  }
+}
+
+Tensor Tensor::from_vector(const std::vector<float>& v) {
+  return Tensor({v.size()}, v);
+}
+
+Tensor Tensor::randn(Shape shape, hsd::stats::Rng& rng, float mean, float stddev) {
+  Tensor t(std::move(shape));
+  for (auto& x : t.data_) x = static_cast<float>(rng.normal(mean, stddev));
+  return t;
+}
+
+Tensor Tensor::rand_uniform(Shape shape, hsd::stats::Rng& rng, float lo, float hi) {
+  Tensor t(std::move(shape));
+  for (auto& x : t.data_) x = static_cast<float>(rng.uniform(lo, hi));
+  return t;
+}
+
+std::size_t Tensor::dim(std::size_t d) const {
+  if (d >= shape_.size()) throw std::invalid_argument("Tensor::dim: out of range");
+  return shape_[d];
+}
+
+float& Tensor::at(std::size_t i) {
+  if (i >= data_.size()) throw std::out_of_range("Tensor::at: index out of range");
+  return data_[i];
+}
+
+float Tensor::at(std::size_t i) const {
+  if (i >= data_.size()) throw std::out_of_range("Tensor::at: index out of range");
+  return data_[i];
+}
+
+float& Tensor::at2(std::size_t i, std::size_t j) {
+  if (rank() != 2) throw std::invalid_argument("Tensor::at2: rank != 2");
+  return data_[i * shape_[1] + j];
+}
+
+float Tensor::at2(std::size_t i, std::size_t j) const {
+  if (rank() != 2) throw std::invalid_argument("Tensor::at2: rank != 2");
+  return data_[i * shape_[1] + j];
+}
+
+float& Tensor::at3(std::size_t i, std::size_t j, std::size_t k) {
+  if (rank() != 3) throw std::invalid_argument("Tensor::at3: rank != 3");
+  return data_[(i * shape_[1] + j) * shape_[2] + k];
+}
+
+float Tensor::at3(std::size_t i, std::size_t j, std::size_t k) const {
+  if (rank() != 3) throw std::invalid_argument("Tensor::at3: rank != 3");
+  return data_[(i * shape_[1] + j) * shape_[2] + k];
+}
+
+float& Tensor::at4(std::size_t n, std::size_t c, std::size_t h, std::size_t w) {
+  if (rank() != 4) throw std::invalid_argument("Tensor::at4: rank != 4");
+  return data_[((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w];
+}
+
+float Tensor::at4(std::size_t n, std::size_t c, std::size_t h, std::size_t w) const {
+  if (rank() != 4) throw std::invalid_argument("Tensor::at4: rank != 4");
+  return data_[((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w];
+}
+
+Tensor Tensor::reshaped(Shape new_shape) const {
+  if (volume(new_shape) != data_.size()) {
+    throw std::invalid_argument("Tensor::reshaped: volume mismatch");
+  }
+  Tensor t;
+  t.shape_ = std::move(new_shape);
+  t.data_ = data_;
+  return t;
+}
+
+void Tensor::fill(float value) { std::fill(data_.begin(), data_.end(), value); }
+
+Tensor& Tensor::operator+=(const Tensor& other) {
+  if (shape_ != other.shape_) throw std::invalid_argument("Tensor+=: shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator-=(const Tensor& other) {
+  if (shape_ != other.shape_) throw std::invalid_argument("Tensor-=: shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator*=(float s) {
+  for (auto& x : data_) x *= s;
+  return *this;
+}
+
+void Tensor::add_scaled(const Tensor& other, float alpha) {
+  if (shape_ != other.shape_) throw std::invalid_argument("Tensor::add_scaled: shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += alpha * other.data_[i];
+}
+
+float Tensor::sum() const {
+  float s = 0.0F;
+  for (float x : data_) s += x;
+  return s;
+}
+
+float Tensor::min() const {
+  if (data_.empty()) return 0.0F;
+  return *std::min_element(data_.begin(), data_.end());
+}
+
+float Tensor::max() const {
+  if (data_.empty()) return 0.0F;
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+float Tensor::mean() const {
+  if (data_.empty()) return 0.0F;
+  return sum() / static_cast<float>(data_.size());
+}
+
+std::ostream& operator<<(std::ostream& os, const Tensor& t) {
+  os << "Tensor(shape=[";
+  for (std::size_t i = 0; i < t.shape().size(); ++i) {
+    if (i) os << ", ";
+    os << t.shape()[i];
+  }
+  os << "], data=[";
+  const std::size_t show = std::min<std::size_t>(t.size(), 8);
+  for (std::size_t i = 0; i < show; ++i) {
+    if (i) os << ", ";
+    os << t[i];
+  }
+  if (t.size() > show) os << ", ...";
+  os << "])";
+  return os;
+}
+
+}  // namespace hsd::tensor

@@ -1,0 +1,113 @@
+#pragma once
+// Minimal dense tensor used by the neural-network engine and feature
+// pipeline. Row-major float storage, up to rank-4 shapes (N, C, H, W).
+//
+// The class is a regular value type: cheap default construction, deep copy,
+// move. All shape errors throw std::invalid_argument; indexing is unchecked
+// in release builds via operator[] and checked via at().
+
+#include <cstddef>
+#include <initializer_list>
+#include <iosfwd>
+#include <stdexcept>
+#include <vector>
+
+#include "stats/rng.hpp"
+
+namespace hsd::tensor {
+
+/// Shape of a tensor; an empty shape denotes an empty tensor.
+using Shape = std::vector<std::size_t>;
+
+/// Dense row-major float tensor.
+class Tensor {
+ public:
+  Tensor() = default;
+
+  /// Creates a zero-filled tensor of the given shape.
+  explicit Tensor(Shape shape);
+
+  /// Creates a tensor of the given shape filled with `value`.
+  Tensor(Shape shape, float value);
+
+  /// Creates a tensor from explicit data; data.size() must equal the shape
+  /// volume.
+  Tensor(Shape shape, std::vector<float> data);
+
+  /// Convenience rank-1 constructor.
+  static Tensor from_vector(const std::vector<float>& v);
+
+  /// Tensor of i.i.d. N(mean, stddev) entries.
+  static Tensor randn(Shape shape, hsd::stats::Rng& rng, float mean = 0.0F,
+                      float stddev = 1.0F);
+
+  /// Tensor of i.i.d. U[lo, hi) entries.
+  static Tensor rand_uniform(Shape shape, hsd::stats::Rng& rng, float lo,
+                             float hi);
+
+  const Shape& shape() const { return shape_; }
+  std::size_t rank() const { return shape_.size(); }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  /// Extent of dimension `d`; throws if out of range.
+  std::size_t dim(std::size_t d) const;
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  float& operator[](std::size_t i) { return data_[i]; }
+  float operator[](std::size_t i) const { return data_[i]; }
+
+  /// Bounds-checked flat access.
+  float& at(std::size_t i);
+  float at(std::size_t i) const;
+
+  /// Multi-index access for ranks 2-4 (unchecked dimensions, checked rank).
+  float& at2(std::size_t i, std::size_t j);
+  float at2(std::size_t i, std::size_t j) const;
+  float& at3(std::size_t i, std::size_t j, std::size_t k);
+  float at3(std::size_t i, std::size_t j, std::size_t k) const;
+  float& at4(std::size_t n, std::size_t c, std::size_t h, std::size_t w);
+  float at4(std::size_t n, std::size_t c, std::size_t h, std::size_t w) const;
+
+  /// Returns a reshaped copy-free view (same data, new shape); the new shape
+  /// must have the same volume.
+  Tensor reshaped(Shape new_shape) const;
+
+  void fill(float value);
+
+  /// Element-wise in-place operations (shapes must match exactly).
+  Tensor& operator+=(const Tensor& other);
+  Tensor& operator-=(const Tensor& other);
+  Tensor& operator*=(float s);
+
+  /// axpy: this += alpha * other.
+  void add_scaled(const Tensor& other, float alpha);
+
+  /// Sum / min / max / mean over all elements.
+  float sum() const;
+  float min() const;
+  float max() const;
+  float mean() const;
+
+  /// Underlying storage (e.g. for serialization).
+  const std::vector<float>& storage() const { return data_; }
+  std::vector<float>& storage() { return data_; }
+
+  friend bool operator==(const Tensor& a, const Tensor& b) {
+    return a.shape_ == b.shape_ && a.data_ == b.data_;
+  }
+
+ private:
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+/// Volume of a shape (product of extents; empty shape -> 0).
+std::size_t volume(const Shape& shape);
+
+/// Pretty-prints shape + first elements for debugging.
+std::ostream& operator<<(std::ostream& os, const Tensor& t);
+
+}  // namespace hsd::tensor

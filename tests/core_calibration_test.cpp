@@ -1,0 +1,121 @@
+#include "core/calibration.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/reliability.hpp"
+#include "stats/rng.hpp"
+#include "tensor/ops.hpp"
+
+namespace hsd::core {
+namespace {
+
+using hsd::tensor::Tensor;
+
+// Builds logits that are systematically overconfident: true probability of
+// class 1 is p, but the logit gap is amplified by `overconfidence`.
+void make_overconfident(hsd::stats::Rng& rng, std::size_t n, double overconfidence,
+                        Tensor& logits, std::vector<int>& labels) {
+  logits = Tensor({n, 2});
+  labels.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double p = rng.uniform(0.05, 0.95);
+    const double gap = std::log(p / (1.0 - p)) * overconfidence;
+    logits[i * 2 + 0] = 0.0F;
+    logits[i * 2 + 1] = static_cast<float>(gap);
+    labels[i] = rng.bernoulli(p) ? 1 : 0;
+  }
+}
+
+TEST(CalibratedProbsTest, MatchesSoftmax) {
+  Tensor logits({1, 2}, std::vector<float>{1.0F, 3.0F});
+  const auto probs = calibrated_probabilities(logits, 2.0);
+  const auto ref = hsd::tensor::softmax({1.0, 3.0}, 2.0);
+  EXPECT_NEAR(probs[0][0], ref[0], 1e-9);
+  EXPECT_NEAR(probs[0][1], ref[1], 1e-9);
+}
+
+TEST(CalibratedProbsTest, RowsSumToOne) {
+  hsd::stats::Rng rng(1);
+  const Tensor logits = Tensor::randn({20, 2}, rng);
+  for (double t : {0.1, 1.0, 5.0}) {
+    for (const auto& row : calibrated_probabilities(logits, t)) {
+      EXPECT_NEAR(row[0] + row[1], 1.0, 1e-9);
+    }
+  }
+}
+
+TEST(FitTemperatureTest, OverconfidentModelGetsTAboveOne) {
+  hsd::stats::Rng rng(5);
+  Tensor logits;
+  std::vector<int> labels;
+  make_overconfident(rng, 2000, 3.0, logits, labels);
+  const CalibrationResult res = fit_temperature(logits, labels);
+  EXPECT_GT(res.temperature, 1.5);
+  EXPECT_LT(res.nll_after, res.nll_before);
+}
+
+TEST(FitTemperatureTest, UnderconfidentModelGetsTBelowOne) {
+  hsd::stats::Rng rng(7);
+  Tensor logits;
+  std::vector<int> labels;
+  make_overconfident(rng, 2000, 0.3, logits, labels);
+  const CalibrationResult res = fit_temperature(logits, labels);
+  EXPECT_LT(res.temperature, 0.8);
+  EXPECT_LT(res.nll_after, res.nll_before);
+}
+
+TEST(FitTemperatureTest, WellCalibratedModelKeepsTNearOne) {
+  hsd::stats::Rng rng(9);
+  Tensor logits;
+  std::vector<int> labels;
+  make_overconfident(rng, 4000, 1.0, logits, labels);
+  const CalibrationResult res = fit_temperature(logits, labels);
+  EXPECT_NEAR(res.temperature, 1.0, 0.25);
+}
+
+TEST(FitTemperatureTest, NeverWorseThanIdentity) {
+  hsd::stats::Rng rng(11);
+  Tensor logits = Tensor::randn({50, 2}, rng);
+  std::vector<int> labels(50);
+  for (auto& y : labels) y = rng.bernoulli(0.5) ? 1 : 0;
+  const CalibrationResult res = fit_temperature(logits, labels);
+  EXPECT_LE(res.nll_after, res.nll_before + 1e-12);
+}
+
+TEST(FitTemperatureTest, ScalingReducesEce) {
+  // The Fig. 2 claim: the calibrated reliability gap shrinks.
+  hsd::stats::Rng rng(13);
+  Tensor logits;
+  std::vector<int> labels;
+  make_overconfident(rng, 4000, 3.0, logits, labels);
+  const CalibrationResult res = fit_temperature(logits, labels);
+  const auto before =
+      hsd::stats::reliability_diagram(calibrated_probabilities(logits, 1.0), labels);
+  const auto after = hsd::stats::reliability_diagram(
+      calibrated_probabilities(logits, res.temperature), labels);
+  EXPECT_LT(after.ece, before.ece);
+}
+
+TEST(FitTemperatureTest, ScalingPreservesPredictions) {
+  hsd::stats::Rng rng(15);
+  const Tensor logits = Tensor::randn({100, 2}, rng);
+  std::vector<int> labels(100, 0);
+  const CalibrationResult res = fit_temperature(logits, labels);
+  const auto p1 = calibrated_probabilities(logits, 1.0);
+  const auto pt = calibrated_probabilities(logits, res.temperature);
+  for (std::size_t i = 0; i < p1.size(); ++i) {
+    EXPECT_EQ(hsd::tensor::argmax(p1[i]), hsd::tensor::argmax(pt[i]));
+  }
+}
+
+TEST(FitTemperatureTest, InvalidArgumentsThrow) {
+  Tensor logits({2, 2});
+  EXPECT_THROW(fit_temperature(logits, {0}), std::invalid_argument);
+  EXPECT_THROW(fit_temperature(logits, {0, 1}, -1.0, 2.0), std::invalid_argument);
+  EXPECT_THROW(fit_temperature(logits, {0, 1}, 2.0, 1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hsd::core

@@ -1,0 +1,132 @@
+#include "core/calibrators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/reliability.hpp"
+#include "stats/rng.hpp"
+#include "tensor/ops.hpp"
+
+namespace hsd::core {
+namespace {
+
+using hsd::tensor::Tensor;
+
+// Systematically overconfident binary logits (amplified margins).
+void make_overconfident(hsd::stats::Rng& rng, std::size_t n, Tensor& logits,
+                        std::vector<int>& labels, double amplify = 3.0) {
+  logits = Tensor({n, 2});
+  labels.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double p = rng.uniform(0.05, 0.95);
+    logits[i * 2 + 0] = 0.0F;
+    logits[i * 2 + 1] = static_cast<float>(std::log(p / (1.0 - p)) * amplify);
+    labels[i] = rng.bernoulli(p) ? 1 : 0;
+  }
+}
+
+double ece_of(const Calibrator& cal, const Tensor& logits,
+              const std::vector<int>& labels) {
+  return hsd::stats::reliability_diagram(cal.transform(logits), labels).ece;
+}
+
+class CalibratorSuite : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    hsd::stats::Rng rng(41);
+    make_overconfident(rng, 3000, fit_logits_, fit_labels_);
+    make_overconfident(rng, 3000, test_logits_, test_labels_);
+  }
+  Tensor fit_logits_, test_logits_;
+  std::vector<int> fit_labels_, test_labels_;
+};
+
+TEST_F(CalibratorSuite, EveryCalibratorReducesEceOnHeldOut) {
+  IdentityCalibrator identity;
+  const double base_ece = ece_of(identity, test_logits_, test_labels_);
+  for (auto& cal : all_calibrators()) {
+    if (cal->name() == "identity") continue;
+    cal->fit(fit_logits_, fit_labels_);
+    const double ece = ece_of(*cal, test_logits_, test_labels_);
+    EXPECT_LT(ece, base_ece) << cal->name();
+  }
+}
+
+TEST_F(CalibratorSuite, RowsAreProbabilities) {
+  for (auto& cal : all_calibrators()) {
+    cal->fit(fit_logits_, fit_labels_);
+    for (const auto& row : cal->transform(test_logits_)) {
+      ASSERT_EQ(row.size(), 2u);
+      EXPECT_GE(row[1], 0.0);
+      EXPECT_LE(row[1], 1.0);
+      EXPECT_NEAR(row[0] + row[1], 1.0, 1e-9);
+    }
+  }
+}
+
+TEST_F(CalibratorSuite, TemperatureMatchesFitTemperature) {
+  TemperatureCalibrator cal;
+  cal.fit(fit_logits_, fit_labels_);
+  EXPECT_GT(cal.temperature(), 1.5);  // overconfident model needs T > 1
+}
+
+TEST_F(CalibratorSuite, PlattLearnsDampingSlope) {
+  PlattCalibrator cal;
+  cal.fit(fit_logits_, fit_labels_);
+  // Margins were amplified by 3, so the fitted slope should damp them.
+  EXPECT_LT(cal.slope(), 0.7);
+  EXPECT_GT(cal.slope(), 0.0);
+}
+
+TEST_F(CalibratorSuite, PlattPreservesRanking) {
+  PlattCalibrator cal;
+  cal.fit(fit_logits_, fit_labels_);
+  const auto probs = cal.transform(test_logits_);
+  // Monotone map of the margin: larger margin -> larger p1.
+  for (std::size_t i = 1; i < probs.size(); ++i) {
+    const double mi = test_logits_[i * 2 + 1] - test_logits_[i * 2 + 0];
+    const double mj = test_logits_[(i - 1) * 2 + 1] - test_logits_[(i - 1) * 2 + 0];
+    if (mi > mj) EXPECT_GE(probs[i][1], probs[i - 1][1] - 1e-12);
+  }
+}
+
+TEST_F(CalibratorSuite, HistogramBinningMapsToEmpiricalRates) {
+  HistogramBinningCalibrator cal(10);
+  cal.fit(fit_logits_, fit_labels_);
+  EXPECT_EQ(cal.bin_values().size(), 10u);
+  for (double v : cal.bin_values()) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST(CalibratorErrorsTest, UnfittedHistogramThrows) {
+  HistogramBinningCalibrator cal;
+  EXPECT_THROW(cal.transform(Tensor({1, 2})), std::logic_error);
+}
+
+TEST(CalibratorErrorsTest, NonBinaryLogitsRejected) {
+  PlattCalibrator platt;
+  EXPECT_THROW(platt.fit(Tensor({2, 3}), {0, 1}), std::invalid_argument);
+}
+
+TEST(CalibratorErrorsTest, BadHyperparametersThrow) {
+  EXPECT_THROW(PlattCalibrator(0, 0.1), std::invalid_argument);
+  EXPECT_THROW(PlattCalibrator(10, 0.0), std::invalid_argument);
+  EXPECT_THROW(HistogramBinningCalibrator(0), std::invalid_argument);
+}
+
+TEST(CalibratorFactoryTest, ProvidesFourDistinctCalibrators) {
+  const auto cals = all_calibrators();
+  ASSERT_EQ(cals.size(), 4u);
+  std::vector<std::string> names;
+  for (const auto& c : cals) names.push_back(c->name());
+  EXPECT_EQ(names[0], "identity");
+  EXPECT_EQ(names[1], "temperature");
+  EXPECT_EQ(names[2], "platt");
+  EXPECT_EQ(names[3], "histogram");
+}
+
+}  // namespace
+}  // namespace hsd::core

@@ -1,0 +1,102 @@
+#include "core/diversity.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/rng.hpp"
+
+namespace hsd::core {
+namespace {
+
+TEST(SimilarityMatrixTest, DiagonalOneAndSymmetric) {
+  const std::vector<std::vector<double>> f{{1.0, 0.0}, {0.7, 0.7}, {0.0, 2.0}};
+  const auto s = similarity_matrix(f);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(s[i * 3 + i], 1.0, 1e-12);
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_NEAR(s[i * 3 + j], s[j * 3 + i], 1e-12);
+    }
+  }
+  // Normalization removes magnitude: (0,2) behaves like (0,1).
+  EXPECT_NEAR(s[0 * 3 + 2], 0.0, 1e-12);
+  EXPECT_NEAR(s[0 * 3 + 1], std::sqrt(0.5), 1e-9);
+}
+
+TEST(DiversityMatrixTest, RangeAndZeroDiagonal) {
+  const std::vector<std::vector<double>> f{{1.0, 0.0}, {0.0, 1.0}, {1.0, 1.0}};
+  const auto d = diversity_matrix(f);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(d[i * 3 + i], 0.0);
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_GE(d[i * 3 + j], -1e-12);
+      EXPECT_LE(d[i * 3 + j], 2.0 + 1e-12);  // cosine in [-1,1] -> D in [0,2]
+    }
+  }
+  // Orthogonal features reach the paper's "upper bound" D = 1.
+  EXPECT_NEAR(d[0 * 3 + 1], 1.0, 1e-12);
+}
+
+TEST(DiversityScoresTest, DuplicateHasZeroScore) {
+  const std::vector<std::vector<double>> f{{1.0, 0.0}, {2.0, 0.0}, {0.0, 1.0}};
+  const auto d = diversity_scores(f);
+  // Samples 0 and 1 are identical after normalization -> min distance 0.
+  EXPECT_NEAR(d[0], 0.0, 1e-12);
+  EXPECT_NEAR(d[1], 0.0, 1e-12);
+  EXPECT_NEAR(d[2], 1.0, 1e-12);
+}
+
+TEST(DiversityScoresTest, MatchesMatrixRowMinima) {
+  hsd::stats::Rng rng(3);
+  std::vector<std::vector<double>> f;
+  for (int i = 0; i < 12; ++i) {
+    f.push_back({rng.normal(), rng.normal(), rng.normal()});
+  }
+  const auto scores = diversity_scores(f);
+  const auto d = diversity_matrix(f);
+  for (std::size_t i = 0; i < f.size(); ++i) {
+    double row_min = 1e9;
+    for (std::size_t j = 0; j < f.size(); ++j) {
+      if (j != i) row_min = std::min(row_min, d[i * f.size() + j]);
+    }
+    EXPECT_NEAR(scores[i], row_min, 1e-9);
+  }
+}
+
+TEST(DiversityScoresTest, OutlierScoresHighest) {
+  // A tight cluster plus one isolated point: the paper's Fig. 3(a) claim
+  // that points away from clusters get the highest diversity scores.
+  hsd::stats::Rng rng(5);
+  std::vector<std::vector<double>> f;
+  for (int i = 0; i < 20; ++i) {
+    f.push_back({1.0 + rng.normal(0.0, 0.01), 0.1 + rng.normal(0.0, 0.01)});
+  }
+  f.push_back({-0.5, 1.0});  // outlier direction
+  const auto d = diversity_scores(f);
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < d.size(); ++i) {
+    if (d[i] > d[best]) best = i;
+  }
+  EXPECT_EQ(best, f.size() - 1);
+}
+
+TEST(DiversityScoresTest, EdgeCases) {
+  EXPECT_TRUE(diversity_scores({}).empty());
+  const auto single = diversity_scores({{1.0, 2.0}});
+  ASSERT_EQ(single.size(), 1u);
+  EXPECT_DOUBLE_EQ(single[0], 0.0);
+}
+
+TEST(DiversityScoresTest, ScaleInvariant) {
+  const std::vector<std::vector<double>> f{{1.0, 2.0}, {3.0, -1.0}, {0.5, 0.5}};
+  std::vector<std::vector<double>> scaled = f;
+  for (auto& row : scaled) {
+    for (auto& v : row) v *= 37.0;
+  }
+  const auto a = diversity_scores(f);
+  const auto b = diversity_scores(scaled);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_NEAR(a[i], b[i], 1e-9);
+}
+
+}  // namespace
+}  // namespace hsd::core

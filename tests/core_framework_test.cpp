@@ -1,0 +1,204 @@
+#include "core/framework.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/metrics.hpp"
+#include "data/benchmark.hpp"
+#include "data/features.hpp"
+
+namespace hsd::core {
+namespace {
+
+struct FrameworkFixture : public ::testing::Test {
+  static void SetUpTestSuite() {
+    data::BenchmarkSpec spec = data::iccad16_spec(3);
+    spec.name = "fw-test";
+    spec.hs_target = 60;
+    spec.nhs_target = 340;
+    spec.seed = 4242;
+    bench_ = new data::Benchmark(data::build_benchmark(spec));
+    const data::FeatureExtractor fx(spec.feature_grid, spec.feature_keep);
+    features_ = new tensor::Tensor(fx.extract_benchmark(*bench_));
+  }
+  static void TearDownTestSuite() {
+    delete bench_;
+    delete features_;
+    bench_ = nullptr;
+    features_ = nullptr;
+  }
+
+  static FrameworkConfig small_config() {
+    FrameworkConfig cfg;
+    cfg.initial_train = 24;
+    cfg.validation = 24;
+    cfg.query_size = 120;
+    cfg.batch_k = 16;
+    cfg.iterations = 4;
+    cfg.detector.initial_epochs = 15;
+    cfg.detector.finetune_epochs = 4;
+    cfg.detector.conv1_channels = 4;
+    cfg.detector.conv2_channels = 8;
+    cfg.detector.hidden = 16;
+    cfg.seed = 7;
+    return cfg;
+  }
+
+  static data::Benchmark* bench_;
+  static tensor::Tensor* features_;
+};
+
+data::Benchmark* FrameworkFixture::bench_ = nullptr;
+tensor::Tensor* FrameworkFixture::features_ = nullptr;
+
+TEST_F(FrameworkFixture, PartitionIsExactAndDisjoint) {
+  const FrameworkConfig cfg = small_config();
+  litho::LithoOracle oracle = bench_->make_oracle();
+  const AlOutcome out = run_active_learning(cfg, *features_, bench_->clips, oracle);
+
+  std::set<std::size_t> seen;
+  for (std::size_t i : out.train.indices) EXPECT_TRUE(seen.insert(i).second);
+  for (std::size_t i : out.val.indices) EXPECT_TRUE(seen.insert(i).second);
+  for (std::size_t i : out.unlabeled_indices) EXPECT_TRUE(seen.insert(i).second);
+  EXPECT_EQ(seen.size(), bench_->size());
+
+  EXPECT_EQ(out.train.size(), cfg.initial_train + cfg.iterations * cfg.batch_k);
+  EXPECT_EQ(out.val.size(), cfg.validation);
+  EXPECT_EQ(out.predicted.size(), out.unlabeled_indices.size());
+}
+
+TEST_F(FrameworkFixture, LithoCountEqualsLabeledSets) {
+  const FrameworkConfig cfg = small_config();
+  litho::LithoOracle oracle = bench_->make_oracle();
+  const AlOutcome out = run_active_learning(cfg, *features_, bench_->clips, oracle);
+  EXPECT_EQ(out.litho_labeling, out.train.size() + out.val.size());
+  EXPECT_EQ(oracle.simulation_count(), out.litho_labeling);
+}
+
+TEST_F(FrameworkFixture, LabelsAgreeWithGroundTruth) {
+  const FrameworkConfig cfg = small_config();
+  litho::LithoOracle oracle = bench_->make_oracle();
+  const AlOutcome out = run_active_learning(cfg, *features_, bench_->clips, oracle);
+  for (std::size_t i = 0; i < out.train.size(); ++i) {
+    EXPECT_EQ(out.train.labels[i], bench_->labels[out.train.indices[i]]);
+  }
+  for (std::size_t i = 0; i < out.val.size(); ++i) {
+    EXPECT_EQ(out.val.labels[i], bench_->labels[out.val.indices[i]]);
+  }
+}
+
+TEST_F(FrameworkFixture, IterationLogsArePopulated) {
+  const FrameworkConfig cfg = small_config();
+  litho::LithoOracle oracle = bench_->make_oracle();
+  const AlOutcome out = run_active_learning(cfg, *features_, bench_->clips, oracle);
+  ASSERT_EQ(out.iterations.size(), cfg.iterations);
+  for (std::size_t i = 0; i < out.iterations.size(); ++i) {
+    const IterationLog& log = out.iterations[i];
+    EXPECT_EQ(log.iteration, i + 1);
+    EXPECT_GT(log.temperature, 0.0);
+    EXPECT_NEAR(log.w_uncertainty + log.w_diversity, 1.0, 1e-9);
+    EXPECT_EQ(log.labeled_size, cfg.initial_train + (i + 1) * cfg.batch_k);
+  }
+}
+
+TEST_F(FrameworkFixture, GmmSeedingFindsHotspotsEarly) {
+  // Low-density seeding should capture disproportionately many hotspots in
+  // the initial training set relative to the 15% base rate.
+  const FrameworkConfig cfg = small_config();
+  litho::LithoOracle oracle = bench_->make_oracle();
+  const AlOutcome out = run_active_learning(cfg, *features_, bench_->clips, oracle);
+  const double train_hs_rate = static_cast<double>(out.train.num_hotspots()) /
+                               static_cast<double>(out.train.size());
+  const double base_rate = static_cast<double>(bench_->num_hotspots) /
+                           static_cast<double>(bench_->size());
+  EXPECT_GT(train_hs_rate, base_rate);
+}
+
+TEST_F(FrameworkFixture, AchievesGoodAccuracyAtLowCost) {
+  FrameworkConfig cfg = small_config();
+  cfg.iterations = 8;  // a realistic (still small) sampling budget
+  litho::LithoOracle oracle = bench_->make_oracle();
+  const AlOutcome out = run_active_learning(cfg, *features_, bench_->clips, oracle);
+  const PshdMetrics m = evaluate_outcome(out, bench_->labels);
+  EXPECT_GT(m.accuracy, 0.6);
+  EXPECT_LT(m.litho, bench_->size());  // cheaper than full simulation
+}
+
+TEST_F(FrameworkFixture, DeterministicUnderSeed) {
+  const FrameworkConfig cfg = small_config();
+  litho::LithoOracle o1 = bench_->make_oracle();
+  litho::LithoOracle o2 = bench_->make_oracle();
+  const AlOutcome a = run_active_learning(cfg, *features_, bench_->clips, o1);
+  const AlOutcome b = run_active_learning(cfg, *features_, bench_->clips, o2);
+  EXPECT_EQ(a.train.indices, b.train.indices);
+  EXPECT_EQ(a.predicted, b.predicted);
+  EXPECT_DOUBLE_EQ(a.final_temperature, b.final_temperature);
+}
+
+TEST_F(FrameworkFixture, AllStrategiesRunToCompletion) {
+  for (auto kind : {SamplerKind::kEntropy, SamplerKind::kTsOnly, SamplerKind::kQp,
+                    SamplerKind::kRandom}) {
+    FrameworkConfig cfg = small_config();
+    cfg.sampler.kind = kind;
+    cfg.iterations = 2;
+    litho::LithoOracle oracle = bench_->make_oracle();
+    const AlOutcome out = run_active_learning(cfg, *features_, bench_->clips, oracle);
+    EXPECT_EQ(out.train.size(), cfg.initial_train + 2 * cfg.batch_k);
+  }
+}
+
+TEST_F(FrameworkFixture, RawGmmWithoutPcaWorks) {
+  FrameworkConfig cfg = small_config();
+  cfg.gmm_pca_dims = 0;
+  cfg.iterations = 1;
+  litho::LithoOracle oracle = bench_->make_oracle();
+  EXPECT_NO_THROW(run_active_learning(cfg, *features_, bench_->clips, oracle));
+}
+
+TEST_F(FrameworkFixture, TooSmallPopulationThrows) {
+  FrameworkConfig cfg = small_config();
+  cfg.initial_train = 300;
+  cfg.validation = 300;
+  litho::LithoOracle oracle = bench_->make_oracle();
+  EXPECT_THROW(run_active_learning(cfg, *features_, bench_->clips, oracle),
+               std::invalid_argument);
+}
+
+TEST_F(FrameworkFixture, PatienceStopsDryRuns) {
+  // With patience 1 the loop must stop at the first hotspot-free batch, so
+  // it can never run longer than the full schedule and usually stops early.
+  FrameworkConfig cfg = small_config();
+  cfg.iterations = 12;
+  cfg.patience = 1;
+  litho::LithoOracle oracle = bench_->make_oracle();
+  const AlOutcome out = run_active_learning(cfg, *features_, bench_->clips, oracle);
+  ASSERT_FALSE(out.iterations.empty());
+  EXPECT_LE(out.iterations.size(), cfg.iterations);
+  if (out.iterations.size() < cfg.iterations) {
+    EXPECT_EQ(out.iterations.back().new_hotspots, 0u);
+  }
+  // All earlier batches (except the last) found hotspots.
+  for (std::size_t i = 0; i + 1 < out.iterations.size(); ++i) {
+    EXPECT_GT(out.iterations[i].new_hotspots, 0u);
+  }
+}
+
+TEST_F(FrameworkFixture, ZeroPatienceRunsFullSchedule) {
+  FrameworkConfig cfg = small_config();
+  cfg.patience = 0;
+  litho::LithoOracle oracle = bench_->make_oracle();
+  const AlOutcome out = run_active_learning(cfg, *features_, bench_->clips, oracle);
+  EXPECT_EQ(out.iterations.size(), cfg.iterations);
+}
+
+TEST_F(FrameworkFixture, FeatureClipMismatchThrows) {
+  const FrameworkConfig cfg = small_config();
+  litho::LithoOracle oracle = bench_->make_oracle();
+  std::vector<layout::Clip> fewer(bench_->clips.begin(), bench_->clips.end() - 1);
+  EXPECT_THROW(run_active_learning(cfg, *features_, fewer, oracle),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hsd::core

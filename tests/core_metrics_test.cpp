@@ -1,0 +1,142 @@
+#include "core/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+namespace hsd::core {
+namespace {
+
+AlOutcome make_outcome() {
+  // Universe of 10 clips; ground truth: hotspots at 0, 2, 5, 8.
+  AlOutcome out;
+  out.train.add(0, 1);  // hotspot captured in training
+  out.train.add(1, 0);
+  out.val.add(2, 1);    // hotspot captured in validation
+  out.val.add(3, 0);
+  out.unlabeled_indices = {4, 5, 6, 7, 8, 9};
+  //               gt:     0  1  0  0  1  0
+  out.predicted = {0, 1, 1, 0, 0, 0};  // hit on 5, FA on 6, miss on 8
+  out.confidence_hotspot = {0.1, 0.8, 0.6, 0.2, 0.3, 0.1};
+  out.pshd_seconds = 2.0;
+  return out;
+}
+
+std::vector<int> ground_truth() { return {1, 0, 1, 0, 0, 1, 0, 0, 1, 0}; }
+
+TEST(EvaluateOutcomeTest, AccuracyFollowsEquationOne) {
+  const PshdMetrics m = evaluate_outcome(make_outcome(), ground_truth());
+  EXPECT_EQ(m.hs_total, 4u);
+  EXPECT_EQ(m.hs_train, 1u);
+  EXPECT_EQ(m.hs_val, 1u);
+  EXPECT_EQ(m.hits, 1u);
+  // Acc = (1 + 1 + 1) / 4.
+  EXPECT_DOUBLE_EQ(m.accuracy, 0.75);
+}
+
+TEST(EvaluateOutcomeTest, LithoFollowsEquationTwo) {
+  const PshdMetrics m = evaluate_outcome(make_outcome(), ground_truth());
+  EXPECT_EQ(m.false_alarms, 1u);
+  // Litho = #Tr(2) + #Val(2) + #FA(1).
+  EXPECT_EQ(m.litho, 5u);
+}
+
+TEST(EvaluateOutcomeTest, RuntimeModelAddsLithoPenalty) {
+  const PshdMetrics m = evaluate_outcome(make_outcome(), ground_truth(), 10.0);
+  EXPECT_DOUBLE_EQ(m.modeled_runtime_seconds, 2.0 + 10.0 * 5);
+  const PshdMetrics m2 = evaluate_outcome(make_outcome(), ground_truth(), 1.0);
+  EXPECT_DOUBLE_EQ(m2.modeled_runtime_seconds, 2.0 + 5.0);
+}
+
+TEST(EvaluateOutcomeTest, NoHotspotsMeansPerfectAccuracy) {
+  AlOutcome out;
+  out.unlabeled_indices = {0, 1};
+  out.predicted = {0, 0};
+  const PshdMetrics m = evaluate_outcome(out, {0, 0});
+  EXPECT_DOUBLE_EQ(m.accuracy, 1.0);
+  EXPECT_EQ(m.litho, 0u);
+}
+
+TEST(EvaluateOutcomeTest, IndexOutOfRangeThrows) {
+  AlOutcome out;
+  out.train.add(5, 1);
+  EXPECT_THROW(evaluate_outcome(out, {0, 1}), std::invalid_argument);
+}
+
+TEST(EvaluatePmTest, CountsClustersAndFalseAlarms) {
+  pm::PmResult res;
+  // 6 clips, clusters: {0,1}, {2,3}, {4,5} with reps 0, 2, 4.
+  res.predicted = {1, 1, 0, 0, 1, 1};
+  res.cluster_of = {0, 0, 1, 1, 2, 2};
+  res.representatives = {0, 2, 4};
+  res.litho_count = 3;
+  //                 gt: rep0 HS, clip1 is actually clean (FA), cluster2 clean,
+  //                     rep4 HS, clip5 HS.
+  const std::vector<int> gt{1, 0, 0, 0, 1, 1};
+  const PshdMetrics m = evaluate_pm(res, gt, 1.5, 10.0);
+  EXPECT_EQ(m.hs_total, 3u);
+  EXPECT_EQ(m.hits, 3u);            // all three hotspots predicted
+  EXPECT_DOUBLE_EQ(m.accuracy, 1.0);
+  EXPECT_EQ(m.false_alarms, 1u);    // clip 1 (non-rep, predicted HS, clean)
+  EXPECT_EQ(m.litho, 4u);           // 3 reps + 1 FA
+  EXPECT_DOUBLE_EQ(m.modeled_runtime_seconds, 1.5 + 40.0);
+}
+
+TEST(EvaluatePmTest, RepresentativesNotDoubleCountedAsFa) {
+  pm::PmResult res;
+  res.predicted = {1};
+  res.cluster_of = {0};
+  res.representatives = {0};
+  res.litho_count = 1;
+  // The representative itself is a predicted hotspot that is clean — it was
+  // already simulated, so it is not an additional FA. (Exact matching can't
+  // produce this, but fuzzy modes can.)
+  const PshdMetrics m = evaluate_pm(res, {0});
+  EXPECT_EQ(m.false_alarms, 0u);
+  EXPECT_EQ(m.litho, 1u);
+}
+
+TEST(EvaluatePmTest, MissedHotspotsLowerAccuracy) {
+  pm::PmResult res;
+  res.predicted = {0, 0, 1, 0};
+  res.cluster_of = {0, 1, 2, 3};
+  res.representatives = {0, 1, 2, 3};
+  res.litho_count = 4;
+  const std::vector<int> gt{1, 0, 1, 1};
+  const PshdMetrics m = evaluate_pm(res, gt);
+  EXPECT_DOUBLE_EQ(m.accuracy, 1.0 / 3.0);
+}
+
+TEST(EvaluatePmTest, SizeMismatchThrows) {
+  pm::PmResult res;
+  res.predicted = {0};
+  EXPECT_THROW(evaluate_pm(res, {0, 1}), std::invalid_argument);
+}
+
+TEST(IterationCsvTest, WritesHeaderAndRows) {
+  AlOutcome out;
+  IterationLog a;
+  a.iteration = 1;
+  a.temperature = 1.25;
+  a.w_uncertainty = 0.6;
+  a.w_diversity = 0.4;
+  a.labeled_size = 40;
+  a.new_hotspots = 3;
+  out.iterations.push_back(a);
+  std::ostringstream os;
+  write_iteration_csv(os, out);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("iteration,temperature"), std::string::npos);
+  EXPECT_NE(text.find("1,1.25,0.6,0.4,40,3"), std::string::npos);
+}
+
+TEST(IterationCsvTest, EmptyRunIsHeaderOnly) {
+  AlOutcome out;
+  std::ostringstream os;
+  write_iteration_csv(os, out);
+  EXPECT_EQ(std::count(os.str().begin(), os.str().end(), '\n'), 1);
+}
+
+}  // namespace
+}  // namespace hsd::core

@@ -1,0 +1,198 @@
+#include "core/entropy_sampling.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "stats/rng.hpp"
+
+namespace hsd::core {
+namespace {
+
+// Query set where samples 0..2 are uncertain hotspot-leaning (p1 near 0.45)
+// and the rest confident non-hotspots, with feature clusters.
+struct QuerySet {
+  std::vector<std::vector<double>> probs;
+  std::vector<std::vector<double>> features;
+};
+
+QuerySet make_query(hsd::stats::Rng& rng, std::size_t n = 20) {
+  QuerySet q;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double p1 = i < 3 ? 0.45 + 0.01 * static_cast<double>(i)
+                            : 0.02 + 0.001 * static_cast<double>(i);
+    q.probs.push_back({1.0 - p1, p1});
+    // Two feature clusters plus jitter; sample n-1 is an isolated outlier.
+    std::vector<double> f(4, 0.0);
+    if (i == n - 1) {
+      f = {0.0, 0.0, 0.0, 1.0};
+    } else if (i % 2 == 0) {
+      f = {1.0 + rng.normal(0.0, 0.01), 0.1, 0.0, 0.0};
+    } else {
+      f = {0.1, 1.0 + rng.normal(0.0, 0.01), 0.0, 0.0};
+    }
+    q.features.push_back(f);
+  }
+  return q;
+}
+
+TEST(SelectBatchTest, ReturnsKDistinctPositions) {
+  hsd::stats::Rng rng(3);
+  const QuerySet q = make_query(rng);
+  for (auto kind : {SamplerKind::kEntropy, SamplerKind::kTsOnly, SamplerKind::kQp,
+                    SamplerKind::kRandom}) {
+    SamplerConfig cfg;
+    cfg.kind = kind;
+    const auto picked = select_batch(q.probs, q.features, 5, cfg, rng);
+    EXPECT_EQ(picked.size(), 5u);
+    std::set<std::size_t> s(picked.begin(), picked.end());
+    EXPECT_EQ(s.size(), 5u);
+    for (std::size_t p : picked) EXPECT_LT(p, q.probs.size());
+  }
+}
+
+TEST(SelectBatchTest, KLargerThanNReturnsAll) {
+  hsd::stats::Rng rng(5);
+  const QuerySet q = make_query(rng, 4);
+  SamplerConfig cfg;
+  const auto picked = select_batch(q.probs, q.features, 10, cfg, rng);
+  EXPECT_EQ(picked.size(), 4u);
+}
+
+TEST(SelectBatchTest, EmptyQueryReturnsEmpty) {
+  hsd::stats::Rng rng(5);
+  SamplerConfig cfg;
+  EXPECT_TRUE(select_batch({}, {}, 3, cfg, rng).empty());
+}
+
+TEST(SelectBatchTest, TsOnlyPicksUncertainHotspotLeaning) {
+  hsd::stats::Rng rng(7);
+  const QuerySet q = make_query(rng);
+  SamplerConfig cfg;
+  cfg.kind = SamplerKind::kTsOnly;
+  const auto picked = select_batch(q.probs, q.features, 3, cfg, rng);
+  const std::set<std::size_t> s(picked.begin(), picked.end());
+  // The three boundary samples are 0, 1, 2.
+  EXPECT_TRUE(s.count(0));
+  EXPECT_TRUE(s.count(1));
+  EXPECT_TRUE(s.count(2));
+}
+
+TEST(SelectBatchTest, EntropyBlendsDiversityIn) {
+  // With uncertainty nearly flat, the isolated feature outlier must be
+  // picked by the entropy method but not by TS-only ranking logic alone.
+  hsd::stats::Rng rng(9);
+  QuerySet q = make_query(rng);
+  for (auto& p : q.probs) p = {0.7, 0.3};  // uniform uncertainty column
+  SamplerConfig cfg;
+  cfg.kind = SamplerKind::kEntropy;
+  SamplingDiagnostics diag;
+  const auto picked = select_batch(q.probs, q.features, 3, cfg, rng, &diag);
+  const std::set<std::size_t> s(picked.begin(), picked.end());
+  EXPECT_TRUE(s.count(q.probs.size() - 1)) << "outlier not selected";
+  // Uniform uncertainty -> its entropy weight collapses to ~0.
+  EXPECT_LT(diag.w_uncertainty, 0.05);
+  EXPECT_GT(diag.w_diversity, 0.95);
+}
+
+TEST(SelectBatchTest, DiagnosticsWeightsSumToOne) {
+  hsd::stats::Rng rng(11);
+  const QuerySet q = make_query(rng);
+  SamplerConfig cfg;
+  SamplingDiagnostics diag;
+  select_batch(q.probs, q.features, 4, cfg, rng, &diag);
+  EXPECT_NEAR(diag.w_uncertainty + diag.w_diversity, 1.0, 1e-9);
+  EXPECT_EQ(diag.uncertainty.size(), q.probs.size());
+  EXPECT_EQ(diag.diversity.size(), q.probs.size());
+  EXPECT_EQ(diag.score.size(), q.probs.size());
+}
+
+TEST(SelectBatchTest, FixedWeightsBypassEntropyWeighting) {
+  hsd::stats::Rng rng(13);
+  const QuerySet q = make_query(rng);
+  SamplerConfig cfg;
+  cfg.dynamic_weights = false;
+  cfg.fixed_w2 = 0.2;
+  SamplingDiagnostics diag;
+  select_batch(q.probs, q.features, 4, cfg, rng, &diag);
+  EXPECT_DOUBLE_EQ(diag.w_diversity, 0.2);
+  EXPECT_DOUBLE_EQ(diag.w_uncertainty, 0.8);
+}
+
+TEST(SelectBatchTest, AblationSwitchesIsolateMetrics) {
+  hsd::stats::Rng rng(15);
+  const QuerySet q = make_query(rng);
+  // w/o.D: pure uncertainty.
+  SamplerConfig no_d;
+  no_d.use_diversity = false;
+  SamplingDiagnostics diag_d;
+  select_batch(q.probs, q.features, 3, no_d, rng, &diag_d);
+  EXPECT_DOUBLE_EQ(diag_d.w_uncertainty, 1.0);
+  // w/o.U: pure diversity.
+  SamplerConfig no_u;
+  no_u.use_uncertainty = false;
+  SamplingDiagnostics diag_u;
+  const auto picked = select_batch(q.probs, q.features, 1, no_u, rng, &diag_u);
+  EXPECT_DOUBLE_EQ(diag_u.w_diversity, 1.0);
+  EXPECT_EQ(picked[0], q.probs.size() - 1);  // the outlier
+  // Both disabled: invalid.
+  SamplerConfig none;
+  none.use_uncertainty = false;
+  none.use_diversity = false;
+  EXPECT_THROW(select_batch(q.probs, q.features, 1, none, rng),
+               std::invalid_argument);
+}
+
+TEST(SelectBatchTest, QpAvoidsDuplicatePicks) {
+  // Two identical high-uncertainty samples and one distinct moderate one:
+  // the QP's similarity penalty should avoid taking both duplicates.
+  hsd::stats::Rng rng(17);
+  std::vector<std::vector<double>> probs{{0.5, 0.5}, {0.5, 0.5}, {0.6, 0.4}};
+  std::vector<std::vector<double>> feats{{1.0, 0.0}, {1.0, 0.0}, {0.0, 1.0}};
+  SamplerConfig cfg;
+  cfg.kind = SamplerKind::kQp;
+  const auto picked = select_batch(probs, feats, 2, cfg, rng);
+  const std::set<std::size_t> s(picked.begin(), picked.end());
+  EXPECT_TRUE(s.count(2)) << "distinct sample should be selected";
+}
+
+TEST(SelectBatchTest, RandomIsSeedDeterministic) {
+  const QuerySet q = [] {
+    hsd::stats::Rng r(19);
+    return make_query(r);
+  }();
+  SamplerConfig cfg;
+  cfg.kind = SamplerKind::kRandom;
+  hsd::stats::Rng r1(23), r2(23);
+  EXPECT_EQ(select_batch(q.probs, q.features, 5, cfg, r1),
+            select_batch(q.probs, q.features, 5, cfg, r2));
+}
+
+TEST(SelectBatchTest, SizeMismatchThrows) {
+  hsd::stats::Rng rng(1);
+  SamplerConfig cfg;
+  EXPECT_THROW(select_batch({{0.5, 0.5}}, {}, 1, cfg, rng), std::invalid_argument);
+}
+
+TEST(SelectBatchTest, QpDiagnosticsExposeRelaxedSolution) {
+  hsd::stats::Rng rng(29);
+  const QuerySet q = make_query(rng, 12);
+  SamplerConfig cfg;
+  cfg.kind = SamplerKind::kQp;
+  SamplingDiagnostics diag;
+  select_batch(q.probs, q.features, 4, cfg, rng, &diag);
+  // The QP path reports the relaxed x as the score column: feasible box
+  // values summing to ~k.
+  ASSERT_EQ(diag.score.size(), q.probs.size());
+  double sum = 0.0;
+  for (double x : diag.score) {
+    EXPECT_GE(x, -1e-9);
+    EXPECT_LE(x, 1.0 + 1e-9);
+    sum += x;
+  }
+  EXPECT_NEAR(sum, 4.0, 1e-4);
+  EXPECT_EQ(diag.uncertainty.size(), q.probs.size());
+}
+
+}  // namespace
+}  // namespace hsd::core

@@ -1,0 +1,121 @@
+// Tests for the extension query strategies (predictive entropy, core-set,
+// BADGE) added alongside the paper's sampler.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/entropy_sampling.hpp"
+#include "stats/rng.hpp"
+
+namespace hsd::core {
+namespace {
+
+struct Query {
+  std::vector<std::vector<double>> probs;
+  std::vector<std::vector<double>> features;
+};
+
+// 3 tight feature clusters; samples 0..2 maximally uncertain, the rest
+// confident. Sample n-1 is an isolated feature outlier.
+Query make_query(std::size_t n = 24) {
+  hsd::stats::Rng rng(31);
+  Query q;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double p1 = i < 3 ? 0.5 : 0.05;
+    q.probs.push_back({1.0 - p1, p1});
+    std::vector<double> f(3, 0.0);
+    if (i == n - 1) {
+      f = {5.0, 5.0, 5.0};
+    } else {
+      f[i % 3] = 1.0 + rng.normal(0.0, 0.01);
+    }
+    q.features.push_back(f);
+  }
+  return q;
+}
+
+TEST(PredictiveEntropyTest, PicksMaximallyUncertain) {
+  const Query q = make_query();
+  SamplerConfig cfg;
+  cfg.kind = SamplerKind::kPredictiveEntropy;
+  hsd::stats::Rng rng(1);
+  const auto picked = select_batch(q.probs, q.features, 3, cfg, rng);
+  const std::set<std::size_t> s(picked.begin(), picked.end());
+  EXPECT_TRUE(s.count(0));
+  EXPECT_TRUE(s.count(1));
+  EXPECT_TRUE(s.count(2));
+}
+
+TEST(CoresetTest, CoversAllClusters) {
+  const Query q = make_query();
+  SamplerConfig cfg;
+  cfg.kind = SamplerKind::kCoreset;
+  hsd::stats::Rng rng(1);
+  const auto picked = select_batch(q.probs, q.features, 4, cfg, rng);
+  // k-center coverage must include the outlier and span the three clusters.
+  std::set<std::size_t> clusters;
+  bool outlier = false;
+  for (std::size_t i : picked) {
+    if (i == q.probs.size() - 1) {
+      outlier = true;
+    } else {
+      clusters.insert(i % 3);
+    }
+  }
+  EXPECT_TRUE(outlier);
+  EXPECT_EQ(clusters.size(), 3u);
+}
+
+TEST(CoresetTest, IsDeterministic) {
+  const Query q = make_query();
+  SamplerConfig cfg;
+  cfg.kind = SamplerKind::kCoreset;
+  hsd::stats::Rng r1(5), r2(99);  // coreset ignores the rng entirely
+  EXPECT_EQ(select_batch(q.probs, q.features, 5, cfg, r1),
+            select_batch(q.probs, q.features, 5, cfg, r2));
+}
+
+TEST(BadgeTest, ReturnsDistinctValidBatch) {
+  const Query q = make_query();
+  SamplerConfig cfg;
+  cfg.kind = SamplerKind::kBadge;
+  hsd::stats::Rng rng(7);
+  const auto picked = select_batch(q.probs, q.features, 6, cfg, rng);
+  EXPECT_EQ(picked.size(), 6u);
+  const std::set<std::size_t> s(picked.begin(), picked.end());
+  EXPECT_EQ(s.size(), 6u);
+  for (std::size_t i : picked) EXPECT_LT(i, q.probs.size());
+}
+
+TEST(BadgeTest, PrefersLargeGradientSamples) {
+  // Confident samples have near-zero gradient embeddings; with k = 1 the
+  // D^2-weighted seeding lands on an uncertain sample with overwhelming
+  // probability. Run several seeds and require a majority.
+  const Query q = make_query();
+  SamplerConfig cfg;
+  cfg.kind = SamplerKind::kBadge;
+  int uncertain_hits = 0;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    hsd::stats::Rng rng(seed);
+    const auto picked = select_batch(q.probs, q.features, 2, cfg, rng);
+    for (std::size_t i : picked) uncertain_hits += (i < 3);
+  }
+  EXPECT_GT(uncertain_hits, 5);
+}
+
+TEST(ExtensionStrategiesTest, AllHandleKEqualsN) {
+  const Query q = make_query(6);
+  for (auto kind :
+       {SamplerKind::kPredictiveEntropy, SamplerKind::kCoreset, SamplerKind::kBadge}) {
+    SamplerConfig cfg;
+    cfg.kind = kind;
+    hsd::stats::Rng rng(3);
+    const auto picked = select_batch(q.probs, q.features, 6, cfg, rng);
+    std::set<std::size_t> s(picked.begin(), picked.end());
+    EXPECT_EQ(s.size(), 6u);
+  }
+}
+
+}  // namespace
+}  // namespace hsd::core

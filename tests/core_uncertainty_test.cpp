@@ -1,0 +1,85 @@
+#include "core/uncertainty.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hsd::core {
+namespace {
+
+TEST(BvsbTest, MaximalAtHalf) {
+  EXPECT_DOUBLE_EQ(bvsb_uncertainty(0.5), 1.0);
+}
+
+TEST(BvsbTest, MinimalAtExtremes) {
+  EXPECT_DOUBLE_EQ(bvsb_uncertainty(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(bvsb_uncertainty(1.0), 0.0);
+}
+
+TEST(BvsbTest, SymmetricAroundHalf) {
+  EXPECT_DOUBLE_EQ(bvsb_uncertainty(0.3), bvsb_uncertainty(0.7));
+  EXPECT_DOUBLE_EQ(bvsb_uncertainty(0.1), bvsb_uncertainty(0.9));
+}
+
+TEST(BvsbTest, BatchMatchesScalar) {
+  const auto u = bvsb_uncertainty({{0.8, 0.2}, {0.5, 0.5}});
+  EXPECT_DOUBLE_EQ(u[0], bvsb_uncertainty(0.2));
+  EXPECT_DOUBLE_EQ(u[1], 1.0);
+}
+
+TEST(HotspotAwareTest, PiecewiseDefinitionAtH04) {
+  // Below h: score is p1 itself (confident non-hotspot scores low).
+  EXPECT_DOUBLE_EQ(hotspot_aware_uncertainty(0.1, 0.4), 0.1);
+  EXPECT_DOUBLE_EQ(hotspot_aware_uncertainty(0.39, 0.4), 0.39);
+  // Above h: score is p0 + h.
+  EXPECT_NEAR(hotspot_aware_uncertainty(0.5, 0.4), 0.5 + 0.4, 1e-12);
+  EXPECT_NEAR(hotspot_aware_uncertainty(0.9, 0.4), 0.1 + 0.4, 1e-12);
+}
+
+TEST(HotspotAwareTest, PeaksAtDecisionBoundary) {
+  // The score is maximized just above h (paper: samples near the boundary
+  // AND hotspot-leaning score highest).
+  const double at_boundary = hotspot_aware_uncertainty(0.41, 0.4);
+  EXPECT_GT(at_boundary, hotspot_aware_uncertainty(0.2, 0.4));
+  EXPECT_GT(at_boundary, hotspot_aware_uncertainty(0.95, 0.4));
+}
+
+TEST(HotspotAwareTest, HotspotSideOutscoresNonHotspotSide) {
+  // A confident hotspot (p1 = 0.95) still outranks a confident
+  // non-hotspot (p1 = 0.05): 0.05 + 0.4 = 0.45 > 0.05.
+  EXPECT_GT(hotspot_aware_uncertainty(0.95, 0.4),
+            hotspot_aware_uncertainty(0.05, 0.4));
+}
+
+TEST(HotspotAwareTest, MonotoneDecreasingAboveH) {
+  double prev = hotspot_aware_uncertainty(0.45, 0.4);
+  for (double p = 0.5; p <= 1.0; p += 0.05) {
+    const double cur = hotspot_aware_uncertainty(p, 0.4);
+    EXPECT_LT(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(HotspotAwareTest, MonotoneIncreasingBelowH) {
+  double prev = hotspot_aware_uncertainty(0.0, 0.4);
+  for (double p = 0.05; p < 0.4; p += 0.05) {
+    const double cur = hotspot_aware_uncertainty(p, 0.4);
+    EXPECT_GT(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(HotspotAwareTest, BatchMatchesScalar) {
+  const auto u = hotspot_aware_uncertainty({{0.9, 0.1}, {0.3, 0.7}}, 0.4);
+  EXPECT_DOUBLE_EQ(u[0], hotspot_aware_uncertainty(0.1, 0.4));
+  EXPECT_DOUBLE_EQ(u[1], hotspot_aware_uncertainty(0.7, 0.4));
+}
+
+TEST(HotspotAwareTest, InvalidArgumentsThrow) {
+  EXPECT_THROW(hotspot_aware_uncertainty(0.5, 0.0), std::invalid_argument);
+  EXPECT_THROW(hotspot_aware_uncertainty(0.5, 1.0), std::invalid_argument);
+  EXPECT_THROW(hotspot_aware_uncertainty({{0.5, 0.3, 0.2}}, 0.4),
+               std::invalid_argument);
+  EXPECT_THROW(bvsb_uncertainty({{1.0}}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hsd::core

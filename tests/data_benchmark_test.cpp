@@ -1,0 +1,136 @@
+#include "data/benchmark.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hsd::data {
+namespace {
+
+BenchmarkSpec tiny_spec() {
+  BenchmarkSpec spec = iccad16_spec(3);
+  spec.name = "tiny";
+  spec.hs_target = 30;
+  spec.nhs_target = 120;
+  spec.seed = 99;
+  return spec;
+}
+
+TEST(BenchmarkTest, QuotasAreMetExactly) {
+  const Benchmark b = build_benchmark(tiny_spec());
+  EXPECT_EQ(b.size(), 150u);
+  std::size_t hs = 0;
+  for (int y : b.labels) hs += (y == 1);
+  EXPECT_EQ(hs, 30u);
+  EXPECT_EQ(b.num_hotspots, 30u);
+  EXPECT_EQ(b.num_non_hotspots, 120u);
+}
+
+TEST(BenchmarkTest, LabelsAgreeWithOracle) {
+  const Benchmark b = build_benchmark(tiny_spec());
+  litho::LithoOracle oracle = b.make_oracle();
+  for (std::size_t i = 0; i < b.size(); i += 7) {
+    EXPECT_EQ(oracle.label(b.clips[i]) ? 1 : 0, b.labels[i]) << "clip " << i;
+  }
+}
+
+TEST(BenchmarkTest, DeterministicUnderSeed) {
+  const Benchmark a = build_benchmark(tiny_spec());
+  const Benchmark b = build_benchmark(tiny_spec());
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(a.labels, b.labels);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.clips[i].pattern_hash, b.clips[i].pattern_hash);
+  }
+}
+
+TEST(BenchmarkTest, HotspotsAreInterleavedNotClustered) {
+  const Benchmark b = build_benchmark(tiny_spec());
+  // With 20% hotspots shuffled in, the first half must contain some.
+  std::size_t first_half_hs = 0;
+  for (std::size_t i = 0; i < b.size() / 2; ++i) first_half_hs += (b.labels[i] == 1);
+  EXPECT_GT(first_half_hs, 0u);
+  EXPECT_LT(first_half_hs, 30u);
+}
+
+TEST(BenchmarkTest, ChipGridCoversAllClips) {
+  const Benchmark b = build_benchmark(tiny_spec());
+  EXPECT_GE(b.chip_cols * b.chip_rows, b.size());
+  // Origins are distinct grid positions.
+  for (std::size_t i = 1; i < b.size(); ++i) {
+    EXPECT_FALSE(b.clips[i].chip_origin == b.clips[0].chip_origin);
+    break;  // spot check
+  }
+  const auto side = b.spec.gen.clip_side;
+  for (std::size_t i = 0; i < b.size(); i += 13) {
+    EXPECT_EQ(b.clips[i].chip_origin.x % side, 0);
+    EXPECT_EQ(b.clips[i].chip_origin.y % side, 0);
+  }
+}
+
+TEST(BenchmarkTest, ZeroHotspotSpecWorks) {
+  BenchmarkSpec spec = iccad16_spec(1);
+  spec.nhs_target = 40;  // shrink for test speed
+  const Benchmark b = build_benchmark(spec);
+  EXPECT_EQ(b.size(), 40u);
+  for (int y : b.labels) EXPECT_EQ(y, 0);
+}
+
+TEST(BenchmarkTest, ImpossibleQuotaThrows) {
+  // A generator that only draws comfortably wide, well-spaced geometry
+  // cannot produce hotspots, so a hotspot quota must exhaust the budget.
+  BenchmarkSpec spec = iccad16_spec(1);
+  spec.gen.risky_fraction = 0.0;
+  spec.gen.min_width = 40;
+  spec.gen.max_width = 40;
+  spec.gen.min_space = 40;
+  spec.gen.max_space = 40;
+  // Parallel lines only: their tips sit outside the core, so nothing pinches.
+  spec.gen.family_weights = {1.0, 0.0, 0.0, 0.0, 0.0, 0.0};
+  spec.hs_target = 10;
+  spec.nhs_target = 5;
+  spec.max_attempts_factor = 10;
+  EXPECT_THROW(build_benchmark(spec), std::runtime_error);
+}
+
+TEST(SpecTest, Iccad12MatchesTableOne) {
+  const BenchmarkSpec s = iccad12_spec(1.0);
+  EXPECT_EQ(s.hs_target, 3728u);
+  EXPECT_EQ(s.nhs_target, 159672u);
+  EXPECT_EQ(s.tech_nm, 28);
+}
+
+TEST(SpecTest, Iccad12ScalePreservesRatio) {
+  const BenchmarkSpec s = iccad12_spec(0.1);
+  EXPECT_EQ(s.hs_target, 373u);
+  EXPECT_EQ(s.nhs_target, 15967u);
+  EXPECT_THROW(iccad12_spec(0.0), std::invalid_argument);
+  EXPECT_THROW(iccad12_spec(1.5), std::invalid_argument);
+}
+
+TEST(SpecTest, Iccad16MatchesTableOne) {
+  const BenchmarkSpec s1 = iccad16_spec(1);
+  EXPECT_EQ(s1.hs_target, 0u);
+  EXPECT_EQ(s1.nhs_target, 63u);
+  const BenchmarkSpec s2 = iccad16_spec(2);
+  EXPECT_EQ(s2.hs_target, 56u);
+  EXPECT_EQ(s2.nhs_target, 967u);
+  const BenchmarkSpec s3 = iccad16_spec(3);
+  EXPECT_EQ(s3.hs_target, 1100u);
+  EXPECT_EQ(s3.nhs_target, 3916u);
+  const BenchmarkSpec s4 = iccad16_spec(4);
+  EXPECT_EQ(s4.hs_target, 157u);
+  EXPECT_EQ(s4.nhs_target, 1678u);
+  EXPECT_EQ(s4.tech_nm, 7);
+  EXPECT_THROW(iccad16_spec(5), std::invalid_argument);
+}
+
+TEST(SpecTest, EvaluatedSpecsSkipCaseOne) {
+  const auto specs = evaluated_specs(0.5);
+  ASSERT_EQ(specs.size(), 4u);
+  EXPECT_EQ(specs[0].name, "ICCAD12");
+  EXPECT_EQ(specs[1].name, "ICCAD16-2");
+  EXPECT_EQ(specs[2].name, "ICCAD16-3");
+  EXPECT_EQ(specs[3].name, "ICCAD16-4");
+}
+
+}  // namespace
+}  // namespace hsd::data

@@ -1,0 +1,133 @@
+#include "data/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace hsd::data {
+namespace {
+
+TEST(LabeledSetTest, AddAndCount) {
+  LabeledSet s;
+  EXPECT_TRUE(s.empty());
+  s.add(3, 1);
+  s.add(7, 0);
+  s.add(9, 1);
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.num_hotspots(), 2u);
+}
+
+TEST(LabeledSetTest, AppendConcatenates) {
+  LabeledSet a, b;
+  a.add(1, 0);
+  b.add(2, 1);
+  b.add(3, 1);
+  a.append(b);
+  EXPECT_EQ(a.size(), 3u);
+  EXPECT_EQ(a.indices[2], 3u);
+  EXPECT_EQ(a.num_hotspots(), 2u);
+}
+
+TEST(UnlabeledPoolTest, UniverseConstructorHoldsAll) {
+  UnlabeledPool pool(5);
+  EXPECT_EQ(pool.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_TRUE(pool.contains(i));
+}
+
+TEST(UnlabeledPoolTest, RemoveIsExactAndIdempotent) {
+  UnlabeledPool pool(5);
+  EXPECT_TRUE(pool.remove(2));
+  EXPECT_FALSE(pool.contains(2));
+  EXPECT_EQ(pool.size(), 4u);
+  EXPECT_FALSE(pool.remove(2));  // second removal is a no-op
+  EXPECT_EQ(pool.size(), 4u);
+  EXPECT_FALSE(pool.remove(99));  // out of universe
+}
+
+TEST(UnlabeledPoolTest, RemainingIndicesAreCorrectSet) {
+  UnlabeledPool pool(6);
+  pool.remove_all({0, 2, 4});
+  std::vector<std::size_t> rest = pool.indices();
+  std::sort(rest.begin(), rest.end());
+  EXPECT_EQ(rest, (std::vector<std::size_t>{1, 3, 5}));
+}
+
+TEST(UnlabeledPoolTest, ExplicitIndexConstructor) {
+  UnlabeledPool pool(std::vector<std::size_t>{4, 8, 15});
+  EXPECT_EQ(pool.size(), 3u);
+  EXPECT_TRUE(pool.contains(8));
+  EXPECT_FALSE(pool.contains(5));
+  EXPECT_TRUE(pool.remove(8));
+  EXPECT_EQ(pool.size(), 2u);
+}
+
+TEST(UnlabeledPoolTest, DuplicateIndicesRejected) {
+  EXPECT_THROW(UnlabeledPool(std::vector<std::size_t>{1, 1}), std::invalid_argument);
+}
+
+TEST(UnlabeledPoolTest, ManyRemovalsStayConsistent) {
+  UnlabeledPool pool(100);
+  for (std::size_t i = 0; i < 100; i += 2) pool.remove(i);
+  EXPECT_EQ(pool.size(), 50u);
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(pool.contains(i), i % 2 == 1);
+  }
+}
+
+TEST(MakeBatchTest, GathersFeatureRows) {
+  tensor::Tensor features({3, 1, 1, 2}, std::vector<float>{1, 2, 3, 4, 5, 6});
+  const tensor::Tensor batch = make_batch(features, {2, 0});
+  EXPECT_EQ(batch.dim(0), 2u);
+  EXPECT_FLOAT_EQ(batch[0], 5.0F);
+  EXPECT_FLOAT_EQ(batch[3], 2.0F);
+}
+
+TEST(ShuffledSplitTest, SizesAndDisjointness) {
+  std::vector<int> labels(100);
+  for (std::size_t i = 0; i < labels.size(); ++i) labels[i] = i % 3 == 0 ? 1 : 0;
+  hsd::stats::Rng rng(5);
+  const Split s = shuffled_split(labels, 30, 20, 0, rng);
+  EXPECT_EQ(s.train.size(), 30u);
+  EXPECT_EQ(s.val.size(), 20u);
+  EXPECT_EQ(s.test.size(), 50u);
+  std::set<std::size_t> seen;
+  for (std::size_t i : s.train.indices) EXPECT_TRUE(seen.insert(i).second);
+  for (std::size_t i : s.val.indices) EXPECT_TRUE(seen.insert(i).second);
+  for (std::size_t i : s.test.indices) EXPECT_TRUE(seen.insert(i).second);
+  EXPECT_EQ(seen.size(), 100u);
+}
+
+TEST(ShuffledSplitTest, LabelsTravelWithIndices) {
+  std::vector<int> labels{1, 0, 1, 0, 1, 0};
+  hsd::stats::Rng rng(7);
+  const Split s = shuffled_split(labels, 3, 2, 1, rng);
+  for (std::size_t i = 0; i < s.train.size(); ++i) {
+    EXPECT_EQ(s.train.labels[i], labels[s.train.indices[i]]);
+  }
+}
+
+TEST(ShuffledSplitTest, ExplicitTestSizeLimitsTestSet) {
+  std::vector<int> labels(20, 0);
+  hsd::stats::Rng rng(9);
+  const Split s = shuffled_split(labels, 5, 5, 3, rng);
+  EXPECT_EQ(s.test.size(), 3u);
+}
+
+TEST(ShuffledSplitTest, DeterministicUnderSeed) {
+  std::vector<int> labels(50, 0);
+  hsd::stats::Rng r1(3), r2(3);
+  const Split a = shuffled_split(labels, 10, 10, 0, r1);
+  const Split b = shuffled_split(labels, 10, 10, 0, r2);
+  EXPECT_EQ(a.train.indices, b.train.indices);
+  EXPECT_EQ(a.test.indices, b.test.indices);
+}
+
+TEST(ShuffledSplitTest, OversizedRequestThrows) {
+  std::vector<int> labels(10, 0);
+  hsd::stats::Rng rng(1);
+  EXPECT_THROW(shuffled_split(labels, 6, 6, 0, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hsd::data

@@ -1,0 +1,107 @@
+#include "data/features.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/pattern_generator.hpp"
+
+namespace hsd::data {
+namespace {
+
+layout::Clip full_clip() {
+  layout::Clip c;
+  c.window = layout::Rect{0, 0, 320, 320};
+  c.core = layout::centered_core(c.window, 0.5);
+  c.shapes.push_back(layout::Rect{0, 0, 320, 320});
+  layout::finalize(c);
+  return c;
+}
+
+layout::Clip empty_clip() {
+  layout::Clip c;
+  c.window = layout::Rect{0, 0, 320, 320};
+  c.core = layout::centered_core(c.window, 0.5);
+  return c;
+}
+
+TEST(FeatureTest, DimensionIsKeepSquared) {
+  const FeatureExtractor fx(32, 8);
+  EXPECT_EQ(fx.dimension(), 64u);
+  EXPECT_EQ(fx.grid(), 32u);
+  EXPECT_EQ(fx.keep(), 8u);
+}
+
+TEST(FeatureTest, DcTermEqualsMeanCoverage) {
+  const FeatureExtractor fx(32, 8);
+  const auto full = fx.extract(full_clip());
+  EXPECT_NEAR(full[0], 1.0F, 1e-4F);  // fully covered clip -> mean 1
+  const auto empty = fx.extract(empty_clip());
+  EXPECT_NEAR(empty[0], 0.0F, 1e-6F);
+  // AC terms of a constant image vanish.
+  for (std::size_t i = 1; i < full.size(); ++i) EXPECT_NEAR(full[i], 0.0F, 1e-4F);
+}
+
+TEST(FeatureTest, DistinctPatternsYieldDistinctFeatures) {
+  GeneratorConfig cfg;
+  cfg.clip_side = 320;
+  cfg.step = 5;
+  cfg.min_width = 10;
+  cfg.max_width = 40;
+  cfg.min_space = 10;
+  cfg.max_space = 40;
+  PatternGenerator gen(cfg, hsd::stats::Rng(5));
+  const FeatureExtractor fx(32, 8);
+  const auto a = fx.extract(gen.next_from(Family::kParallelLines));
+  const auto b = fx.extract(gen.next_from(Family::kViaArray));
+  double diff = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) diff += std::abs(a[i] - b[i]);
+  EXPECT_GT(diff, 1e-3);
+}
+
+TEST(FeatureTest, IdenticalClipsYieldIdenticalFeatures) {
+  const FeatureExtractor fx(32, 8);
+  const auto a = fx.extract(full_clip());
+  const auto b = fx.extract(full_clip());
+  EXPECT_EQ(a, b);
+}
+
+TEST(FeatureTest, BatchMatchesSingle) {
+  GeneratorConfig cfg;
+  cfg.clip_side = 320;
+  cfg.step = 5;
+  cfg.min_width = 10;
+  cfg.max_width = 40;
+  cfg.min_space = 10;
+  cfg.max_space = 40;
+  PatternGenerator gen(cfg, hsd::stats::Rng(9));
+  std::vector<layout::Clip> clips;
+  for (int i = 0; i < 5; ++i) clips.push_back(gen.next());
+
+  const FeatureExtractor fx(32, 8);
+  const tensor::Tensor batch = fx.extract_batch(clips);
+  EXPECT_EQ(batch.shape(), (tensor::Shape{5, 1, 8, 8}));
+  for (std::size_t i = 0; i < clips.size(); ++i) {
+    const auto single = fx.extract(clips[i]);
+    for (std::size_t j = 0; j < single.size(); ++j) {
+      EXPECT_FLOAT_EQ(batch[i * 64 + j], single[j]);
+    }
+  }
+}
+
+TEST(FeatureTest, ToDoubleRowsFlattens) {
+  tensor::Tensor x({2, 1, 2, 2}, std::vector<float>{1, 2, 3, 4, 5, 6, 7, 8});
+  const auto rows = to_double_rows(x);
+  ASSERT_EQ(rows.size(), 2u);
+  ASSERT_EQ(rows[0].size(), 4u);
+  EXPECT_DOUBLE_EQ(rows[0][0], 1.0);
+  EXPECT_DOUBLE_EQ(rows[1][3], 8.0);
+}
+
+TEST(FeatureTest, InvalidKeepThrows) {
+  EXPECT_THROW(FeatureExtractor(32, 0), std::invalid_argument);
+  EXPECT_THROW(FeatureExtractor(32, 33), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hsd::data

@@ -1,0 +1,130 @@
+#include "data/pattern_generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace hsd::data {
+namespace {
+
+GeneratorConfig test_config() {
+  GeneratorConfig cfg;
+  cfg.clip_side = 640;
+  cfg.step = 10;
+  cfg.min_width = 20;
+  cfg.max_width = 80;
+  cfg.min_space = 20;
+  cfg.max_space = 80;
+  cfg.risky_fraction = 0.3;
+  return cfg;
+}
+
+TEST(GeneratorTest, ClipsStayInsideWindow) {
+  PatternGenerator gen(test_config(), hsd::stats::Rng(1));
+  for (int i = 0; i < 200; ++i) {
+    const layout::Clip c = gen.next();
+    EXPECT_FALSE(c.shapes.empty());
+    for (const auto& r : c.shapes) {
+      EXPECT_TRUE(r.valid());
+      EXPECT_TRUE(c.window.contains(r))
+          << "family " << c.family << " shape escapes window";
+    }
+  }
+}
+
+TEST(GeneratorTest, CoordinatesAreQuantized) {
+  GeneratorConfig cfg = test_config();
+  PatternGenerator gen(cfg, hsd::stats::Rng(2));
+  for (int i = 0; i < 200; ++i) {
+    const layout::Clip c = gen.next();
+    for (const auto& r : c.shapes) {
+      EXPECT_EQ(r.x0 % cfg.step, 0);
+      EXPECT_EQ(r.y0 % cfg.step, 0);
+      EXPECT_EQ(r.x1 % cfg.step, 0);
+      EXPECT_EQ(r.y1 % cfg.step, 0);
+    }
+  }
+}
+
+TEST(GeneratorTest, QuantizationCreatesExactDuplicates) {
+  // The PM-exact baseline relies on repeated patterns existing; over a few
+  // thousand draws the quantized parameter space must collide.
+  PatternGenerator gen(test_config(), hsd::stats::Rng(3));
+  std::set<std::uint64_t> hashes;
+  const int n = 3000;
+  for (int i = 0; i < n; ++i) hashes.insert(gen.next().pattern_hash);
+  EXPECT_LT(hashes.size(), static_cast<std::size_t>(n));
+  EXPECT_GT(hashes.size(), static_cast<std::size_t>(n) / 20);  // but not all equal
+}
+
+TEST(GeneratorTest, DeterministicUnderSeed) {
+  PatternGenerator a(test_config(), hsd::stats::Rng(7));
+  PatternGenerator b(test_config(), hsd::stats::Rng(7));
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(a.next().pattern_hash, b.next().pattern_hash);
+  }
+}
+
+TEST(GeneratorTest, AllFamiliesProduceGeometry) {
+  PatternGenerator gen(test_config(), hsd::stats::Rng(11));
+  for (int f = 0; f < static_cast<int>(Family::kCount); ++f) {
+    const layout::Clip c = gen.next_from(static_cast<Family>(f));
+    EXPECT_EQ(c.family, f);
+    EXPECT_FALSE(c.shapes.empty()) << "family " << f;
+    EXPECT_NE(c.pattern_hash, 0u);
+  }
+}
+
+TEST(GeneratorTest, FamilyWeightsRespected) {
+  GeneratorConfig cfg = test_config();
+  cfg.family_weights = {1.0, 0.0, 0.0, 0.0, 0.0, 0.0};
+  PatternGenerator gen(cfg, hsd::stats::Rng(13));
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(gen.next().family, static_cast<int>(Family::kParallelLines));
+  }
+}
+
+TEST(GeneratorTest, CoreIsCenteredFraction) {
+  GeneratorConfig cfg = test_config();
+  cfg.core_fraction = 0.5;
+  PatternGenerator gen(cfg, hsd::stats::Rng(17));
+  const layout::Clip c = gen.next();
+  EXPECT_EQ(c.core, layout::centered_core(c.window, 0.5));
+}
+
+TEST(GeneratorTest, InvalidConfigsThrow) {
+  GeneratorConfig bad = test_config();
+  bad.step = 0;
+  EXPECT_THROW(PatternGenerator(bad, hsd::stats::Rng(1)), std::invalid_argument);
+
+  GeneratorConfig inverted = test_config();
+  inverted.min_width = 100;
+  inverted.max_width = 20;
+  EXPECT_THROW(PatternGenerator(inverted, hsd::stats::Rng(1)), std::invalid_argument);
+
+  GeneratorConfig wrong_weights = test_config();
+  wrong_weights.family_weights = {1.0, 2.0};
+  EXPECT_THROW(PatternGenerator(wrong_weights, hsd::stats::Rng(1)),
+               std::invalid_argument);
+}
+
+TEST(GeneratorTest, SmallTechConfigWorks) {
+  // ICCAD16-style 320 nm clips at 5 nm steps.
+  GeneratorConfig cfg;
+  cfg.clip_side = 320;
+  cfg.step = 5;
+  cfg.min_width = 10;
+  cfg.max_width = 40;
+  cfg.min_space = 10;
+  cfg.max_space = 40;
+  PatternGenerator gen(cfg, hsd::stats::Rng(19));
+  for (int i = 0; i < 100; ++i) {
+    const layout::Clip c = gen.next();
+    for (const auto& r : c.shapes) {
+      EXPECT_TRUE(c.window.contains(r));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hsd::data

@@ -1,0 +1,97 @@
+#include "data/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "data/features.hpp"
+
+namespace hsd::data {
+namespace {
+
+Benchmark small_benchmark() {
+  BenchmarkSpec spec = iccad16_spec(2);
+  spec.name = "io-test";
+  spec.hs_target = 10;
+  spec.nhs_target = 50;
+  spec.seed = 321;
+  return build_benchmark(spec);
+}
+
+TEST(DataIoTest, RoundTripPreservesEverything) {
+  const Benchmark bench = small_benchmark();
+  std::stringstream buf;
+  save_benchmark(buf, bench);
+  const Benchmark loaded = load_benchmark(buf);
+
+  EXPECT_EQ(loaded.spec.name, bench.spec.name);
+  EXPECT_EQ(loaded.spec.grid, bench.spec.grid);
+  EXPECT_EQ(loaded.spec.feature_grid, bench.spec.feature_grid);
+  EXPECT_EQ(loaded.spec.feature_keep, bench.spec.feature_keep);
+  EXPECT_DOUBLE_EQ(loaded.spec.optics.sigma_px, bench.spec.optics.sigma_px);
+  EXPECT_EQ(loaded.labels, bench.labels);
+  EXPECT_EQ(loaded.num_hotspots, bench.num_hotspots);
+  EXPECT_EQ(loaded.num_non_hotspots, bench.num_non_hotspots);
+  EXPECT_EQ(loaded.chip_cols, bench.chip_cols);
+  ASSERT_EQ(loaded.clips.size(), bench.clips.size());
+  for (std::size_t i = 0; i < bench.clips.size(); ++i) {
+    EXPECT_EQ(loaded.clips[i].pattern_hash, bench.clips[i].pattern_hash);
+  }
+}
+
+TEST(DataIoTest, LoadedOracleReproducesLabels) {
+  const Benchmark bench = small_benchmark();
+  std::stringstream buf;
+  save_benchmark(buf, bench);
+  const Benchmark loaded = load_benchmark(buf);
+  litho::LithoOracle oracle = loaded.make_oracle();
+  for (std::size_t i = 0; i < loaded.size(); i += 5) {
+    EXPECT_EQ(oracle.label(loaded.clips[i]) ? 1 : 0, loaded.labels[i]);
+  }
+}
+
+TEST(DataIoTest, LoadedFeaturesMatchOriginal) {
+  const Benchmark bench = small_benchmark();
+  std::stringstream buf;
+  save_benchmark(buf, bench);
+  const Benchmark loaded = load_benchmark(buf);
+  const FeatureExtractor fx(bench.spec.feature_grid, bench.spec.feature_keep);
+  const auto a = fx.extract_benchmark(bench);
+  const auto b = fx.extract_benchmark(loaded);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_FLOAT_EQ(a[i], b[i]);
+}
+
+TEST(DataIoTest, FileRoundTrip) {
+  const Benchmark bench = small_benchmark();
+  const std::string path = "/tmp/hsd_io_test_benchmark.txt";
+  save_benchmark_file(path, bench);
+  const Benchmark loaded = load_benchmark_file(path);
+  EXPECT_EQ(loaded.labels, bench.labels);
+  std::remove(path.c_str());
+}
+
+TEST(DataIoTest, RejectsWrongMagic) {
+  std::stringstream buf("not-a-benchmark 1\n");
+  EXPECT_THROW(load_benchmark(buf), std::runtime_error);
+}
+
+TEST(DataIoTest, RejectsBadLabelValue) {
+  const Benchmark bench = small_benchmark();
+  std::stringstream buf;
+  save_benchmark(buf, bench);
+  std::string text = buf.str();
+  const auto pos = text.find("labels");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(text.find(' ', pos + 8) + 1, 1, "7");  // corrupt first label
+  std::stringstream corrupted(text);
+  EXPECT_THROW(load_benchmark(corrupted), std::runtime_error);
+}
+
+TEST(DataIoTest, MissingFileThrows) {
+  EXPECT_THROW(load_benchmark_file("/nonexistent/path/bench.txt"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace hsd::data

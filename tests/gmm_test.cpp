@@ -1,0 +1,166 @@
+#include "gmm/gmm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace hsd::gmm {
+namespace {
+
+std::vector<std::vector<double>> two_blobs(hsd::stats::Rng& rng, int per_blob = 150) {
+  std::vector<std::vector<double>> data;
+  for (int i = 0; i < per_blob; ++i) {
+    data.push_back({rng.normal(0.0, 0.5), rng.normal(0.0, 0.5)});
+  }
+  for (int i = 0; i < per_blob; ++i) {
+    data.push_back({rng.normal(8.0, 0.5), rng.normal(8.0, 0.5)});
+  }
+  return data;
+}
+
+TEST(GmmTest, LogLikelihoodMonotoneNonDecreasing) {
+  hsd::stats::Rng rng(3);
+  const auto data = two_blobs(rng);
+  GmmConfig cfg;
+  cfg.components = 2;
+  const auto g = GaussianMixture::fit(data, cfg, rng);
+  const auto& hist = g.log_likelihood_history();
+  ASSERT_GE(hist.size(), 2u);
+  for (std::size_t i = 1; i < hist.size(); ++i) {
+    EXPECT_GE(hist[i], hist[i - 1] - 1e-8) << "EM step " << i << " decreased LL";
+  }
+}
+
+TEST(GmmTest, RecoversBlobMeans) {
+  hsd::stats::Rng rng(5);
+  const auto data = two_blobs(rng);
+  GmmConfig cfg;
+  cfg.components = 2;
+  const auto g = GaussianMixture::fit(data, cfg, rng);
+  // One mean near (0,0), the other near (8,8).
+  const auto& m0 = g.means()[0];
+  const auto& m1 = g.means()[1];
+  const bool ordered = m0[0] < m1[0];
+  const auto& low = ordered ? m0 : m1;
+  const auto& high = ordered ? m1 : m0;
+  EXPECT_NEAR(low[0], 0.0, 0.3);
+  EXPECT_NEAR(low[1], 0.0, 0.3);
+  EXPECT_NEAR(high[0], 8.0, 0.3);
+  EXPECT_NEAR(high[1], 8.0, 0.3);
+  // Balanced blobs -> balanced weights.
+  EXPECT_NEAR(g.weights()[0], 0.5, 0.1);
+}
+
+TEST(GmmTest, PosteriorSumsToOneAndAssignsBlobs) {
+  hsd::stats::Rng rng(7);
+  const auto data = two_blobs(rng);
+  GmmConfig cfg;
+  cfg.components = 2;
+  const auto g = GaussianMixture::fit(data, cfg, rng);
+  const auto p_low = g.posterior({0.0, 0.0});
+  const auto p_high = g.posterior({8.0, 8.0});
+  EXPECT_NEAR(p_low[0] + p_low[1], 1.0, 1e-9);
+  // Confident, opposite assignments.
+  const std::size_t c_low = p_low[0] > p_low[1] ? 0 : 1;
+  const std::size_t c_high = p_high[0] > p_high[1] ? 0 : 1;
+  EXPECT_NE(c_low, c_high);
+  EXPECT_GT(std::max(p_low[0], p_low[1]), 0.99);
+}
+
+TEST(GmmTest, OutliersHaveLowDensity) {
+  // The framework keys on this: hotspot-like outliers score the lowest
+  // density and are queried first.
+  hsd::stats::Rng rng(9);
+  const auto data = two_blobs(rng);
+  GmmConfig cfg;
+  cfg.components = 2;
+  const auto g = GaussianMixture::fit(data, cfg, rng);
+  const double inlier = g.log_density({0.0, 0.0});
+  const double outlier = g.log_density({4.0, -6.0});
+  EXPECT_GT(inlier, outlier + 5.0);
+}
+
+TEST(GmmTest, LogDensitiesBatchMatchesSingle) {
+  hsd::stats::Rng rng(11);
+  const auto data = two_blobs(rng, 30);
+  GmmConfig cfg;
+  cfg.components = 2;
+  const auto g = GaussianMixture::fit(data, cfg, rng);
+  const auto batch = g.log_densities(data);
+  for (std::size_t i = 0; i < data.size(); i += 7) {
+    EXPECT_DOUBLE_EQ(batch[i], g.log_density(data[i]));
+  }
+}
+
+TEST(GmmTest, SingleComponentMatchesSampleMoments) {
+  hsd::stats::Rng rng(13);
+  std::vector<std::vector<double>> data;
+  for (int i = 0; i < 500; ++i) data.push_back({rng.normal(2.0, 1.5)});
+  GmmConfig cfg;
+  cfg.components = 1;
+  const auto g = GaussianMixture::fit(data, cfg, rng);
+  EXPECT_NEAR(g.means()[0][0], 2.0, 0.15);
+  EXPECT_NEAR(g.variances()[0][0], 2.25, 0.4);
+  EXPECT_DOUBLE_EQ(g.weights()[0], 1.0);
+}
+
+TEST(GmmTest, VarianceFloorPreventsCollapse) {
+  // Identical points: variance would collapse to zero without the floor.
+  hsd::stats::Rng rng(15);
+  std::vector<std::vector<double>> data(20, {1.0, 1.0});
+  GmmConfig cfg;
+  cfg.components = 1;
+  cfg.reg = 1e-4;
+  const auto g = GaussianMixture::fit(data, cfg, rng);
+  EXPECT_GE(g.variances()[0][0], 1e-4);
+  EXPECT_TRUE(std::isfinite(g.log_density({1.0, 1.0})));
+}
+
+TEST(GmmTest, DeterministicUnderSeed) {
+  auto fit_once = [] {
+    hsd::stats::Rng rng(21);
+    const auto data = two_blobs(rng, 40);
+    GmmConfig cfg;
+    cfg.components = 2;
+    return GaussianMixture::fit(data, cfg, rng).final_log_likelihood();
+  };
+  EXPECT_DOUBLE_EQ(fit_once(), fit_once());
+}
+
+TEST(GmmTest, InvalidArgumentsThrow) {
+  hsd::stats::Rng rng(1);
+  EXPECT_THROW(GaussianMixture::fit({}, GmmConfig{}, rng), std::invalid_argument);
+  GmmConfig too_many;
+  too_many.components = 5;
+  const std::vector<std::vector<double>> tiny{{0.0}, {1.0}};
+  EXPECT_THROW(GaussianMixture::fit(tiny, too_many, rng), std::invalid_argument);
+}
+
+TEST(GmmTest, DimensionMismatchThrows) {
+  hsd::stats::Rng rng(1);
+  const std::vector<std::vector<double>> data{{0.0, 0.0}, {1.0, 1.0}, {2.0, 2.0}};
+  GmmConfig cfg;
+  cfg.components = 1;
+  const auto g = GaussianMixture::fit(data, cfg, rng);
+  EXPECT_THROW(g.log_density({1.0}), std::invalid_argument);
+  EXPECT_THROW(g.posterior({1.0, 2.0, 3.0}), std::invalid_argument);
+}
+
+TEST(GmmTest, WeightsFormDistribution) {
+  hsd::stats::Rng rng(25);
+  const auto data = two_blobs(rng, 60);
+  GmmConfig cfg;
+  cfg.components = 3;
+  const auto g = GaussianMixture::fit(data, cfg, rng);
+  double sum = 0.0;
+  for (double w : g.weights()) {
+    EXPECT_GT(w, 0.0);
+    sum += w;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  EXPECT_EQ(g.components(), 3u);
+  EXPECT_EQ(g.dimension(), 2u);
+}
+
+}  // namespace
+}  // namespace hsd::gmm

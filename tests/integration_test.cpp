@@ -1,0 +1,139 @@
+// End-to-end integration tests: build a benchmark, run the full PSHD flows
+// (active learning variants and pattern matching) and check the paper's
+// qualitative claims hold on the shared population.
+
+#include <gtest/gtest.h>
+
+#include "core/framework.hpp"
+#include "core/metrics.hpp"
+#include "data/benchmark.hpp"
+#include "data/features.hpp"
+#include "pm/pattern_matching.hpp"
+
+namespace hsd {
+namespace {
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    data::BenchmarkSpec spec = data::iccad16_spec(4);
+    spec.name = "integration";
+    spec.hs_target = 50;
+    spec.nhs_target = 450;
+    spec.seed = 20260704;
+    bench_ = new data::Benchmark(data::build_benchmark(spec));
+    const data::FeatureExtractor fx(spec.feature_grid, spec.feature_keep);
+    features_ = new tensor::Tensor(fx.extract_benchmark(*bench_));
+    rows_ = new std::vector<std::vector<double>>(data::to_double_rows(*features_));
+  }
+  static void TearDownTestSuite() {
+    delete bench_;
+    delete features_;
+    delete rows_;
+  }
+
+  static core::FrameworkConfig al_config(core::SamplerKind kind) {
+    core::FrameworkConfig cfg;
+    cfg.sampler.kind = kind;
+    cfg.initial_train = 24;
+    cfg.validation = 24;
+    cfg.query_size = 150;
+    cfg.batch_k = 16;
+    cfg.iterations = 6;
+    cfg.detector.initial_epochs = 15;
+    cfg.detector.finetune_epochs = 4;
+    cfg.detector.conv1_channels = 4;
+    cfg.detector.conv2_channels = 8;
+    cfg.detector.hidden = 16;
+    cfg.seed = 11;
+    return cfg;
+  }
+
+  static core::PshdMetrics run_al(core::SamplerKind kind) {
+    litho::LithoOracle oracle = bench_->make_oracle();
+    const core::AlOutcome out =
+        core::run_active_learning(al_config(kind), *features_, bench_->clips, oracle);
+    return core::evaluate_outcome(out, bench_->labels);
+  }
+
+  static data::Benchmark* bench_;
+  static tensor::Tensor* features_;
+  static std::vector<std::vector<double>>* rows_;
+};
+
+data::Benchmark* PipelineTest::bench_ = nullptr;
+tensor::Tensor* PipelineTest::features_ = nullptr;
+std::vector<std::vector<double>>* PipelineTest::rows_ = nullptr;
+
+TEST_F(PipelineTest, EntropyStrategyBeatsFullSimulationCost) {
+  const core::PshdMetrics ours = run_al(core::SamplerKind::kEntropy);
+  EXPECT_GT(ours.accuracy, 0.72);
+  // Orders of magnitude below simulating the whole chip.
+  EXPECT_LT(ours.litho, (bench_->size() * 3) / 5);
+}
+
+TEST_F(PipelineTest, PmExactIsPerfectButExpensive) {
+  litho::LithoOracle oracle = bench_->make_oracle();
+  pm::PmConfig cfg;
+  cfg.mode = pm::MatchMode::kExact;
+  const pm::PmResult res = pm::run_pattern_matching(bench_->clips, {}, oracle, cfg);
+  const core::PshdMetrics m = core::evaluate_pm(res, bench_->labels);
+  EXPECT_DOUBLE_EQ(m.accuracy, 1.0);
+  // PM-exact pays for every unique pattern; active learning pays far less.
+  const core::PshdMetrics ours = run_al(core::SamplerKind::kEntropy);
+  EXPECT_LT(ours.litho, m.litho);
+}
+
+TEST_F(PipelineTest, FuzzyMatchingTradesAccuracyForCost) {
+  litho::LithoOracle exact_oracle = bench_->make_oracle();
+  litho::LithoOracle fuzzy_oracle = bench_->make_oracle();
+  pm::PmConfig exact_cfg;
+  exact_cfg.mode = pm::MatchMode::kExact;
+  pm::PmConfig fuzzy_cfg;
+  fuzzy_cfg.mode = pm::MatchMode::kSimilarity;
+  fuzzy_cfg.sim_threshold = 0.90;
+  const auto exact =
+      core::evaluate_pm(pm::run_pattern_matching(bench_->clips, {}, exact_oracle, exact_cfg),
+                        bench_->labels);
+  const auto fuzzy = core::evaluate_pm(
+      pm::run_pattern_matching(bench_->clips, *rows_, fuzzy_oracle, fuzzy_cfg),
+      bench_->labels);
+  EXPECT_LT(fuzzy.litho, exact.litho);
+  EXPECT_LE(fuzzy.accuracy, exact.accuracy + 1e-12);
+}
+
+TEST_F(PipelineTest, EntropyCapturesMoreHotspotsThanRandomSampling) {
+  const core::PshdMetrics ours = run_al(core::SamplerKind::kEntropy);
+  const core::PshdMetrics random = run_al(core::SamplerKind::kRandom);
+  // The targeted sampler pulls more hotspots into the labeled set than
+  // uniform random selection on an imbalanced population.
+  EXPECT_GE(ours.hs_train, random.hs_train);
+}
+
+TEST_F(PipelineTest, MetricsAreInternallyConsistent) {
+  litho::LithoOracle oracle = bench_->make_oracle();
+  const core::AlOutcome out = core::run_active_learning(
+      al_config(core::SamplerKind::kEntropy), *features_, bench_->clips, oracle);
+  const core::PshdMetrics m = core::evaluate_outcome(out, bench_->labels);
+  // Eq. 1 numerator components are each bounded by their set sizes.
+  EXPECT_LE(m.hs_train, out.train.size());
+  EXPECT_LE(m.hs_val, out.val.size());
+  EXPECT_LE(m.hits + m.false_alarms, out.unlabeled_indices.size());
+  // Eq. 2 decomposition.
+  EXPECT_EQ(m.litho, out.train.size() + out.val.size() + m.false_alarms);
+  // Accuracy within [0, 1].
+  EXPECT_GE(m.accuracy, 0.0);
+  EXPECT_LE(m.accuracy, 1.0);
+}
+
+TEST_F(PipelineTest, CalibrationImprovesReliabilityOnThisPipeline) {
+  litho::LithoOracle oracle = bench_->make_oracle();
+  const core::AlOutcome out = core::run_active_learning(
+      al_config(core::SamplerKind::kEntropy), *features_, bench_->clips, oracle);
+  // The fitted temperature is a sane positive scalar.
+  EXPECT_GT(out.final_temperature, 0.04);
+  EXPECT_LT(out.final_temperature, 21.0);
+}
+
+}  // namespace
+}  // namespace hsd

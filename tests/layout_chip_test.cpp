@@ -1,0 +1,121 @@
+#include "layout/chip.hpp"
+
+#include <gtest/gtest.h>
+
+#include "data/benchmark.hpp"
+
+namespace hsd::layout {
+namespace {
+
+Clip placed_clip(Coord origin_x, Coord origin_y, std::vector<Rect> shapes) {
+  Clip c;
+  c.window = Rect{0, 0, 640, 640};
+  c.core = centered_core(c.window, 0.5);
+  c.chip_origin = {origin_x, origin_y};
+  c.shapes = std::move(shapes);
+  finalize(c);
+  return c;
+}
+
+TEST(ChipTest, AssemblePlacesShapesAtOrigins) {
+  const std::vector<Clip> clips{
+      placed_clip(0, 0, {{10, 10, 100, 100}}),
+      placed_clip(640, 0, {{10, 10, 100, 100}}),
+  };
+  const Chip chip = assemble_chip(clips);
+  ASSERT_EQ(chip.shape_count(), 2u);
+  EXPECT_EQ(chip.shapes[0], (Rect{10, 10, 100, 100}));
+  EXPECT_EQ(chip.shapes[1], (Rect{650, 10, 740, 100}));
+}
+
+TEST(ChipTest, ExtentCoversAllWindows) {
+  const std::vector<Clip> clips{placed_clip(0, 0, {}), placed_clip(640, 640, {})};
+  const Chip chip = assemble_chip(clips);
+  EXPECT_EQ(chip.extent, (Rect{0, 0, 1280, 1280}));
+}
+
+TEST(ChipTest, ExtractionRecoversPlacedGeometry) {
+  // A shape fully inside one window: non-overlapping extraction at the same
+  // grid must reproduce it in window-local coordinates.
+  const std::vector<Clip> clips{placed_clip(640, 640, {{100, 200, 300, 400}})};
+  const Chip chip = assemble_chip(clips);
+  ExtractionConfig cfg;
+  cfg.window_side = 640;
+  cfg.stride = 640;
+  const auto extracted = extract_clips(chip, cfg);
+  ASSERT_EQ(extracted.size(), 1u);
+  EXPECT_EQ(extracted[0].chip_origin, (Point{640, 640}));
+  ASSERT_EQ(extracted[0].shapes.size(), 1u);
+  EXPECT_EQ(extracted[0].shapes[0], (Rect{100, 200, 300, 400}));
+}
+
+TEST(ChipTest, ShapesSpanningWindowsAreSplit) {
+  // One shape across two adjacent windows is cut into two local pieces.
+  Clip big = placed_clip(0, 0, {});
+  big.shapes.push_back(Rect{600, 100, 700, 200});  // spans x = 640 boundary
+  finalize(big);
+  const Chip chip = assemble_chip({big, placed_clip(640, 0, {})});
+  ExtractionConfig cfg;
+  const auto extracted = extract_clips(chip, cfg);
+  ASSERT_EQ(extracted.size(), 2u);
+  // Left window gets [600, 640], right window gets [0, 60] locally.
+  EXPECT_EQ(extracted[0].shapes[0], (Rect{600, 100, 640, 200}));
+  EXPECT_EQ(extracted[1].shapes[0], (Rect{0, 100, 60, 200}));
+}
+
+TEST(ChipTest, EmptyWindowsSkippedByDefault) {
+  const std::vector<Clip> clips{placed_clip(0, 0, {{0, 0, 50, 50}}),
+                                placed_clip(640, 0, {}), placed_clip(1280, 0, {})};
+  const Chip chip = assemble_chip(clips);
+  ExtractionConfig cfg;
+  EXPECT_EQ(extract_clips(chip, cfg).size(), 1u);
+  cfg.skip_empty = false;
+  EXPECT_GT(extract_clips(chip, cfg).size(), 1u);
+}
+
+TEST(ChipTest, OverlappingStrideProducesMoreClips) {
+  const std::vector<Clip> clips{placed_clip(0, 0, {{0, 0, 640, 640}})};
+  const Chip chip = assemble_chip(clips);
+  ExtractionConfig full;
+  ExtractionConfig half;
+  half.stride = 320;
+  EXPECT_GT(extract_clips(chip, half).size(), extract_clips(chip, full).size());
+}
+
+TEST(ChipTest, RoundTripThroughBenchmarkPopulation) {
+  // Assemble a generated benchmark into a chip, re-extract on the same grid,
+  // and verify the pattern hashes survive (geometry is grid-aligned).
+  hsd::data::BenchmarkSpec spec = hsd::data::iccad16_spec(2);
+  spec.hs_target = 5;
+  spec.nhs_target = 20;
+  spec.seed = 77;
+  const auto bench = hsd::data::build_benchmark(spec);
+  const Chip chip = assemble_chip(bench.clips);
+  ExtractionConfig cfg;
+  cfg.window_side = spec.gen.clip_side;
+  cfg.stride = spec.gen.clip_side;
+  cfg.core_fraction = spec.gen.core_fraction;
+  const auto extracted = extract_clips(chip, cfg);
+  // Every non-empty original clip must be recovered bit-identically.
+  std::multiset<std::uint64_t> original, recovered;
+  for (const auto& c : bench.clips) {
+    if (!c.shapes.empty()) original.insert(c.pattern_hash);
+  }
+  for (const auto& c : extracted) recovered.insert(c.pattern_hash);
+  EXPECT_EQ(original, recovered);
+}
+
+TEST(ChipTest, EmptyChipYieldsNothing) {
+  Chip chip;
+  EXPECT_TRUE(extract_clips(chip, {}).empty());
+}
+
+TEST(ChipTest, InvalidConfigThrows) {
+  const Chip chip = assemble_chip({placed_clip(0, 0, {{0, 0, 10, 10}})});
+  ExtractionConfig bad;
+  bad.stride = 0;
+  EXPECT_THROW(extract_clips(chip, bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hsd::layout

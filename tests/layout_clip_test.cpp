@@ -1,0 +1,124 @@
+#include "layout/clip.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hsd::layout {
+namespace {
+
+Clip make_clip(std::vector<Rect> shapes) {
+  Clip c;
+  c.window = Rect{0, 0, 100, 100};
+  c.core = centered_core(c.window, 0.5);
+  c.shapes = std::move(shapes);
+  return c;
+}
+
+TEST(ClipTest, CanonicalizeSortsShapes) {
+  Clip c = make_clip({{50, 0, 60, 10}, {0, 0, 10, 10}});
+  canonicalize(c);
+  EXPECT_EQ(c.shapes[0].x0, 0);
+  EXPECT_EQ(c.shapes[1].x0, 50);
+}
+
+TEST(ClipTest, HashIsOrderInvariant) {
+  Clip a = make_clip({{50, 0, 60, 10}, {0, 0, 10, 10}});
+  Clip b = make_clip({{0, 0, 10, 10}, {50, 0, 60, 10}});
+  finalize(a);
+  finalize(b);
+  EXPECT_EQ(a.pattern_hash, b.pattern_hash);
+}
+
+TEST(ClipTest, HashDiscriminatesGeometry) {
+  Clip a = make_clip({{0, 0, 10, 10}});
+  Clip b = make_clip({{0, 0, 10, 11}});
+  finalize(a);
+  finalize(b);
+  EXPECT_NE(a.pattern_hash, b.pattern_hash);
+}
+
+TEST(ClipTest, HashSensitiveToShapeCount) {
+  Clip a = make_clip({{0, 0, 10, 10}});
+  Clip b = make_clip({{0, 0, 10, 10}, {0, 0, 10, 10}});
+  finalize(a);
+  finalize(b);
+  EXPECT_NE(a.pattern_hash, b.pattern_hash);
+}
+
+TEST(ClipTest, EmptyClipHashIsStable) {
+  Clip a = make_clip({});
+  Clip b = make_clip({});
+  finalize(a);
+  finalize(b);
+  EXPECT_EQ(a.pattern_hash, b.pattern_hash);
+}
+
+TEST(CenteredCoreTest, HalfFractionIsCenteredSquare) {
+  const Rect core = centered_core(Rect{0, 0, 100, 100}, 0.5);
+  EXPECT_EQ(core, (Rect{25, 25, 75, 75}));
+}
+
+TEST(CenteredCoreTest, FullFractionIsWindow) {
+  const Rect window{0, 0, 100, 100};
+  EXPECT_EQ(centered_core(window, 1.0), window);
+}
+
+TEST(CenteredCoreTest, WorksOnOffsetWindows) {
+  const Rect core = centered_core(Rect{100, 200, 300, 400}, 0.5);
+  EXPECT_EQ(core, (Rect{150, 250, 250, 350}));
+}
+
+TEST(TransformTest, Rotate90MovesKnownRect) {
+  // A rect hugging the bottom-left moves to the bottom-right under CCW
+  // rotation of (x, y) -> (y, side - x).
+  Clip c = make_clip({{0, 0, 10, 20}});
+  const Clip r = rotated90(c);
+  ASSERT_EQ(r.shapes.size(), 1u);
+  EXPECT_EQ(r.shapes[0], (Rect{0, 90, 20, 100}));
+}
+
+TEST(TransformTest, FourRotationsAreIdentity) {
+  Clip c = make_clip({{10, 20, 30, 70}, {50, 0, 60, 100}});
+  finalize(c);
+  Clip r = c;
+  for (int i = 0; i < 4; ++i) r = rotated90(r);
+  EXPECT_EQ(r.pattern_hash, c.pattern_hash);
+}
+
+TEST(TransformTest, MirrorsAreInvolutions) {
+  Clip c = make_clip({{10, 20, 30, 70}, {50, 0, 60, 100}});
+  finalize(c);
+  EXPECT_EQ(mirrored_x(mirrored_x(c)).pattern_hash, c.pattern_hash);
+  EXPECT_EQ(mirrored_y(mirrored_y(c)).pattern_hash, c.pattern_hash);
+}
+
+TEST(TransformTest, TransformsPreserveAreaAndCount) {
+  Clip c = make_clip({{0, 0, 30, 30}, {50, 60, 90, 80}});
+  for (const Clip& t : {rotated90(c), mirrored_x(c), mirrored_y(c)}) {
+    EXPECT_EQ(t.shapes.size(), c.shapes.size());
+    std::int64_t area_c = 0, area_t = 0;
+    for (const auto& r : c.shapes) area_c += r.area();
+    for (const auto& r : t.shapes) area_t += r.area();
+    EXPECT_EQ(area_c, area_t);
+    for (const auto& r : t.shapes) EXPECT_TRUE(t.window.contains(r));
+  }
+}
+
+TEST(TransformTest, SymmetricPatternIsFixedPoint) {
+  // A centered square is invariant under all transforms.
+  Clip c = make_clip({{40, 40, 60, 60}});
+  finalize(c);
+  EXPECT_EQ(rotated90(c).pattern_hash, c.pattern_hash);
+  EXPECT_EQ(mirrored_x(c).pattern_hash, c.pattern_hash);
+  EXPECT_EQ(mirrored_y(c).pattern_hash, c.pattern_hash);
+}
+
+TEST(TransformTest, NonSquareWindowThrows) {
+  Clip c;
+  c.window = Rect{0, 0, 100, 50};
+  EXPECT_THROW(rotated90(c), std::invalid_argument);
+  EXPECT_THROW(mirrored_x(c), std::invalid_argument);
+  EXPECT_THROW(mirrored_y(c), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hsd::layout

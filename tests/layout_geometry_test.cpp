@@ -1,0 +1,96 @@
+#include "layout/geometry.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hsd::layout {
+namespace {
+
+TEST(RectTest, ValidityAndExtents) {
+  const Rect r{0, 0, 10, 5};
+  EXPECT_TRUE(r.valid());
+  EXPECT_EQ(r.width(), 10);
+  EXPECT_EQ(r.height(), 5);
+  EXPECT_EQ(r.area(), 50);
+
+  const Rect invalid;
+  EXPECT_FALSE(invalid.valid());
+  EXPECT_EQ(invalid.area(), 0);
+}
+
+TEST(RectTest, ContainsPointAndRect) {
+  const Rect r{0, 0, 10, 10};
+  EXPECT_TRUE(r.contains(Point{5, 5}));
+  EXPECT_TRUE(r.contains(Point{0, 0}));
+  EXPECT_TRUE(r.contains(Point{10, 10}));
+  EXPECT_FALSE(r.contains(Point{11, 5}));
+  EXPECT_TRUE(r.contains(Rect{2, 2, 8, 8}));
+  EXPECT_FALSE(r.contains(Rect{2, 2, 12, 8}));
+}
+
+TEST(RectTest, ExpandAndShift) {
+  const Rect r{2, 2, 4, 4};
+  const Rect e = r.expanded(1);
+  EXPECT_EQ(e, (Rect{1, 1, 5, 5}));
+  const Rect shrunk = r.expanded(-1);
+  EXPECT_EQ(shrunk, (Rect{3, 3, 3, 3}));
+  EXPECT_TRUE(shrunk.valid());
+  const Rect moved = r.shifted(10, -2);
+  EXPECT_EQ(moved, (Rect{12, 0, 14, 2}));
+}
+
+TEST(RectTest, CenterOfRect) {
+  const Rect r{0, 0, 10, 20};
+  EXPECT_EQ(r.center(), (Point{5, 10}));
+}
+
+TEST(IntersectionTest, OverlapTouchDisjoint) {
+  const Rect a{0, 0, 10, 10};
+  EXPECT_TRUE(intersects(a, Rect{5, 5, 15, 15}));
+  EXPECT_TRUE(intersects(a, Rect{10, 0, 20, 10}));  // touching edge counts
+  EXPECT_FALSE(intersects(a, Rect{11, 0, 20, 10}));
+  EXPECT_FALSE(intersects(a, Rect{}));
+
+  const Rect i = intersection(a, Rect{5, -5, 15, 5});
+  EXPECT_EQ(i, (Rect{5, 0, 10, 5}));
+  EXPECT_FALSE(intersection(a, Rect{20, 20, 30, 30}).valid());
+}
+
+TEST(BoundingBoxTest, PairAndList) {
+  EXPECT_EQ(bounding_box(Rect{0, 0, 1, 1}, Rect{5, 5, 6, 6}), (Rect{0, 0, 6, 6}));
+  // Invalid operand is ignored.
+  EXPECT_EQ(bounding_box(Rect{}, Rect{1, 2, 3, 4}), (Rect{1, 2, 3, 4}));
+  EXPECT_EQ(bounding_box(std::vector<Rect>{{0, 0, 1, 1}, {-5, 2, 0, 9}}),
+            (Rect{-5, 0, 1, 9}));
+  EXPECT_FALSE(bounding_box(std::vector<Rect>{}).valid());
+}
+
+TEST(SpacingTest, AxisGaps) {
+  const Rect a{0, 0, 10, 10};
+  EXPECT_EQ(spacing(a, Rect{15, 0, 20, 10}), 5);   // pure x gap
+  EXPECT_EQ(spacing(a, Rect{0, 17, 10, 20}), 7);   // pure y gap
+  EXPECT_EQ(spacing(a, Rect{15, 17, 20, 20}), 7);  // diagonal: max gap
+  EXPECT_EQ(spacing(a, Rect{5, 5, 20, 20}), 0);    // overlapping
+  EXPECT_EQ(spacing(a, Rect{10, 0, 20, 10}), 0);   // touching
+}
+
+TEST(UnionAreaTest, DisjointOverlappingNested) {
+  // Closed-rect pixel convention: [0,9]x[0,9] covers a 10x10 area.
+  EXPECT_EQ(union_area({{0, 0, 9, 9}}), 100);
+  EXPECT_EQ(union_area({{0, 0, 9, 9}, {20, 0, 29, 9}}), 200);
+  // Overlap counted once.
+  EXPECT_EQ(union_area({{0, 0, 9, 9}, {5, 0, 14, 9}}), 150);
+  // Nested rect adds nothing.
+  EXPECT_EQ(union_area({{0, 0, 9, 9}, {2, 2, 4, 4}}), 100);
+  // Invalid rects ignored; empty list is zero.
+  EXPECT_EQ(union_area({Rect{}}), 0);
+  EXPECT_EQ(union_area({}), 0);
+}
+
+TEST(UnionAreaTest, CrossShape) {
+  // Horizontal bar [0,29]x[10,19] and vertical bar [10,19]x[0,29]:
+  // 300 + 300 - 100 overlap = 500.
+  EXPECT_EQ(union_area({{0, 10, 29, 19}, {10, 0, 19, 29}}), 500);
+}
+
+}  // namespace
+}  // namespace hsd::layout

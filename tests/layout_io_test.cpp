@@ -1,0 +1,96 @@
+#include "layout/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "data/pattern_generator.hpp"
+
+namespace hsd::layout {
+namespace {
+
+std::vector<Clip> sample_clips() {
+  hsd::data::GeneratorConfig cfg;
+  hsd::data::PatternGenerator gen(cfg, hsd::stats::Rng(55));
+  std::vector<Clip> clips;
+  for (int i = 0; i < 20; ++i) clips.push_back(gen.next());
+  return clips;
+}
+
+TEST(LayoutIoTest, RoundTripPreservesGeometry) {
+  const auto clips = sample_clips();
+  std::stringstream buf;
+  write_clips(buf, clips);
+  const auto loaded = read_clips(buf);
+  ASSERT_EQ(loaded.size(), clips.size());
+  for (std::size_t i = 0; i < clips.size(); ++i) {
+    EXPECT_EQ(loaded[i].shapes, clips[i].shapes);
+    EXPECT_EQ(loaded[i].window, clips[i].window);
+    EXPECT_EQ(loaded[i].core, clips[i].core);
+    EXPECT_EQ(loaded[i].family, clips[i].family);
+    EXPECT_EQ(loaded[i].chip_origin, clips[i].chip_origin);
+  }
+}
+
+TEST(LayoutIoTest, HashIsRecomputedOnLoad) {
+  const auto clips = sample_clips();
+  std::stringstream buf;
+  write_clips(buf, clips);
+  const auto loaded = read_clips(buf);
+  for (std::size_t i = 0; i < clips.size(); ++i) {
+    EXPECT_EQ(loaded[i].pattern_hash, clips[i].pattern_hash);
+  }
+}
+
+TEST(LayoutIoTest, EmptyListRoundTrips) {
+  std::stringstream buf;
+  write_clips(buf, {});
+  EXPECT_TRUE(read_clips(buf).empty());
+}
+
+TEST(LayoutIoTest, ClipWithoutShapesRoundTrips) {
+  Clip c;
+  c.window = Rect{0, 0, 100, 100};
+  c.core = centered_core(c.window, 0.5);
+  finalize(c);
+  std::stringstream buf;
+  write_clips(buf, {c});
+  const auto loaded = read_clips(buf);
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_TRUE(loaded[0].shapes.empty());
+}
+
+TEST(LayoutIoTest, RejectsWrongMagic) {
+  std::stringstream buf("gdsii 2\n0\n");
+  EXPECT_THROW(read_clips(buf), std::runtime_error);
+}
+
+TEST(LayoutIoTest, RejectsWrongVersion) {
+  std::stringstream buf("hsdl 9\n0\n");
+  EXPECT_THROW(read_clips(buf), std::runtime_error);
+}
+
+TEST(LayoutIoTest, RejectsTruncatedStream) {
+  const auto clips = sample_clips();
+  std::stringstream buf;
+  write_clips(buf, clips);
+  std::string text = buf.str();
+  text.resize(text.size() / 2);
+  std::stringstream cut(text);
+  EXPECT_THROW(read_clips(cut), std::runtime_error);
+}
+
+TEST(LayoutIoTest, RejectsMalformedRecords) {
+  std::stringstream buf("hsdl 1\n1\nclip 0 0 0 100 100 25 25 75 75 0 0 1\nblob 1 2 3 4\n");
+  EXPECT_THROW(read_clips(buf), std::runtime_error);
+}
+
+TEST(LayoutIoTest, RejectsInvalidGeometry) {
+  // x1 < x0 in the rect record.
+  std::stringstream buf(
+      "hsdl 1\n1\nclip 0 0 0 100 100 25 25 75 75 0 0 1\nrect 50 0 10 10\n");
+  EXPECT_THROW(read_clips(buf), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace hsd::layout

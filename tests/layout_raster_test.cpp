@@ -1,0 +1,102 @@
+#include "layout/raster.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace hsd::layout {
+namespace {
+
+Clip clip_with(std::vector<Rect> shapes, Coord side = 320) {
+  Clip c;
+  c.window = Rect{0, 0, side, side};
+  c.core = centered_core(c.window, 0.5);
+  c.shapes = std::move(shapes);
+  return c;
+}
+
+TEST(RasterTest, EmptyClipIsAllZero) {
+  Rasterizer raster(16);
+  const auto img = raster.rasterize(clip_with({}));
+  for (float v : img) EXPECT_FLOAT_EQ(v, 0.0F);
+}
+
+TEST(RasterTest, FullWindowIsAllOnes) {
+  Rasterizer raster(16);
+  const auto img = raster.rasterize(clip_with({{0, 0, 320, 320}}));
+  for (float v : img) EXPECT_NEAR(v, 1.0F, 1e-6F);
+}
+
+TEST(RasterTest, PixelAlignedRectExactCoverage) {
+  // 16 px over 320 nm -> 20 nm per pixel. A rect covering pixels [2,3]x[4,5].
+  Rasterizer raster(16);
+  const auto img = raster.rasterize(clip_with({{40, 80, 80, 120}}));
+  for (std::size_t r = 0; r < 16; ++r) {
+    for (std::size_t c = 0; c < 16; ++c) {
+      const bool inside = c >= 2 && c <= 3 && r >= 4 && r <= 5;
+      EXPECT_NEAR(img[r * 16 + c], inside ? 1.0F : 0.0F, 1e-6F)
+          << "pixel (" << r << "," << c << ")";
+    }
+  }
+}
+
+TEST(RasterTest, SubPixelCoverageIsFractional) {
+  // Half-pixel wide strip: 10 nm of a 20 nm pixel.
+  Rasterizer raster(16);
+  const auto img = raster.rasterize(clip_with({{0, 0, 10, 320}}));
+  for (std::size_t r = 0; r < 16; ++r) {
+    EXPECT_NEAR(img[r * 16 + 0], 0.5F, 1e-6F);
+    EXPECT_NEAR(img[r * 16 + 1], 0.0F, 1e-6F);
+  }
+}
+
+TEST(RasterTest, TotalCoverageMatchesArea) {
+  Rasterizer raster(32);
+  const Clip c = clip_with({{15, 25, 170, 60}});
+  const auto img = raster.rasterize(c);
+  const double total = std::accumulate(img.begin(), img.end(), 0.0);
+  // Sum of coverage * pixel area == shape area.
+  const double px_area = (320.0 / 32) * (320.0 / 32);
+  EXPECT_NEAR(total * px_area, 155.0 * 35.0, 1.0);
+}
+
+TEST(RasterTest, OverlappingShapesSaturate) {
+  Rasterizer raster(8);
+  const auto img = raster.rasterize(
+      clip_with({{0, 0, 320, 320}, {0, 0, 320, 320}}));
+  for (float v : img) EXPECT_LE(v, 1.0F);
+}
+
+TEST(RasterTest, ShapesOutsideWindowAreClipped) {
+  Rasterizer raster(8);
+  const auto img = raster.rasterize(clip_with({{-100, -100, -10, -10}}));
+  for (float v : img) EXPECT_FLOAT_EQ(v, 0.0F);
+}
+
+TEST(RasterTest, ToPixelsMapsWindowToFullGrid) {
+  Rasterizer raster(16);
+  const Rect window{0, 0, 320, 320};
+  const Rect px = raster.to_pixels(window, window);
+  EXPECT_EQ(px, (Rect{0, 0, 15, 15}));
+}
+
+TEST(RasterTest, ToPixelsMapsCore) {
+  Rasterizer raster(16);
+  const Rect window{0, 0, 320, 320};
+  const Rect px = raster.to_pixels(Rect{80, 80, 240, 240}, window);
+  EXPECT_EQ(px.x0, 4);
+  EXPECT_EQ(px.y0, 4);
+  EXPECT_EQ(px.x1, 11);
+  EXPECT_EQ(px.y1, 11);
+}
+
+TEST(RasterTest, InvalidWindowThrows) {
+  Rasterizer raster(8);
+  Clip c;
+  c.window = Rect{};  // invalid
+  EXPECT_THROW(raster.rasterize(c), std::invalid_argument);
+  EXPECT_THROW(Rasterizer(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hsd::layout

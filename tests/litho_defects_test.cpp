@@ -1,0 +1,125 @@
+#include "litho/defects.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hsd::litho {
+namespace {
+
+constexpr std::size_t kGrid = 8;
+
+struct Scene {
+  std::vector<float> mask;
+  std::vector<float> aerial;
+  std::vector<std::uint8_t> printed;
+  layout::Rect core{0, 0, 7, 7};
+  OpticalModel model;
+};
+
+Scene blank_scene() {
+  Scene s;
+  s.mask.assign(kGrid * kGrid, 0.0F);
+  s.aerial.assign(kGrid * kGrid, 0.0F);
+  s.printed.assign(kGrid * kGrid, 0);
+  s.model.resist_threshold = 0.5;
+  return s;
+}
+
+TEST(DefectsTest, CleanPrintHasNoDefects) {
+  Scene s = blank_scene();
+  // Solid pixel that prints, empty pixels that don't.
+  s.mask[3 * kGrid + 3] = 1.0F;
+  s.aerial[3 * kGrid + 3] = 0.9F;
+  s.printed[3 * kGrid + 3] = 1;
+  const auto res = check_printability(s.mask, s.aerial, s.printed, kGrid, s.core, s.model);
+  EXPECT_FALSE(res.hotspot);
+  EXPECT_TRUE(res.defects.empty());
+}
+
+TEST(DefectsTest, PinchDetected) {
+  Scene s = blank_scene();
+  s.mask[2 * kGrid + 2] = 1.0F;  // intended solid
+  s.aerial[2 * kGrid + 2] = 0.3F;
+  s.printed[2 * kGrid + 2] = 0;  // fails to print
+  const auto res = check_printability(s.mask, s.aerial, s.printed, kGrid, s.core, s.model);
+  ASSERT_TRUE(res.hotspot);
+  ASSERT_EQ(res.defects.size(), 1u);
+  EXPECT_EQ(res.defects[0].kind, DefectKind::kPinch);
+  EXPECT_EQ(res.defects[0].row, 2u);
+  EXPECT_EQ(res.defects[0].col, 2u);
+  EXPECT_NEAR(res.defects[0].severity, 0.2, 1e-6);
+}
+
+TEST(DefectsTest, BridgeDetected) {
+  Scene s = blank_scene();
+  s.aerial[5 * kGrid + 5] = 0.8F;
+  s.printed[5 * kGrid + 5] = 1;  // prints where nothing is drawn
+  const auto res = check_printability(s.mask, s.aerial, s.printed, kGrid, s.core, s.model);
+  ASSERT_TRUE(res.hotspot);
+  EXPECT_EQ(res.defects[0].kind, DefectKind::kBridge);
+}
+
+TEST(DefectsTest, AmbiguousEdgePixelsAreSkipped) {
+  Scene s = blank_scene();
+  s.mask[4 * kGrid + 4] = 0.5F;  // edge coverage, between margins
+  s.printed[4 * kGrid + 4] = 1;  // would be a bridge if checked
+  const auto res = check_printability(s.mask, s.aerial, s.printed, kGrid, s.core, s.model);
+  EXPECT_FALSE(res.hotspot);
+}
+
+TEST(DefectsTest, DefectsOutsideCoreAreIgnored) {
+  Scene s = blank_scene();
+  s.core = layout::Rect{2, 2, 5, 5};
+  // Bridge at (0, 0): outside the core.
+  s.aerial[0] = 0.9F;
+  s.printed[0] = 1;
+  const auto res = check_printability(s.mask, s.aerial, s.printed, kGrid, s.core, s.model);
+  EXPECT_FALSE(res.hotspot);
+}
+
+TEST(DefectsTest, WorstSeverityIsMax) {
+  Scene s = blank_scene();
+  s.mask[2 * kGrid + 2] = 1.0F;
+  s.aerial[2 * kGrid + 2] = 0.45F;  // severity 0.05
+  s.printed[2 * kGrid + 2] = 0;
+  s.mask[3 * kGrid + 3] = 1.0F;
+  s.aerial[3 * kGrid + 3] = 0.2F;   // severity 0.3
+  s.printed[3 * kGrid + 3] = 0;
+  const auto res = check_printability(s.mask, s.aerial, s.printed, kGrid, s.core, s.model);
+  EXPECT_EQ(res.defects.size(), 2u);
+  EXPECT_NEAR(res.worst_severity, 0.3, 1e-6);
+}
+
+TEST(DefectsTest, MinCoreMarginTracksClosestCall) {
+  Scene s = blank_scene();
+  s.mask[2 * kGrid + 2] = 1.0F;
+  s.aerial[2 * kGrid + 2] = 0.52F;  // margin 0.02, prints fine
+  s.printed[2 * kGrid + 2] = 1;
+  const auto res = check_printability(s.mask, s.aerial, s.printed, kGrid, s.core, s.model);
+  EXPECT_FALSE(res.hotspot);
+  EXPECT_NEAR(res.min_core_margin, 0.02, 1e-6);
+}
+
+TEST(DefectsTest, CustomMarginsChangeDecidedPixels) {
+  Scene s = blank_scene();
+  s.mask[2 * kGrid + 2] = 0.6F;
+  s.printed[2 * kGrid + 2] = 0;
+  // Default margins (0.25/0.75): 0.6 is ambiguous -> clean.
+  EXPECT_FALSE(
+      check_printability(s.mask, s.aerial, s.printed, kGrid, s.core, s.model).hotspot);
+  // Tight margins: 0.6 >= 0.5 counts as solid -> pinch.
+  IntentMargins tight{0.4, 0.5};
+  EXPECT_TRUE(check_printability(s.mask, s.aerial, s.printed, kGrid, s.core, s.model,
+                                 tight)
+                  .hotspot);
+}
+
+TEST(DefectsTest, ThrowsOnSizeMismatch) {
+  Scene s = blank_scene();
+  s.aerial.pop_back();
+  EXPECT_THROW(
+      check_printability(s.mask, s.aerial, s.printed, kGrid, s.core, s.model),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hsd::litho

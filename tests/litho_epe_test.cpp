@@ -1,0 +1,103 @@
+#include "litho/epe.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace hsd::litho {
+namespace {
+
+constexpr std::size_t kGrid = 16;
+const layout::Rect kFullRoi{0, 0, kGrid - 1, kGrid - 1};
+
+std::vector<std::uint8_t> filled_rect(std::size_t r0, std::size_t c0, std::size_t r1,
+                                      std::size_t c1) {
+  std::vector<std::uint8_t> img(kGrid * kGrid, 0);
+  for (std::size_t r = r0; r <= r1; ++r) {
+    for (std::size_t c = c0; c <= c1; ++c) img[r * kGrid + c] = 1;
+  }
+  return img;
+}
+
+TEST(ContourTest, RectContourIsItsBorder) {
+  const auto img = filled_rect(4, 4, 8, 8);
+  const auto contour = contour_of(img, kGrid);
+  // Interior pixel is not contour; border pixel is.
+  EXPECT_EQ(contour[6 * kGrid + 6], 0);
+  EXPECT_EQ(contour[4 * kGrid + 6], 1);
+  EXPECT_EQ(contour[8 * kGrid + 8], 1);
+  // Outside stays zero.
+  EXPECT_EQ(contour[0], 0);
+}
+
+TEST(ContourTest, ImageBorderCountsAsOutside) {
+  std::vector<std::uint8_t> img(kGrid * kGrid, 1);  // fully filled
+  const auto contour = contour_of(img, kGrid);
+  EXPECT_EQ(contour[0], 1);                         // corner touches the edge
+  EXPECT_EQ(contour[(kGrid / 2) * kGrid + kGrid / 2], 0);  // interior
+}
+
+TEST(ContourTest, SinglePixelIsItsOwnContour) {
+  std::vector<std::uint8_t> img(kGrid * kGrid, 0);
+  img[5 * kGrid + 5] = 1;
+  const auto contour = contour_of(img, kGrid);
+  EXPECT_EQ(contour[5 * kGrid + 5], 1);
+}
+
+TEST(EpeTest, PerfectPrintHasZeroEpe) {
+  const auto intended = filled_rect(4, 4, 10, 10);
+  const auto res = measure_epe(intended, intended, kGrid, kFullRoi);
+  EXPECT_GT(res.contour_pixels, 0u);
+  EXPECT_DOUBLE_EQ(res.max_epe, 0.0);
+  EXPECT_DOUBLE_EQ(res.mean_epe, 0.0);
+}
+
+TEST(EpeTest, UniformShrinkGivesUniformEpe) {
+  const auto intended = filled_rect(4, 4, 10, 10);
+  const auto printed = filled_rect(5, 5, 9, 9);  // pulled back 1 px per side
+  const auto res = measure_epe(intended, printed, kGrid, kFullRoi);
+  EXPECT_NEAR(res.max_epe, std::sqrt(2.0), 1e-9);  // corners are sqrt(2) away
+  EXPECT_GT(res.mean_epe, 0.9);
+  EXPECT_LT(res.mean_epe, std::sqrt(2.0));
+}
+
+TEST(EpeTest, MissingPrintIsCatastrophic) {
+  const auto intended = filled_rect(4, 4, 10, 10);
+  const std::vector<std::uint8_t> printed(kGrid * kGrid, 0);
+  const auto res = measure_epe(intended, printed, kGrid, kFullRoi);
+  EXPECT_DOUBLE_EQ(res.max_epe, static_cast<double>(kGrid));
+}
+
+TEST(EpeTest, RoiRestrictsMeasurement) {
+  const auto intended = filled_rect(2, 2, 13, 13);
+  const auto printed = filled_rect(3, 3, 12, 12);
+  const layout::Rect core{6, 6, 9, 9};  // interior only: no contour pixels
+  const auto res = measure_epe(intended, printed, kGrid, core);
+  EXPECT_EQ(res.contour_pixels, 0u);
+  EXPECT_DOUBLE_EQ(res.max_epe, 0.0);
+}
+
+TEST(EpeTest, EmptyIntendedHasNoContour) {
+  const std::vector<std::uint8_t> empty(kGrid * kGrid, 0);
+  const auto res = measure_epe(empty, empty, kGrid, kFullRoi);
+  EXPECT_EQ(res.contour_pixels, 0u);
+}
+
+TEST(EpeTest, IntendedPatternThresholdsAtHalf) {
+  const std::vector<float> mask{0.49F, 0.5F, 0.51F, 1.0F};
+  const auto pattern = intended_pattern(mask);
+  EXPECT_EQ(pattern[0], 0);
+  EXPECT_EQ(pattern[1], 1);
+  EXPECT_EQ(pattern[2], 1);
+  EXPECT_EQ(pattern[3], 1);
+}
+
+TEST(EpeTest, SizeMismatchThrows) {
+  const auto intended = filled_rect(4, 4, 8, 8);
+  EXPECT_THROW(measure_epe(intended, std::vector<std::uint8_t>(5), kGrid, kFullRoi),
+               std::invalid_argument);
+  EXPECT_THROW(contour_of(std::vector<std::uint8_t>(5), kGrid), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hsd::litho

@@ -1,0 +1,130 @@
+#include "litho/optical.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+namespace hsd::litho {
+namespace {
+
+TEST(KernelTest, NormalizedAndSymmetric) {
+  const auto k = gaussian_kernel(1.5, 3.0);
+  EXPECT_EQ(k.size() % 2, 1u);
+  const double sum = std::accumulate(k.begin(), k.end(), 0.0);
+  EXPECT_NEAR(sum, 1.0, 1e-6);
+  for (std::size_t i = 0; i < k.size() / 2; ++i) {
+    EXPECT_FLOAT_EQ(k[i], k[k.size() - 1 - i]);
+  }
+  // Peak at the center.
+  EXPECT_EQ(std::max_element(k.begin(), k.end()) - k.begin(),
+            static_cast<std::ptrdiff_t>(k.size() / 2));
+}
+
+TEST(KernelTest, ThrowsOnBadSigma) {
+  EXPECT_THROW(gaussian_kernel(0.0, 3.0), std::invalid_argument);
+  EXPECT_THROW(gaussian_kernel(-1.0, 3.0), std::invalid_argument);
+}
+
+TEST(AerialTest, UniformMaskStaysUniformInInterior) {
+  const std::size_t g = 32;
+  OpticalModel model;
+  model.sigma_px = 1.2;
+  const std::vector<float> mask(g * g, 1.0F);
+  const auto aerial = aerial_image(mask, g, model);
+  // Away from the boundary the blurred constant is still 1.
+  EXPECT_NEAR(aerial[16 * g + 16], 1.0F, 1e-4F);
+  // At the border, half the kernel mass falls outside (clamped to 0).
+  EXPECT_LT(aerial[0], 0.6F);
+}
+
+TEST(AerialTest, EnergyConservedForInteriorSpot) {
+  // Convolution with a unit-sum kernel preserves total intensity when the
+  // support stays inside the grid.
+  const std::size_t g = 32;
+  OpticalModel model;
+  model.sigma_px = 1.0;
+  std::vector<float> mask(g * g, 0.0F);
+  mask[16 * g + 16] = 1.0F;
+  const auto aerial = aerial_image(mask, g, model);
+  const double total = std::accumulate(aerial.begin(), aerial.end(), 0.0);
+  EXPECT_NEAR(total, 1.0, 1e-4);
+}
+
+TEST(AerialTest, BlurSpreadsMonotonicallyFromEdge) {
+  const std::size_t g = 32;
+  OpticalModel model;
+  // Half plane: intensity rises monotonically when moving into the metal.
+  std::vector<float> mask(g * g, 0.0F);
+  for (std::size_t r = 0; r < g; ++r) {
+    for (std::size_t c = 16; c < g; ++c) mask[r * g + c] = 1.0F;
+  }
+  const auto aerial = aerial_image(mask, g, model);
+  for (std::size_t c = 8; c + 1 < 24; ++c) {
+    EXPECT_LE(aerial[16 * g + c], aerial[16 * g + c + 1] + 1e-6F);
+  }
+  // Edge intensity is ~0.5 (half the kernel mass on each side).
+  EXPECT_NEAR(aerial[16 * g + 16], 0.5F, 0.2F);
+}
+
+TEST(AerialTest, WiderSigmaLowersNarrowLinePeak) {
+  const std::size_t g = 32;
+  std::vector<float> mask(g * g, 0.0F);
+  for (std::size_t r = 0; r < g; ++r) mask[r * g + 16] = 1.0F;  // 1-px line
+  OpticalModel narrow;
+  narrow.sigma_px = 0.8;
+  OpticalModel wide;
+  wide.sigma_px = 2.0;
+  const auto a1 = aerial_image(mask, g, narrow);
+  const auto a2 = aerial_image(mask, g, wide);
+  EXPECT_GT(a1[16 * g + 16], a2[16 * g + 16]);
+}
+
+TEST(AerialTest, ThrowsOnSizeMismatch) {
+  EXPECT_THROW(aerial_image(std::vector<float>(10, 0.0F), 32, OpticalModel{}),
+               std::invalid_argument);
+}
+
+TEST(PrintedTest, ThresholdsAtResistLevel) {
+  OpticalModel model;
+  model.resist_threshold = 0.5;
+  const std::vector<float> aerial{0.1F, 0.5F, 0.9F};
+  const auto printed = printed_image(aerial, model);
+  EXPECT_EQ(printed[0], 0);
+  EXPECT_EQ(printed[1], 1);  // >= threshold prints
+  EXPECT_EQ(printed[2], 1);
+}
+
+TEST(PresetTest, ModelsAreDistinctAndSane) {
+  const OpticalModel duv = duv28_model();
+  const OpticalModel euv = euv7_model();
+  EXPECT_GT(duv.sigma_px, 0.0);
+  EXPECT_GT(euv.sigma_px, 0.0);
+  EXPECT_GT(duv.resist_threshold, 0.0);
+  EXPECT_LT(duv.resist_threshold, 1.0);
+  EXPECT_NE(duv.sigma_px, euv.sigma_px);
+}
+
+TEST(PrintedTest, AreaMonotoneInThreshold) {
+  // Raising the resist threshold can only shrink the printed area.
+  const std::size_t g = 32;
+  std::vector<float> mask(g * g, 0.0F);
+  for (std::size_t r = 8; r < 24; ++r) {
+    for (std::size_t c = 8; c < 24; ++c) mask[r * g + c] = 1.0F;
+  }
+  OpticalModel model;
+  const auto aerial = aerial_image(mask, g, model);
+  std::size_t prev = g * g + 1;
+  for (double thr : {0.2, 0.4, 0.6, 0.8}) {
+    OpticalModel m = model;
+    m.resist_threshold = thr;
+    const auto printed = printed_image(aerial, m);
+    const std::size_t area = std::accumulate(printed.begin(), printed.end(),
+                                             std::size_t{0});
+    EXPECT_LE(area, prev);
+    prev = area;
+  }
+}
+
+}  // namespace
+}  // namespace hsd::litho

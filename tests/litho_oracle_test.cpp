@@ -1,0 +1,127 @@
+#include "litho/oracle.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hsd::litho {
+namespace {
+
+using layout::Clip;
+using layout::Coord;
+using layout::Rect;
+
+Clip line_pair(Coord width, Coord space, Coord side = 640) {
+  // Two long horizontal lines through the core at the given width/spacing.
+  Clip c;
+  c.window = Rect{0, 0, side, side};
+  c.core = layout::centered_core(c.window, 0.5);
+  const Coord y0 = static_cast<Coord>(side / 2 - space / 2 - width);
+  const Coord y1 = static_cast<Coord>(side / 2 + space / 2);
+  c.shapes.push_back(Rect{0, y0, side, static_cast<Coord>(y0 + width)});
+  c.shapes.push_back(Rect{0, y1, side, static_cast<Coord>(y1 + width)});
+  layout::finalize(c);
+  return c;
+}
+
+Clip single_line(Coord width, Coord side = 640) {
+  Clip c;
+  c.window = Rect{0, 0, side, side};
+  c.core = layout::centered_core(c.window, 0.5);
+  const Coord y = static_cast<Coord>(side / 2 - width / 2);
+  c.shapes.push_back(Rect{0, y, side, static_cast<Coord>(y + width)});
+  layout::finalize(c);
+  return c;
+}
+
+TEST(OracleTest, CountsEverySimulation) {
+  LithoOracle oracle(64, duv28_model());
+  EXPECT_EQ(oracle.simulation_count(), 0u);
+  oracle.label(single_line(60));
+  oracle.label(single_line(60));
+  EXPECT_EQ(oracle.simulation_count(), 2u);
+  oracle.reset_count();
+  EXPECT_EQ(oracle.simulation_count(), 0u);
+}
+
+TEST(OracleTest, DeterministicLabels) {
+  LithoOracle a(64, duv28_model());
+  LithoOracle b(64, duv28_model());
+  const Clip c = line_pair(40, 30);
+  EXPECT_EQ(a.label(c), b.label(c));
+  EXPECT_EQ(a.label(c), a.label(c));
+}
+
+TEST(OracleTest, WideLinePrintsNarrowLinePinches) {
+  // 640 nm window, 32 px grid -> 20 nm/px. Wide (60 nm = 3 px) lines print;
+  // very narrow (20 nm = 1 px) lines pinch under DUV blur.
+  LithoOracle oracle(64, duv28_model());
+  EXPECT_FALSE(oracle.label(single_line(60)));
+  EXPECT_TRUE(oracle.label(single_line(20)));
+}
+
+TEST(OracleTest, TightSpacingBridgesLooseSpacingClean) {
+  LithoOracle oracle(64, duv28_model());
+  EXPECT_TRUE(oracle.label(line_pair(60, 20)));   // 1-px gap bridges
+  EXPECT_FALSE(oracle.label(line_pair(60, 80)));  // 4-px gap is safe
+}
+
+TEST(OracleTest, MonotoneInSpacing) {
+  // If a spacing is clean, all larger spacings are clean too.
+  LithoOracle oracle(64, duv28_model());
+  bool seen_clean = false;
+  for (Coord space = 20; space <= 100; space += 20) {
+    const bool hs = oracle.label(line_pair(60, space));
+    if (seen_clean) {
+      EXPECT_FALSE(hs) << "spacing " << space << " regressed to hotspot";
+    }
+    if (!hs) seen_clean = true;
+  }
+  EXPECT_TRUE(seen_clean);
+}
+
+TEST(OracleTest, DefectKindsMatchFailureMode) {
+  LithoOracle oracle(64, duv28_model());
+  const LithoResult pinch = oracle.simulate(single_line(20));
+  ASSERT_TRUE(pinch.hotspot);
+  for (const auto& d : pinch.defects) EXPECT_EQ(d.kind, DefectKind::kPinch);
+
+  const LithoResult bridge = oracle.simulate(line_pair(60, 20));
+  ASSERT_TRUE(bridge.hotspot);
+  bool has_bridge = false;
+  for (const auto& d : bridge.defects) has_bridge |= (d.kind == DefectKind::kBridge);
+  EXPECT_TRUE(has_bridge);
+}
+
+TEST(OracleTest, DefectsOutsideCoreDoNotLabelHotspot) {
+  // A pinching line near the clip boundary, far from the centered core.
+  LithoOracle oracle(64, duv28_model());
+  Clip c;
+  c.window = Rect{0, 0, 640, 640};
+  c.core = layout::centered_core(c.window, 0.5);
+  c.shapes.push_back(Rect{0, 20, 640, 40});  // 20 nm line at the bottom edge
+  layout::finalize(c);
+  EXPECT_FALSE(oracle.label(c));
+}
+
+TEST(OracleTest, ModeledCostUsesTenSecondsDefault) {
+  LithoOracle oracle(64, duv28_model());
+  oracle.label(single_line(60));
+  oracle.label(single_line(60));
+  EXPECT_DOUBLE_EQ(oracle.modeled_cost_seconds(), 20.0);
+  EXPECT_DOUBLE_EQ(oracle.modeled_cost_seconds(2.5), 5.0);
+}
+
+TEST(OracleTest, SimulateMaskAgreesWithSimulateClip) {
+  LithoOracle a(64, duv28_model());
+  LithoOracle b(64, duv28_model());
+  const Clip c = line_pair(60, 20);
+  const layout::Rasterizer raster(64);
+  const auto mask = raster.rasterize(c);
+  const auto core_px = raster.to_pixels(c.core, c.window);
+  const LithoResult r1 = a.simulate(c);
+  const LithoResult r2 = b.simulate_mask(mask, core_px);
+  EXPECT_EQ(r1.hotspot, r2.hotspot);
+  EXPECT_EQ(r1.defects.size(), r2.defects.size());
+}
+
+}  // namespace
+}  // namespace hsd::litho

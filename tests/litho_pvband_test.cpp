@@ -1,0 +1,102 @@
+#include "litho/pvband.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hsd::litho {
+namespace {
+
+using layout::Clip;
+using layout::Coord;
+using layout::Rect;
+
+Clip wide_line_clip(Coord width = 120) {
+  Clip c;
+  c.window = Rect{0, 0, 640, 640};
+  c.core = layout::centered_core(c.window, 0.5);
+  const Coord y = static_cast<Coord>(320 - width / 2);
+  c.shapes.push_back(Rect{0, y, 640, static_cast<Coord>(y + width)});
+  layout::finalize(c);
+  return c;
+}
+
+Clip marginal_line_clip() { return wide_line_clip(30); }  // near the print limit
+
+TEST(PvBandTest, RobustPatternHasNarrowBand) {
+  const auto res = pv_band_analysis(wide_line_clip(), 64, duv28_model());
+  EXPECT_FALSE(res.nominal_hotspot);
+  EXPECT_FALSE(res.worst_case_hotspot);
+  // Only the line edges move with process; the band is a thin fringe.
+  EXPECT_LT(res.band_fraction, 0.15);
+  EXPECT_GT(res.band_area_px, 0u);  // but some variation always exists
+}
+
+TEST(PvBandTest, MarginalPatternHasWiderBandThanRobust) {
+  const auto robust = pv_band_analysis(wide_line_clip(), 64, duv28_model());
+  const auto marginal = pv_band_analysis(marginal_line_clip(), 64, duv28_model());
+  // Relative to printed area, the marginal line's band dominates.
+  std::size_t robust_printed = 0, marginal_printed = 0;
+  for (auto v : robust.ever_printed) robust_printed += v;
+  for (auto v : marginal.ever_printed) marginal_printed += v;
+  const double robust_rel =
+      static_cast<double>(robust.band_area_px) / std::max<std::size_t>(robust_printed, 1);
+  const double marginal_rel = static_cast<double>(marginal.band_area_px) /
+                              std::max<std::size_t>(marginal_printed, 1);
+  EXPECT_GT(marginal_rel, robust_rel);
+}
+
+TEST(PvBandTest, WorstCaseImpliesAtLeastNominalSeverity) {
+  // A marginal pattern can be nominal-clean but corner-failing, never the
+  // other way around (corners include the nominal).
+  const auto res = pv_band_analysis(marginal_line_clip(), 64, duv28_model());
+  if (res.nominal_hotspot) EXPECT_TRUE(res.worst_case_hotspot);
+}
+
+TEST(PvBandTest, AlwaysSubsetOfEver) {
+  const auto res = pv_band_analysis(marginal_line_clip(), 64, duv28_model());
+  for (std::size_t i = 0; i < res.always_printed.size(); ++i) {
+    if (res.always_printed[i]) EXPECT_TRUE(res.ever_printed[i]);
+  }
+}
+
+TEST(PvBandTest, PerCornerDefectsReported) {
+  PvBandConfig cfg;
+  const auto res = pv_band_analysis(marginal_line_clip(), 64, duv28_model(), cfg);
+  EXPECT_EQ(res.corner_defects.size(), cfg.corners.size());
+}
+
+TEST(PvBandTest, SingleNominalCornerHasEmptyBand) {
+  PvBandConfig cfg;
+  cfg.corners = {{1.0, 1.0}};
+  const auto res = pv_band_analysis(wide_line_clip(), 64, duv28_model(), cfg);
+  EXPECT_EQ(res.band_area_px, 0u);
+  EXPECT_DOUBLE_EQ(res.band_fraction, 0.0);
+}
+
+TEST(PvBandTest, LowerDoseShrinksPrintedArea) {
+  PvBandConfig under;
+  under.corners = {{0.9, 1.0}};
+  PvBandConfig over;
+  over.corners = {{1.1, 1.0}};
+  const auto u = pv_band_analysis(wide_line_clip(), 64, duv28_model(), under);
+  const auto o = pv_band_analysis(wide_line_clip(), 64, duv28_model(), over);
+  std::size_t area_u = 0, area_o = 0;
+  for (auto v : u.ever_printed) area_u += v;
+  for (auto v : o.ever_printed) area_o += v;
+  EXPECT_LT(area_u, area_o);
+}
+
+TEST(PvBandTest, InvalidInputsThrow) {
+  EXPECT_THROW(
+      pv_band_analysis(std::vector<float>(10), 64, layout::Rect{0, 0, 63, 63},
+                       duv28_model()),
+      std::invalid_argument);
+  PvBandConfig empty;
+  empty.corners.clear();
+  const std::vector<float> mask(64 * 64, 0.0F);
+  EXPECT_THROW(
+      pv_band_analysis(mask, 64, layout::Rect{0, 0, 63, 63}, duv28_model(), empty),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hsd::litho

@@ -1,0 +1,129 @@
+#include "nn/dropout.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/activations.hpp"
+#include "nn/dense.hpp"
+#include "nn/network.hpp"
+#include "nn/optimizer.hpp"
+
+namespace hsd::nn {
+namespace {
+
+using hsd::tensor::Tensor;
+
+TEST(DropoutTest, InferenceIsIdentity) {
+  Dropout drop(0.5, hsd::stats::Rng(1));
+  drop.set_training(false);
+  Tensor x({100}, 3.0F);
+  const Tensor y = drop.forward(x);
+  for (std::size_t i = 0; i < y.size(); ++i) EXPECT_FLOAT_EQ(y[i], 3.0F);
+}
+
+TEST(DropoutTest, ZeroProbabilityIsIdentityInTraining) {
+  Dropout drop(0.0, hsd::stats::Rng(1));
+  Tensor x({50}, 2.0F);
+  const Tensor y = drop.forward(x);
+  for (std::size_t i = 0; i < y.size(); ++i) EXPECT_FLOAT_EQ(y[i], 2.0F);
+}
+
+TEST(DropoutTest, TrainingDropsApproximatelyP) {
+  Dropout drop(0.3, hsd::stats::Rng(7));
+  Tensor x({20000}, 1.0F);
+  const Tensor y = drop.forward(x);
+  std::size_t zeros = 0;
+  for (std::size_t i = 0; i < y.size(); ++i) zeros += (y[i] == 0.0F);
+  EXPECT_NEAR(static_cast<double>(zeros) / static_cast<double>(y.size()), 0.3, 0.02);
+}
+
+TEST(DropoutTest, SurvivorsAreInverseScaled) {
+  Dropout drop(0.25, hsd::stats::Rng(9));
+  Tensor x({1000}, 1.0F);
+  const Tensor y = drop.forward(x);
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    if (y[i] != 0.0F) EXPECT_NEAR(y[i], 1.0F / 0.75F, 1e-5F);
+  }
+}
+
+TEST(DropoutTest, ExpectationIsPreserved) {
+  Dropout drop(0.5, hsd::stats::Rng(11));
+  Tensor x({50000}, 1.0F);
+  const Tensor y = drop.forward(x);
+  EXPECT_NEAR(y.mean(), 1.0F, 0.05F);
+}
+
+TEST(DropoutTest, BackwardUsesSameMask) {
+  Dropout drop(0.5, hsd::stats::Rng(13));
+  Tensor x({64}, 1.0F);
+  const Tensor y = drop.forward(x);
+  Tensor g({64}, 1.0F);
+  const Tensor gx = drop.backward(g);
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    EXPECT_FLOAT_EQ(gx[i], y[i]);  // gradient masked exactly like the output
+  }
+}
+
+TEST(DropoutTest, BackwardShapeMismatchThrows) {
+  Dropout drop(0.5, hsd::stats::Rng(1));
+  drop.forward(Tensor({8}));
+  EXPECT_THROW(drop.backward(Tensor({9})), std::invalid_argument);
+}
+
+TEST(DropoutTest, InvalidProbabilityThrows) {
+  EXPECT_THROW(Dropout(-0.1, hsd::stats::Rng(1)), std::invalid_argument);
+  EXPECT_THROW(Dropout(1.0, hsd::stats::Rng(1)), std::invalid_argument);
+}
+
+TEST(DropoutTest, HasNoParameters) {
+  Dropout drop(0.5, hsd::stats::Rng(1));
+  EXPECT_EQ(drop.num_params(), 0u);
+}
+
+TEST(DropoutNetworkTest, TrainingConvergesAndInferenceIsDeterministic) {
+  // A dropout-regularized MLP must still learn a separable task, and its
+  // inference passes must be identical (no stochastic inference).
+  hsd::stats::Rng rng(21);
+  Network net;
+  net.add<Dense>(4, 16, rng);
+  net.add<Relu>();
+  net.add<Dropout>(0.3, rng.split());
+  net.add<Dense>(16, 2, rng);
+
+  Tensor x({128, 4});
+  std::vector<int> y(128);
+  for (std::size_t i = 0; i < 128; ++i) {
+    y[i] = rng.bernoulli(0.5) ? 1 : 0;
+    for (std::size_t j = 0; j < 4; ++j) {
+      x[i * 4 + j] = static_cast<float>((y[i] == 1 ? 1.0 : -1.0) + rng.normal(0.0, 0.3));
+    }
+  }
+  Adam opt(1e-2);
+  net.set_training(true);
+  const auto history = net.fit(x, y, opt, 40, 16, rng);
+  EXPECT_GT(history.back().accuracy, 0.9);
+
+  net.set_training(false);
+  const Tensor a = net.forward(x);
+  const Tensor b = net.forward(x);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_FLOAT_EQ(a[i], b[i]);
+}
+
+TEST(DropoutNetworkTest, SetTrainingPropagatesToAllLayers) {
+  hsd::stats::Rng rng(23);
+  Network net;
+  net.add<Dense>(2, 4, rng);
+  Dropout& d1 = net.add<Dropout>(0.5, rng.split());
+  net.add<Dense>(4, 4, rng);
+  Dropout& d2 = net.add<Dropout>(0.5, rng.split());
+  net.set_training(false);
+  EXPECT_FALSE(d1.training());
+  EXPECT_FALSE(d2.training());
+  net.set_training(true);
+  EXPECT_TRUE(d1.training());
+  EXPECT_TRUE(d2.training());
+}
+
+}  // namespace
+}  // namespace hsd::nn

@@ -1,0 +1,256 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/activations.hpp"
+#include "nn/conv.hpp"
+#include "nn/dense.hpp"
+#include "nn/flatten.hpp"
+#include "nn/pooling.hpp"
+
+namespace hsd::nn {
+namespace {
+
+using hsd::tensor::Tensor;
+
+// Scalar test loss: L = sum_i w_i * out_i with fixed random weights, so
+// dL/dout = w and every layer gradient can be checked by finite differences.
+class GradCheck {
+ public:
+  explicit GradCheck(std::uint64_t seed) : rng_(seed) {}
+
+  // Checks dL/dinput of `layer` on `input` against central differences.
+  void check_input_grad(Layer& layer, Tensor input, double tol = 2e-2) {
+    Tensor out = layer.forward(input);
+    const Tensor w = Tensor::randn(out.shape(), rng_);
+    const Tensor grad_in = layer.backward(w);
+    ASSERT_EQ(grad_in.shape(), input.shape());
+
+    const float eps = 1e-2F;
+    for (std::size_t i = 0; i < input.size(); i += step(input.size())) {
+      Tensor plus = input, minus = input;
+      plus[i] += eps;
+      minus[i] -= eps;
+      const double lp = weighted_sum(layer.forward(plus), w);
+      const double lm = weighted_sum(layer.forward(minus), w);
+      const double numeric = (lp - lm) / (2.0 * eps);
+      EXPECT_NEAR(grad_in[i], numeric, tol * std::max(1.0, std::abs(numeric)))
+          << "input grad mismatch at " << i;
+    }
+  }
+
+  // Checks accumulated parameter gradients against central differences.
+  void check_param_grads(Layer& layer, const Tensor& input, double tol = 2e-2) {
+    layer.zero_grad();
+    Tensor out = layer.forward(input);
+    const Tensor w = Tensor::randn(out.shape(), rng_);
+    layer.backward(w);
+
+    for (auto& p : layer.params()) {
+      Tensor& value = *p.value;
+      const Tensor& grad = *p.grad;
+      const float eps = 1e-2F;
+      for (std::size_t i = 0; i < value.size(); i += step(value.size())) {
+        const float saved = value[i];
+        value[i] = saved + eps;
+        const double lp = weighted_sum(layer.forward(input), w);
+        value[i] = saved - eps;
+        const double lm = weighted_sum(layer.forward(input), w);
+        value[i] = saved;
+        const double numeric = (lp - lm) / (2.0 * eps);
+        EXPECT_NEAR(grad[i], numeric, tol * std::max(1.0, std::abs(numeric)))
+            << p.name << " grad mismatch at " << i;
+      }
+    }
+  }
+
+ private:
+  static double weighted_sum(const Tensor& out, const Tensor& w) {
+    double s = 0.0;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      s += static_cast<double>(out[i]) * w[i];
+    }
+    return s;
+  }
+  static std::size_t step(std::size_t n) { return n > 64 ? n / 64 : 1; }
+
+  hsd::stats::Rng rng_;
+};
+
+TEST(DenseTest, ForwardMatchesManual) {
+  hsd::stats::Rng rng(1);
+  Dense layer(2, 2, rng);
+  layer.weight() = Tensor({2, 2}, std::vector<float>{1, 2, 3, 4});
+  layer.bias() = Tensor({2}, std::vector<float>{0.5F, -0.5F});
+  Tensor x({1, 2}, std::vector<float>{1, 1});
+  const Tensor y = layer.forward(x);
+  EXPECT_FLOAT_EQ(y.at2(0, 0), 3.5F);   // 1*1 + 2*1 + 0.5
+  EXPECT_FLOAT_EQ(y.at2(0, 1), 6.5F);   // 3*1 + 4*1 - 0.5
+}
+
+TEST(DenseTest, GradientsMatchFiniteDifferences) {
+  hsd::stats::Rng rng(2);
+  Dense layer(5, 3, rng);
+  GradCheck gc(3);
+  const Tensor x = Tensor::randn({4, 5}, rng);
+  gc.check_input_grad(layer, x);
+  gc.check_param_grads(layer, x);
+}
+
+TEST(DenseTest, RejectsBadShapes) {
+  hsd::stats::Rng rng(1);
+  Dense layer(3, 2, rng);
+  EXPECT_THROW(layer.forward(Tensor({2, 4})), std::invalid_argument);
+  EXPECT_THROW(Dense(0, 2, rng), std::invalid_argument);
+}
+
+TEST(Conv2dTest, ForwardMatchesManualConvolution) {
+  hsd::stats::Rng rng(1);
+  Conv2d layer(1, 1, 2, rng, 1, 0);
+  layer.weight() = Tensor({1, 4}, std::vector<float>{1, 0, 0, 1});  // identity-ish
+  layer.bias() = Tensor({1}, std::vector<float>{0.0F});
+  Tensor x({1, 1, 3, 3}, std::vector<float>{1, 2, 3, 4, 5, 6, 7, 8, 9});
+  const Tensor y = layer.forward(x);
+  // Each output = top-left + bottom-right of the 2x2 patch.
+  EXPECT_FLOAT_EQ(y.at4(0, 0, 0, 0), 1 + 5);
+  EXPECT_FLOAT_EQ(y.at4(0, 0, 0, 1), 2 + 6);
+  EXPECT_FLOAT_EQ(y.at4(0, 0, 1, 0), 4 + 8);
+  EXPECT_FLOAT_EQ(y.at4(0, 0, 1, 1), 5 + 9);
+}
+
+TEST(Conv2dTest, BiasIsAddedPerChannel) {
+  hsd::stats::Rng rng(1);
+  Conv2d layer(1, 2, 1, rng, 1, 0);
+  layer.weight() = Tensor({2, 1}, std::vector<float>{0, 0});
+  layer.bias() = Tensor({2}, std::vector<float>{1.5F, -2.5F});
+  Tensor x({1, 1, 2, 2}, std::vector<float>{1, 2, 3, 4});
+  const Tensor y = layer.forward(x);
+  EXPECT_FLOAT_EQ(y.at4(0, 0, 1, 1), 1.5F);
+  EXPECT_FLOAT_EQ(y.at4(0, 1, 0, 0), -2.5F);
+}
+
+TEST(Conv2dTest, GradientsMatchFiniteDifferences) {
+  hsd::stats::Rng rng(4);
+  Conv2d layer(2, 3, 3, rng, 1, 1);
+  GradCheck gc(5);
+  const Tensor x = Tensor::randn({2, 2, 5, 5}, rng);
+  gc.check_input_grad(layer, x);
+  gc.check_param_grads(layer, x);
+}
+
+TEST(Conv2dTest, StridedGradients) {
+  hsd::stats::Rng rng(6);
+  Conv2d layer(1, 2, 2, rng, 2, 0);
+  GradCheck gc(7);
+  const Tensor x = Tensor::randn({1, 1, 6, 6}, rng);
+  gc.check_input_grad(layer, x);
+  gc.check_param_grads(layer, x);
+}
+
+TEST(Conv2dTest, RejectsBadInput) {
+  hsd::stats::Rng rng(1);
+  Conv2d layer(2, 1, 3, rng);
+  EXPECT_THROW(layer.forward(Tensor({1, 3, 8, 8})), std::invalid_argument);
+  EXPECT_THROW(layer.forward(Tensor({8, 8})), std::invalid_argument);
+}
+
+TEST(ReluTest, ForwardClampsNegatives) {
+  Relu relu;
+  Tensor x({4}, std::vector<float>{-1, 0, 2, -3});
+  const Tensor y = relu.forward(x);
+  EXPECT_FLOAT_EQ(y[0], 0.0F);
+  EXPECT_FLOAT_EQ(y[1], 0.0F);
+  EXPECT_FLOAT_EQ(y[2], 2.0F);
+  EXPECT_FLOAT_EQ(y[3], 0.0F);
+}
+
+TEST(ReluTest, BackwardMasksGradient) {
+  Relu relu;
+  Tensor x({3}, std::vector<float>{-1, 1, 2});
+  relu.forward(x);
+  Tensor g({3}, std::vector<float>{5, 5, 5});
+  const Tensor gx = relu.backward(g);
+  EXPECT_FLOAT_EQ(gx[0], 0.0F);
+  EXPECT_FLOAT_EQ(gx[1], 5.0F);
+  EXPECT_FLOAT_EQ(gx[2], 5.0F);
+}
+
+TEST(TanhTest, GradientsMatchFiniteDifferences) {
+  Tanh tanh_layer;
+  hsd::stats::Rng rng(8);
+  GradCheck gc(9);
+  gc.check_input_grad(tanh_layer, Tensor::randn({3, 4}, rng), 5e-2);
+}
+
+TEST(MaxPoolTest, ForwardTakesWindowMax) {
+  MaxPool2d pool(2);
+  Tensor x({1, 1, 4, 4}, std::vector<float>{1, 2, 5, 6,    //
+                                            3, 4, 7, 8,    //
+                                            9, 10, 13, 14, //
+                                            11, 12, 15, 16});
+  const Tensor y = pool.forward(x);
+  EXPECT_EQ(y.dim(2), 2u);
+  EXPECT_FLOAT_EQ(y.at4(0, 0, 0, 0), 4.0F);
+  EXPECT_FLOAT_EQ(y.at4(0, 0, 0, 1), 8.0F);
+  EXPECT_FLOAT_EQ(y.at4(0, 0, 1, 0), 12.0F);
+  EXPECT_FLOAT_EQ(y.at4(0, 0, 1, 1), 16.0F);
+}
+
+TEST(MaxPoolTest, BackwardRoutesToArgmax) {
+  MaxPool2d pool(2);
+  Tensor x({1, 1, 2, 2}, std::vector<float>{1, 9, 3, 4});
+  pool.forward(x);
+  Tensor g({1, 1, 1, 1}, std::vector<float>{7});
+  const Tensor gx = pool.backward(g);
+  EXPECT_FLOAT_EQ(gx[0], 0.0F);
+  EXPECT_FLOAT_EQ(gx[1], 7.0F);
+  EXPECT_FLOAT_EQ(gx[2], 0.0F);
+  EXPECT_FLOAT_EQ(gx[3], 0.0F);
+}
+
+TEST(MaxPoolTest, GradientsMatchFiniteDifferences) {
+  // Use a smooth-ish input with distinct values to avoid argmax ties at the
+  // finite-difference probe points.
+  MaxPool2d pool(2);
+  Tensor x({1, 2, 4, 4});
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = static_cast<float>(i) * 0.37F - 3.0F;
+  }
+  GradCheck gc(11);
+  gc.check_input_grad(pool, x);
+}
+
+TEST(FlattenTest, RoundTripShapes) {
+  Flatten flat;
+  Tensor x({2, 3, 2, 2});
+  const Tensor y = flat.forward(x);
+  EXPECT_EQ(y.dim(0), 2u);
+  EXPECT_EQ(y.dim(1), 12u);
+  const Tensor gx = flat.backward(Tensor({2, 12}));
+  EXPECT_EQ(gx.shape(), x.shape());
+}
+
+TEST(LayerTest, NumParamsCounts) {
+  hsd::stats::Rng rng(1);
+  Dense dense(10, 4, rng);
+  EXPECT_EQ(dense.num_params(), 10u * 4u + 4u);
+  Relu relu;
+  EXPECT_EQ(relu.num_params(), 0u);
+}
+
+TEST(LayerTest, ZeroGradClearsAccumulation) {
+  hsd::stats::Rng rng(1);
+  Dense dense(3, 2, rng);
+  const Tensor x = Tensor::randn({2, 3}, rng);
+  dense.forward(x);
+  dense.backward(Tensor({2, 2}, 1.0F));
+  dense.zero_grad();
+  for (auto& p : dense.params()) {
+    for (std::size_t i = 0; i < p.grad->size(); ++i) {
+      EXPECT_FLOAT_EQ((*p.grad)[i], 0.0F);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hsd::nn

@@ -1,0 +1,89 @@
+#include "nn/loss.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/rng.hpp"
+#include "tensor/ops.hpp"
+
+namespace hsd::nn {
+namespace {
+
+using hsd::tensor::Tensor;
+
+TEST(CrossEntropyTest, UniformLogitsGiveLogC) {
+  Tensor logits({1, 2}, std::vector<float>{0.0F, 0.0F});
+  const LossResult r = softmax_cross_entropy(logits, {0});
+  EXPECT_NEAR(r.value, std::log(2.0), 1e-6);
+}
+
+TEST(CrossEntropyTest, ConfidentCorrectHasLowLoss) {
+  Tensor logits({1, 2}, std::vector<float>{10.0F, -10.0F});
+  const LossResult r = softmax_cross_entropy(logits, {0});
+  EXPECT_LT(r.value, 1e-6);
+  EXPECT_EQ(r.correct, 1u);
+}
+
+TEST(CrossEntropyTest, ConfidentWrongHasHighLoss) {
+  Tensor logits({1, 2}, std::vector<float>{10.0F, -10.0F});
+  const LossResult r = softmax_cross_entropy(logits, {1});
+  EXPECT_GT(r.value, 10.0);
+  EXPECT_EQ(r.correct, 0u);
+}
+
+TEST(CrossEntropyTest, GradientIsSoftmaxMinusOnehotOverN) {
+  Tensor logits({2, 2}, std::vector<float>{1.0F, -1.0F, 0.5F, 0.5F});
+  const LossResult r = softmax_cross_entropy(logits, {0, 1});
+  const Tensor probs = hsd::tensor::softmax_rows(logits);
+  EXPECT_NEAR(r.grad_logits.at2(0, 0), (probs.at2(0, 0) - 1.0F) / 2.0F, 1e-6);
+  EXPECT_NEAR(r.grad_logits.at2(0, 1), probs.at2(0, 1) / 2.0F, 1e-6);
+  EXPECT_NEAR(r.grad_logits.at2(1, 1), (probs.at2(1, 1) - 1.0F) / 2.0F, 1e-6);
+}
+
+TEST(CrossEntropyTest, GradientMatchesFiniteDifferences) {
+  hsd::stats::Rng rng(3);
+  Tensor logits = Tensor::randn({3, 2}, rng);
+  const std::vector<int> labels{0, 1, 1};
+  const std::vector<double> weights{1.0, 3.0};
+  const LossResult r = softmax_cross_entropy(logits, labels, weights);
+  const float eps = 1e-3F;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    Tensor plus = logits, minus = logits;
+    plus[i] += eps;
+    minus[i] -= eps;
+    const double lp = softmax_cross_entropy(plus, labels, weights).value;
+    const double lm = softmax_cross_entropy(minus, labels, weights).value;
+    EXPECT_NEAR(r.grad_logits[i], (lp - lm) / (2.0 * eps), 1e-3);
+  }
+}
+
+TEST(CrossEntropyTest, ClassWeightsShiftFocus) {
+  // Same logits, one sample per class; upweighting class 1 makes its
+  // mistakes dominate the loss.
+  Tensor logits({2, 2}, std::vector<float>{0.0F, 0.0F, 0.0F, 0.0F});
+  const LossResult unweighted = softmax_cross_entropy(logits, {0, 1});
+  const LossResult weighted = softmax_cross_entropy(logits, {0, 1}, {1.0, 9.0});
+  // Loss value stays log 2 (both samples equally wrong) but gradients tilt.
+  EXPECT_NEAR(unweighted.value, weighted.value, 1e-6);
+  EXPECT_GT(std::abs(weighted.grad_logits.at2(1, 1)),
+            std::abs(weighted.grad_logits.at2(0, 0)));
+}
+
+TEST(CrossEntropyTest, CorrectCountsArgmax) {
+  Tensor logits({3, 2}, std::vector<float>{2, 1, 0, 3, 4, 0});
+  const LossResult r = softmax_cross_entropy(logits, {0, 1, 1});
+  EXPECT_EQ(r.correct, 2u);  // samples 0 and 1 right, sample 2 wrong
+}
+
+TEST(CrossEntropyTest, InvalidArguments) {
+  Tensor logits({2, 2});
+  EXPECT_THROW(softmax_cross_entropy(logits, {0}), std::invalid_argument);
+  EXPECT_THROW(softmax_cross_entropy(logits, {0, 2}), std::invalid_argument);
+  EXPECT_THROW(softmax_cross_entropy(logits, {0, -1}), std::invalid_argument);
+  EXPECT_THROW(softmax_cross_entropy(logits, {0, 1}, {1.0}), std::invalid_argument);
+  EXPECT_THROW(softmax_cross_entropy(Tensor({4}), {0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hsd::nn

@@ -1,0 +1,162 @@
+#include "nn/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "nn/activations.hpp"
+#include "nn/conv.hpp"
+#include "nn/dense.hpp"
+#include "nn/flatten.hpp"
+#include "nn/pooling.hpp"
+
+namespace hsd::nn {
+namespace {
+
+using hsd::tensor::Tensor;
+
+Network make_mlp(hsd::stats::Rng& rng) {
+  Network net;
+  net.add<Dense>(4, 8, rng);
+  net.add<Relu>();
+  net.add<Dense>(8, 2, rng);
+  return net;
+}
+
+// XOR-ish separable dataset in 4 dims.
+void make_toy_data(hsd::stats::Rng& rng, std::size_t n, Tensor& x,
+                   std::vector<int>& y) {
+  x = Tensor({n, 4});
+  y.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const int label = static_cast<int>(rng.bernoulli(0.5));
+    const double base = label == 1 ? 1.0 : -1.0;
+    for (std::size_t j = 0; j < 4; ++j) {
+      x[i * 4 + j] = static_cast<float>(base + rng.normal(0.0, 0.3));
+    }
+    y[i] = label;
+  }
+}
+
+TEST(NetworkTest, ForwardShape) {
+  hsd::stats::Rng rng(1);
+  Network net = make_mlp(rng);
+  const Tensor out = net.forward(Tensor({3, 4}));
+  EXPECT_EQ(out.dim(0), 3u);
+  EXPECT_EQ(out.dim(1), 2u);
+}
+
+TEST(NetworkTest, NumParamsSumsLayers) {
+  hsd::stats::Rng rng(1);
+  Network net = make_mlp(rng);
+  EXPECT_EQ(net.num_params(), (4u * 8 + 8) + (8u * 2 + 2));
+}
+
+TEST(NetworkTest, ForwardWithFeaturesTapsPenultimate) {
+  hsd::stats::Rng rng(1);
+  Network net = make_mlp(rng);
+  const ForwardResult r = net.forward_with_features(Tensor({5, 4}));
+  EXPECT_EQ(r.logits.dim(1), 2u);
+  EXPECT_EQ(r.features.dim(0), 5u);
+  EXPECT_EQ(r.features.dim(1), 8u);  // ReLU output feeding the last Dense
+}
+
+TEST(NetworkTest, FeaturesAreFlattenedForConvNets) {
+  hsd::stats::Rng rng(2);
+  Network net;
+  net.add<Conv2d>(1, 2, 3, rng, 1, 1);
+  net.add<Relu>();
+  net.add<Flatten>();
+  net.add<Dense>(2 * 4 * 4, 2, rng);
+  const ForwardResult r = net.forward_with_features(Tensor({3, 1, 4, 4}));
+  EXPECT_EQ(r.features.rank(), 2u);
+  EXPECT_EQ(r.features.dim(1), 32u);
+}
+
+TEST(NetworkTest, TrainingReducesLoss) {
+  hsd::stats::Rng rng(7);
+  Network net = make_mlp(rng);
+  Tensor x;
+  std::vector<int> y;
+  make_toy_data(rng, 128, x, y);
+  Adam opt(1e-2);
+  const auto history = net.fit(x, y, opt, 30, 16, rng);
+  ASSERT_EQ(history.size(), 30u);
+  EXPECT_LT(history.back().mean_loss, history.front().mean_loss);
+  EXPECT_GT(history.back().accuracy, 0.95);
+}
+
+TEST(NetworkTest, TrainBatchStepsOptimizer) {
+  hsd::stats::Rng rng(9);
+  Network net = make_mlp(rng);
+  Tensor x;
+  std::vector<int> y;
+  make_toy_data(rng, 16, x, y);
+  Adam opt(1e-2);
+  const LossResult before = net.train_batch(x, y, opt);
+  double loss_after = 0.0;
+  for (int i = 0; i < 20; ++i) {
+    loss_after = net.train_batch(x, y, opt).value;
+  }
+  EXPECT_LT(loss_after, before.value);
+}
+
+TEST(NetworkTest, FitValidatesArguments) {
+  hsd::stats::Rng rng(1);
+  Network net = make_mlp(rng);
+  Adam opt(1e-3);
+  Tensor x({4, 4});
+  std::vector<int> y{0, 1, 0};  // wrong size
+  EXPECT_THROW(net.fit(x, y, opt, 1, 8, rng), std::invalid_argument);
+  std::vector<int> y2{0, 1, 0, 1};
+  EXPECT_THROW(net.fit(x, y2, opt, 1, 0, rng), std::invalid_argument);
+}
+
+TEST(NetworkTest, SaveLoadRoundTrip) {
+  hsd::stats::Rng rng(11);
+  Network a = make_mlp(rng);
+  Network b = make_mlp(rng);  // different random weights
+  const Tensor x = Tensor::randn({3, 4}, rng);
+  std::stringstream buf;
+  a.save(buf);
+  b.load(buf);
+  const Tensor ya = a.forward(x);
+  const Tensor yb = b.forward(x);
+  for (std::size_t i = 0; i < ya.size(); ++i) EXPECT_FLOAT_EQ(ya[i], yb[i]);
+}
+
+TEST(NetworkTest, LoadRejectsWrongArchitecture) {
+  hsd::stats::Rng rng(11);
+  Network a = make_mlp(rng);
+  Network small;
+  small.add<Dense>(4, 2, rng);
+  std::stringstream buf;
+  a.save(buf);
+  EXPECT_THROW(small.load(buf), std::runtime_error);
+}
+
+TEST(NetworkTest, LoadRejectsGarbage) {
+  hsd::stats::Rng rng(1);
+  Network net = make_mlp(rng);
+  std::stringstream buf("not a model");
+  EXPECT_THROW(net.load(buf), std::runtime_error);
+}
+
+TEST(NetworkTest, DeterministicTrainingUnderSeed) {
+  auto run = [](std::uint64_t seed) {
+    hsd::stats::Rng rng(seed);
+    Network net = make_mlp(rng);
+    Tensor x;
+    std::vector<int> y;
+    make_toy_data(rng, 64, x, y);
+    Adam opt(1e-2);
+    net.fit(x, y, opt, 5, 16, rng);
+    return net.forward(Tensor({1, 4}, std::vector<float>{1, 1, 1, 1}));
+  };
+  const Tensor a = run(33);
+  const Tensor b = run(33);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_FLOAT_EQ(a[i], b[i]);
+}
+
+}  // namespace
+}  // namespace hsd::nn

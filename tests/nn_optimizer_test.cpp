@@ -1,0 +1,137 @@
+#include "nn/optimizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace hsd::nn {
+namespace {
+
+using hsd::tensor::Tensor;
+
+// Minimizes f(x) = 0.5 * ||x - target||^2 whose gradient is (x - target).
+struct Quadratic {
+  Tensor x;
+  Tensor grad;
+  Tensor target;
+
+  explicit Quadratic(const std::vector<float>& t)
+      : x({t.size()}, 0.0F), grad({t.size()}), target({t.size()}, t) {}
+
+  void compute_grad() {
+    for (std::size_t i = 0; i < x.size(); ++i) grad[i] = x[i] - target[i];
+  }
+  std::vector<Param> params() { return {{&x, &grad, "x"}}; }
+  double error() const {
+    double e = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      e += (x[i] - target[i]) * (x[i] - target[i]);
+    }
+    return std::sqrt(e);
+  }
+};
+
+TEST(SgdTest, ConvergesOnQuadratic) {
+  Quadratic q({1.0F, -2.0F, 3.0F});
+  Sgd opt(0.1);
+  for (int i = 0; i < 200; ++i) {
+    q.compute_grad();
+    opt.step(q.params());
+  }
+  EXPECT_LT(q.error(), 1e-4);
+}
+
+TEST(SgdTest, MomentumAcceleratesConvergence) {
+  Quadratic plain({5.0F});
+  Quadratic with_momentum({5.0F});
+  Sgd opt_plain(0.01);
+  Sgd opt_momentum(0.01, 0.9);
+  for (int i = 0; i < 50; ++i) {
+    plain.compute_grad();
+    opt_plain.step(plain.params());
+    with_momentum.compute_grad();
+    opt_momentum.step(with_momentum.params());
+  }
+  EXPECT_LT(with_momentum.error(), plain.error());
+}
+
+TEST(SgdTest, WeightDecayShrinksWeights) {
+  Tensor x({1}, std::vector<float>{10.0F});
+  Tensor g({1}, std::vector<float>{0.0F});
+  std::vector<Param> params{{&x, &g, "x"}};
+  Sgd opt(0.1, 0.0, 0.5);
+  opt.step(params);
+  EXPECT_LT(x[0], 10.0F);
+}
+
+TEST(SgdTest, SingleStepValue) {
+  Tensor x({1}, std::vector<float>{1.0F});
+  Tensor g({1}, std::vector<float>{2.0F});
+  std::vector<Param> params{{&x, &g, "x"}};
+  Sgd opt(0.5);
+  opt.step(params);
+  EXPECT_FLOAT_EQ(x[0], 0.0F);  // 1 - 0.5 * 2
+}
+
+TEST(SgdTest, ThrowsOnBadLearningRate) {
+  EXPECT_THROW(Sgd(0.0), std::invalid_argument);
+  EXPECT_THROW(Sgd(-1.0), std::invalid_argument);
+}
+
+TEST(AdamTest, ConvergesOnQuadratic) {
+  Quadratic q({-4.0F, 2.0F});
+  Adam opt(0.1);
+  for (int i = 0; i < 300; ++i) {
+    q.compute_grad();
+    opt.step(q.params());
+  }
+  EXPECT_LT(q.error(), 1e-3);
+}
+
+TEST(AdamTest, FirstStepIsLearningRateSized) {
+  // With bias correction the first Adam step is ~lr * sign(grad).
+  Tensor x({1}, std::vector<float>{0.0F});
+  Tensor g({1}, std::vector<float>{123.0F});
+  std::vector<Param> params{{&x, &g, "x"}};
+  Adam opt(0.05);
+  opt.step(params);
+  EXPECT_NEAR(x[0], -0.05F, 1e-5F);
+}
+
+TEST(AdamTest, HandlesMultipleParamsIndependently) {
+  Quadratic a({1.0F});
+  Quadratic b({-1.0F});
+  Adam opt(0.1);
+  std::vector<Param> both;
+  for (auto& p : a.params()) both.push_back(p);
+  for (auto& p : b.params()) both.push_back(p);
+  for (int i = 0; i < 200; ++i) {
+    a.compute_grad();
+    b.compute_grad();
+    opt.step(both);
+  }
+  EXPECT_LT(a.error(), 1e-2);
+  EXPECT_LT(b.error(), 1e-2);
+}
+
+TEST(AdamTest, LearningRateIsAdjustable) {
+  Adam opt(0.1);
+  EXPECT_DOUBLE_EQ(opt.learning_rate(), 0.1);
+  opt.set_learning_rate(0.01);
+  EXPECT_DOUBLE_EQ(opt.learning_rate(), 0.01);
+}
+
+TEST(AdamTest, ThrowsOnBadLearningRate) {
+  EXPECT_THROW(Adam(0.0), std::invalid_argument);
+}
+
+TEST(OptimizerTest, NullParamsAreSkipped) {
+  std::vector<Param> params{{nullptr, nullptr, "null"}};
+  Sgd sgd(0.1);
+  Adam adam(0.1);
+  EXPECT_NO_THROW(sgd.step(params));
+  EXPECT_NO_THROW(adam.step(params));
+}
+
+}  // namespace
+}  // namespace hsd::nn

@@ -1,0 +1,87 @@
+// RMSProp optimizer and learning-rate schedule tests.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/optimizer.hpp"
+
+namespace hsd::nn {
+namespace {
+
+using hsd::tensor::Tensor;
+
+struct Quadratic1d {
+  Tensor x{{1}, std::vector<float>{0.0F}};
+  Tensor grad{{1}, std::vector<float>{0.0F}};
+  float target;
+
+  explicit Quadratic1d(float t) : target(t) {}
+  void compute_grad() { grad[0] = x[0] - target; }
+  std::vector<Param> params() { return {{&x, &grad, "x"}}; }
+  double error() const { return std::abs(x[0] - target); }
+};
+
+TEST(RmsPropTest, ConvergesOnQuadratic) {
+  Quadratic1d q(5.0F);
+  RmsProp opt(0.05);
+  for (int i = 0; i < 500; ++i) {
+    q.compute_grad();
+    opt.step(q.params());
+  }
+  EXPECT_LT(q.error(), 0.05);
+}
+
+TEST(RmsPropTest, FirstStepIsBounded) {
+  // Normalization by sqrt(mean-square) makes the first step ~lr/sqrt(1-decay).
+  Quadratic1d q(100.0F);
+  RmsProp opt(0.01, 0.9);
+  q.compute_grad();
+  opt.step(q.params());
+  EXPECT_LT(std::abs(q.x[0]), 0.1F);
+  EXPECT_GT(std::abs(q.x[0]), 0.001F);
+}
+
+TEST(RmsPropTest, InvalidHyperparametersThrow) {
+  EXPECT_THROW(RmsProp(0.0), std::invalid_argument);
+  EXPECT_THROW(RmsProp(0.1, 0.0), std::invalid_argument);
+  EXPECT_THROW(RmsProp(0.1, 1.0), std::invalid_argument);
+}
+
+TEST(RmsPropTest, SkipsNullParams) {
+  RmsProp opt(0.1);
+  std::vector<Param> params{{nullptr, nullptr, "null"}};
+  EXPECT_NO_THROW(opt.step(params));
+}
+
+TEST(StepDecayTest, DecaysEveryPeriod) {
+  Sgd opt(1.0);
+  StepDecaySchedule sched(opt, 3, 0.5);
+  sched.advance();
+  sched.advance();
+  EXPECT_DOUBLE_EQ(opt.learning_rate(), 1.0);  // not yet at period
+  sched.advance();
+  EXPECT_DOUBLE_EQ(opt.learning_rate(), 0.5);
+  sched.advance();
+  sched.advance();
+  sched.advance();
+  EXPECT_DOUBLE_EQ(opt.learning_rate(), 0.25);
+  EXPECT_EQ(sched.steps(), 6u);
+}
+
+TEST(StepDecayTest, GammaOneIsConstant) {
+  Adam opt(0.01);
+  StepDecaySchedule sched(opt, 1, 1.0);
+  for (int i = 0; i < 10; ++i) sched.advance();
+  EXPECT_DOUBLE_EQ(opt.learning_rate(), 0.01);
+}
+
+TEST(StepDecayTest, InvalidArgumentsThrow) {
+  Sgd opt(1.0);
+  EXPECT_THROW(StepDecaySchedule(opt, 0, 0.5), std::invalid_argument);
+  EXPECT_THROW(StepDecaySchedule(opt, 2, 0.0), std::invalid_argument);
+  EXPECT_THROW(StepDecaySchedule(opt, 2, 1.5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hsd::nn

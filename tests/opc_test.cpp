@@ -1,0 +1,146 @@
+#include "opc/rules.hpp"
+
+#include <gtest/gtest.h>
+
+#include "data/pattern_generator.hpp"
+
+namespace hsd::opc {
+namespace {
+
+using layout::Clip;
+using layout::Coord;
+using layout::Rect;
+
+Clip clip_with(std::vector<Rect> shapes, Coord side = 640) {
+  Clip c;
+  c.window = Rect{0, 0, side, side};
+  c.core = layout::centered_core(c.window, 0.5);
+  c.shapes = std::move(shapes);
+  layout::finalize(c);
+  return c;
+}
+
+OpcRules test_rules() {
+  OpcRules r;
+  r.min_safe_width = 40;
+  r.width_bias = 10;
+  r.hammer_length = 30;
+  r.hammer_bias = 10;
+  r.min_space = 40;
+  r.snap = 5;
+  return r;
+}
+
+TEST(OpcTest, ThinLineIsWidened) {
+  // A 30 nm line crossing the whole clip (no exposed tips).
+  const Clip c = clip_with({{0, 305, 640, 335}});
+  const OpcResult res = correct_clip(c, test_rules());
+  EXPECT_EQ(res.widened_shapes, 1u);
+  ASSERT_FALSE(res.corrected.shapes.empty());
+  const Rect& r = res.corrected.shapes.front();
+  EXPECT_EQ(r.height(), 50);  // 30 + 2 * 10
+}
+
+TEST(OpcTest, SafeWidthIsUntouched) {
+  const Clip c = clip_with({{0, 300, 640, 380}});  // 80 nm: already safe
+  const OpcResult res = correct_clip(c, test_rules());
+  EXPECT_EQ(res.widened_shapes, 0u);
+  EXPECT_EQ(res.corrected.shapes.front(), c.shapes.front());
+}
+
+TEST(OpcTest, BiasClampedNearNeighbor) {
+  // Two thin lines 45 nm apart: full 10 nm bias per side would leave only
+  // 25 nm of space (< min_space 40), so the bias must back off.
+  const Clip c = clip_with({{0, 300, 640, 330}, {0, 375, 640, 405}});
+  const OpcResult res = correct_clip(c, test_rules());
+  EXPECT_GT(res.clamped, 0u);
+  for (std::size_t i = 0; i < res.corrected.shapes.size(); ++i) {
+    for (std::size_t j = i + 1; j < res.corrected.shapes.size(); ++j) {
+      const auto& a = res.corrected.shapes[i];
+      const auto& b = res.corrected.shapes[j];
+      if (!layout::intersects(a, b)) {
+        EXPECT_GE(layout::spacing(a, b), test_rules().min_space);
+      }
+    }
+  }
+}
+
+TEST(OpcTest, HammerheadAddedOnInteriorLineEnd) {
+  // A thin line ending mid-clip: its tip needs a serif.
+  const Clip c = clip_with({{100, 305, 400, 335}});
+  const OpcResult res = correct_clip(c, test_rules());
+  EXPECT_EQ(res.hammerheads, 2u);  // both ends are interior
+  EXPECT_GT(res.corrected.shapes.size(), c.shapes.size());
+}
+
+TEST(OpcTest, NoHammerheadOnWindowBoundary) {
+  // Full-width line: both tips are on the window boundary (route continues).
+  const Clip c = clip_with({{0, 305, 640, 335}});
+  const OpcResult res = correct_clip(c, test_rules());
+  EXPECT_EQ(res.hammerheads, 0u);
+}
+
+TEST(OpcTest, CorrectedGeometryStaysInWindow) {
+  const Clip c = clip_with({{0, 0, 640, 30}});  // thin line on the boundary
+  const OpcResult res = correct_clip(c, test_rules());
+  for (const Rect& r : res.corrected.shapes) {
+    EXPECT_TRUE(res.corrected.window.contains(r));
+  }
+}
+
+TEST(OpcTest, OutputIsSnapped) {
+  const Clip c = clip_with({{100, 305, 400, 335}});
+  OpcRules rules = test_rules();
+  rules.snap = 10;
+  const OpcResult res = correct_clip(c, rules);
+  for (const Rect& r : res.corrected.shapes) {
+    EXPECT_EQ(r.x0 % 10, 0);
+    EXPECT_EQ(r.y0 % 10, 0);
+  }
+}
+
+TEST(OpcTest, RepairFixesPinchingLine) {
+  // A 20 nm line pinches under DUV optics; widened to 40 nm it prints.
+  litho::LithoOracle oracle(64, litho::duv28_model());
+  const Clip c = clip_with({{0, 310, 640, 330}});
+  OpcRules rules = test_rules();
+  rules.min_safe_width = 30;
+  rules.width_bias = 10;
+  const RepairOutcome out = repair_and_verify(c, rules, oracle);
+  EXPECT_TRUE(out.hotspot_before);
+  EXPECT_FALSE(out.hotspot_after);
+  EXPECT_EQ(oracle.simulation_count(), 2u);  // before + after, both counted
+}
+
+TEST(OpcTest, RepairReducesHotspotRateOnPopulation) {
+  // Over a generated population, OPC must strictly reduce hotspots without
+  // creating new ones from clean clips (with conservative spacing rules).
+  hsd::data::GeneratorConfig gen_cfg;
+  gen_cfg.risky_fraction = 0.5;
+  hsd::data::PatternGenerator gen(gen_cfg, hsd::stats::Rng(404));
+  litho::LithoOracle oracle(64, litho::duv28_model());
+  OpcRules rules = test_rules();
+
+  std::size_t before = 0, after = 0, broke_clean = 0;
+  const int n = 60;
+  for (int i = 0; i < n; ++i) {
+    const Clip c = gen.next();
+    const RepairOutcome out = repair_and_verify(c, rules, oracle);
+    before += out.hotspot_before;
+    after += out.hotspot_after;
+    broke_clean += (!out.hotspot_before && out.hotspot_after);
+  }
+  EXPECT_GT(before, 0u);
+  EXPECT_LT(after, before);
+  // A rule-based pass may occasionally regress a clip, but not wholesale.
+  EXPECT_LE(broke_clean, static_cast<std::size_t>(n) / 15);
+}
+
+TEST(OpcTest, InvalidSnapThrows) {
+  OpcRules rules = test_rules();
+  rules.snap = 0;
+  EXPECT_THROW(correct_clip(clip_with({}), rules), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hsd::opc

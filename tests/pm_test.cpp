@@ -1,0 +1,129 @@
+#include "pm/pattern_matching.hpp"
+
+#include <gtest/gtest.h>
+
+#include "data/benchmark.hpp"
+#include "data/features.hpp"
+
+namespace hsd::pm {
+namespace {
+
+struct PmFixture : public ::testing::Test {
+  void SetUp() override {
+    data::BenchmarkSpec spec = data::iccad16_spec(3);
+    spec.name = "pm-test";
+    spec.hs_target = 25;
+    spec.nhs_target = 125;
+    spec.seed = 77;
+    bench = data::build_benchmark(spec);
+    const data::FeatureExtractor fx(spec.feature_grid, spec.feature_keep);
+    features = data::to_double_rows(fx.extract_benchmark(bench));
+  }
+
+  data::Benchmark bench;
+  std::vector<std::vector<double>> features;
+};
+
+TEST_F(PmFixture, ExactMatchingIsAlwaysCorrect) {
+  litho::LithoOracle oracle = bench.make_oracle();
+  PmConfig cfg;
+  cfg.mode = MatchMode::kExact;
+  const PmResult res = run_pattern_matching(bench.clips, {}, oracle, cfg);
+  ASSERT_EQ(res.predicted.size(), bench.size());
+  for (std::size_t i = 0; i < bench.size(); ++i) {
+    EXPECT_EQ(res.predicted[i], bench.labels[i]) << "clip " << i;
+  }
+}
+
+TEST_F(PmFixture, ExactLithoCountEqualsUniquePatterns) {
+  litho::LithoOracle oracle = bench.make_oracle();
+  PmConfig cfg;
+  cfg.mode = MatchMode::kExact;
+  const PmResult res = run_pattern_matching(bench.clips, {}, oracle, cfg);
+  std::set<std::uint64_t> hashes;
+  for (const auto& c : bench.clips) hashes.insert(c.pattern_hash);
+  EXPECT_EQ(res.litho_count, hashes.size());
+  EXPECT_EQ(res.litho_count, res.representatives.size());
+  EXPECT_EQ(oracle.simulation_count(), res.litho_count);
+  // Duplicates exist, so PM-exact is cheaper than labeling everything.
+  EXPECT_LT(res.litho_count, bench.size());
+}
+
+TEST_F(PmFixture, ClusterMembersShareRepresentativeLabel) {
+  litho::LithoOracle oracle = bench.make_oracle();
+  PmConfig cfg;
+  cfg.mode = MatchMode::kExact;
+  const PmResult res = run_pattern_matching(bench.clips, {}, oracle, cfg);
+  for (std::size_t i = 0; i < bench.size(); ++i) {
+    const std::size_t rep = res.representatives[res.cluster_of[i]];
+    EXPECT_EQ(bench.clips[i].pattern_hash, bench.clips[rep].pattern_hash);
+    EXPECT_EQ(res.predicted[i], res.predicted[rep]);
+  }
+}
+
+TEST_F(PmFixture, FuzzySimilarityUsesFewerSimulations) {
+  litho::LithoOracle exact_oracle = bench.make_oracle();
+  litho::LithoOracle fuzzy_oracle = bench.make_oracle();
+  PmConfig exact_cfg;
+  exact_cfg.mode = MatchMode::kExact;
+  PmConfig fuzzy_cfg;
+  fuzzy_cfg.mode = MatchMode::kSimilarity;
+  fuzzy_cfg.sim_threshold = 0.90;
+  const PmResult exact = run_pattern_matching(bench.clips, {}, exact_oracle, exact_cfg);
+  const PmResult fuzzy =
+      run_pattern_matching(bench.clips, features, fuzzy_oracle, fuzzy_cfg);
+  EXPECT_LT(fuzzy.litho_count, exact.litho_count);
+}
+
+TEST_F(PmFixture, LooserThresholdMeansFewerClusters) {
+  litho::LithoOracle o95 = bench.make_oracle();
+  litho::LithoOracle o80 = bench.make_oracle();
+  PmConfig a95;
+  a95.mode = MatchMode::kSimilarity;
+  a95.sim_threshold = 0.95;
+  PmConfig a80;
+  a80.mode = MatchMode::kSimilarity;
+  a80.sim_threshold = 0.80;
+  const PmResult r95 = run_pattern_matching(bench.clips, features, o95, a95);
+  const PmResult r80 = run_pattern_matching(bench.clips, features, o80, a80);
+  EXPECT_LE(r80.litho_count, r95.litho_count);
+}
+
+TEST_F(PmFixture, EdgeToleranceBetweenExactAndFuzzy) {
+  litho::LithoOracle oracle = bench.make_oracle();
+  litho::LithoOracle exact_oracle = bench.make_oracle();
+  PmConfig e2;
+  e2.mode = MatchMode::kEdgeTolerance;
+  e2.edge_tol = 10;  // two quantization steps of the 5 nm grid
+  PmConfig exact_cfg;
+  exact_cfg.mode = MatchMode::kExact;
+  const PmResult re2 = run_pattern_matching(bench.clips, {}, oracle, e2);
+  const PmResult rex = run_pattern_matching(bench.clips, {}, exact_oracle, exact_cfg);
+  EXPECT_LE(re2.litho_count, rex.litho_count);
+  // Accuracy stays high: tolerance clusters are nearly exact.
+  std::size_t hits = 0, hs = 0;
+  for (std::size_t i = 0; i < bench.size(); ++i) {
+    hs += (bench.labels[i] == 1);
+    hits += (bench.labels[i] == 1 && re2.predicted[i] == 1);
+  }
+  EXPECT_GT(static_cast<double>(hits) / static_cast<double>(hs), 0.7);
+}
+
+TEST_F(PmFixture, SimilarityModeRequiresFeatures) {
+  litho::LithoOracle oracle = bench.make_oracle();
+  PmConfig cfg;
+  cfg.mode = MatchMode::kSimilarity;
+  EXPECT_THROW(run_pattern_matching(bench.clips, {}, oracle, cfg),
+               std::invalid_argument);
+}
+
+TEST(PmEdgeTest, EmptyInputYieldsEmptyResult) {
+  litho::LithoOracle oracle(32, litho::euv7_model());
+  PmConfig cfg;
+  const PmResult res = run_pattern_matching({}, {}, oracle, cfg);
+  EXPECT_TRUE(res.predicted.empty());
+  EXPECT_EQ(res.litho_count, 0u);
+}
+
+}  // namespace
+}  // namespace hsd::pm

@@ -1,0 +1,212 @@
+// Parameterized property suites over the extension modules: OPC safety,
+// chip extraction consistency, calibrator behaviour across regimes, PV-band
+// monotonicity, and detector persistence.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "core/calibrators.hpp"
+#include "core/detector.hpp"
+#include "data/pattern_generator.hpp"
+#include "layout/chip.hpp"
+#include "litho/pvband.hpp"
+#include "opc/rules.hpp"
+#include "stats/reliability.hpp"
+#include "stats/rng.hpp"
+
+namespace hsd {
+namespace {
+
+// ---------------------------------------------------------------------------
+// OPC safety: corrected geometry never violates the spacing rule, always
+// stays in the window, and only grows drawn area except where spacing repair
+// pulls edges back.
+class OpcSafetyProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OpcSafetyProperty, CorrectionRespectsRulesOnRandomClips) {
+  data::GeneratorConfig gen_cfg;
+  gen_cfg.risky_fraction = 0.5;
+  data::PatternGenerator gen(gen_cfg, stats::Rng(GetParam()));
+  opc::OpcRules rules;
+  for (int i = 0; i < 25; ++i) {
+    const layout::Clip clip = gen.next();
+    const opc::OpcResult res = opc::correct_clip(clip, rules);
+    for (const auto& r : res.corrected.shapes) {
+      EXPECT_TRUE(res.corrected.window.contains(r));
+      EXPECT_EQ(r.x0 % rules.snap, 0);
+      EXPECT_EQ(r.y1 % rules.snap, 0);
+    }
+    for (std::size_t a = 0; a < res.corrected.shapes.size(); ++a) {
+      for (std::size_t b = a + 1; b < res.corrected.shapes.size(); ++b) {
+        const auto& ra = res.corrected.shapes[a];
+        const auto& rb = res.corrected.shapes[b];
+        if (layout::intersects(ra, rb)) continue;
+        // Gaps narrower than min_space may only remain where they already
+        // existed and could not be fully repaired; they must never shrink.
+        const auto gap = layout::spacing(ra, rb);
+        if (gap < rules.min_space) {
+          EXPECT_GT(gap, 0);
+        }
+      }
+    }
+  }
+}
+
+TEST_P(OpcSafetyProperty, CorrectionIsDeterministic) {
+  data::GeneratorConfig gen_cfg;
+  data::PatternGenerator gen(gen_cfg, stats::Rng(GetParam() ^ 0xFEED));
+  const layout::Clip clip = gen.next();
+  const opc::OpcRules rules;
+  const auto a = opc::correct_clip(clip, rules);
+  const auto b = opc::correct_clip(clip, rules);
+  EXPECT_EQ(a.corrected.pattern_hash, b.corrected.pattern_hash);
+  EXPECT_EQ(a.widened_shapes, b.widened_shapes);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OpcSafetyProperty, ::testing::Values(1, 5, 9, 13));
+
+// ---------------------------------------------------------------------------
+// Chip extraction: total drawn area is preserved by non-overlapping cuts.
+class ChipExtractionProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ChipExtractionProperty, AreaPreservedByNonOverlappingCuts) {
+  data::GeneratorConfig gen_cfg;
+  data::PatternGenerator gen(gen_cfg, stats::Rng(GetParam()));
+  std::vector<layout::Clip> clips;
+  for (int i = 0; i < 9; ++i) {
+    layout::Clip c = gen.next();
+    c.chip_origin = {static_cast<layout::Coord>((i % 3) * gen_cfg.clip_side),
+                     static_cast<layout::Coord>((i / 3) * gen_cfg.clip_side)};
+    clips.push_back(std::move(c));
+  }
+  const layout::Chip chip = layout::assemble_chip(clips);
+
+  layout::ExtractionConfig cfg;
+  cfg.window_side = gen_cfg.clip_side;
+  cfg.stride = gen_cfg.clip_side;
+  const auto extracted = layout::extract_clips(chip, cfg);
+
+  // Union area per source clip == union area per extracted clip in total.
+  std::int64_t original_area = 0;
+  for (const auto& c : clips) original_area += layout::union_area(c.shapes);
+  std::int64_t extracted_area = 0;
+  for (const auto& c : extracted) extracted_area += layout::union_area(c.shapes);
+  EXPECT_EQ(original_area, extracted_area);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChipExtractionProperty,
+                         ::testing::Values(21, 22, 23, 24));
+
+// ---------------------------------------------------------------------------
+// Calibrators reduce held-out NLL across confidence-distortion regimes.
+class CalibratorProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(CalibratorProperty, ReduceNllUnderDistortion) {
+  const double amplify = GetParam();
+  stats::Rng rng(101);
+  const std::size_t n = 2500;
+  tensor::Tensor fit_logits({n, 2}), test_logits({n, 2});
+  std::vector<int> fit_labels(n), test_labels(n);
+  auto fill = [&](tensor::Tensor& logits, std::vector<int>& labels) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const double p = rng.uniform(0.05, 0.95);
+      logits[i * 2 + 0] = 0.0F;
+      logits[i * 2 + 1] = static_cast<float>(std::log(p / (1.0 - p)) * amplify);
+      labels[i] = rng.bernoulli(p) ? 1 : 0;
+    }
+  };
+  fill(fit_logits, fit_labels);
+  fill(test_logits, test_labels);
+
+  core::IdentityCalibrator identity;
+  const double base = stats::negative_log_likelihood(identity.transform(test_logits),
+                                                     test_labels);
+  for (auto& cal : core::all_calibrators()) {
+    if (cal->name() == "identity" || cal->name() == "histogram") continue;
+    cal->fit(fit_logits, fit_labels);
+    const double nll =
+        stats::negative_log_likelihood(cal->transform(test_logits), test_labels);
+    EXPECT_LE(nll, base + 0.01) << cal->name() << " amplify=" << amplify;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Distortions, CalibratorProperty,
+                         ::testing::Values(0.3, 0.7, 1.0, 2.0, 4.0));
+
+// ---------------------------------------------------------------------------
+// PV band grows with the corner set (more corners -> superset band).
+class PvBandProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(PvBandProperty, BandGrowsWithCornerSet) {
+  const layout::Coord width = static_cast<layout::Coord>(GetParam());
+  layout::Clip clip;
+  clip.window = layout::Rect{0, 0, 640, 640};
+  clip.core = layout::centered_core(clip.window, 0.5);
+  const layout::Coord y = static_cast<layout::Coord>(320 - width / 2);
+  clip.shapes.push_back(
+      layout::Rect{0, y, 640, static_cast<layout::Coord>(y + width)});
+  layout::finalize(clip);
+
+  litho::PvBandConfig small;
+  small.corners = {{1.0, 1.0}, {0.95, 1.0}};
+  litho::PvBandConfig large;
+  large.corners = {{1.0, 1.0}, {0.95, 1.0}, {1.05, 1.0}, {0.95, 1.15}};
+  const auto a = litho::pv_band_analysis(clip, 64, litho::duv28_model(), small);
+  const auto b = litho::pv_band_analysis(clip, 64, litho::duv28_model(), large);
+  EXPECT_GE(b.band_area_px, a.band_area_px);
+  EXPECT_GE(b.worst_case_hotspot, a.worst_case_hotspot);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, PvBandProperty, ::testing::Values(30, 40, 60, 100));
+
+// ---------------------------------------------------------------------------
+// Lithography is orientation-covariant: a rotated/mirrored clip has the
+// same hotspot label (the Gaussian optics are isotropic), which is what
+// makes orientation augmentation sound.
+class LithoCovarianceProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LithoCovarianceProperty, LabelInvariantUnderOrientation) {
+  data::GeneratorConfig gen_cfg;
+  gen_cfg.risky_fraction = 0.5;
+  data::PatternGenerator gen(gen_cfg, stats::Rng(GetParam()));
+  litho::LithoOracle oracle(64, litho::duv28_model());
+  for (int i = 0; i < 15; ++i) {
+    const layout::Clip c = gen.next();
+    const bool label = oracle.label(c);
+    EXPECT_EQ(oracle.label(layout::rotated90(c)), label) << "rot90, clip " << i;
+    EXPECT_EQ(oracle.label(layout::mirrored_x(c)), label) << "mirror_x, clip " << i;
+    EXPECT_EQ(oracle.label(layout::mirrored_y(c)), label) << "mirror_y, clip " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LithoCovarianceProperty, ::testing::Values(3, 7, 11));
+
+// ---------------------------------------------------------------------------
+// Detector persistence: probabilities identical after save/load.
+TEST(DetectorPersistenceTest, SaveLoadRoundTrip) {
+  stats::Rng rng(31);
+  core::DetectorConfig cfg;
+  cfg.input_side = 8;
+  cfg.initial_epochs = 5;
+  core::HotspotDetector a(cfg, rng.split());
+  core::HotspotDetector b(cfg, rng.split());
+
+  const tensor::Tensor x = tensor::Tensor::rand_uniform({32, 1, 8, 8}, rng, 0.0F, 1.0F);
+  std::vector<int> y(32);
+  for (auto& v : y) v = rng.bernoulli(0.5) ? 1 : 0;
+  a.train_initial(x, y);
+
+  std::stringstream buf;
+  a.save(buf);
+  b.load(buf);
+  const auto pa = a.probabilities(x);
+  const auto pb = b.probabilities(x);
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_DOUBLE_EQ(pa[i][1], pb[i][1]);
+  }
+}
+
+}  // namespace
+}  // namespace hsd

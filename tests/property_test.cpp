@@ -1,0 +1,216 @@
+// Parameterized property suites over the paper's core invariants.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <set>
+
+#include "core/diversity.hpp"
+#include "core/entropy_sampling.hpp"
+#include "core/uncertainty.hpp"
+#include "litho/oracle.hpp"
+#include "qp/qp.hpp"
+#include "stats/entropy.hpp"
+#include "stats/normalize.hpp"
+#include "stats/rng.hpp"
+
+namespace hsd {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Entropy weighting invariants over random score columns.
+class EntropyWeightProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EntropyWeightProperty, WeightsAreConvexCombination) {
+  stats::Rng rng(GetParam());
+  const std::size_t n = 16 + static_cast<std::size_t>(rng.randint(0, 200));
+  std::vector<double> u(n), d(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    u[i] = rng.uniform();
+    d[i] = rng.uniform();
+  }
+  stats::minmax_normalize(u);
+  stats::minmax_normalize(d);
+  const auto w = stats::entropy_weighting(u, d);
+  EXPECT_GE(w.w_uncertainty, -1e-12);
+  EXPECT_GE(w.w_diversity, -1e-12);
+  EXPECT_NEAR(w.w_uncertainty + w.w_diversity, 1.0, 1e-9);
+  EXPECT_GE(w.e_uncertainty, 0.0);
+  EXPECT_LE(w.e_uncertainty, 1.0 + 1e-12);
+}
+
+TEST_P(EntropyWeightProperty, LowerEntropyIndicatorNeverGetsLessWeight) {
+  stats::Rng rng(GetParam() ^ 0xABCD);
+  const std::size_t n = 32;
+  std::vector<double> u(n), d(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    u[i] = rng.uniform();
+    d[i] = rng.uniform();
+  }
+  const auto w = stats::entropy_weighting(u, d);
+  if (w.e_uncertainty < w.e_diversity) {
+    EXPECT_GE(w.w_uncertainty, w.w_diversity);
+  } else if (w.e_diversity < w.e_uncertainty) {
+    EXPECT_GE(w.w_diversity, w.w_uncertainty);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EntropyWeightProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+// ---------------------------------------------------------------------------
+// Hotspot-aware uncertainty score shape across boundary values h.
+class UncertaintyProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(UncertaintyProperty, ScoreIsBoundedAndPeaksJustAboveH) {
+  const double h = GetParam();
+  double best_p = 0.0, best_score = -1.0;
+  for (double p = 0.0; p <= 1.0; p += 0.001) {
+    const double s = core::hotspot_aware_uncertainty(p, h);
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0 + h + 1e-12);
+    if (s > best_score) {
+      best_score = s;
+      best_p = p;
+    }
+  }
+  // The maximizer sits at the decision boundary (just above h).
+  EXPECT_NEAR(best_p, h, 0.01);
+  EXPECT_NEAR(best_score, (1.0 - h) + h, 0.02);
+}
+
+TEST_P(UncertaintyProperty, HotspotLeaningAlwaysOutscoresMirroredNonHotspot) {
+  const double h = GetParam();
+  // For p above h, compare with the mirrored confident non-hotspot p' < h
+  // at the same BvSB uncertainty: the hotspot side must score higher.
+  for (double p = h + 0.01; p <= 0.99; p += 0.01) {
+    const double mirrored = 1.0 - p;
+    if (mirrored >= h) continue;
+    EXPECT_GT(core::hotspot_aware_uncertainty(p, h),
+              core::hotspot_aware_uncertainty(mirrored, h) - 1e-12)
+        << "p=" << p << " h=" << h;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Boundaries, UncertaintyProperty,
+                         ::testing::Values(0.2, 0.3, 0.4, 0.5, 0.6));
+
+// ---------------------------------------------------------------------------
+// Capped-simplex projection properties across random instances.
+class ProjectionProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ProjectionProperty, FeasibleAndIdempotent) {
+  stats::Rng rng(GetParam());
+  const std::size_t n = 5 + static_cast<std::size_t>(rng.randint(0, 40));
+  std::vector<double> y(n);
+  for (auto& v : y) v = rng.normal(0.0, 2.0);
+  const double k = rng.uniform(0.0, static_cast<double>(n));
+  const auto x = qp::project_capped_simplex(y, k);
+  const double sum = std::accumulate(x.begin(), x.end(), 0.0);
+  EXPECT_NEAR(sum, k, 1e-5);
+  for (double v : x) {
+    EXPECT_GE(v, -1e-9);
+    EXPECT_LE(v, 1.0 + 1e-9);
+  }
+  // Projecting a feasible point is (numerically) the identity.
+  const auto x2 = qp::project_capped_simplex(x, k);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x2[i], x[i], 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProjectionProperty,
+                         ::testing::Values(7, 11, 19, 23, 31, 43, 59, 71));
+
+// ---------------------------------------------------------------------------
+// Lithography oracle monotonicity: widening a single line can only help.
+class LithoWidthProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(LithoWidthProperty, WiderLinesNeverRegress) {
+  const int start_width = GetParam();
+  litho::LithoOracle oracle(64, litho::duv28_model());
+  bool printed_ok = false;
+  for (layout::Coord w = start_width; w <= 120; w += 10) {
+    layout::Clip c;
+    c.window = layout::Rect{0, 0, 640, 640};
+    c.core = layout::centered_core(c.window, 0.5);
+    const layout::Coord y = static_cast<layout::Coord>(320 - w / 2);
+    c.shapes.push_back(layout::Rect{0, y, 640, static_cast<layout::Coord>(y + w)});
+    layout::finalize(c);
+    const bool hs = oracle.label(c);
+    if (printed_ok) {
+      EXPECT_FALSE(hs) << "width " << w << " pinched after a narrower width printed";
+    }
+    if (!hs) printed_ok = true;
+  }
+  EXPECT_TRUE(printed_ok);
+}
+
+INSTANTIATE_TEST_SUITE_P(StartWidths, LithoWidthProperty,
+                         ::testing::Values(20, 30, 40));
+
+// ---------------------------------------------------------------------------
+// Batch selection invariants across strategies and batch sizes.
+struct BatchCase {
+  core::SamplerKind kind;
+  std::size_t k;
+};
+
+class BatchProperty : public ::testing::TestWithParam<BatchCase> {};
+
+TEST_P(BatchProperty, SelectionIsDistinctInRangeAndDeterministic) {
+  const BatchCase& bc = GetParam();
+  stats::Rng data_rng(101);
+  const std::size_t n = 40;
+  std::vector<std::vector<double>> probs, feats;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double p1 = data_rng.uniform(0.01, 0.99);
+    probs.push_back({1.0 - p1, p1});
+    feats.push_back({data_rng.normal(), data_rng.normal(), data_rng.normal()});
+  }
+  core::SamplerConfig cfg;
+  cfg.kind = bc.kind;
+  stats::Rng r1(55), r2(55);
+  const auto a = core::select_batch(probs, feats, bc.k, cfg, r1);
+  const auto b = core::select_batch(probs, feats, bc.k, cfg, r2);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.size(), std::min(bc.k, n));
+  std::set<std::size_t> s(a.begin(), a.end());
+  EXPECT_EQ(s.size(), a.size());
+  for (std::size_t idx : a) EXPECT_LT(idx, n);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KindsAndSizes, BatchProperty,
+    ::testing::Values(BatchCase{core::SamplerKind::kEntropy, 1},
+                      BatchCase{core::SamplerKind::kEntropy, 8},
+                      BatchCase{core::SamplerKind::kEntropy, 40},
+                      BatchCase{core::SamplerKind::kTsOnly, 8},
+                      BatchCase{core::SamplerKind::kQp, 8},
+                      BatchCase{core::SamplerKind::kRandom, 8}));
+
+// ---------------------------------------------------------------------------
+// Diversity score invariants over random feature sets.
+class DiversityProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DiversityProperty, ScoresBoundedAndDuplicateAware) {
+  stats::Rng rng(GetParam());
+  const std::size_t n = 10 + static_cast<std::size_t>(rng.randint(0, 30));
+  std::vector<std::vector<double>> f;
+  for (std::size_t i = 0; i < n; ++i) {
+    f.push_back({rng.normal(), rng.normal(), rng.normal(), rng.normal()});
+  }
+  f.push_back(f[0]);  // plant a duplicate
+  const auto d = core::diversity_scores(f);
+  for (double v : d) {
+    EXPECT_GE(v, -1e-9);
+    EXPECT_LE(v, 2.0 + 1e-9);
+  }
+  EXPECT_NEAR(d[0], 0.0, 1e-9);
+  EXPECT_NEAR(d.back(), 0.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DiversityProperty,
+                         ::testing::Values(3, 9, 27, 81, 243));
+
+}  // namespace
+}  // namespace hsd

@@ -1,0 +1,164 @@
+#include "qp/qp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "stats/rng.hpp"
+
+namespace hsd::qp {
+namespace {
+
+double sum(const std::vector<double>& v) {
+  return std::accumulate(v.begin(), v.end(), 0.0);
+}
+
+TEST(ProjectionTest, FeasiblePointIsFixed) {
+  const std::vector<double> y{0.5, 0.5, 1.0};
+  const auto x = project_capped_simplex(y, 2.0);
+  EXPECT_NEAR(x[0], 0.5, 1e-6);
+  EXPECT_NEAR(x[1], 0.5, 1e-6);
+  EXPECT_NEAR(x[2], 1.0, 1e-6);
+}
+
+TEST(ProjectionTest, OutputIsFeasible) {
+  hsd::stats::Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> y(10);
+    for (auto& v : y) v = rng.normal(0.0, 3.0);
+    const double k = 4.0;
+    const auto x = project_capped_simplex(y, k);
+    EXPECT_NEAR(sum(x), k, 1e-6);
+    for (double v : x) {
+      EXPECT_GE(v, -1e-12);
+      EXPECT_LE(v, 1.0 + 1e-12);
+    }
+  }
+}
+
+TEST(ProjectionTest, PreservesOrder) {
+  const std::vector<double> y{3.0, 1.0, 2.0};
+  const auto x = project_capped_simplex(y, 1.5);
+  EXPECT_GE(x[0], x[2]);
+  EXPECT_GE(x[2], x[1]);
+}
+
+TEST(ProjectionTest, ExtremeBudgets) {
+  const std::vector<double> y{0.2, 0.8, 0.4};
+  const auto zero = project_capped_simplex(y, 0.0);
+  EXPECT_NEAR(sum(zero), 0.0, 1e-9);
+  const auto full = project_capped_simplex(y, 3.0);
+  EXPECT_NEAR(sum(full), 3.0, 1e-9);
+  for (double v : full) EXPECT_NEAR(v, 1.0, 1e-9);
+  EXPECT_THROW(project_capped_simplex(y, 4.0), std::invalid_argument);
+  EXPECT_THROW(project_capped_simplex(y, -1.0), std::invalid_argument);
+}
+
+TEST(QpSolveTest, IdentityHessianSpreadsBudget) {
+  // min 0.5 x^T I x, sum x = k: optimum is uniform x = k/n.
+  const std::size_t n = 6;
+  std::vector<double> s(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) s[i * n + i] = 1.0;
+  const auto res = solve_box_budget_qp(s, n, {}, 3.0);
+  EXPECT_TRUE(res.converged);
+  for (double v : res.x) EXPECT_NEAR(v, 0.5, 1e-4);
+  EXPECT_NEAR(res.objective, 0.5 * 6 * 0.25, 1e-4);
+  EXPECT_LT(res.kkt_residual, 1e-4);
+}
+
+TEST(QpSolveTest, LinearTermSteersSelection) {
+  // Identity quadratic + strong negative cost on entries 0 and 1: they
+  // should absorb the budget.
+  const std::size_t n = 4;
+  std::vector<double> s(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) s[i * n + i] = 0.01;
+  std::vector<double> c{-10.0, -10.0, 0.0, 0.0};
+  const auto res = solve_box_budget_qp(s, n, c, 2.0);
+  EXPECT_NEAR(res.x[0], 1.0, 1e-3);
+  EXPECT_NEAR(res.x[1], 1.0, 1e-3);
+  EXPECT_NEAR(res.x[2], 0.0, 1e-3);
+  EXPECT_NEAR(res.x[3], 0.0, 1e-3);
+}
+
+TEST(QpSolveTest, SimilarityMatrixAvoidsRedundantPair) {
+  // Items 0 and 1 are near-duplicates (similarity ~1); item 2 is distinct.
+  // Budget 2 should choose one of {0,1} plus 2 rather than both duplicates.
+  const std::size_t n = 3;
+  std::vector<double> s{1.0, 0.98, 0.05,   //
+                        0.98, 1.0, 0.05,   //
+                        0.05, 0.05, 1.0};
+  const auto res = solve_box_budget_qp(s, n, {}, 2.0);
+  const auto picked = top_k_indices(res.x, 2);
+  // Index 2 must be selected.
+  EXPECT_TRUE(picked[0] == 2 || picked[1] == 2);
+  // x_2 should dominate either duplicate's share.
+  EXPECT_GT(res.x[2], res.x[0] - 1e-6);
+}
+
+TEST(QpSolveTest, SolutionIsFeasible) {
+  hsd::stats::Rng rng(7);
+  const std::size_t n = 12;
+  // Random PSD-ish symmetric matrix: A^T A scaled.
+  std::vector<double> a(n * n);
+  for (auto& v : a) v = rng.normal();
+  std::vector<double> s(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::size_t p = 0; p < n; ++p) acc += a[p * n + i] * a[p * n + j];
+      s[i * n + j] = acc / n;
+    }
+  }
+  const auto res = solve_box_budget_qp(s, n, {}, 5.0);
+  EXPECT_NEAR(sum(res.x), 5.0, 1e-5);
+  for (double v : res.x) {
+    EXPECT_GE(v, -1e-9);
+    EXPECT_LE(v, 1.0 + 1e-9);
+  }
+  EXPECT_LT(res.kkt_residual, 1e-3);
+}
+
+TEST(QpSolveTest, EmptyAndInvalidInputs) {
+  const auto res = solve_box_budget_qp({}, 0, {}, 0.0);
+  EXPECT_TRUE(res.x.empty());
+  EXPECT_THROW(solve_box_budget_qp({1.0, 2.0}, 2, {}, 1.0), std::invalid_argument);
+  std::vector<double> s(4, 0.0);
+  EXPECT_THROW(solve_box_budget_qp(s, 2, {1.0}, 1.0), std::invalid_argument);
+}
+
+TEST(TopKTest, PicksLargest) {
+  const auto idx = top_k_indices({0.1, 0.9, 0.5, 0.7}, 2);
+  ASSERT_EQ(idx.size(), 2u);
+  EXPECT_EQ(idx[0], 1u);
+  EXPECT_EQ(idx[1], 3u);
+  EXPECT_THROW(top_k_indices({0.1}, 2), std::invalid_argument);
+}
+
+TEST(QpSolveTest, IterationBudgetIsRespected) {
+  const std::size_t n = 8;
+  std::vector<double> s(n * n, 0.1);
+  for (std::size_t i = 0; i < n; ++i) s[i * n + i] = 1.0;
+  QpConfig cfg;
+  cfg.max_iters = 3;
+  cfg.tol = 0.0;  // never converges by tolerance
+  const auto res = solve_box_budget_qp(s, n, {}, 2.0, cfg);
+  EXPECT_EQ(res.iterations, 3u);
+  EXPECT_FALSE(res.converged);
+  // Even unconverged iterates are feasible (projection every step).
+  EXPECT_NEAR(sum(res.x), 2.0, 1e-5);
+}
+
+TEST(QpSolveTest, ExplicitStepSizeIsUsed) {
+  const std::size_t n = 4;
+  std::vector<double> s(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) s[i * n + i] = 1.0;
+  QpConfig cfg;
+  cfg.step = 0.5;
+  const auto res = solve_box_budget_qp(s, n, {}, 2.0, cfg);
+  EXPECT_TRUE(res.converged);
+  for (double v : res.x) EXPECT_NEAR(v, 0.5, 1e-4);
+}
+
+}  // namespace
+}  // namespace hsd::qp

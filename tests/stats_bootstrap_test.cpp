@@ -1,0 +1,87 @@
+#include "stats/bootstrap.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hsd::stats {
+namespace {
+
+TEST(BootstrapTest, PointIsSampleMean) {
+  Rng rng(1);
+  const auto ci = bootstrap_mean_ci({1.0, 2.0, 3.0, 4.0}, rng);
+  EXPECT_DOUBLE_EQ(ci.point, 2.5);
+}
+
+TEST(BootstrapTest, IntervalContainsPoint) {
+  Rng rng(3);
+  std::vector<double> sample;
+  for (int i = 0; i < 50; ++i) sample.push_back(rng.normal(10.0, 2.0));
+  const auto ci = bootstrap_mean_ci(sample, rng);
+  EXPECT_LE(ci.lo, ci.point);
+  EXPECT_GE(ci.hi, ci.point);
+}
+
+TEST(BootstrapTest, IntervalCoversTrueMeanUsually) {
+  // 95% CI should cover the true mean in the vast majority of trials.
+  Rng rng(5);
+  int covered = 0;
+  const int trials = 40;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<double> sample;
+    for (int i = 0; i < 30; ++i) sample.push_back(rng.normal(7.0, 1.0));
+    const auto ci = bootstrap_mean_ci(sample, rng, 0.95, 500);
+    covered += (ci.lo <= 7.0 && 7.0 <= ci.hi);
+  }
+  EXPECT_GE(covered, trials * 8 / 10);
+}
+
+TEST(BootstrapTest, WiderConfidenceGivesWiderInterval) {
+  Rng r1(7), r2(7);
+  std::vector<double> sample;
+  Rng data(9);
+  for (int i = 0; i < 40; ++i) sample.push_back(data.normal(0.0, 3.0));
+  const auto narrow = bootstrap_mean_ci(sample, r1, 0.80);
+  const auto wide = bootstrap_mean_ci(sample, r2, 0.99);
+  EXPECT_GT(wide.hi - wide.lo, narrow.hi - narrow.lo);
+}
+
+TEST(BootstrapTest, MoreDataTightensInterval) {
+  Rng data(11);
+  std::vector<double> small, large;
+  for (int i = 0; i < 10; ++i) small.push_back(data.normal(0.0, 1.0));
+  for (int i = 0; i < 400; ++i) large.push_back(data.normal(0.0, 1.0));
+  Rng r1(13), r2(13);
+  const auto ci_small = bootstrap_mean_ci(small, r1);
+  const auto ci_large = bootstrap_mean_ci(large, r2);
+  EXPECT_LT(ci_large.hi - ci_large.lo, ci_small.hi - ci_small.lo);
+}
+
+TEST(BootstrapTest, DegenerateInputs) {
+  Rng rng(15);
+  const auto empty = bootstrap_mean_ci({}, rng);
+  EXPECT_DOUBLE_EQ(empty.point, 0.0);
+  const auto single = bootstrap_mean_ci({5.0}, rng);
+  EXPECT_DOUBLE_EQ(single.lo, 5.0);
+  EXPECT_DOUBLE_EQ(single.hi, 5.0);
+  const auto constant = bootstrap_mean_ci({2.0, 2.0, 2.0}, rng);
+  EXPECT_DOUBLE_EQ(constant.lo, 2.0);
+  EXPECT_DOUBLE_EQ(constant.hi, 2.0);
+}
+
+TEST(BootstrapTest, InvalidArgumentsThrow) {
+  Rng rng(17);
+  EXPECT_THROW(bootstrap_mean_ci({1.0}, rng, 0.0), std::invalid_argument);
+  EXPECT_THROW(bootstrap_mean_ci({1.0}, rng, 1.0), std::invalid_argument);
+  EXPECT_THROW(bootstrap_mean_ci({1.0}, rng, 0.95, 0), std::invalid_argument);
+}
+
+TEST(BootstrapTest, DeterministicUnderSeed) {
+  std::vector<double> sample{1.0, 4.0, 2.0, 8.0, 5.0};
+  Rng r1(19), r2(19);
+  const auto a = bootstrap_mean_ci(sample, r1);
+  const auto b = bootstrap_mean_ci(sample, r2);
+  EXPECT_DOUBLE_EQ(a.lo, b.lo);
+  EXPECT_DOUBLE_EQ(a.hi, b.hi);
+}
+
+}  // namespace
+}  // namespace hsd::stats

@@ -1,0 +1,109 @@
+#include "stats/entropy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace hsd::stats {
+namespace {
+
+TEST(ShannonEntropyTest, UniformIsLogN) {
+  const std::vector<double> p{0.25, 0.25, 0.25, 0.25};
+  EXPECT_NEAR(shannon_entropy(p), std::log(4.0), 1e-12);
+}
+
+TEST(ShannonEntropyTest, DegenerateIsZero) {
+  EXPECT_NEAR(shannon_entropy({1.0, 0.0, 0.0}), 0.0, 1e-12);
+}
+
+TEST(ShannonEntropyTest, NormalizesInput) {
+  // Unnormalized input should behave like its normalization.
+  EXPECT_NEAR(shannon_entropy({2.0, 2.0}), std::log(2.0), 1e-12);
+}
+
+TEST(ShannonEntropyTest, EmptyOrZeroIsZero) {
+  EXPECT_EQ(shannon_entropy({}), 0.0);
+  EXPECT_EQ(shannon_entropy({0.0, 0.0}), 0.0);
+}
+
+TEST(ShannonEntropyTest, ThrowsOnNegative) {
+  EXPECT_THROW(shannon_entropy({0.5, -0.1}), std::invalid_argument);
+}
+
+TEST(IndicatorEntropyTest, UniformColumnHasEntropyOne) {
+  const std::vector<double> scores(50, 0.7);
+  EXPECT_NEAR(indicator_entropy(scores), 1.0, 1e-12);
+}
+
+TEST(IndicatorEntropyTest, ConcentratedColumnHasLowEntropy) {
+  std::vector<double> scores(50, 0.0);
+  scores[3] = 1.0;
+  EXPECT_NEAR(indicator_entropy(scores), 0.0, 1e-12);
+}
+
+TEST(IndicatorEntropyTest, BoundedInUnitInterval) {
+  const std::vector<double> scores{0.1, 0.9, 0.3, 0.7, 0.2, 0.0, 1.0};
+  const double e = indicator_entropy(scores);
+  EXPECT_GE(e, 0.0);
+  EXPECT_LE(e, 1.0);
+}
+
+TEST(IndicatorEntropyTest, TrivialColumnsDefined) {
+  EXPECT_EQ(indicator_entropy({}), 1.0);
+  EXPECT_EQ(indicator_entropy({0.4}), 1.0);
+  EXPECT_EQ(indicator_entropy({0.0, 0.0, 0.0}), 1.0);
+}
+
+TEST(EntropyWeightingTest, WeightsSumToOne) {
+  const std::vector<double> u{0.1, 0.5, 0.9, 0.2};
+  const std::vector<double> d{0.3, 0.3, 0.4, 0.9};
+  const EntropyWeights w = entropy_weighting(u, d);
+  EXPECT_NEAR(w.w_uncertainty + w.w_diversity, 1.0, 1e-12);
+  EXPECT_GE(w.w_uncertainty, 0.0);
+  EXPECT_GE(w.w_diversity, 0.0);
+}
+
+TEST(EntropyWeightingTest, UniformIndicatorGetsZeroWeight) {
+  // Paper Section III-A3: an evenly distributed indicator carries no
+  // information, so its weight must vanish.
+  const std::vector<double> uniform(32, 0.5);
+  std::vector<double> informative(32, 0.0);
+  informative[0] = 1.0;
+  informative[1] = 0.8;
+  const EntropyWeights w = entropy_weighting(uniform, informative);
+  EXPECT_NEAR(w.w_uncertainty, 0.0, 1e-9);
+  EXPECT_NEAR(w.w_diversity, 1.0, 1e-9);
+}
+
+TEST(EntropyWeightingTest, SymmetricIndicatorsGetEqualWeights) {
+  const std::vector<double> u{0.9, 0.1, 0.5, 0.2};
+  const std::vector<double> d{0.2, 0.5, 0.1, 0.9};  // same multiset
+  const EntropyWeights w = entropy_weighting(u, d);
+  EXPECT_NEAR(w.w_uncertainty, w.w_diversity, 1e-12);
+}
+
+TEST(EntropyWeightingTest, BothUniformFallsBackToHalf) {
+  const std::vector<double> u(8, 1.0);
+  const std::vector<double> d(8, 0.2);
+  const EntropyWeights w = entropy_weighting(u, d);
+  EXPECT_NEAR(w.w_uncertainty, 0.5, 1e-12);
+  EXPECT_NEAR(w.w_diversity, 0.5, 1e-12);
+}
+
+TEST(EntropyWeightingTest, MoreDispersedIndicatorGetsMoreWeight) {
+  // u concentrated on few samples (low entropy, informative) vs d nearly
+  // uniform (high entropy).
+  std::vector<double> u(32, 0.01);
+  u[0] = 1.0;
+  std::vector<double> d(32, 0.5);
+  d[0] = 0.55;
+  const EntropyWeights w = entropy_weighting(u, d);
+  EXPECT_GT(w.w_uncertainty, w.w_diversity);
+}
+
+TEST(EntropyWeightingTest, ThrowsOnSizeMismatch) {
+  EXPECT_THROW(entropy_weighting({0.1, 0.2}, {0.1}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hsd::stats

@@ -1,0 +1,113 @@
+#include "stats/kmeans.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace hsd::stats {
+namespace {
+
+std::vector<std::vector<double>> three_blobs(Rng& rng, int per_blob = 40) {
+  const std::vector<std::vector<double>> centers{{0.0, 0.0}, {10.0, 0.0}, {0.0, 10.0}};
+  std::vector<std::vector<double>> data;
+  for (const auto& c : centers) {
+    for (int i = 0; i < per_blob; ++i) {
+      data.push_back({c[0] + rng.normal(0.0, 0.3), c[1] + rng.normal(0.0, 0.3)});
+    }
+  }
+  return data;
+}
+
+TEST(SquaredDistanceTest, KnownValue) {
+  EXPECT_DOUBLE_EQ(squared_distance({0.0, 0.0}, {3.0, 4.0}), 25.0);
+}
+
+TEST(SquaredDistanceTest, ThrowsOnMismatch) {
+  EXPECT_THROW(squared_distance({1.0}, {1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(KMeansppTest, ReturnsKDistinctSeeds) {
+  Rng rng(3);
+  const auto data = three_blobs(rng);
+  const auto seeds = kmeanspp_seed(data, 3, rng);
+  EXPECT_EQ(seeds.size(), 3u);
+  std::set<std::size_t> s(seeds.begin(), seeds.end());
+  EXPECT_EQ(s.size(), 3u);
+}
+
+TEST(KMeansppTest, SeedsSpreadAcrossBlobs) {
+  Rng rng(7);
+  const auto data = three_blobs(rng);
+  const auto seeds = kmeanspp_seed(data, 3, rng);
+  // With well-separated blobs, D^2 seeding lands one seed per blob
+  // (blob id = index / 40).
+  std::set<std::size_t> blobs;
+  for (std::size_t s : seeds) blobs.insert(s / 40);
+  EXPECT_EQ(blobs.size(), 3u);
+}
+
+TEST(KMeansppTest, ThrowsOnBadK) {
+  Rng rng(1);
+  const std::vector<std::vector<double>> data{{0.0}, {1.0}};
+  EXPECT_THROW(kmeanspp_seed(data, 0, rng), std::invalid_argument);
+  EXPECT_THROW(kmeanspp_seed(data, 3, rng), std::invalid_argument);
+}
+
+TEST(KMeansTest, SeparatesWellSeparatedBlobs) {
+  Rng rng(11);
+  const auto data = three_blobs(rng);
+  const auto res = kmeans(data, 3, rng);
+  // All members of a blob share a cluster, and the three blobs differ.
+  std::set<std::size_t> cluster_ids;
+  for (int b = 0; b < 3; ++b) {
+    const std::size_t c0 = res.assignment[static_cast<std::size_t>(b) * 40];
+    cluster_ids.insert(c0);
+    for (int i = 0; i < 40; ++i) {
+      EXPECT_EQ(res.assignment[static_cast<std::size_t>(b) * 40 + i], c0);
+    }
+  }
+  EXPECT_EQ(cluster_ids.size(), 3u);
+}
+
+TEST(KMeansTest, InertiaIsSmallForTightBlobs) {
+  Rng rng(13);
+  const auto data = three_blobs(rng);
+  const auto res = kmeans(data, 3, rng);
+  // Variance 0.09 per axis, 120 points: expected inertia around 2*0.09*120.
+  EXPECT_LT(res.inertia, 50.0);
+}
+
+TEST(KMeansTest, SingleClusterCentroidIsMean) {
+  Rng rng(17);
+  const std::vector<std::vector<double>> data{{0.0, 0.0}, {2.0, 0.0}, {0.0, 2.0}, {2.0, 2.0}};
+  const auto res = kmeans(data, 1, rng);
+  EXPECT_NEAR(res.centroids[0][0], 1.0, 1e-12);
+  EXPECT_NEAR(res.centroids[0][1], 1.0, 1e-12);
+}
+
+TEST(KMeansTest, KEqualsNMakesSingletonClusters) {
+  Rng rng(19);
+  const std::vector<std::vector<double>> data{{0.0}, {5.0}, {10.0}};
+  const auto res = kmeans(data, 3, rng);
+  std::set<std::size_t> ids(res.assignment.begin(), res.assignment.end());
+  EXPECT_EQ(ids.size(), 3u);
+  EXPECT_NEAR(res.inertia, 0.0, 1e-12);
+}
+
+TEST(KMeansTest, ThrowsOnEmptyData) {
+  Rng rng(1);
+  EXPECT_THROW(kmeans({}, 1, rng), std::invalid_argument);
+}
+
+TEST(KMeansTest, DeterministicUnderSeed) {
+  Rng r1(23), r2(23);
+  const auto d1 = three_blobs(r1);
+  const auto d2 = three_blobs(r2);
+  const auto a = kmeans(d1, 3, r1);
+  const auto b = kmeans(d2, 3, r2);
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_DOUBLE_EQ(a.inertia, b.inertia);
+}
+
+}  // namespace
+}  // namespace hsd::stats

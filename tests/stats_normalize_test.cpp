@@ -1,0 +1,92 @@
+#include "stats/normalize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace hsd::stats {
+namespace {
+
+TEST(MinMaxTest, MapsToUnitInterval) {
+  std::vector<double> v{3.0, 7.0, 5.0, 11.0};
+  minmax_normalize(v);
+  EXPECT_DOUBLE_EQ(v[0], 0.0);
+  EXPECT_DOUBLE_EQ(v[3], 1.0);
+  EXPECT_NEAR(v[1], 0.5, 1e-12);
+  EXPECT_NEAR(v[2], 0.25, 1e-12);
+}
+
+TEST(MinMaxTest, ConstantColumnBecomesZero) {
+  std::vector<double> v{4.0, 4.0, 4.0};
+  minmax_normalize(v);
+  for (double x : v) EXPECT_DOUBLE_EQ(x, 0.0);
+}
+
+TEST(MinMaxTest, EmptyIsNoop) {
+  std::vector<double> v;
+  minmax_normalize(v);
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(MinMaxTest, PreservesOrder) {
+  std::vector<double> v{-2.0, 0.0, 1.5, 9.0};
+  const auto out = minmax_normalized(v);
+  for (std::size_t i = 1; i < out.size(); ++i) EXPECT_LT(out[i - 1], out[i]);
+}
+
+TEST(MinMaxTest, HandlesNegativeRanges) {
+  std::vector<double> v{-10.0, -5.0, 0.0};
+  minmax_normalize(v);
+  EXPECT_DOUBLE_EQ(v[0], 0.0);
+  EXPECT_DOUBLE_EQ(v[1], 0.5);
+  EXPECT_DOUBLE_EQ(v[2], 1.0);
+}
+
+TEST(L2Test, NormalizesToUnitNorm) {
+  std::vector<double> v{3.0, 4.0};
+  l2_normalize(v);
+  EXPECT_NEAR(l2_norm(v), 1.0, 1e-12);
+  EXPECT_NEAR(v[0], 0.6, 1e-12);
+  EXPECT_NEAR(v[1], 0.8, 1e-12);
+}
+
+TEST(L2Test, ZeroVectorUnchanged) {
+  std::vector<double> v{0.0, 0.0, 0.0};
+  l2_normalize(v);
+  for (double x : v) EXPECT_DOUBLE_EQ(x, 0.0);
+}
+
+TEST(L2Test, NormOfKnownVector) {
+  EXPECT_NEAR(l2_norm({1.0, 2.0, 2.0}), 3.0, 1e-12);
+}
+
+TEST(DotTest, KnownValue) {
+  EXPECT_DOUBLE_EQ(dot({1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}), 32.0);
+}
+
+TEST(DotTest, ThrowsOnMismatch) {
+  EXPECT_THROW(dot({1.0}, {1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(ZScoreTest, MeanZeroVarOne) {
+  std::vector<double> v{1.0, 2.0, 3.0, 4.0, 5.0};
+  zscore_normalize(v);
+  double mean = 0.0;
+  for (double x : v) mean += x;
+  mean /= static_cast<double>(v.size());
+  EXPECT_NEAR(mean, 0.0, 1e-12);
+  double var = 0.0;
+  for (double x : v) var += x * x;
+  var /= static_cast<double>(v.size());
+  EXPECT_NEAR(var, 1.0, 1e-12);
+}
+
+TEST(ZScoreTest, ConstantColumnBecomesZero) {
+  std::vector<double> v{2.0, 2.0};
+  zscore_normalize(v);
+  EXPECT_DOUBLE_EQ(v[0], 0.0);
+  EXPECT_DOUBLE_EQ(v[1], 0.0);
+}
+
+}  // namespace
+}  // namespace hsd::stats

@@ -1,0 +1,122 @@
+#include "stats/pca.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/rng.hpp"
+
+namespace hsd::stats {
+namespace {
+
+TEST(SymmetricEigenTest, DiagonalMatrix) {
+  // diag(3, 1) -> eigenvalues {3, 1} with axis-aligned eigenvectors.
+  std::vector<double> a{3.0, 0.0, 0.0, 1.0};
+  std::vector<double> values;
+  std::vector<std::vector<double>> vectors;
+  symmetric_eigen(a, 2, values, vectors);
+  EXPECT_NEAR(values[0], 3.0, 1e-10);
+  EXPECT_NEAR(values[1], 1.0, 1e-10);
+  EXPECT_NEAR(std::abs(vectors[0][0]), 1.0, 1e-10);
+  EXPECT_NEAR(std::abs(vectors[1][1]), 1.0, 1e-10);
+}
+
+TEST(SymmetricEigenTest, KnownTwoByTwo) {
+  // [[2,1],[1,2]] has eigenvalues 3 and 1.
+  std::vector<double> a{2.0, 1.0, 1.0, 2.0};
+  std::vector<double> values;
+  std::vector<std::vector<double>> vectors;
+  symmetric_eigen(a, 2, values, vectors);
+  EXPECT_NEAR(values[0], 3.0, 1e-10);
+  EXPECT_NEAR(values[1], 1.0, 1e-10);
+  // Leading eigenvector is (1,1)/sqrt(2) up to sign.
+  EXPECT_NEAR(std::abs(vectors[0][0]), 1.0 / std::sqrt(2.0), 1e-8);
+  EXPECT_NEAR(std::abs(vectors[0][1]), 1.0 / std::sqrt(2.0), 1e-8);
+}
+
+TEST(SymmetricEigenTest, EigenvectorsAreOrthonormal) {
+  std::vector<double> a{4.0, 1.0, 0.5, 1.0, 3.0, 0.2, 0.5, 0.2, 2.0};
+  std::vector<double> values;
+  std::vector<std::vector<double>> vectors;
+  symmetric_eigen(a, 3, values, vectors);
+  for (std::size_t i = 0; i < 3; ++i) {
+    double norm = 0.0;
+    for (double x : vectors[i]) norm += x * x;
+    EXPECT_NEAR(norm, 1.0, 1e-8);
+    for (std::size_t j = i + 1; j < 3; ++j) {
+      double dot = 0.0;
+      for (std::size_t k = 0; k < 3; ++k) dot += vectors[i][k] * vectors[j][k];
+      EXPECT_NEAR(dot, 0.0, 1e-8);
+    }
+  }
+}
+
+TEST(PcaTest, RecoversDominantDirection) {
+  // Points spread along (1, 1) with small orthogonal noise.
+  Rng rng(21);
+  std::vector<std::vector<double>> data;
+  for (int i = 0; i < 500; ++i) {
+    const double t = rng.normal(0.0, 5.0);
+    const double n = rng.normal(0.0, 0.1);
+    data.push_back({t + n, t - n});
+  }
+  const Pca pca = Pca::fit(data, 1);
+  // The leading axis should be ~(1,1)/sqrt(2): moving by (1,1) changes the
+  // projection by ~sqrt(2), moving by the orthogonal (1,-1) changes nothing.
+  const double p0 = pca.transform(std::vector<double>{0.0, 0.0})[0];
+  const double p_along = pca.transform(std::vector<double>{1.0, 1.0})[0];
+  const double p_ortho = pca.transform(std::vector<double>{1.0, -1.0})[0];
+  EXPECT_NEAR(std::abs(p_along - p0), std::sqrt(2.0), 0.05);
+  EXPECT_NEAR(std::abs(p_ortho - p0), 0.0, 0.15);
+  EXPECT_GT(pca.explained_variance_ratio()[0], 0.99);
+}
+
+TEST(PcaTest, TransformIsMeanCentered) {
+  const std::vector<std::vector<double>> data{{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}};
+  const Pca pca = Pca::fit(data, 2);
+  // Projection of the mean point must be the origin.
+  const auto proj = pca.transform(std::vector<double>{3.0, 4.0});
+  EXPECT_NEAR(proj[0], 0.0, 1e-10);
+  EXPECT_NEAR(proj[1], 0.0, 1e-10);
+}
+
+TEST(PcaTest, BatchTransformMatchesSingle) {
+  Rng rng(5);
+  std::vector<std::vector<double>> data;
+  for (int i = 0; i < 50; ++i) {
+    data.push_back({rng.uniform(), rng.uniform(), rng.uniform()});
+  }
+  const Pca pca = Pca::fit(data, 2);
+  const auto batch = pca.transform(data);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const auto single = pca.transform(data[i]);
+    EXPECT_NEAR(batch[i][0], single[0], 1e-12);
+    EXPECT_NEAR(batch[i][1], single[1], 1e-12);
+  }
+}
+
+TEST(PcaTest, ExplainedVarianceRatiosSumBelowOne) {
+  Rng rng(8);
+  std::vector<std::vector<double>> data;
+  for (int i = 0; i < 100; ++i) {
+    data.push_back({rng.normal(), rng.normal(), rng.normal(), rng.normal()});
+  }
+  const Pca pca = Pca::fit(data, 2);
+  double sum = 0.0;
+  for (double r : pca.explained_variance_ratio()) {
+    EXPECT_GE(r, 0.0);
+    sum += r;
+  }
+  EXPECT_LE(sum, 1.0 + 1e-9);
+}
+
+TEST(PcaTest, ThrowsOnBadArguments) {
+  EXPECT_THROW(Pca::fit({}, 1), std::invalid_argument);
+  EXPECT_THROW(Pca::fit({{1.0, 2.0}}, 3), std::invalid_argument);
+  EXPECT_THROW(Pca::fit({{1.0, 2.0}}, 0), std::invalid_argument);
+  const Pca pca = Pca::fit({{1.0, 2.0}, {2.0, 1.0}}, 1);
+  EXPECT_THROW(pca.transform(std::vector<double>{1.0, 2.0, 3.0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hsd::stats

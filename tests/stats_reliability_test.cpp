@@ -1,0 +1,108 @@
+#include "stats/reliability.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace hsd::stats {
+namespace {
+
+std::vector<std::vector<double>> binary(const std::vector<double>& p1) {
+  std::vector<std::vector<double>> probs;
+  probs.reserve(p1.size());
+  for (double p : p1) probs.push_back({1.0 - p, p});
+  return probs;
+}
+
+TEST(ReliabilityTest, PerfectlyCalibratedHasZeroEce) {
+  // Confidence 1.0 predictions that are always right.
+  std::vector<std::vector<double>> probs(40, {0.0, 1.0});
+  std::vector<int> labels(40, 1);
+  const auto d = reliability_diagram(probs, labels, 10);
+  EXPECT_NEAR(d.ece, 0.0, 1e-12);
+  EXPECT_NEAR(d.accuracy, 1.0, 1e-12);
+}
+
+TEST(ReliabilityTest, OverconfidentModelHasLargeEce) {
+  // Predicts class 1 with 99% confidence but is right only half the time.
+  std::vector<std::vector<double>> probs(100, {0.01, 0.99});
+  std::vector<int> labels(100, 1);
+  for (std::size_t i = 0; i < 50; ++i) labels[i] = 0;
+  const auto d = reliability_diagram(probs, labels, 10);
+  EXPECT_NEAR(d.ece, 0.49, 1e-9);
+  EXPECT_NEAR(d.mce, 0.49, 1e-9);
+  EXPECT_NEAR(d.accuracy, 0.5, 1e-12);
+}
+
+TEST(ReliabilityTest, BinEdgesCoverUnitInterval) {
+  const auto d = reliability_diagram(binary({0.6}), {1}, 10);
+  ASSERT_EQ(d.bins.size(), 10u);
+  EXPECT_DOUBLE_EQ(d.bins.front().lo, 0.0);
+  EXPECT_DOUBLE_EQ(d.bins.back().hi, 1.0);
+}
+
+TEST(ReliabilityTest, SamplesLandInCorrectBin) {
+  // Binary confidence is always >= 0.5, so bins below 0.5 stay empty;
+  // 0.55 -> bin [0.5, 0.6), 0.65 -> bin [0.6, 0.7), 0.95 -> bin [0.9, 1.0].
+  const auto d = reliability_diagram(binary({0.55, 0.65, 0.95}), {1, 1, 1}, 10);
+  EXPECT_EQ(d.bins[5].count, 1u);
+  EXPECT_EQ(d.bins[6].count, 1u);
+  EXPECT_EQ(d.bins[9].count, 1u);
+  for (std::size_t b = 0; b < 5; ++b) EXPECT_EQ(d.bins[b].count, 0u);
+}
+
+TEST(ReliabilityTest, ConfidenceOneGoesToLastBin) {
+  const auto d = reliability_diagram(binary({1.0}), {1}, 10);
+  EXPECT_EQ(d.bins[9].count, 1u);
+}
+
+TEST(ReliabilityTest, NllMatchesManualComputation) {
+  const auto probs = binary({0.8, 0.4});
+  const std::vector<int> labels{1, 0};
+  const double expected = -(std::log(0.8) + std::log(0.6)) / 2.0;
+  EXPECT_NEAR(negative_log_likelihood(probs, labels), expected, 1e-12);
+  const auto d = reliability_diagram(probs, labels, 10);
+  EXPECT_NEAR(d.nll, expected, 1e-12);
+}
+
+TEST(ReliabilityTest, EceIsSampleWeighted) {
+  // 90 perfectly calibrated samples, 10 maximally miscalibrated ones.
+  std::vector<std::vector<double>> probs;
+  std::vector<int> labels;
+  for (int i = 0; i < 90; ++i) {
+    probs.push_back({0.0, 1.0});
+    labels.push_back(1);
+  }
+  for (int i = 0; i < 10; ++i) {
+    probs.push_back({0.05, 0.95});
+    labels.push_back(0);
+  }
+  const auto d = reliability_diagram(probs, labels, 10);
+  // Last bin holds all 100 samples: mean conf 0.995, accuracy 0.9.
+  EXPECT_NEAR(d.ece, 0.095, 1e-9);
+}
+
+TEST(ReliabilityTest, ThrowsOnSizeMismatch) {
+  EXPECT_THROW(reliability_diagram(binary({0.5}), {1, 0}, 10), std::invalid_argument);
+}
+
+TEST(ReliabilityTest, ThrowsOnZeroBins) {
+  EXPECT_THROW(reliability_diagram(binary({0.5}), {1}, 0), std::invalid_argument);
+}
+
+TEST(ReliabilityTest, EmptyInputGivesZeroMetrics) {
+  const auto d = reliability_diagram({}, {}, 10);
+  EXPECT_EQ(d.ece, 0.0);
+  EXPECT_EQ(d.nll, 0.0);
+  EXPECT_EQ(d.accuracy, 0.0);
+}
+
+TEST(NllTest, ClampsZeroProbability) {
+  // True class has probability 0: NLL must be finite (clamped).
+  const double nll = negative_log_likelihood({{1.0, 0.0}}, {1});
+  EXPECT_TRUE(std::isfinite(nll));
+  EXPECT_GT(nll, 20.0);
+}
+
+}  // namespace
+}  // namespace hsd::stats

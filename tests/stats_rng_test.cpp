@@ -1,0 +1,164 @@
+#include "stats/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace hsd::stats {
+namespace {
+
+TEST(RngTest, SameSeedSameSequence) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int differences = 0;
+  for (int i = 0; i < 32; ++i) {
+    if (a.uniform() != b.uniform()) differences++;
+  }
+  EXPECT_GT(differences, 0);
+}
+
+TEST(RngTest, UniformRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(2.0, 5.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(RngTest, UniformMeanIsCentered) {
+  Rng rng(7);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(11);
+  double sum = 0.0, sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal(3.0, 2.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 3.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.25);
+}
+
+TEST(RngTest, RandintInclusiveRange) {
+  Rng rng(3);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    const auto v = rng.randint(0, 4);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 4);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all values visited
+}
+
+TEST(RngTest, RandintSingleValue) {
+  Rng rng(3);
+  EXPECT_EQ(rng.randint(9, 9), 9);
+}
+
+TEST(RngTest, RandintThrowsOnInvertedRange) {
+  Rng rng(3);
+  EXPECT_THROW(rng.randint(5, 4), std::invalid_argument);
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliRate) {
+  Rng rng(5);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(RngTest, ShufflePermutes) {
+  Rng rng(9);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  rng.shuffle(v);
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, orig);
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(13);
+  const auto idx = rng.sample_without_replacement(100, 30);
+  EXPECT_EQ(idx.size(), 30u);
+  std::set<std::size_t> s(idx.begin(), idx.end());
+  EXPECT_EQ(s.size(), 30u);
+  for (std::size_t i : idx) EXPECT_LT(i, 100u);
+}
+
+TEST(RngTest, SampleWithoutReplacementFull) {
+  Rng rng(13);
+  const auto idx = rng.sample_without_replacement(5, 5);
+  std::set<std::size_t> s(idx.begin(), idx.end());
+  EXPECT_EQ(s.size(), 5u);
+}
+
+TEST(RngTest, SampleWithoutReplacementThrowsWhenKTooLarge) {
+  Rng rng(13);
+  EXPECT_THROW(rng.sample_without_replacement(3, 4), std::invalid_argument);
+}
+
+TEST(RngTest, WeightedIndexFollowsWeights) {
+  Rng rng(17);
+  std::vector<double> w{0.0, 1.0, 3.0};
+  std::vector<int> counts(3, 0);
+  const int n = 30000;
+  for (int i = 0; i < n; ++i) counts[rng.weighted_index(w)]++;
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_NEAR(static_cast<double>(counts[1]) / n, 0.25, 0.02);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / n, 0.75, 0.02);
+}
+
+TEST(RngTest, WeightedIndexThrowsOnAllZero) {
+  Rng rng(17);
+  std::vector<double> w{0.0, 0.0};
+  EXPECT_THROW(rng.weighted_index(w), std::invalid_argument);
+}
+
+TEST(RngTest, WeightedIndexThrowsOnNegative) {
+  Rng rng(17);
+  std::vector<double> w{0.5, -0.1};
+  EXPECT_THROW(rng.weighted_index(w), std::invalid_argument);
+}
+
+TEST(RngTest, SplitProducesIndependentDeterministicStream) {
+  Rng a(42);
+  Rng b(42);
+  Rng a1 = a.split();
+  Rng b1 = b.split();
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_DOUBLE_EQ(a1.uniform(), b1.uniform());
+  }
+}
+
+}  // namespace
+}  // namespace hsd::stats

@@ -1,0 +1,98 @@
+#include "stats/roc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "stats/rng.hpp"
+
+namespace hsd::stats {
+namespace {
+
+TEST(RocTest, PerfectSeparatorHasAucOne) {
+  const std::vector<double> scores{0.9, 0.8, 0.2, 0.1};
+  const std::vector<int> labels{1, 1, 0, 0};
+  const RocCurve c = roc_curve(scores, labels);
+  EXPECT_NEAR(c.auc, 1.0, 1e-12);
+}
+
+TEST(RocTest, InvertedSeparatorHasAucZero) {
+  const std::vector<double> scores{0.1, 0.2, 0.8, 0.9};
+  const std::vector<int> labels{1, 1, 0, 0};
+  const RocCurve c = roc_curve(scores, labels);
+  EXPECT_NEAR(c.auc, 0.0, 1e-12);
+}
+
+TEST(RocTest, RandomScoresGiveHalfAuc) {
+  Rng rng(17);
+  std::vector<double> scores;
+  std::vector<int> labels;
+  for (int i = 0; i < 4000; ++i) {
+    scores.push_back(rng.uniform());
+    labels.push_back(rng.bernoulli(0.3) ? 1 : 0);
+  }
+  const RocCurve c = roc_curve(scores, labels);
+  EXPECT_NEAR(c.auc, 0.5, 0.03);
+}
+
+TEST(RocTest, CurveIsMonotone) {
+  Rng rng(19);
+  std::vector<double> scores;
+  std::vector<int> labels;
+  for (int i = 0; i < 200; ++i) {
+    const int y = rng.bernoulli(0.4) ? 1 : 0;
+    scores.push_back(rng.normal(y == 1 ? 1.0 : 0.0, 1.0));
+    labels.push_back(y);
+  }
+  const RocCurve c = roc_curve(scores, labels);
+  for (std::size_t i = 1; i < c.points.size(); ++i) {
+    EXPECT_GE(c.points[i].tpr, c.points[i - 1].tpr);
+    EXPECT_GE(c.points[i].fpr, c.points[i - 1].fpr);
+  }
+  EXPECT_DOUBLE_EQ(c.points.back().tpr, 1.0);
+  EXPECT_DOUBLE_EQ(c.points.back().fpr, 1.0);
+}
+
+TEST(RocTest, TiedScoresHandledAsOnePoint) {
+  const std::vector<double> scores{0.5, 0.5, 0.5, 0.5};
+  const std::vector<int> labels{1, 0, 1, 0};
+  const RocCurve c = roc_curve(scores, labels);
+  // One threshold step: (0,0) -> (1,1); AUC = 0.5.
+  EXPECT_NEAR(c.auc, 0.5, 1e-12);
+  EXPECT_EQ(c.points.size(), 2u);
+}
+
+TEST(RocTest, SingleClassDegeneratesToHalf) {
+  EXPECT_DOUBLE_EQ(roc_curve({0.1, 0.9}, {1, 1}).auc, 0.5);
+  EXPECT_DOUBLE_EQ(roc_curve({0.1, 0.9}, {0, 0}).auc, 0.5);
+}
+
+TEST(RocTest, SizeMismatchThrows) {
+  EXPECT_THROW(roc_curve({0.5}, {1, 0}), std::invalid_argument);
+}
+
+TEST(ConfusionTest, CountsAreExact) {
+  const std::vector<double> scores{0.9, 0.6, 0.4, 0.1};
+  const std::vector<int> labels{1, 0, 1, 0};
+  const Confusion c = confusion_at(scores, labels, 0.5);
+  EXPECT_EQ(c.tp, 1u);
+  EXPECT_EQ(c.fp, 1u);
+  EXPECT_EQ(c.fn, 1u);
+  EXPECT_EQ(c.tn, 1u);
+  EXPECT_DOUBLE_EQ(c.precision(), 0.5);
+  EXPECT_DOUBLE_EQ(c.recall(), 0.5);
+  EXPECT_DOUBLE_EQ(c.f1(), 0.5);
+}
+
+TEST(ConfusionTest, ThresholdIsInclusive) {
+  const Confusion c = confusion_at({0.5}, {1}, 0.5);
+  EXPECT_EQ(c.tp, 1u);
+}
+
+TEST(ConfusionTest, DegenerateRatesAreZero) {
+  const Confusion c = confusion_at({0.1}, {0}, 0.5);
+  EXPECT_DOUBLE_EQ(c.precision(), 0.0);
+  EXPECT_DOUBLE_EQ(c.recall(), 0.0);
+  EXPECT_DOUBLE_EQ(c.f1(), 0.0);
+}
+
+}  // namespace
+}  // namespace hsd::stats

@@ -1,0 +1,63 @@
+#include "stats/summary.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hsd::stats {
+namespace {
+
+TEST(SummaryTest, BasicMoments) {
+  const Summary s = summarize({1.0, 2.0, 3.0, 4.0});
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_DOUBLE_EQ(s.median, 2.5);
+  EXPECT_NEAR(s.stddev, 1.118033988749895, 1e-12);
+}
+
+TEST(SummaryTest, OddCountMedian) {
+  EXPECT_DOUBLE_EQ(summarize({5.0, 1.0, 3.0}).median, 3.0);
+}
+
+TEST(SummaryTest, EmptyIsZeroed) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(SummaryTest, SingleElement) {
+  const Summary s = summarize({7.0});
+  EXPECT_DOUBLE_EQ(s.mean, 7.0);
+  EXPECT_DOUBLE_EQ(s.median, 7.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(MeanTest, Basic) {
+  EXPECT_DOUBLE_EQ(mean({2.0, 4.0}), 3.0);
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+}
+
+TEST(GroupMeanByTest, AveragesWithinGroups) {
+  // keys 0.96 (twice) and 0.98 (once) at 2-decimal rounding.
+  const auto groups = group_mean_by({0.96, 0.962, 0.98}, {100.0, 200.0, 300.0}, 2);
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_DOUBLE_EQ(groups[0].first, 0.96);
+  EXPECT_DOUBLE_EQ(groups[0].second, 150.0);
+  EXPECT_DOUBLE_EQ(groups[1].first, 0.98);
+  EXPECT_DOUBLE_EQ(groups[1].second, 300.0);
+}
+
+TEST(GroupMeanByTest, SortedByKey) {
+  const auto groups = group_mean_by({0.9, 0.1, 0.5}, {1.0, 2.0, 3.0}, 1);
+  ASSERT_EQ(groups.size(), 3u);
+  EXPECT_LT(groups[0].first, groups[1].first);
+  EXPECT_LT(groups[1].first, groups[2].first);
+}
+
+TEST(GroupMeanByTest, TruncatesToShorterInput) {
+  const auto groups = group_mean_by({0.5, 0.6}, {1.0}, 1);
+  EXPECT_EQ(groups.size(), 1u);
+}
+
+}  // namespace
+}  // namespace hsd::stats

@@ -1,0 +1,121 @@
+#include "tensor/dct.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/rng.hpp"
+
+namespace hsd::tensor {
+namespace {
+
+TEST(DctTest, ConstantBlockConcentratesInDc) {
+  const std::size_t n = 8;
+  Dct2d dct(n);
+  const std::vector<float> block(n * n, 1.0F);
+  const auto coeffs = dct.forward(block);
+  // Orthonormal DCT of an all-ones block: DC = n, all AC = 0.
+  EXPECT_NEAR(coeffs[0], static_cast<float>(n), 1e-4);
+  for (std::size_t i = 1; i < coeffs.size(); ++i) {
+    EXPECT_NEAR(coeffs[i], 0.0F, 1e-4);
+  }
+}
+
+TEST(DctTest, RoundTripIsIdentity) {
+  const std::size_t n = 16;
+  Dct2d dct(n);
+  hsd::stats::Rng rng(7);
+  std::vector<float> block(n * n);
+  for (auto& v : block) v = static_cast<float>(rng.uniform());
+  const auto coeffs = dct.forward(block);
+  const auto back = dct.inverse(coeffs);
+  for (std::size_t i = 0; i < block.size(); ++i) {
+    EXPECT_NEAR(back[i], block[i], 1e-4);
+  }
+}
+
+TEST(DctTest, ParsevalEnergyPreserved) {
+  const std::size_t n = 8;
+  Dct2d dct(n);
+  hsd::stats::Rng rng(9);
+  std::vector<float> block(n * n);
+  for (auto& v : block) v = static_cast<float>(rng.normal());
+  const auto coeffs = dct.forward(block);
+  double e_space = 0.0, e_freq = 0.0;
+  for (float v : block) e_space += static_cast<double>(v) * v;
+  for (float v : coeffs) e_freq += static_cast<double>(v) * v;
+  EXPECT_NEAR(e_space, e_freq, 1e-3 * e_space);
+}
+
+TEST(DctTest, LinearityHolds) {
+  const std::size_t n = 4;
+  Dct2d dct(n);
+  hsd::stats::Rng rng(11);
+  std::vector<float> a(n * n), b(n * n), sum(n * n);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = static_cast<float>(rng.uniform());
+    b[i] = static_cast<float>(rng.uniform());
+    sum[i] = a[i] + b[i];
+  }
+  const auto fa = dct.forward(a);
+  const auto fb = dct.forward(b);
+  const auto fs = dct.forward(sum);
+  for (std::size_t i = 0; i < fa.size(); ++i) {
+    EXPECT_NEAR(fs[i], fa[i] + fb[i], 1e-4);
+  }
+}
+
+TEST(DctTest, SmoothVsCheckerboardSpectrum) {
+  // A checkerboard puts its energy in high frequencies; a half-plane puts
+  // most of it in low frequencies.
+  const std::size_t n = 8;
+  Dct2d dct(n);
+  std::vector<float> checker(n * n), half(n * n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) {
+      checker[r * n + c] = ((r + c) % 2 == 0) ? 1.0F : -1.0F;  // zero-mean
+      half[r * n + c] = (c < n / 2) ? 1.0F : 0.0F;
+    }
+  }
+  auto lowfreq_energy = [&](const std::vector<float>& coeffs) {
+    double low = 0.0, total = 0.0;
+    for (std::size_t r = 0; r < n; ++r) {
+      for (std::size_t c = 0; c < n; ++c) {
+        const double e = static_cast<double>(coeffs[r * n + c]) * coeffs[r * n + c];
+        total += e;
+        if (r < n / 2 && c < n / 2) low += e;
+      }
+    }
+    return low / total;
+  };
+  EXPECT_GT(lowfreq_energy(dct.forward(half)), 0.9);
+  EXPECT_LT(lowfreq_energy(dct.forward(checker)), 0.5);
+}
+
+TEST(DctTest, LowFreqBlockMatchesFullTransform) {
+  const std::size_t n = 8, keep = 3;
+  Dct2d dct(n);
+  hsd::stats::Rng rng(13);
+  std::vector<float> block(n * n);
+  for (auto& v : block) v = static_cast<float>(rng.uniform());
+  const auto full = dct.forward(block);
+  const auto low = dct.forward_lowfreq(block, keep);
+  ASSERT_EQ(low.size(), keep * keep);
+  for (std::size_t i = 0; i < keep; ++i) {
+    for (std::size_t j = 0; j < keep; ++j) {
+      EXPECT_FLOAT_EQ(low[i * keep + j], full[i * n + j]);
+    }
+  }
+}
+
+TEST(DctTest, InvalidArguments) {
+  EXPECT_THROW(Dct2d(0), std::invalid_argument);
+  Dct2d dct(4);
+  EXPECT_THROW(dct.forward(std::vector<float>(5, 0.0F)), std::invalid_argument);
+  EXPECT_THROW(dct.inverse(std::vector<float>(5, 0.0F)), std::invalid_argument);
+  EXPECT_THROW(dct.forward_lowfreq(std::vector<float>(16, 0.0F), 5),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hsd::tensor

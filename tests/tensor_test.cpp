@@ -1,0 +1,141 @@
+#include "tensor/tensor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace hsd::tensor {
+namespace {
+
+TEST(TensorTest, VolumeOfShapes) {
+  EXPECT_EQ(volume({}), 0u);
+  EXPECT_EQ(volume({5}), 5u);
+  EXPECT_EQ(volume({2, 3, 4}), 24u);
+  EXPECT_EQ(volume({2, 0, 4}), 0u);
+}
+
+TEST(TensorTest, DefaultIsEmpty) {
+  Tensor t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.rank(), 0u);
+}
+
+TEST(TensorTest, ZeroInitialized) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.size(), 6u);
+  for (std::size_t i = 0; i < t.size(); ++i) EXPECT_EQ(t[i], 0.0F);
+}
+
+TEST(TensorTest, FillConstructor) {
+  Tensor t({4}, 2.5F);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(t[i], 2.5F);
+}
+
+TEST(TensorTest, DataConstructorChecksVolume) {
+  EXPECT_NO_THROW(Tensor({2, 2}, std::vector<float>{1, 2, 3, 4}));
+  EXPECT_THROW(Tensor({2, 2}, std::vector<float>{1, 2, 3}), std::invalid_argument);
+}
+
+TEST(TensorTest, MultiIndexAccessors) {
+  Tensor t2({2, 3}, std::vector<float>{0, 1, 2, 3, 4, 5});
+  EXPECT_EQ(t2.at2(1, 2), 5.0F);
+  EXPECT_EQ(t2.at2(0, 1), 1.0F);
+
+  Tensor t3({2, 2, 2}, std::vector<float>{0, 1, 2, 3, 4, 5, 6, 7});
+  EXPECT_EQ(t3.at3(1, 0, 1), 5.0F);
+
+  Tensor t4({1, 2, 2, 2}, std::vector<float>{0, 1, 2, 3, 4, 5, 6, 7});
+  EXPECT_EQ(t4.at4(0, 1, 1, 0), 6.0F);
+}
+
+TEST(TensorTest, AccessorsCheckRank) {
+  Tensor t({4});
+  EXPECT_THROW(t.at2(0, 0), std::invalid_argument);
+  EXPECT_THROW(t.at3(0, 0, 0), std::invalid_argument);
+  EXPECT_THROW(t.at4(0, 0, 0, 0), std::invalid_argument);
+}
+
+TEST(TensorTest, BoundsCheckedAt) {
+  Tensor t({2});
+  EXPECT_NO_THROW(t.at(1));
+  EXPECT_THROW(t.at(2), std::out_of_range);
+}
+
+TEST(TensorTest, DimAccessor) {
+  Tensor t({3, 5});
+  EXPECT_EQ(t.dim(0), 3u);
+  EXPECT_EQ(t.dim(1), 5u);
+  EXPECT_THROW(t.dim(2), std::invalid_argument);
+}
+
+TEST(TensorTest, ReshapePreservesData) {
+  Tensor t({2, 3}, std::vector<float>{1, 2, 3, 4, 5, 6});
+  const Tensor r = t.reshaped({3, 2});
+  EXPECT_EQ(r.dim(0), 3u);
+  EXPECT_EQ(r.at2(2, 1), 6.0F);
+  EXPECT_THROW(t.reshaped({4, 2}), std::invalid_argument);
+}
+
+TEST(TensorTest, ElementwiseOps) {
+  Tensor a({3}, std::vector<float>{1, 2, 3});
+  Tensor b({3}, std::vector<float>{10, 20, 30});
+  a += b;
+  EXPECT_EQ(a[2], 33.0F);
+  a -= b;
+  EXPECT_EQ(a[2], 3.0F);
+  a *= 2.0F;
+  EXPECT_EQ(a[0], 2.0F);
+  a.add_scaled(b, 0.5F);
+  EXPECT_EQ(a[1], 14.0F);
+}
+
+TEST(TensorTest, ElementwiseShapeMismatchThrows) {
+  Tensor a({3});
+  Tensor b({4});
+  EXPECT_THROW(a += b, std::invalid_argument);
+  EXPECT_THROW(a -= b, std::invalid_argument);
+  EXPECT_THROW(a.add_scaled(b, 1.0F), std::invalid_argument);
+}
+
+TEST(TensorTest, Reductions) {
+  Tensor t({4}, std::vector<float>{1, -2, 3, 6});
+  EXPECT_EQ(t.sum(), 8.0F);
+  EXPECT_EQ(t.min(), -2.0F);
+  EXPECT_EQ(t.max(), 6.0F);
+  EXPECT_EQ(t.mean(), 2.0F);
+}
+
+TEST(TensorTest, RandnShapeAndSpread) {
+  hsd::stats::Rng rng(3);
+  const Tensor t = Tensor::randn({1000}, rng, 0.0F, 1.0F);
+  EXPECT_NEAR(t.mean(), 0.0F, 0.1F);
+  EXPECT_LT(t.min(), -1.0F);
+  EXPECT_GT(t.max(), 1.0F);
+}
+
+TEST(TensorTest, RandUniformBounds) {
+  hsd::stats::Rng rng(3);
+  const Tensor t = Tensor::rand_uniform({100}, rng, -1.0F, 1.0F);
+  EXPECT_GE(t.min(), -1.0F);
+  EXPECT_LE(t.max(), 1.0F);
+}
+
+TEST(TensorTest, EqualityAndCopy) {
+  Tensor a({2}, std::vector<float>{1, 2});
+  Tensor b = a;
+  EXPECT_TRUE(a == b);
+  b[0] = 9.0F;
+  EXPECT_FALSE(a == b);
+  EXPECT_EQ(a[0], 1.0F);  // deep copy
+}
+
+TEST(TensorTest, StreamOutput) {
+  Tensor t({2}, std::vector<float>{1, 2});
+  std::ostringstream os;
+  os << t;
+  EXPECT_NE(os.str().find("shape=[2]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hsd::tensor

@@ -1,0 +1,251 @@
+// hsd_cli — command-line front end for the library.
+//
+//   hsd_cli build <benchmark> --out FILE [--scale S] [--seed N]
+//       Build a benchmark population and save it as an HSDL bundle.
+//   hsd_cli info <file>
+//       Print the statistics of a saved benchmark.
+//   hsd_cli run <benchmark|file> [--strategy NAME] [--iterations N]
+//               [--batch K] [--query N] [--seed N] [--csv]
+//       Run the PSHD active-learning flow and report Eq. 1 / Eq. 2 metrics.
+//       Strategies: ours ts qp random coreset badge pred-entropy
+//   hsd_cli pm <benchmark|file> [--mode exact|a95|a90|e2]
+//       Run a pattern-matching baseline.
+//
+//   <benchmark> is one of: iccad12 iccad16-1 iccad16-2 iccad16-3 iccad16-4;
+//   anything else is treated as a saved-bundle path.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/framework.hpp"
+#include "core/metrics.hpp"
+#include "data/features.hpp"
+#include "data/io.hpp"
+#include "pm/pattern_matching.hpp"
+
+namespace {
+
+using namespace hsd;
+
+struct Args {
+  std::vector<std::string> positional;
+  std::vector<std::pair<std::string, std::string>> options;
+
+  std::optional<std::string> get(const std::string& key) const {
+    for (const auto& [k, v] : options) {
+      if (k == key) return v;
+    }
+    return std::nullopt;
+  }
+  bool has(const std::string& key) const { return get(key).has_value(); }
+};
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind("--", 0) == 0) {
+      const std::string key = a.substr(2);
+      std::string value = "1";
+      if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+        value = argv[++i];
+      }
+      args.options.emplace_back(key, value);
+    } else {
+      args.positional.push_back(a);
+    }
+  }
+  return args;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: hsd_cli <build|info|run|pm> <benchmark|file> [options]\n"
+               "  build --out FILE [--scale S] [--seed N]\n"
+               "  run   [--strategy ours|ts|qp|random|coreset|badge|pred-entropy]\n"
+               "        [--iterations N] [--batch K] [--query N] [--seed N] [--csv]\n"
+               "  pm    [--mode exact|a95|a90|e2]\n");
+  return 2;
+}
+
+std::optional<data::BenchmarkSpec> named_spec(const std::string& name, double scale,
+                                              std::optional<std::uint64_t> seed) {
+  data::BenchmarkSpec spec;
+  if (name == "iccad12") {
+    spec = data::iccad12_spec(scale);
+  } else if (name == "iccad16-1") {
+    spec = data::iccad16_spec(1);
+  } else if (name == "iccad16-2") {
+    spec = data::iccad16_spec(2);
+  } else if (name == "iccad16-3") {
+    spec = data::iccad16_spec(3);
+  } else if (name == "iccad16-4") {
+    spec = data::iccad16_spec(4);
+  } else {
+    return std::nullopt;
+  }
+  if (seed) spec.seed = *seed;
+  return spec;
+}
+
+data::Benchmark resolve_benchmark(const std::string& target, const Args& args) {
+  const double scale = args.get("scale") ? std::stod(*args.get("scale")) : 0.05;
+  std::optional<std::uint64_t> seed;
+  if (args.get("seed")) seed = std::stoull(*args.get("seed"));
+  if (const auto spec = named_spec(target, scale, seed)) {
+    std::fprintf(stderr, "building %s (%zu HS / %zu NHS)...\n", spec->name.c_str(),
+                 spec->hs_target, spec->nhs_target);
+    return data::build_benchmark(*spec);
+  }
+  std::fprintf(stderr, "loading %s...\n", target.c_str());
+  return data::load_benchmark_file(target);
+}
+
+int cmd_build(const Args& args) {
+  if (args.positional.size() < 2 || !args.has("out")) return usage();
+  const data::Benchmark bench = resolve_benchmark(args.positional[1], args);
+  data::save_benchmark_file(*args.get("out"), bench);
+  std::printf("saved %zu clips (%zu hotspots) to %s\n", bench.size(),
+              bench.num_hotspots, args.get("out")->c_str());
+  return 0;
+}
+
+int cmd_info(const Args& args) {
+  if (args.positional.size() < 2) return usage();
+  const data::Benchmark bench = data::load_benchmark_file(args.positional[1]);
+  std::printf("name:        %s\n", bench.spec.name.c_str());
+  std::printf("clips:       %zu (%zu hotspots, %.2f%%)\n", bench.size(),
+              bench.num_hotspots,
+              100.0 * static_cast<double>(bench.num_hotspots) /
+                  static_cast<double>(std::max<std::size_t>(bench.size(), 1)));
+  std::printf("tech node:   %d nm\n", bench.spec.tech_nm);
+  std::printf("clip side:   %d nm (step %d nm)\n", bench.spec.gen.clip_side,
+              bench.spec.gen.step);
+  std::printf("litho grid:  %zu px, sigma %.2f px, threshold %.2f\n", bench.spec.grid,
+              bench.spec.optics.sigma_px, bench.spec.optics.resist_threshold);
+  std::printf("chip layout: %zu x %zu clips\n", bench.chip_cols, bench.chip_rows);
+  return 0;
+}
+
+std::optional<core::SamplerKind> parse_strategy(const std::string& name) {
+  using core::SamplerKind;
+  if (name == "ours") return SamplerKind::kEntropy;
+  if (name == "ts") return SamplerKind::kTsOnly;
+  if (name == "qp") return SamplerKind::kQp;
+  if (name == "random") return SamplerKind::kRandom;
+  if (name == "coreset") return SamplerKind::kCoreset;
+  if (name == "badge") return SamplerKind::kBadge;
+  if (name == "pred-entropy") return SamplerKind::kPredictiveEntropy;
+  return std::nullopt;
+}
+
+int cmd_run(const Args& args) {
+  if (args.positional.size() < 2) return usage();
+  const data::Benchmark bench = resolve_benchmark(args.positional[1], args);
+
+  const data::FeatureExtractor fx(bench.spec.feature_grid, bench.spec.feature_keep);
+  const tensor::Tensor features = fx.extract_benchmark(bench);
+
+  core::FrameworkConfig cfg;
+  const std::string strategy = args.get("strategy").value_or("ours");
+  const auto kind = parse_strategy(strategy);
+  if (!kind) {
+    std::fprintf(stderr, "unknown strategy '%s'\n", strategy.c_str());
+    return 2;
+  }
+  cfg.sampler.kind = *kind;
+  const std::size_t n = bench.size();
+  cfg.initial_train = std::clamp<std::size_t>(n / 40, 24, 160);
+  cfg.validation = cfg.initial_train;
+  cfg.query_size = std::clamp<std::size_t>(n / 6, 120, 1200);
+  cfg.batch_k = std::clamp<std::size_t>(n / 80, 16, 96);
+  cfg.iterations = 14;
+  if (args.get("iterations")) cfg.iterations = std::stoul(*args.get("iterations"));
+  if (args.get("batch")) cfg.batch_k = std::stoul(*args.get("batch"));
+  if (args.get("query")) cfg.query_size = std::stoul(*args.get("query"));
+  if (args.get("seed")) cfg.seed = std::stoull(*args.get("seed"));
+
+  litho::LithoOracle oracle = bench.make_oracle();
+  const core::AlOutcome out =
+      core::run_active_learning(cfg, features, bench.clips, oracle);
+  const core::PshdMetrics m = core::evaluate_outcome(out, bench.labels);
+
+  if (const auto log_path = args.get("log-csv")) {
+    std::ofstream log(*log_path);
+    if (!log) {
+      std::fprintf(stderr, "cannot open %s\n", log_path->c_str());
+      return 1;
+    }
+    core::write_iteration_csv(log, out);
+    std::fprintf(stderr, "iteration log written to %s\n", log_path->c_str());
+  }
+
+  if (args.has("csv")) {
+    std::printf("benchmark,strategy,accuracy,litho,hits,false_alarms,hs_train,"
+                "temperature,pshd_seconds\n");
+    std::printf("%s,%s,%.4f,%zu,%zu,%zu,%zu,%.4f,%.2f\n", bench.spec.name.c_str(),
+                strategy.c_str(), m.accuracy, m.litho, m.hits, m.false_alarms,
+                m.hs_train, out.final_temperature, m.pshd_seconds);
+  } else {
+    std::printf("%s / %s: Acc %.2f%%  Litho# %zu  (hits %zu, FA %zu, HS in train"
+                " %zu, T=%.3f, %.2fs)\n",
+                bench.spec.name.c_str(), strategy.c_str(), m.accuracy * 100.0, m.litho,
+                m.hits, m.false_alarms, m.hs_train, out.final_temperature,
+                m.pshd_seconds);
+  }
+  return 0;
+}
+
+int cmd_pm(const Args& args) {
+  if (args.positional.size() < 2) return usage();
+  const data::Benchmark bench = resolve_benchmark(args.positional[1], args);
+  const std::string mode = args.get("mode").value_or("exact");
+
+  pm::PmConfig cfg;
+  std::vector<std::vector<double>> rows;
+  if (mode == "exact") {
+    cfg.mode = pm::MatchMode::kExact;
+  } else if (mode == "a95" || mode == "a90") {
+    cfg.mode = pm::MatchMode::kSimilarity;
+    cfg.sim_threshold = mode == "a95" ? 0.95 : 0.90;
+    const data::FeatureExtractor fx(bench.spec.feature_grid, bench.spec.feature_keep);
+    rows = data::to_double_rows(fx.extract_benchmark(bench));
+  } else if (mode == "e2") {
+    cfg.mode = pm::MatchMode::kEdgeTolerance;
+    cfg.edge_tol = 2 * bench.spec.gen.step;
+  } else {
+    std::fprintf(stderr, "unknown pm mode '%s'\n", mode.c_str());
+    return 2;
+  }
+
+  litho::LithoOracle oracle = bench.make_oracle();
+  const pm::PmResult res = pm::run_pattern_matching(bench.clips, rows, oracle, cfg);
+  const core::PshdMetrics m = core::evaluate_pm(res, bench.labels);
+  std::printf("%s / pm-%s: Acc %.2f%%  Litho# %zu  (clusters %zu, FA %zu)\n",
+              bench.spec.name.c_str(), mode.c_str(), m.accuracy * 100.0, m.litho,
+              res.representatives.size(), m.false_alarms);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse_args(argc, argv);
+  if (args.positional.empty()) return usage();
+  const std::string& cmd = args.positional[0];
+  try {
+    if (cmd == "build") return cmd_build(args);
+    if (cmd == "info") return cmd_info(args);
+    if (cmd == "run") return cmd_run(args);
+    if (cmd == "pm") return cmd_pm(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
