@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pvband.dir/bench_pvband.cpp.o"
+  "CMakeFiles/bench_pvband.dir/bench_pvband.cpp.o.d"
+  "bench_pvband"
+  "bench_pvband.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pvband.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsd_harness.dir/harness.cpp.o"
+  "CMakeFiles/hsd_harness.dir/harness.cpp.o.d"
+  "libhsd_harness.a"
+  "libhsd_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsd_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

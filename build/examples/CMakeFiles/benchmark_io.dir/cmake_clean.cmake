@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/benchmark_io.dir/benchmark_io.cpp.o"
+  "CMakeFiles/benchmark_io.dir/benchmark_io.cpp.o.d"
+  "benchmark_io"
+  "benchmark_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/benchmark_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

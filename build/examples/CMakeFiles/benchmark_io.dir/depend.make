@@ -1,0 +1,2 @@
+# Empty dependencies file for benchmark_io.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calibration_demo.dir/calibration_demo.cpp.o"
+  "CMakeFiles/calibration_demo.dir/calibration_demo.cpp.o.d"
+  "calibration_demo"
+  "calibration_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calibration_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

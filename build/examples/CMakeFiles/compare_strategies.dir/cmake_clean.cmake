@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compare_strategies.dir/compare_strategies.cpp.o"
+  "CMakeFiles/compare_strategies.dir/compare_strategies.cpp.o.d"
+  "compare_strategies"
+  "compare_strategies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compare_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/full_chip_scan.dir/full_chip_scan.cpp.o"
+  "CMakeFiles/full_chip_scan.dir/full_chip_scan.cpp.o.d"
+  "full_chip_scan"
+  "full_chip_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/full_chip_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotspot_repair.dir/hotspot_repair.cpp.o"
+  "CMakeFiles/hotspot_repair.dir/hotspot_repair.cpp.o.d"
+  "hotspot_repair"
+  "hotspot_repair.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotspot_repair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pvband_analysis.dir/pvband_analysis.cpp.o"
+  "CMakeFiles/pvband_analysis.dir/pvband_analysis.cpp.o.d"
+  "pvband_analysis"
+  "pvband_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pvband_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

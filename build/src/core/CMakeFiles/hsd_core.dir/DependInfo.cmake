@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/calibration.cpp" "src/core/CMakeFiles/hsd_core.dir/calibration.cpp.o" "gcc" "src/core/CMakeFiles/hsd_core.dir/calibration.cpp.o.d"
+  "/root/repo/src/core/calibrators.cpp" "src/core/CMakeFiles/hsd_core.dir/calibrators.cpp.o" "gcc" "src/core/CMakeFiles/hsd_core.dir/calibrators.cpp.o.d"
+  "/root/repo/src/core/detector.cpp" "src/core/CMakeFiles/hsd_core.dir/detector.cpp.o" "gcc" "src/core/CMakeFiles/hsd_core.dir/detector.cpp.o.d"
+  "/root/repo/src/core/diversity.cpp" "src/core/CMakeFiles/hsd_core.dir/diversity.cpp.o" "gcc" "src/core/CMakeFiles/hsd_core.dir/diversity.cpp.o.d"
+  "/root/repo/src/core/entropy_sampling.cpp" "src/core/CMakeFiles/hsd_core.dir/entropy_sampling.cpp.o" "gcc" "src/core/CMakeFiles/hsd_core.dir/entropy_sampling.cpp.o.d"
+  "/root/repo/src/core/framework.cpp" "src/core/CMakeFiles/hsd_core.dir/framework.cpp.o" "gcc" "src/core/CMakeFiles/hsd_core.dir/framework.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/core/CMakeFiles/hsd_core.dir/metrics.cpp.o" "gcc" "src/core/CMakeFiles/hsd_core.dir/metrics.cpp.o.d"
+  "/root/repo/src/core/uncertainty.cpp" "src/core/CMakeFiles/hsd_core.dir/uncertainty.cpp.o" "gcc" "src/core/CMakeFiles/hsd_core.dir/uncertainty.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/hsd_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/hsd_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/hsd_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/hsd_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/gmm/CMakeFiles/hsd_gmm.dir/DependInfo.cmake"
+  "/root/repo/build/src/qp/CMakeFiles/hsd_qp.dir/DependInfo.cmake"
+  "/root/repo/build/src/litho/CMakeFiles/hsd_litho.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/hsd_layout.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

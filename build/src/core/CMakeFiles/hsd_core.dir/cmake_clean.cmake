@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsd_core.dir/calibration.cpp.o"
+  "CMakeFiles/hsd_core.dir/calibration.cpp.o.d"
+  "CMakeFiles/hsd_core.dir/calibrators.cpp.o"
+  "CMakeFiles/hsd_core.dir/calibrators.cpp.o.d"
+  "CMakeFiles/hsd_core.dir/detector.cpp.o"
+  "CMakeFiles/hsd_core.dir/detector.cpp.o.d"
+  "CMakeFiles/hsd_core.dir/diversity.cpp.o"
+  "CMakeFiles/hsd_core.dir/diversity.cpp.o.d"
+  "CMakeFiles/hsd_core.dir/entropy_sampling.cpp.o"
+  "CMakeFiles/hsd_core.dir/entropy_sampling.cpp.o.d"
+  "CMakeFiles/hsd_core.dir/framework.cpp.o"
+  "CMakeFiles/hsd_core.dir/framework.cpp.o.d"
+  "CMakeFiles/hsd_core.dir/metrics.cpp.o"
+  "CMakeFiles/hsd_core.dir/metrics.cpp.o.d"
+  "CMakeFiles/hsd_core.dir/uncertainty.cpp.o"
+  "CMakeFiles/hsd_core.dir/uncertainty.cpp.o.d"
+  "libhsd_core.a"
+  "libhsd_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsd_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/benchmark.cpp" "src/data/CMakeFiles/hsd_data.dir/benchmark.cpp.o" "gcc" "src/data/CMakeFiles/hsd_data.dir/benchmark.cpp.o.d"
+  "/root/repo/src/data/dataset.cpp" "src/data/CMakeFiles/hsd_data.dir/dataset.cpp.o" "gcc" "src/data/CMakeFiles/hsd_data.dir/dataset.cpp.o.d"
+  "/root/repo/src/data/features.cpp" "src/data/CMakeFiles/hsd_data.dir/features.cpp.o" "gcc" "src/data/CMakeFiles/hsd_data.dir/features.cpp.o.d"
+  "/root/repo/src/data/io.cpp" "src/data/CMakeFiles/hsd_data.dir/io.cpp.o" "gcc" "src/data/CMakeFiles/hsd_data.dir/io.cpp.o.d"
+  "/root/repo/src/data/pattern_generator.cpp" "src/data/CMakeFiles/hsd_data.dir/pattern_generator.cpp.o" "gcc" "src/data/CMakeFiles/hsd_data.dir/pattern_generator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/layout/CMakeFiles/hsd_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/litho/CMakeFiles/hsd_litho.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/hsd_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/hsd_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

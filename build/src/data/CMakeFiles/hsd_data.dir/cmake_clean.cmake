@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsd_data.dir/benchmark.cpp.o"
+  "CMakeFiles/hsd_data.dir/benchmark.cpp.o.d"
+  "CMakeFiles/hsd_data.dir/dataset.cpp.o"
+  "CMakeFiles/hsd_data.dir/dataset.cpp.o.d"
+  "CMakeFiles/hsd_data.dir/features.cpp.o"
+  "CMakeFiles/hsd_data.dir/features.cpp.o.d"
+  "CMakeFiles/hsd_data.dir/io.cpp.o"
+  "CMakeFiles/hsd_data.dir/io.cpp.o.d"
+  "CMakeFiles/hsd_data.dir/pattern_generator.cpp.o"
+  "CMakeFiles/hsd_data.dir/pattern_generator.cpp.o.d"
+  "libhsd_data.a"
+  "libhsd_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsd_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhsd_data.a"
+)

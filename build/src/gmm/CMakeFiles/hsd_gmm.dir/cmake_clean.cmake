@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsd_gmm.dir/gmm.cpp.o"
+  "CMakeFiles/hsd_gmm.dir/gmm.cpp.o.d"
+  "libhsd_gmm.a"
+  "libhsd_gmm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsd_gmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/layout/chip.cpp" "src/layout/CMakeFiles/hsd_layout.dir/chip.cpp.o" "gcc" "src/layout/CMakeFiles/hsd_layout.dir/chip.cpp.o.d"
+  "/root/repo/src/layout/clip.cpp" "src/layout/CMakeFiles/hsd_layout.dir/clip.cpp.o" "gcc" "src/layout/CMakeFiles/hsd_layout.dir/clip.cpp.o.d"
+  "/root/repo/src/layout/geometry.cpp" "src/layout/CMakeFiles/hsd_layout.dir/geometry.cpp.o" "gcc" "src/layout/CMakeFiles/hsd_layout.dir/geometry.cpp.o.d"
+  "/root/repo/src/layout/io.cpp" "src/layout/CMakeFiles/hsd_layout.dir/io.cpp.o" "gcc" "src/layout/CMakeFiles/hsd_layout.dir/io.cpp.o.d"
+  "/root/repo/src/layout/raster.cpp" "src/layout/CMakeFiles/hsd_layout.dir/raster.cpp.o" "gcc" "src/layout/CMakeFiles/hsd_layout.dir/raster.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsd_layout.dir/chip.cpp.o"
+  "CMakeFiles/hsd_layout.dir/chip.cpp.o.d"
+  "CMakeFiles/hsd_layout.dir/clip.cpp.o"
+  "CMakeFiles/hsd_layout.dir/clip.cpp.o.d"
+  "CMakeFiles/hsd_layout.dir/geometry.cpp.o"
+  "CMakeFiles/hsd_layout.dir/geometry.cpp.o.d"
+  "CMakeFiles/hsd_layout.dir/io.cpp.o"
+  "CMakeFiles/hsd_layout.dir/io.cpp.o.d"
+  "CMakeFiles/hsd_layout.dir/raster.cpp.o"
+  "CMakeFiles/hsd_layout.dir/raster.cpp.o.d"
+  "libhsd_layout.a"
+  "libhsd_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsd_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/litho/defects.cpp" "src/litho/CMakeFiles/hsd_litho.dir/defects.cpp.o" "gcc" "src/litho/CMakeFiles/hsd_litho.dir/defects.cpp.o.d"
+  "/root/repo/src/litho/epe.cpp" "src/litho/CMakeFiles/hsd_litho.dir/epe.cpp.o" "gcc" "src/litho/CMakeFiles/hsd_litho.dir/epe.cpp.o.d"
+  "/root/repo/src/litho/optical.cpp" "src/litho/CMakeFiles/hsd_litho.dir/optical.cpp.o" "gcc" "src/litho/CMakeFiles/hsd_litho.dir/optical.cpp.o.d"
+  "/root/repo/src/litho/oracle.cpp" "src/litho/CMakeFiles/hsd_litho.dir/oracle.cpp.o" "gcc" "src/litho/CMakeFiles/hsd_litho.dir/oracle.cpp.o.d"
+  "/root/repo/src/litho/pvband.cpp" "src/litho/CMakeFiles/hsd_litho.dir/pvband.cpp.o" "gcc" "src/litho/CMakeFiles/hsd_litho.dir/pvband.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/layout/CMakeFiles/hsd_layout.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

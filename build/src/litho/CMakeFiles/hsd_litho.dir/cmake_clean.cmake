@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsd_litho.dir/defects.cpp.o"
+  "CMakeFiles/hsd_litho.dir/defects.cpp.o.d"
+  "CMakeFiles/hsd_litho.dir/epe.cpp.o"
+  "CMakeFiles/hsd_litho.dir/epe.cpp.o.d"
+  "CMakeFiles/hsd_litho.dir/optical.cpp.o"
+  "CMakeFiles/hsd_litho.dir/optical.cpp.o.d"
+  "CMakeFiles/hsd_litho.dir/oracle.cpp.o"
+  "CMakeFiles/hsd_litho.dir/oracle.cpp.o.d"
+  "CMakeFiles/hsd_litho.dir/pvband.cpp.o"
+  "CMakeFiles/hsd_litho.dir/pvband.cpp.o.d"
+  "libhsd_litho.a"
+  "libhsd_litho.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsd_litho.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activations.cpp" "src/nn/CMakeFiles/hsd_nn.dir/activations.cpp.o" "gcc" "src/nn/CMakeFiles/hsd_nn.dir/activations.cpp.o.d"
+  "/root/repo/src/nn/conv.cpp" "src/nn/CMakeFiles/hsd_nn.dir/conv.cpp.o" "gcc" "src/nn/CMakeFiles/hsd_nn.dir/conv.cpp.o.d"
+  "/root/repo/src/nn/dense.cpp" "src/nn/CMakeFiles/hsd_nn.dir/dense.cpp.o" "gcc" "src/nn/CMakeFiles/hsd_nn.dir/dense.cpp.o.d"
+  "/root/repo/src/nn/dropout.cpp" "src/nn/CMakeFiles/hsd_nn.dir/dropout.cpp.o" "gcc" "src/nn/CMakeFiles/hsd_nn.dir/dropout.cpp.o.d"
+  "/root/repo/src/nn/flatten.cpp" "src/nn/CMakeFiles/hsd_nn.dir/flatten.cpp.o" "gcc" "src/nn/CMakeFiles/hsd_nn.dir/flatten.cpp.o.d"
+  "/root/repo/src/nn/layer.cpp" "src/nn/CMakeFiles/hsd_nn.dir/layer.cpp.o" "gcc" "src/nn/CMakeFiles/hsd_nn.dir/layer.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/nn/CMakeFiles/hsd_nn.dir/loss.cpp.o" "gcc" "src/nn/CMakeFiles/hsd_nn.dir/loss.cpp.o.d"
+  "/root/repo/src/nn/network.cpp" "src/nn/CMakeFiles/hsd_nn.dir/network.cpp.o" "gcc" "src/nn/CMakeFiles/hsd_nn.dir/network.cpp.o.d"
+  "/root/repo/src/nn/optimizer.cpp" "src/nn/CMakeFiles/hsd_nn.dir/optimizer.cpp.o" "gcc" "src/nn/CMakeFiles/hsd_nn.dir/optimizer.cpp.o.d"
+  "/root/repo/src/nn/pooling.cpp" "src/nn/CMakeFiles/hsd_nn.dir/pooling.cpp.o" "gcc" "src/nn/CMakeFiles/hsd_nn.dir/pooling.cpp.o.d"
+  "/root/repo/src/nn/serialize.cpp" "src/nn/CMakeFiles/hsd_nn.dir/serialize.cpp.o" "gcc" "src/nn/CMakeFiles/hsd_nn.dir/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/hsd_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/hsd_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

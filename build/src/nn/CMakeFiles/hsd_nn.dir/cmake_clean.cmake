@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsd_nn.dir/activations.cpp.o"
+  "CMakeFiles/hsd_nn.dir/activations.cpp.o.d"
+  "CMakeFiles/hsd_nn.dir/conv.cpp.o"
+  "CMakeFiles/hsd_nn.dir/conv.cpp.o.d"
+  "CMakeFiles/hsd_nn.dir/dense.cpp.o"
+  "CMakeFiles/hsd_nn.dir/dense.cpp.o.d"
+  "CMakeFiles/hsd_nn.dir/dropout.cpp.o"
+  "CMakeFiles/hsd_nn.dir/dropout.cpp.o.d"
+  "CMakeFiles/hsd_nn.dir/flatten.cpp.o"
+  "CMakeFiles/hsd_nn.dir/flatten.cpp.o.d"
+  "CMakeFiles/hsd_nn.dir/layer.cpp.o"
+  "CMakeFiles/hsd_nn.dir/layer.cpp.o.d"
+  "CMakeFiles/hsd_nn.dir/loss.cpp.o"
+  "CMakeFiles/hsd_nn.dir/loss.cpp.o.d"
+  "CMakeFiles/hsd_nn.dir/network.cpp.o"
+  "CMakeFiles/hsd_nn.dir/network.cpp.o.d"
+  "CMakeFiles/hsd_nn.dir/optimizer.cpp.o"
+  "CMakeFiles/hsd_nn.dir/optimizer.cpp.o.d"
+  "CMakeFiles/hsd_nn.dir/pooling.cpp.o"
+  "CMakeFiles/hsd_nn.dir/pooling.cpp.o.d"
+  "CMakeFiles/hsd_nn.dir/serialize.cpp.o"
+  "CMakeFiles/hsd_nn.dir/serialize.cpp.o.d"
+  "libhsd_nn.a"
+  "libhsd_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsd_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsd_opc.dir/rules.cpp.o"
+  "CMakeFiles/hsd_opc.dir/rules.cpp.o.d"
+  "libhsd_opc.a"
+  "libhsd_opc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsd_opc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

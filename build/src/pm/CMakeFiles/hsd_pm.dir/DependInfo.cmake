@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pm/pattern_matching.cpp" "src/pm/CMakeFiles/hsd_pm.dir/pattern_matching.cpp.o" "gcc" "src/pm/CMakeFiles/hsd_pm.dir/pattern_matching.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/layout/CMakeFiles/hsd_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/litho/CMakeFiles/hsd_litho.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/hsd_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

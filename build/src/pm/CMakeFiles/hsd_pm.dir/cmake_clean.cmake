@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsd_pm.dir/pattern_matching.cpp.o"
+  "CMakeFiles/hsd_pm.dir/pattern_matching.cpp.o.d"
+  "libhsd_pm.a"
+  "libhsd_pm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsd_pm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsd_qp.dir/qp.cpp.o"
+  "CMakeFiles/hsd_qp.dir/qp.cpp.o.d"
+  "libhsd_qp.a"
+  "libhsd_qp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsd_qp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

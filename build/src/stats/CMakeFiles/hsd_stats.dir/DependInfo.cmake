@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/bootstrap.cpp" "src/stats/CMakeFiles/hsd_stats.dir/bootstrap.cpp.o" "gcc" "src/stats/CMakeFiles/hsd_stats.dir/bootstrap.cpp.o.d"
+  "/root/repo/src/stats/entropy.cpp" "src/stats/CMakeFiles/hsd_stats.dir/entropy.cpp.o" "gcc" "src/stats/CMakeFiles/hsd_stats.dir/entropy.cpp.o.d"
+  "/root/repo/src/stats/kmeans.cpp" "src/stats/CMakeFiles/hsd_stats.dir/kmeans.cpp.o" "gcc" "src/stats/CMakeFiles/hsd_stats.dir/kmeans.cpp.o.d"
+  "/root/repo/src/stats/normalize.cpp" "src/stats/CMakeFiles/hsd_stats.dir/normalize.cpp.o" "gcc" "src/stats/CMakeFiles/hsd_stats.dir/normalize.cpp.o.d"
+  "/root/repo/src/stats/pca.cpp" "src/stats/CMakeFiles/hsd_stats.dir/pca.cpp.o" "gcc" "src/stats/CMakeFiles/hsd_stats.dir/pca.cpp.o.d"
+  "/root/repo/src/stats/reliability.cpp" "src/stats/CMakeFiles/hsd_stats.dir/reliability.cpp.o" "gcc" "src/stats/CMakeFiles/hsd_stats.dir/reliability.cpp.o.d"
+  "/root/repo/src/stats/rng.cpp" "src/stats/CMakeFiles/hsd_stats.dir/rng.cpp.o" "gcc" "src/stats/CMakeFiles/hsd_stats.dir/rng.cpp.o.d"
+  "/root/repo/src/stats/roc.cpp" "src/stats/CMakeFiles/hsd_stats.dir/roc.cpp.o" "gcc" "src/stats/CMakeFiles/hsd_stats.dir/roc.cpp.o.d"
+  "/root/repo/src/stats/summary.cpp" "src/stats/CMakeFiles/hsd_stats.dir/summary.cpp.o" "gcc" "src/stats/CMakeFiles/hsd_stats.dir/summary.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

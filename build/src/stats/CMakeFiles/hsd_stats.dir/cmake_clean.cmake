@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsd_stats.dir/bootstrap.cpp.o"
+  "CMakeFiles/hsd_stats.dir/bootstrap.cpp.o.d"
+  "CMakeFiles/hsd_stats.dir/entropy.cpp.o"
+  "CMakeFiles/hsd_stats.dir/entropy.cpp.o.d"
+  "CMakeFiles/hsd_stats.dir/kmeans.cpp.o"
+  "CMakeFiles/hsd_stats.dir/kmeans.cpp.o.d"
+  "CMakeFiles/hsd_stats.dir/normalize.cpp.o"
+  "CMakeFiles/hsd_stats.dir/normalize.cpp.o.d"
+  "CMakeFiles/hsd_stats.dir/pca.cpp.o"
+  "CMakeFiles/hsd_stats.dir/pca.cpp.o.d"
+  "CMakeFiles/hsd_stats.dir/reliability.cpp.o"
+  "CMakeFiles/hsd_stats.dir/reliability.cpp.o.d"
+  "CMakeFiles/hsd_stats.dir/rng.cpp.o"
+  "CMakeFiles/hsd_stats.dir/rng.cpp.o.d"
+  "CMakeFiles/hsd_stats.dir/roc.cpp.o"
+  "CMakeFiles/hsd_stats.dir/roc.cpp.o.d"
+  "CMakeFiles/hsd_stats.dir/summary.cpp.o"
+  "CMakeFiles/hsd_stats.dir/summary.cpp.o.d"
+  "libhsd_stats.a"
+  "libhsd_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsd_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

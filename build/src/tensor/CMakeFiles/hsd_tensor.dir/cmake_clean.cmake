@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsd_tensor.dir/dct.cpp.o"
+  "CMakeFiles/hsd_tensor.dir/dct.cpp.o.d"
+  "CMakeFiles/hsd_tensor.dir/ops.cpp.o"
+  "CMakeFiles/hsd_tensor.dir/ops.cpp.o.d"
+  "CMakeFiles/hsd_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/hsd_tensor.dir/tensor.cpp.o.d"
+  "libhsd_tensor.a"
+  "libhsd_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsd_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_calibrators_test.dir/core_calibrators_test.cpp.o"
+  "CMakeFiles/core_calibrators_test.dir/core_calibrators_test.cpp.o.d"
+  "core_calibrators_test"
+  "core_calibrators_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_calibrators_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

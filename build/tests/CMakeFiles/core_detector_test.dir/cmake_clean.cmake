@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_detector_test.dir/core_detector_test.cpp.o"
+  "CMakeFiles/core_detector_test.dir/core_detector_test.cpp.o.d"
+  "core_detector_test"
+  "core_detector_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_detector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_metrics_test.dir/core_metrics_test.cpp.o"
+  "CMakeFiles/core_metrics_test.dir/core_metrics_test.cpp.o.d"
+  "core_metrics_test"
+  "core_metrics_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_metrics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_sampling_test.dir/core_sampling_test.cpp.o"
+  "CMakeFiles/core_sampling_test.dir/core_sampling_test.cpp.o.d"
+  "core_sampling_test"
+  "core_sampling_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_sampling_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core_strategies_test.cpp" "tests/CMakeFiles/core_strategies_test.dir/core_strategies_test.cpp.o" "gcc" "tests/CMakeFiles/core_strategies_test.dir/core_strategies_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pm/CMakeFiles/hsd_pm.dir/DependInfo.cmake"
+  "/root/repo/build/src/opc/CMakeFiles/hsd_opc.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hsd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/hsd_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/hsd_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/hsd_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/litho/CMakeFiles/hsd_litho.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/hsd_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/gmm/CMakeFiles/hsd_gmm.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/hsd_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/qp/CMakeFiles/hsd_qp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_strategies_test.dir/core_strategies_test.cpp.o"
+  "CMakeFiles/core_strategies_test.dir/core_strategies_test.cpp.o.d"
+  "core_strategies_test"
+  "core_strategies_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_strategies_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

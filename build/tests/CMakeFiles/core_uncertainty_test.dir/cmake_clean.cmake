@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_uncertainty_test.dir/core_uncertainty_test.cpp.o"
+  "CMakeFiles/core_uncertainty_test.dir/core_uncertainty_test.cpp.o.d"
+  "core_uncertainty_test"
+  "core_uncertainty_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_uncertainty_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

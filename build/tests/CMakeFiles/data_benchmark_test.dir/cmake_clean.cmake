@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_benchmark_test.dir/data_benchmark_test.cpp.o"
+  "CMakeFiles/data_benchmark_test.dir/data_benchmark_test.cpp.o.d"
+  "data_benchmark_test"
+  "data_benchmark_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_benchmark_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_features_test.dir/data_features_test.cpp.o"
+  "CMakeFiles/data_features_test.dir/data_features_test.cpp.o.d"
+  "data_features_test"
+  "data_features_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_features_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

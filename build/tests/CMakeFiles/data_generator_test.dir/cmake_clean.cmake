@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_generator_test.dir/data_generator_test.cpp.o"
+  "CMakeFiles/data_generator_test.dir/data_generator_test.cpp.o.d"
+  "data_generator_test"
+  "data_generator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_generator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/layout_chip_test.dir/layout_chip_test.cpp.o"
+  "CMakeFiles/layout_chip_test.dir/layout_chip_test.cpp.o.d"
+  "layout_chip_test"
+  "layout_chip_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/layout_chip_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

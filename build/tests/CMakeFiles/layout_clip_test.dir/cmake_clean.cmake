@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/layout_clip_test.dir/layout_clip_test.cpp.o"
+  "CMakeFiles/layout_clip_test.dir/layout_clip_test.cpp.o.d"
+  "layout_clip_test"
+  "layout_clip_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/layout_clip_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

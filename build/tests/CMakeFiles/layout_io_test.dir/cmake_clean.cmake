@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/layout_io_test.dir/layout_io_test.cpp.o"
+  "CMakeFiles/layout_io_test.dir/layout_io_test.cpp.o.d"
+  "layout_io_test"
+  "layout_io_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/layout_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/layout_raster_test.dir/layout_raster_test.cpp.o"
+  "CMakeFiles/layout_raster_test.dir/layout_raster_test.cpp.o.d"
+  "layout_raster_test"
+  "layout_raster_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/layout_raster_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

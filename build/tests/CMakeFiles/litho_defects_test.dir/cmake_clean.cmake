@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/litho_defects_test.dir/litho_defects_test.cpp.o"
+  "CMakeFiles/litho_defects_test.dir/litho_defects_test.cpp.o.d"
+  "litho_defects_test"
+  "litho_defects_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/litho_defects_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

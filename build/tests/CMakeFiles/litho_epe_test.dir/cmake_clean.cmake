@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/litho_epe_test.dir/litho_epe_test.cpp.o"
+  "CMakeFiles/litho_epe_test.dir/litho_epe_test.cpp.o.d"
+  "litho_epe_test"
+  "litho_epe_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/litho_epe_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

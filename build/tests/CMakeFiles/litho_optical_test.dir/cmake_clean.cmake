@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/litho_optical_test.dir/litho_optical_test.cpp.o"
+  "CMakeFiles/litho_optical_test.dir/litho_optical_test.cpp.o.d"
+  "litho_optical_test"
+  "litho_optical_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/litho_optical_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/litho_oracle_test.dir/litho_oracle_test.cpp.o"
+  "CMakeFiles/litho_oracle_test.dir/litho_oracle_test.cpp.o.d"
+  "litho_oracle_test"
+  "litho_oracle_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/litho_oracle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

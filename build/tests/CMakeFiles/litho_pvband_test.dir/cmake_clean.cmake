@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/litho_pvband_test.dir/litho_pvband_test.cpp.o"
+  "CMakeFiles/litho_pvband_test.dir/litho_pvband_test.cpp.o.d"
+  "litho_pvband_test"
+  "litho_pvband_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/litho_pvband_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

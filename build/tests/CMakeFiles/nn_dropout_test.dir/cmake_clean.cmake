@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_dropout_test.dir/nn_dropout_test.cpp.o"
+  "CMakeFiles/nn_dropout_test.dir/nn_dropout_test.cpp.o.d"
+  "nn_dropout_test"
+  "nn_dropout_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_dropout_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

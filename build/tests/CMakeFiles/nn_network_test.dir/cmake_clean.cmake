@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_network_test.dir/nn_network_test.cpp.o"
+  "CMakeFiles/nn_network_test.dir/nn_network_test.cpp.o.d"
+  "nn_network_test"
+  "nn_network_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_network_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_schedule_test.dir/nn_schedule_test.cpp.o"
+  "CMakeFiles/nn_schedule_test.dir/nn_schedule_test.cpp.o.d"
+  "nn_schedule_test"
+  "nn_schedule_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_schedule_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opc_test.dir/opc_test.cpp.o"
+  "CMakeFiles/opc_test.dir/opc_test.cpp.o.d"
+  "opc_test"
+  "opc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

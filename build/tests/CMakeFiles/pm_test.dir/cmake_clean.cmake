@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pm_test.dir/pm_test.cpp.o"
+  "CMakeFiles/pm_test.dir/pm_test.cpp.o.d"
+  "pm_test"
+  "pm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_extensions_test.dir/property_extensions_test.cpp.o"
+  "CMakeFiles/property_extensions_test.dir/property_extensions_test.cpp.o.d"
+  "property_extensions_test"
+  "property_extensions_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_extensions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

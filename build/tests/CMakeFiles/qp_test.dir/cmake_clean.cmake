@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qp_test.dir/qp_test.cpp.o"
+  "CMakeFiles/qp_test.dir/qp_test.cpp.o.d"
+  "qp_test"
+  "qp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_entropy_test.dir/stats_entropy_test.cpp.o"
+  "CMakeFiles/stats_entropy_test.dir/stats_entropy_test.cpp.o.d"
+  "stats_entropy_test"
+  "stats_entropy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_entropy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

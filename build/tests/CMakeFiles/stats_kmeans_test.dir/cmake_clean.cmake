@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_kmeans_test.dir/stats_kmeans_test.cpp.o"
+  "CMakeFiles/stats_kmeans_test.dir/stats_kmeans_test.cpp.o.d"
+  "stats_kmeans_test"
+  "stats_kmeans_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_kmeans_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_normalize_test.dir/stats_normalize_test.cpp.o"
+  "CMakeFiles/stats_normalize_test.dir/stats_normalize_test.cpp.o.d"
+  "stats_normalize_test"
+  "stats_normalize_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_normalize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_pca_test.dir/stats_pca_test.cpp.o"
+  "CMakeFiles/stats_pca_test.dir/stats_pca_test.cpp.o.d"
+  "stats_pca_test"
+  "stats_pca_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_pca_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_reliability_test.dir/stats_reliability_test.cpp.o"
+  "CMakeFiles/stats_reliability_test.dir/stats_reliability_test.cpp.o.d"
+  "stats_reliability_test"
+  "stats_reliability_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_reliability_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_rng_test.dir/stats_rng_test.cpp.o"
+  "CMakeFiles/stats_rng_test.dir/stats_rng_test.cpp.o.d"
+  "stats_rng_test"
+  "stats_rng_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_rng_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

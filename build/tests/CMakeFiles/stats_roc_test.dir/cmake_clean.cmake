@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_roc_test.dir/stats_roc_test.cpp.o"
+  "CMakeFiles/stats_roc_test.dir/stats_roc_test.cpp.o.d"
+  "stats_roc_test"
+  "stats_roc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_roc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

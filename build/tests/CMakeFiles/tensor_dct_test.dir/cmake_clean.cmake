@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tensor_dct_test.dir/tensor_dct_test.cpp.o"
+  "CMakeFiles/tensor_dct_test.dir/tensor_dct_test.cpp.o.d"
+  "tensor_dct_test"
+  "tensor_dct_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tensor_dct_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsd_cli.dir/hsd_cli.cpp.o"
+  "CMakeFiles/hsd_cli.dir/hsd_cli.cpp.o.d"
+  "hsd_cli"
+  "hsd_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsd_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
