@@ -1,0 +1,217 @@
+// Serial-vs-parallel speedup of every kernel wired into the runtime pool:
+// GEMM, im2col conv forward, batch DCT feature extraction, batch oracle
+// labeling, and the min-distance diversity scan.
+//
+// csbench-style measurement: per (kernel, thread count), a fixed number of
+// warmup runs precedes the timed rounds and the minimum round time is the
+// reported estimate. Besides timing, every parallel result is compared
+// bit-for-bit against the serial result, so the bench doubles as an
+// end-to-end determinism check.
+//
+// Output is a single JSON document on stdout so the bench trajectory can
+// track speedups across commits.
+//
+// Environment knobs:
+//   HSD_BENCH_ROUNDS   timed rounds per measurement (default 7)
+//   HSD_BENCH_WARMUP   warmup runs per measurement (default 2)
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/diversity.hpp"
+#include "data/features.hpp"
+#include "litho/oracle.hpp"
+#include "nn/conv.hpp"
+#include "runtime/thread_pool.hpp"
+#include "stats/rng.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/tensor.hpp"
+
+namespace {
+
+using hsd::stats::Rng;
+using hsd::tensor::Tensor;
+
+std::size_t env_size(const char* name, std::size_t fallback) {
+  if (const char* v = std::getenv(name)) {
+    const long parsed = std::strtol(v, nullptr, 10);
+    if (parsed > 0) return static_cast<std::size_t>(parsed);
+  }
+  return fallback;
+}
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// One measured kernel: run() must produce a byte buffer describing the
+/// result so parallel runs can be checked against the serial reference.
+struct Kernel {
+  std::string name;
+  std::function<std::vector<float>()> run;
+};
+
+struct Estimate {
+  double min_seconds = 0.0;
+  double mean_seconds = 0.0;
+};
+
+Estimate measure(const Kernel& kernel, std::size_t warmup, std::size_t rounds) {
+  for (std::size_t i = 0; i < warmup; ++i) kernel.run();
+  Estimate est;
+  est.min_seconds = 1e300;
+  for (std::size_t i = 0; i < rounds; ++i) {
+    const double t0 = now_seconds();
+    kernel.run();
+    const double dt = now_seconds() - t0;
+    est.min_seconds = std::min(est.min_seconds, dt);
+    est.mean_seconds += dt;
+  }
+  est.mean_seconds /= static_cast<double>(rounds);
+  return est;
+}
+
+hsd::layout::Clip line_clip(hsd::layout::Coord width, hsd::layout::Coord offset) {
+  hsd::layout::Clip c;
+  c.window = hsd::layout::Rect{0, 0, 640, 640};
+  c.core = hsd::layout::centered_core(c.window, 0.5);
+  const auto y = static_cast<hsd::layout::Coord>(320 + offset - width / 2);
+  c.shapes.push_back(
+      hsd::layout::Rect{0, y, 640, static_cast<hsd::layout::Coord>(y + width)});
+  hsd::layout::finalize(c);
+  return c;
+}
+
+std::vector<hsd::layout::Clip> clip_population(std::size_t count) {
+  std::vector<hsd::layout::Clip> clips;
+  clips.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    clips.push_back(line_clip(static_cast<hsd::layout::Coord>(20 + (i % 5) * 10),
+                              static_cast<hsd::layout::Coord>((i % 11) * 8) - 40));
+  }
+  return clips;
+}
+
+std::vector<Kernel> build_kernels() {
+  std::vector<Kernel> kernels;
+
+  {  // GEMM: 256 x 256 x 256.
+    const std::size_t n = 256;
+    Rng rng(1);
+    auto a = std::make_shared<Tensor>(Tensor::randn({n, n}, rng));
+    auto b = std::make_shared<Tensor>(Tensor::randn({n, n}, rng));
+    kernels.push_back({"matmul_256", [a, b, n] {
+                         std::vector<float> c(n * n);
+                         hsd::tensor::matmul(a->data(), b->data(), c.data(), n, n, n);
+                         return c;
+                       }});
+  }
+
+  {  // Conv forward: batch of 32 single-channel 64x64 images, 8 filters.
+    Rng rng(2);
+    auto conv = std::make_shared<hsd::nn::Conv2d>(1, 8, 3, rng, 1, 1);
+    auto x = std::make_shared<Tensor>(Tensor::rand_uniform({32, 1, 64, 64}, rng, 0.0F, 1.0F));
+    kernels.push_back({"conv_forward", [conv, x] {
+                         const Tensor y = conv->forward(*x);
+                         return std::vector<float>(y.data(), y.data() + y.size());
+                       }});
+  }
+
+  {  // Batch DCT feature extraction: 48 clips on a 64 px grid.
+    auto clips = std::make_shared<std::vector<hsd::layout::Clip>>(clip_population(48));
+    kernels.push_back({"dct_features", [clips] {
+                         const hsd::data::FeatureExtractor fx(64, 8);
+                         const Tensor f = fx.extract_batch(*clips);
+                         return std::vector<float>(f.data(), f.data() + f.size());
+                       }});
+  }
+
+  {  // Batch oracle labeling: 24 clips through the full litho stack.
+    auto clips = std::make_shared<std::vector<hsd::layout::Clip>>(clip_population(24));
+    auto indices = std::make_shared<std::vector<std::size_t>>();
+    for (std::size_t i = 0; i < clips->size(); ++i) indices->push_back(i);
+    kernels.push_back({"oracle_label_batch", [clips, indices] {
+                         hsd::litho::LithoOracle oracle(128, hsd::litho::duv28_model());
+                         const auto labels = oracle.label_batch(*clips, *indices);
+                         return std::vector<float>(labels.begin(), labels.end());
+                       }});
+  }
+
+  {  // Min-distance diversity scan: 384 candidates, 64-d features.
+    Rng rng(3);
+    auto rows = std::make_shared<std::vector<std::vector<double>>>(
+        384, std::vector<double>(64));
+    for (auto& r : *rows) {
+      for (auto& v : r) v = rng.normal();
+    }
+    kernels.push_back({"diversity_scores", [rows] {
+                         const auto scores = hsd::core::diversity_scores(*rows);
+                         return std::vector<float>(scores.begin(), scores.end());
+                       }});
+  }
+
+  return kernels;
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t rounds = env_size("HSD_BENCH_ROUNDS", 7);
+  const std::size_t warmup = env_size("HSD_BENCH_WARMUP", 2);
+  const std::size_t hw = std::max(1u, std::thread::hardware_concurrency());
+
+  std::vector<std::size_t> thread_counts{1, 2, 4};
+  if (std::find(thread_counts.begin(), thread_counts.end(), hw) ==
+      thread_counts.end()) {
+    thread_counts.push_back(hw);
+  }
+  std::sort(thread_counts.begin(), thread_counts.end());
+
+  const std::vector<Kernel> kernels = build_kernels();
+
+  std::cout << "{\n  \"bench\": \"bench_runtime\",\n";
+  std::cout << "  \"hardware_concurrency\": " << hw << ",\n";
+  std::cout << "  \"rounds\": " << rounds << ",\n  \"warmup\": " << warmup << ",\n";
+  std::cout << "  \"kernels\": [\n";
+
+  for (std::size_t ki = 0; ki < kernels.size(); ++ki) {
+    const Kernel& kernel = kernels[ki];
+
+    hsd::runtime::set_global_threads(1);
+    const std::vector<float> reference = kernel.run();
+    const Estimate serial = measure(kernel, warmup, rounds);
+
+    std::cout << "    {\"name\": \"" << kernel.name << "\", \"serial_seconds\": "
+              << serial.min_seconds << ", \"parallel\": [";
+    bool first = true;
+    for (std::size_t threads : thread_counts) {
+      if (threads == 1) continue;
+      hsd::runtime::set_global_threads(threads);
+      const std::vector<float> result = kernel.run();
+      const bool identical =
+          result.size() == reference.size() &&
+          std::memcmp(result.data(), reference.data(),
+                      result.size() * sizeof(float)) == 0;
+      const Estimate par = measure(kernel, warmup, rounds);
+      if (!first) std::cout << ", ";
+      first = false;
+      std::cout << "{\"threads\": " << threads << ", \"seconds\": " << par.min_seconds
+                << ", \"speedup\": " << serial.min_seconds / par.min_seconds
+                << ", \"bit_identical\": " << (identical ? "true" : "false") << "}";
+    }
+    std::cout << "]}" << (ki + 1 < kernels.size() ? "," : "") << "\n";
+  }
+  std::cout << "  ]\n}\n";
+  hsd::runtime::set_global_threads(1);
+  return 0;
+}

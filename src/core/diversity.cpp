@@ -4,6 +4,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "runtime/thread_pool.hpp"
 #include "stats/normalize.hpp"
 
 namespace hsd::core {
@@ -23,14 +24,29 @@ std::vector<double> similarity_matrix(const std::vector<std::vector<double>>& fe
   const auto unit = normalized_copy(features);
   const std::size_t n = unit.size();
   std::vector<double> s(n * n, 0.0);
-  for (std::size_t i = 0; i < n; ++i) {
-    s[i * n + i] = 1.0;
-    for (std::size_t j = i + 1; j < n; ++j) {
-      const double sim = hsd::stats::dot(unit[i], unit[j]);
-      s[i * n + j] = sim;
-      s[j * n + i] = sim;
+  if (runtime::global_pool().size() <= 1) {
+    // Serial: each pair once, mirrored into both triangles.
+    for (std::size_t i = 0; i < n; ++i) {
+      s[i * n + i] = 1.0;
+      for (std::size_t j = i + 1; j < n; ++j) {
+        const double sim = hsd::stats::dot(unit[i], unit[j]);
+        s[i * n + j] = sim;
+        s[j * n + i] = sim;
+      }
     }
+    return s;
   }
+  // Parallel: each block owns whole rows (no cross-block writes), computing
+  // both triangles. dot() is a same-order sum of commutative products, so
+  // the recomputed lower triangle matches the mirrored serial values bit
+  // for bit; the duplicated flops amortize from two threads up.
+  runtime::parallel_for(0, n, [&](std::size_t i0, std::size_t i1) {
+    for (std::size_t i = i0; i < i1; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        s[i * n + j] = i == j ? 1.0 : hsd::stats::dot(unit[i], unit[j]);
+      }
+    }
+  });
   return s;
 }
 
@@ -50,14 +66,18 @@ std::vector<double> diversity_scores(const std::vector<std::vector<double>>& fea
   const std::size_t n = unit.size();
   std::vector<double> scores(n, 0.0);
   if (n <= 1) return scores;  // a lone sample has no neighbor; score 0
-  for (std::size_t i = 0; i < n; ++i) {
-    double max_sim = -std::numeric_limits<double>::infinity();
-    for (std::size_t j = 0; j < n; ++j) {
-      if (j == i) continue;
-      max_sim = std::max(max_sim, hsd::stats::dot(unit[i], unit[j]));
+  // The min-distance scan of candidate i touches only scores[i]; rows go
+  // wide over the pool with the serial inner loop untouched.
+  runtime::parallel_for(0, n, [&](std::size_t i0, std::size_t i1) {
+    for (std::size_t i = i0; i < i1; ++i) {
+      double max_sim = -std::numeric_limits<double>::infinity();
+      for (std::size_t j = 0; j < n; ++j) {
+        if (j == i) continue;
+        max_sim = std::max(max_sim, hsd::stats::dot(unit[i], unit[j]));
+      }
+      scores[i] = 1.0 - max_sim;  // min distance == 1 - max similarity
     }
-    scores[i] = 1.0 - max_sim;  // min distance == 1 - max similarity
-  }
+  });
   return scores;
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <numeric>
 #include <stdexcept>
 
@@ -70,9 +71,14 @@ AlOutcome run_active_learning(const FrameworkConfig& config,
       lowest_k(density, all, cfg.initial_train);
 
   data::UnlabeledPool unlabeled(n_total);
-  for (std::size_t idx : seed_train) {
-    unlabeled.remove(idx);
-    out.train.add(idx, oracle.label(clips[idx]) ? 1 : 0);
+  // Oracle labeling of a whole batch runs in parallel on the runtime pool;
+  // bookkeeping stays in the original (deterministic) order.
+  {
+    const std::vector<std::uint8_t> labels = oracle.label_batch(clips, seed_train);
+    for (std::size_t i = 0; i < seed_train.size(); ++i) {
+      unlabeled.remove(seed_train[i]);
+      out.train.add(seed_train[i], labels[i] != 0 ? 1 : 0);
+    }
   }
   // Validation: random sample of the remainder so both classes can appear
   // and temperature scaling sees the natural class balance.
@@ -83,9 +89,10 @@ AlOutcome run_active_learning(const FrameworkConfig& config,
     std::vector<std::size_t> val_indices;
     val_indices.reserve(pick.size());
     for (std::size_t p : pick) val_indices.push_back(rest[p]);
-    for (std::size_t idx : val_indices) {
-      unlabeled.remove(idx);
-      out.val.add(idx, oracle.label(clips[idx]) ? 1 : 0);
+    const std::vector<std::uint8_t> labels = oracle.label_batch(clips, val_indices);
+    for (std::size_t i = 0; i < val_indices.size(); ++i) {
+      unlabeled.remove(val_indices[i]);
+      out.val.add(val_indices[i], labels[i] != 0 ? 1 : 0);
     }
   }
 
@@ -131,11 +138,14 @@ AlOutcome run_active_learning(const FrameworkConfig& config,
     log.temperature = cal.temperature;
     log.w_uncertainty = diag.w_uncertainty;
     log.w_diversity = diag.w_diversity;
-    for (std::size_t pos : picked_pos) {
-      const std::size_t idx = query[pos];
-      unlabeled.remove(idx);
-      const int label = oracle.label(clips[idx]) ? 1 : 0;
-      out.train.add(idx, label);
+    std::vector<std::size_t> picked_indices;
+    picked_indices.reserve(picked_pos.size());
+    for (std::size_t pos : picked_pos) picked_indices.push_back(query[pos]);
+    const std::vector<std::uint8_t> labels = oracle.label_batch(clips, picked_indices);
+    for (std::size_t i = 0; i < picked_indices.size(); ++i) {
+      unlabeled.remove(picked_indices[i]);
+      const int label = labels[i] != 0 ? 1 : 0;
+      out.train.add(picked_indices[i], label);
       log.new_hotspots += (label == 1);
     }
     // Line 12: update the model on the grown L.

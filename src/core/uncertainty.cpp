@@ -3,7 +3,17 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "runtime/thread_pool.hpp"
+
 namespace hsd::core {
+
+namespace {
+
+// Per-sample uncertainty is a handful of flops, so blocks stay large; a
+// bad row throws inside the pool and parallel_for rethrows it unchanged.
+constexpr std::size_t kUncertaintyGrain = 4096;
+
+}  // namespace
 
 double bvsb_uncertainty(double p_hotspot) {
   const double p0 = 1.0 - p_hotspot;
@@ -18,25 +28,32 @@ double hotspot_aware_uncertainty(double p_hotspot, double h) {
 }
 
 std::vector<double> bvsb_uncertainty(const std::vector<std::vector<double>>& probs) {
-  std::vector<double> out;
-  out.reserve(probs.size());
-  for (const auto& p : probs) {
-    if (p.size() != 2) throw std::invalid_argument("bvsb_uncertainty: binary rows expected");
-    out.push_back(bvsb_uncertainty(p[1]));
-  }
+  std::vector<double> out(probs.size());
+  runtime::parallel_for(
+      0, probs.size(), kUncertaintyGrain, [&](std::size_t i0, std::size_t i1) {
+        for (std::size_t i = i0; i < i1; ++i) {
+          if (probs[i].size() != 2) {
+            throw std::invalid_argument("bvsb_uncertainty: binary rows expected");
+          }
+          out[i] = bvsb_uncertainty(probs[i][1]);
+        }
+      });
   return out;
 }
 
 std::vector<double> hotspot_aware_uncertainty(
     const std::vector<std::vector<double>>& probs, double h) {
-  std::vector<double> out;
-  out.reserve(probs.size());
-  for (const auto& p : probs) {
-    if (p.size() != 2) {
-      throw std::invalid_argument("hotspot_aware_uncertainty: binary rows expected");
-    }
-    out.push_back(hotspot_aware_uncertainty(p[1], h));
-  }
+  std::vector<double> out(probs.size());
+  runtime::parallel_for(
+      0, probs.size(), kUncertaintyGrain, [&](std::size_t i0, std::size_t i1) {
+        for (std::size_t i = i0; i < i1; ++i) {
+          if (probs[i].size() != 2) {
+            throw std::invalid_argument(
+                "hotspot_aware_uncertainty: binary rows expected");
+          }
+          out[i] = hotspot_aware_uncertainty(probs[i][1], h);
+        }
+      });
   return out;
 }
 

@@ -4,6 +4,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "runtime/thread_pool.hpp"
+
 namespace hsd::data {
 
 FeatureExtractor::FeatureExtractor(std::size_t grid, std::size_t keep)
@@ -28,10 +30,14 @@ tensor::Tensor FeatureExtractor::extract_batch(
     const std::vector<layout::Clip>& clips) const {
   tensor::Tensor out({clips.size(), 1, keep_, keep_});
   const std::size_t row = keep_ * keep_;
-  for (std::size_t i = 0; i < clips.size(); ++i) {
-    const std::vector<float> f = extract(clips[i]);
-    std::memcpy(out.data() + i * row, f.data(), row * sizeof(float));
-  }
+  // extract() only reads the rasterizer and DCT tables, so clips fan out
+  // across the pool into disjoint output rows.
+  runtime::parallel_for(0, clips.size(), 1, [&](std::size_t i0, std::size_t i1) {
+    for (std::size_t i = i0; i < i1; ++i) {
+      const std::vector<float> f = extract(clips[i]);
+      std::memcpy(out.data() + i * row, f.data(), row * sizeof(float));
+    }
+  });
   return out;
 }
 

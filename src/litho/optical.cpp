@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <stdexcept>
 
+#include "runtime/thread_pool.hpp"
+
 namespace hsd::litho {
 
 OpticalModel duv28_model() {
@@ -46,34 +48,43 @@ std::vector<float> aerial_image(const std::vector<float>& mask, std::size_t grid
   const auto radius = static_cast<std::ptrdiff_t>(kernel.size() / 2);
   const auto g = static_cast<std::ptrdiff_t>(grid);
 
+  // Rows of the separable convolution are independent, so each pass goes
+  // wide over row blocks; the join between the passes keeps the vertical
+  // pass reading a fully written tmp.
   // Horizontal pass (clamp-to-zero boundary: outside the clip is empty field).
   std::vector<float> tmp(grid * grid, 0.0F);
-  for (std::ptrdiff_t r = 0; r < g; ++r) {
-    for (std::ptrdiff_t c = 0; c < g; ++c) {
-      float s = 0.0F;
-      for (std::ptrdiff_t k = -radius; k <= radius; ++k) {
-        const std::ptrdiff_t cc = c + k;
-        if (cc < 0 || cc >= g) continue;
-        s += kernel[static_cast<std::size_t>(k + radius)] *
-             mask[static_cast<std::size_t>(r * g + cc)];
+  runtime::parallel_for(0, grid, [&](std::size_t r0, std::size_t r1) {
+    for (auto r = static_cast<std::ptrdiff_t>(r0);
+         r < static_cast<std::ptrdiff_t>(r1); ++r) {
+      for (std::ptrdiff_t c = 0; c < g; ++c) {
+        float s = 0.0F;
+        for (std::ptrdiff_t k = -radius; k <= radius; ++k) {
+          const std::ptrdiff_t cc = c + k;
+          if (cc < 0 || cc >= g) continue;
+          s += kernel[static_cast<std::size_t>(k + radius)] *
+               mask[static_cast<std::size_t>(r * g + cc)];
+        }
+        tmp[static_cast<std::size_t>(r * g + c)] = s;
       }
-      tmp[static_cast<std::size_t>(r * g + c)] = s;
     }
-  }
+  });
   // Vertical pass.
   std::vector<float> out(grid * grid, 0.0F);
-  for (std::ptrdiff_t r = 0; r < g; ++r) {
-    for (std::ptrdiff_t c = 0; c < g; ++c) {
-      float s = 0.0F;
-      for (std::ptrdiff_t k = -radius; k <= radius; ++k) {
-        const std::ptrdiff_t rr = r + k;
-        if (rr < 0 || rr >= g) continue;
-        s += kernel[static_cast<std::size_t>(k + radius)] *
-             tmp[static_cast<std::size_t>(rr * g + c)];
+  runtime::parallel_for(0, grid, [&](std::size_t r0, std::size_t r1) {
+    for (auto r = static_cast<std::ptrdiff_t>(r0);
+         r < static_cast<std::ptrdiff_t>(r1); ++r) {
+      for (std::ptrdiff_t c = 0; c < g; ++c) {
+        float s = 0.0F;
+        for (std::ptrdiff_t k = -radius; k <= radius; ++k) {
+          const std::ptrdiff_t rr = r + k;
+          if (rr < 0 || rr >= g) continue;
+          s += kernel[static_cast<std::size_t>(k + radius)] *
+               tmp[static_cast<std::size_t>(rr * g + c)];
+        }
+        out[static_cast<std::size_t>(r * g + c)] = s;
       }
-      out[static_cast<std::size_t>(r * g + c)] = s;
     }
-  }
+  });
   return out;
 }
 

@@ -1,5 +1,9 @@
 #include "litho/oracle.hpp"
 
+#include <stdexcept>
+
+#include "runtime/thread_pool.hpp"
+
 namespace hsd::litho {
 
 LithoOracle::LithoOracle(std::size_t grid, OpticalModel model, IntentMargins margins)
@@ -16,6 +20,53 @@ LithoResult LithoOracle::simulate(const layout::Clip& clip) {
 }
 
 bool LithoOracle::label(const layout::Clip& clip) { return simulate(clip).hotspot; }
+
+std::vector<LithoResult> LithoOracle::simulate_batch(
+    const std::vector<layout::Clip>& clips) {
+  // Simulations are independent (rasterizer and optics are stateless), so
+  // clips fan out across the pool; the count is bumped once up front to
+  // match the serial loop's total without a data race. A nested
+  // aerial-image parallel_for inside a worker degrades to inline, so the
+  // batch is the outermost (and widest) parallel level.
+  std::vector<LithoResult> results(clips.size());
+  count_ += clips.size();
+  runtime::parallel_for(0, clips.size(), 1, [&](std::size_t i0, std::size_t i1) {
+    for (std::size_t i = i0; i < i1; ++i) {
+      const std::vector<float> mask = raster_.rasterize(clips[i]);
+      const layout::Rect core_px = raster_.to_pixels(clips[i].core, clips[i].window);
+      const std::vector<float> aerial = aerial_image(mask, raster_.grid(), model_);
+      const std::vector<std::uint8_t> printed = printed_image(aerial, model_);
+      results[i] = check_printability(mask, aerial, printed, raster_.grid(),
+                                      core_px, model_, margins_);
+    }
+  });
+  return results;
+}
+
+std::vector<std::uint8_t> LithoOracle::label_batch(
+    const std::vector<layout::Clip>& clips,
+    const std::vector<std::size_t>& indices) {
+  for (std::size_t idx : indices) {
+    if (idx >= clips.size()) throw std::out_of_range("label_batch: clip index");
+  }
+  std::vector<std::uint8_t> labels(indices.size());
+  count_ += indices.size();
+  runtime::parallel_for(0, indices.size(), 1, [&](std::size_t i0, std::size_t i1) {
+    for (std::size_t i = i0; i < i1; ++i) {
+      const layout::Clip& clip = clips[indices[i]];
+      const std::vector<float> mask = raster_.rasterize(clip);
+      const layout::Rect core_px = raster_.to_pixels(clip.core, clip.window);
+      const std::vector<float> aerial = aerial_image(mask, raster_.grid(), model_);
+      const std::vector<std::uint8_t> printed = printed_image(aerial, model_);
+      labels[i] = check_printability(mask, aerial, printed, raster_.grid(),
+                                     core_px, model_, margins_)
+                      .hotspot
+                  ? 1
+                  : 0;
+    }
+  });
+  return labels;
+}
 
 LithoResult LithoOracle::simulate_mask(const std::vector<float>& mask,
                                        const layout::Rect& core_px) {

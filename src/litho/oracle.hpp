@@ -4,6 +4,7 @@
 // minimizes the number of such calls while maximizing detection accuracy.
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "layout/clip.hpp"
@@ -26,6 +27,16 @@ class LithoOracle {
 
   /// Label only: true = hotspot (counted).
   bool label(const layout::Clip& clip);
+
+  /// Simulates every clip (counted once each). Simulations run in parallel
+  /// on the global runtime pool; results are index-aligned with `clips`
+  /// and identical to calling simulate() in a loop.
+  std::vector<LithoResult> simulate_batch(const std::vector<layout::Clip>& clips);
+
+  /// Labels `clips[indices[i]]` for every i (counted once each), in
+  /// parallel. Returns hotspot flags aligned with `indices`.
+  std::vector<std::uint8_t> label_batch(const std::vector<layout::Clip>& clips,
+                                        const std::vector<std::size_t>& indices);
 
   /// Simulation of an already-rasterized mask (counted); `core_px` in pixels.
   LithoResult simulate_mask(const std::vector<float>& mask,

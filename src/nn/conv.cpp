@@ -2,7 +2,9 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <vector>
 
+#include "runtime/thread_pool.hpp"
 #include "tensor/ops.hpp"
 
 namespace hsd::nn {
@@ -43,19 +45,24 @@ Tensor Conv2d::forward(const Tensor& input) {
   const std::size_t patch = in_c_ * k_ * k_;
   const std::size_t out_spatial = oh * ow;
 
-  columns_.resize(patch * out_spatial);
   Tensor out({n, out_c_, oh, ow});
-  for (std::size_t img = 0; img < n; ++img) {
-    const float* src = input.data() + img * in_c_ * h * w;
-    im2col(src, in_c_, h, w, k_, k_, stride_, pad_, columns_.data());
-    float* dst = out.data() + img * out_c_ * out_spatial;
-    // (out_c x patch) * (patch x out_spatial)
-    hsd::tensor::matmul(w_.data(), columns_.data(), dst, out_c_, patch, out_spatial);
-    for (std::size_t oc = 0; oc < out_c_; ++oc) {
-      float* plane = dst + oc * out_spatial;
-      for (std::size_t s = 0; s < out_spatial; ++s) plane[s] += b_[oc];
+  // Images are independent; each block keeps a private im2col scratch so
+  // blocks never share mutable state. The per-image math is untouched, so
+  // any thread count produces the serial result bit for bit.
+  runtime::parallel_for(0, n, 1, [&](std::size_t n0, std::size_t n1) {
+    std::vector<float> columns(patch * out_spatial);
+    for (std::size_t img = n0; img < n1; ++img) {
+      const float* src = input.data() + img * in_c_ * h * w;
+      im2col(src, in_c_, h, w, k_, k_, stride_, pad_, columns.data());
+      float* dst = out.data() + img * out_c_ * out_spatial;
+      // (out_c x patch) * (patch x out_spatial)
+      hsd::tensor::matmul(w_.data(), columns.data(), dst, out_c_, patch, out_spatial);
+      for (std::size_t oc = 0; oc < out_c_; ++oc) {
+        float* plane = dst + oc * out_spatial;
+        for (std::size_t s = 0; s < out_spatial; ++s) plane[s] += b_[oc];
+      }
     }
-  }
+  });
   return out;
 }
 
@@ -74,32 +81,46 @@ Tensor Conv2d::backward(const Tensor& grad_output) {
   }
 
   Tensor grad_input(input_.shape());
-  std::vector<float> grad_columns(patch * out_spatial);
-  Tensor w_grad_img({out_c_, patch});
+  // Per-image weight/bias gradients land in private slices and are reduced
+  // in image order after the join — the identical add sequence the serial
+  // loop performs, so accumulation stays bit-stable across thread counts.
+  std::vector<float> w_grad_per_img(n * out_c_ * patch);
+  std::vector<float> b_grad_per_img(n * out_c_);
+
+  runtime::parallel_for(0, n, 1, [&](std::size_t n0, std::size_t n1) {
+    std::vector<float> columns(patch * out_spatial);
+    std::vector<float> grad_columns(patch * out_spatial);
+    for (std::size_t img = n0; img < n1; ++img) {
+      const float* src = input_.data() + img * in_c_ * h * w;
+      const float* gout = grad_output.data() + img * out_c_ * out_spatial;
+
+      // dW_img = dY * columns^T : (out_c x out_spatial) * (out_spatial x patch)
+      im2col(src, in_c_, h, w, k_, k_, stride_, pad_, columns.data());
+      hsd::tensor::matmul_a_bt(gout, columns.data(),
+                               w_grad_per_img.data() + img * out_c_ * patch,
+                               out_c_, out_spatial, patch);
+
+      // db_img = spatial sums of dY
+      for (std::size_t oc = 0; oc < out_c_; ++oc) {
+        const float* plane = gout + oc * out_spatial;
+        float s = 0.0F;
+        for (std::size_t i = 0; i < out_spatial; ++i) s += plane[i];
+        b_grad_per_img[img * out_c_ + oc] = s;
+      }
+
+      // dColumns = W^T * dY : (patch x out_c) * (out_c x out_spatial)
+      hsd::tensor::matmul_at_b(w_.data(), gout, grad_columns.data(), patch, out_c_,
+                               out_spatial);
+      float* gin = grad_input.data() + img * in_c_ * h * w;
+      col2im(grad_columns.data(), in_c_, h, w, k_, k_, stride_, pad_, gin);
+    }
+  });
 
   for (std::size_t img = 0; img < n; ++img) {
-    const float* src = input_.data() + img * in_c_ * h * w;
-    const float* gout = grad_output.data() + img * out_c_ * out_spatial;
-
-    // dW += dY * columns^T : (out_c x out_spatial) * (out_spatial x patch)
-    im2col(src, in_c_, h, w, k_, k_, stride_, pad_, columns_.data());
-    hsd::tensor::matmul_a_bt(gout, columns_.data(), w_grad_img.data(), out_c_,
-                             out_spatial, patch);
-    w_grad_ += w_grad_img;
-
-    // db += spatial sums of dY
-    for (std::size_t oc = 0; oc < out_c_; ++oc) {
-      const float* plane = gout + oc * out_spatial;
-      float s = 0.0F;
-      for (std::size_t i = 0; i < out_spatial; ++i) s += plane[i];
-      b_grad_[oc] += s;
-    }
-
-    // dColumns = W^T * dY : (patch x out_c) * (out_c x out_spatial)
-    hsd::tensor::matmul_at_b(w_.data(), gout, grad_columns.data(), patch, out_c_,
-                             out_spatial);
-    float* gin = grad_input.data() + img * in_c_ * h * w;
-    col2im(grad_columns.data(), in_c_, h, w, k_, k_, stride_, pad_, gin);
+    const float* wg = w_grad_per_img.data() + img * out_c_ * patch;
+    for (std::size_t i = 0; i < out_c_ * patch; ++i) w_grad_[i] += wg[i];
+    const float* bg = b_grad_per_img.data() + img * out_c_;
+    for (std::size_t oc = 0; oc < out_c_; ++oc) b_grad_[oc] += bg[oc];
   }
   return grad_input;
 }

@@ -34,7 +34,6 @@ class Conv2d : public Layer {
   Tensor w_grad_;
   Tensor b_grad_;
   Tensor input_;   // cached NCHW input
-  std::vector<float> columns_;  // scratch im2col buffer for one image
 };
 
 }  // namespace hsd::nn

@@ -5,50 +5,76 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "runtime/thread_pool.hpp"
+
 namespace hsd::tensor {
+
+namespace {
+
+// Rows per parallel_for block so each block carries enough arithmetic to
+// amortize a fork. parallel_for runs inline when one block covers the
+// whole range, so small GEMMs never pay for threading.
+std::size_t row_grain(std::size_t ops_per_row) {
+  constexpr std::size_t kMinOpsPerBlock = std::size_t{1} << 15;
+  if (ops_per_row == 0) return kMinOpsPerBlock;
+  return std::max<std::size_t>(1, (kMinOpsPerBlock + ops_per_row - 1) / ops_per_row);
+}
+
+}  // namespace
 
 void matmul(const float* a, const float* b, float* c, std::size_t m,
             std::size_t k, std::size_t n) {
   // ikj loop order keeps B and C accesses sequential; good enough for the
-  // small GEMMs the CNN needs without pulling in a BLAS.
-  std::memset(c, 0, m * n * sizeof(float));
-  for (std::size_t i = 0; i < m; ++i) {
-    for (std::size_t p = 0; p < k; ++p) {
-      const float aip = a[i * k + p];
-      if (aip == 0.0F) continue;
-      const float* brow = b + p * n;
-      float* crow = c + i * n;
-      for (std::size_t j = 0; j < n; ++j) crow[j] += aip * brow[j];
+  // small GEMMs the CNN needs without pulling in a BLAS. Rows of C are
+  // independent, so blocks of rows go wide; each element accumulates over
+  // p in ascending order on every path, keeping results bit-identical
+  // across thread counts.
+  runtime::parallel_for(0, m, row_grain(k * n), [=](std::size_t i0, std::size_t i1) {
+    std::memset(c + i0 * n, 0, (i1 - i0) * n * sizeof(float));
+    for (std::size_t i = i0; i < i1; ++i) {
+      for (std::size_t p = 0; p < k; ++p) {
+        const float aip = a[i * k + p];
+        if (aip == 0.0F) continue;
+        const float* brow = b + p * n;
+        float* crow = c + i * n;
+        for (std::size_t j = 0; j < n; ++j) crow[j] += aip * brow[j];
+      }
     }
-  }
+  });
 }
 
 void matmul_at_b(const float* a, const float* b, float* c, std::size_t m,
                  std::size_t k, std::size_t n) {
-  std::memset(c, 0, m * n * sizeof(float));
-  for (std::size_t p = 0; p < k; ++p) {
-    const float* arow = a + p * m;
-    const float* brow = b + p * n;
-    for (std::size_t i = 0; i < m; ++i) {
-      const float api = arow[i];
-      if (api == 0.0F) continue;
-      float* crow = c + i * n;
-      for (std::size_t j = 0; j < n; ++j) crow[j] += api * brow[j];
+  // Blocks of C rows in parallel; p stays the outer loop within a block so
+  // each c[i][j] sees the same ascending-p accumulation as the serial path.
+  runtime::parallel_for(0, m, row_grain(k * n), [=](std::size_t i0, std::size_t i1) {
+    std::memset(c + i0 * n, 0, (i1 - i0) * n * sizeof(float));
+    for (std::size_t p = 0; p < k; ++p) {
+      const float* arow = a + p * m;
+      const float* brow = b + p * n;
+      for (std::size_t i = i0; i < i1; ++i) {
+        const float api = arow[i];
+        if (api == 0.0F) continue;
+        float* crow = c + i * n;
+        for (std::size_t j = 0; j < n; ++j) crow[j] += api * brow[j];
+      }
     }
-  }
+  });
 }
 
 void matmul_a_bt(const float* a, const float* b, float* c, std::size_t m,
                  std::size_t k, std::size_t n) {
-  for (std::size_t i = 0; i < m; ++i) {
-    const float* arow = a + i * k;
-    for (std::size_t j = 0; j < n; ++j) {
-      const float* brow = b + j * k;
-      float s = 0.0F;
-      for (std::size_t p = 0; p < k; ++p) s += arow[p] * brow[p];
-      c[i * n + j] = s;
+  runtime::parallel_for(0, m, row_grain(k * n), [=](std::size_t i0, std::size_t i1) {
+    for (std::size_t i = i0; i < i1; ++i) {
+      const float* arow = a + i * k;
+      for (std::size_t j = 0; j < n; ++j) {
+        const float* brow = b + j * k;
+        float s = 0.0F;
+        for (std::size_t p = 0; p < k; ++p) s += arow[p] * brow[p];
+        c[i * n + j] = s;
+      }
     }
-  }
+  });
 }
 
 Tensor matmul(const Tensor& a, const Tensor& b) {
@@ -75,31 +101,34 @@ void im2col(const float* image, std::size_t channels, std::size_t height,
   const std::size_t oh = conv_out_extent(height, kh, stride, pad);
   const std::size_t ow = conv_out_extent(width, kw, stride, pad);
   const std::size_t out_spatial = oh * ow;
-  for (std::size_t c = 0; c < channels; ++c) {
-    for (std::size_t ki = 0; ki < kh; ++ki) {
-      for (std::size_t kj = 0; kj < kw; ++kj) {
-        const std::size_t row = (c * kh + ki) * kw + kj;
-        float* dst = columns + row * out_spatial;
-        for (std::size_t oi = 0; oi < oh; ++oi) {
-          const std::ptrdiff_t ii =
-              static_cast<std::ptrdiff_t>(oi * stride + ki) -
-              static_cast<std::ptrdiff_t>(pad);
-          for (std::size_t oj = 0; oj < ow; ++oj) {
-            const std::ptrdiff_t jj =
-                static_cast<std::ptrdiff_t>(oj * stride + kj) -
+  // Each (c, ki, kj) combination fills a disjoint `columns` row.
+  runtime::parallel_for(
+      0, channels * kh * kw, row_grain(out_spatial),
+      [=](std::size_t r0, std::size_t r1) {
+        for (std::size_t row = r0; row < r1; ++row) {
+          const std::size_t c = row / (kh * kw);
+          const std::size_t ki = (row / kw) % kh;
+          const std::size_t kj = row % kw;
+          float* dst = columns + row * out_spatial;
+          for (std::size_t oi = 0; oi < oh; ++oi) {
+            const std::ptrdiff_t ii =
+                static_cast<std::ptrdiff_t>(oi * stride + ki) -
                 static_cast<std::ptrdiff_t>(pad);
-            float v = 0.0F;
-            if (ii >= 0 && ii < static_cast<std::ptrdiff_t>(height) && jj >= 0 &&
-                jj < static_cast<std::ptrdiff_t>(width)) {
-              v = image[(c * height + static_cast<std::size_t>(ii)) * width +
-                        static_cast<std::size_t>(jj)];
+            for (std::size_t oj = 0; oj < ow; ++oj) {
+              const std::ptrdiff_t jj =
+                  static_cast<std::ptrdiff_t>(oj * stride + kj) -
+                  static_cast<std::ptrdiff_t>(pad);
+              float v = 0.0F;
+              if (ii >= 0 && ii < static_cast<std::ptrdiff_t>(height) && jj >= 0 &&
+                  jj < static_cast<std::ptrdiff_t>(width)) {
+                v = image[(c * height + static_cast<std::size_t>(ii)) * width +
+                          static_cast<std::size_t>(jj)];
+              }
+              dst[oi * ow + oj] = v;
             }
-            dst[oi * ow + oj] = v;
           }
         }
-      }
-    }
-  }
+      });
 }
 
 void col2im(const float* columns, std::size_t channels, std::size_t height,
@@ -108,28 +137,32 @@ void col2im(const float* columns, std::size_t channels, std::size_t height,
   const std::size_t oh = conv_out_extent(height, kh, stride, pad);
   const std::size_t ow = conv_out_extent(width, kw, stride, pad);
   const std::size_t out_spatial = oh * ow;
-  for (std::size_t c = 0; c < channels; ++c) {
-    for (std::size_t ki = 0; ki < kh; ++ki) {
-      for (std::size_t kj = 0; kj < kw; ++kj) {
-        const std::size_t row = (c * kh + ki) * kw + kj;
-        const float* src = columns + row * out_spatial;
-        for (std::size_t oi = 0; oi < oh; ++oi) {
-          const std::ptrdiff_t ii =
-              static_cast<std::ptrdiff_t>(oi * stride + ki) -
-              static_cast<std::ptrdiff_t>(pad);
-          if (ii < 0 || ii >= static_cast<std::ptrdiff_t>(height)) continue;
-          for (std::size_t oj = 0; oj < ow; ++oj) {
-            const std::ptrdiff_t jj =
-                static_cast<std::ptrdiff_t>(oj * stride + kj) -
+  // Kernel offsets of one channel scatter-add into overlapping pixels, so
+  // only the channel dimension can go wide (disjoint image planes).
+  runtime::parallel_for(0, channels, 1, [=](std::size_t c0, std::size_t c1) {
+    for (std::size_t c = c0; c < c1; ++c) {
+      for (std::size_t ki = 0; ki < kh; ++ki) {
+        for (std::size_t kj = 0; kj < kw; ++kj) {
+          const std::size_t row = (c * kh + ki) * kw + kj;
+          const float* src = columns + row * out_spatial;
+          for (std::size_t oi = 0; oi < oh; ++oi) {
+            const std::ptrdiff_t ii =
+                static_cast<std::ptrdiff_t>(oi * stride + ki) -
                 static_cast<std::ptrdiff_t>(pad);
-            if (jj < 0 || jj >= static_cast<std::ptrdiff_t>(width)) continue;
-            image_grad[(c * height + static_cast<std::size_t>(ii)) * width +
-                       static_cast<std::size_t>(jj)] += src[oi * ow + oj];
+            if (ii < 0 || ii >= static_cast<std::ptrdiff_t>(height)) continue;
+            for (std::size_t oj = 0; oj < ow; ++oj) {
+              const std::ptrdiff_t jj =
+                  static_cast<std::ptrdiff_t>(oj * stride + kj) -
+                  static_cast<std::ptrdiff_t>(pad);
+              if (jj < 0 || jj >= static_cast<std::ptrdiff_t>(width)) continue;
+              image_grad[(c * height + static_cast<std::size_t>(ii)) * width +
+                         static_cast<std::size_t>(jj)] += src[oi * ow + oj];
+            }
           }
         }
       }
     }
-  }
+  });
 }
 
 std::vector<double> softmax(const std::vector<double>& logits, double temperature) {

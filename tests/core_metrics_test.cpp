@@ -135,7 +135,10 @@ TEST(IterationCsvTest, EmptyRunIsHeaderOnly) {
   AlOutcome out;
   std::ostringstream os;
   write_iteration_csv(os, out);
-  EXPECT_EQ(std::count(os.str().begin(), os.str().end(), '\n'), 1);
+  // os.str() returns by value; begin() and end() must come from the same
+  // string object, not two distinct temporaries.
+  const std::string text = os.str();
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 1);
 }
 
 }  // namespace

@@ -1,0 +1,218 @@
+// Bit-stability of the parallelized hot paths: for every wired kernel, the
+// result at HSD_THREADS=2 and 8 must equal the HSD_THREADS=1 (exact serial
+// fallback) result bit for bit, because the runtime only partitions
+// disjoint outputs and never reorders per-element floating-point work.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "core/diversity.hpp"
+#include "core/uncertainty.hpp"
+#include "data/features.hpp"
+#include "litho/optical.hpp"
+#include "litho/oracle.hpp"
+#include "nn/conv.hpp"
+#include "runtime/thread_pool.hpp"
+#include "stats/rng.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/tensor.hpp"
+
+namespace hsd {
+namespace {
+
+using stats::Rng;
+using tensor::Tensor;
+
+constexpr std::size_t kThreadCounts[] = {1, 2, 8};
+
+class EquivalenceTest : public ::testing::Test {
+ protected:
+  void TearDown() override { runtime::set_global_threads(1); }
+};
+
+std::vector<float> random_floats(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) x = static_cast<float>(rng.normal());
+  return v;
+}
+
+std::vector<std::vector<double>> random_rows(std::size_t n, std::size_t dim,
+                                             std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<double>> rows(n, std::vector<double>(dim));
+  for (auto& r : rows) {
+    for (auto& v : r) v = rng.normal();
+  }
+  return rows;
+}
+
+layout::Clip line_clip(layout::Coord width, layout::Coord offset) {
+  layout::Clip c;
+  c.window = layout::Rect{0, 0, 640, 640};
+  c.core = layout::centered_core(c.window, 0.5);
+  const auto y = static_cast<layout::Coord>(320 + offset - width / 2);
+  c.shapes.push_back(layout::Rect{0, y, 640, static_cast<layout::Coord>(y + width)});
+  layout::finalize(c);
+  return c;
+}
+
+std::vector<layout::Clip> clip_population() {
+  std::vector<layout::Clip> clips;
+  for (layout::Coord w : {20, 30, 40, 60}) {
+    for (layout::Coord off : {-60, -20, 0, 20, 60}) {
+      clips.push_back(line_clip(w, off));
+    }
+  }
+  return clips;
+}
+
+TEST_F(EquivalenceTest, MatmulFamilyBitStableAcrossThreadCounts) {
+  const std::size_t m = 37, k = 29, n = 41;
+  const std::vector<float> a = random_floats(m * k, 1);
+  const std::vector<float> b = random_floats(k * n, 2);
+  const std::vector<float> at = random_floats(k * m, 3);
+  const std::vector<float> bt = random_floats(n * k, 4);
+
+  std::vector<float> ref_ab, ref_atb, ref_abt;
+  for (std::size_t threads : kThreadCounts) {
+    runtime::set_global_threads(threads);
+    std::vector<float> ab(m * n), atb(m * n), abt(m * n);
+    // Grain 1 forces maximal block splitting so the parallel path really runs.
+    tensor::matmul(a.data(), b.data(), ab.data(), m, k, n);
+    tensor::matmul_at_b(at.data(), b.data(), atb.data(), m, k, n);
+    tensor::matmul_a_bt(a.data(), bt.data(), abt.data(), m, k, n);
+    if (threads == 1) {
+      ref_ab = ab;
+      ref_atb = atb;
+      ref_abt = abt;
+      continue;
+    }
+    EXPECT_EQ(std::memcmp(ref_ab.data(), ab.data(), ab.size() * sizeof(float)), 0);
+    EXPECT_EQ(std::memcmp(ref_atb.data(), atb.data(), atb.size() * sizeof(float)), 0);
+    EXPECT_EQ(std::memcmp(ref_abt.data(), abt.data(), abt.size() * sizeof(float)), 0);
+  }
+}
+
+TEST_F(EquivalenceTest, ConvForwardBackwardBitStableAcrossThreadCounts) {
+  Tensor ref_y, ref_gin, ref_wg, ref_bg;
+  for (std::size_t threads : kThreadCounts) {
+    runtime::set_global_threads(threads);
+    Rng rng(11);
+    nn::Conv2d conv(2, 4, 3, rng, 1, 1);
+    Rng data_rng(12);
+    const Tensor x = Tensor::randn({9, 2, 8, 8}, data_rng);
+    const Tensor y = conv.forward(x);
+    const Tensor gy = Tensor::randn(y.shape(), data_rng);
+    const Tensor gin = conv.backward(gy);
+    const Tensor wg = *conv.params()[0].grad;
+    const Tensor bg = *conv.params()[1].grad;
+    if (threads == 1) {
+      ref_y = y;
+      ref_gin = gin;
+      ref_wg = wg;
+      ref_bg = bg;
+      continue;
+    }
+    EXPECT_EQ(std::memcmp(ref_y.data(), y.data(), y.size() * sizeof(float)), 0);
+    EXPECT_EQ(std::memcmp(ref_gin.data(), gin.data(), gin.size() * sizeof(float)), 0);
+    EXPECT_EQ(std::memcmp(ref_wg.data(), wg.data(), wg.size() * sizeof(float)), 0);
+    EXPECT_EQ(std::memcmp(ref_bg.data(), bg.data(), bg.size() * sizeof(float)), 0);
+  }
+}
+
+TEST_F(EquivalenceTest, DctFeatureExtractionBitStableAcrossThreadCounts) {
+  const std::vector<layout::Clip> clips = clip_population();
+  Tensor ref;
+  for (std::size_t threads : kThreadCounts) {
+    runtime::set_global_threads(threads);
+    const data::FeatureExtractor fx(64, 8);
+    const Tensor feats = fx.extract_batch(clips);
+    if (threads == 1) {
+      ref = feats;
+      continue;
+    }
+    ASSERT_EQ(ref.size(), feats.size());
+    EXPECT_EQ(std::memcmp(ref.data(), feats.data(), feats.size() * sizeof(float)), 0);
+  }
+}
+
+TEST_F(EquivalenceTest, AerialImageBitStableAcrossThreadCounts) {
+  const std::size_t grid = 64;
+  const std::vector<float> mask = random_floats(grid * grid, 21);
+  std::vector<float> ref;
+  for (std::size_t threads : kThreadCounts) {
+    runtime::set_global_threads(threads);
+    const std::vector<float> aerial = litho::aerial_image(mask, grid, litho::duv28_model());
+    if (threads == 1) {
+      ref = aerial;
+      continue;
+    }
+    EXPECT_EQ(std::memcmp(ref.data(), aerial.data(), aerial.size() * sizeof(float)), 0);
+  }
+}
+
+TEST_F(EquivalenceTest, OracleBatchMatchesSerialLabelsAndCount) {
+  const std::vector<layout::Clip> clips = clip_population();
+  std::vector<std::size_t> indices(clips.size());
+  for (std::size_t i = 0; i < indices.size(); ++i) indices[i] = i;
+
+  runtime::set_global_threads(1);
+  litho::LithoOracle serial_oracle(64, litho::duv28_model());
+  std::vector<std::uint8_t> serial_labels;
+  serial_labels.reserve(clips.size());
+  for (const auto& c : clips) serial_labels.push_back(serial_oracle.label(c) ? 1 : 0);
+
+  for (std::size_t threads : kThreadCounts) {
+    runtime::set_global_threads(threads);
+    litho::LithoOracle oracle(64, litho::duv28_model());
+    const std::vector<std::uint8_t> labels = oracle.label_batch(clips, indices);
+    EXPECT_EQ(labels, serial_labels) << threads << " threads";
+    EXPECT_EQ(oracle.simulation_count(), clips.size());
+  }
+}
+
+TEST_F(EquivalenceTest, DiversityScoresBitStableAcrossThreadCounts) {
+  const auto rows = random_rows(61, 16, 31);
+  std::vector<double> ref_scores, ref_sim;
+  for (std::size_t threads : kThreadCounts) {
+    runtime::set_global_threads(threads);
+    const std::vector<double> scores = core::diversity_scores(rows);
+    const std::vector<double> sim = core::similarity_matrix(rows);
+    if (threads == 1) {
+      ref_scores = scores;
+      ref_sim = sim;
+      continue;
+    }
+    EXPECT_EQ(std::memcmp(ref_scores.data(), scores.data(),
+                          scores.size() * sizeof(double)), 0);
+    EXPECT_EQ(std::memcmp(ref_sim.data(), sim.data(), sim.size() * sizeof(double)), 0);
+  }
+}
+
+TEST_F(EquivalenceTest, UncertaintyBitStableAcrossThreadCounts) {
+  Rng rng(41);
+  std::vector<std::vector<double>> probs(257, std::vector<double>(2));
+  for (auto& p : probs) {
+    p[1] = rng.uniform();
+    p[0] = 1.0 - p[1];
+  }
+  std::vector<double> ref_bvsb, ref_aware;
+  for (std::size_t threads : kThreadCounts) {
+    runtime::set_global_threads(threads);
+    const std::vector<double> bvsb = core::bvsb_uncertainty(probs);
+    const std::vector<double> aware = core::hotspot_aware_uncertainty(probs, 0.3);
+    if (threads == 1) {
+      ref_bvsb = bvsb;
+      ref_aware = aware;
+      continue;
+    }
+    EXPECT_EQ(ref_bvsb, bvsb);
+    EXPECT_EQ(ref_aware, aware);
+  }
+}
+
+}  // namespace
+}  // namespace hsd
