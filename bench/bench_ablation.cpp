@@ -10,8 +10,9 @@
 
 #include "harness.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hsd;
+  harness::apply_obs_flags(argc, argv);
   using core::SamplerKind;
 
   // ---- (a) strategy study on ICCAD16-3 and ICCAD16-4. ---------------------

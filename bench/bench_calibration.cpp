@@ -13,8 +13,9 @@
 #include "stats/reliability.hpp"
 #include "stats/roc.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hsd;
+  harness::apply_obs_flags(argc, argv);
 
   const auto& built = harness::get_benchmark(data::iccad16_spec(3));
   const auto& bench = built.bench;

@@ -33,8 +33,9 @@ void print_diagram(const char* title, const hsd::stats::ReliabilityDiagram& d) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hsd;
+  harness::apply_obs_flags(argc, argv);
 
   const auto& built = harness::get_benchmark(data::iccad12_spec(harness::iccad12_scale()));
   const std::size_t n = built.bench.size();

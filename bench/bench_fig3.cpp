@@ -23,8 +23,9 @@ double seconds_since(std::chrono::steady_clock::time_point t0) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hsd;
+  harness::apply_obs_flags(argc, argv);
 
   const auto& built = harness::get_benchmark(data::iccad16_spec(2));
 

@@ -10,8 +10,9 @@
 #include "stats/bootstrap.hpp"
 #include "stats/summary.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hsd;
+  harness::apply_obs_flags(argc, argv);
   using core::SamplerKind;
 
   const auto specs = harness::paper_specs();

@@ -77,8 +77,9 @@ std::vector<bool> al_simulated(const BuiltBenchmark& built,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hsd;
+  harness::apply_obs_flags(argc, argv);
 
   const auto& built = harness::get_benchmark(data::iccad16_spec(2));
   std::printf("Fig. 5: hotspot distribution and sampled clips on the ICCAD16-2"

@@ -11,8 +11,9 @@
 #include "stats/roc.hpp"
 #include "stats/summary.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hsd;
+  harness::apply_obs_flags(argc, argv);
 
   std::printf("PV-band analysis (dose +-5%%, defocus +15%%)\n\n");
   std::printf("%-11s %9s %9s %9s %12s %12s %10s\n", "Benchmark", "sampled",

@@ -30,6 +30,8 @@
 #include "data/features.hpp"
 #include "litho/oracle.hpp"
 #include "nn/conv.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "runtime/thread_pool.hpp"
 #include "stats/rng.hpp"
 #include "tensor/ops.hpp"
@@ -165,7 +167,17 @@ std::vector<Kernel> build_kernels() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // Optional observability taps (same as HSD_TRACE / HSD_METRICS). When
+  // neither is given the obs layer stays disabled and the timings below are
+  // identical to a build without instrumentation.
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0) {
+      hsd::obs::enable_trace(argv[++i]);
+    } else if (std::strcmp(argv[i], "--metrics") == 0) {
+      hsd::obs::enable_metrics(argv[++i]);
+    }
+  }
   const std::size_t rounds = env_size("HSD_BENCH_ROUNDS", 7);
   const std::size_t warmup = env_size("HSD_BENCH_WARMUP", 2);
   const std::size_t hw = std::max(1u, std::thread::hardware_concurrency());

@@ -9,8 +9,9 @@
 
 #include "harness.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hsd;
+  harness::apply_obs_flags(argc, argv);
 
   std::printf("Table I: Statistics of benchmarks (synthetic reproduction)\n");
   std::printf("%-11s %8s %8s %9s %10s\n", "Benchmarks", "HS #", "NHS #", "Tech (nm)",

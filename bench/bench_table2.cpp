@@ -8,8 +8,9 @@
 
 #include "harness.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hsd;
+  harness::apply_obs_flags(argc, argv);
   using core::SamplerKind;
 
   const auto specs = harness::paper_specs();

@@ -6,8 +6,9 @@
 
 #include "harness.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hsd;
+  harness::apply_obs_flags(argc, argv);
 
   const auto specs = harness::paper_specs();
   const std::vector<std::string> methods{"w/o.E", "w/o.D", "w/o.U", "Full"};

@@ -4,8 +4,12 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <map>
 #include <stdexcept>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace hsd::harness {
 
@@ -28,6 +32,16 @@ double iccad12_scale() {
 std::size_t repeats() {
   const double r = env_double("HSD_REPEATS", 5.0);
   return r < 1.0 ? 1 : static_cast<std::size_t>(r);
+}
+
+void apply_obs_flags(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0) {
+      obs::enable_trace(argv[++i]);
+    } else if (std::strcmp(argv[i], "--metrics") == 0) {
+      obs::enable_metrics(argv[++i]);
+    }
+  }
 }
 
 const BuiltBenchmark& get_benchmark(const data::BenchmarkSpec& spec) {

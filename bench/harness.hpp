@@ -65,4 +65,11 @@ struct PmRunResult {
 };
 PmRunResult run_pm(const BuiltBenchmark& built, const pm::PmConfig& config);
 
+/// Handles the shared observability flags on a bench binary's command line:
+///   --trace FILE    Chrome trace_event JSON of the run
+///   --metrics FILE  metrics registry snapshot JSON at exit
+/// Equivalent to the HSD_TRACE / HSD_METRICS environment variables. Unknown
+/// arguments are ignored so benches keep their own parsing, if any.
+void apply_obs_flags(int argc, char** argv);
+
 }  // namespace hsd::harness

@@ -56,5 +56,8 @@ int main() {
               m.hs_total - m.hs_train - m.hs_val - m.hits);
   std::printf("  false alarms: %zu, fitted temperature: %.3f\n", m.false_alarms,
               outcome.final_temperature);
+  // The exact oracle spend (|L| + |V0|); with HSD_METRICS set, the exported
+  // litho/oracle_calls counter equals this number.
+  std::printf("  label budget (oracle calls): %zu\n", outcome.litho_labeling);
   return 0;
 }

@@ -4,6 +4,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
 #include "runtime/thread_pool.hpp"
 #include "stats/normalize.hpp"
 
@@ -21,6 +22,7 @@ std::vector<std::vector<double>> normalized_copy(
 }  // namespace
 
 std::vector<double> similarity_matrix(const std::vector<std::vector<double>>& features) {
+  HSD_SPAN("core/similarity_matrix");
   const auto unit = normalized_copy(features);
   const std::size_t n = unit.size();
   std::vector<double> s(n * n, 0.0);
@@ -62,6 +64,7 @@ std::vector<double> diversity_matrix(const std::vector<std::vector<double>>& fea
 }
 
 std::vector<double> diversity_scores(const std::vector<std::vector<double>>& features) {
+  HSD_SPAN("core/diversity_scores");
   const auto unit = normalized_copy(features);
   const std::size_t n = unit.size();
   std::vector<double> scores(n, 0.0);

@@ -8,11 +8,34 @@
 
 #include "core/calibration.hpp"
 #include "data/features.hpp"
+#include "obs/metrics.hpp"
+#include "obs/round_report.hpp"
+#include "obs/trace.hpp"
 #include "stats/pca.hpp"
+#include "stats/reliability.hpp"
+#include "stats/roc.hpp"
 
 namespace hsd::core {
 
 namespace {
+
+/// Wall-clock stopwatch for the per-round stage timings. Reading the clock
+/// per stage is a handful of nanoseconds, so it runs unconditionally and
+/// the round reporter simply ignores the values when disabled.
+class Stopwatch {
+ public:
+  Stopwatch() : last_(std::chrono::steady_clock::now()) {}
+  /// Seconds since construction or the previous lap() call.
+  double lap() {
+    const auto now = std::chrono::steady_clock::now();
+    const double dt = std::chrono::duration<double>(now - last_).count();
+    last_ = now;
+    return dt;
+  }
+
+ private:
+  std::chrono::steady_clock::time_point last_;
+};
 
 /// Indices of the `count` smallest values in `score` restricted to `among`.
 std::vector<std::size_t> lowest_k(const std::vector<double>& score,
@@ -33,6 +56,7 @@ AlOutcome run_active_learning(const FrameworkConfig& config,
                               const tensor::Tensor& features,
                               const std::vector<layout::Clip>& clips,
                               litho::LithoOracle& oracle) {
+  HSD_SPAN("al/run");
   const std::size_t n_total = features.dim(0);
   if (clips.size() != n_total) {
     throw std::invalid_argument("run_active_learning: features/clips size mismatch");
@@ -48,21 +72,27 @@ AlOutcome run_active_learning(const FrameworkConfig& config,
   AlOutcome out;
   hsd::stats::Rng rng(cfg.seed);
   const std::size_t litho_before = oracle.simulation_count();
+  obs::RoundReporter reporter =
+      obs::RoundReporter::from_path_or_env(cfg.round_log_path);
 
   // ---- Alg. 2 line 1: GMM density over all clip features. ----------------
-  std::vector<std::vector<double>> rows = data::to_double_rows(features);
-  std::vector<std::vector<double>> gmm_rows;
-  if (cfg.gmm_pca_dims > 0 && cfg.gmm_pca_dims < rows[0].size()) {
-    const auto pca = hsd::stats::Pca::fit(rows, cfg.gmm_pca_dims);
-    gmm_rows = pca.transform(rows);
-  } else {
-    gmm_rows = rows;
+  std::vector<double> density;
+  {
+    HSD_SPAN("al/gmm_density");
+    std::vector<std::vector<double>> rows = data::to_double_rows(features);
+    std::vector<std::vector<double>> gmm_rows;
+    if (cfg.gmm_pca_dims > 0 && cfg.gmm_pca_dims < rows[0].size()) {
+      const auto pca = hsd::stats::Pca::fit(rows, cfg.gmm_pca_dims);
+      gmm_rows = pca.transform(rows);
+    } else {
+      gmm_rows = rows;
+    }
+    gmm::GmmConfig gmm_cfg;
+    gmm_cfg.components = std::min(cfg.gmm_components, n_total);
+    hsd::stats::Rng gmm_rng = rng.split();
+    const auto mixture = gmm::GaussianMixture::fit(gmm_rows, gmm_cfg, gmm_rng);
+    density = mixture.log_densities(gmm_rows);
   }
-  gmm::GmmConfig gmm_cfg;
-  gmm_cfg.components = std::min(cfg.gmm_components, n_total);
-  hsd::stats::Rng gmm_rng = rng.split();
-  const auto mixture = gmm::GaussianMixture::fit(gmm_rows, gmm_cfg, gmm_rng);
-  const std::vector<double> density = mixture.log_densities(gmm_rows);
 
   // ---- Alg. 2 line 2: split into L0 (lowest density), V0, U0. -------------
   std::vector<std::size_t> all(n_total);
@@ -99,6 +129,7 @@ AlOutcome run_active_learning(const FrameworkConfig& config,
   // ---- Alg. 2 lines 3-5: initialize and train the model on L0. -----------
   HotspotDetector detector(cfg.detector, rng.split());
   {
+    HSD_SPAN("al/initial_train");
     const tensor::Tensor x0 = data::make_batch(features, out.train.indices);
     detector.train_initial(x0, out.train.labels);
   }
@@ -107,30 +138,50 @@ AlOutcome run_active_learning(const FrameworkConfig& config,
   // ---- Alg. 2 lines 6-13: iterative batch-mode sampling. ------------------
   hsd::stats::Rng sample_rng = rng.split();
   std::size_t dry_batches = 0;
+  static obs::Counter& rounds_counter = obs::counter("al/rounds");
   for (std::size_t iter = 0; iter < cfg.iterations && !unlabeled.empty(); ++iter) {
+    HSD_SPAN("al/round");
+    Stopwatch watch;
+    obs::RoundRecord record;
+
     // Line 7: query set = n lowest-density unlabeled clips. Unselected
     // query clips stay in U (no discarding), so re-querying them later is
     // possible — the information-loss fix the paper highlights.
-    const std::vector<std::size_t> query =
-        lowest_k(density, unlabeled.indices(), cfg.query_size);
+    std::vector<std::size_t> query;
+    {
+      HSD_SPAN("al/gmm_query");
+      query = lowest_k(density, unlabeled.indices(), cfg.query_size);
+    }
+    record.query_seconds = watch.lap();
     if (query.empty()) break;
 
     // Line 8: fit T on the validation set.
-    const tensor::Tensor val_logits = detector.logits(val_x);
-    const CalibrationResult cal = fit_temperature(val_logits, out.val.labels);
+    tensor::Tensor val_logits;
+    CalibrationResult cal;
+    {
+      HSD_SPAN("al/calibration");
+      val_logits = detector.logits(val_x);
+      cal = fit_temperature(val_logits, out.val.labels);
+    }
+    record.calibration_seconds = watch.lap();
 
     // Line 9: batch selection on the query set.
-    const tensor::Tensor qx = data::make_batch(features, query);
-    const nn::ForwardResult fwd = detector.forward(qx);
-    const double t_used =
-        cfg.sampler.kind == SamplerKind::kQp ? 1.0 : cal.temperature;
-    const std::vector<std::vector<double>> probs =
-        calibrated_probabilities(fwd.logits, t_used);
-    const std::vector<std::vector<double>> qfeat = data::to_double_rows(fwd.features);
-
     SamplingDiagnostics diag;
-    const std::vector<std::size_t> picked_pos =
-        select_batch(probs, qfeat, cfg.batch_k, cfg.sampler, sample_rng, &diag);
+    std::vector<std::size_t> picked_pos;
+    {
+      HSD_SPAN("al/scoring");
+      const tensor::Tensor qx = data::make_batch(features, query);
+      const nn::ForwardResult fwd = detector.forward(qx);
+      const double t_used =
+          cfg.sampler.kind == SamplerKind::kQp ? 1.0 : cal.temperature;
+      const std::vector<std::vector<double>> probs =
+          calibrated_probabilities(fwd.logits, t_used);
+      const std::vector<std::vector<double>> qfeat =
+          data::to_double_rows(fwd.features);
+      picked_pos = select_batch(probs, qfeat, cfg.batch_k, cfg.sampler,
+                                sample_rng, &diag);
+    }
+    record.scoring_seconds = watch.lap();
 
     // Lines 10-11: litho-label the batch, move it from U to L.
     IterationLog log;
@@ -141,18 +192,61 @@ AlOutcome run_active_learning(const FrameworkConfig& config,
     std::vector<std::size_t> picked_indices;
     picked_indices.reserve(picked_pos.size());
     for (std::size_t pos : picked_pos) picked_indices.push_back(query[pos]);
-    const std::vector<std::uint8_t> labels = oracle.label_batch(clips, picked_indices);
-    for (std::size_t i = 0; i < picked_indices.size(); ++i) {
-      unlabeled.remove(picked_indices[i]);
-      const int label = labels[i] != 0 ? 1 : 0;
-      out.train.add(picked_indices[i], label);
-      log.new_hotspots += (label == 1);
+    {
+      HSD_SPAN("al/labeling");
+      const std::vector<std::uint8_t> labels =
+          oracle.label_batch(clips, picked_indices);
+      for (std::size_t i = 0; i < picked_indices.size(); ++i) {
+        unlabeled.remove(picked_indices[i]);
+        const int label = labels[i] != 0 ? 1 : 0;
+        out.train.add(picked_indices[i], label);
+        log.new_hotspots += (label == 1);
+      }
     }
+    record.labeling_seconds = watch.lap();
+
     // Line 12: update the model on the grown L.
-    const tensor::Tensor lx = data::make_batch(features, out.train.indices);
-    detector.finetune(lx, out.train.labels);
+    {
+      HSD_SPAN("al/finetune");
+      const tensor::Tensor lx = data::make_batch(features, out.train.indices);
+      detector.finetune(lx, out.train.labels);
+    }
+    record.finetune_seconds = watch.lap();
     log.labeled_size = out.train.size();
     out.iterations.push_back(log);
+
+    rounds_counter.add();
+    if (reporter.enabled()) {
+      // Quality on the eval split (V0): ECE of the calibrated confidences
+      // plus the TPR/FPR operating point at the decision threshold. These
+      // reuse this round's validation logits, so the report costs no extra
+      // forward pass and never perturbs the sampling stream.
+      record.round = log.iteration;
+      record.labeled = log.labeled_size;
+      record.oracle_calls = oracle.simulation_count() - litho_before;
+      record.batch_hotspots = log.new_hotspots;
+      record.batch_nonhotspots = picked_indices.size() - log.new_hotspots;
+      record.temperature = cal.temperature;
+      const std::vector<std::vector<double>> val_probs =
+          calibrated_probabilities(val_logits, cal.temperature);
+      record.ece =
+          hsd::stats::reliability_diagram(val_probs, out.val.labels).ece;
+      std::vector<double> p_hot(val_probs.size());
+      for (std::size_t i = 0; i < val_probs.size(); ++i) p_hot[i] = val_probs[i][1];
+      const hsd::stats::Confusion conf = hsd::stats::confusion_at(
+          p_hot, out.val.labels, cfg.decision_threshold);
+      record.tpr = conf.recall();
+      record.fpr = conf.fp + conf.tn > 0
+                       ? static_cast<double>(conf.fp) /
+                             static_cast<double>(conf.fp + conf.tn)
+                       : 0.0;
+      reporter.write(record);
+
+      static obs::Gauge& temp_gauge = obs::gauge("al/temperature");
+      static obs::Gauge& ece_gauge = obs::gauge("al/ece");
+      temp_gauge.set(cal.temperature);
+      ece_gauge.set(record.ece);
+    }
 
     // Termination condition: the query stream has run dry of hotspots.
     dry_batches = log.new_hotspots == 0 ? dry_batches + 1 : 0;
@@ -161,6 +255,7 @@ AlOutcome run_active_learning(const FrameworkConfig& config,
 
   // ---- Final calibrated full-chip detection on the remaining U. ----------
   {
+    HSD_SPAN("al/final_inference");
     const tensor::Tensor val_logits = detector.logits(val_x);
     const CalibrationResult cal = fit_temperature(val_logits, out.val.labels);
     out.final_temperature = cal.temperature;

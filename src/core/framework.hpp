@@ -13,6 +13,7 @@
 //   4. runs calibrated full-chip inference on the remaining unlabeled clips.
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/detector.hpp"
@@ -51,6 +52,11 @@ struct FrameworkConfig {
   /// III-A1), trading false alarms for recall.
   double decision_threshold = 0.4;
   std::uint64_t seed = 1;
+  /// Per-round telemetry JSONL destination. Empty defers to the
+  /// HSD_ROUND_LOG environment variable; when both are empty, no round
+  /// report is written (and none of its extra eval-split metrics are
+  /// computed). See obs/round_report.hpp for the record schema.
+  std::string round_log_path;
 };
 
 /// Per-iteration diagnostics for the weight/trade-off figures.

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace hsd::core {
@@ -28,6 +29,7 @@ double hotspot_aware_uncertainty(double p_hotspot, double h) {
 }
 
 std::vector<double> bvsb_uncertainty(const std::vector<std::vector<double>>& probs) {
+  HSD_SPAN("core/uncertainty_scan");
   std::vector<double> out(probs.size());
   runtime::parallel_for(
       0, probs.size(), kUncertaintyGrain, [&](std::size_t i0, std::size_t i1) {
@@ -43,6 +45,7 @@ std::vector<double> bvsb_uncertainty(const std::vector<std::vector<double>>& pro
 
 std::vector<double> hotspot_aware_uncertainty(
     const std::vector<std::vector<double>>& probs, double h) {
+  HSD_SPAN("core/uncertainty_scan");
   std::vector<double> out(probs.size());
   runtime::parallel_for(
       0, probs.size(), kUncertaintyGrain, [&](std::size_t i0, std::size_t i1) {

@@ -4,6 +4,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace hsd::data {
@@ -28,6 +30,9 @@ std::vector<float> FeatureExtractor::extract(const layout::Clip& clip) const {
 
 tensor::Tensor FeatureExtractor::extract_batch(
     const std::vector<layout::Clip>& clips) const {
+  HSD_SPAN("data/dct_features");
+  static obs::Counter& featurized = obs::counter("data/clips_featurized");
+  featurized.add(clips.size());
   tensor::Tensor out({clips.size(), 1, keep_, keep_});
   const std::size_t row = keep_ * keep_;
   // extract() only reads the rasterizer and DCT tables, so clips fan out

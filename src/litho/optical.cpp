@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace hsd::litho {
@@ -43,6 +44,7 @@ std::vector<float> gaussian_kernel(double sigma_px, double truncate) {
 
 std::vector<float> aerial_image(const std::vector<float>& mask, std::size_t grid,
                                 const OpticalModel& model) {
+  HSD_SPAN("litho/aerial");
   if (mask.size() != grid * grid) throw std::invalid_argument("aerial_image: bad mask size");
   const std::vector<float> kernel = gaussian_kernel(model.sigma_px, model.truncate);
   const auto radius = static_cast<std::ptrdiff_t>(kernel.size() / 2);

@@ -1,18 +1,48 @@
 #include "litho/oracle.hpp"
 
+#include <chrono>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace hsd::litho {
 
+namespace {
+
+/// Per-clip simulation latency, recorded only while metrics are on so the
+/// hot loop stays clock-free otherwise.
+void observe_simulate_seconds(double seconds) {
+  static hsd::obs::Histogram& hist =
+      hsd::obs::histogram("litho/simulate_seconds");
+  hist.observe(seconds);
+}
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
 LithoOracle::LithoOracle(std::size_t grid, OpticalModel model, IntentMargins margins)
     : raster_(grid), model_(model), margins_(margins) {}
 
+void LithoOracle::charge(std::size_t n) {
+  count_ += n;
+  if (metered_) {
+    static hsd::obs::Counter& calls = hsd::obs::counter("litho/oracle_calls");
+    calls.add(n);
+  }
+}
+
 LithoResult LithoOracle::simulate(const layout::Clip& clip) {
+  HSD_SPAN("litho/simulate");
   const std::vector<float> mask = raster_.rasterize(clip);
   const layout::Rect core_px = raster_.to_pixels(clip.core, clip.window);
-  count_++;
+  charge(1);
   const std::vector<float> aerial = aerial_image(mask, raster_.grid(), model_);
   const std::vector<std::uint8_t> printed = printed_image(aerial, model_);
   return check_printability(mask, aerial, printed, raster_.grid(), core_px,
@@ -23,21 +53,26 @@ bool LithoOracle::label(const layout::Clip& clip) { return simulate(clip).hotspo
 
 std::vector<LithoResult> LithoOracle::simulate_batch(
     const std::vector<layout::Clip>& clips) {
+  HSD_SPAN("litho/simulate_batch");
   // Simulations are independent (rasterizer and optics are stateless), so
   // clips fan out across the pool; the count is bumped once up front to
   // match the serial loop's total without a data race. A nested
   // aerial-image parallel_for inside a worker degrades to inline, so the
   // batch is the outermost (and widest) parallel level.
   std::vector<LithoResult> results(clips.size());
-  count_ += clips.size();
+  charge(clips.size());
+  const bool timed = hsd::obs::metrics_enabled();
   runtime::parallel_for(0, clips.size(), 1, [&](std::size_t i0, std::size_t i1) {
     for (std::size_t i = i0; i < i1; ++i) {
+      HSD_SPAN("litho/simulate");
+      const double t0 = timed ? now_seconds() : 0.0;
       const std::vector<float> mask = raster_.rasterize(clips[i]);
       const layout::Rect core_px = raster_.to_pixels(clips[i].core, clips[i].window);
       const std::vector<float> aerial = aerial_image(mask, raster_.grid(), model_);
       const std::vector<std::uint8_t> printed = printed_image(aerial, model_);
       results[i] = check_printability(mask, aerial, printed, raster_.grid(),
                                       core_px, model_, margins_);
+      if (timed) observe_simulate_seconds(now_seconds() - t0);
     }
   });
   return results;
@@ -46,13 +81,17 @@ std::vector<LithoResult> LithoOracle::simulate_batch(
 std::vector<std::uint8_t> LithoOracle::label_batch(
     const std::vector<layout::Clip>& clips,
     const std::vector<std::size_t>& indices) {
+  HSD_SPAN("litho/label_batch");
   for (std::size_t idx : indices) {
     if (idx >= clips.size()) throw std::out_of_range("label_batch: clip index");
   }
   std::vector<std::uint8_t> labels(indices.size());
-  count_ += indices.size();
+  charge(indices.size());
+  const bool timed = hsd::obs::metrics_enabled();
   runtime::parallel_for(0, indices.size(), 1, [&](std::size_t i0, std::size_t i1) {
     for (std::size_t i = i0; i < i1; ++i) {
+      HSD_SPAN("litho/simulate");
+      const double t0 = timed ? now_seconds() : 0.0;
       const layout::Clip& clip = clips[indices[i]];
       const std::vector<float> mask = raster_.rasterize(clip);
       const layout::Rect core_px = raster_.to_pixels(clip.core, clip.window);
@@ -63,6 +102,7 @@ std::vector<std::uint8_t> LithoOracle::label_batch(
                       .hotspot
                   ? 1
                   : 0;
+      if (timed) observe_simulate_seconds(now_seconds() - t0);
     }
   });
   return labels;
@@ -70,7 +110,8 @@ std::vector<std::uint8_t> LithoOracle::label_batch(
 
 LithoResult LithoOracle::simulate_mask(const std::vector<float>& mask,
                                        const layout::Rect& core_px) {
-  count_++;
+  HSD_SPAN("litho/simulate");
+  charge(1);
   const std::vector<float> aerial = aerial_image(mask, raster_.grid(), model_);
   const std::vector<std::uint8_t> printed = printed_image(aerial, model_);
   return check_printability(mask, aerial, printed, raster_.grid(), core_px,

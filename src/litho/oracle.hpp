@@ -48,6 +48,13 @@ class LithoOracle {
   /// Resets the simulation counter (e.g. between experiment repetitions).
   void reset_count() { count_ = 0; }
 
+  /// When false, this oracle's simulations are excluded from the global
+  /// `litho/oracle_calls` metric (the per-instance count_ still runs).
+  /// Benchmark construction turns this off so the exported label budget
+  /// reflects only the labels the framework actually paid for.
+  void set_metered(bool metered) { metered_ = metered; }
+  bool metered() const { return metered_; }
+
   /// Modeled wall-clock cost of the simulations so far, at
   /// `seconds_per_clip` each (the paper's runtime model uses 10 s).
   double modeled_cost_seconds(double seconds_per_clip = 10.0) const {
@@ -58,10 +65,14 @@ class LithoOracle {
   std::size_t grid() const { return raster_.grid(); }
 
  private:
+  /// Bumps count_ by `n` and, when metered, the global oracle-call metric.
+  void charge(std::size_t n);
+
   layout::Rasterizer raster_;
   OpticalModel model_;
   IntentMargins margins_;
   std::size_t count_ = 0;
+  bool metered_ = true;
 };
 
 }  // namespace hsd::litho

@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "runtime/thread_pool.hpp"
 #include "tensor/ops.hpp"
 
@@ -33,6 +34,7 @@ Conv2d::Conv2d(std::size_t in_channels, std::size_t out_channels,
 }
 
 Tensor Conv2d::forward(const Tensor& input) {
+  HSD_SPAN("nn/conv_fwd");
   if (input.rank() != 4 || input.dim(1) != in_c_) {
     throw std::invalid_argument("Conv2d::forward: expected NCHW input with matching C");
   }
@@ -67,6 +69,7 @@ Tensor Conv2d::forward(const Tensor& input) {
 }
 
 Tensor Conv2d::backward(const Tensor& grad_output) {
+  HSD_SPAN("nn/conv_bwd");
   const std::size_t n = input_.dim(0);
   const std::size_t h = input_.dim(2);
   const std::size_t w = input_.dim(3);

@@ -1,0 +1,58 @@
+#pragma once
+// Minimal JSON reader for validating the observability exports (Chrome
+// traces, metrics snapshots, JSONL round reports) from tests and tools.
+// Supports the full JSON value grammar minus \u escapes; numbers are
+// doubles. Not a streaming parser — intended for small documents.
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hsd::obs::json {
+
+class Value;
+using Array = std::vector<Value>;
+using Object = std::map<std::string, Value>;
+
+enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+class Value {
+ public:
+  Value() = default;
+  explicit Value(bool b) : kind_(Kind::kBool), bool_(b) {}
+  explicit Value(double d) : kind_(Kind::kNumber), number_(d) {}
+  explicit Value(std::string s) : kind_(Kind::kString), string_(std::move(s)) {}
+  explicit Value(Array a);
+  explicit Value(Object o);
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+
+  /// Typed accessors; throw std::runtime_error on a kind mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const Array& as_array() const;
+  const Object& as_object() const;
+
+  /// Object member lookup; throws if not an object or the key is missing.
+  const Value& at(const std::string& key) const;
+  /// True when this is an object containing `key`.
+  bool contains(const std::string& key) const;
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::shared_ptr<Array> array_;
+  std::shared_ptr<Object> object_;
+};
+
+/// Parses one JSON document; throws std::runtime_error (with an offset) on
+/// malformed input or trailing garbage.
+Value parse(std::string_view text);
+
+}  // namespace hsd::obs::json

@@ -1,0 +1,343 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <stdexcept>
+
+namespace hsd::obs {
+
+namespace detail {
+std::atomic<bool> g_metrics_enabled{false};
+}  // namespace detail
+
+// Fixed per-thread slot space. Every counter takes one cell; every
+// histogram takes kNumBuckets + 2 (buckets, count, sum). 4096 cells is a
+// 32 KiB shard — hundreds of metrics before exhaustion.
+constexpr std::size_t kSlotCapacity = 4096;
+
+using Cells = std::array<std::atomic<std::uint64_t>, kSlotCapacity>;
+
+/// All registered metric families plus every thread shard ever created.
+/// Shards are owned here and never freed, so a snapshot can still read the
+/// cells of threads that have exited (e.g. replaced pool workers).
+class Registry {
+ public:
+  static Registry& instance() {
+    static Registry* r = new Registry;  // leaked: immune to exit-order races
+    return *r;
+  }
+
+  Counter& get_counter(std::string_view name) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = counters_.find(name);
+    if (it == counters_.end()) {
+      auto c = std::unique_ptr<Counter>(new Counter(allocate(1)));
+      it = counters_.emplace(std::string(name), std::move(c)).first;
+    }
+    return *it->second;
+  }
+
+  Gauge& get_gauge(std::string_view name) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = gauges_.find(name);
+    if (it == gauges_.end()) {
+      it = gauges_.emplace(std::string(name), std::unique_ptr<Gauge>(new Gauge))
+               .first;
+    }
+    return *it->second;
+  }
+
+  Histogram& get_histogram(std::string_view name) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+      auto h = std::unique_ptr<Histogram>(
+          new Histogram(allocate(Histogram::kNumBuckets + 2)));
+      it = histograms_.emplace(std::string(name), std::move(h)).first;
+    }
+    return *it->second;
+  }
+
+  Cells& local_cells() {
+    thread_local Cells* cells = nullptr;
+    if (!cells) cells = &create_shard();
+    return *cells;
+  }
+
+  /// Relaxed-merged value of one cell across every shard.
+  std::uint64_t merged(std::uint32_t slot) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return merged_locked(slot);
+  }
+
+  /// Merged double cell: each shard's contribution is a bit-cast double.
+  double merged_double(std::uint32_t slot) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    double total = 0.0;
+    for (const auto& shard : shards_) {
+      total += std::bit_cast<double>((*shard)[slot].load(std::memory_order_relaxed));
+    }
+    return total;
+  }
+
+  MetricsSnapshot snapshot() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    MetricsSnapshot snap;
+    for (const auto& [name, c] : counters_) {
+      snap.counters.emplace_back(name, merged_locked(c->slot_));
+    }
+    for (const auto& [name, g] : gauges_) {
+      snap.gauges.emplace_back(name, g->value());
+    }
+    for (const auto& [name, h] : histograms_) {
+      HistogramSnapshot hs;
+      hs.name = name;
+      hs.buckets.resize(Histogram::kNumBuckets);
+      for (std::size_t b = 0; b < Histogram::kNumBuckets; ++b) {
+        hs.buckets[b] = merged_locked(h->slot_ + static_cast<std::uint32_t>(b));
+      }
+      hs.count = merged_locked(h->slot_ + Histogram::kNumBuckets);
+      double sum = 0.0;
+      for (const auto& shard : shards_) {
+        sum += std::bit_cast<double>(
+            (*shard)[h->slot_ + Histogram::kNumBuckets + 1].load(
+                std::memory_order_relaxed));
+      }
+      hs.sum = sum;
+      snap.histograms.push_back(std::move(hs));
+    }
+    return snap;
+  }
+
+  void reset() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& shard : shards_) {
+      for (auto& cell : *shard) cell.store(0, std::memory_order_relaxed);
+    }
+    for (const auto& [name, g] : gauges_) {
+      (void)name;
+      g->bits_.store(0, std::memory_order_relaxed);
+    }
+  }
+
+  void set_path(const std::string& path) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    path_ = path;
+  }
+
+  std::string path() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return path_;
+  }
+
+ private:
+  Registry() = default;
+
+  std::uint32_t allocate(std::size_t cells) {
+    if (next_slot_ + cells > kSlotCapacity) {
+      throw std::length_error("obs: metric slot space exhausted");
+    }
+    const auto slot = static_cast<std::uint32_t>(next_slot_);
+    next_slot_ += cells;
+    return slot;
+  }
+
+  Cells& create_shard() {
+    auto shard = std::make_unique<Cells>();  // value-initialized: all zero
+    Cells& ref = *shard;
+    std::lock_guard<std::mutex> lock(mutex_);
+    shards_.push_back(std::move(shard));
+    return ref;
+  }
+
+  std::uint64_t merged_locked(std::uint32_t slot) const {
+    std::uint64_t total = 0;
+    for (const auto& shard : shards_) {
+      total += (*shard)[slot].load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::vector<std::unique_ptr<Cells>> shards_;
+  std::size_t next_slot_ = 0;
+  std::string path_;
+};
+
+namespace {
+
+void flush_at_exit() { flush_metrics(); }
+
+/// HSD_METRICS=<path> enables collection for the whole process. The
+/// initializer lives in this TU, which is linked into any binary that
+/// touches a metric (they all reference detail::g_metrics_enabled).
+const bool g_env_init = [] {
+  if (const char* path = std::getenv("HSD_METRICS")) {
+    if (*path != '\0') enable_metrics(path);
+  }
+  return true;
+}();
+
+}  // namespace
+
+void Counter::add(std::uint64_t n) {
+  if (!metrics_enabled()) return;
+  Registry::instance().local_cells()[slot_].fetch_add(n, std::memory_order_relaxed);
+}
+
+std::uint64_t Counter::value() const { return Registry::instance().merged(slot_); }
+
+void Gauge::set(double v) {
+  if (!metrics_enabled()) return;
+  bits_.store(std::bit_cast<std::uint64_t>(v), std::memory_order_relaxed);
+}
+
+double Gauge::value() const {
+  return std::bit_cast<double>(bits_.load(std::memory_order_relaxed));
+}
+
+const double* Histogram::bounds() {
+  static const std::array<double, kNumBounds> bounds = [] {
+    std::array<double, kNumBounds> b{};
+    for (std::size_t i = 0; i < kNumBounds; ++i) {
+      b[i] = std::pow(10.0, -6.0 + static_cast<double>(i) / 4.0);
+    }
+    return b;
+  }();
+  return bounds.data();
+}
+
+void Histogram::observe(double v) {
+  if (!metrics_enabled()) return;
+  const double* b = bounds();
+  const std::size_t bucket =
+      static_cast<std::size_t>(std::lower_bound(b, b + kNumBounds, v) - b);
+  Cells& cells = Registry::instance().local_cells();
+  cells[slot_ + bucket].fetch_add(1, std::memory_order_relaxed);
+  cells[slot_ + kNumBuckets].fetch_add(1, std::memory_order_relaxed);
+  // The sum cell is written only by its owning thread; the relaxed
+  // load/store pair is a plain single-writer accumulation that snapshot
+  // readers observe without tearing.
+  std::atomic<std::uint64_t>& sum = cells[slot_ + kNumBuckets + 1];
+  const double cur = std::bit_cast<double>(sum.load(std::memory_order_relaxed));
+  sum.store(std::bit_cast<std::uint64_t>(cur + v), std::memory_order_relaxed);
+}
+
+std::uint64_t Histogram::count() const {
+  return Registry::instance().merged(slot_ + kNumBuckets);
+}
+
+double Histogram::sum() const {
+  return Registry::instance().merged_double(slot_ + kNumBuckets + 1);
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> out(kNumBuckets);
+  for (std::size_t b = 0; b < kNumBuckets; ++b) {
+    out[b] = Registry::instance().merged(slot_ + static_cast<std::uint32_t>(b));
+  }
+  return out;
+}
+
+Counter& counter(std::string_view name) {
+  return Registry::instance().get_counter(name);
+}
+
+Gauge& gauge(std::string_view name) { return Registry::instance().get_gauge(name); }
+
+Histogram& histogram(std::string_view name) {
+  return Registry::instance().get_histogram(name);
+}
+
+MetricsSnapshot metrics_snapshot() { return Registry::instance().snapshot(); }
+
+namespace {
+
+void write_json_string(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default: os << c;
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+void write_metrics_json(std::ostream& os, const MetricsSnapshot& snap) {
+  const std::streamsize old_precision = os.precision(15);
+  os << "{\n  \"counters\": {";
+  for (std::size_t i = 0; i < snap.counters.size(); ++i) {
+    os << (i ? ",\n    " : "\n    ");
+    write_json_string(os, snap.counters[i].first);
+    os << ": " << snap.counters[i].second;
+  }
+  os << (snap.counters.empty() ? "" : "\n  ") << "},\n  \"gauges\": {";
+  for (std::size_t i = 0; i < snap.gauges.size(); ++i) {
+    os << (i ? ",\n    " : "\n    ");
+    write_json_string(os, snap.gauges[i].first);
+    os << ": " << snap.gauges[i].second;
+  }
+  os << (snap.gauges.empty() ? "" : "\n  ") << "},\n  \"histograms\": {";
+  for (std::size_t i = 0; i < snap.histograms.size(); ++i) {
+    const HistogramSnapshot& h = snap.histograms[i];
+    os << (i ? ",\n    " : "\n    ");
+    write_json_string(os, h.name);
+    os << ": {\"count\": " << h.count << ", \"sum\": " << h.sum
+       << ", \"buckets\": [";
+    for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+      os << (b ? ", " : "") << "{\"le\": ";
+      if (b < Histogram::kNumBounds) {
+        os << Histogram::bounds()[b];
+      } else {
+        os << "\"+Inf\"";
+      }
+      os << ", \"count\": " << h.buckets[b] << "}";
+    }
+    os << "]}";
+  }
+  os << (snap.histograms.empty() ? "" : "\n  ") << "}\n}\n";
+  os.precision(old_precision);
+}
+
+void enable_metrics(const std::string& path) {
+  static std::once_flag at_exit_once;
+  Registry::instance().set_path(path);
+  detail::g_metrics_enabled.store(true, std::memory_order_relaxed);
+  if (!path.empty()) {
+    std::call_once(at_exit_once, [] { std::atexit(flush_at_exit); });
+  }
+}
+
+void disable_metrics() {
+  detail::g_metrics_enabled.store(false, std::memory_order_relaxed);
+}
+
+void reset_metrics() { Registry::instance().reset(); }
+
+bool flush_metrics() {
+  const std::string path = Registry::instance().path();
+  if (path.empty()) return false;
+  std::ofstream os(path);
+  if (!os) return false;
+  write_metrics_json(os, metrics_snapshot());
+  return static_cast<bool>(os);
+}
+
+}  // namespace hsd::obs

@@ -1,0 +1,139 @@
+#pragma once
+// Lock-cheap metrics registry: counters, gauges, and histograms with fixed
+// log-spaced buckets, exported as a JSON snapshot.
+//
+// Hot-path writes are uncontended: every thread gets its own shard of
+// atomic cells (created on first touch), and counter/histogram updates are
+// relaxed atomic adds to the caller's shard only. A snapshot merges all
+// shards; because it reads with relaxed loads while writers may still be
+// running, a mid-flight snapshot is a consistent lower bound, and any
+// snapshot taken after a fork/join boundary (TaskGroup::wait /
+// parallel_for return) sees exact totals. Gauges are last-writer-wins and
+// live in one global cell per gauge.
+//
+// Everything is off by default. `HSD_METRICS=<path>` enables collection at
+// process start and writes the JSON snapshot to <path> at exit;
+// enable_metrics() does the same programmatically. When disabled, every
+// update is a single relaxed atomic load and a branch.
+//
+// Call-site idiom (the function-local static makes the name lookup a
+// one-time cost):
+//
+//   static obs::Counter& calls = obs::counter("litho/oracle_calls");
+//   calls.add(batch.size());
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace hsd::obs {
+
+namespace detail {
+extern std::atomic<bool> g_metrics_enabled;
+}  // namespace detail
+
+/// True when metrics collection is on (relaxed load; safe from any thread).
+inline bool metrics_enabled() {
+  return detail::g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+/// Monotonic counter. add() is a no-op while metrics are disabled.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1);
+  /// Merged total across all thread shards.
+  std::uint64_t value() const;
+
+ private:
+  friend class Registry;
+  explicit Counter(std::uint32_t slot) : slot_(slot) {}
+  std::uint32_t slot_;
+};
+
+/// Last-writer-wins double value (not sharded; writes are rare).
+class Gauge {
+ public:
+  void set(double v);
+  double value() const;
+
+ private:
+  friend class Registry;
+  Gauge() = default;
+  std::atomic<std::uint64_t> bits_{0};
+};
+
+/// Histogram over fixed log-spaced buckets covering [1e-6, 1e2] with four
+/// buckets per decade, plus an underflow and an overflow bucket. Designed
+/// for durations in seconds (1 us .. 100 s) but usable for any positive
+/// quantity in that range.
+class Histogram {
+ public:
+  /// Number of finite upper bounds (underflow shares bounds()[0]).
+  static constexpr std::size_t kNumBounds = 33;
+  /// Total bucket count: kNumBounds finite buckets + 1 overflow bucket.
+  static constexpr std::size_t kNumBuckets = kNumBounds + 1;
+
+  /// The shared upper-bound edges: bounds()[i] = 10^(-6 + i/4).
+  static const double* bounds();
+
+  void observe(double v);
+  std::uint64_t count() const;
+  double sum() const;
+  /// Per-bucket counts (not cumulative), merged across shards.
+  std::vector<std::uint64_t> bucket_counts() const;
+
+ private:
+  friend class Registry;
+  explicit Histogram(std::uint32_t slot) : slot_(slot) {}
+  // Slot layout: [slot_ .. slot_+kNumBuckets) buckets, then count, then
+  // the double-bit-cast sum cell.
+  std::uint32_t slot_;
+};
+
+/// Finds or creates the named metric. References stay valid for the
+/// process lifetime. Throws std::length_error if the fixed slot space
+/// (kSlotCapacity cells per thread) is exhausted.
+Counter& counter(std::string_view name);
+Gauge& gauge(std::string_view name);
+Histogram& histogram(std::string_view name);
+
+struct HistogramSnapshot {
+  std::string name;
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  std::vector<std::uint64_t> buckets;  ///< kNumBuckets entries
+};
+
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<HistogramSnapshot> histograms;
+};
+
+/// Merged view of every registered metric (sorted by name).
+MetricsSnapshot metrics_snapshot();
+
+/// Serializes a snapshot as a JSON object:
+///   {"counters": {...}, "gauges": {...},
+///    "histograms": {"name": {"count": N, "sum": S,
+///                            "buckets": [{"le": bound|"+Inf", "count": N}...]}}}
+void write_metrics_json(std::ostream& os, const MetricsSnapshot& snap);
+
+/// Turns collection on. A non-empty `path` is remembered and the snapshot
+/// is written there at process exit (and by flush_metrics()).
+void enable_metrics(const std::string& path = "");
+void disable_metrics();
+
+/// Zeroes every cell of every metric. Test hook; callers must be quiesced.
+void reset_metrics();
+
+/// Writes the snapshot to the configured path now. False when no path is
+/// configured or the file cannot be written.
+bool flush_metrics();
+
+}  // namespace hsd::obs

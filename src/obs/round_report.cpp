@@ -1,0 +1,43 @@
+#include "obs/round_report.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <stdexcept>
+
+namespace hsd::obs {
+
+RoundReporter::RoundReporter(const std::string& path) {
+  if (path.empty()) return;
+  auto os = std::make_shared<std::ofstream>(path);
+  if (!*os) {
+    throw std::runtime_error("RoundReporter: cannot open " + path);
+  }
+  out_ = std::move(os);
+}
+
+RoundReporter RoundReporter::from_path_or_env(const std::string& path) {
+  if (!path.empty()) return RoundReporter(path);
+  if (const char* env = std::getenv("HSD_ROUND_LOG")) {
+    if (*env != '\0') return RoundReporter(env);
+  }
+  return RoundReporter();
+}
+
+void RoundReporter::write(const RoundRecord& r) {
+  if (!out_) return;
+  std::ostream& os = *out_;
+  os << "{\"round\": " << r.round << ", \"labeled\": " << r.labeled
+     << ", \"oracle_calls\": " << r.oracle_calls
+     << ", \"batch_hotspots\": " << r.batch_hotspots
+     << ", \"batch_nonhotspots\": " << r.batch_nonhotspots
+     << ", \"temperature\": " << r.temperature << ", \"ece\": " << r.ece
+     << ", \"tpr\": " << r.tpr << ", \"fpr\": " << r.fpr
+     << ", \"query_seconds\": " << r.query_seconds
+     << ", \"calibration_seconds\": " << r.calibration_seconds
+     << ", \"scoring_seconds\": " << r.scoring_seconds
+     << ", \"labeling_seconds\": " << r.labeling_seconds
+     << ", \"finetune_seconds\": " << r.finetune_seconds << "}\n";
+  os.flush();
+}
+
+}  // namespace hsd::obs

@@ -1,0 +1,71 @@
+#pragma once
+// Per-round active-learning telemetry: one JSONL record per sampling
+// iteration, capturing exactly the quantities the paper's figures plot
+// (label spend and quality per round) plus where the round's wall time
+// went. The framework fills a RoundRecord per iteration and the reporter
+// appends it to the configured file.
+//
+// Off by default. Enabled by FrameworkConfig::round_log_path or, when that
+// is empty, the HSD_ROUND_LOG=<path> environment variable.
+//
+// JSONL schema (one object per line, all keys always present):
+//   round              1-based iteration index
+//   labeled            |L| after this round's batch was absorbed
+//   oracle_calls       cumulative litho-oracle labels bought by this run
+//   batch_hotspots     hotspots in this round's freshly labeled batch
+//   batch_nonhotspots  clean clips in this round's batch
+//   temperature        T fitted on V0 this round
+//   ece                expected calibration error on V0 (calibrated probs)
+//   tpr, fpr           operating point on V0 at the decision threshold
+//   query_seconds      density ranking + query-set assembly
+//   calibration_seconds  validation forward + temperature fit
+//   scoring_seconds    query forward + batch selection
+//   labeling_seconds   litho oracle on the selected batch
+//   finetune_seconds   fine-tuning on the grown L
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+namespace hsd::obs {
+
+struct RoundRecord {
+  std::size_t round = 0;
+  std::size_t labeled = 0;
+  std::size_t oracle_calls = 0;
+  std::size_t batch_hotspots = 0;
+  std::size_t batch_nonhotspots = 0;
+  double temperature = 1.0;
+  double ece = 0.0;
+  double tpr = 0.0;
+  double fpr = 0.0;
+  double query_seconds = 0.0;
+  double calibration_seconds = 0.0;
+  double scoring_seconds = 0.0;
+  double labeling_seconds = 0.0;
+  double finetune_seconds = 0.0;
+};
+
+/// Appends RoundRecords to a JSONL file. A default-constructed reporter is
+/// disabled and write() is a no-op.
+class RoundReporter {
+ public:
+  RoundReporter() = default;
+  /// Opens `path` for writing (truncating). An empty path leaves the
+  /// reporter disabled; an unwritable path throws std::runtime_error.
+  explicit RoundReporter(const std::string& path);
+
+  /// Reporter for `path` when non-empty, else for $HSD_ROUND_LOG, else
+  /// disabled.
+  static RoundReporter from_path_or_env(const std::string& path);
+
+  bool enabled() const { return out_ != nullptr; }
+
+  /// Serializes one record as a JSON line and flushes it.
+  void write(const RoundRecord& record);
+
+ private:
+  std::shared_ptr<std::ostream> out_;
+};
+
+}  // namespace hsd::obs

@@ -1,0 +1,226 @@
+#include "obs/trace.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <vector>
+
+namespace hsd::obs {
+
+namespace detail {
+std::atomic<bool> g_trace_enabled{false};
+}  // namespace detail
+
+namespace {
+
+struct TraceEvent {
+  const char* name = nullptr;
+  std::uint64_t begin_ns = 0;
+  std::uint64_t dur_ns = 0;
+};
+
+// Per-thread ring capacity. At 24 bytes per event this caps a very chatty
+// thread at ~1.5 MiB; older events are overwritten and counted as dropped.
+constexpr std::size_t kRingCapacity = std::size_t{1} << 16;
+
+/// One thread's span storage. Owned by the registry (never freed), so the
+/// exporter can still read buffers of threads that have exited. The mutex
+/// is only ever contended between the owning thread and an exporter.
+struct TraceBuffer {
+  std::mutex mutex;
+  std::uint32_t tid = 0;
+  std::string thread_name;
+  std::vector<TraceEvent> events;  // ring once kRingCapacity is reached
+  std::size_t next = 0;            // overwrite position when full
+  std::uint64_t dropped = 0;
+
+  void push(const TraceEvent& ev) {
+    std::lock_guard<std::mutex> lock(mutex);
+    if (events.size() < kRingCapacity) {
+      events.push_back(ev);
+      return;
+    }
+    events[next] = ev;
+    next = (next + 1) % kRingCapacity;
+    ++dropped;
+  }
+};
+
+class TraceRegistry {
+ public:
+  static TraceRegistry& instance() {
+    static TraceRegistry* r = new TraceRegistry;  // leaked: no exit-order races
+    return *r;
+  }
+
+  TraceBuffer& local_buffer() {
+    thread_local TraceBuffer* buffer = nullptr;
+    if (!buffer) buffer = &create_buffer();
+    return *buffer;
+  }
+
+  void write(std::ostream& os) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    // 15 significant digits keep the microsecond timestamps order-exact
+    // when a consumer parses them back as doubles.
+    const std::streamsize old_precision = os.precision(15);
+    os << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+    bool first = true;
+    for (const auto& buffer : buffers_) {
+      std::lock_guard<std::mutex> buf_lock(buffer->mutex);
+      if (!buffer->thread_name.empty()) {
+        os << (first ? "\n" : ",\n");
+        first = false;
+        os << "  {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": "
+           << buffer->tid << ", \"args\": {\"name\": \"" << buffer->thread_name
+           << "\"}}";
+      }
+      for (const TraceEvent& ev : buffer->events) {
+        os << (first ? "\n" : ",\n");
+        first = false;
+        os << "  {\"name\": \"" << ev.name << "\", \"ph\": \"X\", \"cat\": \"hsd\""
+           << ", \"pid\": 1, \"tid\": " << buffer->tid
+           << ", \"ts\": " << static_cast<double>(ev.begin_ns) / 1e3
+           << ", \"dur\": " << static_cast<double>(ev.dur_ns) / 1e3 << "}";
+      }
+    }
+    os << "\n]}\n";
+    os.precision(old_precision);
+  }
+
+  void reset() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& buffer : buffers_) {
+      std::lock_guard<std::mutex> buf_lock(buffer->mutex);
+      buffer->events.clear();
+      buffer->next = 0;
+      buffer->dropped = 0;
+    }
+  }
+
+  std::size_t event_count() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::size_t total = 0;
+    for (const auto& buffer : buffers_) {
+      std::lock_guard<std::mutex> buf_lock(buffer->mutex);
+      total += buffer->events.size();
+    }
+    return total;
+  }
+
+  std::size_t dropped_count() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::size_t total = 0;
+    for (const auto& buffer : buffers_) {
+      std::lock_guard<std::mutex> buf_lock(buffer->mutex);
+      total += buffer->dropped;
+    }
+    return total;
+  }
+
+  void set_path(const std::string& path) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    path_ = path;
+  }
+
+  std::string path() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return path_;
+  }
+
+ private:
+  TraceRegistry() = default;
+
+  TraceBuffer& create_buffer() {
+    auto buffer = std::make_unique<TraceBuffer>();
+    TraceBuffer& ref = *buffer;
+    std::lock_guard<std::mutex> lock(mutex_);
+    ref.tid = static_cast<std::uint32_t>(buffers_.size());
+    buffers_.push_back(std::move(buffer));
+    return ref;
+  }
+
+  std::mutex mutex_;
+  std::vector<std::unique_ptr<TraceBuffer>> buffers_;
+  std::string path_;
+};
+
+void flush_at_exit() { flush_trace(); }
+
+/// HSD_TRACE=<path> enables tracing for the whole process. Lives in this
+/// TU, which any Span user links (they reference detail::g_trace_enabled).
+const bool g_env_init = [] {
+  if (const char* path = std::getenv("HSD_TRACE")) {
+    if (*path != '\0') enable_trace(path);
+  }
+  return true;
+}();
+
+}  // namespace
+
+namespace detail {
+
+std::uint64_t trace_now_ns() {
+  // First call pins the epoch; all timestamps are relative to it so the
+  // exported ts values stay small.
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch)
+          .count());
+}
+
+void record_span(const char* name, std::uint64_t begin_ns, std::uint64_t end_ns) {
+  TraceEvent ev;
+  ev.name = name;
+  ev.begin_ns = begin_ns;
+  ev.dur_ns = end_ns >= begin_ns ? end_ns - begin_ns : 0;
+  TraceRegistry::instance().local_buffer().push(ev);
+}
+
+}  // namespace detail
+
+void set_current_thread_name(const std::string& name) {
+  TraceBuffer& buffer = TraceRegistry::instance().local_buffer();
+  std::lock_guard<std::mutex> lock(buffer.mutex);
+  buffer.thread_name = name;
+}
+
+void enable_trace(const std::string& path) {
+  static std::once_flag at_exit_once;
+  TraceRegistry::instance().set_path(path);
+  detail::trace_now_ns();  // pin the epoch before the first span
+  detail::g_trace_enabled.store(true, std::memory_order_relaxed);
+  if (!path.empty()) {
+    std::call_once(at_exit_once, [] { std::atexit(flush_at_exit); });
+  }
+}
+
+void disable_trace() {
+  detail::g_trace_enabled.store(false, std::memory_order_relaxed);
+}
+
+void reset_trace() { TraceRegistry::instance().reset(); }
+
+std::size_t trace_event_count() { return TraceRegistry::instance().event_count(); }
+
+std::size_t trace_dropped_count() {
+  return TraceRegistry::instance().dropped_count();
+}
+
+void write_chrome_trace(std::ostream& os) { TraceRegistry::instance().write(os); }
+
+bool flush_trace() {
+  const std::string path = TraceRegistry::instance().path();
+  if (path.empty()) return false;
+  std::ofstream os(path);
+  if (!os) return false;
+  write_chrome_trace(os);
+  return static_cast<bool>(os);
+}
+
+}  // namespace hsd::obs

@@ -1,0 +1,98 @@
+#pragma once
+// Scoped spans with Chrome trace_event JSON export.
+//
+//   { HSD_SPAN("litho/aerial"); ... }   // records one complete event
+//
+// Each thread owns a ring buffer of completed spans (name, begin, duration,
+// small sequential tid), created on the thread's first span. Recording
+// takes only the buffer's own (uncontended) mutex, so spans from pool
+// workers never serialize against each other. RAII scoping guarantees the
+// events of one thread strictly nest.
+//
+// Off by default: a Span constructed while tracing is disabled does one
+// relaxed atomic load and nothing else — no clock reads, no allocation, no
+// file. `HSD_TRACE=<path>` enables tracing at process start and writes the
+// trace to <path> at exit; enable_trace() does the same programmatically.
+// The output loads in chrome://tracing and Perfetto.
+//
+// Span names must be string literals (or otherwise outlive the process);
+// only the pointer is stored.
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace hsd::obs {
+
+namespace detail {
+extern std::atomic<bool> g_trace_enabled;
+
+/// Nanoseconds on the steady clock since the process trace epoch.
+std::uint64_t trace_now_ns();
+
+/// Appends one complete event to the calling thread's ring buffer.
+void record_span(const char* name, std::uint64_t begin_ns, std::uint64_t end_ns);
+}  // namespace detail
+
+/// True when span collection is on (relaxed load; safe from any thread).
+inline bool trace_enabled() {
+  return detail::g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+/// RAII scope that records a complete trace event on destruction.
+class Span {
+ public:
+  explicit Span(const char* name) {
+    if (!trace_enabled()) return;
+    name_ = name;
+    begin_ns_ = detail::trace_now_ns();
+  }
+  ~Span() {
+    if (name_) detail::record_span(name_, begin_ns_, detail::trace_now_ns());
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  std::uint64_t begin_ns_ = 0;
+};
+
+/// Names the calling thread in the exported trace (e.g. "pool-worker-3").
+/// Cheap; callable whether or not tracing is enabled.
+void set_current_thread_name(const std::string& name);
+
+/// Turns span collection on. A non-empty `path` is remembered and the
+/// Chrome trace is written there at process exit (and by flush_trace()).
+void enable_trace(const std::string& path = "");
+void disable_trace();
+
+/// Drops every recorded event (buffers stay registered). Test hook.
+void reset_trace();
+
+/// Spans recorded and retained so far, across all threads.
+std::size_t trace_event_count();
+
+/// Spans lost to ring-buffer overflow so far, across all threads.
+std::size_t trace_dropped_count();
+
+/// Serializes every retained span as Chrome trace JSON:
+///   {"traceEvents": [{"name", "ph": "X", "ts", "dur", "pid", "tid"}...]}
+/// ts/dur are microseconds. Thread names appear as "M" metadata events.
+void write_chrome_trace(std::ostream& os);
+
+/// Writes the trace to the configured path now. False when no path is
+/// configured or the file cannot be written.
+bool flush_trace();
+
+}  // namespace hsd::obs
+
+#define HSD_OBS_CONCAT_IMPL(a, b) a##b
+#define HSD_OBS_CONCAT(a, b) HSD_OBS_CONCAT_IMPL(a, b)
+
+/// Opens a scoped span named `name` (a string literal) for the rest of the
+/// enclosing block.
+#define HSD_SPAN(name) \
+  ::hsd::obs::Span HSD_OBS_CONCAT(hsd_obs_span_, __LINE__){name}

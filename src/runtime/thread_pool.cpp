@@ -5,6 +5,8 @@
 #include <string>
 #include <utility>
 
+#include "obs/trace.hpp"
+
 namespace hsd::runtime {
 
 namespace {
@@ -109,6 +111,9 @@ bool ThreadPool::pop_or_steal(std::size_t id, std::function<void()>& out) {
 
 void ThreadPool::worker_main(std::size_t id) {
   t_on_worker = true;
+  // Registers this worker's trace buffer up front so spans recorded from
+  // parallel_for/TaskGroup bodies carry a stable, readable thread name.
+  obs::set_current_thread_name("pool-worker-" + std::to_string(id));
   std::function<void()> task;
   while (true) {
     if (pop_or_steal(id, task)) {

@@ -5,6 +5,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace hsd::tensor {
@@ -24,6 +26,9 @@ std::size_t row_grain(std::size_t ops_per_row) {
 
 void matmul(const float* a, const float* b, float* c, std::size_t m,
             std::size_t k, std::size_t n) {
+  HSD_SPAN("tensor/matmul");
+  static obs::Counter& calls = obs::counter("tensor/matmul_calls");
+  calls.add();
   // ikj loop order keeps B and C accesses sequential; good enough for the
   // small GEMMs the CNN needs without pulling in a BLAS. Rows of C are
   // independent, so blocks of rows go wide; each element accumulates over
@@ -45,6 +50,9 @@ void matmul(const float* a, const float* b, float* c, std::size_t m,
 
 void matmul_at_b(const float* a, const float* b, float* c, std::size_t m,
                  std::size_t k, std::size_t n) {
+  HSD_SPAN("tensor/matmul_at_b");
+  static obs::Counter& calls = obs::counter("tensor/matmul_calls");
+  calls.add();
   // Blocks of C rows in parallel; p stays the outer loop within a block so
   // each c[i][j] sees the same ascending-p accumulation as the serial path.
   runtime::parallel_for(0, m, row_grain(k * n), [=](std::size_t i0, std::size_t i1) {
@@ -64,6 +72,9 @@ void matmul_at_b(const float* a, const float* b, float* c, std::size_t m,
 
 void matmul_a_bt(const float* a, const float* b, float* c, std::size_t m,
                  std::size_t k, std::size_t n) {
+  HSD_SPAN("tensor/matmul_a_bt");
+  static obs::Counter& calls = obs::counter("tensor/matmul_calls");
+  calls.add();
   runtime::parallel_for(0, m, row_grain(k * n), [=](std::size_t i0, std::size_t i1) {
     for (std::size_t i = i0; i < i1; ++i) {
       const float* arow = a + i * k;
@@ -98,6 +109,7 @@ std::size_t conv_out_extent(std::size_t in, std::size_t kernel,
 void im2col(const float* image, std::size_t channels, std::size_t height,
             std::size_t width, std::size_t kh, std::size_t kw,
             std::size_t stride, std::size_t pad, float* columns) {
+  HSD_SPAN("tensor/im2col");
   const std::size_t oh = conv_out_extent(height, kh, stride, pad);
   const std::size_t ow = conv_out_extent(width, kw, stride, pad);
   const std::size_t out_spatial = oh * ow;
@@ -134,6 +146,7 @@ void im2col(const float* image, std::size_t channels, std::size_t height,
 void col2im(const float* columns, std::size_t channels, std::size_t height,
             std::size_t width, std::size_t kh, std::size_t kw,
             std::size_t stride, std::size_t pad, float* image_grad) {
+  HSD_SPAN("tensor/col2im");
   const std::size_t oh = conv_out_extent(height, kh, stride, pad);
   const std::size_t ow = conv_out_extent(width, kw, stride, pad);
   const std::size_t out_spatial = oh * ow;

@@ -1,0 +1,176 @@
+#include "core/framework.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "data/benchmark.hpp"
+#include "data/features.hpp"
+#include "obs/json.hpp"
+
+namespace hsd::core {
+namespace {
+
+std::vector<obs::json::Value> read_jsonl(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::vector<obs::json::Value> records;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) records.push_back(obs::json::parse(line));
+  }
+  return records;
+}
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::path(::testing::TempDir()) / name).string();
+}
+
+struct TelemetryFixture : public ::testing::Test {
+  static void SetUpTestSuite() {
+    data::BenchmarkSpec spec = data::iccad16_spec(3);
+    spec.name = "telemetry-test";
+    spec.hs_target = 40;
+    spec.nhs_target = 200;
+    spec.seed = 99;
+    bench_ = new data::Benchmark(data::build_benchmark(spec));
+    const data::FeatureExtractor fx(spec.feature_grid, spec.feature_keep);
+    features_ = new tensor::Tensor(fx.extract_benchmark(*bench_));
+  }
+  static void TearDownTestSuite() {
+    delete bench_;
+    delete features_;
+    bench_ = nullptr;
+    features_ = nullptr;
+  }
+
+  /// Two-round schedule, detector shrunk to keep the test fast.
+  static FrameworkConfig tiny_config() {
+    FrameworkConfig cfg;
+    cfg.initial_train = 20;
+    cfg.validation = 20;
+    cfg.query_size = 80;
+    cfg.batch_k = 12;
+    cfg.iterations = 2;
+    cfg.patience = 0;  // always run the full two rounds
+    cfg.detector.initial_epochs = 10;
+    cfg.detector.finetune_epochs = 3;
+    cfg.detector.conv1_channels = 4;
+    cfg.detector.conv2_channels = 8;
+    cfg.detector.hidden = 16;
+    cfg.seed = 11;
+    return cfg;
+  }
+
+  static data::Benchmark* bench_;
+  static tensor::Tensor* features_;
+};
+
+data::Benchmark* TelemetryFixture::bench_ = nullptr;
+tensor::Tensor* TelemetryFixture::features_ = nullptr;
+
+TEST_F(TelemetryFixture, OneRecordPerRoundWithMonotoneOracleCalls) {
+  const std::string path = temp_path("hsd_round_report.jsonl");
+  std::filesystem::remove(path);
+
+  FrameworkConfig cfg = tiny_config();
+  cfg.round_log_path = path;
+  litho::LithoOracle oracle = bench_->make_oracle();
+  const AlOutcome out = run_active_learning(cfg, *features_, bench_->clips, oracle);
+
+  const std::vector<obs::json::Value> records = read_jsonl(path);
+  ASSERT_EQ(records.size(), cfg.iterations);
+  ASSERT_EQ(records.size(), out.iterations.size());
+
+  std::size_t prev_calls = 0;
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const obs::json::Value& rec = records[i];
+    EXPECT_EQ(rec.at("round").as_number(), static_cast<double>(i + 1));
+    EXPECT_EQ(rec.at("labeled").as_number(),
+              static_cast<double>(cfg.initial_train + (i + 1) * cfg.batch_k));
+
+    const auto calls = static_cast<std::size_t>(rec.at("oracle_calls").as_number());
+    EXPECT_GE(calls, prev_calls);
+    prev_calls = calls;
+    if (i == 0) {
+      // By the first report the seed train set and V0 are already paid for.
+      EXPECT_GE(calls, cfg.initial_train + cfg.validation);
+    }
+
+    EXPECT_EQ(rec.at("batch_hotspots").as_number() +
+                  rec.at("batch_nonhotspots").as_number(),
+              static_cast<double>(cfg.batch_k));
+    EXPECT_GT(rec.at("temperature").as_number(), 0.0);
+    EXPECT_GE(rec.at("ece").as_number(), 0.0);
+    EXPECT_LE(rec.at("ece").as_number(), 1.0);
+    for (const char* rate : {"tpr", "fpr"}) {
+      EXPECT_GE(rec.at(rate).as_number(), 0.0);
+      EXPECT_LE(rec.at(rate).as_number(), 1.0);
+    }
+    for (const char* stage : {"query_seconds", "calibration_seconds",
+                              "scoring_seconds", "labeling_seconds",
+                              "finetune_seconds"}) {
+      EXPECT_GE(rec.at(stage).as_number(), 0.0);
+    }
+  }
+  // The last record's cumulative spend is the run's whole label budget.
+  EXPECT_EQ(prev_calls, out.litho_labeling);
+}
+
+TEST_F(TelemetryFixture, ReportingDoesNotPerturbTheRun) {
+  // Same config and fresh oracles; the only difference is the reporter.
+  // Telemetry must be an observer: indices, predictions, and the fitted
+  // temperature stay bit-identical.
+  FrameworkConfig with_log = tiny_config();
+  with_log.round_log_path = temp_path("hsd_round_report_perturb.jsonl");
+  const FrameworkConfig without_log = tiny_config();
+
+  litho::LithoOracle o1 = bench_->make_oracle();
+  litho::LithoOracle o2 = bench_->make_oracle();
+  const AlOutcome a = run_active_learning(with_log, *features_, bench_->clips, o1);
+  const AlOutcome b = run_active_learning(without_log, *features_, bench_->clips, o2);
+  EXPECT_EQ(a.train.indices, b.train.indices);
+  EXPECT_EQ(a.predicted, b.predicted);
+  EXPECT_DOUBLE_EQ(a.final_temperature, b.final_temperature);
+  EXPECT_EQ(a.litho_labeling, b.litho_labeling);
+}
+
+TEST_F(TelemetryFixture, DisabledReporterWritesNothing) {
+  const FrameworkConfig cfg = tiny_config();  // no round_log_path
+  ASSERT_EQ(std::getenv("HSD_ROUND_LOG"), nullptr)
+      << "tests assume HSD_ROUND_LOG is not set (see tests/README.md)";
+  litho::LithoOracle oracle = bench_->make_oracle();
+  EXPECT_NO_THROW(run_active_learning(cfg, *features_, bench_->clips, oracle));
+}
+
+TEST_F(TelemetryFixture, EnvVariableEnablesReporting) {
+  const std::string path = temp_path("hsd_round_report_env.jsonl");
+  std::filesystem::remove(path);
+  ASSERT_EQ(setenv("HSD_ROUND_LOG", path.c_str(), 1), 0);
+
+  FrameworkConfig cfg = tiny_config();
+  cfg.iterations = 1;
+  litho::LithoOracle oracle = bench_->make_oracle();
+  run_active_learning(cfg, *features_, bench_->clips, oracle);
+  unsetenv("HSD_ROUND_LOG");
+
+  const std::vector<obs::json::Value> records = read_jsonl(path);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].at("round").as_number(), 1.0);
+}
+
+TEST_F(TelemetryFixture, UnwritableRoundLogPathThrows) {
+  FrameworkConfig cfg = tiny_config();
+  cfg.round_log_path = "/nonexistent-dir/rounds.jsonl";
+  litho::LithoOracle oracle = bench_->make_oracle();
+  EXPECT_THROW(run_active_learning(cfg, *features_, bench_->clips, oracle),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace hsd::core

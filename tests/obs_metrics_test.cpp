@@ -1,0 +1,196 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <numeric>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace hsd::obs {
+namespace {
+
+// The registry is process-global, so every test runs against freshly zeroed
+// cells and turns collection off again afterwards. Metric names are unique
+// per test to keep the assertions independent of execution order anyway.
+struct MetricsEnv : public ::testing::Test {
+  void SetUp() override {
+    enable_metrics();  // empty path: nothing is written at process exit
+    reset_metrics();
+  }
+  void TearDown() override {
+    disable_metrics();
+    reset_metrics();
+  }
+};
+
+TEST_F(MetricsEnv, CounterAccumulates) {
+  Counter& c = counter("test/counter_accumulates");
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST_F(MetricsEnv, LookupReturnsSameMetricForSameName) {
+  EXPECT_EQ(&counter("test/same"), &counter("test/same"));
+  EXPECT_NE(&counter("test/same"), &counter("test/other"));
+  EXPECT_EQ(&histogram("test/same_h"), &histogram("test/same_h"));
+  EXPECT_EQ(&gauge("test/same_g"), &gauge("test/same_g"));
+}
+
+TEST_F(MetricsEnv, UpdatesAreNoOpsWhenDisabled) {
+  Counter& c = counter("test/disabled_counter");
+  Histogram& h = histogram("test/disabled_hist");
+  Gauge& g = gauge("test/disabled_gauge");
+  disable_metrics();
+  c.add(5);
+  h.observe(0.5);
+  g.set(3.0);
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(g.value(), 0.0);
+  enable_metrics();
+  c.add(2);
+  EXPECT_EQ(c.value(), 2u);
+}
+
+TEST_F(MetricsEnv, GaugeIsLastWriterWins) {
+  Gauge& g = gauge("test/gauge");
+  g.set(1.5);
+  g.set(-2.25);
+  EXPECT_EQ(g.value(), -2.25);
+}
+
+TEST_F(MetricsEnv, HistogramBoundsAreLogSpacedAndMonotone) {
+  const double* b = Histogram::bounds();
+  EXPECT_NEAR(b[0], 1e-6, 1e-12);
+  EXPECT_NEAR(b[Histogram::kNumBounds - 1], 1e2, 1e-8);
+  for (std::size_t i = 1; i < Histogram::kNumBounds; ++i) {
+    EXPECT_LT(b[i - 1], b[i]);
+    // Four buckets per decade: the ratio between adjacent bounds is 10^0.25.
+    EXPECT_NEAR(b[i] / b[i - 1], std::pow(10.0, 0.25), 1e-9);
+  }
+}
+
+TEST_F(MetricsEnv, HistogramPlacesObservationsInCorrectBuckets) {
+  Histogram& h = histogram("test/hist_buckets");
+  h.observe(1e-9);  // below every bound: underflow shares bucket 0
+  h.observe(0.5);   // interior bucket
+  h.observe(1e5);   // above the last bound: overflow bucket
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_NEAR(h.sum(), 1e-9 + 0.5 + 1e5, 1e-6);
+
+  const std::vector<std::uint64_t> buckets = h.bucket_counts();
+  ASSERT_EQ(buckets.size(), Histogram::kNumBuckets);
+  EXPECT_EQ(buckets[0], 1u);
+  EXPECT_EQ(buckets[Histogram::kNumBounds], 1u);  // overflow
+  const double* b = Histogram::bounds();
+  const auto interior = static_cast<std::size_t>(
+      std::lower_bound(b, b + Histogram::kNumBounds, 0.5) - b);
+  EXPECT_EQ(buckets[interior], 1u);
+  EXPECT_EQ(std::accumulate(buckets.begin(), buckets.end(), std::uint64_t{0}),
+            h.count());
+}
+
+TEST_F(MetricsEnv, ShardMergeIsExactAcrossEightThreads) {
+  // The contended case the shards exist for: every pool worker hammers the
+  // same counter/histogram. After the fork/join boundary the merged totals
+  // must be exact, not approximate.
+  runtime::set_global_threads(8);
+  Counter& c = counter("test/sharded_counter");
+  Histogram& h = histogram("test/sharded_hist");
+  constexpr std::size_t kItems = 20000;
+  runtime::parallel_for(0, kItems, 16, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      c.add();
+      h.observe(1e-3);
+    }
+  });
+  EXPECT_EQ(c.value(), kItems);
+  EXPECT_EQ(h.count(), kItems);
+  EXPECT_NEAR(h.sum(), static_cast<double>(kItems) * 1e-3, 1e-6);
+  const std::vector<std::uint64_t> buckets = h.bucket_counts();
+  EXPECT_EQ(std::accumulate(buckets.begin(), buckets.end(), std::uint64_t{0}),
+            kItems);
+  runtime::set_global_threads(1);
+}
+
+TEST_F(MetricsEnv, SnapshotWhileWritingIsMonotoneLowerBound) {
+  // A reader may snapshot mid-flight; it must never crash, and because
+  // every cell only grows, repeated reads must be non-decreasing and end at
+  // the exact total once the writers have joined.
+  runtime::set_global_threads(4);
+  Counter& c = counter("test/racing_counter");
+  std::atomic<bool> done{false};
+  std::thread reader([&] {
+    std::uint64_t last = 0;
+    while (!done.load(std::memory_order_acquire)) {
+      const std::uint64_t v = c.value();
+      EXPECT_GE(v, last);
+      last = v;
+      (void)metrics_snapshot();  // full snapshot also has to be safe
+    }
+  });
+  constexpr std::size_t kItems = 200000;
+  runtime::parallel_for(0, kItems, 512, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) c.add();
+  });
+  done.store(true, std::memory_order_release);
+  reader.join();
+  EXPECT_EQ(c.value(), kItems);
+  runtime::set_global_threads(1);
+}
+
+TEST_F(MetricsEnv, JsonSnapshotParsesBack) {
+  counter("test/json_counter").add(3);
+  gauge("test/json_gauge").set(2.5);
+  histogram("test/json_hist").observe(0.01);
+
+  std::ostringstream os;
+  write_metrics_json(os, metrics_snapshot());
+  const json::Value doc = json::parse(os.str());
+
+  EXPECT_EQ(doc.at("counters").at("test/json_counter").as_number(), 3.0);
+  EXPECT_DOUBLE_EQ(doc.at("gauges").at("test/json_gauge").as_number(), 2.5);
+  const json::Value& h = doc.at("histograms").at("test/json_hist");
+  EXPECT_EQ(h.at("count").as_number(), 1.0);
+  EXPECT_NEAR(h.at("sum").as_number(), 0.01, 1e-12);
+  const json::Array& buckets = h.at("buckets").as_array();
+  ASSERT_EQ(buckets.size(), Histogram::kNumBuckets);
+  EXPECT_EQ(buckets.back().at("le").as_string(), "+Inf");
+  double in_buckets = 0.0;
+  for (const json::Value& b : buckets) in_buckets += b.at("count").as_number();
+  EXPECT_EQ(in_buckets, 1.0);
+}
+
+TEST_F(MetricsEnv, FlushWritesConfiguredPath) {
+  const std::string path = ::testing::TempDir() + "hsd_obs_metrics_test.json";
+  enable_metrics(path);
+  counter("test/flush_counter").add(7);
+  ASSERT_TRUE(flush_metrics());
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const json::Value doc = json::parse(ss.str());
+  EXPECT_EQ(doc.at("counters").at("test/flush_counter").as_number(), 7.0);
+
+  enable_metrics();  // drop the path so process exit does not rewrite it
+}
+
+TEST_F(MetricsEnv, FlushWithoutPathReportsFailure) {
+  EXPECT_FALSE(flush_metrics());
+}
+
+}  // namespace
+}  // namespace hsd::obs

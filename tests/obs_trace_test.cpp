@@ -1,0 +1,162 @@
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace hsd::obs {
+namespace {
+
+// Declared first so it runs before any fixture enables tracing: with
+// tracing off a span must record nothing, and with no path configured no
+// file may appear. (These tests assume HSD_TRACE is not set; see
+// tests/README.md.)
+TEST(ObsTraceDisabled, SpansRecordNothingAndNoFileAppears) {
+  disable_trace();
+  reset_trace();
+  {
+    HSD_SPAN("test/disabled_outer");
+    HSD_SPAN("test/disabled_inner");
+  }
+  EXPECT_EQ(trace_event_count(), 0u);
+  EXPECT_EQ(trace_dropped_count(), 0u);
+  EXPECT_FALSE(flush_trace());  // no path configured
+}
+
+struct TraceEnv : public ::testing::Test {
+  void SetUp() override {
+    enable_trace();  // empty path: nothing is written at process exit
+    reset_trace();
+  }
+  void TearDown() override {
+    disable_trace();
+    reset_trace();
+  }
+};
+
+using Interval = std::pair<double, double>;
+
+/// Partitions the "X" events of a parsed Chrome trace by tid and sanity
+/// checks every event's shape on the way.
+std::map<int, std::vector<Interval>> complete_events_by_tid(const json::Value& doc) {
+  std::map<int, std::vector<Interval>> by_tid;
+  for (const json::Value& ev : doc.at("traceEvents").as_array()) {
+    const std::string& ph = ev.at("ph").as_string();
+    if (ph == "M") {
+      EXPECT_EQ(ev.at("name").as_string(), "thread_name");
+      EXPECT_FALSE(ev.at("args").at("name").as_string().empty());
+      continue;
+    }
+    EXPECT_EQ(ph, "X");
+    EXPECT_FALSE(ev.at("name").as_string().empty());
+    const double ts = ev.at("ts").as_number();
+    const double dur = ev.at("dur").as_number();
+    EXPECT_GE(ts, 0.0);
+    EXPECT_GE(dur, 0.0);
+    by_tid[static_cast<int>(ev.at("tid").as_number())].emplace_back(ts, ts + dur);
+  }
+  return by_tid;
+}
+
+/// True when the two intervals either do not overlap or one contains the
+/// other — the only arrangements RAII scoping can produce on one thread.
+bool disjoint_or_nested(const Interval& a, const Interval& b) {
+  const bool disjoint = a.second <= b.first || b.second <= a.first;
+  const bool a_in_b = b.first <= a.first && a.second <= b.second;
+  const bool b_in_a = a.first <= b.first && b.second <= a.second;
+  return disjoint || a_in_b || b_in_a;
+}
+
+TEST_F(TraceEnv, NestedSpansRecordInnerBeforeOuter) {
+  {
+    HSD_SPAN("test/outer");
+    HSD_SPAN("test/inner");
+  }
+  EXPECT_EQ(trace_event_count(), 2u);
+
+  std::ostringstream os;
+  write_chrome_trace(os);
+  const json::Value doc = json::parse(os.str());
+  const auto by_tid = complete_events_by_tid(doc);
+  ASSERT_EQ(by_tid.size(), 1u);
+  const std::vector<Interval>& spans = by_tid.begin()->second;
+  ASSERT_EQ(spans.size(), 2u);
+  // Destruction order: the inner span completes (and is recorded) first.
+  EXPECT_TRUE(spans[1].first <= spans[0].first && spans[0].second <= spans[1].second);
+}
+
+TEST_F(TraceEnv, PoolWorkerSpansExportValidStrictlyNestedJson) {
+  runtime::set_global_threads(4);
+  set_current_thread_name("obs-trace-test-main");
+  constexpr std::size_t kItems = 64;
+  runtime::parallel_for(0, kItems, 1, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      HSD_SPAN("test/outer");
+      HSD_SPAN("test/inner");
+    }
+  });
+  EXPECT_EQ(trace_event_count(), 2 * kItems);
+  EXPECT_EQ(trace_dropped_count(), 0u);
+
+  std::ostringstream os;
+  write_chrome_trace(os);
+  const json::Value doc = json::parse(os.str());  // throws on malformed JSON
+  const auto by_tid = complete_events_by_tid(doc);
+
+  std::size_t total = 0;
+  for (const auto& [tid, spans] : by_tid) {
+    total += spans.size();
+    for (std::size_t i = 0; i < spans.size(); ++i) {
+      for (std::size_t j = i + 1; j < spans.size(); ++j) {
+        EXPECT_TRUE(disjoint_or_nested(spans[i], spans[j]))
+            << "tid " << tid << ": [" << spans[i].first << ", " << spans[i].second
+            << ") overlaps [" << spans[j].first << ", " << spans[j].second << ")";
+      }
+    }
+  }
+  EXPECT_EQ(total, 2 * kItems);
+  runtime::set_global_threads(1);
+}
+
+TEST_F(TraceEnv, FlushWritesConfiguredPath) {
+  const std::string path =
+      (std::filesystem::path(::testing::TempDir()) / "hsd_obs_trace_test.json")
+          .string();
+  std::filesystem::remove(path);
+  enable_trace(path);
+  { HSD_SPAN("test/flush"); }
+  ASSERT_TRUE(flush_trace());
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const json::Value doc = json::parse(ss.str());
+  const auto by_tid = complete_events_by_tid(doc);
+  ASSERT_EQ(by_tid.size(), 1u);
+  EXPECT_EQ(by_tid.begin()->second.size(), 1u);
+
+  enable_trace();  // drop the path so process exit does not rewrite it
+}
+
+TEST_F(TraceEnv, RingOverflowDropsOldEventsAndCountsThem) {
+  constexpr std::size_t kRing = std::size_t{1} << 16;
+  constexpr std::size_t kExtra = 100;
+  for (std::size_t i = 0; i < kRing + kExtra; ++i) {
+    HSD_SPAN("test/overflow");
+  }
+  EXPECT_EQ(trace_event_count(), kRing);
+  EXPECT_EQ(trace_dropped_count(), kExtra);
+}
+
+}  // namespace
+}  // namespace hsd::obs

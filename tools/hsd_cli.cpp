@@ -26,6 +26,8 @@
 #include "core/metrics.hpp"
 #include "data/features.hpp"
 #include "data/io.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "pm/pattern_matching.hpp"
 
 namespace {
@@ -69,8 +71,19 @@ int usage() {
                "  build --out FILE [--scale S] [--seed N]\n"
                "  run   [--strategy ours|ts|qp|random|coreset|badge|pred-entropy]\n"
                "        [--iterations N] [--batch K] [--query N] [--seed N] [--csv]\n"
-               "  pm    [--mode exact|a95|a90|e2]\n");
+               "        [--rounds FILE]   per-round telemetry JSONL\n"
+               "  pm    [--mode exact|a95|a90|e2]\n"
+               "observability (any command; also via HSD_TRACE/HSD_METRICS env):\n"
+               "  --trace FILE    Chrome trace_event JSON (chrome://tracing, Perfetto)\n"
+               "  --metrics FILE  metrics registry snapshot JSON\n");
   return 2;
+}
+
+/// Enables span/metric collection from --trace/--metrics before any work
+/// runs; the files are written at process exit.
+void apply_obs_flags(const Args& args) {
+  if (const auto path = args.get("trace")) obs::enable_trace(*path);
+  if (const auto path = args.get("metrics")) obs::enable_metrics(*path);
 }
 
 std::optional<data::BenchmarkSpec> named_spec(const std::string& name, double scale,
@@ -169,6 +182,7 @@ int cmd_run(const Args& args) {
   if (args.get("batch")) cfg.batch_k = std::stoul(*args.get("batch"));
   if (args.get("query")) cfg.query_size = std::stoul(*args.get("query"));
   if (args.get("seed")) cfg.seed = std::stoull(*args.get("seed"));
+  if (args.get("rounds")) cfg.round_log_path = *args.get("rounds");
 
   litho::LithoOracle oracle = bench.make_oracle();
   const core::AlOutcome out =
@@ -237,6 +251,7 @@ int cmd_pm(const Args& args) {
 int main(int argc, char** argv) {
   const Args args = parse_args(argc, argv);
   if (args.positional.empty()) return usage();
+  apply_obs_flags(args);
   const std::string& cmd = args.positional[0];
   try {
     if (cmd == "build") return cmd_build(args);
