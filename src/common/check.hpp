@@ -1,0 +1,115 @@
+#pragma once
+// Contract-check macros for internal invariants.
+//
+// Policy (see DESIGN.md "Error handling & contracts"):
+//   - User-facing API validation (bad shapes, bad config handed in by a
+//     caller) throws std::invalid_argument / std::out_of_range and is
+//     covered by EXPECT_THROW tests.
+//   - Internal invariants — conditions that can only be false if the
+//     library itself has a bug — use HSD_CHECK (always on, aborts) or
+//     HSD_DCHECK (debug builds only, compiled out under NDEBUG).
+//
+// On failure the macros print `file:line: HSD_CHECK failed: <expr> ...`
+// to stderr, with captured operand values for the _EQ/_NE/... forms and
+// an optional streamed message, then call std::abort() so sanitizers and
+// core dumps see the exact failure point.
+//
+//   HSD_CHECK(n > 0);
+//   HSD_CHECK(n > 0, "batch of ", n, " rows");
+//   HSD_CHECK_EQ(grad.size(), val.size(), "param ", p.name);
+//   HSD_DCHECK_LT(i, data_.size());
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace hsd::common::detail {
+
+inline std::string format_msg() { return {}; }
+
+template <class... Ts>
+std::string format_msg(const Ts&... parts) {
+  std::ostringstream os;
+  (os << ... << parts);
+  return os.str();
+}
+
+[[noreturn]] inline void check_fail(const char* file, int line, const char* kind,
+                                    const char* expr, const std::string& values,
+                                    const std::string& msg) {
+  std::fprintf(stderr, "%s:%d: %s failed: %s", file, line, kind, expr);
+  if (!values.empty()) std::fprintf(stderr, " (%s)", values.c_str());
+  if (!msg.empty()) std::fprintf(stderr, " — %s", msg.c_str());
+  std::fprintf(stderr, "\n");
+  std::fflush(stderr);
+  std::abort();
+}
+
+template <class A, class B>
+std::string format_operands(const A& a, const B& b) {
+  std::ostringstream os;
+  os << "lhs=" << a << " rhs=" << b;
+  return os.str();
+}
+
+}  // namespace hsd::common::detail
+
+#define HSD_CHECK(cond, ...)                                                   \
+  do {                                                                         \
+    if (!(cond)) {                                                             \
+      ::hsd::common::detail::check_fail(                                       \
+          __FILE__, __LINE__, "HSD_CHECK", #cond, std::string{},               \
+          ::hsd::common::detail::format_msg(__VA_ARGS__));                     \
+    }                                                                          \
+  } while (false)
+
+// Binary comparison checks capture both operand values on failure. The
+// operands are evaluated exactly once.
+#define HSD_CHECK_OP_(op, kind, a, b, ...)                                     \
+  do {                                                                         \
+    const auto& hsd_check_a_ = (a);                                            \
+    const auto& hsd_check_b_ = (b);                                            \
+    if (!(hsd_check_a_ op hsd_check_b_)) {                                     \
+      ::hsd::common::detail::check_fail(                                       \
+          __FILE__, __LINE__, kind, #a " " #op " " #b,                         \
+          ::hsd::common::detail::format_operands(hsd_check_a_, hsd_check_b_),  \
+          ::hsd::common::detail::format_msg(__VA_ARGS__));                     \
+    }                                                                          \
+  } while (false)
+
+#define HSD_CHECK_EQ(a, b, ...) HSD_CHECK_OP_(==, "HSD_CHECK_EQ", a, b, __VA_ARGS__)
+#define HSD_CHECK_NE(a, b, ...) HSD_CHECK_OP_(!=, "HSD_CHECK_NE", a, b, __VA_ARGS__)
+#define HSD_CHECK_LT(a, b, ...) HSD_CHECK_OP_(<, "HSD_CHECK_LT", a, b, __VA_ARGS__)
+#define HSD_CHECK_LE(a, b, ...) HSD_CHECK_OP_(<=, "HSD_CHECK_LE", a, b, __VA_ARGS__)
+#define HSD_CHECK_GT(a, b, ...) HSD_CHECK_OP_(>, "HSD_CHECK_GT", a, b, __VA_ARGS__)
+#define HSD_CHECK_GE(a, b, ...) HSD_CHECK_OP_(>=, "HSD_CHECK_GE", a, b, __VA_ARGS__)
+
+// Debug-only variants: compiled out (operands not evaluated) under NDEBUG.
+// The `if (false)` arm keeps the expression type-checked in all builds.
+#ifdef NDEBUG
+#define HSD_DCHECK(cond, ...)                                                  \
+  do {                                                                         \
+    if (false) {                                                               \
+      (void)(cond);                                                            \
+    }                                                                          \
+  } while (false)
+#define HSD_DCHECK_OP_(op, a, b, ...)                                          \
+  do {                                                                         \
+    if (false) {                                                               \
+      (void)(a);                                                               \
+      (void)(b);                                                               \
+    }                                                                          \
+  } while (false)
+#else
+#define HSD_DCHECK(cond, ...) HSD_CHECK(cond, __VA_ARGS__)
+#define HSD_DCHECK_OP_(op, a, b, ...)                                          \
+  HSD_CHECK_OP_(op, "HSD_DCHECK", a, b, __VA_ARGS__)
+#endif
+
+#define HSD_DCHECK_EQ(a, b, ...) HSD_DCHECK_OP_(==, a, b, __VA_ARGS__)
+#define HSD_DCHECK_NE(a, b, ...) HSD_DCHECK_OP_(!=, a, b, __VA_ARGS__)
+#define HSD_DCHECK_LT(a, b, ...) HSD_DCHECK_OP_(<, a, b, __VA_ARGS__)
+#define HSD_DCHECK_LE(a, b, ...) HSD_DCHECK_OP_(<=, a, b, __VA_ARGS__)
+#define HSD_DCHECK_GT(a, b, ...) HSD_DCHECK_OP_(>, a, b, __VA_ARGS__)
+#define HSD_DCHECK_GE(a, b, ...) HSD_DCHECK_OP_(>=, a, b, __VA_ARGS__)

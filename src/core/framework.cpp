@@ -1,5 +1,7 @@
 #include "core/framework.hpp"
 
+#include "common/check.hpp"
+
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
@@ -24,10 +26,11 @@ namespace {
 /// the round reporter simply ignores the values when disabled.
 class Stopwatch {
  public:
+  // hsd-lint: allow(no-wall-clock) — stage-timing telemetry only
   Stopwatch() : last_(std::chrono::steady_clock::now()) {}
   /// Seconds since construction or the previous lap() call.
   double lap() {
-    const auto now = std::chrono::steady_clock::now();
+    const auto now = std::chrono::steady_clock::now();  // hsd-lint: allow(no-wall-clock)
     const double dt = std::chrono::duration<double>(now - last_).count();
     last_ = now;
     return dt;
@@ -68,7 +71,7 @@ AlOutcome run_active_learning(const FrameworkConfig& config,
     throw std::invalid_argument("run_active_learning: population too small");
   }
 
-  const auto t_start = std::chrono::steady_clock::now();
+  const auto t_start = std::chrono::steady_clock::now();  // hsd-lint: allow(no-wall-clock)
   AlOutcome out;
   hsd::stats::Rng rng(cfg.seed);
   const std::size_t litho_before = oracle.simulation_count();
@@ -105,6 +108,7 @@ AlOutcome run_active_learning(const FrameworkConfig& config,
   // bookkeeping stays in the original (deterministic) order.
   {
     const std::vector<std::uint8_t> labels = oracle.label_batch(clips, seed_train);
+    HSD_CHECK_EQ(labels.size(), seed_train.size(), "oracle label batch (seed)");
     for (std::size_t i = 0; i < seed_train.size(); ++i) {
       unlabeled.remove(seed_train[i]);
       out.train.add(seed_train[i], labels[i] != 0 ? 1 : 0);
@@ -120,6 +124,7 @@ AlOutcome run_active_learning(const FrameworkConfig& config,
     val_indices.reserve(pick.size());
     for (std::size_t p : pick) val_indices.push_back(rest[p]);
     const std::vector<std::uint8_t> labels = oracle.label_batch(clips, val_indices);
+    HSD_CHECK_EQ(labels.size(), val_indices.size(), "oracle label batch (val)");
     for (std::size_t i = 0; i < val_indices.size(); ++i) {
       unlabeled.remove(val_indices[i]);
       out.val.add(val_indices[i], labels[i] != 0 ? 1 : 0);
@@ -138,6 +143,8 @@ AlOutcome run_active_learning(const FrameworkConfig& config,
   // ---- Alg. 2 lines 6-13: iterative batch-mode sampling. ------------------
   hsd::stats::Rng sample_rng = rng.split();
   std::size_t dry_batches = 0;
+  // Magic-static metric handles: registered once, handle itself immutable.
+  // hsd-lint: allow(no-mutable-static)
   static obs::Counter& rounds_counter = obs::counter("al/rounds");
   for (std::size_t iter = 0; iter < cfg.iterations && !unlabeled.empty(); ++iter) {
     HSD_SPAN("al/round");
@@ -242,7 +249,9 @@ AlOutcome run_active_learning(const FrameworkConfig& config,
                        : 0.0;
       reporter.write(record);
 
+      // hsd-lint: allow(no-mutable-static)
       static obs::Gauge& temp_gauge = obs::gauge("al/temperature");
+      // hsd-lint: allow(no-mutable-static)
       static obs::Gauge& ece_gauge = obs::gauge("al/ece");
       temp_gauge.set(cal.temperature);
       ece_gauge.set(record.ece);
@@ -274,7 +283,8 @@ AlOutcome run_active_learning(const FrameworkConfig& config,
 
   out.litho_labeling = oracle.simulation_count() - litho_before;
   out.pshd_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t_start).count();
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t_start)  // hsd-lint: allow(no-wall-clock)
+          .count();
   return out;
 }
 

@@ -31,6 +31,7 @@ std::vector<float> FeatureExtractor::extract(const layout::Clip& clip) const {
 tensor::Tensor FeatureExtractor::extract_batch(
     const std::vector<layout::Clip>& clips) const {
   HSD_SPAN("data/dct_features");
+  // hsd-lint: allow(no-mutable-static) — magic-static metric handle
   static obs::Counter& featurized = obs::counter("data/clips_featurized");
   featurized.add(clips.size());
   tensor::Tensor out({clips.size(), 1, keep_, keep_});

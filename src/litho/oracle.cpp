@@ -3,6 +3,8 @@
 #include <chrono>
 #include <stdexcept>
 
+#include "common/check.hpp"
+
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "runtime/thread_pool.hpp"
@@ -14,6 +16,7 @@ namespace {
 /// Per-clip simulation latency, recorded only while metrics are on so the
 /// hot loop stays clock-free otherwise.
 void observe_simulate_seconds(double seconds) {
+  // hsd-lint: allow(no-mutable-static) — magic-static metric handle
   static hsd::obs::Histogram& hist =
       hsd::obs::histogram("litho/simulate_seconds");
   hist.observe(seconds);
@@ -21,7 +24,7 @@ void observe_simulate_seconds(double seconds) {
 
 double now_seconds() {
   return std::chrono::duration<double>(
-             std::chrono::steady_clock::now().time_since_epoch())
+             std::chrono::steady_clock::now().time_since_epoch())  // hsd-lint: allow(no-wall-clock)
       .count();
 }
 
@@ -33,6 +36,7 @@ LithoOracle::LithoOracle(std::size_t grid, OpticalModel model, IntentMargins mar
 void LithoOracle::charge(std::size_t n) {
   count_ += n;
   if (metered_) {
+    // hsd-lint: allow(no-mutable-static) — magic-static metric handle
     static hsd::obs::Counter& calls = hsd::obs::counter("litho/oracle_calls");
     calls.add(n);
   }
@@ -41,6 +45,7 @@ void LithoOracle::charge(std::size_t n) {
 LithoResult LithoOracle::simulate(const layout::Clip& clip) {
   HSD_SPAN("litho/simulate");
   const std::vector<float> mask = raster_.rasterize(clip);
+  HSD_DCHECK_EQ(mask.size(), raster_.grid() * raster_.grid(), "rasterize grid");
   const layout::Rect core_px = raster_.to_pixels(clip.core, clip.window);
   charge(1);
   const std::vector<float> aerial = aerial_image(mask, raster_.grid(), model_);

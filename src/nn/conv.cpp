@@ -38,6 +38,7 @@ Tensor Conv2d::forward(const Tensor& input) {
   if (input.rank() != 4 || input.dim(1) != in_c_) {
     throw std::invalid_argument("Conv2d::forward: expected NCHW input with matching C");
   }
+  hsd::tensor::debug_check_finite(input.data(), input.size(), "Conv2d::forward input");
   input_ = input;
   const std::size_t n = input.dim(0);
   const std::size_t h = input.dim(2);
@@ -70,6 +71,9 @@ Tensor Conv2d::forward(const Tensor& input) {
 
 Tensor Conv2d::backward(const Tensor& grad_output) {
   HSD_SPAN("nn/conv_bwd");
+  HSD_DCHECK_EQ(input_.rank(), 4u, "Conv2d::backward before forward");
+  hsd::tensor::debug_check_finite(grad_output.data(), grad_output.size(),
+                                  "Conv2d::backward grad");
   const std::size_t n = input_.dim(0);
   const std::size_t h = input_.dim(2);
   const std::size_t w = input_.dim(3);

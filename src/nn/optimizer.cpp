@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/check.hpp"
+
 namespace hsd::nn {
 
 Sgd::Sgd(double lr, double momentum, double weight_decay)
@@ -15,6 +17,7 @@ void Sgd::step(const std::vector<Param>& params) {
     if (p.value == nullptr || p.grad == nullptr) continue;
     Tensor& val = *p.value;
     const Tensor& grad = *p.grad;
+    HSD_CHECK_EQ(grad.size(), val.size(), "optimizer step: param ", p.name);
     if (momentum_ > 0.0) {
       auto [it, inserted] = velocity_.try_emplace(p.value, Tensor(val.shape()));
       Tensor& vel = it->second;
@@ -43,6 +46,7 @@ void RmsProp::step(const std::vector<Param>& params) {
     if (p.value == nullptr || p.grad == nullptr) continue;
     Tensor& val = *p.value;
     const Tensor& grad = *p.grad;
+    HSD_CHECK_EQ(grad.size(), val.size(), "optimizer step: param ", p.name);
     auto [it, inserted] = mean_square_.try_emplace(p.value, Tensor(val.shape()));
     Tensor& ms = it->second;
     for (std::size_t i = 0; i < val.size(); ++i) {
@@ -80,6 +84,7 @@ void Adam::step(const std::vector<Param>& params) {
     if (p.value == nullptr || p.grad == nullptr) continue;
     Tensor& val = *p.value;
     const Tensor& grad = *p.grad;
+    HSD_CHECK_EQ(grad.size(), val.size(), "optimizer step: param ", p.name);
     auto [it, inserted] =
         moments_.try_emplace(p.value, Moments{Tensor(val.shape()), Tensor(val.shape())});
     Tensor& m = it->second.m;

@@ -31,6 +31,7 @@ using Cells = std::array<std::atomic<std::uint64_t>, kSlotCapacity>;
 class Registry {
  public:
   static Registry& instance() {
+    // hsd-lint: allow(no-mutable-static) — intentional leaked singleton
     static Registry* r = new Registry;  // leaked: immune to exit-order races
     return *r;
   }
@@ -107,9 +108,8 @@ class Registry {
       hs.count = merged_locked(h->slot_ + Histogram::kNumBuckets);
       double sum = 0.0;
       for (const auto& shard : shards_) {
-        sum += std::bit_cast<double>(
-            (*shard)[h->slot_ + Histogram::kNumBuckets + 1].load(
-                std::memory_order_relaxed));
+        const auto& cell = (*shard)[h->slot_ + Histogram::kNumBuckets + 1];
+        sum += std::bit_cast<double>(cell.load(std::memory_order_relaxed));
       }
       hs.sum = sum;
       snap.histograms.push_back(std::move(hs));

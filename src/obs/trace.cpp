@@ -52,6 +52,7 @@ struct TraceBuffer {
 class TraceRegistry {
  public:
   static TraceRegistry& instance() {
+    // hsd-lint: allow(no-mutable-static) — intentional leaked singleton
     static TraceRegistry* r = new TraceRegistry;  // leaked: no exit-order races
     return *r;
   }

@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "common/check.hpp"
+
 #include "stats/normalize.hpp"
 
 namespace hsd::pm {
@@ -19,6 +21,7 @@ void cluster_by_key(const std::vector<std::uint64_t>& keys, PmResult& res) {
   for (std::size_t i = 0; i < keys.size(); ++i) {
     auto [it, inserted] = first_of.try_emplace(keys[i], res.representatives.size());
     if (inserted) res.representatives.push_back(i);
+    HSD_DCHECK_LT(it->second, res.representatives.size(), "cluster_by_key");
     res.cluster_of[i] = it->second;
   }
 }
@@ -137,13 +140,21 @@ PmResult run_pattern_matching(const std::vector<layout::Clip>& clips,
   }
 
   // Lithography-simulate one representative per cluster and propagate.
+  // Every clip must have been assigned to a cluster whose representative
+  // index is in range; a violation here is a clustering bug, not bad input,
+  // and would otherwise read out of bounds below.
+  HSD_CHECK_EQ(res.cluster_of.size(), n, "pattern matching: clustering incomplete");
   std::vector<int> cluster_label(res.representatives.size(), 0);
   for (std::size_t c = 0; c < res.representatives.size(); ++c) {
+    HSD_CHECK_LT(res.representatives[c], n, "pattern matching: representative");
     cluster_label[c] = oracle.label(clips[res.representatives[c]]) ? 1 : 0;
   }
   res.litho_count = res.representatives.size();
   res.predicted.resize(n);
-  for (std::size_t i = 0; i < n; ++i) res.predicted[i] = cluster_label[res.cluster_of[i]];
+  for (std::size_t i = 0; i < n; ++i) {
+    HSD_DCHECK_LT(res.cluster_of[i], cluster_label.size(), "pattern matching: cluster id");
+    res.predicted[i] = cluster_label[res.cluster_of[i]];
+  }
   return res;
 }
 

@@ -57,7 +57,7 @@ class Rng {
   std::mt19937_64& engine() { return engine_; }
 
  private:
-  std::mt19937_64 engine_;
+  std::mt19937_64 engine_;  // hsd-lint: allow(no-rand) — always ctor-seeded
 };
 
 }  // namespace hsd::stats

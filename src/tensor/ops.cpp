@@ -27,6 +27,10 @@ std::size_t row_grain(std::size_t ops_per_row) {
 void matmul(const float* a, const float* b, float* c, std::size_t m,
             std::size_t k, std::size_t n) {
   HSD_SPAN("tensor/matmul");
+  HSD_DCHECK(a != nullptr && b != nullptr && c != nullptr, "matmul: null operand");
+  debug_check_finite(a, m * k, "matmul: A");
+  debug_check_finite(b, k * n, "matmul: B");
+  // hsd-lint: allow(no-mutable-static) — magic-static metric handle
   static obs::Counter& calls = obs::counter("tensor/matmul_calls");
   calls.add();
   // ikj loop order keeps B and C accesses sequential; good enough for the
@@ -51,6 +55,10 @@ void matmul(const float* a, const float* b, float* c, std::size_t m,
 void matmul_at_b(const float* a, const float* b, float* c, std::size_t m,
                  std::size_t k, std::size_t n) {
   HSD_SPAN("tensor/matmul_at_b");
+  HSD_DCHECK(a != nullptr && b != nullptr && c != nullptr, "matmul_at_b: null operand");
+  debug_check_finite(a, k * m, "matmul_at_b: A");
+  debug_check_finite(b, k * n, "matmul_at_b: B");
+  // hsd-lint: allow(no-mutable-static) — magic-static metric handle
   static obs::Counter& calls = obs::counter("tensor/matmul_calls");
   calls.add();
   // Blocks of C rows in parallel; p stays the outer loop within a block so
@@ -73,6 +81,10 @@ void matmul_at_b(const float* a, const float* b, float* c, std::size_t m,
 void matmul_a_bt(const float* a, const float* b, float* c, std::size_t m,
                  std::size_t k, std::size_t n) {
   HSD_SPAN("tensor/matmul_a_bt");
+  HSD_DCHECK(a != nullptr && b != nullptr && c != nullptr, "matmul_a_bt: null operand");
+  debug_check_finite(a, m * k, "matmul_a_bt: A");
+  debug_check_finite(b, n * k, "matmul_a_bt: B");
+  // hsd-lint: allow(no-mutable-static) — magic-static metric handle
   static obs::Counter& calls = obs::counter("tensor/matmul_calls");
   calls.add();
   runtime::parallel_for(0, m, row_grain(k * n), [=](std::size_t i0, std::size_t i1) {
@@ -94,6 +106,7 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   }
   Tensor c({a.dim(0), b.dim(1)});
   matmul(a.data(), b.data(), c.data(), a.dim(0), a.dim(1), b.dim(1));
+  debug_check_finite(c.data(), c.size(), "matmul: C");
   return c;
 }
 

@@ -2,12 +2,28 @@
 // Dense kernels behind the neural-network engine: GEMM, im2col/col2im for
 // convolution, pooling helpers, softmax, and reductions.
 
+#include <cmath>
 #include <cstddef>
 #include <vector>
 
+#include "common/check.hpp"
 #include "tensor/tensor.hpp"
 
 namespace hsd::tensor {
+
+/// Debug-build guard: aborts if any of the `n` floats is NaN or Inf.
+/// Compiled out under NDEBUG — the O(n) scan is too expensive for Release
+/// hot paths, but in Debug it pins poisoned values to the kernel entry that
+/// first saw them instead of a downstream metric going quietly wrong.
+inline void debug_check_finite([[maybe_unused]] const float* data,
+                               [[maybe_unused]] std::size_t n,
+                               [[maybe_unused]] const char* what) {
+#ifndef NDEBUG
+  for (std::size_t i = 0; i < n; ++i) {
+    HSD_CHECK(std::isfinite(data[i]), what, ": non-finite value at index ", i);
+  }
+#endif
+}
 
 /// C = A * B for row-major matrices; A is (m x k), B is (k x n), C is (m x n).
 /// C is overwritten.

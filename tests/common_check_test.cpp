@@ -1,0 +1,84 @@
+#include "common/check.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace {
+
+TEST(CheckMacros, PassingChecksAreSilent) {
+  HSD_CHECK(1 + 1 == 2);
+  HSD_CHECK(true, "never shown ", 42);
+  HSD_CHECK_EQ(2 + 2, 4);
+  HSD_CHECK_NE(1, 2);
+  HSD_CHECK_LT(1, 2);
+  HSD_CHECK_LE(2, 2);
+  HSD_CHECK_GT(3, 2);
+  HSD_CHECK_GE(3, 3);
+  HSD_DCHECK(true);
+  HSD_DCHECK_EQ(1, 1);
+  SUCCEED();
+}
+
+TEST(CheckMacros, OperandsEvaluatedExactlyOnce) {
+  int calls = 0;
+  auto next = [&calls]() { return ++calls; };
+  HSD_CHECK_EQ(next(), 1);
+  EXPECT_EQ(calls, 1);
+  HSD_CHECK_GE(next(), next() - 1);
+  EXPECT_EQ(calls, 3);
+}
+
+#ifdef NDEBUG
+TEST(CheckMacros, DcheckCompiledOutInRelease) {
+  int calls = 0;
+  auto next = [&calls]() { return ++calls; };
+  // Operands must not be evaluated at all when NDEBUG is set.
+  HSD_DCHECK(next() == 99);
+  HSD_DCHECK_EQ(next(), 99);
+  EXPECT_EQ(calls, 0);
+}
+#else
+TEST(CheckMacros, DcheckActiveInDebug) {
+  int calls = 0;
+  auto next = [&calls]() { return ++calls; };
+  HSD_DCHECK(next() == 1);
+  HSD_DCHECK_EQ(next(), 2);
+  EXPECT_EQ(calls, 2);
+}
+#endif
+
+#if GTEST_HAS_DEATH_TEST
+
+TEST(CheckMacrosDeathTest, FailureAbortsWithFileLineAndExpr) {
+  EXPECT_DEATH({ HSD_CHECK(1 == 2); },
+               "common_check_test.cpp:[0-9]+: HSD_CHECK failed: 1 == 2");
+}
+
+TEST(CheckMacrosDeathTest, MessageIsStreamedIntoReport) {
+  const std::string batch = "calib";
+  EXPECT_DEATH({ HSD_CHECK(false, "stage=", batch, " round=", 7); },
+               "HSD_CHECK failed: false.*stage=calib round=7");
+}
+
+TEST(CheckMacrosDeathTest, CheckEqCapturesBothOperands) {
+  const int want = 3;
+  const int got = 5;
+  EXPECT_DEATH({ HSD_CHECK_EQ(want, got); },
+               "HSD_CHECK_EQ failed: want == got \\(lhs=3 rhs=5\\)");
+}
+
+TEST(CheckMacrosDeathTest, ComparisonFamilies) {
+  EXPECT_DEATH({ HSD_CHECK_LT(9, 2); }, "HSD_CHECK_LT failed.*lhs=9 rhs=2");
+  EXPECT_DEATH({ HSD_CHECK_GE(1, 4); }, "HSD_CHECK_GE failed.*lhs=1 rhs=4");
+}
+
+#ifndef NDEBUG
+TEST(CheckMacrosDeathTest, DcheckAbortsInDebug) {
+  EXPECT_DEATH({ HSD_DCHECK_EQ(1, 2); }, "HSD_DCHECK failed");
+}
+#endif
+
+#endif  // GTEST_HAS_DEATH_TEST
+
+}  // namespace

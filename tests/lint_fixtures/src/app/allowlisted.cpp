@@ -1,0 +1,4 @@
+// Fixture: no-rand here is exempted by the allowlist file, not inline.
+#include <cstdlib>
+
+int noisy() { return std::rand(); }

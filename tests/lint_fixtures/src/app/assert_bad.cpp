@@ -1,0 +1,6 @@
+#include <cassert>
+
+int half(int n) {
+  assert(n % 2 == 0);
+  return n / 2;
+}

@@ -1,0 +1,9 @@
+// static_assert and HSD_CHECK are both fine; only raw assert() is banned.
+#define HSD_CHECK(cond) (void)(cond)
+
+static_assert(sizeof(int) >= 4, "assumption");
+
+int half(int n) {
+  HSD_CHECK(n % 2 == 0);
+  return n / 2;
+}

@@ -1,0 +1,6 @@
+#include <atomic>
+
+int drain(std::atomic<int>& a) {
+  a.fetch_add(1);
+  return a.load();
+}

@@ -1,0 +1,6 @@
+#include <atomic>
+
+int drain(std::atomic<int>& a) {
+  a.fetch_add(1, std::memory_order_relaxed);
+  return a.load(std::memory_order_acquire);
+}

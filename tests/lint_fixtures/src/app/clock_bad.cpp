@@ -1,0 +1,7 @@
+#include <chrono>
+
+double stamp() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}

@@ -1,0 +1,3 @@
+#pragma once
+
+inline int one() { return 1; }

@@ -1,0 +1,2 @@
+// Header without an include guard pragma.
+inline int one() { return 1; }

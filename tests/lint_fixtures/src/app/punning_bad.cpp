@@ -1,0 +1,1 @@
+float punned(unsigned bits) { return *reinterpret_cast<float*>(&bits); }

@@ -1,0 +1,7 @@
+#include <cstring>
+
+float punned(unsigned bits) {
+  float f = 0.0F;
+  std::memcpy(&f, &bits, sizeof f);
+  return f;
+}

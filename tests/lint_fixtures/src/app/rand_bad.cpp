@@ -1,0 +1,13 @@
+// Fixture: every no-rand trigger.
+#include <cstdlib>
+#include <random>
+
+int roll() {
+  std::srand(42);
+  int x = std::rand() % 6;
+  std::random_device rd;
+  std::mt19937 gen;
+  (void)gen;
+  (void)rd;
+  return x;
+}

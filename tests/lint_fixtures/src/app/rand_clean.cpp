@@ -1,0 +1,10 @@
+// Fixture: explicitly seeded engine is fine; "rand()" in comments/strings
+// must not trigger.
+#include <random>
+
+const char* kDoc = "never call rand() here";
+
+int roll(unsigned seed) {
+  std::mt19937 gen(seed);
+  return static_cast<int>(gen() % 6);
+}

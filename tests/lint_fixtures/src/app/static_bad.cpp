@@ -1,0 +1,4 @@
+int next_id() {
+  static int counter = 0;
+  return ++counter;
+}

@@ -1,0 +1,5 @@
+int answer() {
+  static const int kTable = 42;
+  static constexpr int kOther = 7;
+  return kTable + kOther;
+}

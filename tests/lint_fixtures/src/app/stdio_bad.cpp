@@ -1,0 +1,7 @@
+#include <cstdio>
+#include <iostream>
+
+void report(int n) {
+  std::cout << n << "\n";
+  printf("%d\n", n);
+}

@@ -1,0 +1,5 @@
+#include <cstdio>
+
+// fprintf to stderr (fatal diagnostics) is allowed; word-boundary matching
+// must not confuse it with printf.
+void report(int n) { std::fprintf(stderr, "%d\n", n); }

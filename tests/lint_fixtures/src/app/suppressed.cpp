@@ -1,0 +1,12 @@
+// Fixture: inline suppressions silence both same-line and previous-line
+// violations.
+#include <cstdlib>
+
+int noisy() {
+  int a = std::rand();  // hsd-lint: allow(no-rand)
+  // hsd-lint: allow(no-rand)
+  std::srand(7);
+  // hsd-lint: allow(no-mutable-static, no-rand)
+  static int cache = std::rand();
+  return a + cache;
+}

@@ -1,0 +1,9 @@
+#include <thread>
+
+void spin() {
+  std::thread t([] {});
+#pragma omp parallel for
+  for (int i = 0; i < 4; ++i) {
+  }
+  t.join();
+}

@@ -1,0 +1,4 @@
+#pragma once
+#include <vector>
+
+using namespace std;

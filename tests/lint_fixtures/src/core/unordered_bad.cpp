@@ -1,0 +1,4 @@
+#include <cstddef>
+#include <unordered_map>
+
+std::size_t count(const std::unordered_map<int, int>& m) { return m.size(); }

@@ -1,0 +1,4 @@
+#include <cstddef>
+#include <map>
+
+std::size_t count(const std::map<int, int>& m) { return m.size(); }

@@ -1,0 +1,7 @@
+// src/runtime owns raw threads; exempt by scope.
+#include <thread>
+
+void spin() {
+  std::thread t([] {});
+  t.join();
+}

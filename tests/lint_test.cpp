@@ -1,0 +1,190 @@
+// Drives hsd_lint over the fixture mini-repo under tests/lint_fixtures/
+// (violating + clean example per rule, suppression comments, allowlist)
+// and over the real repository, which must be clean.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace {
+
+using hsd::lint::AllowList;
+using hsd::lint::Diagnostic;
+using hsd::lint::Options;
+
+const std::filesystem::path kFixtureRoot = HSD_LINT_FIXTURE_DIR;
+const std::filesystem::path kRepoRoot = HSD_LINT_REPO_ROOT;
+
+std::vector<Diagnostic> lint_fixture_file(const std::string& rel) {
+  Options options;
+  options.root = kFixtureRoot;
+  options.paths = {rel};
+  return hsd::lint::run(options);
+}
+
+/// Every diagnostic for `rel` must carry `rule`; returns the count.
+std::size_t count_rule(const std::vector<Diagnostic>& diags, const std::string& rule) {
+  std::size_t n = 0;
+  for (const auto& d : diags) {
+    EXPECT_EQ(d.rule, rule) << hsd::lint::format(d);
+    ++n;
+  }
+  return n;
+}
+
+TEST(LintRules, RandViolations) {
+  EXPECT_EQ(count_rule(lint_fixture_file("src/app/rand_bad.cpp"), "no-rand"), 4u);
+  EXPECT_TRUE(lint_fixture_file("src/app/rand_clean.cpp").empty());
+}
+
+TEST(LintRules, WallClockScoping) {
+  EXPECT_EQ(count_rule(lint_fixture_file("src/app/clock_bad.cpp"), "no-wall-clock"), 1u);
+  // The identical clock read inside src/obs is exempt by path scope.
+  EXPECT_TRUE(lint_fixture_file("src/obs/clock_ok.cpp").empty());
+}
+
+TEST(LintRules, UnorderedContainersInCore) {
+  EXPECT_EQ(count_rule(lint_fixture_file("src/core/unordered_bad.cpp"),
+                       "no-unordered-in-core"),
+            2u);
+  EXPECT_TRUE(lint_fixture_file("src/core/unordered_clean.cpp").empty());
+}
+
+TEST(LintRules, RawThreadsOutsideRuntime) {
+  EXPECT_EQ(count_rule(lint_fixture_file("src/app/thread_bad.cpp"), "no-raw-thread"), 2u);
+  EXPECT_TRUE(lint_fixture_file("src/runtime/thread_ok.cpp").empty());
+}
+
+TEST(LintRules, AtomicMemoryOrder) {
+  EXPECT_EQ(count_rule(lint_fixture_file("src/app/atomic_bad.cpp"),
+                       "atomic-memory-order"),
+            2u);
+  EXPECT_TRUE(lint_fixture_file("src/app/atomic_clean.cpp").empty());
+}
+
+TEST(LintRules, MutableStatics) {
+  EXPECT_EQ(count_rule(lint_fixture_file("src/app/static_bad.cpp"),
+                       "no-mutable-static"),
+            1u);
+  EXPECT_TRUE(lint_fixture_file("src/app/static_clean.cpp").empty());
+}
+
+TEST(LintRules, HeaderHygiene) {
+  EXPECT_EQ(count_rule(lint_fixture_file("src/app/using_namespace_bad.hpp"),
+                       "using-namespace-header"),
+            1u);
+  const auto pragma_diags = lint_fixture_file("src/app/pragma_bad.hpp");
+  ASSERT_EQ(pragma_diags.size(), 1u);
+  EXPECT_EQ(pragma_diags[0].rule, "pragma-once");
+  EXPECT_EQ(pragma_diags[0].line, 1);
+  EXPECT_TRUE(lint_fixture_file("src/app/header_clean.hpp").empty());
+}
+
+TEST(LintRules, StdoutInLibraryCode) {
+  EXPECT_EQ(count_rule(lint_fixture_file("src/app/stdio_bad.cpp"), "no-stdio"), 2u);
+  // fprintf(stderr, ...) must not be confused with printf.
+  EXPECT_TRUE(lint_fixture_file("src/app/stdio_clean.cpp").empty());
+}
+
+TEST(LintRules, RawAssert) {
+  EXPECT_EQ(count_rule(lint_fixture_file("src/app/assert_bad.cpp"), "no-raw-assert"), 1u);
+  // static_assert and HSD_CHECK are fine.
+  EXPECT_TRUE(lint_fixture_file("src/app/assert_clean.cpp").empty());
+}
+
+TEST(LintRules, ReinterpretCast) {
+  EXPECT_EQ(count_rule(lint_fixture_file("src/app/punning_bad.cpp"),
+                       "no-reinterpret-cast"),
+            1u);
+  EXPECT_TRUE(lint_fixture_file("src/app/punning_clean.cpp").empty());
+}
+
+TEST(LintSuppressions, InlineAllowComments) {
+  // Same-line and previous-line `// hsd-lint: allow(rule)` both silence.
+  EXPECT_TRUE(lint_fixture_file("src/app/suppressed.cpp").empty());
+}
+
+TEST(LintSuppressions, AllowlistHonored) {
+  // Without the allowlist the file violates no-rand...
+  EXPECT_EQ(count_rule(lint_fixture_file("src/app/allowlisted.cpp"), "no-rand"), 1u);
+
+  // ...and the fixture allowlist exempts exactly that file+rule.
+  Options options;
+  options.root = kFixtureRoot;
+  options.paths = {"src/app/allowlisted.cpp"};
+  std::string err;
+  ASSERT_TRUE(options.allowlist.load(kFixtureRoot / "allowlist.txt", &err)) << err;
+  EXPECT_TRUE(hsd::lint::run(options).empty());
+}
+
+TEST(LintSuppressions, AllowlistRejectsMalformedLines) {
+  AllowList list;
+  std::string err;
+  EXPECT_FALSE(list.parse("not-a-valid-entry\n", &err));
+  EXPECT_FALSE(err.empty());
+  EXPECT_TRUE(list.parse("# comment only\n\nsrc/a.cpp:no-rand\n", &err));
+  EXPECT_TRUE(list.allows("src/a.cpp", "no-rand"));
+  EXPECT_FALSE(list.allows("src/a.cpp", "no-stdio"));
+  EXPECT_FALSE(list.allows("src/b.cpp", "no-rand"));
+}
+
+TEST(LintSweep, FixtureTreeFindsEveryBadFile) {
+  Options options;
+  options.root = kFixtureRoot;
+  std::string err;
+  ASSERT_TRUE(options.allowlist.load(kFixtureRoot / "allowlist.txt", &err)) << err;
+  const auto diags = hsd::lint::run(options);
+
+  std::map<std::string, std::size_t> per_file;
+  for (const auto& d : diags) per_file[d.file]++;
+
+  const std::vector<std::string> expect_bad = {
+      "src/app/rand_bad.cpp",    "src/app/clock_bad.cpp",
+      "src/core/unordered_bad.cpp", "src/app/thread_bad.cpp",
+      "src/app/atomic_bad.cpp",  "src/app/static_bad.cpp",
+      "src/app/using_namespace_bad.hpp", "src/app/pragma_bad.hpp",
+      "src/app/stdio_bad.cpp",   "src/app/assert_bad.cpp",
+      "src/app/punning_bad.cpp",
+  };
+  for (const auto& f : expect_bad) {
+    EXPECT_GT(per_file.count(f), 0u) << "expected a violation in " << f;
+  }
+  // Nothing outside the known-bad set fires.
+  for (const auto& [file, count] : per_file) {
+    EXPECT_NE(std::find(expect_bad.begin(), expect_bad.end(), file), expect_bad.end())
+        << file << " unexpectedly has " << count << " violation(s)";
+  }
+  EXPECT_EQ(diags.size(), 18u);
+}
+
+TEST(LintSweep, RepositoryIsClean) {
+  Options options;
+  options.root = kRepoRoot;
+  std::string err;
+  ASSERT_TRUE(
+      options.allowlist.load(kRepoRoot / "tools" / "hsd_lint" / "allowlist.txt", &err))
+      << err;
+  const auto diags = hsd::lint::run(options);
+  for (const auto& d : diags) ADD_FAILURE() << hsd::lint::format(d);
+}
+
+TEST(LintCatalogue, RuleNamesAreUniqueAndCategorized) {
+  std::vector<std::string> names;
+  for (const auto& r : hsd::lint::rules()) {
+    names.push_back(r.name);
+    EXPECT_TRUE(r.category == "determinism" || r.category == "concurrency" ||
+                r.category == "hygiene")
+        << r.name << " has category " << r.category;
+    EXPECT_FALSE(r.summary.empty());
+  }
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(std::adjacent_find(names.begin(), names.end()), names.end());
+}
+
+}  // namespace

@@ -62,12 +62,12 @@ TEST_F(RuntimeTest, ParallelForCoversEveryIndexExactlyOnce) {
     set_global_threads(threads);
     constexpr std::size_t kN = 10000;
     std::vector<std::atomic<int>> hits(kN);
-    for (auto& h : hits) h.store(0);
+    for (auto& h : hits) h.store(0, std::memory_order_relaxed);
     parallel_for(0, kN, 7, [&](std::size_t b, std::size_t e) {
-      for (std::size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+      for (std::size_t i = b; i < e; ++i) hits[i].fetch_add(1, std::memory_order_relaxed);
     });
     for (std::size_t i = 0; i < kN; ++i) {
-      ASSERT_EQ(hits[i].load(), 1) << "index " << i << " at " << threads << " threads";
+      ASSERT_EQ(hits[i].load(std::memory_order_relaxed), 1) << "index " << i << " at " << threads << " threads";
     }
   }
 }
@@ -76,11 +76,11 @@ TEST_F(RuntimeTest, GrainBoundsBlockSize) {
   set_global_threads(4);
   std::atomic<std::size_t> max_block{0};
   parallel_for(0, 1000, 13, [&](std::size_t b, std::size_t e) {
-    std::size_t cur = max_block.load();
-    while (e - b > cur && !max_block.compare_exchange_weak(cur, e - b)) {
+    std::size_t cur = max_block.load(std::memory_order_relaxed);
+    while (e - b > cur && !max_block.compare_exchange_weak(cur, e - b, std::memory_order_relaxed)) {
     }
   });
-  EXPECT_LE(max_block.load(), 13u);
+  EXPECT_LE(max_block.load(std::memory_order_relaxed), 13u);
 }
 
 TEST_F(RuntimeTest, EmptyRangeNeverCallsBody) {
@@ -103,9 +103,9 @@ TEST_F(RuntimeTest, ExceptionPropagatesAndPoolStaysUsable) {
   // The pool must be fully reusable after the failed loop.
   std::atomic<int> sum{0};
   parallel_for(0, 100, 1, [&](std::size_t b, std::size_t e) {
-    for (std::size_t i = b; i < e; ++i) sum.fetch_add(static_cast<int>(i));
+    for (std::size_t i = b; i < e; ++i) sum.fetch_add(static_cast<int>(i), std::memory_order_relaxed);
   });
-  EXPECT_EQ(sum.load(), 4950);
+  EXPECT_EQ(sum.load(std::memory_order_relaxed), 4950);
 }
 
 TEST_F(RuntimeTest, NestedParallelForDoesNotDeadlock) {
@@ -113,27 +113,27 @@ TEST_F(RuntimeTest, NestedParallelForDoesNotDeadlock) {
   constexpr std::size_t kOuter = 16;
   constexpr std::size_t kInner = 256;
   std::vector<std::atomic<std::size_t>> inner_counts(kOuter);
-  for (auto& c : inner_counts) c.store(0);
+  for (auto& c : inner_counts) c.store(0, std::memory_order_relaxed);
   parallel_for(0, kOuter, 1, [&](std::size_t b, std::size_t e) {
     for (std::size_t o = b; o < e; ++o) {
       parallel_for(0, kInner, [&](std::size_t ib, std::size_t ie) {
-        inner_counts[o].fetch_add(ie - ib);
+        inner_counts[o].fetch_add(ie - ib, std::memory_order_relaxed);
       });
     }
   });
-  for (std::size_t o = 0; o < kOuter; ++o) EXPECT_EQ(inner_counts[o].load(), kInner);
+  for (std::size_t o = 0; o < kOuter; ++o) EXPECT_EQ(inner_counts[o].load(std::memory_order_relaxed), kInner);
 }
 
 TEST_F(RuntimeTest, TaskGroupJoinsAllForkedTasks) {
   set_global_threads(4);
   std::vector<std::atomic<int>> done(64);
-  for (auto& d : done) d.store(0);
+  for (auto& d : done) d.store(0, std::memory_order_relaxed);
   TaskGroup group;
   for (std::size_t t = 0; t < 64; ++t) {
-    group.run([&done, t] { done[t].fetch_add(1); });
+    group.run([&done, t] { done[t].fetch_add(1, std::memory_order_relaxed); });
   }
   group.wait();
-  for (std::size_t t = 0; t < 64; ++t) EXPECT_EQ(done[t].load(), 1);
+  for (std::size_t t = 0; t < 64; ++t) EXPECT_EQ(done[t].load(std::memory_order_relaxed), 1);
 }
 
 TEST_F(RuntimeTest, TaskGroupRethrowsFirstExceptionAndResets) {
@@ -144,9 +144,9 @@ TEST_F(RuntimeTest, TaskGroupRethrowsFirstExceptionAndResets) {
 
   // Same group is reusable after the exception was delivered.
   std::atomic<bool> ran{false};
-  group.run([&] { ran.store(true); });
+  group.run([&] { ran.store(true, std::memory_order_relaxed); });
   group.wait();
-  EXPECT_TRUE(ran.load());
+  EXPECT_TRUE(ran.load(std::memory_order_relaxed));
 }
 
 TEST_F(RuntimeTest, OversubscribedTaskGroupsDoNotDeadlock) {
@@ -158,12 +158,12 @@ TEST_F(RuntimeTest, OversubscribedTaskGroupsDoNotDeadlock) {
   for (int t = 0; t < 8; ++t) {
     outer.run([&leaf] {
       TaskGroup inner;
-      for (int s = 0; s < 8; ++s) inner.run([&leaf] { leaf.fetch_add(1); });
+      for (int s = 0; s < 8; ++s) inner.run([&leaf] { leaf.fetch_add(1, std::memory_order_relaxed); });
       inner.wait();
     });
   }
   outer.wait();
-  EXPECT_EQ(leaf.load(), 64);
+  EXPECT_EQ(leaf.load(std::memory_order_relaxed), 64);
 }
 
 }  // namespace

@@ -1,0 +1,548 @@
+#include "lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+namespace hsd::lint {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Preprocessing: split source text into per-line (code, comment) pairs with
+// string/char literals blanked out, so rules never match inside literals or
+// comments, and suppression comments are parsed from the comment channel.
+// ---------------------------------------------------------------------------
+
+struct SourceLine {
+  std::string code;
+  std::string comment;
+};
+
+std::vector<SourceLine> preprocess(const std::string& text) {
+  std::vector<SourceLine> lines(1);
+  enum class State { kCode, kString, kChar, kLineComment, kBlockComment, kRawString };
+  State state = State::kCode;
+  std::string raw_terminator;  // for kRawString: )delim"
+  const std::size_t n = text.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const char c = text[i];
+    if (c == '\n') {
+      if (state == State::kLineComment) state = State::kCode;
+      lines.emplace_back();
+      continue;
+    }
+    SourceLine& cur = lines.back();
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && i + 1 < n && text[i + 1] == '/') {
+          state = State::kLineComment;
+          ++i;
+        } else if (c == '/' && i + 1 < n && text[i + 1] == '*') {
+          state = State::kBlockComment;
+          ++i;
+        } else if (c == 'R' && i + 1 < n && text[i + 1] == '"' &&
+                   (cur.code.empty() || !std::isalnum(static_cast<unsigned char>(
+                                            cur.code.back())))) {
+          // R"delim( ... )delim"
+          std::size_t j = i + 2;
+          std::string delim;
+          while (j < n && text[j] != '(' && text[j] != '\n') delim += text[j++];
+          raw_terminator = ")" + delim + "\"";
+          state = State::kRawString;
+          cur.code += "\"\"";
+          i = j;  // at '(' (or newline, handled next iteration)
+        } else if (c == '"') {
+          state = State::kString;
+          cur.code += "\"\"";
+        } else if (c == '\'') {
+          state = State::kChar;
+          cur.code += "''";
+        } else {
+          cur.code += c;
+        }
+        break;
+      case State::kString:
+        if (c == '\\' && i + 1 < n) {
+          ++i;
+        } else if (c == '"') {
+          state = State::kCode;
+        }
+        break;
+      case State::kChar:
+        if (c == '\\' && i + 1 < n) {
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+        }
+        break;
+      case State::kRawString:
+        if (c == raw_terminator[0] && text.compare(i, raw_terminator.size(), raw_terminator) == 0) {
+          i += raw_terminator.size() - 1;
+          state = State::kCode;
+        }
+        break;
+      case State::kLineComment:
+        cur.comment += c;
+        break;
+      case State::kBlockComment:
+        if (c == '*' && i + 1 < n && text[i + 1] == '/') {
+          state = State::kCode;
+          ++i;
+        } else {
+          cur.comment += c;
+        }
+        break;
+    }
+  }
+  return lines;
+}
+
+// ---------------------------------------------------------------------------
+// Small string helpers
+// ---------------------------------------------------------------------------
+
+bool is_word_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool contains(const std::string& s, const std::string& sub) {
+  return s.find(sub) != std::string::npos;
+}
+
+/// Whole-word occurrence of `w` in `s` (both boundaries non-word chars).
+bool contains_word(const std::string& s, const std::string& w) {
+  std::size_t pos = 0;
+  while ((pos = s.find(w, pos)) != std::string::npos) {
+    const bool left_ok = pos == 0 || !is_word_char(s[pos - 1]);
+    const std::size_t end = pos + w.size();
+    const bool right_ok = end >= s.size() || !is_word_char(s[end]);
+    if (left_ok && right_ok) return true;
+    pos = end;
+  }
+  return false;
+}
+
+/// Whole word `w` followed (after optional whitespace) by '('.
+bool contains_call(const std::string& s, const std::string& w) {
+  std::size_t pos = 0;
+  while ((pos = s.find(w, pos)) != std::string::npos) {
+    const bool left_ok = pos == 0 || !is_word_char(s[pos - 1]);
+    std::size_t end = pos + w.size();
+    if (left_ok) {
+      std::size_t j = end;
+      while (j < s.size() && (s[j] == ' ' || s[j] == '\t')) ++j;
+      if (j < s.size() && s[j] == '(') return true;
+    }
+    pos = end;
+  }
+  return false;
+}
+
+std::string ltrim(const std::string& s) {
+  std::size_t i = 0;
+  while (i < s.size() && (s[i] == ' ' || s[i] == '\t')) ++i;
+  return s.substr(i);
+}
+
+bool starts_with(const std::string& s, const std::string& prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+bool has_extension(const std::string& rel, std::initializer_list<const char*> exts) {
+  for (const char* e : exts) {
+    const std::string ext(e);
+    if (rel.size() >= ext.size() &&
+        rel.compare(rel.size() - ext.size(), ext.size(), ext) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Parses every `hsd-lint: allow(a, b)` clause in a comment string.
+std::set<std::string> parse_allows(const std::string& comment) {
+  std::set<std::string> out;
+  static const std::string kTag = "hsd-lint:";
+  std::size_t pos = 0;
+  while ((pos = comment.find(kTag, pos)) != std::string::npos) {
+    std::size_t p = comment.find("allow(", pos);
+    if (p == std::string::npos) break;
+    p += 6;
+    const std::size_t close = comment.find(')', p);
+    if (close == std::string::npos) break;
+    std::string inside = comment.substr(p, close - p);
+    std::string token;
+    std::istringstream is(inside);
+    while (std::getline(is, token, ',')) {
+      // trim
+      const auto b = token.find_first_not_of(" \t");
+      const auto e = token.find_last_not_of(" \t");
+      if (b != std::string::npos) out.insert(token.substr(b, e - b + 1));
+    }
+    pos = close;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Rule catalogue
+// ---------------------------------------------------------------------------
+
+const std::vector<RuleInfo> kRules = {
+    {"no-rand", "determinism",
+     "bans rand()/srand()/std::random_device and unseeded std engines; seed "
+     "explicitly via hsd::stats::Rng / runtime::derive_seed"},
+    {"no-wall-clock", "determinism",
+     "bans wall-clock/steady-clock reads outside src/obs, src/runtime, bench/"},
+    {"no-unordered-in-core", "determinism",
+     "bans std::unordered_map/set in src/core, src/gmm, src/data (iteration "
+     "order is nondeterministic)"},
+    {"no-raw-thread", "concurrency",
+     "bans raw std::thread/std::async/OpenMP outside src/runtime; use "
+     "runtime::parallel_for / TaskGroup"},
+    {"atomic-memory-order", "concurrency",
+     "atomic load/store/RMW must spell an explicit std::memory_order"},
+    {"no-mutable-static", "concurrency",
+     "bans mutable static-storage locals in src/ library code"},
+    {"using-namespace-header", "hygiene", "bans using namespace in headers"},
+    {"pragma-once", "hygiene", "every header must contain #pragma once"},
+    {"no-stdio", "hygiene",
+     "bans printf/std::cout in src/ library code; return data, don't print"},
+    {"no-raw-assert", "hygiene",
+     "bans raw assert(); use HSD_CHECK/HSD_DCHECK from common/check.hpp"},
+    {"no-reinterpret-cast", "hygiene",
+     "bans reinterpret_cast in src/ (UB-prone type punning); use std::memcpy"},
+};
+
+struct Scope {
+  bool in_src = false;
+  bool clock_exempt = false;      // src/obs, src/runtime, bench
+  bool unordered_scoped = false;  // src/core, src/gmm, src/data
+  bool thread_exempt = false;     // src/runtime
+  bool is_header = false;
+};
+
+Scope scope_of(const std::string& rel) {
+  Scope s;
+  s.in_src = starts_with(rel, "src/");
+  s.clock_exempt = starts_with(rel, "src/obs/") || starts_with(rel, "src/runtime/") ||
+                   starts_with(rel, "bench/");
+  s.unordered_scoped = starts_with(rel, "src/core/") || starts_with(rel, "src/gmm/") ||
+                       starts_with(rel, "src/data/");
+  s.thread_exempt = starts_with(rel, "src/runtime/");
+  s.is_header = has_extension(rel, {".hpp", ".h", ".hh"});
+  return s;
+}
+
+const std::vector<std::string> kAtomicOps = {
+    ".load(",
+    ".store(",
+    ".fetch_add(",
+    ".fetch_sub(",
+    ".fetch_or(",
+    ".fetch_and(",
+    ".fetch_xor(",
+    ".exchange(",
+    ".compare_exchange_weak(",
+    ".compare_exchange_strong(",
+};
+
+const std::vector<std::string> kUnseededEngines = {
+    "mt19937", "mt19937_64", "minstd_rand", "minstd_rand0", "default_random_engine",
+    "ranlux24", "ranlux48", "knuth_b",
+};
+
+/// Heuristic for a declaration of a std engine with no initializer on the
+/// line: `std::mt19937 rng;` — flagged; `std::mt19937 rng(seed);` and
+/// `std::mt19937_64& engine()` are not (they contain '(').
+bool unseeded_engine_decl(const std::string& code) {
+  bool named = false;
+  for (const auto& e : kUnseededEngines) {
+    if (contains_word(code, e)) {
+      named = true;
+      break;
+    }
+  }
+  return named && contains(code, ";") && !contains(code, "(") && !contains(code, "{");
+}
+
+void check_line(const std::string& rel, const Scope& sc, const std::string& code,
+                int lineno, bool file_uses_atomics, std::vector<Diagnostic>& out) {
+  auto emit = [&](const char* rule, std::string msg) {
+    out.push_back({rel, lineno, rule, std::move(msg)});
+  };
+
+  // --- determinism -------------------------------------------------------
+  if (contains_call(code, "rand") || contains_call(code, "srand") ||
+      contains_call(code, "drand48") || contains_call(code, "lrand48")) {
+    emit("no-rand", "C rand()/srand() is unseeded global state; use hsd::stats::Rng");
+  }
+  if (contains_word(code, "random_device")) {
+    emit("no-rand", "std::random_device is nondeterministic; seed from config/derive_seed");
+  }
+  if (unseeded_engine_decl(code)) {
+    emit("no-rand", "random engine declared without an explicit seed");
+  }
+
+  if (!sc.clock_exempt) {
+    if (contains(code, "::now(") || contains_word(code, "gettimeofday") ||
+        contains_word(code, "clock_gettime") || contains_call(code, "clock") ||
+        contains(code, "std::time(")) {
+      emit("no-wall-clock",
+           "wall-clock read outside src/obs, src/runtime, bench/ perturbs determinism");
+    }
+  }
+
+  if (sc.unordered_scoped &&
+      (contains_word(code, "unordered_map") || contains_word(code, "unordered_set"))) {
+    emit("no-unordered-in-core",
+         "unordered container in sampling-critical module; iteration order is "
+         "nondeterministic — use std::map/std::set or sort before iterating");
+  }
+
+  // --- concurrency -------------------------------------------------------
+  if (!sc.thread_exempt) {
+    if (contains(code, "std::thread") || contains(code, "std::jthread") ||
+        contains(code, "std::async") || contains_word(code, "pthread_create")) {
+      emit("no-raw-thread",
+           "raw threading outside src/runtime; use runtime::parallel_for / TaskGroup");
+    }
+    if (contains(code, "#pragma") && contains_word(code, "omp")) {
+      emit("no-raw-thread", "OpenMP pragma outside src/runtime");
+    }
+  }
+
+  if (file_uses_atomics && !contains(code, "memory_order")) {
+    for (const auto& op : kAtomicOps) {
+      if (contains(code, op)) {
+        emit("atomic-memory-order",
+             "atomic operation without an explicit std::memory_order");
+        break;
+      }
+    }
+  }
+
+  if (sc.in_src) {
+    const std::string trimmed = ltrim(code);
+    // `=` before any `(` distinguishes an initialized local (`static T x =
+    // make();`) from a static member-function declaration with default
+    // arguments (`static T make(int n = 0);`).
+    const std::size_t eq = trimmed.find('=');
+    const std::size_t paren = trimmed.find('(');
+    if (starts_with(trimmed, "static ") && !contains(trimmed, "static_assert") &&
+        !contains(trimmed, "static_cast") && !contains(trimmed, "constexpr") &&
+        !starts_with(trimmed, "static const ") && eq != std::string::npos &&
+        (paren == std::string::npos || eq < paren)) {
+      emit("no-mutable-static",
+           "mutable static-storage local; initialization order and cross-thread "
+           "mutation are hazards in library code");
+    }
+  }
+
+  // --- hygiene -----------------------------------------------------------
+  if (sc.is_header && contains(code, "using namespace")) {
+    emit("using-namespace-header", "using namespace in a header pollutes every includer");
+  }
+
+  if (sc.in_src) {
+    if (contains(code, "std::cout") || contains_call(code, "printf") ||
+        contains_call(code, "puts")) {
+      emit("no-stdio", "stdout I/O in library code; return data or use obs/ instead");
+    }
+    if (contains_call(code, "assert")) {
+      emit("no-raw-assert",
+           "raw assert() vanishes in Release; use HSD_CHECK/HSD_DCHECK "
+           "(common/check.hpp)");
+    }
+    if (contains_word(code, "reinterpret_cast")) {
+      emit("no-reinterpret-cast",
+           "reinterpret_cast type punning is UB-prone; use std::memcpy");
+    }
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// AllowList
+// ---------------------------------------------------------------------------
+
+bool AllowList::parse(const std::string& text, std::string* error) {
+  std::istringstream is(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    const auto b = line.find_first_not_of(" \t\r");
+    if (b == std::string::npos) continue;
+    const auto e = line.find_last_not_of(" \t\r");
+    line = line.substr(b, e - b + 1);
+    if (line.empty() || line[0] == '#') continue;
+    const auto colon = line.rfind(':');
+    if (colon == std::string::npos || colon == 0 || colon + 1 >= line.size()) {
+      if (error) {
+        *error = "allowlist line " + std::to_string(lineno) +
+                 ": expected `path:rule`, got `" + line + "`";
+      }
+      return false;
+    }
+    entries_[line.substr(0, colon)].insert(line.substr(colon + 1));
+  }
+  return true;
+}
+
+bool AllowList::load(const std::filesystem::path& path, std::string* error) {
+  std::ifstream is(path);
+  if (!is) {
+    if (error) *error = "cannot open allowlist: " + path.string();
+    return false;
+  }
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  return parse(buf.str(), error);
+}
+
+bool AllowList::allows(const std::string& rel_path, const std::string& rule) const {
+  const auto it = entries_.find(rel_path);
+  return it != entries_.end() && it->second.count(rule) > 0;
+}
+
+// ---------------------------------------------------------------------------
+// Entry points
+// ---------------------------------------------------------------------------
+
+const std::vector<RuleInfo>& rules() { return kRules; }
+
+std::vector<Diagnostic> lint_text(const std::string& rel_path, const std::string& text,
+                                  const AllowList& allowlist) {
+  const Scope sc = scope_of(rel_path);
+  const std::vector<SourceLine> lines = preprocess(text);
+  const bool file_uses_atomics =
+      contains(text, "std::atomic") || contains(text, "<atomic>");
+
+  std::vector<Diagnostic> raw;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    check_line(rel_path, sc, lines[i].code, static_cast<int>(i) + 1,
+               file_uses_atomics, raw);
+  }
+
+  if (sc.is_header && !contains(text, "#pragma once")) {
+    raw.push_back({rel_path, 1, "pragma-once", "header is missing #pragma once"});
+  }
+
+  std::vector<Diagnostic> out;
+  for (auto& d : raw) {
+    if (allowlist.allows(rel_path, d.rule)) continue;
+    const std::size_t idx = static_cast<std::size_t>(d.line) - 1;
+    std::set<std::string> allowed = parse_allows(lines[idx].comment);
+    if (idx > 0 && ltrim(lines[idx - 1].code).empty()) {
+      // A comment-only line directly above applies to this line.
+      const auto prev = parse_allows(lines[idx - 1].comment);
+      allowed.insert(prev.begin(), prev.end());
+    }
+    if (allowed.count(d.rule) > 0) continue;
+    out.push_back(std::move(d));
+  }
+  return out;
+}
+
+namespace {
+
+bool lintable(const std::filesystem::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".cc" || ext == ".cxx" || ext == ".hpp" ||
+         ext == ".h" || ext == ".hh" || ext == ".inl";
+}
+
+bool skipped_component(const std::filesystem::path& rel) {
+  for (const auto& part : rel) {
+    const std::string s = part.string();
+    if (s == "lint_fixtures" || s == "build" || (s.size() > 1 && s[0] == '.')) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void lint_one(const std::filesystem::path& file, const std::filesystem::path& root,
+              const AllowList& allowlist, std::vector<Diagnostic>& out) {
+  std::error_code ec;
+  std::filesystem::path rel = std::filesystem::relative(file, root, ec);
+  if (ec || rel.empty()) rel = file;
+  const std::string rel_str = rel.generic_string();
+
+  std::ifstream is(file, std::ios::binary);
+  if (!is) {
+    out.push_back({rel_str, 0, "io-error", "cannot read file"});
+    return;
+  }
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  auto diags = lint_text(rel_str, buf.str(), allowlist);
+  out.insert(out.end(), std::make_move_iterator(diags.begin()),
+             std::make_move_iterator(diags.end()));
+}
+
+void lint_tree(const std::filesystem::path& dir, const std::filesystem::path& root,
+               const AllowList& allowlist, std::vector<Diagnostic>& out) {
+  std::error_code ec;
+  std::filesystem::recursive_directory_iterator it(dir, ec), end;
+  if (ec) return;
+  for (; it != end; it.increment(ec)) {
+    if (ec) break;
+    const std::filesystem::path& p = it->path();
+    std::error_code rec;
+    const std::filesystem::path rel = std::filesystem::relative(p, root, rec);
+    if (!rec && skipped_component(rel)) {
+      if (it->is_directory()) it.disable_recursion_pending();
+      continue;
+    }
+    if (it->is_regular_file() && lintable(p)) {
+      lint_one(p, root, allowlist, out);
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Diagnostic> run(const Options& options) {
+  std::vector<Diagnostic> out;
+  std::vector<std::filesystem::path> targets;
+  const bool explicit_paths = !options.paths.empty();
+  if (explicit_paths) {
+    for (const auto& p : options.paths) {
+      std::filesystem::path path(p);
+      if (path.is_relative()) path = options.root / path;
+      targets.push_back(path);
+    }
+  } else {
+    for (const auto& d : options.scan_dirs) targets.push_back(options.root / d);
+  }
+  for (const auto& t : targets) {
+    if (std::filesystem::is_directory(t)) {
+      lint_tree(t, options.root, options.allowlist, out);
+    } else if (std::filesystem::exists(t)) {
+      lint_one(t, options.root, options.allowlist, out);
+    } else if (explicit_paths) {
+      // A default scan dir that doesn't exist under root is just skipped;
+      // a path the caller named must exist.
+      out.push_back({t.generic_string(), 0, "io-error", "no such file or directory"});
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const Diagnostic& a, const Diagnostic& b) {
+    if (a.file != b.file) return a.file < b.file;
+    if (a.line != b.line) return a.line < b.line;
+    return a.rule < b.rule;
+  });
+  return out;
+}
+
+std::string format(const Diagnostic& d) {
+  std::ostringstream os;
+  os << d.file << ":" << d.line << ": error: [" << d.rule << "] " << d.message;
+  return os.str();
+}
+
+}  // namespace hsd::lint

@@ -1,0 +1,74 @@
+#pragma once
+// hsd_lint — self-contained static analysis for the repo's determinism,
+// concurrency, and hygiene invariants. Token/line-level scanner; no
+// libclang. See DESIGN.md "Static analysis: hsd_lint" for the rule
+// catalogue and suppression syntax.
+
+#include <filesystem>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace hsd::lint {
+
+struct Diagnostic {
+  std::string file;  // path relative to the scan root, forward slashes
+  int line = 0;      // 1-based
+  std::string rule;
+  std::string message;
+};
+
+struct RuleInfo {
+  std::string name;
+  std::string category;  // determinism | concurrency | hygiene
+  std::string summary;
+};
+
+/// File-wide exemptions: maps relative path -> set of rule names.
+/// Text format, one entry per line: `path/from/root.cpp:rule-name`.
+/// Blank lines and lines starting with `#` are ignored.
+class AllowList {
+ public:
+  AllowList() = default;
+
+  /// Parses `text`; returns false (and fills `error`) on malformed lines.
+  bool parse(const std::string& text, std::string* error);
+
+  /// Loads from a file; missing file is an error.
+  bool load(const std::filesystem::path& path, std::string* error);
+
+  bool allows(const std::string& rel_path, const std::string& rule) const;
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  std::map<std::string, std::set<std::string>> entries_;
+};
+
+struct Options {
+  /// Root the scan (and allowlist paths) are relative to.
+  std::filesystem::path root = ".";
+  /// Directories under root to scan when no explicit paths are given.
+  std::vector<std::string> scan_dirs = {"src", "tests", "bench", "examples"};
+  /// Explicit files/directories (relative to root or absolute); when
+  /// non-empty these replace the default scan_dirs sweep.
+  std::vector<std::string> paths;
+  AllowList allowlist;
+};
+
+/// All rules, for --list-rules and the docs.
+const std::vector<RuleInfo>& rules();
+
+/// Lints one file whose content is `text` and whose path relative to the
+/// scan root is `rel_path` (used for rule scoping and allowlist lookup).
+std::vector<Diagnostic> lint_text(const std::string& rel_path, const std::string& text,
+                                  const AllowList& allowlist);
+
+/// Scans per Options. Files that cannot be read produce a diagnostic with
+/// rule "io-error".
+std::vector<Diagnostic> run(const Options& options);
+
+/// `path:line: error: [rule] message` — one line per diagnostic.
+std::string format(const Diagnostic& d);
+
+}  // namespace hsd::lint

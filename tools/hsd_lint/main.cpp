@@ -1,0 +1,87 @@
+// hsd_lint CLI. Exit codes: 0 clean, 1 violations found, 2 usage/IO error.
+//
+//   hsd_lint [--root DIR] [--allowlist FILE|none] [--list-rules] [paths...]
+//
+// With no paths, scans src/ tests/ bench/ examples/ under --root
+// (default: current directory). The default allowlist is
+// <root>/tools/hsd_lint/allowlist.txt when it exists.
+
+#include <cstdio>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--root DIR] [--allowlist FILE|none] [--list-rules] "
+               "[paths...]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  hsd::lint::Options options;
+  std::string allowlist_arg;
+  bool list_rules = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root") {
+      if (++i >= argc) return usage(argv[0]);
+      options.root = argv[i];
+    } else if (arg == "--allowlist") {
+      if (++i >= argc) return usage(argv[0]);
+      allowlist_arg = argv[i];
+    } else if (arg == "--list-rules") {
+      list_rules = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage(argv[0]);
+    } else {
+      options.paths.push_back(arg);
+    }
+  }
+
+  if (list_rules) {
+    for (const auto& r : hsd::lint::rules()) {
+      std::printf("%-24s %-12s %s\n", r.name.c_str(), r.category.c_str(),
+                  r.summary.c_str());
+    }
+    return 0;
+  }
+
+  std::string err;
+  if (allowlist_arg == "none") {
+    // explicit opt-out
+  } else if (!allowlist_arg.empty()) {
+    if (!options.allowlist.load(allowlist_arg, &err)) {
+      std::fprintf(stderr, "hsd_lint: %s\n", err.c_str());
+      return 2;
+    }
+  } else {
+    const std::filesystem::path def = options.root / "tools" / "hsd_lint" / "allowlist.txt";
+    if (std::filesystem::exists(def) && !options.allowlist.load(def, &err)) {
+      std::fprintf(stderr, "hsd_lint: %s\n", err.c_str());
+      return 2;
+    }
+  }
+
+  const auto diagnostics = hsd::lint::run(options);
+  for (const auto& d : diagnostics) {
+    std::cout << hsd::lint::format(d) << "\n";
+  }
+  if (!diagnostics.empty()) {
+    std::cerr << "hsd_lint: " << diagnostics.size() << " violation(s)\n";
+    return 1;
+  }
+  return 0;
+}
