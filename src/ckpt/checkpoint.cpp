@@ -1,0 +1,293 @@
+#include "ckpt/checkpoint.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/binio.hpp"
+#include "obs/metrics.hpp"
+
+namespace hsd::ckpt {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+using hsd::common::read_pod;
+using hsd::common::read_string;
+using hsd::common::read_vector;
+using hsd::common::write_pod;
+using hsd::common::write_string;
+using hsd::common::write_vector;
+
+constexpr std::uint32_t kMagic = 0x4853444B;  // "HSDK"
+constexpr std::uint32_t kVersion = 1;
+
+// Record tags. Values are part of the on-disk format: never reuse one.
+enum Tag : std::uint32_t {
+  kTagMeta = 1,          // config_hash, rounds_done, oracle_spent, dry, temp
+  kTagTrainSet = 2,      // LabeledSet
+  kTagValSet = 3,        // LabeledSet
+  kTagUnlabeled = 4,     // index vector (order-preserving)
+  kTagDensity = 5,       // double vector
+  kTagGmm = 6,           // weights + means + variances
+  kTagDetector = 7,      // opaque detector blob
+  kTagSamplerRng = 8,    // textual engine state
+  kTagRoundLogs = 9,     // RoundLog vector
+};
+
+void write_record(std::ostream& os, std::uint32_t tag, const std::string& payload) {
+  write_pod(os, tag);
+  write_string(os, payload);
+}
+
+void write_matrix(std::ostream& os, const std::vector<std::vector<double>>& m) {
+  write_pod(os, static_cast<std::uint64_t>(m.size()));
+  for (const auto& row : m) write_vector(os, row);
+}
+
+std::vector<std::vector<double>> read_matrix(std::istream& is) {
+  const auto n = read_pod<std::uint64_t>(is);
+  std::vector<std::vector<double>> m(n);
+  for (auto& row : m) row = read_vector<double>(is);
+  return m;
+}
+
+std::string encode(const RunState& st) {
+  std::ostringstream os;
+  write_pod(os, kMagic);
+  write_pod(os, kVersion);
+  {
+    std::ostringstream p;
+    write_pod(p, st.config_hash);
+    write_pod(p, st.rounds_done);
+    write_pod(p, st.oracle_spent);
+    write_pod(p, st.dry_batches);
+    write_pod(p, st.last_temperature);
+    write_record(os, kTagMeta, p.str());
+  }
+  {
+    std::ostringstream p;
+    st.train.save(p);
+    write_record(os, kTagTrainSet, p.str());
+  }
+  {
+    std::ostringstream p;
+    st.val.save(p);
+    write_record(os, kTagValSet, p.str());
+  }
+  {
+    std::ostringstream p;
+    data::save_indices(p, st.unlabeled);
+    write_record(os, kTagUnlabeled, p.str());
+  }
+  {
+    std::ostringstream p;
+    write_vector(p, st.density);
+    write_record(os, kTagDensity, p.str());
+  }
+  {
+    std::ostringstream p;
+    write_vector(p, st.gmm.weights);
+    write_matrix(p, st.gmm.means);
+    write_matrix(p, st.gmm.variances);
+    write_record(os, kTagGmm, p.str());
+  }
+  write_record(os, kTagDetector, st.detector_state);
+  write_record(os, kTagSamplerRng, st.sampler_rng);
+  {
+    std::ostringstream p;
+    write_pod(p, static_cast<std::uint64_t>(st.logs.size()));
+    for (const RoundLog& log : st.logs) {
+      write_pod(p, log.iteration);
+      write_pod(p, log.temperature);
+      write_pod(p, log.w_uncertainty);
+      write_pod(p, log.w_diversity);
+      write_pod(p, log.labeled_size);
+      write_pod(p, log.new_hotspots);
+    }
+    write_record(os, kTagRoundLogs, p.str());
+  }
+  return os.str();
+}
+
+RunState decode(std::istream& is, const std::string& path) {
+  const auto fail = [&](const std::string& why) -> std::runtime_error {
+    return std::runtime_error("ckpt::load_file(" + path + "): " + why);
+  };
+  std::uint32_t magic = 0;
+  std::uint32_t version = 0;
+  try {
+    magic = read_pod<std::uint32_t>(is);
+    version = read_pod<std::uint32_t>(is);
+  } catch (const std::runtime_error&) {
+    throw fail("truncated header");
+  }
+  if (magic != kMagic) throw fail("bad magic (not a checkpoint file)");
+  if (version != kVersion) throw fail("unsupported version " + std::to_string(version));
+
+  RunState st;
+  bool seen[10] = {};
+  while (true) {
+    std::uint32_t tag = 0;
+    {
+      char probe = 0;
+      if (!is.get(probe)) break;  // clean EOF: no more records
+      is.unget();
+      tag = read_pod<std::uint32_t>(is);
+    }
+    std::string payload;
+    try {
+      payload = read_string(is);
+    } catch (const std::runtime_error&) {
+      throw fail("truncated record (tag " + std::to_string(tag) + ")");
+    }
+    if (tag < 10) seen[tag] = true;
+    std::istringstream p(payload);
+    try {
+      switch (tag) {
+        case kTagMeta:
+          st.config_hash = read_pod<std::uint64_t>(p);
+          st.rounds_done = read_pod<std::uint64_t>(p);
+          st.oracle_spent = read_pod<std::uint64_t>(p);
+          st.dry_batches = read_pod<std::uint64_t>(p);
+          st.last_temperature = read_pod<double>(p);
+          break;
+        case kTagTrainSet:
+          st.train = data::LabeledSet::load_from(p);
+          break;
+        case kTagValSet:
+          st.val = data::LabeledSet::load_from(p);
+          break;
+        case kTagUnlabeled:
+          st.unlabeled = data::load_indices(p);
+          break;
+        case kTagDensity:
+          st.density = read_vector<double>(p);
+          break;
+        case kTagGmm:
+          st.gmm.weights = read_vector<double>(p);
+          st.gmm.means = read_matrix(p);
+          st.gmm.variances = read_matrix(p);
+          break;
+        case kTagDetector:
+          st.detector_state = payload;
+          break;
+        case kTagSamplerRng:
+          st.sampler_rng = payload;
+          break;
+        case kTagRoundLogs: {
+          const auto n = read_pod<std::uint64_t>(p);
+          st.logs.resize(n);
+          for (auto& log : st.logs) {
+            log.iteration = read_pod<std::uint64_t>(p);
+            log.temperature = read_pod<double>(p);
+            log.w_uncertainty = read_pod<double>(p);
+            log.w_diversity = read_pod<double>(p);
+            log.labeled_size = read_pod<std::uint64_t>(p);
+            log.new_hotspots = read_pod<std::uint64_t>(p);
+          }
+          break;
+        }
+        default:
+          break;  // unknown record from a newer writer: skip
+      }
+    } catch (const std::runtime_error&) {
+      throw fail("corrupt record (tag " + std::to_string(tag) + ")");
+    }
+  }
+  for (std::uint32_t tag : {kTagMeta, kTagTrainSet, kTagValSet, kTagUnlabeled,
+                            kTagDensity, kTagDetector, kTagSamplerRng}) {
+    if (!seen[tag]) throw fail("missing required record (tag " + std::to_string(tag) + ")");
+  }
+  return st;
+}
+
+// Test-only crash injection for the atomic-rename protocol (see header).
+std::atomic<bool> g_fail_before_rename{false};
+
+}  // namespace
+
+void fail_next_write_before_rename_for_test() {
+  g_fail_before_rename.store(true, std::memory_order_relaxed);
+}
+
+std::string round_path(const std::string& dir, std::uint64_t round) {
+  return (fs::path(dir) / ("round-" + std::to_string(round) + ".ckpt")).string();
+}
+
+void save(const std::string& dir, const RunState& state) {
+  // hsd-lint: allow(no-wall-clock) — checkpoint-write telemetry only
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::string payload = encode(state);
+
+  fs::create_directories(dir);
+  const std::string final_path = round_path(dir, state.rounds_done);
+  const std::string tmp_path = final_path + ".tmp";
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!out) throw std::runtime_error("ckpt::save: cannot open " + tmp_path);
+    out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+    out.flush();
+    if (!out) throw std::runtime_error("ckpt::save: write failure on " + tmp_path);
+  }
+  if (g_fail_before_rename.exchange(false, std::memory_order_relaxed)) {
+    throw std::runtime_error("ckpt::save: injected fault before rename (test)");
+  }
+  std::error_code ec;
+  fs::rename(tmp_path, final_path, ec);  // atomic on POSIX
+  if (ec) {
+    fs::remove(tmp_path, ec);
+    throw std::runtime_error("ckpt::save: rename to " + final_path + " failed");
+  }
+
+  // Registered once per process; the handles themselves are immutable.
+  // hsd-lint: allow(no-mutable-static)
+  static obs::Counter& writes = obs::counter("ckpt/writes");
+  // hsd-lint: allow(no-mutable-static)
+  static obs::Counter& bytes = obs::counter("ckpt/bytes");
+  // hsd-lint: allow(no-mutable-static)
+  static obs::Histogram& seconds = obs::histogram("ckpt/write_seconds");
+  writes.add();
+  bytes.add(payload.size());
+  const auto t1 = std::chrono::steady_clock::now();  // hsd-lint: allow(no-wall-clock)
+  seconds.observe(std::chrono::duration<double>(t1 - t0).count());
+}
+
+RunState load_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("ckpt::load_file: cannot open " + path);
+  return decode(in, path);
+}
+
+std::optional<std::string> find_latest(const std::string& dir) {
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) return std::nullopt;
+  // Collect into an ordered map so the scan is independent of directory
+  // iteration order (std::filesystem promises none).
+  std::map<std::uint64_t, std::string> rounds;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file(ec)) continue;
+    const std::string name = entry.path().filename().string();
+    const std::string prefix = "round-";
+    const std::string suffix = ".ckpt";
+    if (name.size() <= prefix.size() + suffix.size()) continue;
+    if (name.rfind(prefix, 0) != 0) continue;
+    if (name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0) continue;
+    const std::string digits =
+        name.substr(prefix.size(), name.size() - prefix.size() - suffix.size());
+    if (digits.empty() ||
+        digits.find_first_not_of("0123456789") != std::string::npos) {
+      continue;
+    }
+    rounds[std::stoull(digits)] = entry.path().string();
+  }
+  if (rounds.empty()) return std::nullopt;
+  return rounds.rbegin()->second;
+}
+
+}  // namespace hsd::ckpt

@@ -1,0 +1,96 @@
+#pragma once
+// Crash-safe checkpoint/resume for the active-learning loop (Algorithm 2).
+//
+// The PSHD run's whole value is the oracle labels it has already paid for:
+// a crash at round 7 of 10 must not lose them. After every round the
+// framework serializes its full state — labeled/validation sets, the
+// remaining-unlabeled order, the GMM density model, CNN weights AND Adam
+// moments, every RNG stream, the patience counter, and the oracle spend —
+// into `<dir>/round-<N>.ckpt`. Resuming from the latest checkpoint then
+// continues the run such that the final AlOutcome is bit-identical to an
+// uninterrupted run, at any interruption point and any HSD_THREADS.
+//
+// File format (version 1): a fixed header followed by tagged,
+// length-prefixed records:
+//
+//   u32 magic "HSDK"   u32 version
+//   repeat: { u32 tag, u64 payload_bytes, payload }
+//
+// Readers process the tags they know and skip the rest (the length prefix
+// makes every record skippable), so adding a record is a backward- and
+// forward-compatible change; only changing an existing record's layout
+// bumps the version. Writes are atomic: the file is written to
+// `round-<N>.ckpt.tmp` and renamed into place, so a reader (or a resume
+// after a mid-write crash) never observes a partial checkpoint.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "data/dataset.hpp"
+
+namespace hsd::ckpt {
+
+/// Mirror of core::IterationLog (ckpt sits below core in the layering).
+struct RoundLog {
+  std::uint64_t iteration = 0;
+  double temperature = 1.0;
+  double w_uncertainty = 0.0;
+  double w_diversity = 0.0;
+  std::uint64_t labeled_size = 0;
+  std::uint64_t new_hotspots = 0;
+};
+
+/// Parameters of the fitted GMM density model (diagonal covariances).
+struct GmmState {
+  std::vector<double> weights;
+  std::vector<std::vector<double>> means;
+  std::vector<std::vector<double>> variances;
+};
+
+/// Everything the AL loop needs to continue bit-identically after round
+/// `rounds_done`.
+struct RunState {
+  /// Hash of the run-shaping framework config + population size; a resume
+  /// under a different config must be rejected, not silently diverge.
+  std::uint64_t config_hash = 0;
+  std::uint64_t rounds_done = 0;   ///< completed sampling iterations
+  std::uint64_t oracle_spent = 0;  ///< litho-oracle calls paid so far
+  std::uint64_t dry_batches = 0;   ///< consecutive hotspot-free batches
+  double last_temperature = 1.0;   ///< T fitted in the last completed round
+  data::LabeledSet train;          ///< L after round `rounds_done`
+  data::LabeledSet val;            ///< V0
+  std::vector<std::size_t> unlabeled;  ///< remaining U, in exact pool order
+  std::vector<double> density;         ///< GMM log-densities of all clips
+  GmmState gmm;                        ///< the density model itself
+  std::string detector_state;  ///< opaque HotspotDetector blob (net+opt+rng)
+  std::string sampler_rng;     ///< textual engine state of the sampling RNG
+  std::vector<RoundLog> logs;  ///< per-round diagnostics so far
+};
+
+/// `<dir>/round-<round>.ckpt`.
+std::string round_path(const std::string& dir, std::uint64_t round);
+
+/// Atomically writes `state` to round_path(dir, state.rounds_done),
+/// creating `dir` if needed (write-temp + rename). Records write duration,
+/// byte count, and a write counter in the obs metrics registry
+/// (`ckpt/write_seconds`, `ckpt/bytes`, `ckpt/writes`). Throws
+/// std::runtime_error on I/O failure, leaving no partial `.ckpt` visible.
+void save(const std::string& dir, const RunState& state);
+
+/// Reads one checkpoint file. Throws std::runtime_error on a missing file,
+/// bad magic, unsupported version, or truncated/missing records.
+RunState load_file(const std::string& path);
+
+/// Path of the highest-round `round-<N>.ckpt` in `dir`; nullopt when the
+/// directory does not exist or holds no checkpoint. `.tmp` leftovers from
+/// a crashed write are ignored.
+std::optional<std::string> find_latest(const std::string& dir);
+
+/// Test hook: when enabled, save() does all the work of a write but throws
+/// just before the atomic rename — simulating a crash mid-write. The flag
+/// resets to false after triggering once.
+void fail_next_write_before_rename_for_test();
+
+}  // namespace hsd::ckpt

@@ -1,0 +1,131 @@
+#pragma once
+// Shared little-helpers for binary stream (de)serialization, used by the
+// nn weight format, the data set serializers, and the ckpt subsystem.
+//
+// All I/O goes through std::memcpy into char buffers rather than
+// reinterpret_cast'ing object pointers: memcpy is the sanctioned way to
+// read an object representation, so UBSan stays quiet and the lint rule
+// no-reinterpret-cast holds for the whole library.
+//
+// Conventions: fixed-width integers are written in the host's native byte
+// order (checkpoints and weight files are machine-local artifacts, not an
+// interchange format); variable-length payloads are length-prefixed with a
+// u64 count so a reader can always skip a record it does not understand.
+
+#include <cstdint>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace hsd::common {
+
+template <class T>
+void write_pod(std::ostream& os, const T& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  char buf[sizeof(T)];
+  std::memcpy(buf, &v, sizeof(T));
+  os.write(buf, sizeof(T));
+}
+
+template <class T>
+T read_pod(std::istream& is) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  char buf[sizeof(T)];
+  is.read(buf, sizeof(T));
+  if (!is) throw std::runtime_error("binio: truncated stream");
+  T v{};
+  std::memcpy(&v, buf, sizeof(T));
+  return v;
+}
+
+/// Length-prefixed (u64) byte string.
+inline void write_string(std::ostream& os, const std::string& s) {
+  write_pod(os, static_cast<std::uint64_t>(s.size()));
+  os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+inline std::string read_string(std::istream& is) {
+  const auto n = read_pod<std::uint64_t>(is);
+  std::string s(n, '\0');
+  is.read(s.data(), static_cast<std::streamsize>(n));
+  if (!is) throw std::runtime_error("binio: truncated string");
+  return s;
+}
+
+/// Length-prefixed (u64) vector of trivially copyable elements.
+template <class T>
+void write_vector(std::ostream& os, const std::vector<T>& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  write_pod(os, static_cast<std::uint64_t>(v.size()));
+  if (!v.empty()) {
+    std::vector<char> buf(v.size() * sizeof(T));
+    std::memcpy(buf.data(), v.data(), buf.size());
+    os.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+  }
+}
+
+template <class T>
+std::vector<T> read_vector(std::istream& is) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const auto n = read_pod<std::uint64_t>(is);
+  std::vector<T> v(n);
+  if (n > 0) {
+    std::vector<char> buf(n * sizeof(T));
+    is.read(buf.data(), static_cast<std::streamsize>(buf.size()));
+    if (!is) throw std::runtime_error("binio: truncated vector");
+    std::memcpy(v.data(), buf.data(), buf.size());
+  }
+  return v;
+}
+
+/// Raw float array (no length prefix; caller knows the count).
+inline void write_f32_array(std::ostream& os, const float* data, std::size_t count) {
+  std::vector<char> buf(count * sizeof(float));
+  std::memcpy(buf.data(), data, buf.size());
+  os.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+}
+
+inline void read_f32_array(std::istream& is, float* data, std::size_t count) {
+  std::vector<char> buf(count * sizeof(float));
+  is.read(buf.data(), static_cast<std::streamsize>(buf.size()));
+  if (!is) throw std::runtime_error("binio: truncated float array");
+  std::memcpy(data, buf.data(), buf.size());
+}
+
+/// FNV-1a 64-bit accumulator for cheap structural hashes (config hashes in
+/// checkpoint headers). Not cryptographic.
+class Fnv1a {
+ public:
+  Fnv1a& add_bytes(const void* data, std::size_t n) {
+    const char* p = static_cast<const char*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+      hash_ ^= static_cast<std::uint64_t>(static_cast<unsigned char>(p[i]));
+      hash_ *= 0x100000001b3ULL;
+    }
+    return *this;
+  }
+
+  template <class T>
+  Fnv1a& add(const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    char buf[sizeof(T)];
+    std::memcpy(buf, &v, sizeof(T));
+    return add_bytes(buf, sizeof(T));
+  }
+
+  Fnv1a& add(const std::string& s) {
+    add(static_cast<std::uint64_t>(s.size()));
+    return add_bytes(s.data(), s.size());
+  }
+
+  std::uint64_t value() const { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 0xcbf29ce484222325ULL;
+};
+
+}  // namespace hsd::common

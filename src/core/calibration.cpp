@@ -38,8 +38,7 @@ CalibrationResult fit_temperature(const tensor::Tensor& logits,
     return hsd::stats::negative_log_likelihood(calibrated_probabilities(logits, t),
                                                labels);
   };
-  res.nll_before = hsd::stats::negative_log_likelihood(
-      calibrated_probabilities(logits, 1.0), labels);
+  res.nll_before = nll_at(1.0);
 
   // Golden-section search on u = log T.
   const double phi = (std::sqrt(5.0) - 1.0) / 2.0;
@@ -64,8 +63,11 @@ CalibrationResult fit_temperature(const tensor::Tensor& logits,
       f2 = nll_at(std::exp(x2));
     }
   }
-  const double t_star = std::exp(0.5 * (lo + hi));
-  const double nll_star = nll_at(t_star);
+  // The bracket's interior probes were both evaluated already: reuse the
+  // better one instead of paying one more NLL pass at a midpoint no
+  // iteration ever measured.
+  const double t_star = std::exp(f1 <= f2 ? x1 : x2);
+  const double nll_star = std::min(f1, f2);
   // Never report a temperature worse than the identity.
   if (nll_star <= res.nll_before) {
     res.temperature = t_star;

@@ -16,7 +16,10 @@ struct CalibrationResult {
   double temperature = 1.0;
   double nll_before = 0.0;  ///< validation NLL at T = 1
   double nll_after = 0.0;   ///< validation NLL at the fitted T
-  std::size_t evaluations = 0;  ///< objective evaluations spent
+  /// Total NLL evaluations spent, including the T = 1 baseline. The
+  /// reported temperature reuses an already-evaluated bracket probe, so no
+  /// extra evaluation is paid for the final answer.
+  std::size_t evaluations = 0;
 };
 
 /// Fits T by golden-section search on log T over [log t_min, log t_max]

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "common/binio.hpp"
 #include "core/calibration.hpp"
 #include "tensor/ops.hpp"
 
@@ -99,6 +100,16 @@ nn::ForwardResult HotspotDetector::forward(const tensor::Tensor& x) {
 std::vector<std::vector<double>> HotspotDetector::probabilities(
     const tensor::Tensor& x, double temperature) {
   return calibrated_probabilities(logits(x), temperature);
+}
+
+void HotspotDetector::save_state(std::ostream& os) {
+  net_.save(os, &opt_);
+  hsd::common::write_string(os, rng_.save_state());
+}
+
+void HotspotDetector::load_state(std::istream& is) {
+  net_.load(is, &opt_);
+  rng_.load_state(hsd::common::read_string(is));
 }
 
 }  // namespace hsd::core

@@ -64,6 +64,13 @@ class HotspotDetector {
   void save(std::ostream& os) { net_.save(os); }
   void load(std::istream& is) { net_.load(is); }
 
+  /// Persists / restores the full training state: CNN weights, per-layer
+  /// extra state, Adam moments, and the detector's own RNG stream — enough
+  /// for a restored detector to continue training bit-identically
+  /// (checkpoint/resume of the AL loop).
+  void save_state(std::ostream& os);
+  void load_state(std::istream& is);
+
   nn::Network& network() { return net_; }
   const DetectorConfig& config() const { return config_; }
 

@@ -20,8 +20,14 @@ std::vector<std::size_t> top_k_positions(const std::vector<double>& score,
   std::vector<std::size_t> idx(score.size());
   std::iota(idx.begin(), idx.end(), std::size_t{0});
   k = std::min(k, idx.size());
+  // Ties break by ascending position: equal scores are common (constant
+  // uncertainty early in training, duplicated clips), and partial_sort's
+  // order among equals is implementation-defined — which would make the
+  // selected batch, and every downstream oracle call, non-reproducible.
   std::partial_sort(idx.begin(), idx.begin() + static_cast<std::ptrdiff_t>(k), idx.end(),
-                    [&](std::size_t a, std::size_t b) { return score[a] > score[b]; });
+                    [&](std::size_t a, std::size_t b) {
+                      return score[a] > score[b] || (score[a] == score[b] && a < b);
+                    });
   idx.resize(k);
   return idx;
 }
@@ -173,7 +179,7 @@ std::vector<std::size_t> select_batch(const std::vector<std::vector<double>>& pr
                                       hsd::stats::Rng& rng, SamplingDiagnostics* diag) {
   const std::size_t n = probs.size();
   if (features.size() != n) throw std::invalid_argument("select_batch: probs/features size");
-  if (n == 0) return {};
+  if (n == 0 || k == 0) return {};
   if (k >= n) {
     std::vector<std::size_t> all(n);
     std::iota(all.begin(), all.end(), std::size_t{0});

@@ -5,9 +5,14 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
+#include <cstdlib>
 #include <numeric>
+#include <optional>
+#include <sstream>
 #include <stdexcept>
 
+#include "ckpt/checkpoint.hpp"
+#include "common/binio.hpp"
 #include "core/calibration.hpp"
 #include "data/features.hpp"
 #include "obs/metrics.hpp"
@@ -41,16 +46,86 @@ class Stopwatch {
 };
 
 /// Indices of the `count` smallest values in `score` restricted to `among`.
+/// Ties break by ascending index so the result does not depend on the order
+/// of `among` (the unlabeled pool's internal order changes with removals).
 std::vector<std::size_t> lowest_k(const std::vector<double>& score,
                                   const std::vector<std::size_t>& among,
                                   std::size_t count) {
   std::vector<std::size_t> idx = among;
   count = std::min(count, idx.size());
   std::partial_sort(idx.begin(), idx.begin() + static_cast<std::ptrdiff_t>(count),
-                    idx.end(),
-                    [&](std::size_t a, std::size_t b) { return score[a] < score[b]; });
+                    idx.end(), [&](std::size_t a, std::size_t b) {
+                      return score[a] < score[b] || (score[a] == score[b] && a < b);
+                    });
   idx.resize(count);
   return idx;
+}
+
+/// Hash of every config field that shapes the deterministic run (plus the
+/// population size): a checkpoint written under one fingerprint must not be
+/// resumed under another — it would silently diverge instead of continuing
+/// the interrupted run.
+std::uint64_t config_fingerprint(const FrameworkConfig& cfg, std::size_t n_total) {
+  hsd::common::Fnv1a h;
+  h.add<std::uint64_t>(n_total);
+  h.add<std::uint64_t>(cfg.seed);
+  h.add<std::uint64_t>(cfg.initial_train);
+  h.add<std::uint64_t>(cfg.validation);
+  h.add<std::uint64_t>(cfg.query_size);
+  h.add<std::uint64_t>(cfg.batch_k);
+  h.add<std::uint64_t>(cfg.iterations);
+  h.add<std::uint64_t>(cfg.patience);
+  h.add<std::uint64_t>(cfg.gmm_components);
+  h.add<std::uint64_t>(cfg.gmm_pca_dims);
+  h.add<double>(cfg.decision_threshold);
+  h.add<std::uint32_t>(static_cast<std::uint32_t>(cfg.sampler.kind));
+  h.add<double>(cfg.sampler.h);
+  h.add<std::uint8_t>(cfg.sampler.use_uncertainty ? 1 : 0);
+  h.add<std::uint8_t>(cfg.sampler.use_diversity ? 1 : 0);
+  h.add<std::uint8_t>(cfg.sampler.dynamic_weights ? 1 : 0);
+  h.add<double>(cfg.sampler.fixed_w2);
+  h.add<double>(cfg.sampler.qp_uncertainty_weight);
+  h.add<std::uint64_t>(cfg.detector.input_side);
+  h.add<std::uint64_t>(cfg.detector.conv1_channels);
+  h.add<std::uint64_t>(cfg.detector.conv2_channels);
+  h.add<std::uint64_t>(cfg.detector.hidden);
+  h.add<double>(cfg.detector.dropout);
+  h.add<double>(cfg.detector.learning_rate);
+  h.add<std::uint64_t>(cfg.detector.initial_epochs);
+  h.add<std::uint64_t>(cfg.detector.finetune_epochs);
+  h.add<std::uint64_t>(cfg.detector.batch_size);
+  return h.value();
+}
+
+/// HSD_FAULT_AFTER_ROUND as a round index, or 0 when unset/malformed.
+std::size_t fault_after_round_env() {
+  const char* env = std::getenv("HSD_FAULT_AFTER_ROUND");
+  if (env == nullptr || *env == '\0') return 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(env, &end, 10);
+  return (end != nullptr && *end == '\0') ? static_cast<std::size_t>(v) : 0;
+}
+
+ckpt::RoundLog to_round_log(const IterationLog& log) {
+  ckpt::RoundLog r;
+  r.iteration = log.iteration;
+  r.temperature = log.temperature;
+  r.w_uncertainty = log.w_uncertainty;
+  r.w_diversity = log.w_diversity;
+  r.labeled_size = log.labeled_size;
+  r.new_hotspots = log.new_hotspots;
+  return r;
+}
+
+IterationLog from_round_log(const ckpt::RoundLog& r) {
+  IterationLog log;
+  log.iteration = static_cast<std::size_t>(r.iteration);
+  log.temperature = r.temperature;
+  log.w_uncertainty = r.w_uncertainty;
+  log.w_diversity = r.w_diversity;
+  log.labeled_size = static_cast<std::size_t>(r.labeled_size);
+  log.new_hotspots = static_cast<std::size_t>(r.new_hotspots);
+  return log;
 }
 
 }  // namespace
@@ -78,9 +153,31 @@ AlOutcome run_active_learning(const FrameworkConfig& config,
   obs::RoundReporter reporter =
       obs::RoundReporter::from_path_or_env(cfg.round_log_path);
 
+  const std::uint64_t cfg_hash = config_fingerprint(cfg, n_total);
+  // ---- Resume: pick up the latest durable round state, if asked to. ------
+  std::optional<ckpt::RunState> restored;
+  if (cfg.resume && !cfg.checkpoint_dir.empty()) {
+    if (const auto latest = ckpt::find_latest(cfg.checkpoint_dir)) {
+      ckpt::RunState st = ckpt::load_file(*latest);
+      if (st.config_hash != cfg_hash) {
+        throw std::runtime_error(
+            "run_active_learning: checkpoint " + *latest +
+            " was written under a different config or population; refusing to resume");
+      }
+      restored = std::move(st);
+    }
+  }
+
   // ---- Alg. 2 line 1: GMM density over all clip features. ----------------
+  // On resume the fitted mixture and its densities come back verbatim:
+  // refitting would waste the EM cost and consume RNG draws the original
+  // run never made after this point.
   std::vector<double> density;
-  {
+  ckpt::GmmState gmm_state;
+  if (restored) {
+    density = restored->density;
+    gmm_state = restored->gmm;
+  } else {
     HSD_SPAN("al/gmm_density");
     std::vector<std::vector<double>> rows = data::to_double_rows(features);
     std::vector<std::vector<double>> gmm_rows;
@@ -95,45 +192,64 @@ AlOutcome run_active_learning(const FrameworkConfig& config,
     hsd::stats::Rng gmm_rng = rng.split();
     const auto mixture = gmm::GaussianMixture::fit(gmm_rows, gmm_cfg, gmm_rng);
     density = mixture.log_densities(gmm_rows);
+    gmm_state.weights = mixture.weights();
+    gmm_state.means = mixture.means();
+    gmm_state.variances = mixture.variances();
   }
 
   // ---- Alg. 2 line 2: split into L0 (lowest density), V0, U0. -------------
-  std::vector<std::size_t> all(n_total);
-  std::iota(all.begin(), all.end(), std::size_t{0});
-  const std::vector<std::size_t> seed_train =
-      lowest_k(density, all, cfg.initial_train);
+  data::UnlabeledPool unlabeled;
+  if (restored) {
+    // The pool's exact internal order is part of the run state (swap-and-pop
+    // removal makes it history-dependent), so it is restored verbatim
+    // rather than rebuilt from the labeled sets.
+    out.train = restored->train;
+    out.val = restored->val;
+    unlabeled = data::UnlabeledPool(restored->unlabeled);
+  } else {
+    std::vector<std::size_t> all(n_total);
+    std::iota(all.begin(), all.end(), std::size_t{0});
+    const std::vector<std::size_t> seed_train =
+        lowest_k(density, all, cfg.initial_train);
 
-  data::UnlabeledPool unlabeled(n_total);
-  // Oracle labeling of a whole batch runs in parallel on the runtime pool;
-  // bookkeeping stays in the original (deterministic) order.
-  {
-    const std::vector<std::uint8_t> labels = oracle.label_batch(clips, seed_train);
-    HSD_CHECK_EQ(labels.size(), seed_train.size(), "oracle label batch (seed)");
-    for (std::size_t i = 0; i < seed_train.size(); ++i) {
-      unlabeled.remove(seed_train[i]);
-      out.train.add(seed_train[i], labels[i] != 0 ? 1 : 0);
+    unlabeled = data::UnlabeledPool(n_total);
+    // Oracle labeling of a whole batch runs in parallel on the runtime pool;
+    // bookkeeping stays in the original (deterministic) order.
+    {
+      const std::vector<std::uint8_t> labels = oracle.label_batch(clips, seed_train);
+      HSD_CHECK_EQ(labels.size(), seed_train.size(), "oracle label batch (seed)");
+      for (std::size_t i = 0; i < seed_train.size(); ++i) {
+        unlabeled.remove(seed_train[i]);
+        out.train.add(seed_train[i], labels[i] != 0 ? 1 : 0);
+      }
     }
-  }
-  // Validation: random sample of the remainder so both classes can appear
-  // and temperature scaling sees the natural class balance.
-  {
-    const auto& rest = unlabeled.indices();
-    const std::vector<std::size_t> pick =
-        rng.sample_without_replacement(rest.size(), std::min(cfg.validation, rest.size()));
-    std::vector<std::size_t> val_indices;
-    val_indices.reserve(pick.size());
-    for (std::size_t p : pick) val_indices.push_back(rest[p]);
-    const std::vector<std::uint8_t> labels = oracle.label_batch(clips, val_indices);
-    HSD_CHECK_EQ(labels.size(), val_indices.size(), "oracle label batch (val)");
-    for (std::size_t i = 0; i < val_indices.size(); ++i) {
-      unlabeled.remove(val_indices[i]);
-      out.val.add(val_indices[i], labels[i] != 0 ? 1 : 0);
+    // Validation: random sample of the remainder so both classes can appear
+    // and temperature scaling sees the natural class balance.
+    {
+      const auto& rest = unlabeled.indices();
+      const std::vector<std::size_t> pick =
+          rng.sample_without_replacement(rest.size(), std::min(cfg.validation, rest.size()));
+      std::vector<std::size_t> val_indices;
+      val_indices.reserve(pick.size());
+      for (std::size_t p : pick) val_indices.push_back(rest[p]);
+      const std::vector<std::uint8_t> labels = oracle.label_batch(clips, val_indices);
+      HSD_CHECK_EQ(labels.size(), val_indices.size(), "oracle label batch (val)");
+      for (std::size_t i = 0; i < val_indices.size(); ++i) {
+        unlabeled.remove(val_indices[i]);
+        out.val.add(val_indices[i], labels[i] != 0 ? 1 : 0);
+      }
     }
   }
 
   // ---- Alg. 2 lines 3-5: initialize and train the model on L0. -----------
-  HotspotDetector detector(cfg.detector, rng.split());
-  {
+  // A resumed detector gets a placeholder RNG and is then overwritten
+  // wholesale (weights, optimizer moments, RNG streams) by load_state.
+  HotspotDetector detector(cfg.detector,
+                           restored ? hsd::stats::Rng(cfg.seed) : rng.split());
+  if (restored) {
+    std::istringstream ds(restored->detector_state);
+    detector.load_state(ds);
+  } else {
     HSD_SPAN("al/initial_train");
     const tensor::Tensor x0 = data::make_batch(features, out.train.indices);
     detector.train_initial(x0, out.train.labels);
@@ -141,12 +257,31 @@ AlOutcome run_active_learning(const FrameworkConfig& config,
   const tensor::Tensor val_x = data::make_batch(features, out.val.indices);
 
   // ---- Alg. 2 lines 6-13: iterative batch-mode sampling. ------------------
-  hsd::stats::Rng sample_rng = rng.split();
+  hsd::stats::Rng sample_rng = restored ? hsd::stats::Rng(cfg.seed) : rng.split();
   std::size_t dry_batches = 0;
+  std::size_t start_iter = 0;
+  // Oracle calls paid before this process started (resumed runs): the
+  // outcome must report the whole run's spend, not this process's share.
+  std::size_t spent_offset = 0;
+  if (restored) {
+    sample_rng.load_state(restored->sampler_rng);
+    dry_batches = static_cast<std::size_t>(restored->dry_batches);
+    start_iter = static_cast<std::size_t>(restored->rounds_done);
+    spent_offset = static_cast<std::size_t>(restored->oracle_spent);
+    out.iterations.reserve(restored->logs.size());
+    for (const ckpt::RoundLog& r : restored->logs) {
+      out.iterations.push_back(from_round_log(r));
+    }
+    restored.reset();  // drop the detector blob copy
+  }
   // Magic-static metric handles: registered once, handle itself immutable.
   // hsd-lint: allow(no-mutable-static)
   static obs::Counter& rounds_counter = obs::counter("al/rounds");
-  for (std::size_t iter = 0; iter < cfg.iterations && !unlabeled.empty(); ++iter) {
+  for (std::size_t iter = start_iter; iter < cfg.iterations && !unlabeled.empty(); ++iter) {
+    // Termination condition (Alg. 2): checked at the top of the round so a
+    // run resumed exactly at the patience limit stops like an
+    // uninterrupted one would have.
+    if (cfg.patience > 0 && dry_batches >= cfg.patience) break;
     HSD_SPAN("al/round");
     Stopwatch watch;
     obs::RoundRecord record;
@@ -230,7 +365,8 @@ AlOutcome run_active_learning(const FrameworkConfig& config,
       // forward pass and never perturbs the sampling stream.
       record.round = log.iteration;
       record.labeled = log.labeled_size;
-      record.oracle_calls = oracle.simulation_count() - litho_before;
+      record.oracle_calls =
+          spent_offset + (oracle.simulation_count() - litho_before);
       record.batch_hotspots = log.new_hotspots;
       record.batch_nonhotspots = picked_indices.size() - log.new_hotspots;
       record.temperature = cal.temperature;
@@ -257,9 +393,40 @@ AlOutcome run_active_learning(const FrameworkConfig& config,
       ece_gauge.set(record.ece);
     }
 
-    // Termination condition: the query stream has run dry of hotspots.
+    // Termination bookkeeping: the query stream has run dry of hotspots.
+    // Updated before the checkpoint write so the patience counter is part
+    // of the durable round state.
     dry_batches = log.new_hotspots == 0 ? dry_batches + 1 : 0;
-    if (cfg.patience > 0 && dry_batches >= cfg.patience) break;
+
+    if (!cfg.checkpoint_dir.empty()) {
+      HSD_SPAN("al/checkpoint");
+      ckpt::RunState st;
+      st.config_hash = cfg_hash;
+      st.rounds_done = log.iteration;
+      st.oracle_spent = spent_offset + (oracle.simulation_count() - litho_before);
+      st.dry_batches = dry_batches;
+      st.last_temperature = cal.temperature;
+      st.train = out.train;
+      st.val = out.val;
+      st.unlabeled = unlabeled.indices();
+      st.density = density;
+      st.gmm = gmm_state;
+      {
+        std::ostringstream ds;
+        detector.save_state(ds);
+        st.detector_state = ds.str();
+      }
+      st.sampler_rng = sample_rng.save_state();
+      st.logs.reserve(out.iterations.size());
+      for (const IterationLog& l : out.iterations) st.logs.push_back(to_round_log(l));
+      ckpt::save(cfg.checkpoint_dir, st);
+    }
+    if (cfg.after_round) cfg.after_round(log.iteration);
+    if (const std::size_t fault = fault_after_round_env();
+        fault != 0 && fault == log.iteration) {
+      throw std::runtime_error("run_active_learning: simulated crash after round " +
+                               std::to_string(fault) + " (HSD_FAULT_AFTER_ROUND)");
+    }
   }
 
   // ---- Final calibrated full-chip detection on the remaining U. ----------
@@ -281,7 +448,7 @@ AlOutcome run_active_learning(const FrameworkConfig& config,
     }
   }
 
-  out.litho_labeling = oracle.simulation_count() - litho_before;
+  out.litho_labeling = spent_offset + (oracle.simulation_count() - litho_before);
   out.pshd_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t_start)  // hsd-lint: allow(no-wall-clock)
           .count();

@@ -13,6 +13,7 @@
 //   4. runs calibrated full-chip inference on the remaining unlabeled clips.
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -57,6 +58,22 @@ struct FrameworkConfig {
   /// report is written (and none of its extra eval-split metrics are
   /// computed). See obs/round_report.hpp for the record schema.
   std::string round_log_path;
+  /// Checkpoint directory (empty disables checkpointing). After every
+  /// completed sampling round the full run state is atomically written to
+  /// `<checkpoint_dir>/round-<i>.ckpt`; see ckpt/checkpoint.hpp for the
+  /// format and the crash-recovery model.
+  std::string checkpoint_dir;
+  /// Resume from the latest checkpoint in `checkpoint_dir` (no-op when the
+  /// directory is empty or holds no checkpoint). The resumed run yields an
+  /// AlOutcome bit-identical to an uninterrupted one. Throws
+  /// std::runtime_error if the checkpoint was written under a different
+  /// config or population.
+  bool resume = false;
+  /// Hook invoked after each round's checkpoint (if any) is durable, with
+  /// the 1-based round index. Tests throw from here to simulate a crash at
+  /// an exact round boundary; the HSD_FAULT_AFTER_ROUND environment
+  /// variable does the same for whole-process (CLI) crash drills.
+  std::function<void(std::size_t)> after_round;
 };
 
 /// Per-iteration diagnostics for the weight/trade-off figures.

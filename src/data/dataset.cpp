@@ -1,12 +1,44 @@
 #include "data/dataset.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <numeric>
 #include <stdexcept>
 
+#include "common/binio.hpp"
 #include "tensor/ops.hpp"
 
 namespace hsd::data {
+
+void save_indices(std::ostream& os, const std::vector<std::size_t>& indices) {
+  std::vector<std::uint64_t> wide(indices.begin(), indices.end());
+  hsd::common::write_vector(os, wide);
+}
+
+std::vector<std::size_t> load_indices(std::istream& is) {
+  const std::vector<std::uint64_t> wide = hsd::common::read_vector<std::uint64_t>(is);
+  return {wide.begin(), wide.end()};
+}
+
+void LabeledSet::save(std::ostream& os) const {
+  if (labels.size() != indices.size()) {
+    throw std::invalid_argument("LabeledSet::save: index/label size mismatch");
+  }
+  save_indices(os, indices);
+  std::vector<std::int32_t> narrow(labels.begin(), labels.end());
+  hsd::common::write_vector(os, narrow);
+}
+
+LabeledSet LabeledSet::load_from(std::istream& is) {
+  LabeledSet set;
+  set.indices = load_indices(is);
+  const std::vector<std::int32_t> narrow = hsd::common::read_vector<std::int32_t>(is);
+  set.labels.assign(narrow.begin(), narrow.end());
+  if (set.labels.size() != set.indices.size()) {
+    throw std::runtime_error("LabeledSet::load_from: index/label size mismatch");
+  }
+  return set;
+}
 
 UnlabeledPool::UnlabeledPool(std::size_t universe_size) {
   indices_.resize(universe_size);

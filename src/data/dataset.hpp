@@ -4,6 +4,7 @@
 // Algorithm 2 are all index sets over one immutable feature tensor.
 
 #include <cstddef>
+#include <iosfwd>
 #include <vector>
 
 #include "stats/rng.hpp"
@@ -35,7 +36,17 @@ struct LabeledSet {
     for (int y : labels) n += (y == 1);
     return n;
   }
+
+  /// Binary round trip (length-prefixed u64 indices + i32 labels),
+  /// preserving insertion order exactly. Used by the ckpt subsystem.
+  void save(std::ostream& os) const;
+  static LabeledSet load_from(std::istream& is);
 };
+
+/// Serializes an index vector (length-prefixed u64s), preserving order —
+/// the unlabeled pool's order is part of the deterministic run state.
+void save_indices(std::ostream& os, const std::vector<std::size_t>& indices);
+std::vector<std::size_t> load_indices(std::istream& is);
 
 /// An unlabeled pool of clip indices with O(1) removal (swap-and-pop; order
 /// is not preserved, which the sampling framework never relies on).

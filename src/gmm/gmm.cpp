@@ -58,6 +58,42 @@ std::vector<double> GaussianMixture::log_densities(
   return out;
 }
 
+GaussianMixture GaussianMixture::from_parameters(
+    std::vector<double> weights, std::vector<std::vector<double>> means,
+    std::vector<std::vector<double>> variances) {
+  const std::size_t k = weights.size();
+  if (k == 0 || means.size() != k || variances.size() != k) {
+    throw std::invalid_argument("GaussianMixture::from_parameters: component mismatch");
+  }
+  const std::size_t dim = means[0].size();
+  for (std::size_t c = 0; c < k; ++c) {
+    if (means[c].size() != dim || variances[c].size() != dim) {
+      throw std::invalid_argument("GaussianMixture::from_parameters: ragged parameters");
+    }
+    if (weights[c] <= 0.0) {
+      throw std::invalid_argument("GaussianMixture::from_parameters: non-positive weight");
+    }
+    for (double v : variances[c]) {
+      if (v <= 0.0) {
+        throw std::invalid_argument(
+            "GaussianMixture::from_parameters: non-positive variance");
+      }
+    }
+  }
+  GaussianMixture g;
+  g.weights_ = std::move(weights);
+  g.means_ = std::move(means);
+  g.variances_ = std::move(variances);
+  g.log_norm_.assign(k, 0.0);
+  const double log2pi = std::log(2.0 * std::numbers::pi);
+  for (std::size_t c = 0; c < k; ++c) {
+    double sum_log_var = 0.0;
+    for (double v : g.variances_[c]) sum_log_var += std::log(v);
+    g.log_norm_[c] = -0.5 * (static_cast<double>(dim) * log2pi + sum_log_var);
+  }
+  return g;
+}
+
 GaussianMixture GaussianMixture::fit(const std::vector<std::vector<double>>& data,
                                      const GmmConfig& config, hsd::stats::Rng& rng) {
   const std::size_t n = data.size();

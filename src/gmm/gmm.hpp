@@ -29,6 +29,14 @@ class GaussianMixture {
   static GaussianMixture fit(const std::vector<std::vector<double>>& data,
                              const GmmConfig& config, hsd::stats::Rng& rng);
 
+  /// Reconstructs a fitted mixture from explicit parameters (e.g. restored
+  /// from a checkpoint). Shapes are validated and the cached normalization
+  /// constants recomputed; the result scores densities identically to the
+  /// mixture the parameters came from.
+  static GaussianMixture from_parameters(std::vector<double> weights,
+                                         std::vector<std::vector<double>> means,
+                                         std::vector<std::vector<double>> variances);
+
   /// Log density log p(x) under the mixture.
   double log_density(const std::vector<double>& x) const;
 

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "common/binio.hpp"
+
 namespace hsd::nn {
 
 Dropout::Dropout(double p, hsd::stats::Rng rng) : p_(p), rng_(rng) {
@@ -26,6 +28,14 @@ Tensor Dropout::forward(const Tensor& input) {
     }
   }
   return out;
+}
+
+void Dropout::save_state(std::ostream& os) const {
+  hsd::common::write_string(os, rng_.save_state());
+}
+
+void Dropout::load_state(std::istream& is) {
+  rng_.load_state(hsd::common::read_string(is));
 }
 
 Tensor Dropout::backward(const Tensor& grad_output) {

@@ -19,6 +19,10 @@ class Dropout : public Layer {
   std::string name() const override { return "Dropout"; }
   void set_training(bool training) override { training_ = training; }
 
+  /// Persists the mask RNG so resumed training draws the same masks.
+  void save_state(std::ostream& os) const override;
+  void load_state(std::istream& is) override;
+
   double drop_probability() const { return p_; }
   bool training() const { return training_; }
 

@@ -6,6 +6,7 @@
 // and their gradients are exposed as (value, grad) tensor pairs for the
 // optimizers.
 
+#include <iosfwd>
 #include <memory>
 #include <string>
 #include <vector>
@@ -47,6 +48,13 @@ class Layer {
 
   /// Human-readable layer name for summaries and serialization.
   virtual std::string name() const = 0;
+
+  /// Non-parameter state that must survive a save/load round trip for
+  /// bit-identical resumed training (e.g. Dropout's RNG stream). Most
+  /// layers have none; the default writes/reads nothing. The payload is
+  /// length-prefixed by the caller, so implementations need no framing.
+  virtual void save_state(std::ostream& os) const { (void)os; }
+  virtual void load_state(std::istream& is) { (void)is; }
 
   /// Number of scalar parameters.
   std::size_t num_params();

@@ -82,9 +82,19 @@ class Network {
                               std::size_t batch_size, hsd::stats::Rng& rng,
                               const std::vector<double>& class_weights = {});
 
-  /// Serializes all parameters (shape-checked on load).
-  void save(std::ostream& os);
-  void load(std::istream& is);
+  /// Serializes the network in the versioned "HSD2" format: all parameters
+  /// (shape-checked on load), each layer's non-parameter state (e.g.
+  /// Dropout's RNG), and — when `opt` is non-null — the optimizer's
+  /// accumulator state, so train→save→load→train matches uninterrupted
+  /// training bit for bit.
+  void save(std::ostream& os, const Optimizer* opt = nullptr);
+
+  /// Loads either the current "HSD2" format or the legacy "HSD1"
+  /// parameters-only format (older files keep working; they simply carry no
+  /// layer/optimizer state). When `opt` is non-null and the stream holds
+  /// optimizer state, it is restored into `opt`; its state_tag() must match
+  /// the saved tag. A null `opt` skips any saved optimizer state.
+  void load(std::istream& is, Optimizer* opt = nullptr);
 
  private:
   std::vector<std::unique_ptr<Layer>> layers_;

@@ -3,9 +3,64 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/binio.hpp"
 #include "common/check.hpp"
 
 namespace hsd::nn {
+
+namespace {
+
+using hsd::common::read_f32_array;
+using hsd::common::read_pod;
+using hsd::common::write_f32_array;
+using hsd::common::write_pod;
+
+// Optimizer state layout: per parameter (in `params` order) a presence byte
+// and, when present, one accumulator tensor per slot. A parameter whose
+// accumulator has not been materialized yet (no step taken, or momentum
+// disabled) is written as absent and stays lazily created on load.
+
+/// Writes `slots` accumulator tensors per present parameter from `state`,
+/// a pointer-keyed map looked up via a slot-extraction callback.
+template <class Map, class GetSlots>
+void write_accumulators(std::ostream& os, const std::vector<Param>& params,
+                        const Map& state, std::size_t slots, GetSlots get) {
+  write_pod(os, static_cast<std::uint64_t>(params.size()));
+  for (const auto& p : params) {
+    const auto it = state.find(p.value);
+    const std::uint8_t present = it != state.end() ? 1 : 0;
+    write_pod(os, present);
+    if (!present) continue;
+    const auto tensors = get(it->second);
+    HSD_CHECK_EQ(tensors.size(), slots, "optimizer save_state");
+    for (const Tensor* t : tensors) {
+      HSD_CHECK_EQ(t->size(), p.value->size(), "optimizer save_state: param ", p.name);
+      write_f32_array(os, t->data(), t->size());
+    }
+  }
+}
+
+/// Inverse of write_accumulators: recreates present accumulators shaped
+/// like their parameter and fills them from the stream.
+template <class Map, class MakeEntry, class GetSlots>
+void read_accumulators(std::istream& is, const std::vector<Param>& params, Map& state,
+                       std::size_t slots, MakeEntry make, GetSlots get) {
+  const auto count = read_pod<std::uint64_t>(is);
+  if (count != params.size()) {
+    throw std::runtime_error("optimizer load_state: parameter count mismatch");
+  }
+  state.clear();
+  for (const auto& p : params) {
+    const auto present = read_pod<std::uint8_t>(is);
+    if (!present) continue;
+    auto [it, inserted] = state.try_emplace(p.value, make(*p.value));
+    const auto tensors = get(it->second);
+    HSD_CHECK_EQ(tensors.size(), slots, "optimizer load_state");
+    for (Tensor* t : tensors) read_f32_array(is, t->data(), t->size());
+  }
+}
+
+}  // namespace
 
 Sgd::Sgd(double lr, double momentum, double weight_decay)
     : lr_(lr), momentum_(momentum), weight_decay_(weight_decay) {
@@ -35,6 +90,18 @@ void Sgd::step(const std::vector<Param>& params) {
   }
 }
 
+void Sgd::save_state(std::ostream& os, const std::vector<Param>& params) const {
+  write_accumulators(os, params, velocity_, 1, [](const Tensor& v) {
+    return std::vector<const Tensor*>{&v};
+  });
+}
+
+void Sgd::load_state(std::istream& is, const std::vector<Param>& params) {
+  read_accumulators(
+      is, params, velocity_, 1, [](const Tensor& p) { return Tensor(p.shape()); },
+      [](Tensor& v) { return std::vector<Tensor*>{&v}; });
+}
+
 RmsProp::RmsProp(double lr, double decay, double eps, double weight_decay)
     : lr_(lr), decay_(decay), eps_(eps), weight_decay_(weight_decay) {
   if (lr <= 0.0) throw std::invalid_argument("RmsProp: lr <= 0");
@@ -55,6 +122,18 @@ void RmsProp::step(const std::vector<Param>& params) {
       val[i] -= static_cast<float>(lr_ * g / (std::sqrt(static_cast<double>(ms[i])) + eps_));
     }
   }
+}
+
+void RmsProp::save_state(std::ostream& os, const std::vector<Param>& params) const {
+  write_accumulators(os, params, mean_square_, 1, [](const Tensor& ms) {
+    return std::vector<const Tensor*>{&ms};
+  });
+}
+
+void RmsProp::load_state(std::istream& is, const std::vector<Param>& params) {
+  read_accumulators(
+      is, params, mean_square_, 1, [](const Tensor& p) { return Tensor(p.shape()); },
+      [](Tensor& ms) { return std::vector<Tensor*>{&ms}; });
 }
 
 StepDecaySchedule::StepDecaySchedule(Optimizer& optimizer, std::size_t period,
@@ -98,6 +177,21 @@ void Adam::step(const std::vector<Param>& params) {
       val[i] -= static_cast<float>(lr_ * mhat / (std::sqrt(vhat) + eps_));
     }
   }
+}
+
+void Adam::save_state(std::ostream& os, const std::vector<Param>& params) const {
+  write_pod(os, static_cast<std::int64_t>(step_count_));
+  write_accumulators(os, params, moments_, 2, [](const Moments& mo) {
+    return std::vector<const Tensor*>{&mo.m, &mo.v};
+  });
+}
+
+void Adam::load_state(std::istream& is, const std::vector<Param>& params) {
+  step_count_ = static_cast<long>(read_pod<std::int64_t>(is));
+  read_accumulators(
+      is, params, moments_, 2,
+      [](const Tensor& p) { return Moments{Tensor(p.shape()), Tensor(p.shape())}; },
+      [](Moments& mo) { return std::vector<Tensor*>{&mo.m, &mo.v}; });
 }
 
 }  // namespace hsd::nn

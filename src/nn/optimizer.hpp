@@ -1,6 +1,8 @@
 #pragma once
 // First-order optimizers operating on the Param pairs exposed by layers.
 
+#include <iosfwd>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -19,6 +21,24 @@ class Optimizer {
 
   virtual void set_learning_rate(double lr) = 0;
   virtual double learning_rate() const = 0;
+
+  /// Short format tag identifying the state layout ("sgd", "rmsprop",
+  /// "adam", or "none" for stateless optimizers).
+  virtual std::string state_tag() const { return "none"; }
+
+  /// Serializes the per-parameter accumulator state (momenta etc.) in
+  /// `params` order so that a restored optimizer continues training
+  /// bit-identically. `params` must be the same parameter list (same order,
+  /// same shapes) the optimizer has been stepping. The default writes /
+  /// reads nothing. load_state replaces any existing state.
+  virtual void save_state(std::ostream& os, const std::vector<Param>& params) const {
+    (void)os;
+    (void)params;
+  }
+  virtual void load_state(std::istream& is, const std::vector<Param>& params) {
+    (void)is;
+    (void)params;
+  }
 };
 
 /// Plain SGD with optional momentum and weight decay.
@@ -28,6 +48,9 @@ class Sgd : public Optimizer {
   void step(const std::vector<Param>& params) override;
   void set_learning_rate(double lr) override { lr_ = lr; }
   double learning_rate() const override { return lr_; }
+  std::string state_tag() const override { return "sgd"; }
+  void save_state(std::ostream& os, const std::vector<Param>& params) const override;
+  void load_state(std::istream& is, const std::vector<Param>& params) override;
 
  private:
   double lr_;
@@ -44,6 +67,9 @@ class RmsProp : public Optimizer {
   void step(const std::vector<Param>& params) override;
   void set_learning_rate(double lr) override { lr_ = lr; }
   double learning_rate() const override { return lr_; }
+  std::string state_tag() const override { return "rmsprop"; }
+  void save_state(std::ostream& os, const std::vector<Param>& params) const override;
+  void load_state(std::istream& is, const std::vector<Param>& params) override;
 
  private:
   double lr_, decay_, eps_, weight_decay_;
@@ -76,6 +102,9 @@ class Adam : public Optimizer {
   void step(const std::vector<Param>& params) override;
   void set_learning_rate(double lr) override { lr_ = lr; }
   double learning_rate() const override { return lr_; }
+  std::string state_tag() const override { return "adam"; }
+  void save_state(std::ostream& os, const std::vector<Param>& params) const override;
+  void load_state(std::istream& is, const std::vector<Param>& params) override;
 
  private:
   struct Moments {

@@ -1,61 +1,37 @@
+// Versioned binary (de)serialization of Network parameters and training
+// state. Two on-disk formats exist:
+//
+//   "HSD1" (legacy)  magic + parameter tensors only.
+//   "HSD2" (current) magic + parameter tensors + per-layer extra state
+//                    (length-prefixed, so unknown/empty state is skippable)
+//                    + optional optimizer accumulator state (tagged).
+//
+// save() always writes HSD2; load() accepts both, which keeps old weight
+// files readable forever (versioning rule: never remove a reader).
+
 #include <cstdint>
-#include <cstring>
-#include <istream>
-#include <ostream>
+#include <sstream>
 #include <stdexcept>
-#include <type_traits>
 #include <vector>
 
+#include "common/binio.hpp"
 #include "nn/network.hpp"
 
 namespace hsd::nn {
 
 namespace {
 
-constexpr std::uint32_t kMagic = 0x48534431;  // "HSD1"
+using hsd::common::read_f32_array;
+using hsd::common::read_pod;
+using hsd::common::read_string;
+using hsd::common::write_f32_array;
+using hsd::common::write_pod;
+using hsd::common::write_string;
 
-// All stream I/O goes through std::memcpy into char buffers rather than
-// reinterpret_cast'ing object pointers: memcpy is the sanctioned way to
-// read an object representation, so UBSan stays quiet and the lint rule
-// no-reinterpret-cast holds for the whole library.
+constexpr std::uint32_t kMagicV1 = 0x48534431;  // "HSD1": params only
+constexpr std::uint32_t kMagicV2 = 0x48534432;  // "HSD2": params + state
 
-template <class T>
-void write_pod(std::ostream& os, const T& v) {
-  static_assert(std::is_trivially_copyable_v<T>);
-  char buf[sizeof(T)];
-  std::memcpy(buf, &v, sizeof(T));
-  os.write(buf, sizeof(T));
-}
-
-template <class T>
-T read_pod(std::istream& is) {
-  static_assert(std::is_trivially_copyable_v<T>);
-  char buf[sizeof(T)];
-  is.read(buf, sizeof(T));
-  if (!is) throw std::runtime_error("Network::load: truncated stream");
-  T v{};
-  std::memcpy(&v, buf, sizeof(T));
-  return v;
-}
-
-void write_f32_array(std::ostream& os, const float* data, std::size_t count) {
-  std::vector<char> buf(count * sizeof(float));
-  std::memcpy(buf.data(), data, buf.size());
-  os.write(buf.data(), static_cast<std::streamsize>(buf.size()));
-}
-
-void read_f32_array(std::istream& is, float* data, std::size_t count) {
-  std::vector<char> buf(count * sizeof(float));
-  is.read(buf.data(), static_cast<std::streamsize>(buf.size()));
-  if (!is) throw std::runtime_error("Network::load: truncated stream");
-  std::memcpy(data, buf.data(), buf.size());
-}
-
-}  // namespace
-
-void Network::save(std::ostream& os) {
-  const auto ps = params();
-  write_pod(os, kMagic);
+void write_params(std::ostream& os, const std::vector<Param>& ps) {
   write_pod(os, static_cast<std::uint64_t>(ps.size()));
   for (const auto& p : ps) {
     const auto& shape = p.value->shape();
@@ -63,19 +39,9 @@ void Network::save(std::ostream& os) {
     for (std::size_t d : shape) write_pod(os, static_cast<std::uint64_t>(d));
     write_f32_array(os, p.value->data(), p.value->size());
   }
-  if (!os) throw std::runtime_error("Network::save: write failure");
 }
 
-void Network::load(std::istream& is) {
-  std::uint32_t magic = 0;
-  {
-    char buf[sizeof(magic)];
-    is.read(buf, sizeof(buf));
-    if (!is) throw std::runtime_error("Network::load: bad magic");
-    std::memcpy(&magic, buf, sizeof(magic));
-  }
-  if (magic != kMagic) throw std::runtime_error("Network::load: bad magic");
-  const auto ps = params();
+void read_params(std::istream& is, const std::vector<Param>& ps) {
   const std::uint64_t count = read_pod<std::uint64_t>(is);
   if (count != ps.size()) throw std::runtime_error("Network::load: parameter count mismatch");
   for (const auto& p : ps) {
@@ -86,6 +52,69 @@ void Network::load(std::istream& is) {
       throw std::runtime_error("Network::load: parameter shape mismatch");
     }
     read_f32_array(is, p.value->data(), p.value->size());
+  }
+}
+
+}  // namespace
+
+void Network::save(std::ostream& os, const Optimizer* opt) {
+  write_pod(os, kMagicV2);
+  write_params(os, params());
+
+  // Per-layer extra state (empty for most layers), length-prefixed so a
+  // reader can skip blobs blindly.
+  write_pod(os, static_cast<std::uint64_t>(layers_.size()));
+  for (const auto& layer : layers_) {
+    std::ostringstream blob;
+    layer->save_state(blob);
+    write_string(os, blob.str());
+  }
+
+  const std::uint8_t has_opt = opt != nullptr ? 1 : 0;
+  write_pod(os, has_opt);
+  if (opt != nullptr) {
+    write_string(os, opt->state_tag());
+    std::ostringstream blob;
+    opt->save_state(blob, params());
+    write_string(os, blob.str());
+  }
+  if (!os) throw std::runtime_error("Network::save: write failure");
+}
+
+void Network::load(std::istream& is, Optimizer* opt) {
+  std::uint32_t magic = 0;
+  try {
+    magic = read_pod<std::uint32_t>(is);
+  } catch (const std::runtime_error&) {
+    throw std::runtime_error("Network::load: bad magic");
+  }
+  if (magic != kMagicV1 && magic != kMagicV2) {
+    throw std::runtime_error("Network::load: bad magic");
+  }
+  read_params(is, params());
+  if (magic == kMagicV1) return;  // legacy file: parameters only
+
+  const std::uint64_t n_layers = read_pod<std::uint64_t>(is);
+  if (n_layers != layers_.size()) {
+    throw std::runtime_error("Network::load: layer count mismatch");
+  }
+  for (const auto& layer : layers_) {
+    std::istringstream blob(read_string(is));
+    layer->load_state(blob);
+  }
+
+  const std::uint8_t has_opt = read_pod<std::uint8_t>(is);
+  if (has_opt != 0) {
+    const std::string tag = read_string(is);
+    const std::string blob = read_string(is);
+    if (opt != nullptr) {
+      if (tag != opt->state_tag()) {
+        throw std::runtime_error("Network::load: optimizer state is '" + tag +
+                                 "' but caller passed '" + opt->state_tag() + "'");
+      }
+      std::istringstream state(blob);
+      opt->load_state(state, params());
+    }
   }
 }
 

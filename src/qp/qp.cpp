@@ -124,8 +124,13 @@ std::vector<std::size_t> top_k_indices(const std::vector<double>& x, std::size_t
   if (k > x.size()) throw std::invalid_argument("top_k_indices: k > n");
   std::vector<std::size_t> idx(x.size());
   std::iota(idx.begin(), idx.end(), std::size_t{0});
+  // Ties break by ascending index: the relaxed solution routinely saturates
+  // several coordinates at exactly 1.0, and partial_sort alone would leave
+  // their order implementation-defined.
   std::partial_sort(idx.begin(), idx.begin() + static_cast<std::ptrdiff_t>(k), idx.end(),
-                    [&](std::size_t a, std::size_t b) { return x[a] > x[b]; });
+                    [&](std::size_t a, std::size_t b) {
+                      return x[a] > x[b] || (x[a] == x[b] && a < b);
+                    });
   idx.resize(k);
   return idx;
 }

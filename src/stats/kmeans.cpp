@@ -26,6 +26,8 @@ std::vector<std::size_t> kmeanspp_seed(const std::vector<std::vector<double>>& d
   seeds.push_back(static_cast<std::size_t>(rng.randint(0, static_cast<std::int64_t>(n) - 1)));
 
   std::vector<double> d2(n, std::numeric_limits<double>::infinity());
+  std::vector<bool> seeded(n, false);
+  seeded[seeds.back()] = true;
   while (seeds.size() < k) {
     const auto& last = data[seeds.back()];
     for (std::size_t i = 0; i < n; ++i) {
@@ -33,14 +35,22 @@ std::vector<std::size_t> kmeanspp_seed(const std::vector<std::vector<double>>& d
     }
     double total = 0.0;
     for (double d : d2) total += d;
-    std::size_t next;
+    std::size_t next = n;
     if (total <= 0.0) {
-      // All remaining points coincide with chosen seeds; pick any unseeded.
-      next = static_cast<std::size_t>(rng.randint(0, static_cast<std::int64_t>(n) - 1));
+      // All remaining points coincide with chosen seeds; take the smallest
+      // unseeded index so the result is distinct and deterministic (a
+      // random draw here could return an already-chosen seed).
+      for (std::size_t i = 0; i < n; ++i) {
+        if (!seeded[i]) {
+          next = i;
+          break;
+        }
+      }
     } else {
       next = rng.weighted_index(d2);
     }
     seeds.push_back(next);
+    seeded[next] = true;
   }
   return seeds;
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <numeric>
+#include <sstream>
 #include <stdexcept>
 
 namespace hsd::stats {
@@ -59,6 +60,26 @@ std::size_t Rng::weighted_index(const std::vector<double>& weights) {
 Rng Rng::split() {
   // Derive a new seed from the current stream; advances this engine.
   return Rng(engine_());
+}
+
+std::ostream& operator<<(std::ostream& os, const Rng& rng) {
+  return os << rng.engine_;
+}
+
+std::istream& operator>>(std::istream& is, Rng& rng) {
+  return is >> rng.engine_;
+}
+
+std::string Rng::save_state() const {
+  std::ostringstream os;
+  os << *this;
+  return os.str();
+}
+
+void Rng::load_state(const std::string& state) {
+  std::istringstream is(state);
+  is >> *this;
+  if (!is) throw std::invalid_argument("Rng::load_state: malformed engine state");
 }
 
 }  // namespace hsd::stats

@@ -6,7 +6,9 @@
 // instance so that a single seed fixes an entire experiment end to end.
 
 #include <cstdint>
+#include <iosfwd>
 #include <random>
+#include <string>
 #include <vector>
 
 namespace hsd::stats {
@@ -55,6 +57,16 @@ class Rng {
 
   /// Underlying engine access (for std::distributions in callers).
   std::mt19937_64& engine() { return engine_; }
+
+  /// Serializes the full engine state (the standard textual mt19937_64
+  /// representation) so a restored generator continues the exact stream.
+  friend std::ostream& operator<<(std::ostream& os, const Rng& rng);
+  friend std::istream& operator>>(std::istream& is, Rng& rng);
+
+  /// State capture as a string (checkpoint-friendly form of operator<<).
+  std::string save_state() const;
+  /// Restores a state produced by save_state(); throws on a malformed state.
+  void load_state(const std::string& state);
 
  private:
   std::mt19937_64 engine_;  // hsd-lint: allow(no-rand) — always ctor-seeded

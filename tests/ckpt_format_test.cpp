@@ -1,0 +1,226 @@
+#include "ckpt/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/binio.hpp"
+#include "gmm/gmm.hpp"
+#include "obs/metrics.hpp"
+#include "stats/rng.hpp"
+
+namespace hsd::ckpt {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Fresh per-test directory under the test working dir. The name carries
+/// HSD_THREADS so the two ctest registrations of one binary never collide.
+std::string fresh_dir(const std::string& name) {
+  const char* threads = std::getenv("HSD_THREADS");
+  std::string dir = "ckpt_fmt_" + name;
+  if (threads != nullptr) dir += std::string("_t") + threads;
+  fs::remove_all(dir);
+  return dir;
+}
+
+RunState sample_state() {
+  RunState st;
+  st.config_hash = 0xdeadbeefcafe1234ULL;
+  st.rounds_done = 3;
+  st.oracle_spent = 96;
+  st.dry_batches = 1;
+  st.last_temperature = 1.75;
+  st.train.add(4, 1);
+  st.train.add(17, 0);
+  st.train.add(2, 1);
+  st.val.add(9, 0);
+  st.val.add(33, 1);
+  st.unlabeled = {12, 5, 40, 7, 19};  // deliberately unsorted: order matters
+  st.density = {-1.5, -0.25, -7.0};
+  st.gmm.weights = {0.7, 0.3};
+  st.gmm.means = {{0.0, 1.0}, {2.0, -1.0}};
+  st.gmm.variances = {{1.0, 0.5}, {0.25, 2.0}};
+  st.detector_state = std::string("blob\0with\0nuls", 14);
+  hsd::stats::Rng rng(99);
+  st.sampler_rng = rng.save_state();
+  RoundLog log;
+  log.iteration = 3;
+  log.temperature = 1.75;
+  log.w_uncertainty = 0.6;
+  log.w_diversity = 0.4;
+  log.labeled_size = 72;
+  log.new_hotspots = 5;
+  st.logs = {log};
+  return st;
+}
+
+void expect_states_equal(const RunState& a, const RunState& b) {
+  EXPECT_EQ(a.config_hash, b.config_hash);
+  EXPECT_EQ(a.rounds_done, b.rounds_done);
+  EXPECT_EQ(a.oracle_spent, b.oracle_spent);
+  EXPECT_EQ(a.dry_batches, b.dry_batches);
+  EXPECT_EQ(a.last_temperature, b.last_temperature);
+  EXPECT_EQ(a.train.indices, b.train.indices);
+  EXPECT_EQ(a.train.labels, b.train.labels);
+  EXPECT_EQ(a.val.indices, b.val.indices);
+  EXPECT_EQ(a.val.labels, b.val.labels);
+  EXPECT_EQ(a.unlabeled, b.unlabeled);
+  EXPECT_EQ(a.density, b.density);
+  EXPECT_EQ(a.gmm.weights, b.gmm.weights);
+  EXPECT_EQ(a.gmm.means, b.gmm.means);
+  EXPECT_EQ(a.gmm.variances, b.gmm.variances);
+  EXPECT_EQ(a.detector_state, b.detector_state);
+  EXPECT_EQ(a.sampler_rng, b.sampler_rng);
+  ASSERT_EQ(a.logs.size(), b.logs.size());
+  for (std::size_t i = 0; i < a.logs.size(); ++i) {
+    EXPECT_EQ(a.logs[i].iteration, b.logs[i].iteration);
+    EXPECT_EQ(a.logs[i].temperature, b.logs[i].temperature);
+    EXPECT_EQ(a.logs[i].w_uncertainty, b.logs[i].w_uncertainty);
+    EXPECT_EQ(a.logs[i].w_diversity, b.logs[i].w_diversity);
+    EXPECT_EQ(a.logs[i].labeled_size, b.logs[i].labeled_size);
+    EXPECT_EQ(a.logs[i].new_hotspots, b.logs[i].new_hotspots);
+  }
+}
+
+TEST(CkptFormat, RoundTripPreservesEveryField) {
+  const std::string dir = fresh_dir("roundtrip");
+  const RunState st = sample_state();
+  save(dir, st);
+  const RunState back = load_file(round_path(dir, st.rounds_done));
+  expect_states_equal(st, back);
+}
+
+TEST(CkptFormat, SaveRecordsObsMetrics) {
+  obs::enable_metrics();  // empty path: nothing written at process exit
+  const std::uint64_t writes_before = obs::counter("ckpt/writes").value();
+  const std::uint64_t bytes_before = obs::counter("ckpt/bytes").value();
+  const std::uint64_t obs_before = obs::histogram("ckpt/write_seconds").count();
+
+  const std::string dir = fresh_dir("metrics");
+  save(dir, sample_state());
+
+  EXPECT_EQ(obs::counter("ckpt/writes").value(), writes_before + 1);
+  EXPECT_GT(obs::counter("ckpt/bytes").value(), bytes_before);
+  EXPECT_EQ(obs::histogram("ckpt/write_seconds").count(), obs_before + 1);
+}
+
+TEST(CkptFormat, FindLatestPicksHighestRound) {
+  const std::string dir = fresh_dir("latest");
+  EXPECT_FALSE(find_latest(dir).has_value());  // missing directory
+
+  RunState st = sample_state();
+  for (std::uint64_t round : {1, 2, 10}) {
+    st.rounds_done = round;
+    save(dir, st);
+  }
+  // Junk that must not confuse the scan: a crashed write's temp file, a
+  // non-checkpoint file, and a malformed round number.
+  std::ofstream(dir + "/round-11.ckpt.tmp") << "partial";
+  std::ofstream(dir + "/notes.txt") << "hello";
+  std::ofstream(dir + "/round-x.ckpt") << "junk";
+
+  const auto latest = find_latest(dir);
+  ASSERT_TRUE(latest.has_value());
+  EXPECT_EQ(*latest, round_path(dir, 10));
+}
+
+TEST(CkptFormat, InjectedFaultLeavesNoVisibleCheckpoint) {
+  const std::string dir = fresh_dir("fault");
+  RunState st = sample_state();
+  st.rounds_done = 7;
+
+  fail_next_write_before_rename_for_test();
+  EXPECT_THROW(save(dir, st), std::runtime_error);
+  // The atomic-rename protocol guarantees no partial round-7.ckpt exists.
+  EXPECT_FALSE(fs::exists(round_path(dir, 7)));
+  EXPECT_FALSE(find_latest(dir).has_value());
+
+  // The fault trigger is one-shot: the retry lands durably.
+  save(dir, st);
+  const auto latest = find_latest(dir);
+  ASSERT_TRUE(latest.has_value());
+  EXPECT_EQ(*latest, round_path(dir, 7));
+  expect_states_equal(st, load_file(*latest));
+}
+
+TEST(CkptFormat, TruncatedFileThrows) {
+  const std::string dir = fresh_dir("truncated");
+  const RunState st = sample_state();
+  save(dir, st);
+  const std::string path = round_path(dir, st.rounds_done);
+  const auto full_size = fs::file_size(path);
+  for (const std::uintmax_t keep : {std::uintmax_t{3}, full_size / 2, full_size - 1}) {
+    fs::resize_file(path, keep);
+    EXPECT_THROW(load_file(path), std::runtime_error) << "kept " << keep;
+  }
+}
+
+TEST(CkptFormat, BadMagicThrows) {
+  const std::string dir = fresh_dir("magic");
+  fs::create_directories(dir);
+  const std::string path = round_path(dir, 1);
+  std::ofstream(path, std::ios::binary) << "not a checkpoint at all";
+  EXPECT_THROW(load_file(path), std::runtime_error);
+  EXPECT_THROW(load_file(round_path(dir, 2)), std::runtime_error);  // missing
+}
+
+TEST(CkptFormat, UnknownTrailingRecordIsSkipped) {
+  // Forward compatibility: a record written by a newer version (unknown
+  // tag) must be skipped via its length prefix, not rejected.
+  const std::string dir = fresh_dir("unknown_tag");
+  const RunState st = sample_state();
+  save(dir, st);
+  const std::string path = round_path(dir, st.rounds_done);
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    hsd::common::write_pod(out, std::uint32_t{9999});
+    hsd::common::write_string(out, "future payload");
+  }
+  const RunState back = load_file(path);
+  expect_states_equal(st, back);
+}
+
+TEST(CkptFormat, MissingRequiredRecordThrows) {
+  // A header-only file parses as "no records", which must be rejected for
+  // lacking the required ones rather than returned half-empty.
+  const std::string dir = fresh_dir("missing");
+  fs::create_directories(dir);
+  const std::string path = round_path(dir, 1);
+  {
+    std::ofstream out(path, std::ios::binary);
+    hsd::common::write_pod(out, std::uint32_t{0x4853444B});  // magic
+    hsd::common::write_pod(out, std::uint32_t{1});           // version
+  }
+  EXPECT_THROW(load_file(path), std::runtime_error);
+}
+
+TEST(CkptFormat, GmmStateReconstructsIdenticalDensities) {
+  // The checkpointed GMM parameters must reproduce the original mixture's
+  // densities exactly (from_parameters recomputes the cached norms).
+  hsd::stats::Rng rng(5);
+  std::vector<std::vector<double>> data;
+  for (int i = 0; i < 60; ++i) {
+    data.push_back({rng.normal(i % 3, 1.0), rng.normal(0.0, 2.0)});
+  }
+  gmm::GmmConfig cfg;
+  cfg.components = 3;
+  const auto fitted = gmm::GaussianMixture::fit(data, cfg, rng);
+
+  GmmState st;
+  st.weights = fitted.weights();
+  st.means = fitted.means();
+  st.variances = fitted.variances();
+  const auto rebuilt =
+      gmm::GaussianMixture::from_parameters(st.weights, st.means, st.variances);
+  EXPECT_EQ(fitted.log_densities(data), rebuilt.log_densities(data));
+}
+
+}  // namespace
+}  // namespace hsd::ckpt

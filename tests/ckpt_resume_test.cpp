@@ -1,0 +1,221 @@
+// Crash-safe resume of the active-learning loop: a run interrupted after
+// any round and resumed from its checkpoint must produce an AlOutcome
+// bit-identical to the uninterrupted run — same predictions, confidences,
+// temperature, labeled sets, and oracle spend. Registered twice in ctest
+// (HSD_THREADS=1 and =4) so the guarantee holds regardless of the worker
+// pool width.
+
+#include "core/framework.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <stdexcept>
+#include <string>
+
+#include "ckpt/checkpoint.hpp"
+#include "data/benchmark.hpp"
+#include "data/features.hpp"
+
+namespace hsd::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Thrown from FrameworkConfig::after_round to simulate a crash at an
+/// exact round boundary (after the round's checkpoint became durable).
+struct SimulatedCrash : std::runtime_error {
+  SimulatedCrash() : std::runtime_error("simulated crash") {}
+};
+
+struct ResumeFixture : public ::testing::Test {
+  static void SetUpTestSuite() {
+    data::BenchmarkSpec spec = data::iccad16_spec(3);
+    spec.name = "ckpt-test";
+    spec.hs_target = 60;
+    spec.nhs_target = 340;
+    spec.seed = 4242;
+    bench_ = new data::Benchmark(data::build_benchmark(spec));
+    const data::FeatureExtractor fx(spec.feature_grid, spec.feature_keep);
+    features_ = new tensor::Tensor(fx.extract_benchmark(*bench_));
+  }
+  static void TearDownTestSuite() {
+    delete bench_;
+    delete features_;
+    bench_ = nullptr;
+    features_ = nullptr;
+  }
+
+  static FrameworkConfig small_config() {
+    FrameworkConfig cfg;
+    cfg.initial_train = 24;
+    cfg.validation = 24;
+    cfg.query_size = 120;
+    cfg.batch_k = 16;
+    cfg.iterations = 4;
+    cfg.detector.initial_epochs = 15;
+    cfg.detector.finetune_epochs = 4;
+    cfg.detector.conv1_channels = 4;
+    cfg.detector.conv2_channels = 8;
+    cfg.detector.hidden = 16;
+    cfg.seed = 7;
+    return cfg;
+  }
+
+  /// Fresh per-test checkpoint directory; the name carries HSD_THREADS so
+  /// the two ctest registrations of this binary never collide.
+  static std::string fresh_dir(const std::string& name) {
+    const char* threads = std::getenv("HSD_THREADS");
+    std::string dir = "ckpt_resume_" + name;
+    if (threads != nullptr) dir += std::string("_t") + threads;
+    fs::remove_all(dir);
+    return dir;
+  }
+
+  static AlOutcome run(const FrameworkConfig& cfg) {
+    litho::LithoOracle oracle = bench_->make_oracle();
+    return run_active_learning(cfg, *features_, bench_->clips, oracle);
+  }
+
+  /// Bit-identity across everything the evaluation consumes (wall-clock
+  /// timing aside): vector operator== on doubles is exact comparison.
+  static void expect_outcomes_identical(const AlOutcome& a, const AlOutcome& b) {
+    EXPECT_EQ(a.train.indices, b.train.indices);
+    EXPECT_EQ(a.train.labels, b.train.labels);
+    EXPECT_EQ(a.val.indices, b.val.indices);
+    EXPECT_EQ(a.val.labels, b.val.labels);
+    EXPECT_EQ(a.unlabeled_indices, b.unlabeled_indices);
+    EXPECT_EQ(a.predicted, b.predicted);
+    EXPECT_EQ(a.confidence_hotspot, b.confidence_hotspot);
+    EXPECT_EQ(a.final_temperature, b.final_temperature);
+    EXPECT_EQ(a.litho_labeling, b.litho_labeling);
+    ASSERT_EQ(a.iterations.size(), b.iterations.size());
+    for (std::size_t i = 0; i < a.iterations.size(); ++i) {
+      EXPECT_EQ(a.iterations[i].iteration, b.iterations[i].iteration);
+      EXPECT_EQ(a.iterations[i].temperature, b.iterations[i].temperature);
+      EXPECT_EQ(a.iterations[i].w_uncertainty, b.iterations[i].w_uncertainty);
+      EXPECT_EQ(a.iterations[i].w_diversity, b.iterations[i].w_diversity);
+      EXPECT_EQ(a.iterations[i].labeled_size, b.iterations[i].labeled_size);
+      EXPECT_EQ(a.iterations[i].new_hotspots, b.iterations[i].new_hotspots);
+    }
+  }
+
+  static data::Benchmark* bench_;
+  static tensor::Tensor* features_;
+};
+
+data::Benchmark* ResumeFixture::bench_ = nullptr;
+tensor::Tensor* ResumeFixture::features_ = nullptr;
+
+TEST_F(ResumeFixture, CheckpointingDoesNotPerturbTheRun) {
+  // A run with checkpointing on must match one with it off: the writes are
+  // pure observers of the loop state.
+  const AlOutcome plain = run(small_config());
+  FrameworkConfig cfg = small_config();
+  cfg.checkpoint_dir = fresh_dir("observer");
+  const AlOutcome checkpointed = run(cfg);
+  expect_outcomes_identical(plain, checkpointed);
+
+  // One checkpoint per completed round, all parseable.
+  for (std::size_t round = 1; round <= cfg.iterations; ++round) {
+    const std::string path = ckpt::round_path(cfg.checkpoint_dir, round);
+    ASSERT_TRUE(fs::exists(path)) << path;
+    const ckpt::RunState st = ckpt::load_file(path);
+    EXPECT_EQ(st.rounds_done, round);
+    EXPECT_EQ(st.logs.size(), round);
+    EXPECT_EQ(st.train.size(), cfg.initial_train + round * cfg.batch_k);
+  }
+}
+
+TEST_F(ResumeFixture, ResumeIsBitIdenticalAtEveryInterruptPoint) {
+  const AlOutcome reference = run(small_config());
+  // First round, a mid-run round, and the last round.
+  for (const std::size_t crash_after : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    FrameworkConfig cfg = small_config();
+    cfg.checkpoint_dir = fresh_dir("crash" + std::to_string(crash_after));
+    cfg.after_round = [crash_after](std::size_t round) {
+      if (round == crash_after) throw SimulatedCrash();
+    };
+    EXPECT_THROW(run(cfg), SimulatedCrash) << "crash_after=" << crash_after;
+
+    FrameworkConfig resume_cfg = small_config();
+    resume_cfg.checkpoint_dir = cfg.checkpoint_dir;
+    resume_cfg.resume = true;
+    const AlOutcome resumed = run(resume_cfg);
+    SCOPED_TRACE("crash_after=" + std::to_string(crash_after));
+    expect_outcomes_identical(reference, resumed);
+  }
+}
+
+TEST_F(ResumeFixture, FaultEnvVariableCrashesAfterTheRequestedRound) {
+  FrameworkConfig cfg = small_config();
+  cfg.checkpoint_dir = fresh_dir("env_fault");
+  ASSERT_EQ(setenv("HSD_FAULT_AFTER_ROUND", "2", 1), 0);
+  EXPECT_THROW(run(cfg), std::runtime_error);
+  ASSERT_EQ(unsetenv("HSD_FAULT_AFTER_ROUND"), 0);
+  // The crash landed after round 2's checkpoint was durable.
+  const auto latest = ckpt::find_latest(cfg.checkpoint_dir);
+  ASSERT_TRUE(latest.has_value());
+  EXPECT_EQ(*latest, ckpt::round_path(cfg.checkpoint_dir, 2));
+
+  const AlOutcome reference = run(small_config());
+  FrameworkConfig resume_cfg = small_config();
+  resume_cfg.checkpoint_dir = cfg.checkpoint_dir;
+  resume_cfg.resume = true;
+  expect_outcomes_identical(reference, run(resume_cfg));
+}
+
+TEST_F(ResumeFixture, ResumeUnderDifferentConfigIsRejected) {
+  FrameworkConfig cfg = small_config();
+  cfg.checkpoint_dir = fresh_dir("config_mismatch");
+  cfg.iterations = 1;
+  run(cfg);
+
+  FrameworkConfig other = cfg;
+  other.resume = true;
+  other.seed = cfg.seed + 1;
+  EXPECT_THROW(run(other), std::runtime_error);
+  other = cfg;
+  other.resume = true;
+  other.batch_k = cfg.batch_k + 1;
+  EXPECT_THROW(run(other), std::runtime_error);
+}
+
+TEST_F(ResumeFixture, ResumeWithEmptyDirectoryStartsFromScratch) {
+  const AlOutcome reference = run(small_config());
+  FrameworkConfig cfg = small_config();
+  cfg.checkpoint_dir = fresh_dir("empty_resume");
+  cfg.resume = true;
+  expect_outcomes_identical(reference, run(cfg));
+}
+
+TEST_F(ResumeFixture, ResumeAtPatienceLimitRunsNoExtraRounds) {
+  // A run resumed from a state that already satisfies the patience stop
+  // must finish without labeling anything more. The benchmark rarely goes
+  // dry on its own, so the durable patience counter is forged instead.
+  FrameworkConfig cfg = small_config();
+  cfg.patience = 1;
+  cfg.checkpoint_dir = fresh_dir("patience");
+  cfg.after_round = [](std::size_t round) {
+    if (round == 2) throw SimulatedCrash();
+  };
+  EXPECT_THROW(run(cfg), SimulatedCrash);
+
+  ckpt::RunState st = ckpt::load_file(ckpt::round_path(cfg.checkpoint_dir, 2));
+  st.dry_batches = 1;
+  ckpt::save(cfg.checkpoint_dir, st);
+
+  FrameworkConfig resume_cfg = small_config();
+  resume_cfg.patience = cfg.patience;
+  resume_cfg.checkpoint_dir = cfg.checkpoint_dir;
+  resume_cfg.resume = true;
+  const AlOutcome resumed = run(resume_cfg);
+  EXPECT_EQ(resumed.iterations.size(), 2u);
+  EXPECT_EQ(resumed.train.size(), resume_cfg.initial_train + 2 * resume_cfg.batch_k);
+  EXPECT_EQ(resumed.litho_labeling,
+            resumed.train.size() + resumed.val.size());
+}
+
+}  // namespace
+}  // namespace hsd::core

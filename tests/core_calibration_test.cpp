@@ -110,6 +110,41 @@ TEST(FitTemperatureTest, ScalingPreservesPredictions) {
   }
 }
 
+TEST(FitTemperatureTest, EvaluationCountIsExactWithNoFinalReEval) {
+  // `evaluations` must equal the true number of NLL passes: the T = 1
+  // baseline, the two initial golden-section probes, and one per shrinking
+  // iteration. The reported optimum reuses an already-measured probe, so
+  // no extra evaluation is spent on it.
+  hsd::stats::Rng rng(17);
+  Tensor logits = Tensor::randn({64, 2}, rng);
+  std::vector<int> labels(64);
+  for (auto& y : labels) y = rng.bernoulli(0.5) ? 1 : 0;
+  const CalibrationResult res = fit_temperature(logits, labels);
+
+  // Replicate the golden-section shrink schedule on the default bracket.
+  const double phi = (std::sqrt(5.0) - 1.0) / 2.0;
+  double width = std::log(20.0) - std::log(0.05);
+  std::size_t expected = 3;  // baseline + two initial probes
+  for (int iter = 0; iter < 60 && width > 1e-5; ++iter) {
+    width *= phi;
+    ++expected;
+  }
+  EXPECT_EQ(res.evaluations, expected);
+}
+
+TEST(FitTemperatureTest, ReportedNllMatchesReportedTemperature) {
+  // nll_after must be the NLL actually measured at the returned T (exact,
+  // not a neighboring bracket point).
+  hsd::stats::Rng rng(19);
+  Tensor logits;
+  std::vector<int> labels;
+  make_overconfident(rng, 600, 3.0, logits, labels);
+  const CalibrationResult res = fit_temperature(logits, labels);
+  const double recomputed = hsd::stats::negative_log_likelihood(
+      calibrated_probabilities(logits, res.temperature), labels);
+  EXPECT_EQ(res.nll_after, recomputed);
+}
+
 TEST(FitTemperatureTest, InvalidArgumentsThrow) {
   Tensor logits({2, 2});
   EXPECT_THROW(fit_temperature(logits, {0}), std::invalid_argument);

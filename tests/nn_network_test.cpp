@@ -2,8 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <sstream>
 
+#include "common/binio.hpp"
 #include "nn/activations.hpp"
 #include "nn/conv.hpp"
 #include "nn/dense.hpp"
@@ -140,6 +142,88 @@ TEST(NetworkTest, LoadRejectsGarbage) {
   Network net = make_mlp(rng);
   std::stringstream buf("not a model");
   EXPECT_THROW(net.load(buf), std::runtime_error);
+}
+
+TEST(NetworkTest, SaveLoadWithOptimizerContinuesTrainingBitIdentical) {
+  // Checkpoint semantics: snapshotting weights + Adam moments + the data
+  // RNG mid-training and continuing in a fresh network must land on
+  // bit-identical weights — the property the AL-loop resume relies on.
+  hsd::stats::Rng rng(21);
+  Network a = make_mlp(rng);
+  Tensor x;
+  std::vector<int> y;
+  make_toy_data(rng, 64, x, y);
+  Adam opt_a(1e-2);
+  hsd::stats::Rng fit_rng(77);
+  a.fit(x, y, opt_a, 8, 16, fit_rng);
+
+  std::stringstream buf;
+  a.save(buf, &opt_a);
+  const std::string fit_rng_state = fit_rng.save_state();
+
+  a.fit(x, y, opt_a, 8, 16, fit_rng);  // the uninterrupted continuation
+
+  hsd::stats::Rng other_rng(99);
+  Network b = make_mlp(other_rng);  // different random init, all overwritten
+  Adam opt_b(1e-2);
+  b.load(buf, &opt_b);
+  hsd::stats::Rng resumed_rng;
+  resumed_rng.load_state(fit_rng_state);
+  b.fit(x, y, opt_b, 8, 16, resumed_rng);
+
+  const Tensor probe({2, 4}, std::vector<float>{1, -1, 0.5f, 2, 0, 1, -2, 0.25f});
+  const Tensor ya = a.forward(probe);
+  const Tensor yb = b.forward(probe);
+  ASSERT_EQ(ya.size(), yb.size());
+  for (std::size_t i = 0; i < ya.size(); ++i) EXPECT_EQ(ya[i], yb[i]);
+}
+
+TEST(NetworkTest, SavedOptimizerStateLoadsWithoutOptimizer) {
+  // A caller that only wants the weights may ignore a saved optimizer blob.
+  hsd::stats::Rng rng(13);
+  Network a = make_mlp(rng);
+  Adam opt(1e-2);
+  std::stringstream buf;
+  a.save(buf, &opt);
+  Network b = make_mlp(rng);
+  EXPECT_NO_THROW(b.load(buf));
+}
+
+TEST(NetworkTest, OptimizerKindMismatchIsRejected) {
+  hsd::stats::Rng rng(13);
+  Network a = make_mlp(rng);
+  Adam adam(1e-2);
+  std::stringstream buf;
+  a.save(buf, &adam);
+  Network b = make_mlp(rng);
+  Sgd sgd(1e-2);
+  EXPECT_THROW(b.load(buf, &sgd), std::runtime_error);
+}
+
+TEST(NetworkTest, LegacyParamsOnlyFileStillLoads) {
+  // Backward compatibility: weight files written before the versioned
+  // header ("HSD1", parameters only) must keep loading forever.
+  hsd::stats::Rng rng(11);
+  Network a = make_mlp(rng);
+  std::stringstream buf;
+  hsd::common::write_pod(buf, std::uint32_t{0x48534431});  // "HSD1"
+  const auto ps = a.params();
+  hsd::common::write_pod(buf, static_cast<std::uint64_t>(ps.size()));
+  for (const auto& p : ps) {
+    const auto& shape = p.value->shape();
+    hsd::common::write_pod(buf, static_cast<std::uint64_t>(shape.size()));
+    for (std::size_t d : shape) {
+      hsd::common::write_pod(buf, static_cast<std::uint64_t>(d));
+    }
+    hsd::common::write_f32_array(buf, p.value->data(), p.value->size());
+  }
+
+  Network b = make_mlp(rng);  // different weights until the load
+  b.load(buf);
+  const Tensor probe = Tensor::randn({3, 4}, rng);
+  const Tensor ya = a.forward(probe);
+  const Tensor yb = b.forward(probe);
+  for (std::size_t i = 0; i < ya.size(); ++i) EXPECT_EQ(ya[i], yb[i]);
 }
 
 TEST(NetworkTest, DeterministicTrainingUnderSeed) {

@@ -135,6 +135,15 @@ TEST(TopKTest, PicksLargest) {
   EXPECT_THROW(top_k_indices({0.1}, 2), std::invalid_argument);
 }
 
+TEST(TopKTest, TiesBreakByAscendingIndex) {
+  // Saturated relaxed solutions produce exact ties; the selection must be
+  // the smallest indices, in order, not partial_sort's arbitrary choice.
+  EXPECT_EQ(top_k_indices({1.0, 1.0, 1.0, 1.0, 1.0}, 3),
+            (std::vector<std::size_t>{0, 1, 2}));
+  EXPECT_EQ(top_k_indices({0.5, 1.0, 0.5, 1.0, 0.5}, 4),
+            (std::vector<std::size_t>{1, 3, 0, 2}));
+}
+
 TEST(QpSolveTest, IterationBudgetIsRespected) {
   const std::size_t n = 8;
   std::vector<double> s(n * n, 0.1);

@@ -82,6 +82,22 @@ TEST(EntropyWeightingTest, SymmetricIndicatorsGetEqualWeights) {
   EXPECT_NEAR(w.w_uncertainty, w.w_diversity, 1e-12);
 }
 
+TEST(EntropyWeightingTest, ConstantColumnGetsZeroWeight) {
+  // One constant indicator column (all samples equally scored — e.g. a
+  // min-max-normalized constant metric) carries no ranking information, so
+  // the dynamic weighting must hand all weight to the informative column.
+  std::vector<double> constant(16, 0.3);
+  std::vector<double> informative(16, 0.0);
+  informative[2] = 1.0;
+  informative[7] = 0.6;
+  const EntropyWeights w = entropy_weighting(constant, informative);
+  EXPECT_NEAR(w.w_uncertainty, 0.0, 1e-9);
+  EXPECT_NEAR(w.w_diversity, 1.0, 1e-9);
+  const EntropyWeights flipped = entropy_weighting(informative, constant);
+  EXPECT_NEAR(flipped.w_uncertainty, 1.0, 1e-9);
+  EXPECT_NEAR(flipped.w_diversity, 0.0, 1e-9);
+}
+
 TEST(EntropyWeightingTest, BothUniformFallsBackToHalf) {
   const std::vector<double> u(8, 1.0);
   const std::vector<double> d(8, 0.2);

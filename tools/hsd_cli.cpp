@@ -6,8 +6,11 @@
 //       Print the statistics of a saved benchmark.
 //   hsd_cli run <benchmark|file> [--strategy NAME] [--iterations N]
 //               [--batch K] [--query N] [--seed N] [--csv]
+//               [--checkpoint-dir DIR] [--resume]
 //       Run the PSHD active-learning flow and report Eq. 1 / Eq. 2 metrics.
 //       Strategies: ours ts qp random coreset badge pred-entropy
+//       With --checkpoint-dir every round is durably checkpointed; --resume
+//       continues an interrupted run from the latest checkpoint.
 //   hsd_cli pm <benchmark|file> [--mode exact|a95|a90|e2]
 //       Run a pattern-matching baseline.
 //
@@ -72,6 +75,8 @@ int usage() {
                "  run   [--strategy ours|ts|qp|random|coreset|badge|pred-entropy]\n"
                "        [--iterations N] [--batch K] [--query N] [--seed N] [--csv]\n"
                "        [--rounds FILE]   per-round telemetry JSONL\n"
+               "        [--checkpoint-dir DIR]  write round-<i>.ckpt after each round\n"
+               "        [--resume]              continue from the latest checkpoint\n"
                "  pm    [--mode exact|a95|a90|e2]\n"
                "observability (any command; also via HSD_TRACE/HSD_METRICS env):\n"
                "  --trace FILE    Chrome trace_event JSON (chrome://tracing, Perfetto)\n"
@@ -183,6 +188,14 @@ int cmd_run(const Args& args) {
   if (args.get("query")) cfg.query_size = std::stoul(*args.get("query"));
   if (args.get("seed")) cfg.seed = std::stoull(*args.get("seed"));
   if (args.get("rounds")) cfg.round_log_path = *args.get("rounds");
+  if (args.get("checkpoint-dir")) cfg.checkpoint_dir = *args.get("checkpoint-dir");
+  if (args.has("resume")) {
+    if (cfg.checkpoint_dir.empty()) {
+      std::fprintf(stderr, "--resume requires --checkpoint-dir\n");
+      return 2;
+    }
+    cfg.resume = true;
+  }
 
   litho::LithoOracle oracle = bench.make_oracle();
   const core::AlOutcome out =
