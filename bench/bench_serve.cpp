@@ -1,0 +1,241 @@
+// Closed-loop load generator for the dynamic-batching inference service.
+//
+// Two experiments, one JSON document on stdout:
+//
+//  1. Offered-load sweep: the unloaded capacity is measured first (all
+//     requests submitted at once), then paced producer threads offer
+//     fractions of that capacity and the achieved QPS, reject rate, and
+//     exact p50/p95/p99 response latencies are reported per point. Past
+//     saturation the bounded queue starts rejecting instead of building an
+//     unbounded backlog — the sweep shows exactly where.
+//
+//  2. Cache sweep: duplicate-heavy traffic (a few distinct clips repeated
+//     many times, the standard-cell reality) is replayed twice — cache
+//     disabled vs. cache enabled — and the QPS ratio isolates what the
+//     feature LRU buys when the DCT dominates per-request cost.
+//
+// The model is a randomly initialized detector: serving cost does not
+// depend on the weights, and skipping training keeps the bench fast.
+//
+// Environment knobs:
+//   HSD_SERVE_REQUESTS   requests per sweep point (default 256)
+//   HSD_SERVE_PRODUCERS  producer threads (default 4)
+//   HSD_SERVE_DISTINCT   distinct clips in the cache sweep (default 8)
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <future>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/detector.hpp"
+#include "layout/clip.hpp"
+#include "serve/service.hpp"
+#include "stats/rng.hpp"
+
+namespace {
+
+using hsd::serve::InferenceService;
+using hsd::serve::Response;
+using hsd::serve::ServiceConfig;
+using hsd::serve::Status;
+
+std::size_t env_size(const char* name, std::size_t fallback) {
+  if (const char* v = std::getenv(name)) {
+    const long parsed = std::strtol(v, nullptr, 10);
+    if (parsed > 0) return static_cast<std::size_t>(parsed);
+  }
+  return fallback;
+}
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+hsd::layout::Clip line_clip(hsd::layout::Coord width, hsd::layout::Coord offset) {
+  hsd::layout::Clip c;
+  c.window = hsd::layout::Rect{0, 0, 640, 640};
+  c.core = hsd::layout::centered_core(c.window, 0.5);
+  const auto y = static_cast<hsd::layout::Coord>(320 + offset - width / 2);
+  c.shapes.push_back(
+      hsd::layout::Rect{0, y, 640, static_cast<hsd::layout::Coord>(y + width)});
+  hsd::layout::finalize(c);
+  return c;
+}
+
+std::vector<hsd::layout::Clip> clip_population(std::size_t count) {
+  std::vector<hsd::layout::Clip> clips;
+  clips.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    clips.push_back(line_clip(static_cast<hsd::layout::Coord>(20 + (i % 5) * 10),
+                              static_cast<hsd::layout::Coord>((i % 11) * 8) - 40));
+  }
+  return clips;
+}
+
+std::unique_ptr<InferenceService> make_service(const ServiceConfig& cfg) {
+  hsd::core::DetectorConfig dcfg;
+  dcfg.input_side = cfg.feature_keep;
+  return std::make_unique<InferenceService>(
+      cfg, hsd::core::HotspotDetector(dcfg, hsd::stats::Rng(7)));
+}
+
+double percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * (pos - static_cast<double>(lo));
+}
+
+struct SweepPoint {
+  double offered_qps = 0.0;   ///< 0 = unpaced (as fast as possible)
+  double achieved_qps = 0.0;
+  double reject_rate = 0.0;
+  double p50_ms = 0.0, p95_ms = 0.0, p99_ms = 0.0;
+};
+
+/// Replays `requests` indices over `clips` through a fresh service.
+/// `offered_qps` > 0 paces each producer's inter-arrival gap; 0 floods.
+SweepPoint run_point(const ServiceConfig& cfg, const std::vector<hsd::layout::Clip>& clips,
+                     std::size_t requests, std::size_t producers, double offered_qps) {
+  const std::unique_ptr<InferenceService> service = make_service(cfg);
+  std::vector<std::vector<std::future<Response>>> futures(producers);
+  const std::chrono::nanoseconds gap(
+      offered_qps > 0 ? static_cast<long long>(1e9 * static_cast<double>(producers) /
+                                               offered_qps)
+                      : 0);
+
+  const double t0 = now_seconds();
+  std::vector<std::thread> threads;
+  threads.reserve(producers);
+  for (std::size_t p = 0; p < producers; ++p) {
+    threads.emplace_back([&, p] {
+      for (std::size_t i = p; i < requests; i += producers) {
+        futures[p].push_back(service->submit(clips[i % clips.size()]));
+        if (gap.count() > 0) std::this_thread::sleep_for(gap);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  SweepPoint pt;
+  pt.offered_qps = offered_qps;
+  std::size_t ok = 0, rejected = 0;
+  std::vector<double> latencies;
+  latencies.reserve(requests);
+  for (auto& lane : futures) {
+    for (auto& f : lane) {
+      const Response r = f.get();
+      if (r.status == Status::kOk) {
+        ++ok;
+        latencies.push_back(r.latency_seconds);
+      } else {
+        ++rejected;
+      }
+    }
+  }
+  const double wall = now_seconds() - t0;
+  service->shutdown();
+
+  std::sort(latencies.begin(), latencies.end());
+  pt.achieved_qps = wall > 0 ? static_cast<double>(ok) / wall : 0.0;
+  pt.reject_rate = static_cast<double>(rejected) / static_cast<double>(requests);
+  pt.p50_ms = 1e3 * percentile(latencies, 0.50);
+  pt.p95_ms = 1e3 * percentile(latencies, 0.95);
+  pt.p99_ms = 1e3 * percentile(latencies, 0.99);
+  return pt;
+}
+
+/// Single-producer flood of duplicate-heavy traffic; returns achieved QPS.
+double run_cache_pass(const ServiceConfig& cfg, const std::vector<hsd::layout::Clip>& clips,
+                      std::size_t requests) {
+  const std::unique_ptr<InferenceService> service = make_service(cfg);
+  // One pass up front so the warm run measures a populated cache, not the
+  // cold misses that populate it (for the disabled-cache config this is
+  // just an identical extra pass).
+  for (std::size_t i = 0; i < clips.size(); ++i) {
+    service->predict(clips[i % clips.size()]);
+  }
+  std::vector<std::future<Response>> futures;
+  futures.reserve(requests);
+  const double t0 = now_seconds();
+  for (std::size_t i = 0; i < requests; ++i) {
+    futures.push_back(service->submit(clips[i % clips.size()]));
+  }
+  std::size_t ok = 0;
+  for (auto& f : futures) {
+    if (f.get().status == Status::kOk) ++ok;
+  }
+  const double wall = now_seconds() - t0;
+  service->shutdown();
+  return wall > 0 ? static_cast<double>(ok) / wall : 0.0;
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t requests = env_size("HSD_SERVE_REQUESTS", 256);
+  const std::size_t producers = env_size("HSD_SERVE_PRODUCERS", 4);
+  const std::size_t distinct = env_size("HSD_SERVE_DISTINCT", 8);
+
+  ServiceConfig cfg;
+
+  // Unique clips per request: every offered-load point pays full feature
+  // cost, so the sweep measures the pipeline, not the cache.
+  const std::vector<hsd::layout::Clip> unique_clips = clip_population(requests);
+
+  // Capacity measurement floods every request at once, so its queue must
+  // hold them all; the paced sweep points use a saturable queue so the
+  // admission control actually shows up in reject_rate.
+  ServiceConfig flood = cfg;
+  flood.cache_capacity = 0;
+  flood.max_queue = requests;
+  ServiceConfig paced = cfg;
+  paced.cache_capacity = 0;
+  paced.max_queue = std::max<std::size_t>(requests / 4, 32);
+
+  const SweepPoint capacity = run_point(flood, unique_clips, requests, producers, 0.0);
+
+  std::cout << "{\n  \"bench\": \"bench_serve\",\n";
+  std::cout << "  \"requests\": " << requests << ",\n";
+  std::cout << "  \"producers\": " << producers << ",\n";
+  std::cout << "  \"max_batch\": " << cfg.max_batch << ",\n";
+  std::cout << "  \"max_queue\": " << paced.max_queue << ",\n";
+  std::cout << "  \"sweep\": [\n";
+
+  std::vector<SweepPoint> points{capacity};
+  for (const double fraction : {0.25, 0.5, 1.0}) {
+    points.push_back(run_point(paced, unique_clips, requests, producers,
+                               fraction * capacity.achieved_qps));
+  }
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const SweepPoint& pt = points[i];
+    std::cout << "    {\"offered_qps\": " << pt.offered_qps
+              << ", \"achieved_qps\": " << pt.achieved_qps
+              << ", \"reject_rate\": " << pt.reject_rate
+              << ", \"p50_ms\": " << pt.p50_ms << ", \"p95_ms\": " << pt.p95_ms
+              << ", \"p99_ms\": " << pt.p99_ms << "}"
+              << (i + 1 < points.size() ? "," : "") << "\n";
+  }
+  std::cout << "  ],\n";
+
+  // Duplicate-heavy traffic: `distinct` clips cycled `requests` times.
+  const std::vector<hsd::layout::Clip> dup_clips = clip_population(distinct);
+  ServiceConfig warm_cfg = cfg;
+  warm_cfg.max_queue = requests;
+  const double cold_qps = run_cache_pass(flood, dup_clips, requests);
+  const double warm_qps = run_cache_pass(warm_cfg, dup_clips, requests);
+  std::cout << "  \"cache\": {\"distinct_clips\": " << distinct
+            << ", \"cold_qps\": " << cold_qps << ", \"warm_qps\": " << warm_qps
+            << ", \"speedup\": " << (cold_qps > 0 ? warm_qps / cold_qps : 0.0)
+            << "}\n}\n";
+  return 0;
+}

@@ -21,6 +21,8 @@
 #include <type_traits>
 #include <vector>
 
+#include "common/hash.hpp"  // Fnv1a lives there now; kept included for users
+
 namespace hsd::common {
 
 template <class T>
@@ -95,37 +97,5 @@ inline void read_f32_array(std::istream& is, float* data, std::size_t count) {
   if (!is) throw std::runtime_error("binio: truncated float array");
   std::memcpy(data, buf.data(), buf.size());
 }
-
-/// FNV-1a 64-bit accumulator for cheap structural hashes (config hashes in
-/// checkpoint headers). Not cryptographic.
-class Fnv1a {
- public:
-  Fnv1a& add_bytes(const void* data, std::size_t n) {
-    const char* p = static_cast<const char*>(data);
-    for (std::size_t i = 0; i < n; ++i) {
-      hash_ ^= static_cast<std::uint64_t>(static_cast<unsigned char>(p[i]));
-      hash_ *= 0x100000001b3ULL;
-    }
-    return *this;
-  }
-
-  template <class T>
-  Fnv1a& add(const T& v) {
-    static_assert(std::is_trivially_copyable_v<T>);
-    char buf[sizeof(T)];
-    std::memcpy(buf, &v, sizeof(T));
-    return add_bytes(buf, sizeof(T));
-  }
-
-  Fnv1a& add(const std::string& s) {
-    add(static_cast<std::uint64_t>(s.size()));
-    return add_bytes(s.data(), s.size());
-  }
-
-  std::uint64_t value() const { return hash_; }
-
- private:
-  std::uint64_t hash_ = 0xcbf29ce484222325ULL;
-};
 
 }  // namespace hsd::common

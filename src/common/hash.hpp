@@ -1,0 +1,66 @@
+#pragma once
+// Stable 64-bit content hashing (FNV-1a) shared by the checkpoint headers,
+// the exact pattern-matching baseline, and the serving feature cache.
+//
+// The hash is a pure function of the input bytes: no per-process seeding,
+// no pointer mixing, so equal content always hashes equal across runs,
+// thread counts, and processes. That property is what lets the serving
+// layer key its feature cache by clip content and lets checkpoints verify
+// a config fingerprint after a restart. Not cryptographic — collisions are
+// merely astronomically unlikely, never impossible.
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace hsd::common {
+
+/// FNV-1a 64-bit accumulator for cheap structural hashes. Feed bytes or
+/// trivially copyable values; value() is stable for a given feed sequence.
+class Fnv1a {
+ public:
+  Fnv1a& add_bytes(const void* data, std::size_t n) {
+    const char* p = static_cast<const char*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+      hash_ ^= static_cast<std::uint64_t>(static_cast<unsigned char>(p[i]));
+      hash_ *= 0x100000001b3ULL;
+    }
+    return *this;
+  }
+
+  template <class T>
+  Fnv1a& add(const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    char buf[sizeof(T)];
+    std::memcpy(buf, &v, sizeof(T));
+    return add_bytes(buf, sizeof(T));
+  }
+
+  Fnv1a& add(const std::string& s) {
+    add(static_cast<std::uint64_t>(s.size()));
+    return add_bytes(s.data(), s.size());
+  }
+
+  std::uint64_t value() const { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 0xcbf29ce484222325ULL;
+};
+
+/// FNV-1a over the raw byte representation of a float array. Because the
+/// input is the exact bit pattern (not a rounded decimal form), two arrays
+/// hash equal iff they are bit-identical — the same contract the serving
+/// determinism tests pin for predictions. An empty array hashes to the FNV
+/// offset basis.
+inline std::uint64_t content_hash_f32(const float* data, std::size_t n) {
+  return Fnv1a().add_bytes(data, n * sizeof(float)).value();
+}
+
+/// Convenience overload for a rasterized clip bitmap (or any float vector).
+inline std::uint64_t content_hash(const std::vector<float>& v) {
+  return content_hash_f32(v.data(), v.size());
+}
+
+}  // namespace hsd::common

@@ -50,7 +50,11 @@ class HotspotDetector {
   /// Logits for a batch, computed in chunks.
   tensor::Tensor logits(const tensor::Tensor& x);
 
-  /// Logits plus penultimate features, computed in chunks.
+  /// Logits plus penultimate features. Batches no larger than
+  /// `inference_chunk` (the serving hot path) are forwarded directly with no
+  /// input copy; larger batches are processed in chunks through a
+  /// preallocated scratch tensor that is reused across chunks and calls, so
+  /// steady-state batch prediction allocates nothing for its inputs.
   nn::ForwardResult forward(const tensor::Tensor& x);
 
   /// Calibrated [p0, p1] rows at temperature T (Eq. 5; T = 1 uncalibrated).
@@ -82,6 +86,8 @@ class HotspotDetector {
   hsd::stats::Rng rng_;
   nn::Network net_;
   nn::Adam opt_;
+  /// Chunk staging buffer for forward(); pure cache, never serialized.
+  tensor::Tensor inference_scratch_;
 };
 
 }  // namespace hsd::core

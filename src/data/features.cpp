@@ -16,7 +16,11 @@ FeatureExtractor::FeatureExtractor(std::size_t grid, std::size_t keep)
 }
 
 std::vector<float> FeatureExtractor::extract(const layout::Clip& clip) const {
-  const std::vector<float> mask = raster_.rasterize(clip);
+  return extract_bitmap(raster_.rasterize(clip));
+}
+
+std::vector<float> FeatureExtractor::extract_bitmap(
+    const std::vector<float>& mask) const {
   std::vector<float> coeffs = dct_.forward_lowfreq(mask, keep_);
   // Magnitude spectrum: dropping the coefficient signs makes the encoding
   // quasi-shift-invariant, so two placements of the same structure map to

@@ -27,6 +27,15 @@ class FeatureExtractor {
   /// Feature vector of one clip.
   std::vector<float> extract(const layout::Clip& clip) const;
 
+  /// Feature vector from an already-rasterized `grid x grid` coverage
+  /// bitmap. `extract(clip)` is exactly `extract_bitmap(rasterizer()
+  /// .rasterize(clip))`; the split lets callers that need the bitmap for
+  /// something else (content hashing in the serving feature cache) pay for
+  /// rasterization once.
+  std::vector<float> extract_bitmap(const std::vector<float>& mask) const;
+
+  const layout::Rasterizer& rasterizer() const { return raster_; }
+
   /// Batch extraction into an NCHW tensor (N, 1, keep, keep) for the CNN.
   tensor::Tensor extract_batch(const std::vector<layout::Clip>& clips) const;
 

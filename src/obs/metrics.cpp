@@ -6,6 +6,7 @@
 #include <cmath>
 #include <cstdlib>
 #include <fstream>
+#include <limits>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -250,6 +251,29 @@ std::vector<std::uint64_t> Histogram::bucket_counts() const {
   return out;
 }
 
+double HistogramSnapshot::quantile(double q) const {
+  if (count == 0 || buckets.empty()) return 0.0;
+  q = std::min(std::max(q, 0.0), 1.0);
+  // A strictly positive target makes q = 0 resolve to the first *occupied*
+  // bucket instead of the lower edge of an empty bucket 0.
+  const double target =
+      std::max(q * static_cast<double>(count), std::numeric_limits<double>::min());
+  const double* b = Histogram::bounds();
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) continue;
+    cum += buckets[i];
+    if (static_cast<double>(cum) < target) continue;
+    if (i >= Histogram::kNumBounds) break;  // overflow: saturate below
+    const double lower = i == 0 ? 0.0 : b[i - 1];
+    const double upper = b[i];
+    const double into_bucket =
+        target - static_cast<double>(cum - buckets[i]);
+    return lower + (upper - lower) * into_bucket / static_cast<double>(buckets[i]);
+  }
+  return b[Histogram::kNumBounds - 1];
+}
+
 Counter& counter(std::string_view name) {
   return Registry::instance().get_counter(name);
 }
@@ -300,7 +324,8 @@ void write_metrics_json(std::ostream& os, const MetricsSnapshot& snap) {
     os << (i ? ",\n    " : "\n    ");
     write_json_string(os, h.name);
     os << ": {\"count\": " << h.count << ", \"sum\": " << h.sum
-       << ", \"buckets\": [";
+       << ", \"p50\": " << h.quantile(0.50) << ", \"p95\": " << h.quantile(0.95)
+       << ", \"p99\": " << h.quantile(0.99) << ", \"buckets\": [";
     for (std::size_t b = 0; b < h.buckets.size(); ++b) {
       os << (b ? ", " : "") << "{\"le\": ";
       if (b < Histogram::kNumBounds) {

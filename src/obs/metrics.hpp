@@ -107,6 +107,15 @@ struct HistogramSnapshot {
   std::uint64_t count = 0;
   double sum = 0.0;
   std::vector<std::uint64_t> buckets;  ///< kNumBuckets entries
+
+  /// Quantile estimate from the log-bucket counts: walks the cumulative
+  /// distribution to the bucket holding the q-th sample and interpolates
+  /// linearly inside it (bucket 0 starts at 0). q is clamped to [0, 1].
+  /// Samples in the overflow bucket report the largest finite bound — the
+  /// estimate saturates there rather than invent a value. Returns 0 for an
+  /// empty histogram. Accuracy is bounded by the bucket width: at four
+  /// buckets per decade, at most 10^0.25 ≈ 1.78x of the true quantile.
+  double quantile(double q) const;
 };
 
 struct MetricsSnapshot {
@@ -121,7 +130,10 @@ MetricsSnapshot metrics_snapshot();
 /// Serializes a snapshot as a JSON object:
 ///   {"counters": {...}, "gauges": {...},
 ///    "histograms": {"name": {"count": N, "sum": S,
+///                            "p50": Q, "p95": Q, "p99": Q,
 ///                            "buckets": [{"le": bound|"+Inf", "count": N}...]}}}
+/// The pNN fields are HistogramSnapshot::quantile() estimates, so latency
+/// percentiles are first-class in every exported metrics file.
 void write_metrics_json(std::ostream& os, const MetricsSnapshot& snap);
 
 /// Turns collection on. A non-empty `path` is remembered and the snapshot

@@ -1,0 +1,68 @@
+#pragma once
+// LRU cache from clip content hash to extracted DCT feature row, used by
+// the inference service to skip the dominant per-request cost (the O(grid³)
+// DCT) for repeated patterns. Real layouts are duplicate-heavy — standard
+// cells and via arrays repeat the same clip geometry across the chip — so
+// the hit path is the common path, not an optimization afterthought.
+//
+// The cache is intentionally NOT thread-safe: only the service's collector
+// thread (or a pump() caller in manual mode) touches it, always between
+// batch boundaries, so lookups and evictions happen in a single
+// deterministic request order. Determinism matters because the equivalence
+// tests pin cached and recomputed features to the same bits; an LRU whose
+// eviction order depended on thread timing would make cache state — though
+// never results — run-dependent.
+
+#include <cstdint>
+#include <cstddef>
+#include <list>
+#include <map>
+#include <utility>
+#include <vector>
+
+namespace hsd::serve {
+
+/// Fixed-capacity LRU map: content hash -> feature row.
+class FeatureCache {
+ public:
+  /// `capacity` 0 disables the cache (find always misses, insert drops).
+  explicit FeatureCache(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Returns the cached row and refreshes its recency, or nullptr on miss.
+  /// The pointer stays valid until the next insert().
+  const std::vector<float>* find(std::uint64_t key) {
+    const auto it = index_.find(key);
+    if (it == index_.end()) return nullptr;
+    entries_.splice(entries_.begin(), entries_, it->second);  // move to MRU
+    return &it->second->second;
+  }
+
+  /// Inserts (or refreshes) a row, evicting the least recently used entry
+  /// when full. A key already present keeps its existing row — features are
+  /// a pure function of the key, so the stored bits cannot differ.
+  void insert(std::uint64_t key, std::vector<float> row) {
+    if (capacity_ == 0) return;
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+      entries_.splice(entries_.begin(), entries_, it->second);
+      return;
+    }
+    if (entries_.size() >= capacity_) {
+      index_.erase(entries_.back().first);
+      entries_.pop_back();
+    }
+    entries_.emplace_front(key, std::move(row));
+    index_[key] = entries_.begin();
+  }
+
+  std::size_t size() const { return entries_.size(); }
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  using Entry = std::pair<std::uint64_t, std::vector<float>>;
+  std::size_t capacity_;
+  std::list<Entry> entries_;  ///< front = most recently used
+  std::map<std::uint64_t, std::list<Entry>::iterator> index_;
+};
+
+}  // namespace hsd::serve

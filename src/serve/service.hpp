@@ -1,0 +1,168 @@
+#pragma once
+// Online hotspot inference service with dynamic micro-batching.
+//
+// The offline flow classifies a benchmark in one giant batch; a deployed
+// detector instead sees a stream of single-clip requests (EPIC-style "score
+// this clip now" traffic from OPC and routing tools). Serving them one at a
+// time wastes the batch-level GEMM throughput the runtime pool was built
+// for, so the service queues requests and a collector drains the queue into
+// micro-batches: a batch closes when it reaches `max_batch` requests or
+// when `max_delay_us` has elapsed since its first request — full batches
+// under load, bounded queueing delay when idle.
+//
+// Per request: rasterize -> content-hash the bitmap -> DCT features (LRU
+// cache keyed by the hash; repeated pattern families skip the dominant DCT
+// cost) -> one batched CNN forward on the runtime pool -> temperature-
+// calibrated probability -> hotspot verdict.
+//
+// Admission control is explicit: a bounded queue rejects on overflow
+// (kRejectedQueueFull), submissions after shutdown() are refused
+// (kRejectedShutdown), and a request whose deadline has passed by the time
+// its batch forms is answered kDeadlineExceeded without paying for
+// inference. shutdown() is graceful: everything admitted before it still
+// completes. All outcomes are counted under serve/* metrics.
+//
+// Determinism contract: predictions are a pure function of the clip and
+// the model. Batch composition, batch cuts, thread count, cache hits, and
+// arrival order never change a single bit of any probability — pinned by
+// serve_equivalence_test against per-clip HotspotDetector::predict.
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <thread>
+
+#include "core/detector.hpp"
+#include "data/features.hpp"
+#include "layout/clip.hpp"
+#include "serve/feature_cache.hpp"
+#include "tensor/tensor.hpp"
+
+namespace hsd::serve {
+
+/// Final disposition of one request.
+enum class Status {
+  kOk = 0,                ///< prediction computed
+  kRejectedQueueFull,     ///< bounded queue overflowed at submission
+  kRejectedShutdown,      ///< submitted after shutdown() began
+  kDeadlineExceeded,      ///< deadline passed before its batch executed
+};
+
+/// Stable lowercase identifier (JSON output, metrics, logs).
+const char* status_name(Status s);
+
+struct Response {
+  Status status = Status::kRejectedShutdown;
+  double probability = 0.0;  ///< calibrated p(hotspot); 0 unless kOk
+  bool hotspot = false;      ///< probability >= decision_threshold
+  bool cache_hit = false;    ///< features served from the LRU cache
+  std::uint64_t content_hash = 0;  ///< FNV-1a of the rasterized bitmap
+  std::size_t batch_size = 0;      ///< size of the batch that computed this
+  double latency_seconds = 0.0;    ///< submit -> response completion
+};
+
+struct ServiceConfig {
+  /// Raster grid and retained DCT block of the feature pipeline; must match
+  /// what the model was trained on (keep == detector input_side).
+  std::size_t feature_grid = 64;
+  std::size_t feature_keep = 16;
+  /// Temperature for probability calibration (Eq. 5; 1 = uncalibrated).
+  double temperature = 1.0;
+  /// Hotspot decision boundary (paper fixes h = 0.4).
+  double decision_threshold = 0.4;
+  /// Largest micro-batch a collector pass executes.
+  std::size_t max_batch = 16;
+  /// Longest a batch waits for company after its first request.
+  std::uint64_t max_delay_us = 200;
+  /// Bounded-queue depth; submissions beyond it are rejected.
+  std::size_t max_queue = 1024;
+  /// LRU feature-cache entries (0 disables caching).
+  std::size_t cache_capacity = 4096;
+  /// Tests: do not start a collector thread; batches run only when pump()
+  /// is called, so admission and batching become single-stepped and exact.
+  bool manual_pump = false;
+};
+
+/// In-process prediction service around one HotspotDetector.
+///
+/// Thread-safe for any number of concurrent submitters; all model and cache
+/// state is touched only by the single batch-execution context (collector
+/// thread, or the pump() caller in manual mode).
+class InferenceService {
+ public:
+  /// Takes ownership of the (trained) detector. The detector config's
+  /// input_side must equal `config.feature_keep`.
+  InferenceService(const ServiceConfig& config, core::HotspotDetector detector);
+  ~InferenceService();  // shutdown() + join
+
+  InferenceService(const InferenceService&) = delete;
+  InferenceService& operator=(const InferenceService&) = delete;
+
+  /// Enqueues one clip with no deadline. The future always resolves —
+  /// rejected requests resolve immediately with their rejection status.
+  std::future<Response> submit(const layout::Clip& clip);
+
+  /// Enqueues one clip that must start executing within `budget` of
+  /// submission. A non-positive budget is already expired and will be
+  /// answered kDeadlineExceeded by the next batch.
+  std::future<Response> submit(const layout::Clip& clip,
+                               std::chrono::microseconds budget);
+
+  /// Synchronous convenience: submit and wait (pumps inline in manual mode).
+  Response predict(const layout::Clip& clip);
+
+  /// Manual mode: drains one micro-batch on the calling thread. Returns the
+  /// number of requests answered (including deadline rejections); 0 when
+  /// the queue is empty. Also usable after shutdown() to finish a drain.
+  std::size_t pump();
+
+  /// Stops admitting, completes every already-admitted request, and joins
+  /// the collector. Idempotent; called by the destructor.
+  void shutdown();
+
+  /// Requests admitted but not yet claimed by a batch.
+  std::size_t queue_depth() const;
+
+  const ServiceConfig& config() const { return config_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Request {
+    layout::Clip clip;
+    std::promise<Response> promise;
+    Clock::time_point enqueued;
+    Clock::time_point deadline;
+    bool has_deadline = false;
+  };
+
+  std::future<Response> submit_impl(const layout::Clip& clip,
+                                    bool has_deadline,
+                                    std::chrono::microseconds budget);
+  void collector_main();
+  /// Pops up to max_batch requests (FIFO). Returns an empty batch only when
+  /// the queue is empty.
+  std::deque<Request> take_batch();
+  void execute_batch(std::deque<Request>& batch);
+  void finish(Request& req, Response response) const;
+
+  ServiceConfig config_;
+  core::HotspotDetector detector_;
+  data::FeatureExtractor extractor_;
+  FeatureCache cache_;
+  tensor::Tensor input_;  ///< batch staging, reused across batches
+
+  mutable std::mutex mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<Request> queue_;
+  bool stopping_ = false;
+  std::mutex shutdown_mutex_;  ///< serializes the join/drain in shutdown()
+  // Not started in manual_pump mode. hsd-lint: allow(no-raw-thread)
+  std::thread collector_;
+};
+
+}  // namespace hsd::serve

@@ -1,0 +1,69 @@
+#include "common/hash.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+namespace hsd::common {
+namespace {
+
+TEST(Fnv1aHash, EmptyInputIsOffsetBasis) {
+  EXPECT_EQ(content_hash({}), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(Fnv1a().value(), 0xcbf29ce484222325ULL);
+}
+
+TEST(Fnv1aHash, DeterministicAcrossCalls) {
+  const std::vector<float> v{0.0F, 0.5F, 1.0F, -3.25F};
+  EXPECT_EQ(content_hash(v), content_hash(v));
+  EXPECT_EQ(content_hash(v), content_hash_f32(v.data(), v.size()));
+}
+
+TEST(Fnv1aHash, MatchesByteWiseFnv1a) {
+  // content_hash is defined as FNV-1a over the raw float bytes; pin that
+  // equivalence so neither side can drift.
+  const std::vector<float> v{1.0F, 2.0F, 4.0F};
+  Fnv1a h;
+  h.add_bytes(v.data(), v.size() * sizeof(float));
+  EXPECT_EQ(content_hash(v), h.value());
+}
+
+TEST(Fnv1aHash, SingleBitFlipChangesHash) {
+  std::vector<float> v(64, 0.0F);
+  const std::uint64_t base = content_hash(v);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    std::vector<float> mutated = v;
+    mutated[i] = 1.0F;
+    EXPECT_NE(content_hash(mutated), base) << "position " << i;
+  }
+}
+
+TEST(Fnv1aHash, OrderSensitive) {
+  EXPECT_NE(content_hash({1.0F, 2.0F}), content_hash({2.0F, 1.0F}));
+}
+
+TEST(Fnv1aHash, LengthSensitive) {
+  // A trailing zero float must change the hash (content, not just prefix).
+  EXPECT_NE(content_hash({1.0F}), content_hash({1.0F, 0.0F}));
+}
+
+TEST(Fnv1aHash, NoCollisionsAcrossBitmapPopulation) {
+  // ~2000 distinct synthetic bitmaps (one-hot position x amplitude grid)
+  // must hash to 2000 distinct values. Not a proof, but any systematic
+  // weakness over this structured family would show up immediately.
+  std::set<std::uint64_t> seen;
+  std::size_t produced = 0;
+  for (std::size_t pos = 0; pos < 256; ++pos) {
+    for (int amp = 1; amp <= 8; ++amp) {
+      std::vector<float> bitmap(256, 0.0F);
+      bitmap[pos] = static_cast<float>(amp) / 8.0F;
+      seen.insert(content_hash(bitmap));
+      ++produced;
+    }
+  }
+  EXPECT_EQ(seen.size(), produced);
+}
+
+}  // namespace
+}  // namespace hsd::common

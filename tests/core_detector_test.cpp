@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+
 #include "tensor/ops.hpp"
 
 namespace hsd::core {
@@ -114,6 +116,41 @@ TEST(DetectorTest, ChunkedInferenceMatchesWholeBatch) {
   }
   EXPECT_EQ(chunked.features.dim(0), 10u);
   EXPECT_EQ(chunked.features.dim(1), cfg.hidden);
+}
+
+TEST(DetectorTest, ChunkedForwardBitIdenticalAcrossChunkSizes) {
+  // Two detectors with the same seed have identical weights; forwarding the
+  // same batch through different chunk sizes must produce identical bits —
+  // the serving path relies on this, and the chunking path stages inputs
+  // through a reused scratch tensor that must never leak between calls.
+  hsd::stats::Rng data_rng(21);
+  Tensor x;
+  std::vector<int> y;
+  make_data(data_rng, 10, x, y);
+
+  DetectorConfig chunked_cfg = small_config();
+  chunked_cfg.inference_chunk = 3;
+  DetectorConfig whole_cfg = small_config();
+  whole_cfg.inference_chunk = 4096;
+  HotspotDetector chunked_det(chunked_cfg, hsd::stats::Rng(5));
+  HotspotDetector whole_det(whole_cfg, hsd::stats::Rng(5));
+
+  // Two calls each: the second chunked call reuses the scratch buffer from
+  // the first, which must not perturb results.
+  for (int pass = 0; pass < 2; ++pass) {
+    const nn::ForwardResult a = chunked_det.forward(x);
+    const nn::ForwardResult b = whole_det.forward(x);
+    ASSERT_EQ(a.logits.size(), b.logits.size());
+    ASSERT_EQ(a.features.size(), b.features.size());
+    EXPECT_EQ(std::memcmp(a.logits.data(), b.logits.data(),
+                          a.logits.size() * sizeof(float)),
+              0)
+        << "pass " << pass;
+    EXPECT_EQ(std::memcmp(a.features.data(), b.features.data(),
+                          a.features.size() * sizeof(float)),
+              0)
+        << "pass " << pass;
+  }
 }
 
 TEST(DetectorTest, ProbabilitiesRespectTemperature) {

@@ -1,0 +1,9 @@
+#include <thread>
+#include <vector>
+
+// Thread member with no join()/stop()/shutdown() path anywhere in the file:
+// destroying the object while a thread is running calls std::terminate.
+// (Comments are not scanned, so naming the methods here is fine.)
+struct Leaky {
+  std::thread worker_;  // hsd-lint: allow(no-raw-thread)
+};

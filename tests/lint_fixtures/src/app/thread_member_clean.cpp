@@ -1,0 +1,10 @@
+#include <thread>
+
+// A std::thread member paired with a joining destructor in the same file is
+// exactly the pattern thread-member-join asks for.
+struct Joined {
+  ~Joined() {
+    if (worker_.joinable()) worker_.join();
+  }
+  std::thread worker_;  // hsd-lint: allow(no-raw-thread)
+};

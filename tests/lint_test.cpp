@@ -61,6 +61,14 @@ TEST(LintRules, RawThreadsOutsideRuntime) {
   EXPECT_TRUE(lint_fixture_file("src/runtime/thread_ok.cpp").empty());
 }
 
+TEST(LintRules, ThreadMemberJoin) {
+  EXPECT_EQ(count_rule(lint_fixture_file("src/app/thread_member_bad.cpp"),
+                       "thread-member-join"),
+            1u);
+  // The same member with a joining destructor in the file is fine.
+  EXPECT_TRUE(lint_fixture_file("src/app/thread_member_clean.cpp").empty());
+}
+
 TEST(LintRules, AtomicMemoryOrder) {
   EXPECT_EQ(count_rule(lint_fixture_file("src/app/atomic_bad.cpp"),
                        "atomic-memory-order"),
@@ -150,7 +158,7 @@ TEST(LintSweep, FixtureTreeFindsEveryBadFile) {
       "src/app/atomic_bad.cpp",  "src/app/static_bad.cpp",
       "src/app/using_namespace_bad.hpp", "src/app/pragma_bad.hpp",
       "src/app/stdio_bad.cpp",   "src/app/assert_bad.cpp",
-      "src/app/punning_bad.cpp",
+      "src/app/punning_bad.cpp", "src/app/thread_member_bad.cpp",
   };
   for (const auto& f : expect_bad) {
     EXPECT_GT(per_file.count(f), 0u) << "expected a violation in " << f;
@@ -160,7 +168,7 @@ TEST(LintSweep, FixtureTreeFindsEveryBadFile) {
     EXPECT_NE(std::find(expect_bad.begin(), expect_bad.end(), file), expect_bad.end())
         << file << " unexpectedly has " << count << " violation(s)";
   }
-  EXPECT_EQ(diags.size(), 18u);
+  EXPECT_EQ(diags.size(), 19u);
 }
 
 TEST(LintSweep, RepositoryIsClean) {

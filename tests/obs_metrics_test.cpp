@@ -172,6 +172,74 @@ TEST_F(MetricsEnv, JsonSnapshotParsesBack) {
   EXPECT_EQ(in_buckets, 1.0);
 }
 
+/// The registry keeps every name registered by earlier tests in the same
+/// process, so quantile assertions must select their histogram by name.
+HistogramSnapshot snapshot_of(const std::string& name) {
+  for (const HistogramSnapshot& hs : metrics_snapshot().histograms) {
+    if (hs.name == name) return hs;
+  }
+  ADD_FAILURE() << "histogram " << name << " not found";
+  return HistogramSnapshot{};
+}
+
+TEST_F(MetricsEnv, QuantileBasics) {
+  HistogramSnapshot empty;
+  empty.buckets.assign(Histogram::kNumBuckets, 0);
+  EXPECT_EQ(empty.quantile(0.5), 0.0);
+
+  Histogram& h = histogram("test/quantile_basics");
+  // 100 observations of 1 ms: every quantile must land inside the bucket
+  // that contains 1e-3 (bounds are log-spaced, so within a factor 10^0.25).
+  for (int i = 0; i < 100; ++i) h.observe(1e-3);
+  const HistogramSnapshot hs = snapshot_of("test/quantile_basics");
+  for (const double q : {0.0, 0.5, 0.95, 0.99, 1.0}) {
+    const double est = hs.quantile(q);
+    EXPECT_GE(est, 1e-3 / std::pow(10.0, 0.25)) << "q=" << q;
+    EXPECT_LE(est, 1e-3 * std::pow(10.0, 0.25)) << "q=" << q;
+  }
+}
+
+TEST_F(MetricsEnv, QuantileIsMonotoneAndSeparatesModes) {
+  Histogram& h = histogram("test/quantile_modes");
+  // Bimodal: 90 fast (10 us) + 10 slow (10 ms). p50 must sit at the fast
+  // mode, p99 at the slow mode, and quantiles must be non-decreasing in q.
+  for (int i = 0; i < 90; ++i) h.observe(1e-5);
+  for (int i = 0; i < 10; ++i) h.observe(1e-2);
+  const HistogramSnapshot hs = snapshot_of("test/quantile_modes");
+  EXPECT_LE(hs.quantile(0.5), 1e-5 * std::pow(10.0, 0.25));
+  EXPECT_GE(hs.quantile(0.99), 1e-2 / std::pow(10.0, 0.25));
+  double prev = 0.0;
+  for (double q = 0.0; q <= 1.0; q += 0.05) {
+    const double est = hs.quantile(q);
+    EXPECT_GE(est, prev) << "q=" << q;
+    prev = est;
+  }
+}
+
+TEST_F(MetricsEnv, QuantileSaturatesAtOverflowBucket) {
+  Histogram& h = histogram("test/quantile_overflow");
+  h.observe(1e9);  // far beyond the largest finite bound (100 s)
+  h.observe(1e9);
+  const HistogramSnapshot hs = snapshot_of("test/quantile_overflow");
+  const double* b = Histogram::bounds();
+  EXPECT_EQ(hs.quantile(0.5), b[Histogram::kNumBounds - 1]);
+  EXPECT_EQ(hs.quantile(1.0), b[Histogram::kNumBounds - 1]);
+}
+
+TEST_F(MetricsEnv, JsonSnapshotCarriesQuantiles) {
+  Histogram& h = histogram("test/quantile_json");
+  for (int i = 0; i < 50; ++i) h.observe(2e-4);
+  std::ostringstream os;
+  write_metrics_json(os, metrics_snapshot());
+  const json::Value doc = json::parse(os.str());
+  const json::Value& hist = doc.at("histograms").at("test/quantile_json");
+  for (const char* field : {"p50", "p95", "p99"}) {
+    const double est = hist.at(field).as_number();
+    EXPECT_GE(est, 2e-4 / std::pow(10.0, 0.25)) << field;
+    EXPECT_LE(est, 2e-4 * std::pow(10.0, 0.25)) << field;
+  }
+}
+
 TEST_F(MetricsEnv, FlushWritesConfiguredPath) {
   const std::string path = ::testing::TempDir() + "hsd_obs_metrics_test.json";
   enable_metrics(path);

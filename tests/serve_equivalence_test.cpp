@@ -1,0 +1,171 @@
+// The serving determinism contract: a batched, cached, multi-threaded
+// service must return bit-identical probabilities to one-at-a-time
+// HotspotDetector inference — for every micro-batch cut, every thread
+// count, with the cache on or off, and across a mid-drain shutdown.
+//
+// This holds by construction (every kernel is row-independent and the
+// cache stores pure functions of the clip content); these tests pin it.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+#include <memory>
+#include <vector>
+
+#include "core/detector.hpp"
+#include "data/features.hpp"
+#include "layout/clip.hpp"
+#include "runtime/thread_pool.hpp"
+#include "serve/service.hpp"
+#include "stats/rng.hpp"
+
+namespace hsd::serve {
+namespace {
+
+constexpr std::uint64_t kSeed = 11;
+constexpr double kTemperature = 1.37;  // exercise the calibration path
+
+layout::Clip line_clip(layout::Coord width, layout::Coord offset) {
+  layout::Clip c;
+  c.window = layout::Rect{0, 0, 640, 640};
+  c.core = layout::centered_core(c.window, 0.5);
+  const auto y = static_cast<layout::Coord>(320 + offset - width / 2);
+  c.shapes.push_back(
+      layout::Rect{0, y, 640, static_cast<layout::Coord>(y + width)});
+  layout::finalize(c);
+  return c;
+}
+
+/// 20 requests over 12 distinct clips: repeats exercise the cache paths.
+std::vector<layout::Clip> request_stream() {
+  std::vector<layout::Clip> clips;
+  for (std::size_t i = 0; i < 20; ++i) {
+    clips.push_back(line_clip(static_cast<layout::Coord>(20 + (i % 4) * 10),
+                              static_cast<layout::Coord>((i % 3) * 16) - 16));
+  }
+  return clips;
+}
+
+ServiceConfig base_config() {
+  ServiceConfig cfg;
+  cfg.feature_grid = 32;
+  cfg.feature_keep = 8;
+  cfg.temperature = kTemperature;
+  return cfg;
+}
+
+core::DetectorConfig detector_config(std::size_t inference_chunk = 4096) {
+  core::DetectorConfig dcfg;
+  dcfg.input_side = 8;
+  dcfg.inference_chunk = inference_chunk;
+  return dcfg;
+}
+
+/// One-at-a-time reference: a second identically-seeded detector scores
+/// each clip in its own singleton batch.
+std::vector<double> reference_probabilities(
+    const std::vector<layout::Clip>& clips) {
+  core::HotspotDetector det(detector_config(), stats::Rng(kSeed));
+  const data::FeatureExtractor fx(32, 8);
+  std::vector<double> probs;
+  probs.reserve(clips.size());
+  for (const layout::Clip& clip : clips) {
+    const tensor::Tensor x = fx.extract_batch({clip});
+    probs.push_back(det.probabilities(x, kTemperature)[0][1]);
+  }
+  return probs;
+}
+
+void expect_identical(const std::vector<std::future<Response>*>& futures,
+                      const std::vector<double>& reference,
+                      const std::string& label) {
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    const Response r = futures[i]->get();
+    ASSERT_EQ(r.status, Status::kOk) << label << " request " << i;
+    // Exact double equality: the contract is bit-identity, not closeness.
+    EXPECT_EQ(r.probability, reference[i]) << label << " request " << i;
+  }
+}
+
+TEST(ServeEquivalence, EveryBatchCutThreadCountAndCacheSetting) {
+  const std::vector<layout::Clip> clips = request_stream();
+  const std::vector<double> reference = reference_probabilities(clips);
+
+  for (const std::size_t max_batch : {std::size_t{1}, std::size_t{3}, std::size_t{8}}) {
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+      for (const bool cache : {false, true}) {
+        runtime::set_global_threads(threads);
+        ServiceConfig cfg = base_config();
+        cfg.max_batch = max_batch;
+        cfg.cache_capacity = cache ? 64 : 0;
+        cfg.manual_pump = true;
+        InferenceService service(
+            cfg, core::HotspotDetector(detector_config(), stats::Rng(kSeed)));
+
+        std::vector<std::future<Response>> futures;
+        for (const layout::Clip& clip : clips) {
+          futures.push_back(service.submit(clip));
+        }
+        while (service.pump() > 0) {
+        }
+
+        std::vector<std::future<Response>*> ptrs;
+        for (auto& f : futures) ptrs.push_back(&f);
+        const std::string label = "max_batch=" + std::to_string(max_batch) +
+                                  " threads=" + std::to_string(threads) +
+                                  " cache=" + (cache ? "on" : "off");
+        expect_identical(ptrs, reference, label);
+      }
+    }
+  }
+  runtime::set_global_threads(1);
+}
+
+TEST(ServeEquivalence, DetectorChunkingDoesNotPerturbServing) {
+  const std::vector<layout::Clip> clips = request_stream();
+  const std::vector<double> reference = reference_probabilities(clips);
+
+  // inference_chunk=2 forces the detector's chunked forward path on every
+  // batch larger than 2; bits must not move.
+  ServiceConfig cfg = base_config();
+  cfg.max_batch = 8;
+  cfg.manual_pump = true;
+  InferenceService service(
+      cfg, core::HotspotDetector(detector_config(2), stats::Rng(kSeed)));
+  std::vector<std::future<Response>> futures;
+  for (const layout::Clip& clip : clips) futures.push_back(service.submit(clip));
+  while (service.pump() > 0) {
+  }
+  std::vector<std::future<Response>*> ptrs;
+  for (auto& f : futures) ptrs.push_back(&f);
+  expect_identical(ptrs, reference, "inference_chunk=2");
+}
+
+TEST(ServeEquivalence, MidDrainShutdownCompletesWithIdenticalBits) {
+  const std::vector<layout::Clip> clips = request_stream();
+  const std::vector<double> reference = reference_probabilities(clips);
+
+  // Threaded collector with a long batching window: the shutdown lands
+  // while requests are still queued, must cut the window short, and every
+  // admitted request still gets the exact per-clip answer.
+  runtime::set_global_threads(4);
+  ServiceConfig cfg = base_config();
+  cfg.max_batch = 4;
+  cfg.max_delay_us = 1000000;  // 1 s: shutdown arrives mid-window
+  cfg.max_queue = clips.size();
+  InferenceService service(
+      cfg, core::HotspotDetector(detector_config(), stats::Rng(kSeed)));
+
+  std::vector<std::future<Response>> futures;
+  for (const layout::Clip& clip : clips) futures.push_back(service.submit(clip));
+  service.shutdown();
+
+  std::vector<std::future<Response>*> ptrs;
+  for (auto& f : futures) ptrs.push_back(&f);
+  expect_identical(ptrs, reference, "mid-drain shutdown");
+  runtime::set_global_threads(1);
+}
+
+}  // namespace
+}  // namespace hsd::serve

@@ -1,0 +1,248 @@
+// Admission control, deadlines, caching, and graceful shutdown of the
+// inference service, single-stepped via ServiceConfig::manual_pump so every
+// batch boundary is exact and no timing enters the assertions.
+
+#include "serve/service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "core/detector.hpp"
+#include "layout/clip.hpp"
+#include "obs/metrics.hpp"
+#include "stats/rng.hpp"
+
+namespace hsd::serve {
+namespace {
+
+layout::Clip line_clip(layout::Coord width, layout::Coord offset) {
+  layout::Clip c;
+  c.window = layout::Rect{0, 0, 640, 640};
+  c.core = layout::centered_core(c.window, 0.5);
+  const auto y = static_cast<layout::Coord>(320 + offset - width / 2);
+  c.shapes.push_back(
+      layout::Rect{0, y, 640, static_cast<layout::Coord>(y + width)});
+  layout::finalize(c);
+  return c;
+}
+
+/// Small feature pipeline (32 px grid, 8x8 DCT block) to keep tests fast.
+ServiceConfig small_config() {
+  ServiceConfig cfg;
+  cfg.feature_grid = 32;
+  cfg.feature_keep = 8;
+  cfg.manual_pump = true;
+  return cfg;
+}
+
+std::unique_ptr<InferenceService> make_service(const ServiceConfig& cfg,
+                                               std::uint64_t seed = 7) {
+  core::DetectorConfig dcfg;
+  dcfg.input_side = cfg.feature_keep;
+  return std::make_unique<InferenceService>(
+      cfg, core::HotspotDetector(dcfg, stats::Rng(seed)));
+}
+
+// The metrics registry is process-global; mirror obs_metrics_test's fixture
+// so serve/* counter assertions see freshly zeroed cells.
+struct ServeMetricsEnv : public ::testing::Test {
+  void SetUp() override {
+    obs::enable_metrics();
+    obs::reset_metrics();
+  }
+  void TearDown() override {
+    obs::disable_metrics();
+    obs::reset_metrics();
+  }
+};
+
+TEST(ServeService, StatusNamesAreStable) {
+  EXPECT_STREQ(status_name(Status::kOk), "ok");
+  EXPECT_STREQ(status_name(Status::kRejectedQueueFull), "rejected_queue_full");
+  EXPECT_STREQ(status_name(Status::kRejectedShutdown), "rejected_shutdown");
+  EXPECT_STREQ(status_name(Status::kDeadlineExceeded), "deadline_exceeded");
+}
+
+TEST(ServeService, RejectsMismatchedDetectorInputSide) {
+  ServiceConfig cfg = small_config();
+  core::DetectorConfig dcfg;
+  dcfg.input_side = 16;  // != cfg.feature_keep
+  EXPECT_THROW(
+      InferenceService(cfg, core::HotspotDetector(dcfg, stats::Rng(1))),
+      std::invalid_argument);
+}
+
+TEST(ServeService, PredictReturnsVerdictAgainstThreshold) {
+  auto service = make_service(small_config());
+  const Response r = service->predict(line_clip(40, 0));
+  EXPECT_EQ(r.status, Status::kOk);
+  EXPECT_GE(r.probability, 0.0);
+  EXPECT_LE(r.probability, 1.0);
+  EXPECT_EQ(r.hotspot, r.probability >= service->config().decision_threshold);
+  EXPECT_NE(r.content_hash, 0u);
+  EXPECT_EQ(r.batch_size, 1u);
+}
+
+TEST_F(ServeMetricsEnv, QueueFullRejectsImmediatelyWithDistinctStatus) {
+  ServiceConfig cfg = small_config();
+  cfg.max_queue = 2;
+  auto service = make_service(cfg);
+
+  auto f1 = service->submit(line_clip(40, 0));
+  auto f2 = service->submit(line_clip(40, 8));
+  auto f3 = service->submit(line_clip(40, 16));  // queue holds only 2
+
+  // The rejected future resolves without any pump.
+  ASSERT_EQ(f3.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+  EXPECT_EQ(f3.get().status, Status::kRejectedQueueFull);
+  EXPECT_EQ(service->queue_depth(), 2u);
+
+  EXPECT_EQ(service->pump(), 2u);
+  EXPECT_EQ(f1.get().status, Status::kOk);
+  EXPECT_EQ(f2.get().status, Status::kOk);
+
+  EXPECT_EQ(obs::counter("serve/requests").value(), 3u);
+  EXPECT_EQ(obs::counter("serve/accepted").value(), 2u);
+  EXPECT_EQ(obs::counter("serve/rejected_queue_full").value(), 1u);
+  EXPECT_EQ(obs::counter("serve/completed").value(), 2u);
+}
+
+TEST_F(ServeMetricsEnv, ExpiredDeadlineIsRejectedAtBatchTime) {
+  auto service = make_service(small_config());
+
+  // A non-positive budget is already past its deadline when the batch
+  // forms; the live request in the same batch still completes.
+  auto expired = service->submit(line_clip(40, 0), std::chrono::microseconds(-1));
+  auto live = service->submit(line_clip(40, 8));
+
+  EXPECT_EQ(service->pump(), 2u);  // both answered: one rejection, one ok
+  EXPECT_EQ(expired.get().status, Status::kDeadlineExceeded);
+  const Response r = live.get();
+  EXPECT_EQ(r.status, Status::kOk);
+  EXPECT_EQ(r.batch_size, 1u);  // the expired request never reached the CNN
+
+  EXPECT_EQ(obs::counter("serve/deadline_exceeded").value(), 1u);
+  EXPECT_EQ(obs::counter("serve/completed").value(), 1u);
+}
+
+TEST(ServeService, GenerousDeadlineCompletes) {
+  auto service = make_service(small_config());
+  auto f = service->submit(line_clip(40, 0), std::chrono::minutes(10));
+  EXPECT_EQ(service->pump(), 1u);
+  EXPECT_EQ(f.get().status, Status::kOk);
+}
+
+TEST_F(ServeMetricsEnv, ShutdownDrainsAdmittedAndRejectsNew) {
+  ServiceConfig cfg = small_config();
+  cfg.max_batch = 2;
+  auto service = make_service(cfg);
+
+  std::vector<std::future<Response>> admitted;
+  for (int i = 0; i < 5; ++i) {
+    admitted.push_back(service->submit(line_clip(40, 8 * i)));
+  }
+  service->shutdown();  // manual mode: drains synchronously
+  for (auto& f : admitted) {
+    EXPECT_EQ(f.get().status, Status::kOk);
+  }
+  EXPECT_EQ(service->queue_depth(), 0u);
+
+  auto late = service->submit(line_clip(40, 0));
+  ASSERT_EQ(late.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+  EXPECT_EQ(late.get().status, Status::kRejectedShutdown);
+  EXPECT_EQ(obs::counter("serve/rejected_shutdown").value(), 1u);
+  EXPECT_EQ(obs::counter("serve/completed").value(), 5u);
+
+  service->shutdown();  // idempotent
+}
+
+TEST(ServeService, BatchesRespectMaxBatch) {
+  ServiceConfig cfg = small_config();
+  cfg.max_batch = 3;
+  auto service = make_service(cfg);
+  std::vector<std::future<Response>> futures;
+  for (int i = 0; i < 7; ++i) {
+    futures.push_back(service->submit(line_clip(40, 8 * i)));
+  }
+  EXPECT_EQ(service->pump(), 3u);
+  EXPECT_EQ(service->pump(), 3u);
+  EXPECT_EQ(service->pump(), 1u);
+  EXPECT_EQ(service->pump(), 0u);
+  EXPECT_EQ(futures[0].get().batch_size, 3u);
+  EXPECT_EQ(futures[6].get().batch_size, 1u);
+}
+
+TEST_F(ServeMetricsEnv, CacheHitsOnRepeatAndSkipsNothingWhenDisabled) {
+  ServiceConfig cfg = small_config();
+  auto service = make_service(cfg);
+  const layout::Clip clip = line_clip(40, 0);
+
+  const Response first = service->predict(clip);
+  const Response second = service->predict(clip);
+  EXPECT_FALSE(first.cache_hit);
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_EQ(first.content_hash, second.content_hash);
+  // The cached path must return the same bits as the computed path.
+  EXPECT_EQ(first.probability, second.probability);
+  EXPECT_EQ(obs::counter("serve/cache_misses").value(), 1u);
+  EXPECT_EQ(obs::counter("serve/cache_hits").value(), 1u);
+
+  ServiceConfig nocache = cfg;
+  nocache.cache_capacity = 0;
+  auto uncached = make_service(nocache);
+  EXPECT_FALSE(uncached->predict(clip).cache_hit);
+  EXPECT_FALSE(uncached->predict(clip).cache_hit);
+}
+
+TEST(ServeService, WithinBatchDuplicatesShareOneExtraction) {
+  ServiceConfig cfg = small_config();
+  cfg.max_batch = 4;
+  auto service = make_service(cfg);
+  const layout::Clip clip = line_clip(40, 0);
+
+  auto a = service->submit(clip);
+  auto b = service->submit(clip);  // same content, same batch
+  EXPECT_EQ(service->pump(), 2u);
+  const Response ra = a.get();
+  const Response rb = b.get();
+  EXPECT_EQ(ra.status, Status::kOk);
+  EXPECT_EQ(rb.status, Status::kOk);
+  EXPECT_EQ(ra.content_hash, rb.content_hash);
+  EXPECT_EQ(ra.probability, rb.probability);
+}
+
+TEST(ServeFeatureCache, LruEvictsLeastRecentlyUsed) {
+  FeatureCache cache(2);
+  cache.insert(1, {1.0F});
+  cache.insert(2, {2.0F});
+  ASSERT_NE(cache.find(1), nullptr);  // refresh 1 -> 2 becomes LRU
+  cache.insert(3, {3.0F});            // evicts 2
+  EXPECT_NE(cache.find(1), nullptr);
+  EXPECT_EQ(cache.find(2), nullptr);
+  EXPECT_NE(cache.find(3), nullptr);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(ServeFeatureCache, ZeroCapacityDisables) {
+  FeatureCache cache(0);
+  cache.insert(1, {1.0F});
+  EXPECT_EQ(cache.find(1), nullptr);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(ServeFeatureCache, ReinsertKeepsExistingRow) {
+  FeatureCache cache(4);
+  cache.insert(1, {1.0F});
+  cache.insert(1, {9.0F});  // same key: features are pure in the key
+  ASSERT_NE(cache.find(1), nullptr);
+  EXPECT_EQ((*cache.find(1))[0], 1.0F);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+}  // namespace
+}  // namespace hsd::serve

@@ -13,18 +13,31 @@
 //       continues an interrupted run from the latest checkpoint.
 //   hsd_cli pm <benchmark|file> [--mode exact|a95|a90|e2]
 //       Run a pattern-matching baseline.
+//   hsd_cli serve <benchmark|file> [--requests N] [--expired N]
+//               [--max-batch K] [--max-delay-us U] [--max-queue Q]
+//               [--cache N] [--train-epochs E] [--checkpoint-dir DIR]
+//       Stand up the dynamic-batching inference service, replay the
+//       benchmark's clips through it, and print a JSON summary (status
+//       counts, cache hits, throughput, latency percentiles). With
+//       --checkpoint-dir the model and temperature come from the latest AL
+//       checkpoint; otherwise a model is quick-trained on the benchmark.
 //
 //   <benchmark> is one of: iccad12 iccad16-1 iccad16-2 iccad16-3 iccad16-4;
 //   anything else is treated as a saved-bundle path.
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <future>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "ckpt/checkpoint.hpp"
+#include "core/calibration.hpp"
 #include "core/framework.hpp"
 #include "core/metrics.hpp"
 #include "data/features.hpp"
@@ -32,6 +45,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "pm/pattern_matching.hpp"
+#include "serve/service.hpp"
 
 namespace {
 
@@ -70,7 +84,7 @@ Args parse_args(int argc, char** argv) {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: hsd_cli <build|info|run|pm> <benchmark|file> [options]\n"
+               "usage: hsd_cli <build|info|run|pm|serve> <benchmark|file> [options]\n"
                "  build --out FILE [--scale S] [--seed N]\n"
                "  run   [--strategy ours|ts|qp|random|coreset|badge|pred-entropy]\n"
                "        [--iterations N] [--batch K] [--query N] [--seed N] [--csv]\n"
@@ -78,6 +92,9 @@ int usage() {
                "        [--checkpoint-dir DIR]  write round-<i>.ckpt after each round\n"
                "        [--resume]              continue from the latest checkpoint\n"
                "  pm    [--mode exact|a95|a90|e2]\n"
+               "  serve [--requests N] [--expired N] [--max-batch K]\n"
+               "        [--max-delay-us U] [--max-queue Q] [--cache N]\n"
+               "        [--train-epochs E] [--seed N] [--checkpoint-dir DIR]\n"
                "observability (any command; also via HSD_TRACE/HSD_METRICS env):\n"
                "  --trace FILE    Chrome trace_event JSON (chrome://tracing, Perfetto)\n"
                "  --metrics FILE  metrics registry snapshot JSON\n");
@@ -259,6 +276,118 @@ int cmd_pm(const Args& args) {
   return 0;
 }
 
+/// Nearest-rank percentile of an ascending vector (exact, not bucketed —
+/// the CLI has every individual latency in hand).
+double percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+int cmd_serve(const Args& args) {
+  if (args.positional.size() < 2) return usage();
+  const data::Benchmark bench = resolve_benchmark(args.positional[1], args);
+
+  serve::ServiceConfig scfg;
+  scfg.feature_grid = bench.spec.feature_grid;
+  scfg.feature_keep = bench.spec.feature_keep;
+  if (args.get("max-batch")) scfg.max_batch = std::stoul(*args.get("max-batch"));
+  if (args.get("max-delay-us")) scfg.max_delay_us = std::stoull(*args.get("max-delay-us"));
+  if (args.get("max-queue")) scfg.max_queue = std::stoul(*args.get("max-queue"));
+  if (args.get("cache")) scfg.cache_capacity = std::stoul(*args.get("cache"));
+
+  core::DetectorConfig dcfg;
+  dcfg.input_side = bench.spec.feature_keep;
+  const std::uint64_t seed = args.get("seed") ? std::stoull(*args.get("seed")) : 7;
+  core::HotspotDetector detector(dcfg, stats::Rng(seed));
+
+  if (const auto dir = args.get("checkpoint-dir")) {
+    const auto latest = ckpt::find_latest(*dir);
+    if (!latest) {
+      std::fprintf(stderr, "no checkpoint found in %s\n", dir->c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "restoring model from %s...\n", latest->c_str());
+    const ckpt::RunState st = ckpt::load_file(*latest);
+    std::istringstream blob(st.detector_state);
+    detector.load_state(blob);
+    scfg.temperature = st.last_temperature;
+  } else {
+    // No checkpoint: quick-train a model on the benchmark's own labels so
+    // the service has something meaningful to serve, then fit T (Eq. 5).
+    const std::size_t epochs =
+        args.get("train-epochs") ? std::stoul(*args.get("train-epochs")) : 4;
+    std::fprintf(stderr, "quick-training (%zu epochs)...\n", epochs);
+    const data::FeatureExtractor fx(bench.spec.feature_grid, bench.spec.feature_keep);
+    const tensor::Tensor features = fx.extract_benchmark(bench);
+    core::DetectorConfig tcfg = dcfg;
+    tcfg.initial_epochs = epochs;
+    detector = core::HotspotDetector(tcfg, stats::Rng(seed));
+    detector.train_initial(features, bench.labels);
+    const core::CalibrationResult cal =
+        core::fit_temperature(detector.logits(features), bench.labels);
+    scfg.temperature = cal.temperature;
+  }
+
+  const std::size_t requests =
+      args.get("requests") ? std::stoul(*args.get("requests")) : bench.size();
+  const std::size_t expired =
+      args.get("expired") ? std::stoul(*args.get("expired")) : 0;
+
+  serve::InferenceService service(scfg, std::move(detector));
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::future<serve::Response>> futures;
+  futures.reserve(requests);
+  for (std::size_t i = 0; i < requests; ++i) {
+    const layout::Clip& clip = bench.clips[i % bench.size()];
+    if (i < expired) {
+      // A non-positive budget is already expired at submission; the next
+      // batch answers it kDeadlineExceeded (deterministic smoke-test path).
+      futures.push_back(service.submit(clip, std::chrono::microseconds(-1)));
+    } else {
+      futures.push_back(service.submit(clip));
+    }
+  }
+
+  std::size_t ok = 0, queue_full = 0, after_shutdown = 0, deadline = 0;
+  std::size_t hotspots = 0, cache_hits = 0;
+  std::vector<double> latencies;
+  latencies.reserve(requests);
+  for (auto& f : futures) {
+    const serve::Response r = f.get();
+    switch (r.status) {
+      case serve::Status::kOk:
+        ++ok;
+        hotspots += r.hotspot ? 1 : 0;
+        cache_hits += r.cache_hit ? 1 : 0;
+        latencies.push_back(r.latency_seconds);
+        break;
+      case serve::Status::kRejectedQueueFull: ++queue_full; break;
+      case serve::Status::kRejectedShutdown: ++after_shutdown; break;
+      case serve::Status::kDeadlineExceeded: ++deadline; break;
+    }
+  }
+  service.shutdown();
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+  std::sort(latencies.begin(), latencies.end());
+  std::printf("{\"benchmark\": \"%s\", \"requests\": %zu, \"ok\": %zu,\n"
+              " \"rejected_queue_full\": %zu, \"rejected_shutdown\": %zu,\n"
+              " \"deadline_exceeded\": %zu, \"hotspots\": %zu,\n"
+              " \"cache_hits\": %zu, \"temperature\": %.4f, \"qps\": %.1f,\n"
+              " \"p50_ms\": %.3f, \"p95_ms\": %.3f, \"p99_ms\": %.3f}\n",
+              bench.spec.name.c_str(), requests, ok, queue_full, after_shutdown,
+              deadline, hotspots, cache_hits, scfg.temperature,
+              wall > 0 ? static_cast<double>(ok) / wall : 0.0,
+              1e3 * percentile(latencies, 0.50), 1e3 * percentile(latencies, 0.95),
+              1e3 * percentile(latencies, 0.99));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -271,6 +400,7 @@ int main(int argc, char** argv) {
     if (cmd == "info") return cmd_info(args);
     if (cmd == "run") return cmd_run(args);
     if (cmd == "pm") return cmd_pm(args);
+    if (cmd == "serve") return cmd_serve(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -195,13 +195,17 @@ const std::vector<RuleInfo> kRules = {
      "bans rand()/srand()/std::random_device and unseeded std engines; seed "
      "explicitly via hsd::stats::Rng / runtime::derive_seed"},
     {"no-wall-clock", "determinism",
-     "bans wall-clock/steady-clock reads outside src/obs, src/runtime, bench/"},
+     "bans wall-clock/steady-clock reads outside src/obs, src/runtime, "
+     "src/serve, bench/"},
     {"no-unordered-in-core", "determinism",
      "bans std::unordered_map/set in src/core, src/gmm, src/data (iteration "
      "order is nondeterministic)"},
     {"no-raw-thread", "concurrency",
      "bans raw std::thread/std::async/OpenMP outside src/runtime; use "
      "runtime::parallel_for / TaskGroup"},
+    {"thread-member-join", "concurrency",
+     "a std::thread member outside src/runtime requires a join()/stop()/"
+     "shutdown() path somewhere in the same file"},
     {"atomic-memory-order", "concurrency",
      "atomic load/store/RMW must spell an explicit std::memory_order"},
     {"no-mutable-static", "concurrency",
@@ -218,7 +222,7 @@ const std::vector<RuleInfo> kRules = {
 
 struct Scope {
   bool in_src = false;
-  bool clock_exempt = false;      // src/obs, src/runtime, bench
+  bool clock_exempt = false;      // src/obs, src/runtime, src/serve, bench
   bool unordered_scoped = false;  // src/core, src/gmm, src/data
   bool thread_exempt = false;     // src/runtime
   bool is_header = false;
@@ -228,7 +232,7 @@ Scope scope_of(const std::string& rel) {
   Scope s;
   s.in_src = starts_with(rel, "src/");
   s.clock_exempt = starts_with(rel, "src/obs/") || starts_with(rel, "src/runtime/") ||
-                   starts_with(rel, "bench/");
+                   starts_with(rel, "src/serve/") || starts_with(rel, "bench/");
   s.unordered_scoped = starts_with(rel, "src/core/") || starts_with(rel, "src/gmm/") ||
                        starts_with(rel, "src/data/");
   s.thread_exempt = starts_with(rel, "src/runtime/");
@@ -253,6 +257,21 @@ const std::vector<std::string> kUnseededEngines = {
     "mt19937", "mt19937_64", "minstd_rand", "minstd_rand0", "default_random_engine",
     "ranlux24", "ranlux48", "knuth_b",
 };
+
+/// Heuristic for a line that declares a std::thread (or container of
+/// threads) as a data member / plain variable rather than constructing or
+/// using one: names the type, ends the statement, and has no '(' (so
+/// `std::thread t(fn);`, `std::thread::hardware_concurrency()`, and
+/// function declarations all pass).
+bool thread_member_decl(const std::string& code) {
+  if (!contains(code, "std::thread") && !contains(code, "std::jthread")) {
+    return false;
+  }
+  const std::string t = ltrim(code);
+  const std::size_t last = t.find_last_not_of(" \t");
+  if (last == std::string::npos || t[last] != ';') return false;
+  return !contains(t, "(") && !starts_with(t, "using ");
+}
 
 /// Heuristic for a declaration of a std engine with no initializer on the
 /// line: `std::mt19937 rng;` — flagged; `std::mt19937 rng(seed);` and
@@ -430,6 +449,31 @@ std::vector<Diagnostic> lint_text(const std::string& rel_path, const std::string
 
   if (sc.is_header && !contains(text, "#pragma once")) {
     raw.push_back({rel_path, 1, "pragma-once", "header is missing #pragma once"});
+  }
+
+  // A std::thread member is a leak-on-destruction hazard unless the same
+  // file also has a path that joins it (a joining destructor, stop(), or
+  // shutdown()). File-level: the declaration and the join rarely share a
+  // line.
+  if (!sc.thread_exempt) {
+    bool has_join_path = false;
+    for (const auto& l : lines) {
+      if (contains(l.code, ".join(") || contains_call(l.code, "stop") ||
+          contains_call(l.code, "shutdown")) {
+        has_join_path = true;
+        break;
+      }
+    }
+    if (!has_join_path) {
+      for (std::size_t i = 0; i < lines.size(); ++i) {
+        if (thread_member_decl(lines[i].code)) {
+          raw.push_back({rel_path, static_cast<int>(i) + 1, "thread-member-join",
+                         "std::thread member with no join()/stop()/shutdown() "
+                         "path in this file; a destructor that forgets to join "
+                         "calls std::terminate"});
+        }
+      }
+    }
   }
 
   std::vector<Diagnostic> out;
