@@ -1,49 +1,70 @@
-// Closed-loop load generator for the dynamic-batching inference service.
+// Load generator for the serving stack: the single dynamic-batching
+// service and the sharded fleet behind the consistent-hash router.
 //
-// Two experiments, one JSON document on stdout:
+// Sections, one schema-stable JSON document (stdout + --out file):
 //
-//  1. Offered-load sweep: the unloaded capacity is measured first (all
-//     requests submitted at once), then paced producer threads offer
-//     fractions of that capacity and the achieved QPS, reject rate, and
-//     exact p50/p95/p99 response latencies are reported per point. Past
-//     saturation the bounded queue starts rejecting instead of building an
-//     unbounded backlog — the sweep shows exactly where.
+//  1. Single-service offered-load sweep (closed loop): unloaded capacity is
+//     measured first (all requests submitted at once), then paced producer
+//     threads offer fractions of that capacity; achieved QPS, reject rate,
+//     and exact p50/p95/p99 latencies are reported per point.
 //
-//  2. Cache sweep: duplicate-heavy traffic (a few distinct clips repeated
-//     many times, the standard-cell reality) is replayed twice — cache
-//     disabled vs. cache enabled — and the QPS ratio isolates what the
-//     feature LRU buys when the DCT dominates per-request cost.
+//  2. Single-service cache sweep: duplicate-heavy traffic replayed with the
+//     feature LRU disabled vs. enabled; the QPS ratio isolates what the
+//     cache buys when the DCT dominates per-request cost.
 //
-// The model is a randomly initialized detector: serving cost does not
-// depend on the weights, and skipping training keeps the bench fast.
+//  3. Fleet sweep (open loop): a zipfian clip-popularity model over a large
+//     distinct-clip universe (standard-cell reality: a few pattern families
+//     dominate, with a long tail) and Poisson-plus-burst arrivals, swept
+//     over shard count x offered QPS. Reports fleet p50/p95/p99, shed rate,
+//     and per-shard cache hit rates from the obs metrics rollup.
 //
-// Environment knobs:
-//   HSD_SERVE_REQUESTS   requests per sweep point (default 256)
-//   HSD_SERVE_PRODUCERS  producer threads (default 4)
-//   HSD_SERVE_DISTINCT   distinct clips in the cache sweep (default 8)
+// Reproducibility: every stochastic stream (zipf clip choice, Poisson
+// arrivals) derives from one --seed via runtime::derive_seed, and each
+// fleet point reports a schedule_fingerprint — two runs at the same seed
+// offer bit-identical load (CI asserts exactly this). Each config runs
+// `repeats` times; scalar results report min/mean across repeats.
+//
+// Flags:   --seed N (default 1)   --out FILE (default BENCH_serve.json)
+// Env:     HSD_SERVE_REQUESTS   requests per sweep point (default 256)
+//          HSD_SERVE_PRODUCERS  producer threads (default 4)
+//          HSD_SERVE_DISTINCT   distinct clips in the cache sweep (default 8)
+//          HSD_SERVE_UNIVERSE   fleet distinct-clip universe (default 1024)
+//          HSD_SERVE_SHARDS     fleet shard counts, comma list (default 1,2,4)
+//          HSD_SERVE_REPEATS    repeats per config (default 3)
 
 #include <algorithm>
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <future>
 #include <iostream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "core/detector.hpp"
 #include "layout/clip.hpp"
+#include "obs/metrics.hpp"
+#include "obs/rollup.hpp"
+#include "runtime/thread_pool.hpp"
+#include "serve/fleet.hpp"
+#include "serve/loadgen.hpp"
 #include "serve/service.hpp"
 #include "stats/rng.hpp"
 
 namespace {
 
+using hsd::serve::ArrivalSpec;
+using hsd::serve::FleetConfig;
+using hsd::serve::FleetRouter;
 using hsd::serve::InferenceService;
 using hsd::serve::Response;
 using hsd::serve::ServiceConfig;
 using hsd::serve::Status;
+using hsd::serve::ZipfSampler;
 
 std::size_t env_size(const char* name, std::size_t fallback) {
   if (const char* v = std::getenv(name)) {
@@ -51,6 +72,20 @@ std::size_t env_size(const char* name, std::size_t fallback) {
     if (parsed > 0) return static_cast<std::size_t>(parsed);
   }
   return fallback;
+}
+
+std::vector<std::size_t> env_size_list(const char* name,
+                                       std::vector<std::size_t> fallback) {
+  const char* v = std::getenv(name);
+  if (!v) return fallback;
+  std::vector<std::size_t> out;
+  std::istringstream is(v);
+  std::string token;
+  while (std::getline(is, token, ',')) {
+    const long parsed = std::strtol(token.c_str(), nullptr, 10);
+    if (parsed > 0) out.push_back(static_cast<std::size_t>(parsed));
+  }
+  return out.empty() ? fallback : out;
 }
 
 double now_seconds() {
@@ -80,11 +115,30 @@ std::vector<hsd::layout::Clip> clip_population(std::size_t count) {
   return clips;
 }
 
-std::unique_ptr<InferenceService> make_service(const ServiceConfig& cfg) {
+/// `count` geometrically distinct clips (width x vertical position grid) —
+/// the popularity universe for the zipfian fleet workload.
+std::vector<hsd::layout::Clip> clip_universe(std::size_t count) {
+  std::vector<hsd::layout::Clip> clips;
+  clips.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto width = static_cast<hsd::layout::Coord>(16 + (i % 64));
+    const auto offset = static_cast<hsd::layout::Coord>(
+        static_cast<long>(i / 64 % 64) * 8 - 256);
+    clips.push_back(line_clip(width, offset));
+  }
+  return clips;
+}
+
+hsd::core::HotspotDetector make_detector(const ServiceConfig& cfg,
+                                         std::uint64_t seed) {
   hsd::core::DetectorConfig dcfg;
   dcfg.input_side = cfg.feature_keep;
-  return std::make_unique<InferenceService>(
-      cfg, hsd::core::HotspotDetector(dcfg, hsd::stats::Rng(7)));
+  return hsd::core::HotspotDetector(dcfg, hsd::stats::Rng(seed));
+}
+
+std::unique_ptr<InferenceService> make_service(const ServiceConfig& cfg,
+                                               std::uint64_t seed) {
+  return std::make_unique<InferenceService>(cfg, make_detector(cfg, seed));
 }
 
 double percentile(const std::vector<double>& sorted, double q) {
@@ -95,8 +149,32 @@ double percentile(const std::vector<double>& sorted, double q) {
   return sorted[lo] + (sorted[hi] - sorted[lo]) * (pos - static_cast<double>(lo));
 }
 
-struct SweepPoint {
-  double offered_qps = 0.0;   ///< 0 = unpaced (as fast as possible)
+/// min/mean summary of one scalar across repeats.
+struct Agg {
+  double min = 0.0, mean = 0.0;
+};
+
+Agg aggregate(const std::vector<double>& xs) {
+  Agg a;
+  if (xs.empty()) return a;
+  a.min = *std::min_element(xs.begin(), xs.end());
+  double sum = 0.0;
+  for (const double x : xs) sum += x;
+  a.mean = sum / static_cast<double>(xs.size());
+  return a;
+}
+
+std::string agg_json(const Agg& a) {
+  std::ostringstream os;
+  os << "{\"min\": " << a.min << ", \"mean\": " << a.mean << "}";
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Section 1+2: single-service sweeps (closed loop)
+// ---------------------------------------------------------------------------
+
+struct PointStats {
   double achieved_qps = 0.0;
   double reject_rate = 0.0;
   double p50_ms = 0.0, p95_ms = 0.0, p99_ms = 0.0;
@@ -104,9 +182,11 @@ struct SweepPoint {
 
 /// Replays `requests` indices over `clips` through a fresh service.
 /// `offered_qps` > 0 paces each producer's inter-arrival gap; 0 floods.
-SweepPoint run_point(const ServiceConfig& cfg, const std::vector<hsd::layout::Clip>& clips,
-                     std::size_t requests, std::size_t producers, double offered_qps) {
-  const std::unique_ptr<InferenceService> service = make_service(cfg);
+PointStats run_closed_point(const ServiceConfig& cfg,
+                            const std::vector<hsd::layout::Clip>& clips,
+                            std::size_t requests, std::size_t producers,
+                            double offered_qps, std::uint64_t seed) {
+  const std::unique_ptr<InferenceService> service = make_service(cfg, seed);
   std::vector<std::vector<std::future<Response>>> futures(producers);
   const std::chrono::nanoseconds gap(
       offered_qps > 0 ? static_cast<long long>(1e9 * static_cast<double>(producers) /
@@ -126,8 +206,7 @@ SweepPoint run_point(const ServiceConfig& cfg, const std::vector<hsd::layout::Cl
   }
   for (auto& t : threads) t.join();
 
-  SweepPoint pt;
-  pt.offered_qps = offered_qps;
+  PointStats pt;
   std::size_t ok = 0, rejected = 0;
   std::vector<double> latencies;
   latencies.reserve(requests);
@@ -155,9 +234,10 @@ SweepPoint run_point(const ServiceConfig& cfg, const std::vector<hsd::layout::Cl
 }
 
 /// Single-producer flood of duplicate-heavy traffic; returns achieved QPS.
-double run_cache_pass(const ServiceConfig& cfg, const std::vector<hsd::layout::Clip>& clips,
-                      std::size_t requests) {
-  const std::unique_ptr<InferenceService> service = make_service(cfg);
+double run_cache_pass(const ServiceConfig& cfg,
+                      const std::vector<hsd::layout::Clip>& clips,
+                      std::size_t requests, std::uint64_t seed) {
+  const std::unique_ptr<InferenceService> service = make_service(cfg, seed);
   // One pass up front so the warm run measures a populated cache, not the
   // cold misses that populate it (for the disabled-cache config this is
   // just an identical extra pass).
@@ -179,22 +259,134 @@ double run_cache_pass(const ServiceConfig& cfg, const std::vector<hsd::layout::C
   return wall > 0 ? static_cast<double>(ok) / wall : 0.0;
 }
 
+// ---------------------------------------------------------------------------
+// Section 3: fleet sweep (open loop, zipf + Poisson/burst)
+// ---------------------------------------------------------------------------
+
+struct FleetPointStats {
+  double achieved_qps = 0.0;
+  double shed_rate = 0.0;
+  double p50_ms = 0.0, p95_ms = 0.0, p99_ms = 0.0;
+  double cache_hit_rate = 0.0;
+  /// Per-shard (requests completed, cache hit rate) from the obs rollup.
+  std::vector<std::pair<std::uint64_t, double>> per_shard;
+};
+
+/// Offers `schedule`/`clip_ids` open-loop through a fresh fleet: producer p
+/// handles arrivals i = p mod producers, sleeping until each arrival time.
+FleetPointStats run_fleet_point(const FleetConfig& fcfg, std::uint64_t model_seed,
+                                const std::vector<hsd::layout::Clip>& universe,
+                                const std::vector<double>& schedule,
+                                const std::vector<std::size_t>& clip_ids,
+                                std::size_t producers) {
+  hsd::obs::reset_metrics();
+  FleetRouter fleet(fcfg, [&] { return make_detector(fcfg.shard, model_seed); });
+
+  const std::size_t requests = schedule.size();
+  std::vector<std::vector<std::future<Response>>> futures(producers);
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(producers);
+  for (std::size_t p = 0; p < producers; ++p) {
+    threads.emplace_back([&, p] {
+      for (std::size_t i = p; i < requests; i += producers) {
+        std::this_thread::sleep_until(
+            t0 + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                     std::chrono::duration<double>(schedule[i])));
+        futures[p].push_back(fleet.submit(universe[clip_ids[i]]));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  FleetPointStats pt;
+  std::size_t ok = 0, shed = 0, hits = 0;
+  std::vector<double> latencies;
+  latencies.reserve(requests);
+  for (auto& lane : futures) {
+    for (auto& f : lane) {
+      const Response r = f.get();
+      if (r.status == Status::kOk) {
+        ++ok;
+        hits += r.cache_hit ? 1 : 0;
+        latencies.push_back(r.latency_seconds);
+      } else if (r.status == Status::kShedFleetOverloaded) {
+        ++shed;
+      }
+    }
+  }
+  const double wall = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+  fleet.shutdown();
+
+  std::sort(latencies.begin(), latencies.end());
+  pt.achieved_qps = wall > 0 ? static_cast<double>(ok) / wall : 0.0;
+  pt.shed_rate = static_cast<double>(shed) / static_cast<double>(requests);
+  pt.p50_ms = 1e3 * percentile(latencies, 0.50);
+  pt.p95_ms = 1e3 * percentile(latencies, 0.95);
+  pt.p99_ms = 1e3 * percentile(latencies, 0.99);
+  pt.cache_hit_rate = ok > 0 ? static_cast<double>(hits) / static_cast<double>(ok) : 0.0;
+
+  // Per-shard breakdown from the metrics registry (the rollup's raw side).
+  const hsd::obs::MetricsSnapshot snap = hsd::obs::metrics_snapshot();
+  pt.per_shard.assign(fcfg.shards, {0, 0.0});
+  std::vector<std::uint64_t> shard_hits(fcfg.shards, 0), shard_misses(fcfg.shards, 0);
+  for (const auto& [name, value] : snap.counters) {
+    const auto parsed = hsd::obs::parse_shard_metric(name);
+    if (!parsed || parsed->shard >= fcfg.shards) continue;
+    if (parsed->tail == "completed") pt.per_shard[parsed->shard].first = value;
+    if (parsed->tail == "cache_hits") shard_hits[parsed->shard] = value;
+    if (parsed->tail == "cache_misses") shard_misses[parsed->shard] = value;
+  }
+  for (std::size_t s = 0; s < fcfg.shards; ++s) {
+    const std::uint64_t total = shard_hits[s] + shard_misses[s];
+    pt.per_shard[s].second =
+        total > 0 ? static_cast<double>(shard_hits[s]) / static_cast<double>(total)
+                  : 0.0;
+  }
+  return pt;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::uint64_t seed = 1;
+  std::string out_path = "BENCH_serve.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    }
+  }
+
   const std::size_t requests = env_size("HSD_SERVE_REQUESTS", 256);
   const std::size_t producers = env_size("HSD_SERVE_PRODUCERS", 4);
   const std::size_t distinct = env_size("HSD_SERVE_DISTINCT", 8);
+  const std::size_t universe_size = env_size("HSD_SERVE_UNIVERSE", 1024);
+  const std::size_t repeats = env_size("HSD_SERVE_REPEATS", 3);
+  const std::vector<std::size_t> shard_counts =
+      env_size_list("HSD_SERVE_SHARDS", {1, 2, 4});
+
+  // Per-shard caches are read through the metrics rollup, so collection is
+  // on for the whole bench (no export path: snapshots are read in-process).
+  hsd::obs::enable_metrics();
 
   ServiceConfig cfg;
+  const std::uint64_t model_seed = hsd::runtime::derive_seed(seed, 0);
 
-  // Unique clips per request: every offered-load point pays full feature
-  // cost, so the sweep measures the pipeline, not the cache.
+  std::ostringstream json;
+  json << "{\n  \"bench\": \"bench_serve\",\n";
+  json << "  \"schema_version\": 1,\n";
+  json << "  \"seed\": " << seed << ",\n";
+  json << "  \"repeats\": " << repeats << ",\n";
+  json << "  \"requests_per_point\": " << requests << ",\n";
+  json << "  \"producers\": " << producers << ",\n";
+  json << "  \"max_batch\": " << cfg.max_batch << ",\n";
+
+  // --- Section 1: single-service offered-load sweep ------------------------
   const std::vector<hsd::layout::Clip> unique_clips = clip_population(requests);
-
-  // Capacity measurement floods every request at once, so its queue must
-  // hold them all; the paced sweep points use a saturable queue so the
-  // admission control actually shows up in reject_rate.
   ServiceConfig flood = cfg;
   flood.cache_capacity = 0;
   flood.max_queue = requests;
@@ -202,40 +394,168 @@ int main() {
   paced.cache_capacity = 0;
   paced.max_queue = std::max<std::size_t>(requests / 4, 32);
 
-  const SweepPoint capacity = run_point(flood, unique_clips, requests, producers, 0.0);
-
-  std::cout << "{\n  \"bench\": \"bench_serve\",\n";
-  std::cout << "  \"requests\": " << requests << ",\n";
-  std::cout << "  \"producers\": " << producers << ",\n";
-  std::cout << "  \"max_batch\": " << cfg.max_batch << ",\n";
-  std::cout << "  \"max_queue\": " << paced.max_queue << ",\n";
-  std::cout << "  \"sweep\": [\n";
-
-  std::vector<SweepPoint> points{capacity};
-  for (const double fraction : {0.25, 0.5, 1.0}) {
-    points.push_back(run_point(paced, unique_clips, requests, producers,
-                               fraction * capacity.achieved_qps));
+  std::vector<double> cap_qps;
+  for (std::size_t r = 0; r < repeats; ++r) {
+    cap_qps.push_back(
+        run_closed_point(flood, unique_clips, requests, producers, 0.0, model_seed)
+            .achieved_qps);
   }
-  for (std::size_t i = 0; i < points.size(); ++i) {
-    const SweepPoint& pt = points[i];
-    std::cout << "    {\"offered_qps\": " << pt.offered_qps
-              << ", \"achieved_qps\": " << pt.achieved_qps
-              << ", \"reject_rate\": " << pt.reject_rate
-              << ", \"p50_ms\": " << pt.p50_ms << ", \"p95_ms\": " << pt.p95_ms
-              << ", \"p99_ms\": " << pt.p99_ms << "}"
-              << (i + 1 < points.size() ? "," : "") << "\n";
-  }
-  std::cout << "  ],\n";
+  const Agg capacity = aggregate(cap_qps);
 
-  // Duplicate-heavy traffic: `distinct` clips cycled `requests` times.
+  json << "  \"single\": {\n";
+  json << "    \"max_queue\": " << paced.max_queue << ",\n";
+  json << "    \"capacity_qps\": " << agg_json(capacity) << ",\n";
+  json << "    \"sweep\": [\n";
+  const std::vector<double> fractions{0.25, 0.5, 1.0};
+  for (std::size_t fi = 0; fi < fractions.size(); ++fi) {
+    const double offered = fractions[fi] * capacity.mean;
+    std::vector<double> qps, rej, p50, p95, p99;
+    for (std::size_t r = 0; r < repeats; ++r) {
+      const PointStats pt = run_closed_point(paced, unique_clips, requests,
+                                             producers, offered, model_seed);
+      qps.push_back(pt.achieved_qps);
+      rej.push_back(pt.reject_rate);
+      p50.push_back(pt.p50_ms);
+      p95.push_back(pt.p95_ms);
+      p99.push_back(pt.p99_ms);
+    }
+    json << "      {\"offered_fraction\": " << fractions[fi]
+         << ", \"offered_qps\": " << offered
+         << ", \"achieved_qps\": " << agg_json(aggregate(qps))
+         << ", \"reject_rate\": " << agg_json(aggregate(rej))
+         << ",\n       \"p50_ms\": " << agg_json(aggregate(p50))
+         << ", \"p95_ms\": " << agg_json(aggregate(p95))
+         << ", \"p99_ms\": " << agg_json(aggregate(p99)) << "}"
+         << (fi + 1 < fractions.size() ? "," : "") << "\n";
+  }
+  json << "    ],\n";
+
+  // --- Section 2: cache speedup --------------------------------------------
   const std::vector<hsd::layout::Clip> dup_clips = clip_population(distinct);
   ServiceConfig warm_cfg = cfg;
   warm_cfg.max_queue = requests;
-  const double cold_qps = run_cache_pass(flood, dup_clips, requests);
-  const double warm_qps = run_cache_pass(warm_cfg, dup_clips, requests);
-  std::cout << "  \"cache\": {\"distinct_clips\": " << distinct
-            << ", \"cold_qps\": " << cold_qps << ", \"warm_qps\": " << warm_qps
-            << ", \"speedup\": " << (cold_qps > 0 ? warm_qps / cold_qps : 0.0)
-            << "}\n}\n";
+  std::vector<double> cold, warm, speedup;
+  for (std::size_t r = 0; r < repeats; ++r) {
+    const double c = run_cache_pass(flood, dup_clips, requests, model_seed);
+    const double w = run_cache_pass(warm_cfg, dup_clips, requests, model_seed);
+    cold.push_back(c);
+    warm.push_back(w);
+    speedup.push_back(c > 0 ? w / c : 0.0);
+  }
+  json << "    \"cache\": {\"distinct_clips\": " << distinct
+       << ", \"cold_qps\": " << agg_json(aggregate(cold))
+       << ", \"warm_qps\": " << agg_json(aggregate(warm))
+       << ", \"speedup\": " << agg_json(aggregate(speedup)) << "}\n  },\n";
+
+  // --- Section 3: fleet sweep ----------------------------------------------
+  const double zipf_exponent = 1.1;
+  const std::vector<hsd::layout::Clip> universe = clip_universe(universe_size);
+
+  json << "  \"fleet\": {\n";
+  json << "    \"universe\": " << universe_size << ",\n";
+  json << "    \"zipf_exponent\": " << zipf_exponent << ",\n";
+  json << "    \"virtual_nodes\": " << FleetConfig{}.virtual_nodes << ",\n";
+  json << "    \"points\": [\n";
+
+  bool first_point = true;
+  for (std::size_t si = 0; si < shard_counts.size(); ++si) {
+    const std::size_t shards = shard_counts[si];
+    FleetConfig fcfg;
+    fcfg.shards = shards;
+    fcfg.shard = cfg;
+    fcfg.shard.max_queue =
+        std::max<std::size_t>(requests / (4 * shards), 16);
+    fcfg.shard.cache_capacity = 4096;
+
+    // Closed-loop fleet capacity at this shard count (flood, big queues).
+    FleetConfig flood_cfg = fcfg;
+    flood_cfg.shard.max_queue = requests;
+    ZipfSampler zipf(universe_size, zipf_exponent);
+    std::vector<double> fleet_cap;
+    for (std::size_t r = 0; r < repeats; ++r) {
+      hsd::stats::Rng crng(hsd::runtime::derive_seed(seed, 100 + si));
+      std::vector<std::size_t> ids(requests);
+      for (auto& id : ids) id = zipf.sample(crng);
+      std::vector<double> now_schedule(requests, 0.0);  // flood: all at t=0
+      fleet_cap.push_back(run_fleet_point(flood_cfg, model_seed, universe,
+                                          now_schedule, ids, producers)
+                              .achieved_qps);
+    }
+    const Agg cap = aggregate(fleet_cap);
+
+    // Open-loop offered points: below and above capacity (1.4x overload
+    // exercises shedding). The load *shape* — unit-rate Poisson arrivals
+    // with a burst every requests/8 mean inter-arrivals, plus the zipfian
+    // clip choices — is a pure function of --seed, and that shape is what
+    // the fingerprint covers (so two runs at one seed fingerprint
+    // identically on any machine). Only the replay time scale adapts to the
+    // measured capacity.
+    ArrivalSpec spec;
+    spec.rate_qps = 1.0;  // unit rate; replay divides by the offered QPS
+    spec.burst_every_seconds = static_cast<double>(requests) / 8.0;
+    spec.burst_size = std::max<std::size_t>(requests / 32, 4);
+    for (const double fraction : {0.7, 1.4}) {
+      const double offered = std::max(fraction * cap.mean, 1.0);
+
+      std::vector<double> qps, shed, p50, p95, p99, hit;
+      std::uint64_t fingerprint = 0;
+      FleetPointStats last;
+      for (std::size_t r = 0; r < repeats; ++r) {
+        // One stream per (shard count, fraction, repeat): schedules repeat
+        // exactly at a fixed --seed and never alias across configs.
+        const std::uint64_t stream =
+            1000 + si * 100 + static_cast<std::uint64_t>(fraction * 10) * 10 + r;
+        const std::vector<double> unit_schedule = hsd::serve::arrival_schedule(
+            requests, spec, hsd::runtime::derive_seed(seed, stream));
+        hsd::stats::Rng zrng(hsd::runtime::derive_seed(seed, stream + 50000));
+        std::vector<std::size_t> ids(requests);
+        for (auto& id : ids) id = zipf.sample(zrng);
+        if (r == 0) {
+          fingerprint = hsd::serve::schedule_fingerprint(unit_schedule, ids);
+        }
+        std::vector<double> schedule = unit_schedule;
+        for (double& t : schedule) t /= offered;
+
+        last = run_fleet_point(fcfg, model_seed, universe, schedule, ids,
+                               producers);
+        qps.push_back(last.achieved_qps);
+        shed.push_back(last.shed_rate);
+        p50.push_back(last.p50_ms);
+        p95.push_back(last.p95_ms);
+        p99.push_back(last.p99_ms);
+        hit.push_back(last.cache_hit_rate);
+      }
+
+      json << (first_point ? "" : ",\n");
+      first_point = false;
+      json << "      {\"shards\": " << shards
+           << ", \"offered_fraction\": " << fraction
+           << ", \"offered_qps\": " << offered
+           << ", \"capacity_qps\": " << agg_json(cap)
+           << ",\n       \"schedule_fingerprint\": \"" << std::hex << fingerprint
+           << std::dec << "\",\n";
+      json << "       \"achieved_qps\": " << agg_json(aggregate(qps))
+           << ", \"shed_rate\": " << agg_json(aggregate(shed))
+           << ", \"cache_hit_rate\": " << agg_json(aggregate(hit)) << ",\n";
+      json << "       \"p50_ms\": " << agg_json(aggregate(p50))
+           << ", \"p95_ms\": " << agg_json(aggregate(p95))
+           << ", \"p99_ms\": " << agg_json(aggregate(p99)) << ",\n";
+      json << "       \"per_shard\": [";
+      for (std::size_t s = 0; s < last.per_shard.size(); ++s) {
+        json << (s > 0 ? ", " : "") << "{\"shard\": " << s
+             << ", \"completed\": " << last.per_shard[s].first
+             << ", \"cache_hit_rate\": " << last.per_shard[s].second << "}";
+      }
+      json << "]}";
+    }
+  }
+  json << "\n    ]\n  }\n}\n";
+
+  const std::string doc = json.str();
+  std::cout << doc;
+  if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    out << doc;
+  }
   return 0;
 }

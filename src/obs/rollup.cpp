@@ -1,0 +1,80 @@
+#include "obs/rollup.hpp"
+
+#include <cctype>
+#include <map>
+#include <utility>
+
+namespace hsd::obs {
+
+std::optional<ShardMetricName> parse_shard_metric(const std::string& name) {
+  static const std::string kTag = "/shard";
+  std::size_t pos = 0;
+  while ((pos = name.find(kTag, pos)) != std::string::npos) {
+    std::size_t digits = pos + kTag.size();
+    std::size_t end = digits;
+    while (end < name.size() &&
+           std::isdigit(static_cast<unsigned char>(name[end])) != 0) {
+      ++end;
+    }
+    // Needs at least one digit and a following "/<tail>".
+    if (end > digits && end + 1 < name.size() && name[end] == '/') {
+      ShardMetricName out;
+      out.head = name.substr(0, pos);
+      out.shard = static_cast<std::uint32_t>(
+          std::stoul(name.substr(digits, end - digits)));
+      out.tail = name.substr(end + 1);
+      return out;
+    }
+    pos += kTag.size();
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+std::string fleet_name(const ShardMetricName& n) {
+  return n.head + "/fleet/" + n.tail;
+}
+
+}  // namespace
+
+MetricsSnapshot rollup_shards(const MetricsSnapshot& in) {
+  MetricsSnapshot out;
+
+  std::map<std::string, std::uint64_t> counters;
+  for (const auto& [name, value] : in.counters) {
+    if (const auto parsed = parse_shard_metric(name)) {
+      counters[fleet_name(*parsed)] += value;
+    }
+  }
+  out.counters.assign(counters.begin(), counters.end());
+
+  std::map<std::string, double> gauges;
+  for (const auto& [name, value] : in.gauges) {
+    if (const auto parsed = parse_shard_metric(name)) {
+      gauges[fleet_name(*parsed)] += value;
+    }
+  }
+  out.gauges.assign(gauges.begin(), gauges.end());
+
+  std::map<std::string, HistogramSnapshot> histograms;
+  for (const auto& h : in.histograms) {
+    const auto parsed = parse_shard_metric(h.name);
+    if (!parsed) continue;
+    HistogramSnapshot& merged = histograms[fleet_name(*parsed)];
+    if (merged.buckets.empty()) {
+      merged.name = fleet_name(*parsed);
+      merged.buckets.assign(h.buckets.size(), 0);
+    }
+    merged.count += h.count;
+    merged.sum += h.sum;
+    const std::size_t n = std::min(merged.buckets.size(), h.buckets.size());
+    for (std::size_t i = 0; i < n; ++i) merged.buckets[i] += h.buckets[i];
+  }
+  out.histograms.reserve(histograms.size());
+  for (auto& kv : histograms) out.histograms.push_back(std::move(kv.second));
+
+  return out;
+}
+
+}  // namespace hsd::obs

@@ -1,0 +1,40 @@
+#pragma once
+// Fleet metrics rollup: aggregates per-shard metrics into fleet totals.
+//
+// The serving fleet registers each shard's metrics under
+// "<head>/shard<N>/<tail>" (e.g. "serve/shard3/cache_hits"). rollup_shards
+// collapses every such family into one "<head>/fleet/<tail>" entry —
+// counters and gauges sum, histograms merge bucket-wise (so the log-bucket
+// quantile estimator keeps working on the merged distribution) — while the
+// input snapshot retains the per-shard breakdowns. Aggregation iterates the
+// snapshot's name-sorted entries into a std::map, so the rollup order is
+// deterministic — a requirement the no-unordered-route-agg lint rule
+// enforces for every routing/aggregation module.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace hsd::obs {
+
+/// Decomposition of a per-shard metric name "<head>/shard<N>/<tail>".
+struct ShardMetricName {
+  std::string head;      ///< prefix before "/shard<N>" (e.g. "serve")
+  std::uint32_t shard;   ///< shard index N
+  std::string tail;      ///< metric name after the shard component
+};
+
+/// Parses "<head>/shard<N>/<tail>"; nullopt when `name` does not contain a
+/// "/shard<digits>/" component. Only the first such component splits.
+std::optional<ShardMetricName> parse_shard_metric(const std::string& name);
+
+/// Aggregates every per-shard family in `in` into "<head>/fleet/<tail>"
+/// entries: counters and gauges sum across shards, histograms merge
+/// count/sum/buckets. Entries without a shard component are ignored. The
+/// result contains only the aggregated fleet entries (sorted by name);
+/// callers that want per-shard breakdowns keep the original snapshot.
+MetricsSnapshot rollup_shards(const MetricsSnapshot& in);
+
+}  // namespace hsd::obs

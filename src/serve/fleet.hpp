@@ -1,0 +1,137 @@
+#pragma once
+// The fleet (router) layer of the serving stack: N InferenceService shards
+// behind a content-routed front door.
+//
+// Routing: the router rasterizes the clip, takes the FNV-1a content hash
+// (the same hash the per-shard feature caches key on), and consistent-
+// hashes it onto a shard via a virtual-node ring (serve/hash_ring.hpp).
+// Because placement is a pure function of clip content, a clip's features
+// live on exactly one shard — cache capacity scales horizontally with no
+// cross-shard duplication — and repeat traffic for a pattern family always
+// lands where its features are warm. The rasterized bitmap and hash travel
+// with the request, so routing never duplicates feature work.
+//
+// Load shedding: each shard keeps its own bounded admission queue; when a
+// request's *target* shard is full the fleet sheds it immediately with the
+// distinct kShedFleetOverloaded status (counted under
+// "<prefix>/router/shed") rather than spilling onto a sibling shard —
+// spilling would silently duplicate cached features and make placement
+// load-dependent, breaking the determinism contract.
+//
+// Determinism contract: fleet answers are bit-identical to the single
+// InferenceService path (and to one-at-a-time detector inference) at any
+// shard count x batch cut x HSD_THREADS, because every shard runs an
+// identical detector replica (the factory must be pure), features are pure
+// functions of clip content, and per-shard batching never mixes rows.
+// Pinned by serve_fleet_equivalence_test, including across mid-drain
+// shutdown.
+//
+// Metrics: shard i registers under "<metric_prefix>/shard<i>/*"; the
+// router adds "<metric_prefix>/router/requests|shed". fleet_rollup()
+// aggregates the per-shard families into "<metric_prefix>/fleet/*" totals
+// via obs::rollup_shards.
+//
+// The router/shard/worker split is transport-shaped on purpose: submit()
+// hands a self-contained Request to the owning shard, so replacing that
+// handoff with a multi-process or RPC boundary is a transport swap, not a
+// rewrite.
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/detector.hpp"
+#include "data/features.hpp"
+#include "layout/clip.hpp"
+#include "obs/metrics.hpp"
+#include "serve/hash_ring.hpp"
+#include "serve/request.hpp"
+#include "serve/service.hpp"
+
+namespace hsd::serve {
+
+struct FleetConfig {
+  /// Number of InferenceService shards (>= 1).
+  std::size_t shards = 4;
+  /// Virtual nodes per shard on the consistent-hash ring.
+  std::size_t virtual_nodes = 64;
+  /// Per-shard service configuration. metric_prefix is the fleet-wide
+  /// prefix: shard i registers under "<metric_prefix>/shard<i>/*" and its
+  /// shard_index is overwritten with i.
+  ServiceConfig shard;
+};
+
+/// Content-routed front door over N identically-modelled shards.
+///
+/// Thread-safe for any number of concurrent submitters (routing state is
+/// immutable after construction; each shard serializes internally).
+class FleetRouter {
+ public:
+  /// `detector_factory` is called once per shard and must be pure: every
+  /// invocation returns a detector with bit-identical weights (e.g.
+  /// construct from the same seed, or load the same checkpoint). That
+  /// purity is what makes fleet answers independent of the shard count.
+  FleetRouter(const FleetConfig& config,
+              const std::function<core::HotspotDetector()>& detector_factory);
+  ~FleetRouter();  // shutdown() all shards
+
+  FleetRouter(const FleetRouter&) = delete;
+  FleetRouter& operator=(const FleetRouter&) = delete;
+
+  /// Routes one clip to its content-determined shard. The future always
+  /// resolves; a full target shard resolves immediately with
+  /// kShedFleetOverloaded.
+  std::future<Response> submit(const layout::Clip& clip);
+
+  /// Deadline-carrying variant (same semantics as InferenceService).
+  std::future<Response> submit(const layout::Clip& clip,
+                               std::chrono::microseconds budget);
+
+  /// Synchronous convenience: submit and wait (pumps inline in manual mode).
+  Response predict(const layout::Clip& clip);
+
+  /// Manual mode: drains one micro-batch from every shard on the calling
+  /// thread (shard 0 first — deterministic order). Returns the total number
+  /// of requests answered.
+  std::size_t pump();
+
+  /// Graceful fleet-wide drain: stops admission on every shard, then
+  /// completes everything already admitted. Idempotent.
+  void shutdown();
+
+  /// The shard that owns `clip`'s content (routing is pure, so this is
+  /// usable for placement-stability tests and cache-locality diagnostics).
+  std::size_t shard_for(const layout::Clip& clip) const;
+  std::size_t shard_for_hash(std::uint64_t content_hash) const {
+    return ring_.shard_for(content_hash);
+  }
+
+  /// Fleet totals ("<prefix>/fleet/*") aggregated from the per-shard
+  /// metric families currently in the registry. Meaningful only while
+  /// obs metrics collection is enabled.
+  obs::MetricsSnapshot fleet_rollup() const;
+
+  std::size_t num_shards() const { return shards_.size(); }
+  InferenceService& shard(std::size_t i) { return *shards_.at(i); }
+  const HashRing& ring() const { return ring_; }
+  const FleetConfig& config() const { return config_; }
+
+ private:
+  std::future<Response> submit_impl(const layout::Clip& clip,
+                                    bool has_deadline,
+                                    std::chrono::microseconds budget);
+
+  FleetConfig config_;
+  HashRing ring_;
+  data::FeatureExtractor extractor_;  ///< router-side rasterize + hash only
+  std::vector<std::unique_ptr<InferenceService>> shards_;
+  obs::Counter& routed_;
+  obs::Counter& shed_;
+};
+
+}  // namespace hsd::serve

@@ -1,0 +1,58 @@
+#pragma once
+// Consistent-hash ring with virtual nodes: places N shards on the 64-bit
+// FNV-1a circle and routes a clip content hash to the owning shard.
+//
+// Determinism contract (pinned by serve_ring_test):
+//   * Placement is a pure function of (shards, virtual_nodes): ring points
+//     are FNV-1a over explicit little-endian byte encodings of
+//     (shard, replica), passed through a SplitMix64 finalizer (FNV-1a's
+//     high bits diffuse poorly on short inputs, and ring ownership is a
+//     high-bit comparison), so the ring is identical across runs,
+//     processes, platforms, and endianness — no pointer mixing, no
+//     per-process seed.
+//   * Lookup is a binary search over a sorted point list; equal points
+//     (astronomically unlikely) tie-break toward the lower shard index, so
+//     even collisions route deterministically.
+//   * Changing the shard count from N to N+1 moves only the keys captured
+//     by the new shard's virtual nodes — in expectation K/(N+1) of K keys —
+//     and every moved key lands on the new shard (classic consistent
+//     hashing, Karger et al.); nothing else rehashes.
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace hsd::serve {
+
+class HashRing {
+ public:
+  /// `shards` >= 1 ring members, `virtual_nodes` >= 1 points per shard
+  /// (more virtual nodes -> smoother key balance; 64 keeps the max/mean
+  /// shard load under ~1.4x for uniform keys).
+  HashRing(std::size_t shards, std::size_t virtual_nodes);
+
+  /// The shard owning `key`: the first ring point clockwise from the key.
+  std::size_t shard_for(std::uint64_t key) const;
+
+  std::size_t shards() const { return shards_; }
+  std::size_t virtual_nodes() const { return virtual_nodes_; }
+
+  /// Sorted (point, shard) pairs — exposed for ring tests and diagnostics.
+  const std::vector<std::pair<std::uint64_t, std::uint32_t>>& points() const {
+    return points_;
+  }
+
+  /// The ring point for one (shard, replica) virtual node: FNV-1a over the
+  /// two indices encoded as little-endian uint32 bytes (byte-order-explicit
+  /// so the ring is identical on any platform), SplitMix64-finalized for
+  /// high-bit diffusion.
+  static std::uint64_t ring_point(std::uint32_t shard, std::uint32_t replica);
+
+ private:
+  std::size_t shards_;
+  std::size_t virtual_nodes_;
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> points_;
+};
+
+}  // namespace hsd::serve

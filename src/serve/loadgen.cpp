@@ -1,0 +1,81 @@
+#include "serve/loadgen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/hash.hpp"
+
+namespace hsd::serve {
+
+ZipfSampler::ZipfSampler(std::size_t n, double exponent) : exponent_(exponent) {
+  if (n == 0) {
+    throw std::invalid_argument("ZipfSampler: need at least one item");
+  }
+  if (exponent < 0.0) {
+    throw std::invalid_argument("ZipfSampler: exponent must be >= 0");
+  }
+  cdf_.resize(n);
+  double total = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k + 1), exponent);
+    cdf_[k] = total;
+  }
+  for (double& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // guard against rounding shaving the top off
+}
+
+std::size_t ZipfSampler::sample(stats::Rng& rng) const {
+  const double u = rng.uniform();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return it == cdf_.end() ? cdf_.size() - 1
+                          : static_cast<std::size_t>(it - cdf_.begin());
+}
+
+std::vector<double> arrival_schedule(std::size_t count, const ArrivalSpec& spec,
+                                     std::uint64_t seed) {
+  if (spec.rate_qps <= 0.0) {
+    throw std::invalid_argument("arrival_schedule: rate_qps must be > 0");
+  }
+  std::vector<double> arrivals;
+  arrivals.reserve(count);
+  stats::Rng rng(seed);
+  double t = 0.0;
+  double next_burst = spec.burst_every_seconds > 0.0 && spec.burst_size > 0
+                          ? spec.burst_every_seconds
+                          : -1.0;
+  while (arrivals.size() < count) {
+    // Exponential inter-arrival gap via inverse CDF; 1-u keeps the argument
+    // of log strictly positive for u in [0, 1).
+    const double gap = -std::log(1.0 - rng.uniform()) / spec.rate_qps;
+    const double next = t + gap;
+    // Every burst tick that elapsed before the next Poisson arrival fires
+    // first; the Poisson stream continues underneath, so `next` is still
+    // emitted afterwards (if room).
+    while (next_burst > 0.0 && next_burst <= next && arrivals.size() < count) {
+      for (std::size_t b = 0; b < spec.burst_size && arrivals.size() < count;
+           ++b) {
+        arrivals.push_back(next_burst);
+      }
+      next_burst += spec.burst_every_seconds;
+    }
+    if (arrivals.size() < count) {
+      arrivals.push_back(next);
+      t = next;
+    }
+  }
+  std::sort(arrivals.begin(), arrivals.end());
+  return arrivals;
+}
+
+std::uint64_t schedule_fingerprint(const std::vector<double>& arrivals,
+                                   const std::vector<std::size_t>& clip_ids) {
+  common::Fnv1a h;
+  h.add(static_cast<std::uint64_t>(arrivals.size()));
+  for (const double a : arrivals) h.add(a);
+  h.add(static_cast<std::uint64_t>(clip_ids.size()));
+  for (const std::size_t c : clip_ids) h.add(static_cast<std::uint64_t>(c));
+  return h.value();
+}
+
+}  // namespace hsd::serve

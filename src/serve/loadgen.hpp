@@ -1,0 +1,67 @@
+#pragma once
+// Deterministic load-model primitives for the serving benchmarks: zipfian
+// clip popularity (a handful of standard-cell pattern families dominate
+// real full-chip tile streams, with a long tail of rare geometry) and an
+// open-loop Poisson arrival process with periodic bursts (steady background
+// traffic punctuated by batched tool submissions).
+//
+// Everything here is a pure function of its explicit seed: bench_serve
+// derives every stream from one --seed via runtime::derive_seed, so two
+// runs at the same seed offer bit-identical load schedules — the property
+// that makes the checked-in BENCH_serve.json trajectory comparable across
+// commits. Pinned by serve_loadgen_test.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "stats/rng.hpp"
+
+namespace hsd::serve {
+
+/// Zipf-distributed index sampler over [0, n): P(k) proportional to
+/// 1/(k+1)^exponent. exponent ~1 matches measured pattern-popularity skew;
+/// 0 degenerates to uniform. Sampling is inverse-CDF via binary search, so
+/// one sample consumes exactly one uniform draw — stream alignment stays
+/// trivial to reason about.
+class ZipfSampler {
+ public:
+  /// `n` >= 1 distinct items.
+  ZipfSampler(std::size_t n, double exponent);
+
+  /// Draws one index using (and advancing) `rng`.
+  std::size_t sample(stats::Rng& rng) const;
+
+  std::size_t size() const { return cdf_.size(); }
+  double exponent() const { return exponent_; }
+
+ private:
+  std::vector<double> cdf_;  ///< cumulative popularity, cdf_.back() == 1
+  double exponent_;
+};
+
+/// Open-loop arrival model: Poisson base traffic plus periodic bursts.
+struct ArrivalSpec {
+  /// Mean base rate (requests/second) of the Poisson process; must be > 0.
+  double rate_qps = 100.0;
+  /// A burst of `burst_size` extra simultaneous arrivals is injected every
+  /// `burst_every_seconds` (0 disables bursts).
+  double burst_every_seconds = 0.0;
+  std::size_t burst_size = 0;
+};
+
+/// Generates exactly `count` ascending arrival times (seconds from start):
+/// exponential inter-arrival gaps at `spec.rate_qps`, with each burst tick
+/// contributing `burst_size` arrivals at the same instant. Deterministic in
+/// `seed` (drawn from stats::Rng(seed)); same seed, same schedule, to the
+/// bit.
+std::vector<double> arrival_schedule(std::size_t count, const ArrivalSpec& spec,
+                                     std::uint64_t seed);
+
+/// FNV-1a fingerprint of an offered-load schedule (arrival times and clip
+/// choices, exact bits). bench_serve reports it per sweep point so CI can
+/// assert that two runs at one seed offered identical load.
+std::uint64_t schedule_fingerprint(const std::vector<double>& arrivals,
+                                   const std::vector<std::size_t>& clip_ids);
+
+}  // namespace hsd::serve

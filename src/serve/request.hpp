@@ -1,0 +1,69 @@
+#pragma once
+// Request/response vocabulary shared by the three serving layers (fleet
+// router, shard service, batch worker). Kept free of queueing or model
+// state so a future multi-process / RPC split only has to serialize these
+// types, not rework them.
+
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <vector>
+
+#include "layout/clip.hpp"
+
+namespace hsd::serve {
+
+/// Final disposition of one request.
+enum class Status {
+  kOk = 0,                 ///< prediction computed
+  kRejectedQueueFull,      ///< bounded queue overflowed at submission
+  kRejectedShutdown,       ///< submitted after shutdown() began
+  kDeadlineExceeded,       ///< deadline passed before its batch executed
+  kShedFleetOverloaded,    ///< fleet router: target shard's queue was full
+};
+
+/// Stable lowercase identifier (JSON output, metrics, logs).
+inline const char* status_name(Status s) {
+  switch (s) {
+    case Status::kOk: return "ok";
+    case Status::kRejectedQueueFull: return "rejected_queue_full";
+    case Status::kRejectedShutdown: return "rejected_shutdown";
+    case Status::kDeadlineExceeded: return "deadline_exceeded";
+    case Status::kShedFleetOverloaded: return "fleet_overloaded";
+  }
+  return "unknown";
+}
+
+struct Response {
+  Status status = Status::kRejectedShutdown;
+  double probability = 0.0;  ///< calibrated p(hotspot); 0 unless kOk
+  bool hotspot = false;      ///< probability >= decision_threshold
+  bool cache_hit = false;    ///< features served from the LRU cache
+  std::uint64_t content_hash = 0;  ///< FNV-1a of the rasterized bitmap
+  std::uint32_t shard = 0;         ///< shard that answered (0 standalone)
+  std::size_t batch_size = 0;      ///< size of the batch that computed this
+  double latency_seconds = 0.0;    ///< submit -> response completion
+};
+
+/// One in-flight request as it moves router -> shard queue -> batch worker.
+/// The fleet router pre-rasterizes and pre-hashes (it needs the content
+/// hash to route), so the worker must not pay for rasterization twice:
+/// `prehashed` carries the bitmap and hash along.
+struct Request {
+  using Clock = std::chrono::steady_clock;
+
+  layout::Clip clip;
+  std::vector<float> bitmap;        ///< filled iff prehashed
+  std::uint64_t content_hash = 0;   ///< filled iff prehashed
+  bool prehashed = false;
+  std::promise<Response> promise;
+  Clock::time_point enqueued;
+  Clock::time_point deadline;
+  bool has_deadline = false;
+  /// Status used when the shard's bounded queue rejects this request: the
+  /// standalone service answers kRejectedQueueFull, the fleet router asks
+  /// for the distinct kShedFleetOverloaded instead.
+  Status overflow_status = Status::kRejectedQueueFull;
+};
+
+}  // namespace hsd::serve

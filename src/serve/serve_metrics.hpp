@@ -1,0 +1,47 @@
+#pragma once
+// Per-shard metric handles. Every InferenceService instance owns one of
+// these, constructed from its configured metric prefix: the standalone
+// service keeps the historical "serve/*" names, fleet shards register
+// "serve/shard<i>/*" so the obs rollup can aggregate fleet totals while
+// keeping per-shard breakdowns. Handle references stay valid for the
+// process lifetime (the obs registry never frees metrics), so re-creating
+// a service with the same prefix re-binds to the same cells.
+
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace hsd::serve {
+
+struct ShardMetrics {
+  explicit ShardMetrics(const std::string& prefix)
+      : submitted(obs::counter(prefix + "/requests")),
+        accepted(obs::counter(prefix + "/accepted")),
+        completed(obs::counter(prefix + "/completed")),
+        rejected_queue_full(obs::counter(prefix + "/rejected_queue_full")),
+        rejected_shutdown(obs::counter(prefix + "/rejected_shutdown")),
+        deadline_exceeded(obs::counter(prefix + "/deadline_exceeded")),
+        batches(obs::counter(prefix + "/batches")),
+        cache_hits(obs::counter(prefix + "/cache_hits")),
+        cache_misses(obs::counter(prefix + "/cache_misses")),
+        queue_depth(obs::gauge(prefix + "/queue_depth")),
+        latency(obs::histogram(prefix + "/latency_seconds")),
+        batch_seconds(obs::histogram(prefix + "/batch_seconds")),
+        batch_fill(obs::histogram(prefix + "/batch_fill")) {}
+
+  obs::Counter& submitted;
+  obs::Counter& accepted;
+  obs::Counter& completed;
+  obs::Counter& rejected_queue_full;
+  obs::Counter& rejected_shutdown;
+  obs::Counter& deadline_exceeded;
+  obs::Counter& batches;
+  obs::Counter& cache_hits;
+  obs::Counter& cache_misses;
+  obs::Gauge& queue_depth;
+  obs::Histogram& latency;
+  obs::Histogram& batch_seconds;
+  obs::Histogram& batch_fill;
+};
+
+}  // namespace hsd::serve

@@ -1,74 +1,27 @@
 #include "serve/service.hpp"
 
-#include <algorithm>
-#include <map>
 #include <stdexcept>
 #include <utility>
-#include <vector>
 
-#include "common/hash.hpp"
-#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
-#include "runtime/thread_pool.hpp"
 
 namespace hsd::serve {
-
-namespace {
-
-double seconds_between(std::chrono::steady_clock::time_point a,
-                       std::chrono::steady_clock::time_point b) {
-  return std::chrono::duration<double>(b - a).count();
-}
-
-struct ServeMetrics {
-  obs::Counter& submitted = obs::counter("serve/requests");
-  obs::Counter& accepted = obs::counter("serve/accepted");
-  obs::Counter& completed = obs::counter("serve/completed");
-  obs::Counter& rejected_queue_full = obs::counter("serve/rejected_queue_full");
-  obs::Counter& rejected_shutdown = obs::counter("serve/rejected_shutdown");
-  obs::Counter& deadline_exceeded = obs::counter("serve/deadline_exceeded");
-  obs::Counter& batches = obs::counter("serve/batches");
-  obs::Counter& cache_hits = obs::counter("serve/cache_hits");
-  obs::Counter& cache_misses = obs::counter("serve/cache_misses");
-  obs::Gauge& queue_depth = obs::gauge("serve/queue_depth");
-  obs::Histogram& latency = obs::histogram("serve/latency_seconds");
-  obs::Histogram& batch_seconds = obs::histogram("serve/batch_seconds");
-  obs::Histogram& batch_fill = obs::histogram("serve/batch_fill");
-};
-
-ServeMetrics& metrics() {
-  // hsd-lint: allow(no-mutable-static) — magic-static metric handles
-  static ServeMetrics m;
-  return m;
-}
-
-}  // namespace
-
-const char* status_name(Status s) {
-  switch (s) {
-    case Status::kOk: return "ok";
-    case Status::kRejectedQueueFull: return "rejected_queue_full";
-    case Status::kRejectedShutdown: return "rejected_shutdown";
-    case Status::kDeadlineExceeded: return "deadline_exceeded";
-  }
-  return "unknown";
-}
 
 InferenceService::InferenceService(const ServiceConfig& config,
                                    core::HotspotDetector detector)
     : config_(config),
-      detector_(std::move(detector)),
-      extractor_(config.feature_grid, config.feature_keep),
-      cache_(config.cache_capacity) {
+      metrics_(config.metric_prefix),
+      worker_(config.feature_grid, config.feature_keep, config.cache_capacity,
+              config.temperature, config.decision_threshold,
+              config.shard_index, std::move(detector)) {
   if (config_.max_batch == 0) {
     throw std::invalid_argument("InferenceService: max_batch must be >= 1");
   }
   if (config_.max_queue == 0) {
     throw std::invalid_argument("InferenceService: max_queue must be >= 1");
   }
-  if (detector_.config().input_side != config_.feature_keep) {
-    throw std::invalid_argument(
-        "InferenceService: detector input_side != feature_keep");
+  if (worker_.extractor().keep() != config_.feature_keep) {
+    throw std::invalid_argument("InferenceService: extractor keep mismatch");
   }
   if (!config_.manual_pump) {
     // The collector is a long-lived dedicated thread, not a data-parallel
@@ -94,36 +47,51 @@ std::future<Response> InferenceService::submit(const layout::Clip& clip,
 std::future<Response> InferenceService::submit_impl(
     const layout::Clip& clip, bool has_deadline,
     std::chrono::microseconds budget) {
-  ServeMetrics& m = metrics();
-  m.submitted.add();
-
   Request req;
   req.clip = clip;
   req.enqueued = Clock::now();
   req.has_deadline = has_deadline;
   if (has_deadline) req.deadline = req.enqueued + budget;
+  bool admitted = false;
+  return admit(std::move(req), admitted);
+}
+
+std::future<Response> InferenceService::submit_routed(Request&& req,
+                                                      bool& admitted) {
+  return admit(std::move(req), admitted);
+}
+
+std::future<Response> InferenceService::admit(Request&& req, bool& admitted) {
+  metrics_.submitted.add();
   std::future<Response> future = req.promise.get_future();
 
   std::unique_lock<std::mutex> lock(mutex_);
   if (stopping_) {
     lock.unlock();
-    m.rejected_shutdown.add();
+    admitted = false;
+    metrics_.rejected_shutdown.add();
     Response r;
     r.status = Status::kRejectedShutdown;
-    finish(req, r);
+    r.shard = config_.shard_index;
+    finish_request(req, r, metrics_);
     return future;
   }
   if (queue_.size() >= config_.max_queue) {
     lock.unlock();
-    m.rejected_queue_full.add();
+    admitted = false;
+    // Counted as a queue overflow either way; the response status tells the
+    // caller whether a standalone service or the fleet router shed it.
+    metrics_.rejected_queue_full.add();
     Response r;
-    r.status = Status::kRejectedQueueFull;
-    finish(req, r);
+    r.status = req.overflow_status;
+    r.shard = config_.shard_index;
+    finish_request(req, r, metrics_);
     return future;
   }
   queue_.push_back(std::move(req));
-  m.queue_depth.set(static_cast<double>(queue_.size()));
-  m.accepted.add();
+  metrics_.queue_depth.set(static_cast<double>(queue_.size()));
+  metrics_.accepted.add();
+  admitted = true;
   lock.unlock();
   queue_cv_.notify_one();
   return future;
@@ -139,7 +107,7 @@ Response InferenceService::predict(const layout::Clip& clip) {
   return f.get();
 }
 
-std::deque<InferenceService::Request> InferenceService::take_batch() {
+std::deque<Request> InferenceService::take_batch() {
   std::deque<Request> batch;
   std::lock_guard<std::mutex> lock(mutex_);
   const std::size_t n = std::min(config_.max_batch, queue_.size());
@@ -147,13 +115,13 @@ std::deque<InferenceService::Request> InferenceService::take_batch() {
     batch.push_back(std::move(queue_.front()));
     queue_.pop_front();
   }
-  metrics().queue_depth.set(static_cast<double>(queue_.size()));
+  metrics_.queue_depth.set(static_cast<double>(queue_.size()));
   return batch;
 }
 
 std::size_t InferenceService::pump() {
   std::deque<Request> batch = take_batch();
-  if (!batch.empty()) execute_batch(batch);
+  if (!batch.empty()) worker_.execute(batch, metrics_);
   return batch.size();
 }
 
@@ -180,123 +148,16 @@ void InferenceService::collector_main() {
   }
 }
 
-void InferenceService::execute_batch(std::deque<Request>& batch) {
-  HSD_SPAN("serve/batch");
-  ServeMetrics& m = metrics();
-  const auto batch_start = Clock::now();
-
-  // Expire requests whose deadline passed while queued. They are answered
-  // here, not at submission: admission happens before the wait, and the
-  // wait is where the deadline is spent.
-  std::vector<Request*> live;
-  live.reserve(batch.size());
-  for (Request& req : batch) {
-    if (req.has_deadline && batch_start >= req.deadline) {
-      m.deadline_exceeded.add();
-      Response r;
-      r.status = Status::kDeadlineExceeded;
-      finish(req, r);
-    } else {
-      live.push_back(&req);
-    }
-  }
-  const std::size_t n = live.size();
-  if (n == 0) return;
-
-  // Stage 1 — rasterize + content-hash, fanned out across the pool (each
-  // request touches only its own slot, so this is bit-stable at any thread
-  // count).
-  std::vector<std::vector<float>> bitmaps(n);
-  std::vector<std::uint64_t> hashes(n);
-  std::vector<char> hit(n, 0);
-  {
-    HSD_SPAN("serve/features");
-    runtime::parallel_for(0, n, 1, [&](std::size_t lo, std::size_t hi) {
-      for (std::size_t i = lo; i < hi; ++i) {
-        bitmaps[i] = extractor_.rasterizer().rasterize(live[i]->clip);
-        hashes[i] = common::content_hash(bitmaps[i]);
-      }
-    });
-
-    // Stage 2 — cache consultation in request order (the LRU must see a
-    // deterministic access sequence). Hit rows are copied out immediately so
-    // later inserts can never invalidate them; each distinct uncached hash
-    // becomes one DCT job regardless of how often it repeats in the batch.
-    std::vector<std::vector<float>> rows(n);
-    std::vector<std::size_t> misses;
-    std::map<std::uint64_t, std::size_t> first_miss;  // hash -> request index
-    std::uint64_t hits = 0;
-    for (std::size_t i = 0; i < n; ++i) {
-      if (const std::vector<float>* c = cache_.find(hashes[i])) {
-        rows[i] = *c;
-        hit[i] = 1;
-        ++hits;
-      } else if (first_miss.emplace(hashes[i], i).second) {
-        misses.push_back(i);
-      }
-    }
-    m.cache_hits.add(hits);
-    m.cache_misses.add(misses.size());
-
-    runtime::parallel_for(0, misses.size(), 1,
-                          [&](std::size_t lo, std::size_t hi) {
-                            for (std::size_t k = lo; k < hi; ++k) {
-                              const std::size_t i = misses[k];
-                              rows[i] = extractor_.extract_bitmap(bitmaps[i]);
-                            }
-                          });
-    for (std::size_t i = 0; i < n; ++i) {
-      if (rows[i].empty()) rows[i] = rows[first_miss.at(hashes[i])];
-    }
-    for (const std::size_t i : misses) {
-      cache_.insert(hashes[i], rows[i]);
-    }
-
-    const std::size_t row = extractor_.dimension();
-    const tensor::Shape shape{n, 1, config_.feature_keep, config_.feature_keep};
-    if (input_.shape() != shape) input_ = tensor::Tensor(shape);
-    for (std::size_t i = 0; i < n; ++i) {
-      std::copy(rows[i].begin(), rows[i].end(), input_.data() + i * row);
-    }
-  }
-
-  // Stage 3 — one batched forward pass + calibration. Each output row is a
-  // function of its input row alone, so batching never perturbs bits.
-  std::vector<std::vector<double>> probs;
-  {
-    HSD_SPAN("serve/forward");
-    probs = detector_.probabilities(input_, config_.temperature);
-  }
-
-  m.batches.add();
-  m.batch_fill.observe(static_cast<double>(n));
-  m.batch_seconds.observe(seconds_between(batch_start, Clock::now()));
-  m.completed.add(n);
-
-  for (std::size_t i = 0; i < n; ++i) {
-    Response r;
-    r.status = Status::kOk;
-    r.probability = probs[i][1];
-    r.hotspot = r.probability >= config_.decision_threshold;
-    r.cache_hit = hit[i] != 0;
-    r.content_hash = hashes[i];
-    r.batch_size = n;
-    finish(*live[i], r);
-  }
-}
-
-void InferenceService::finish(Request& req, Response response) const {
-  response.latency_seconds = seconds_between(req.enqueued, Clock::now());
-  metrics().latency.observe(response.latency_seconds);
-  req.promise.set_value(std::move(response));
-}
-
-void InferenceService::shutdown() {
+void InferenceService::begin_shutdown() {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     stopping_ = true;
   }
   queue_cv_.notify_all();
+}
+
+void InferenceService::shutdown() {
+  begin_shutdown();
   // Concurrent shutdown() calls all block here until the drain completes,
   // so every caller returns only once all admitted requests are answered.
   std::lock_guard<std::mutex> shutdown_lock(shutdown_mutex_);

@@ -1,5 +1,7 @@
 #pragma once
-// Online hotspot inference service with dynamic micro-batching.
+// Online hotspot inference shard with dynamic micro-batching — the middle
+// layer of the serving stack (fleet router -> shard service -> batch
+// worker; see serve/fleet.hpp for the router).
 //
 // The offline flow classifies a benchmark in one giant batch; a deployed
 // detector instead sees a stream of single-clip requests (EPIC-style "score
@@ -13,19 +15,23 @@
 // Per request: rasterize -> content-hash the bitmap -> DCT features (LRU
 // cache keyed by the hash; repeated pattern families skip the dominant DCT
 // cost) -> one batched CNN forward on the runtime pool -> temperature-
-// calibrated probability -> hotspot verdict.
+// calibrated probability -> hotspot verdict. The feature/cache/forward
+// pipeline lives in serve/worker.hpp; this class owns admission, queueing,
+// batch cutting, and drain.
 //
 // Admission control is explicit: a bounded queue rejects on overflow
-// (kRejectedQueueFull), submissions after shutdown() are refused
+// (kRejectedQueueFull standalone; the fleet router substitutes
+// kShedFleetOverloaded), submissions after shutdown() are refused
 // (kRejectedShutdown), and a request whose deadline has passed by the time
 // its batch forms is answered kDeadlineExceeded without paying for
 // inference. shutdown() is graceful: everything admitted before it still
-// completes. All outcomes are counted under serve/* metrics.
+// completes. All outcomes are counted under <metric_prefix>/* metrics.
 //
 // Determinism contract: predictions are a pure function of the clip and
 // the model. Batch composition, batch cuts, thread count, cache hits, and
 // arrival order never change a single bit of any probability — pinned by
-// serve_equivalence_test against per-clip HotspotDetector::predict.
+// serve_equivalence_test against per-clip HotspotDetector::predict, and by
+// serve_fleet_equivalence_test at every shard count.
 
 #include <chrono>
 #include <condition_variable>
@@ -34,36 +40,16 @@
 #include <deque>
 #include <future>
 #include <mutex>
+#include <string>
 #include <thread>
 
 #include "core/detector.hpp"
-#include "data/features.hpp"
 #include "layout/clip.hpp"
-#include "serve/feature_cache.hpp"
-#include "tensor/tensor.hpp"
+#include "serve/request.hpp"
+#include "serve/serve_metrics.hpp"
+#include "serve/worker.hpp"
 
 namespace hsd::serve {
-
-/// Final disposition of one request.
-enum class Status {
-  kOk = 0,                ///< prediction computed
-  kRejectedQueueFull,     ///< bounded queue overflowed at submission
-  kRejectedShutdown,      ///< submitted after shutdown() began
-  kDeadlineExceeded,      ///< deadline passed before its batch executed
-};
-
-/// Stable lowercase identifier (JSON output, metrics, logs).
-const char* status_name(Status s);
-
-struct Response {
-  Status status = Status::kRejectedShutdown;
-  double probability = 0.0;  ///< calibrated p(hotspot); 0 unless kOk
-  bool hotspot = false;      ///< probability >= decision_threshold
-  bool cache_hit = false;    ///< features served from the LRU cache
-  std::uint64_t content_hash = 0;  ///< FNV-1a of the rasterized bitmap
-  std::size_t batch_size = 0;      ///< size of the batch that computed this
-  double latency_seconds = 0.0;    ///< submit -> response completion
-};
 
 struct ServiceConfig {
   /// Raster grid and retained DCT block of the feature pipeline; must match
@@ -82,12 +68,19 @@ struct ServiceConfig {
   std::size_t max_queue = 1024;
   /// LRU feature-cache entries (0 disables caching).
   std::size_t cache_capacity = 4096;
+  /// Metric namespace: this service's counters/histograms register as
+  /// "<metric_prefix>/<name>". The standalone service keeps the historical
+  /// "serve" prefix; the fleet router assigns "serve/shard<i>" per shard so
+  /// obs::rollup_shards can aggregate fleet totals.
+  std::string metric_prefix = "serve";
+  /// Stamped into Response::shard (0 for a standalone service).
+  std::uint32_t shard_index = 0;
   /// Tests: do not start a collector thread; batches run only when pump()
   /// is called, so admission and batching become single-stepped and exact.
   bool manual_pump = false;
 };
 
-/// In-process prediction service around one HotspotDetector.
+/// In-process prediction shard around one HotspotDetector replica.
 ///
 /// Thread-safe for any number of concurrent submitters; all model and cache
 /// state is touched only by the single batch-execution context (collector
@@ -112,6 +105,12 @@ class InferenceService {
   std::future<Response> submit(const layout::Clip& clip,
                                std::chrono::microseconds budget);
 
+  /// Router entry point: enqueues a fully-formed request (prehashed bitmap,
+  /// deadline, and overflow status already set by the caller). `admitted`
+  /// reports whether the request entered the queue or was rejected
+  /// immediately (shed / shutdown).
+  std::future<Response> submit_routed(Request&& req, bool& admitted);
+
   /// Synchronous convenience: submit and wait (pumps inline in manual mode).
   Response predict(const layout::Clip& clip);
 
@@ -119,6 +118,12 @@ class InferenceService {
   /// number of requests answered (including deadline rejections); 0 when
   /// the queue is empty. Also usable after shutdown() to finish a drain.
   std::size_t pump();
+
+  /// Phase one of a drain: stops admitting (new submissions resolve
+  /// kRejectedShutdown) and wakes the collector, without waiting for the
+  /// queue to empty. The fleet router calls this on every shard before
+  /// draining any of them. Idempotent.
+  void begin_shutdown();
 
   /// Stops admitting, completes every already-admitted request, and joins
   /// the collector. Idempotent; called by the destructor.
@@ -132,29 +137,19 @@ class InferenceService {
  private:
   using Clock = std::chrono::steady_clock;
 
-  struct Request {
-    layout::Clip clip;
-    std::promise<Response> promise;
-    Clock::time_point enqueued;
-    Clock::time_point deadline;
-    bool has_deadline = false;
-  };
-
   std::future<Response> submit_impl(const layout::Clip& clip,
                                     bool has_deadline,
                                     std::chrono::microseconds budget);
+  /// Shared admission path: bounded-queue check + enqueue under the mutex.
+  std::future<Response> admit(Request&& req, bool& admitted);
   void collector_main();
   /// Pops up to max_batch requests (FIFO). Returns an empty batch only when
   /// the queue is empty.
   std::deque<Request> take_batch();
-  void execute_batch(std::deque<Request>& batch);
-  void finish(Request& req, Response response) const;
 
   ServiceConfig config_;
-  core::HotspotDetector detector_;
-  data::FeatureExtractor extractor_;
-  FeatureCache cache_;
-  tensor::Tensor input_;  ///< batch staging, reused across batches
+  ShardMetrics metrics_;
+  BatchWorker worker_;
 
   mutable std::mutex mutex_;
   std::condition_variable queue_cv_;

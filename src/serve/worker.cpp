@@ -1,0 +1,161 @@
+#include "serve/worker.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "obs/trace.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace hsd::serve {
+
+namespace {
+
+double seconds_between(std::chrono::steady_clock::time_point a,
+                       std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+}  // namespace
+
+void finish_request(Request& req, Response response, ShardMetrics& metrics) {
+  response.latency_seconds =
+      seconds_between(req.enqueued, Request::Clock::now());
+  metrics.latency.observe(response.latency_seconds);
+  req.promise.set_value(std::move(response));
+}
+
+BatchWorker::BatchWorker(std::size_t grid, std::size_t keep,
+                         std::size_t cache_capacity, double temperature,
+                         double decision_threshold, std::uint32_t shard_index,
+                         core::HotspotDetector detector)
+    : detector_(std::move(detector)),
+      extractor_(grid, keep),
+      cache_(cache_capacity),
+      temperature_(temperature),
+      decision_threshold_(decision_threshold),
+      shard_index_(shard_index) {
+  if (detector_.config().input_side != keep) {
+    throw std::invalid_argument(
+        "BatchWorker: detector input_side must equal feature_keep");
+  }
+}
+
+void BatchWorker::execute(std::deque<Request>& batch, ShardMetrics& m) {
+  HSD_SPAN("serve/batch");
+  const auto batch_start = Request::Clock::now();
+
+  // Expire requests whose deadline passed while queued. They are answered
+  // here, not at submission: admission happens before the wait, and the
+  // wait is where the deadline is spent.
+  std::vector<Request*> live;
+  live.reserve(batch.size());
+  for (Request& req : batch) {
+    if (req.has_deadline && batch_start >= req.deadline) {
+      m.deadline_exceeded.add();
+      Response r;
+      r.status = Status::kDeadlineExceeded;
+      r.shard = shard_index_;
+      finish_request(req, r, m);
+    } else {
+      live.push_back(&req);
+    }
+  }
+  const std::size_t n = live.size();
+  if (n == 0) return;
+
+  // Stage 1 — rasterize + content-hash, fanned out across the pool (each
+  // request touches only its own slot, so this is bit-stable at any thread
+  // count). Requests the fleet router already rasterized to route carry
+  // their bitmap and hash along; rasterization is pure, so the prehashed
+  // and recomputed paths are bit-identical.
+  std::vector<std::vector<float>> bitmaps(n);
+  std::vector<std::uint64_t> hashes(n);
+  std::vector<char> hit(n, 0);
+  {
+    HSD_SPAN("serve/features");
+    runtime::parallel_for(0, n, 1, [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) {
+        if (live[i]->prehashed) {
+          bitmaps[i] = std::move(live[i]->bitmap);
+          hashes[i] = live[i]->content_hash;
+        } else {
+          bitmaps[i] = extractor_.rasterizer().rasterize(live[i]->clip);
+          hashes[i] = common::content_hash(bitmaps[i]);
+        }
+      }
+    });
+
+    // Stage 2 — cache consultation in request order (the LRU must see a
+    // deterministic access sequence). Hit rows are copied out immediately so
+    // later inserts can never invalidate them; each distinct uncached hash
+    // becomes one DCT job regardless of how often it repeats in the batch.
+    std::vector<std::vector<float>> rows(n);
+    std::vector<std::size_t> misses;
+    std::map<std::uint64_t, std::size_t> first_miss;  // hash -> request index
+    std::uint64_t hits = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (const std::vector<float>* c = cache_.find(hashes[i])) {
+        rows[i] = *c;
+        hit[i] = 1;
+        ++hits;
+      } else if (first_miss.emplace(hashes[i], i).second) {
+        misses.push_back(i);
+      }
+    }
+    m.cache_hits.add(hits);
+    m.cache_misses.add(misses.size());
+
+    runtime::parallel_for(0, misses.size(), 1,
+                          [&](std::size_t lo, std::size_t hi) {
+                            for (std::size_t k = lo; k < hi; ++k) {
+                              const std::size_t i = misses[k];
+                              rows[i] = extractor_.extract_bitmap(bitmaps[i]);
+                            }
+                          });
+    for (std::size_t i = 0; i < n; ++i) {
+      if (rows[i].empty()) rows[i] = rows[first_miss.at(hashes[i])];
+    }
+    for (const std::size_t i : misses) {
+      cache_.insert(hashes[i], rows[i]);
+    }
+
+    const std::size_t row = extractor_.dimension();
+    const std::size_t keep = extractor_.keep();
+    const tensor::Shape shape{n, 1, keep, keep};
+    if (input_.shape() != shape) input_ = tensor::Tensor(shape);
+    for (std::size_t i = 0; i < n; ++i) {
+      std::copy(rows[i].begin(), rows[i].end(), input_.data() + i * row);
+    }
+  }
+
+  // Stage 3 — one batched forward pass + calibration. Each output row is a
+  // function of its input row alone, so batching never perturbs bits.
+  std::vector<std::vector<double>> probs;
+  {
+    HSD_SPAN("serve/forward");
+    probs = detector_.probabilities(input_, temperature_);
+  }
+
+  m.batches.add();
+  m.batch_fill.observe(static_cast<double>(n));
+  m.batch_seconds.observe(seconds_between(batch_start, Request::Clock::now()));
+  m.completed.add(n);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    Response r;
+    r.status = Status::kOk;
+    r.probability = probs[i][1];
+    r.hotspot = r.probability >= decision_threshold_;
+    r.cache_hit = hit[i] != 0;
+    r.content_hash = hashes[i];
+    r.shard = shard_index_;
+    r.batch_size = n;
+    finish_request(*live[i], r, m);
+  }
+}
+
+}  // namespace hsd::serve

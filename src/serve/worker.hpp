@@ -1,0 +1,57 @@
+#pragma once
+// The worker layer of the serving stack: executes one micro-batch of
+// requests against one detector replica — rasterize (unless the router
+// prehashed), consult the per-shard LRU feature cache, DCT the misses, run
+// one batched CNN forward, calibrate, and answer every request.
+//
+// A BatchWorker has no queue and no threads of its own; exactly one
+// execution context (the shard's collector thread, or a pump() caller in
+// manual mode) calls execute() at a time, which is what keeps cache access
+// order deterministic. The split from the shard's queueing logic means a
+// future multi-process serving fleet can move this class behind an RPC
+// boundary without touching admission or batching code.
+
+#include <chrono>
+#include <cstddef>
+#include <deque>
+
+#include "core/detector.hpp"
+#include "data/features.hpp"
+#include "serve/feature_cache.hpp"
+#include "serve/request.hpp"
+#include "serve/serve_metrics.hpp"
+#include "tensor/tensor.hpp"
+
+namespace hsd::serve {
+
+/// Answers `req` with `response` (stamping the final latency) and counts
+/// it in the shard's latency histogram.
+void finish_request(Request& req, Response response, ShardMetrics& metrics);
+
+class BatchWorker {
+ public:
+  /// `grid`/`keep` define the feature pipeline; `keep` must equal the
+  /// detector's input_side (validated by the owning service).
+  BatchWorker(std::size_t grid, std::size_t keep, std::size_t cache_capacity,
+              double temperature, double decision_threshold,
+              std::uint32_t shard_index, core::HotspotDetector detector);
+
+  /// Executes one micro-batch: sweeps expired deadlines, then computes and
+  /// answers every live request. Touches model and cache state, so callers
+  /// must serialize execute() invocations.
+  void execute(std::deque<Request>& batch, ShardMetrics& metrics);
+
+  const data::FeatureExtractor& extractor() const { return extractor_; }
+  std::size_t cache_size() const { return cache_.size(); }
+
+ private:
+  core::HotspotDetector detector_;
+  data::FeatureExtractor extractor_;
+  FeatureCache cache_;
+  double temperature_;
+  double decision_threshold_;
+  std::uint32_t shard_index_;
+  tensor::Tensor input_;  ///< batch staging, reused across batches
+};
+
+}  // namespace hsd::serve

@@ -1,0 +1,9 @@
+#include <string>
+#include <unordered_set>
+
+// Aggregation output assembled from unordered iteration: rollup order flaps.
+std::string join(const std::unordered_set<std::string>& names) {
+  std::string out;
+  for (const auto& n : names) out += n;
+  return out;
+}

@@ -1,0 +1,9 @@
+#include <cstddef>
+#include <unordered_map>
+
+// Iterating this map decides shard placement: order must be deterministic.
+std::size_t pick(const std::unordered_map<int, int>& routes) {
+  std::size_t n = 0;
+  for (const auto& kv : routes) n += static_cast<std::size_t>(kv.second);
+  return n;
+}

@@ -1,0 +1,8 @@
+#include <cstddef>
+#include <map>
+
+std::size_t pick(const std::map<int, int>& routes) {
+  std::size_t n = 0;
+  for (const auto& kv : routes) n += static_cast<std::size_t>(kv.second);
+  return n;
+}

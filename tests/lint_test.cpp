@@ -56,6 +56,16 @@ TEST(LintRules, UnorderedContainersInCore) {
   EXPECT_TRUE(lint_fixture_file("src/core/unordered_clean.cpp").empty());
 }
 
+TEST(LintRules, UnorderedContainersInRoutingAndAggregation) {
+  EXPECT_EQ(count_rule(lint_fixture_file("src/serve/route_unordered_bad.cpp"),
+                       "no-unordered-route-agg"),
+            2u);
+  EXPECT_EQ(count_rule(lint_fixture_file("src/obs/agg_unordered_bad.cpp"),
+                       "no-unordered-route-agg"),
+            2u);
+  EXPECT_TRUE(lint_fixture_file("src/serve/route_unordered_clean.cpp").empty());
+}
+
 TEST(LintRules, RawThreadsOutsideRuntime) {
   EXPECT_EQ(count_rule(lint_fixture_file("src/app/thread_bad.cpp"), "no-raw-thread"), 2u);
   EXPECT_TRUE(lint_fixture_file("src/runtime/thread_ok.cpp").empty());
@@ -159,6 +169,7 @@ TEST(LintSweep, FixtureTreeFindsEveryBadFile) {
       "src/app/using_namespace_bad.hpp", "src/app/pragma_bad.hpp",
       "src/app/stdio_bad.cpp",   "src/app/assert_bad.cpp",
       "src/app/punning_bad.cpp", "src/app/thread_member_bad.cpp",
+      "src/serve/route_unordered_bad.cpp", "src/obs/agg_unordered_bad.cpp",
   };
   for (const auto& f : expect_bad) {
     EXPECT_GT(per_file.count(f), 0u) << "expected a violation in " << f;
@@ -168,7 +179,7 @@ TEST(LintSweep, FixtureTreeFindsEveryBadFile) {
     EXPECT_NE(std::find(expect_bad.begin(), expect_bad.end(), file), expect_bad.end())
         << file << " unexpectedly has " << count << " violation(s)";
   }
-  EXPECT_EQ(diags.size(), 19u);
+  EXPECT_EQ(diags.size(), 23u);
 }
 
 TEST(LintSweep, RepositoryIsClean) {

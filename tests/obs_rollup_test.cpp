@@ -1,0 +1,140 @@
+// Pins the fleet metrics rollup: "<head>/shard<N>/<tail>" parsing and the
+// aggregation of per-shard counters/gauges/histograms into
+// "<head>/fleet/<tail>" totals.
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/rollup.hpp"
+
+namespace hsd::obs {
+namespace {
+
+class RollupEnv : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    enable_metrics();
+    reset_metrics();
+  }
+  void TearDown() override {
+    disable_metrics();
+    reset_metrics();
+  }
+};
+
+// The registry is process-global and keeps names registered by earlier
+// tests (zero-valued after reset), so assertions look entries up by name
+// instead of pinning collection sizes.
+std::optional<std::uint64_t> find_counter(const MetricsSnapshot& snap,
+                                          const std::string& name) {
+  for (const auto& [n, v] : snap.counters) {
+    if (n == name) return v;
+  }
+  return std::nullopt;
+}
+
+std::optional<double> find_gauge(const MetricsSnapshot& snap,
+                                 const std::string& name) {
+  for (const auto& [n, v] : snap.gauges) {
+    if (n == name) return v;
+  }
+  return std::nullopt;
+}
+
+const HistogramSnapshot* find_histogram(const MetricsSnapshot& snap,
+                                        const std::string& name) {
+  for (const auto& h : snap.histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+TEST(ParseShardMetric, AcceptsShardComponent) {
+  const auto p = parse_shard_metric("serve/shard3/cache_hits");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->head, "serve");
+  EXPECT_EQ(p->shard, 3u);
+  EXPECT_EQ(p->tail, "cache_hits");
+}
+
+TEST(ParseShardMetric, KeepsMultiComponentTail) {
+  const auto p = parse_shard_metric("x/shard12/a/b");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->head, "x");
+  EXPECT_EQ(p->shard, 12u);
+  EXPECT_EQ(p->tail, "a/b");
+}
+
+TEST(ParseShardMetric, RejectsNonShardNames) {
+  EXPECT_FALSE(parse_shard_metric("serve/router/shed").has_value());
+  EXPECT_FALSE(parse_shard_metric("serve/requests").has_value());
+  EXPECT_FALSE(parse_shard_metric("a/shard/x").has_value());    // no digits
+  EXPECT_FALSE(parse_shard_metric("a/shardx3/y").has_value());  // not shard<N>
+  EXPECT_FALSE(parse_shard_metric("serve/shard7").has_value()); // no tail
+  EXPECT_FALSE(parse_shard_metric("").has_value());
+}
+
+TEST_F(RollupEnv, CountersSumAcrossShards) {
+  counter("serve/shard0/completed").add(3);
+  counter("serve/shard1/completed").add(5);
+  counter("serve/shard2/completed").add(7);
+  counter("serve/router/requests").add(100);  // no shard component: ignored
+
+  const MetricsSnapshot fleet = rollup_shards(metrics_snapshot());
+  const auto total = find_counter(fleet, "serve/fleet/completed");
+  ASSERT_TRUE(total.has_value());
+  EXPECT_EQ(*total, 15u);
+  // The router counter has no shard component, so no fleet entry appears.
+  EXPECT_FALSE(find_counter(fleet, "serve/fleet/requests").has_value());
+}
+
+TEST_F(RollupEnv, GaugesSumAcrossShards) {
+  gauge("serve/shard0/queue_depth").set(2.0);
+  gauge("serve/shard1/queue_depth").set(4.5);
+
+  const MetricsSnapshot fleet = rollup_shards(metrics_snapshot());
+  const auto total = find_gauge(fleet, "serve/fleet/queue_depth");
+  ASSERT_TRUE(total.has_value());
+  EXPECT_DOUBLE_EQ(*total, 6.5);
+}
+
+TEST_F(RollupEnv, HistogramsMergeCountSumAndBuckets) {
+  histogram("serve/shard0/latency_seconds").observe(0.001);
+  histogram("serve/shard0/latency_seconds").observe(0.002);
+  histogram("serve/shard1/latency_seconds").observe(1.0);
+
+  const MetricsSnapshot fleet = rollup_shards(metrics_snapshot());
+  const HistogramSnapshot* merged =
+      find_histogram(fleet, "serve/fleet/latency_seconds");
+  ASSERT_NE(merged, nullptr);
+  const HistogramSnapshot& h = *merged;
+  EXPECT_EQ(h.count, 3u);
+  EXPECT_DOUBLE_EQ(h.sum, 1.003);
+
+  // Bucket-wise merge: the merged histogram holds exactly the union of the
+  // per-shard samples, so the total across buckets matches the count.
+  std::uint64_t bucket_total = 0;
+  for (const std::uint64_t b : h.buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, 3u);
+  // And the quantile estimator keeps working on the merged distribution.
+  EXPECT_GT(h.quantile(0.99), h.quantile(0.01));
+}
+
+TEST_F(RollupEnv, DistinctFamiliesStaySeparate) {
+  counter("serve/shard0/cache_hits").add(1);
+  counter("serve/shard1/cache_misses").add(2);
+  counter("litho/shard0/cache_hits").add(4);
+
+  const MetricsSnapshot fleet = rollup_shards(metrics_snapshot());
+  // Same tail under different heads (and different tails under one head)
+  // stay separate families.
+  EXPECT_EQ(find_counter(fleet, "litho/fleet/cache_hits"), 4u);
+  EXPECT_EQ(find_counter(fleet, "serve/fleet/cache_hits"), 1u);
+  EXPECT_EQ(find_counter(fleet, "serve/fleet/cache_misses"), 2u);
+}
+
+}  // namespace
+}  // namespace hsd::obs

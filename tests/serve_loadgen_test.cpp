@@ -1,0 +1,131 @@
+// Pins the load-model primitives behind bench_serve's fleet sweep: zipfian
+// clip popularity, the Poisson-plus-burst arrival schedule, and the
+// schedule fingerprint — all bit-reproducible functions of their seed,
+// which is what makes the checked-in BENCH_serve.json comparable across
+// runs and machines.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <vector>
+
+#include "serve/loadgen.hpp"
+#include "stats/rng.hpp"
+
+namespace hsd::serve {
+namespace {
+
+TEST(ZipfSampler, RejectsDegenerateArguments) {
+  EXPECT_THROW(ZipfSampler(0, 1.0), std::invalid_argument);
+  EXPECT_THROW(ZipfSampler(8, -0.5), std::invalid_argument);
+}
+
+TEST(ZipfSampler, SameSeedSameSequence) {
+  const ZipfSampler zipf(128, 1.1);
+  stats::Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(zipf.sample(a), zipf.sample(b));
+  }
+}
+
+TEST(ZipfSampler, HeadDominatesTail) {
+  const std::size_t n = 256;
+  const ZipfSampler zipf(n, 1.2);
+  stats::Rng rng(7);
+  std::map<std::size_t, std::size_t> freq;
+  const std::size_t draws = 20000;
+  for (std::size_t i = 0; i < draws; ++i) ++freq[zipf.sample(rng)];
+  // Rank 0 is the most popular item and far outweighs the deep tail.
+  std::size_t max_freq = 0;
+  for (const auto& [item, count] : freq) {
+    EXPECT_LT(item, n);
+    max_freq = std::max(max_freq, count);
+  }
+  EXPECT_EQ(max_freq, freq[0]);
+  EXPECT_GT(freq[0], draws / 20);        // >= 5% on the head
+  EXPECT_LT(freq[n - 1], freq[0] / 10);  // tail is at least 10x colder
+}
+
+TEST(ZipfSampler, ZeroExponentIsUniform) {
+  const std::size_t n = 16;
+  const ZipfSampler zipf(n, 0.0);
+  stats::Rng rng(9);
+  std::vector<std::size_t> freq(n, 0);
+  const std::size_t draws = 32000;
+  for (std::size_t i = 0; i < draws; ++i) ++freq[zipf.sample(rng)];
+  for (std::size_t k = 0; k < n; ++k) {
+    EXPECT_GT(freq[k], draws / n / 2) << "item " << k;
+    EXPECT_LT(freq[k], draws / n * 2) << "item " << k;
+  }
+}
+
+TEST(ArrivalSchedule, ExactCountSortedAndSeedDeterministic) {
+  ArrivalSpec spec;
+  spec.rate_qps = 500.0;
+  const std::vector<double> a = arrival_schedule(1000, spec, 3);
+  const std::vector<double> b = arrival_schedule(1000, spec, 3);
+  const std::vector<double> c = arrival_schedule(1000, spec, 4);
+  ASSERT_EQ(a.size(), 1000u);
+  EXPECT_TRUE(std::is_sorted(a.begin(), a.end()));
+  EXPECT_EQ(a, b);  // bit-identical, same seed
+  EXPECT_NE(a, c);  // different seed, different schedule
+  EXPECT_GE(a.front(), 0.0);
+}
+
+TEST(ArrivalSchedule, RejectsNonPositiveRate) {
+  ArrivalSpec spec;
+  spec.rate_qps = 0.0;
+  EXPECT_THROW(arrival_schedule(10, spec, 1), std::invalid_argument);
+}
+
+TEST(ArrivalSchedule, BurstsInjectSimultaneousArrivals) {
+  ArrivalSpec spec;
+  spec.rate_qps = 100.0;
+  spec.burst_every_seconds = 0.01;
+  spec.burst_size = 5;
+  const std::vector<double> arrivals = arrival_schedule(400, spec, 11);
+  ASSERT_EQ(arrivals.size(), 400u);
+
+  // Every burst tick contributes burst_size arrivals at the same instant;
+  // count the largest run of equal timestamps.
+  std::size_t best_run = 1, run = 1;
+  for (std::size_t i = 1; i < arrivals.size(); ++i) {
+    run = arrivals[i] == arrivals[i - 1] ? run + 1 : 1;
+    best_run = std::max(best_run, run);
+  }
+  EXPECT_GE(best_run, 5u);
+
+  // Poisson arrivals are continuous, so without bursts ties are
+  // (probability-zero) absent.
+  ArrivalSpec no_burst;
+  no_burst.rate_qps = 100.0;
+  const std::vector<double> plain = arrival_schedule(400, no_burst, 11);
+  for (std::size_t i = 1; i < plain.size(); ++i) {
+    EXPECT_LT(plain[i - 1], plain[i]);
+  }
+}
+
+TEST(ScheduleFingerprint, SensitiveToEveryBit) {
+  ArrivalSpec spec;
+  spec.rate_qps = 200.0;
+  std::vector<double> arrivals = arrival_schedule(100, spec, 5);
+  std::vector<std::size_t> ids(100);
+  for (std::size_t i = 0; i < ids.size(); ++i) ids[i] = i % 7;
+
+  const std::uint64_t base = schedule_fingerprint(arrivals, ids);
+  EXPECT_EQ(base, schedule_fingerprint(arrivals, ids));  // pure
+
+  std::vector<std::size_t> ids2 = ids;
+  ids2[50] ^= 1;
+  EXPECT_NE(base, schedule_fingerprint(arrivals, ids2));
+
+  std::vector<double> arrivals2 = arrivals;
+  arrivals2[50] += 1e-12;
+  EXPECT_NE(base, schedule_fingerprint(arrivals2, ids));
+}
+
+}  // namespace
+}  // namespace hsd::serve

@@ -1,0 +1,115 @@
+// Pins the consistent-hash ring's determinism contract: placement is a
+// pure, platform-stable function of (shards, virtual_nodes); load is
+// balanced; and growing the fleet N -> N+1 moves only the keys captured by
+// the new shard (~K/(N+1) of K keys), never shuffling keys between
+// surviving shards. The golden values pin the exact byte encoding + mix —
+// if they move, every deployed fleet's cache placement moves with them.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "serve/hash_ring.hpp"
+
+namespace hsd::serve {
+namespace {
+
+/// xorshift64 stream of well-spread test keys (any fixed stream works; the
+/// ring must balance uniform keys).
+std::vector<std::uint64_t> test_keys(std::size_t count) {
+  std::vector<std::uint64_t> keys;
+  keys.reserve(count);
+  std::uint64_t x = 88172645463325252ULL;
+  for (std::size_t i = 0; i < count; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    keys.push_back(x);
+  }
+  return keys;
+}
+
+TEST(HashRing, RejectsDegenerateConfiguration) {
+  EXPECT_THROW(HashRing(0, 64), std::invalid_argument);
+  EXPECT_THROW(HashRing(4, 0), std::invalid_argument);
+}
+
+TEST(HashRing, PlacementIsIdenticalAcrossInstances) {
+  const HashRing a(8, 64);
+  const HashRing b(8, 64);
+  ASSERT_EQ(a.points().size(), b.points().size());
+  EXPECT_EQ(a.points(), b.points());
+  for (const std::uint64_t key : test_keys(1000)) {
+    EXPECT_EQ(a.shard_for(key), b.shard_for(key));
+  }
+}
+
+TEST(HashRing, GoldenRingPointsArePlatformStable) {
+  // Byte-order-explicit encoding + SplitMix64 finalizer: these exact values
+  // must reproduce on any platform, any endianness, any compiler.
+  EXPECT_EQ(HashRing::ring_point(0, 0), 0x813f0174a2367c13ULL);
+  EXPECT_EQ(HashRing::ring_point(1, 0), 0x5ca6bbcbb1e85355ULL);
+  EXPECT_EQ(HashRing::ring_point(3, 17), 0xc2e5ba411206c466ULL);
+}
+
+TEST(HashRing, GoldenPlacementsArePlatformStable) {
+  const HashRing ring(4, 64);
+  EXPECT_EQ(ring.shard_for(0x0ULL), 3u);
+  EXPECT_EQ(ring.shard_for(0x1ULL), 3u);
+  EXPECT_EQ(ring.shard_for(0xdeadbeefULL), 3u);
+  EXPECT_EQ(ring.shard_for(0x123456789abcdef0ULL), 2u);
+  EXPECT_EQ(ring.shard_for(0xffffffffffffffffULL), 3u);
+}
+
+TEST(HashRing, PointsAreSortedAndSized) {
+  const HashRing ring(6, 32);
+  const auto& pts = ring.points();
+  ASSERT_EQ(pts.size(), 6u * 32u);
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    EXPECT_LT(pts[i - 1], pts[i]);  // strict: no duplicate (point, shard)
+  }
+}
+
+TEST(HashRing, UniformKeysBalanceAcrossShards) {
+  const std::size_t shards = 4;
+  const HashRing ring(shards, 64);
+  const std::vector<std::uint64_t> keys = test_keys(100000);
+  std::vector<std::size_t> load(shards, 0);
+  for (const std::uint64_t key : keys) ++load[ring.shard_for(key)];
+  const double mean = static_cast<double>(keys.size()) / shards;
+  for (std::size_t s = 0; s < shards; ++s) {
+    EXPECT_GT(static_cast<double>(load[s]), 0.5 * mean) << "shard " << s;
+    EXPECT_LT(static_cast<double>(load[s]), 1.6 * mean) << "shard " << s;
+  }
+}
+
+TEST(HashRing, GrowingTheFleetMovesOnlyKeysOwnedByTheNewShard) {
+  const std::vector<std::uint64_t> keys = test_keys(50000);
+  for (const std::size_t n : {std::size_t{1}, std::size_t{2}, std::size_t{4},
+                              std::size_t{7}}) {
+    const HashRing before(n, 64);
+    const HashRing after(n + 1, 64);
+    std::size_t moved = 0;
+    for (const std::uint64_t key : keys) {
+      const std::size_t old_shard = before.shard_for(key);
+      const std::size_t new_shard = after.shard_for(key);
+      if (old_shard != new_shard) {
+        ++moved;
+        // Consistent hashing: a key only ever moves TO the added shard.
+        EXPECT_EQ(new_shard, n) << "key moved between surviving shards";
+      }
+    }
+    // Expectation is K/(n+1); allow generous slack for vnode placement
+    // variance while still catching a full reshuffle (which would move
+    // ~K*(1 - 1/(n+1)) keys).
+    const double expected =
+        static_cast<double>(keys.size()) / static_cast<double>(n + 1);
+    EXPECT_GT(static_cast<double>(moved), 0.35 * expected) << "n=" << n;
+    EXPECT_LT(static_cast<double>(moved), 2.0 * expected) << "n=" << n;
+  }
+}
+
+}  // namespace
+}  // namespace hsd::serve

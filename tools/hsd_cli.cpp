@@ -15,12 +15,16 @@
 //       Run a pattern-matching baseline.
 //   hsd_cli serve <benchmark|file> [--requests N] [--expired N]
 //               [--max-batch K] [--max-delay-us U] [--max-queue Q]
-//               [--cache N] [--train-epochs E] [--checkpoint-dir DIR]
+//               [--cache N] [--shards S] [--train-epochs E]
+//               [--checkpoint-dir DIR]
 //       Stand up the dynamic-batching inference service, replay the
 //       benchmark's clips through it, and print a JSON summary (status
-//       counts, cache hits, throughput, latency percentiles). With
-//       --checkpoint-dir the model and temperature come from the latest AL
-//       checkpoint; otherwise a model is quick-trained on the benchmark.
+//       counts, cache hits, throughput, latency percentiles). --shards S
+//       serves through a content-routed fleet of S shards instead of one
+//       standalone service (adds shed counts and per-shard ok counts).
+//       With --checkpoint-dir the model and temperature come from the
+//       latest AL checkpoint; otherwise a model is quick-trained on the
+//       benchmark.
 //
 //   <benchmark> is one of: iccad12 iccad16-1 iccad16-2 iccad16-3 iccad16-4;
 //   anything else is treated as a saved-bundle path.
@@ -45,6 +49,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "pm/pattern_matching.hpp"
+#include "serve/fleet.hpp"
 #include "serve/service.hpp"
 
 namespace {
@@ -94,7 +99,8 @@ int usage() {
                "  pm    [--mode exact|a95|a90|e2]\n"
                "  serve [--requests N] [--expired N] [--max-batch K]\n"
                "        [--max-delay-us U] [--max-queue Q] [--cache N]\n"
-               "        [--train-epochs E] [--seed N] [--checkpoint-dir DIR]\n"
+               "        [--shards S] [--train-epochs E] [--seed N]\n"
+               "        [--checkpoint-dir DIR]\n"
                "observability (any command; also via HSD_TRACE/HSD_METRICS env):\n"
                "  --trace FILE    Chrome trace_event JSON (chrome://tracing, Perfetto)\n"
                "  --metrics FILE  metrics registry snapshot JSON\n");
@@ -303,6 +309,7 @@ int cmd_serve(const Args& args) {
   dcfg.input_side = bench.spec.feature_keep;
   const std::uint64_t seed = args.get("seed") ? std::stoull(*args.get("seed")) : 7;
   core::HotspotDetector detector(dcfg, stats::Rng(seed));
+  core::DetectorConfig dcfg_used = dcfg;  ///< config the final model carries
 
   if (const auto dir = args.get("checkpoint-dir")) {
     const auto latest = ckpt::find_latest(*dir);
@@ -325,6 +332,7 @@ int cmd_serve(const Args& args) {
     const tensor::Tensor features = fx.extract_benchmark(bench);
     core::DetectorConfig tcfg = dcfg;
     tcfg.initial_epochs = epochs;
+    dcfg_used = tcfg;
     detector = core::HotspotDetector(tcfg, stats::Rng(seed));
     detector.train_initial(features, bench.labels);
     const core::CalibrationResult cal =
@@ -336,55 +344,97 @@ int cmd_serve(const Args& args) {
       args.get("requests") ? std::stoul(*args.get("requests")) : bench.size();
   const std::size_t expired =
       args.get("expired") ? std::stoul(*args.get("expired")) : 0;
+  const std::size_t shards =
+      args.get("shards") ? std::stoul(*args.get("shards")) : 0;
 
-  serve::InferenceService service(scfg, std::move(detector));
-  const auto t0 = std::chrono::steady_clock::now();
-  std::vector<std::future<serve::Response>> futures;
-  futures.reserve(requests);
-  for (std::size_t i = 0; i < requests; ++i) {
-    const layout::Clip& clip = bench.clips[i % bench.size()];
-    if (i < expired) {
-      // A non-positive budget is already expired at submission; the next
-      // batch answers it kDeadlineExceeded (deterministic smoke-test path).
-      futures.push_back(service.submit(clip, std::chrono::microseconds(-1)));
-    } else {
-      futures.push_back(service.submit(clip));
+  // Drives `svc` (standalone InferenceService or FleetRouter — identical
+  // submit surface) with the request stream and prints the result JSON.
+  std::vector<std::size_t> per_shard(shards > 0 ? shards : 1, 0);
+  const auto drive = [&](auto& svc) {
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<std::future<serve::Response>> futures;
+    futures.reserve(requests);
+    for (std::size_t i = 0; i < requests; ++i) {
+      const layout::Clip& clip = bench.clips[i % bench.size()];
+      if (i < expired) {
+        // A non-positive budget is already expired at submission; the next
+        // batch answers it kDeadlineExceeded (deterministic smoke-test path).
+        futures.push_back(svc.submit(clip, std::chrono::microseconds(-1)));
+      } else {
+        futures.push_back(svc.submit(clip));
+      }
     }
-  }
 
-  std::size_t ok = 0, queue_full = 0, after_shutdown = 0, deadline = 0;
-  std::size_t hotspots = 0, cache_hits = 0;
-  std::vector<double> latencies;
-  latencies.reserve(requests);
-  for (auto& f : futures) {
-    const serve::Response r = f.get();
-    switch (r.status) {
-      case serve::Status::kOk:
-        ++ok;
-        hotspots += r.hotspot ? 1 : 0;
-        cache_hits += r.cache_hit ? 1 : 0;
-        latencies.push_back(r.latency_seconds);
-        break;
-      case serve::Status::kRejectedQueueFull: ++queue_full; break;
-      case serve::Status::kRejectedShutdown: ++after_shutdown; break;
-      case serve::Status::kDeadlineExceeded: ++deadline; break;
+    std::size_t ok = 0, queue_full = 0, after_shutdown = 0, deadline = 0;
+    std::size_t shed = 0, hotspots = 0, cache_hits = 0;
+    std::vector<double> latencies;
+    latencies.reserve(requests);
+    for (auto& f : futures) {
+      const serve::Response r = f.get();
+      switch (r.status) {
+        case serve::Status::kOk:
+          ++ok;
+          hotspots += r.hotspot ? 1 : 0;
+          cache_hits += r.cache_hit ? 1 : 0;
+          latencies.push_back(r.latency_seconds);
+          if (r.shard < per_shard.size()) ++per_shard[r.shard];
+          break;
+        case serve::Status::kRejectedQueueFull: ++queue_full; break;
+        case serve::Status::kRejectedShutdown: ++after_shutdown; break;
+        case serve::Status::kDeadlineExceeded: ++deadline; break;
+        case serve::Status::kShedFleetOverloaded: ++shed; break;
+      }
     }
-  }
-  service.shutdown();
-  const double wall =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    svc.shutdown();
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
 
-  std::sort(latencies.begin(), latencies.end());
-  std::printf("{\"benchmark\": \"%s\", \"requests\": %zu, \"ok\": %zu,\n"
-              " \"rejected_queue_full\": %zu, \"rejected_shutdown\": %zu,\n"
-              " \"deadline_exceeded\": %zu, \"hotspots\": %zu,\n"
-              " \"cache_hits\": %zu, \"temperature\": %.4f, \"qps\": %.1f,\n"
-              " \"p50_ms\": %.3f, \"p95_ms\": %.3f, \"p99_ms\": %.3f}\n",
-              bench.spec.name.c_str(), requests, ok, queue_full, after_shutdown,
-              deadline, hotspots, cache_hits, scfg.temperature,
-              wall > 0 ? static_cast<double>(ok) / wall : 0.0,
-              1e3 * percentile(latencies, 0.50), 1e3 * percentile(latencies, 0.95),
-              1e3 * percentile(latencies, 0.99));
+    std::sort(latencies.begin(), latencies.end());
+    std::printf("{\"benchmark\": \"%s\", \"requests\": %zu, \"ok\": %zu,\n"
+                " \"rejected_queue_full\": %zu, \"rejected_shutdown\": %zu,\n"
+                " \"deadline_exceeded\": %zu, \"fleet_overloaded\": %zu,\n"
+                " \"hotspots\": %zu, \"cache_hits\": %zu,\n"
+                " \"temperature\": %.4f, \"qps\": %.1f,\n"
+                " \"p50_ms\": %.3f, \"p95_ms\": %.3f, \"p99_ms\": %.3f,\n"
+                " \"shards\": %zu",
+                bench.spec.name.c_str(), requests, ok, queue_full,
+                after_shutdown, deadline, shed, hotspots, cache_hits,
+                scfg.temperature, wall > 0 ? static_cast<double>(ok) / wall : 0.0,
+                1e3 * percentile(latencies, 0.50),
+                1e3 * percentile(latencies, 0.95),
+                1e3 * percentile(latencies, 0.99), shards);
+    if (shards > 0) {
+      std::printf(",\n \"per_shard_ok\": [");
+      for (std::size_t s = 0; s < per_shard.size(); ++s) {
+        std::printf("%s%zu", s > 0 ? ", " : "", per_shard[s]);
+      }
+      std::printf("]");
+    }
+    std::printf("}\n");
+  };
+
+  if (shards > 0) {
+    // Replicate the trained model bit-identically onto every shard: the
+    // factory reloads one serialized state blob, so it is pure by
+    // construction (the fleet determinism contract).
+    std::ostringstream blob;
+    detector.save_state(blob);
+    const std::string state = blob.str();
+    serve::FleetConfig fcfg;
+    fcfg.shards = shards;
+    fcfg.shard = scfg;
+    serve::FleetRouter fleet(fcfg, [&] {
+      core::HotspotDetector replica(dcfg_used, stats::Rng(seed));
+      std::istringstream is(state);
+      replica.load_state(is);
+      return replica;
+    });
+    drive(fleet);
+  } else {
+    serve::InferenceService service(scfg, std::move(detector));
+    drive(service);
+  }
   return 0;
 }
 

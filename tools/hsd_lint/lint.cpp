@@ -200,6 +200,9 @@ const std::vector<RuleInfo> kRules = {
     {"no-unordered-in-core", "determinism",
      "bans std::unordered_map/set in src/core, src/gmm, src/data (iteration "
      "order is nondeterministic)"},
+    {"no-unordered-route-agg", "determinism",
+     "bans std::unordered_map/set in src/serve, src/obs: iteration feeding "
+     "routing decisions or metric aggregation output must be ordered"},
     {"no-raw-thread", "concurrency",
      "bans raw std::thread/std::async/OpenMP outside src/runtime; use "
      "runtime::parallel_for / TaskGroup"},
@@ -224,6 +227,7 @@ struct Scope {
   bool in_src = false;
   bool clock_exempt = false;      // src/obs, src/runtime, src/serve, bench
   bool unordered_scoped = false;  // src/core, src/gmm, src/data
+  bool route_agg_scoped = false;  // src/serve, src/obs
   bool thread_exempt = false;     // src/runtime
   bool is_header = false;
 };
@@ -235,6 +239,7 @@ Scope scope_of(const std::string& rel) {
                    starts_with(rel, "src/serve/") || starts_with(rel, "bench/");
   s.unordered_scoped = starts_with(rel, "src/core/") || starts_with(rel, "src/gmm/") ||
                        starts_with(rel, "src/data/");
+  s.route_agg_scoped = starts_with(rel, "src/serve/") || starts_with(rel, "src/obs/");
   s.thread_exempt = starts_with(rel, "src/runtime/");
   s.is_header = has_extension(rel, {".hpp", ".h", ".hh"});
   return s;
@@ -319,6 +324,14 @@ void check_line(const std::string& rel, const Scope& sc, const std::string& code
     emit("no-unordered-in-core",
          "unordered container in sampling-critical module; iteration order is "
          "nondeterministic — use std::map/std::set or sort before iterating");
+  }
+
+  if (sc.route_agg_scoped &&
+      (contains_word(code, "unordered_map") || contains_word(code, "unordered_set"))) {
+    emit("no-unordered-route-agg",
+         "unordered container in a routing/aggregation module; iterating it "
+         "into shard placement or a metrics rollup makes the output order "
+         "nondeterministic — use std::map/std::set or sort first");
   }
 
   // --- concurrency -------------------------------------------------------
