@@ -34,6 +34,42 @@ std::size_t repeats() {
   return r < 1.0 ? 1 : static_cast<std::size_t>(r);
 }
 
+std::size_t bench_rounds() {
+  const double r = env_double("HSD_BENCH_ROUNDS", 7.0);
+  return r < 1.0 ? 1 : static_cast<std::size_t>(r);
+}
+
+std::size_t bench_warmup() {
+  const double w = env_double("HSD_BENCH_WARMUP", 2.0);
+  return w < 0.0 ? 0 : static_cast<std::size_t>(w);
+}
+
+TimingEstimate measure(const std::function<void()>& fn, std::size_t warmup,
+                       std::size_t rounds) {
+  for (std::size_t i = 0; i < warmup; ++i) fn();
+  TimingEstimate est;
+  est.rounds_seconds.reserve(rounds);
+  for (std::size_t i = 0; i < rounds; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const double dt =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    est.rounds_seconds.push_back(dt);
+    est.mean_seconds += dt;
+  }
+  if (rounds > 0) {
+    est.min_seconds =
+        *std::min_element(est.rounds_seconds.begin(), est.rounds_seconds.end());
+    est.mean_seconds /= static_cast<double>(rounds);
+  }
+  return est;
+}
+
+TimingEstimate measure(const std::function<void()>& fn) {
+  return measure(fn, bench_warmup(), bench_rounds());
+}
+
 void apply_obs_flags(int argc, char** argv) {
   for (int i = 1; i + 1 < argc; ++i) {
     if (std::strcmp(argv[i], "--trace") == 0) {

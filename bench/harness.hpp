@@ -9,7 +9,10 @@
 //                      (default 0.05 — Table I ratios are preserved; see
 //                      EXPERIMENTS.md for the effect on absolute numbers)
 //   HSD_REPEATS        repetition count for averaged experiments (default 5)
+//   HSD_BENCH_ROUNDS   timed rounds per microbenchmark measurement (default 7)
+//   HSD_BENCH_WARMUP   warmup runs per microbenchmark measurement (default 2)
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -64,6 +67,28 @@ struct PmRunResult {
   core::PshdMetrics metrics;
 };
 PmRunResult run_pm(const BuiltBenchmark& built, const pm::PmConfig& config);
+
+/// csbench-style warmup+repeat timing estimate: the minimum round is the
+/// headline number (least-noise estimate on a busy machine), the mean and
+/// the raw rounds are kept for dispersion reporting.
+struct TimingEstimate {
+  double min_seconds = 0.0;
+  double mean_seconds = 0.0;
+  std::vector<double> rounds_seconds;
+};
+
+/// Timed rounds per measurement from HSD_BENCH_ROUNDS (default 7).
+std::size_t bench_rounds();
+
+/// Warmup runs per measurement from HSD_BENCH_WARMUP (default 2).
+std::size_t bench_warmup();
+
+/// Runs `fn` `warmup` times untimed, then `rounds` timed rounds.
+TimingEstimate measure(const std::function<void()>& fn, std::size_t warmup,
+                       std::size_t rounds);
+
+/// measure() with the HSD_BENCH_WARMUP / HSD_BENCH_ROUNDS defaults.
+TimingEstimate measure(const std::function<void()>& fn);
 
 /// Handles the shared observability flags on a bench binary's command line:
 ///   --trace FILE    Chrome trace_event JSON of the run

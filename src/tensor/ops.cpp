@@ -1,13 +1,17 @@
 #include "tensor/ops.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <cstring>
 #include <stdexcept>
+#include <string>
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "runtime/thread_pool.hpp"
+#include "tensor/backend/backend.hpp"
+#include "tensor/backend/impl.hpp"
 
 namespace hsd::tensor {
 
@@ -22,6 +26,31 @@ std::size_t row_grain(std::size_t ops_per_row) {
   return std::max<std::size_t>(1, (kMinOpsPerBlock + ops_per_row - 1) / ops_per_row);
 }
 
+// Per-backend per-kernel dispatch counters, indexed by Backend::ordinal so
+// the hot path pays an array load instead of a registry name lookup.
+struct KernelCounters {
+  obs::Counter* gemm;
+  obs::Counter* gemm_at_b;
+  obs::Counter* gemm_a_bt;
+  obs::Counter* im2col;
+};
+
+const KernelCounters& dispatch_counters(const backend::Backend& be) {
+  static const std::array<KernelCounters, backend::kBackendSlots> all = [] {
+    std::array<KernelCounters, backend::kBackendSlots> out{};
+    const char* names[backend::kBackendSlots] = {"scalar", "blocked", "avx2"};
+    for (std::size_t i = 0; i < backend::kBackendSlots; ++i) {
+      const std::string prefix = std::string("tensor/") + names[i] + "/";
+      out[i] = {&obs::counter(prefix + "gemm"),
+                &obs::counter(prefix + "gemm_at_b"),
+                &obs::counter(prefix + "gemm_a_bt"),
+                &obs::counter(prefix + "im2col")};
+    }
+    return out;
+  }();
+  return all[backend::ordinal_of(be)];
+}
+
 }  // namespace
 
 void matmul(const float* a, const float* b, float* c, std::size_t m,
@@ -33,23 +62,15 @@ void matmul(const float* a, const float* b, float* c, std::size_t m,
   // hsd-lint: allow(no-mutable-static) — magic-static metric handle
   static obs::Counter& calls = obs::counter("tensor/matmul_calls");
   calls.add();
-  // ikj loop order keeps B and C accesses sequential; good enough for the
-  // small GEMMs the CNN needs without pulling in a BLAS. Rows of C are
-  // independent, so blocks of rows go wide; each element accumulates over
-  // p in ascending order on every path, keeping results bit-identical
-  // across thread counts.
-  runtime::parallel_for(0, m, row_grain(k * n), [=](std::size_t i0, std::size_t i1) {
-    std::memset(c + i0 * n, 0, (i1 - i0) * n * sizeof(float));
-    for (std::size_t i = i0; i < i1; ++i) {
-      for (std::size_t p = 0; p < k; ++p) {
-        const float aip = a[i * k + p];
-        if (aip == 0.0F) continue;
-        const float* brow = b + p * n;
-        float* crow = c + i * n;
-        for (std::size_t j = 0; j < n; ++j) crow[j] += aip * brow[j];
-      }
-    }
-  });
+  // Rows of C are independent, so blocks of rows go wide; every backend
+  // accumulates each element over p in ascending order, keeping results
+  // bit-identical across thread counts (see backend/backend.hpp).
+  const backend::Backend& be = backend::active();
+  dispatch_counters(be).gemm->add();
+  runtime::parallel_for(0, m, row_grain(k * n),
+                        [=, &be](std::size_t i0, std::size_t i1) {
+                          be.gemm(a, b, c, i0, i1, k, n);
+                        });
 }
 
 void matmul_at_b(const float* a, const float* b, float* c, std::size_t m,
@@ -61,21 +82,12 @@ void matmul_at_b(const float* a, const float* b, float* c, std::size_t m,
   // hsd-lint: allow(no-mutable-static) — magic-static metric handle
   static obs::Counter& calls = obs::counter("tensor/matmul_calls");
   calls.add();
-  // Blocks of C rows in parallel; p stays the outer loop within a block so
-  // each c[i][j] sees the same ascending-p accumulation as the serial path.
-  runtime::parallel_for(0, m, row_grain(k * n), [=](std::size_t i0, std::size_t i1) {
-    std::memset(c + i0 * n, 0, (i1 - i0) * n * sizeof(float));
-    for (std::size_t p = 0; p < k; ++p) {
-      const float* arow = a + p * m;
-      const float* brow = b + p * n;
-      for (std::size_t i = i0; i < i1; ++i) {
-        const float api = arow[i];
-        if (api == 0.0F) continue;
-        float* crow = c + i * n;
-        for (std::size_t j = 0; j < n; ++j) crow[j] += api * brow[j];
-      }
-    }
-  });
+  const backend::Backend& be = backend::active();
+  dispatch_counters(be).gemm_at_b->add();
+  runtime::parallel_for(0, m, row_grain(k * n),
+                        [=, &be](std::size_t i0, std::size_t i1) {
+                          be.gemm_at_b(a, b, c, m, i0, i1, k, n);
+                        });
 }
 
 void matmul_a_bt(const float* a, const float* b, float* c, std::size_t m,
@@ -87,17 +99,12 @@ void matmul_a_bt(const float* a, const float* b, float* c, std::size_t m,
   // hsd-lint: allow(no-mutable-static) — magic-static metric handle
   static obs::Counter& calls = obs::counter("tensor/matmul_calls");
   calls.add();
-  runtime::parallel_for(0, m, row_grain(k * n), [=](std::size_t i0, std::size_t i1) {
-    for (std::size_t i = i0; i < i1; ++i) {
-      const float* arow = a + i * k;
-      for (std::size_t j = 0; j < n; ++j) {
-        const float* brow = b + j * k;
-        float s = 0.0F;
-        for (std::size_t p = 0; p < k; ++p) s += arow[p] * brow[p];
-        c[i * n + j] = s;
-      }
-    }
-  });
+  const backend::Backend& be = backend::active();
+  dispatch_counters(be).gemm_a_bt->add();
+  runtime::parallel_for(0, m, row_grain(k * n),
+                        [=, &be](std::size_t i0, std::size_t i1) {
+                          be.gemm_a_bt(a, b, c, i0, i1, k, n);
+                        });
 }
 
 Tensor matmul(const Tensor& a, const Tensor& b) {
@@ -126,34 +133,16 @@ void im2col(const float* image, std::size_t channels, std::size_t height,
   const std::size_t oh = conv_out_extent(height, kh, stride, pad);
   const std::size_t ow = conv_out_extent(width, kw, stride, pad);
   const std::size_t out_spatial = oh * ow;
-  // Each (c, ki, kj) combination fills a disjoint `columns` row.
-  runtime::parallel_for(
-      0, channels * kh * kw, row_grain(out_spatial),
-      [=](std::size_t r0, std::size_t r1) {
-        for (std::size_t row = r0; row < r1; ++row) {
-          const std::size_t c = row / (kh * kw);
-          const std::size_t ki = (row / kw) % kh;
-          const std::size_t kj = row % kw;
-          float* dst = columns + row * out_spatial;
-          for (std::size_t oi = 0; oi < oh; ++oi) {
-            const std::ptrdiff_t ii =
-                static_cast<std::ptrdiff_t>(oi * stride + ki) -
-                static_cast<std::ptrdiff_t>(pad);
-            for (std::size_t oj = 0; oj < ow; ++oj) {
-              const std::ptrdiff_t jj =
-                  static_cast<std::ptrdiff_t>(oj * stride + kj) -
-                  static_cast<std::ptrdiff_t>(pad);
-              float v = 0.0F;
-              if (ii >= 0 && ii < static_cast<std::ptrdiff_t>(height) && jj >= 0 &&
-                  jj < static_cast<std::ptrdiff_t>(width)) {
-                v = image[(c * height + static_cast<std::size_t>(ii)) * width +
-                          static_cast<std::size_t>(jj)];
-              }
-              dst[oi * ow + oj] = v;
-            }
-          }
-        }
-      });
+  // Each (c, ki, kj) combination fills a disjoint `columns` row. im2col is
+  // pure data movement, so every backend must (and does) produce identical
+  // bytes; the fast backends just memset/memcpy whole segments.
+  const backend::Backend& be = backend::active();
+  dispatch_counters(be).im2col->add();
+  runtime::parallel_for(0, channels * kh * kw, row_grain(out_spatial),
+                        [=, &be](std::size_t r0, std::size_t r1) {
+                          be.im2col(image, height, width, kh, kw, stride, pad,
+                                    oh, ow, r0, r1, columns);
+                        });
 }
 
 void col2im(const float* columns, std::size_t channels, std::size_t height,

@@ -4,6 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
+#include "backend_compare.hpp"
 #include "core/framework.hpp"
 #include "core/metrics.hpp"
 #include "data/benchmark.hpp"
@@ -16,6 +19,15 @@ namespace {
 class PipelineTest : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
+    // These tests pin the paper's qualitative claims on one specific
+    // fixed-seed trajectory, and active-learning trajectories are
+    // chaotically sensitive to kernel rounding (a one-ULP change in an
+    // early forward pass reroutes which clips get labeled). Golden
+    // trajectories are therefore recorded — and replayed — under the
+    // bit-exact scalar reference backend regardless of HSD_BACKEND;
+    // backend-independent guarantees are covered by tensor_backend_test
+    // and the serve_equivalence backend axis.
+    backend_guard_ = std::make_unique<testing::BackendGuard>("scalar");
     data::BenchmarkSpec spec = data::iccad16_spec(4);
     spec.name = "integration";
     spec.hs_target = 50;
@@ -30,6 +42,7 @@ class PipelineTest : public ::testing::Test {
     delete bench_;
     delete features_;
     delete rows_;
+    backend_guard_.reset();
   }
 
   static core::FrameworkConfig al_config(core::SamplerKind kind) {
@@ -56,11 +69,13 @@ class PipelineTest : public ::testing::Test {
     return core::evaluate_outcome(out, bench_->labels);
   }
 
+  static std::unique_ptr<testing::BackendGuard> backend_guard_;
   static data::Benchmark* bench_;
   static tensor::Tensor* features_;
   static std::vector<std::vector<double>>* rows_;
 };
 
+std::unique_ptr<testing::BackendGuard> PipelineTest::backend_guard_;
 data::Benchmark* PipelineTest::bench_ = nullptr;
 tensor::Tensor* PipelineTest::features_ = nullptr;
 std::vector<std::vector<double>>* PipelineTest::rows_ = nullptr;

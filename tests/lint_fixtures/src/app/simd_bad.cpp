@@ -1,0 +1,14 @@
+// Fixture: raw SIMD outside src/tensor/backend/ (violates no-raw-simd on
+// four lines: the include, the #ifdef, the __m256 declaration, and the
+// intrinsic call).
+#include <immintrin.h>
+
+#ifdef __AVX2__
+float horizontal_sum(__m256 v);
+#endif
+
+void scale_in_place(float* x) {
+  const auto factor = _mm256_set1_ps(2.0F);
+  (void)factor;
+  (void)x;
+}

@@ -1,0 +1,9 @@
+// Fixture: identical raw SIMD inside src/tensor/backend/ is the one
+// sanctioned home (no-raw-simd is path-scoped, like no-raw-thread).
+#include <immintrin.h>
+
+#ifdef __AVX2__
+__m256 twice(__m256 v) { return _mm256_add_ps(v, v); }
+#endif
+
+bool have_avx2() { return __builtin_cpu_supports("avx2") != 0; }

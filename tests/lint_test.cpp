@@ -123,6 +123,12 @@ TEST(LintRules, ReinterpretCast) {
   EXPECT_TRUE(lint_fixture_file("src/app/punning_clean.cpp").empty());
 }
 
+TEST(LintRules, RawSimdOutsideBackend) {
+  EXPECT_EQ(count_rule(lint_fixture_file("src/app/simd_bad.cpp"), "no-raw-simd"), 4u);
+  // The same intrinsics inside src/tensor/backend/ are the sanctioned home.
+  EXPECT_TRUE(lint_fixture_file("src/tensor/backend/simd_ok.cpp").empty());
+}
+
 TEST(LintSuppressions, InlineAllowComments) {
   // Same-line and previous-line `// hsd-lint: allow(rule)` both silence.
   EXPECT_TRUE(lint_fixture_file("src/app/suppressed.cpp").empty());
@@ -170,6 +176,7 @@ TEST(LintSweep, FixtureTreeFindsEveryBadFile) {
       "src/app/stdio_bad.cpp",   "src/app/assert_bad.cpp",
       "src/app/punning_bad.cpp", "src/app/thread_member_bad.cpp",
       "src/serve/route_unordered_bad.cpp", "src/obs/agg_unordered_bad.cpp",
+      "src/app/simd_bad.cpp",
   };
   for (const auto& f : expect_bad) {
     EXPECT_GT(per_file.count(f), 0u) << "expected a violation in " << f;
@@ -179,7 +186,7 @@ TEST(LintSweep, FixtureTreeFindsEveryBadFile) {
     EXPECT_NE(std::find(expect_bad.begin(), expect_bad.end(), file), expect_bad.end())
         << file << " unexpectedly has " << count << " violation(s)";
   }
-  EXPECT_EQ(diags.size(), 23u);
+  EXPECT_EQ(diags.size(), 27u);
 }
 
 TEST(LintSweep, RepositoryIsClean) {

@@ -13,12 +13,14 @@
 #include <memory>
 #include <vector>
 
+#include "backend_compare.hpp"
 #include "core/detector.hpp"
 #include "data/features.hpp"
 #include "layout/clip.hpp"
 #include "runtime/thread_pool.hpp"
 #include "serve/service.hpp"
 #include "stats/rng.hpp"
+#include "tensor/backend/backend.hpp"
 
 namespace hsd::serve {
 namespace {
@@ -164,6 +166,79 @@ TEST(ServeEquivalence, MidDrainShutdownCompletesWithIdenticalBits) {
   std::vector<std::future<Response>*> ptrs;
   for (auto& f : futures) ptrs.push_back(&f);
   expect_identical(ptrs, reference, "mid-drain shutdown");
+  runtime::set_global_threads(1);
+}
+
+TEST(ServeEquivalence, FastBackendsPreserveVerdictsWithinProbTolerance) {
+  // The backend axis: bit-identity is only promised per backend (the avx2
+  // kernels fuse multiply-adds), so against a scalar-backend reference the
+  // contract weakens to (a) identical hotspot verdicts and (b) calibrated
+  // probabilities within the documented serving tolerance (DESIGN.md §13).
+  // The tolerance is far smaller than any sane decision margin; a clip
+  // whose probability sat within 1e-5 of the threshold would be flaky on
+  // any backend change, and the fixed-seed detector here has none.
+  constexpr double kServingProbTol = 1e-5;
+  const std::vector<layout::Clip> clips = request_stream();
+
+  hsd::testing::BackendGuard to_scalar("scalar");
+  const std::vector<double> reference = reference_probabilities(clips);
+  std::vector<bool> reference_verdicts;
+  {
+    ServiceConfig cfg = base_config();
+    cfg.manual_pump = true;
+    InferenceService service(
+        cfg, core::HotspotDetector(detector_config(), stats::Rng(kSeed)));
+    std::vector<std::future<Response>> futures;
+    for (const layout::Clip& clip : clips) {
+      futures.push_back(service.submit(clip));
+    }
+    while (service.pump() > 0) {
+    }
+    for (auto& f : futures) reference_verdicts.push_back(f.get().hotspot);
+  }
+
+  for (const tensor::backend::Backend* be : hsd::testing::fast_backends()) {
+    tensor::backend::set_active(be->name());
+    for (const std::size_t max_batch : {std::size_t{1}, std::size_t{8}}) {
+      for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+        for (const bool cache : {false, true}) {
+          runtime::set_global_threads(threads);
+          ServiceConfig cfg = base_config();
+          cfg.max_batch = max_batch;
+          cfg.cache_capacity = cache ? 64 : 0;
+          cfg.manual_pump = true;
+          InferenceService service(
+              cfg, core::HotspotDetector(detector_config(), stats::Rng(kSeed)));
+
+          std::vector<std::future<Response>> futures;
+          for (const layout::Clip& clip : clips) {
+            futures.push_back(service.submit(clip));
+          }
+          while (service.pump() > 0) {
+          }
+
+          const std::string label = std::string("backend=") +
+                                    std::string(be->name()) +
+                                    " max_batch=" + std::to_string(max_batch) +
+                                    " threads=" + std::to_string(threads) +
+                                    " cache=" + (cache ? "on" : "off");
+          bool saw_cache_hit = false;
+          for (std::size_t i = 0; i < futures.size(); ++i) {
+            const Response r = futures[i].get();
+            ASSERT_EQ(r.status, Status::kOk) << label << " request " << i;
+            EXPECT_EQ(r.hotspot, reference_verdicts[i])
+                << label << " request " << i;
+            EXPECT_NEAR(r.probability, reference[i], kServingProbTol)
+                << label << " request " << i;
+            saw_cache_hit = saw_cache_hit || r.cache_hit;
+          }
+          // The 20-request stream repeats 12 clips, so the cached-feature
+          // path must actually run when the cache is on.
+          EXPECT_EQ(saw_cache_hit, cache) << label;
+        }
+      }
+    }
+  }
   runtime::set_global_threads(1);
 }
 

@@ -1,0 +1,306 @@
+// Property/differential suite for the kernel backends: every registered
+// backend must agree with the scalar reference on randomized GEMM, conv
+// (im2col) and DCT shapes — exactly where the backend reorders nothing
+// (blocked, im2col everywhere), within documented ULP tolerances where it
+// fuses or vector-reduces (avx2). Shapes deliberately include degenerate
+// k=0, 1xN, and odd tails that straddle the 8-lane SIMD width and the
+// 64-wide blocked tile. Failure messages carry derive_seed arguments for
+// standalone replay.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "backend_compare.hpp"
+#include "runtime/thread_pool.hpp"
+#include "tensor/backend/backend.hpp"
+#include "tensor/backend/impl.hpp"
+#include "tensor/dct.hpp"
+#include "tensor/ops.hpp"
+
+namespace hsd::tensor::backend {
+namespace {
+
+using hsd::testing::BackendGuard;
+using hsd::testing::case_context;
+using hsd::testing::compare_buffers;
+using hsd::testing::fast_backends;
+using hsd::testing::random_buffer;
+using hsd::testing::Tolerance;
+
+constexpr std::uint64_t kBaseSeed = 20260808;
+
+struct GemmShape {
+  std::size_t m, k, n;
+  std::string str() const {
+    return std::to_string(m) + "x" + std::to_string(k) + "x" +
+           std::to_string(n);
+  }
+};
+
+/// Shapes straddling every boundary the backends care about: the 8-float
+/// AVX lane, the 16-float register tile, the 64-wide blocked tile, odd
+/// remainders of each, plus degenerate k=0 / 1xN / Nx1.
+const std::vector<GemmShape>& gemm_shapes() {
+  static const std::vector<GemmShape> shapes = {
+      {1, 1, 1},    {1, 7, 1},     {1, 0, 5},    {3, 0, 0},
+      {1, 16, 33},  {2, 8, 8},     {5, 3, 7},    {4, 9, 17},
+      {7, 33, 9},   {8, 64, 64},   {9, 65, 63},  {16, 24, 40},
+      {17, 31, 65}, {32, 128, 31}, {33, 100, 129},
+  };
+  return shapes;
+}
+
+/// Per-kernel tolerance for a fast backend. Blocked reorders nothing and
+/// must match bit-for-bit; avx2 fuses multiply-adds (gemm family) and
+/// vector-reduces dot products (gemm_a_bt), so it gets ULP headroom plus
+/// an absolute floor that grows with the reduction length k.
+Tolerance tolerance_for(std::string_view backend_name, bool reduction,
+                        std::size_t k) {
+  if (backend_name == "blocked") return Tolerance{};  // exact
+  const auto kf = static_cast<float>(k);
+  if (reduction) {
+    // Lane-wise reduction reorders the whole sum.
+    return Tolerance{64, 1e-6F * kf};
+  }
+  // FMA keeps the accumulation order; only rounding points change.
+  return Tolerance{16, 1e-7F * kf};
+}
+
+// ---------------------------------------------------------------------------
+// GEMM family
+// ---------------------------------------------------------------------------
+
+void run_gemm_family_case(const Backend& fast, const GemmShape& s,
+                          std::uint64_t stream) {
+  const Backend& ref = scalar_backend();
+  const std::vector<float> a = random_buffer(s.m * s.k, kBaseSeed, stream);
+  const std::vector<float> bt = random_buffer(s.n * s.k, kBaseSeed, stream + 1);
+  const std::vector<float> b = random_buffer(s.k * s.n, kBaseSeed, stream + 2);
+  const std::vector<float> at = random_buffer(s.k * s.m, kBaseSeed, stream + 3);
+
+  std::vector<float> expected(s.m * s.n);
+  std::vector<float> got(s.m * s.n);
+
+  ref.gemm(a.data(), b.data(), expected.data(), 0, s.m, s.k, s.n);
+  fast.gemm(a.data(), b.data(), got.data(), 0, s.m, s.k, s.n);
+  EXPECT_TRUE(compare_buffers(
+      expected, got, tolerance_for(fast.name(), false, s.k),
+      case_context("gemm", fast.name(), s.str(), kBaseSeed, stream)));
+
+  ref.gemm_at_b(at.data(), b.data(), expected.data(), s.m, 0, s.m, s.k, s.n);
+  fast.gemm_at_b(at.data(), b.data(), got.data(), s.m, 0, s.m, s.k, s.n);
+  EXPECT_TRUE(compare_buffers(
+      expected, got, tolerance_for(fast.name(), false, s.k),
+      case_context("gemm_at_b", fast.name(), s.str(), kBaseSeed, stream)));
+
+  ref.gemm_a_bt(a.data(), bt.data(), expected.data(), 0, s.m, s.k, s.n);
+  fast.gemm_a_bt(a.data(), bt.data(), got.data(), 0, s.m, s.k, s.n);
+  EXPECT_TRUE(compare_buffers(
+      expected, got, tolerance_for(fast.name(), true, s.k),
+      case_context("gemm_a_bt", fast.name(), s.str(), kBaseSeed, stream)));
+}
+
+TEST(TensorBackend, GemmFamilyMatchesScalarAcrossShapes) {
+  const auto fasts = fast_backends();
+  ASSERT_FALSE(available_backends().empty());
+  std::uint64_t stream = 0;
+  for (const GemmShape& s : gemm_shapes()) {
+    for (const Backend* fast : fasts) {
+      run_gemm_family_case(*fast, s, stream);
+    }
+    stream += 4;
+  }
+}
+
+TEST(TensorBackend, BlockedGemmIsBitExactOnRandomizedShapes) {
+  // Beyond the fixed list: randomized shapes, all gated exact. The blocked
+  // backend only tiles the iteration space; if any accumulation had been
+  // reordered this would fail within a few hundred cases.
+  const Backend& blocked = *find_backend("blocked");
+  const Backend& ref = scalar_backend();
+  stats::Rng shape_rng(runtime::derive_seed(kBaseSeed, 777));
+  for (std::uint64_t c = 0; c < 60; ++c) {
+    const auto m = static_cast<std::size_t>(shape_rng.randint(1, 70));
+    const auto k = static_cast<std::size_t>(shape_rng.randint(0, 140));
+    const auto n = static_cast<std::size_t>(shape_rng.randint(1, 140));
+    const GemmShape s{m, k, n};
+    const std::vector<float> a = random_buffer(m * k, kBaseSeed, 1000 + c);
+    const std::vector<float> b = random_buffer(k * n, kBaseSeed, 2000 + c);
+    std::vector<float> expected(m * n);
+    std::vector<float> got(m * n);
+    ref.gemm(a.data(), b.data(), expected.data(), 0, m, k, n);
+    blocked.gemm(a.data(), b.data(), got.data(), 0, m, k, n);
+    ASSERT_TRUE(compare_buffers(
+        expected, got, Tolerance{},
+        case_context("gemm", "blocked", s.str(), kBaseSeed, 1000 + c)));
+  }
+}
+
+TEST(TensorBackend, DegenerateKZeroProducesZeros) {
+  // k = 0 must yield an all-(+0) C on every backend, not stale memory.
+  for (const Backend* be : available_backends()) {
+    std::vector<float> c(6 * 5, 42.0F);
+    be->gemm(nullptr, nullptr, c.data(), 0, 6, 0, 5);
+    for (float v : c) {
+      EXPECT_EQ(v, 0.0F) << "gemm k=0 backend=" << be->name();
+    }
+    std::fill(c.begin(), c.end(), 42.0F);
+    be->gemm_at_b(nullptr, nullptr, c.data(), 6, 0, 6, 0, 5);
+    for (float v : c) {
+      EXPECT_EQ(v, 0.0F) << "gemm_at_b k=0 backend=" << be->name();
+    }
+    std::fill(c.begin(), c.end(), 42.0F);
+    be->gemm_a_bt(nullptr, nullptr, c.data(), 0, 6, 0, 5);
+    for (float v : c) {
+      EXPECT_EQ(v, 0.0F) << "gemm_a_bt k=0 backend=" << be->name();
+    }
+  }
+}
+
+TEST(TensorBackend, RowPartitioningIsInvariantPerBackend) {
+  // The dispatcher threads by row ranges. For every backend, computing the
+  // same GEMM in one range vs. many must be bit-identical — this is the
+  // property that makes HSD_THREADS invisible to results on any backend.
+  const GemmShape s{13, 37, 29};
+  const std::vector<float> a = random_buffer(s.m * s.k, kBaseSeed, 51);
+  const std::vector<float> b = random_buffer(s.k * s.n, kBaseSeed, 52);
+  for (const Backend* be : available_backends()) {
+    std::vector<float> whole(s.m * s.n);
+    be->gemm(a.data(), b.data(), whole.data(), 0, s.m, s.k, s.n);
+    std::vector<float> split(s.m * s.n);
+    // Uneven cuts, including a single-row range (the pairing tail path).
+    const std::size_t cuts[] = {0, 1, 4, 9, 12, 13};
+    for (std::size_t ci = 0; ci + 1 < std::size(cuts); ++ci) {
+      be->gemm(a.data(), b.data(), split.data(), cuts[ci], cuts[ci + 1], s.k,
+               s.n);
+    }
+    EXPECT_TRUE(compare_buffers(
+        whole, split, Tolerance{},
+        case_context("gemm-partition", be->name(), s.str(), kBaseSeed, 51)));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// im2col
+// ---------------------------------------------------------------------------
+
+struct ConvShape {
+  std::size_t c, h, w, kh, kw, stride, pad;
+  std::string str() const {
+    return "c" + std::to_string(c) + "_" + std::to_string(h) + "x" +
+           std::to_string(w) + "_k" + std::to_string(kh) + "x" +
+           std::to_string(kw) + "_s" + std::to_string(stride) + "_p" +
+           std::to_string(pad);
+  }
+};
+
+TEST(TensorBackend, Im2colIsBitExactEverywhere) {
+  const std::vector<ConvShape> shapes = {
+      {1, 1, 1, 1, 1, 1, 0},  {1, 8, 8, 3, 3, 1, 1},  {2, 9, 7, 3, 3, 1, 1},
+      {3, 16, 16, 5, 5, 1, 2}, {1, 10, 10, 3, 3, 2, 1}, {2, 13, 11, 4, 2, 3, 2},
+      {1, 6, 6, 3, 3, 1, 4},   {1, 5, 5, 5, 5, 2, 3},
+  };
+  const Backend& ref = scalar_backend();
+  std::uint64_t stream = 300;
+  for (const ConvShape& s : shapes) {
+    const std::size_t oh = conv_out_extent(s.h, s.kh, s.stride, s.pad);
+    const std::size_t ow = conv_out_extent(s.w, s.kw, s.stride, s.pad);
+    const std::size_t rows = s.c * s.kh * s.kw;
+    const std::vector<float> image =
+        random_buffer(s.c * s.h * s.w, kBaseSeed, stream);
+    std::vector<float> expected(rows * oh * ow);
+    ref.im2col(image.data(), s.h, s.w, s.kh, s.kw, s.stride, s.pad, oh, ow, 0,
+               rows, expected.data());
+    for (const Backend* be : fast_backends()) {
+      std::vector<float> got(rows * oh * ow, -123.0F);
+      be->im2col(image.data(), s.h, s.w, s.kh, s.kw, s.stride, s.pad, oh, ow,
+                 0, rows, got.data());
+      EXPECT_TRUE(compare_buffers(
+          expected, got, Tolerance{},
+          case_context("im2col", be->name(), s.str(), kBaseSeed, stream)));
+    }
+    ++stream;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// DCT-II through the dispatcher
+// ---------------------------------------------------------------------------
+
+TEST(TensorBackend, DctForwardAndInverseWithinTolerance) {
+  for (const std::size_t n : {std::size_t{8}, std::size_t{17}, std::size_t{32},
+                              std::size_t{33}}) {
+    const Dct2d dct(n);
+    const std::vector<float> block = random_buffer(n * n, kBaseSeed, 400 + n);
+
+    BackendGuard to_scalar("scalar");
+    const std::vector<float> fwd_ref = dct.forward(block);
+    const std::vector<float> inv_ref = dct.inverse(fwd_ref);
+
+    for (const Backend* be : fast_backends()) {
+      tensor::backend::set_active(be->name());
+      const std::vector<float> fwd = dct.forward(block);
+      const std::vector<float> inv = dct.inverse(fwd_ref);
+      const Tolerance tol = tolerance_for(be->name(), true, n);
+      EXPECT_TRUE(compare_buffers(
+          fwd_ref, fwd, tol,
+          case_context("dct2d_fwd", be->name(), std::to_string(n), kBaseSeed,
+                       400 + n)));
+      EXPECT_TRUE(compare_buffers(
+          inv_ref, inv, tol,
+          case_context("dct2d_inv", be->name(), std::to_string(n), kBaseSeed,
+                       400 + n)));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Dispatcher plumbing
+// ---------------------------------------------------------------------------
+
+TEST(TensorBackend, DispatchedMatmulMatchesDirectBackendCall) {
+  // The public tensor::matmul must produce exactly what the active
+  // backend's kernel produces, at any thread count.
+  const GemmShape s{24, 48, 56};
+  const std::vector<float> a = random_buffer(s.m * s.k, kBaseSeed, 500);
+  const std::vector<float> b = random_buffer(s.k * s.n, kBaseSeed, 501);
+  for (const Backend* be : available_backends()) {
+    BackendGuard guard(be->name());
+    std::vector<float> direct(s.m * s.n);
+    be->gemm(a.data(), b.data(), direct.data(), 0, s.m, s.k, s.n);
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+      runtime::set_global_threads(threads);
+      std::vector<float> dispatched(s.m * s.n);
+      matmul(a.data(), b.data(), dispatched.data(), s.m, s.k, s.n);
+      EXPECT_TRUE(compare_buffers(
+          direct, dispatched, Tolerance{},
+          case_context("dispatch t" + std::to_string(threads), be->name(),
+                       s.str(), kBaseSeed, 500)));
+    }
+  }
+  runtime::set_global_threads(1);
+}
+
+TEST(TensorBackend, SelectionRegistryAndErrors) {
+  // scalar and blocked are always available; the ordering is fastest-first
+  // and scalar is last.
+  const auto backends = available_backends();
+  ASSERT_GE(backends.size(), 2u);
+  EXPECT_EQ(backends.back()->name(), "scalar");
+  EXPECT_NE(find_backend("scalar"), nullptr);
+  EXPECT_NE(find_backend("blocked"), nullptr);
+  EXPECT_EQ(find_backend("neon"), nullptr);
+  EXPECT_THROW(set_active("neon"), std::runtime_error);
+
+  // set_active round-trips and "auto" resolves to the fastest available.
+  BackendGuard guard("scalar");
+  EXPECT_EQ(active_name(), "scalar");
+  set_active("auto");
+  EXPECT_EQ(active_name(), backends.front()->name());
+}
+
+}  // namespace
+}  // namespace hsd::tensor::backend

@@ -221,6 +221,10 @@ const std::vector<RuleInfo> kRules = {
      "bans raw assert(); use HSD_CHECK/HSD_DCHECK from common/check.hpp"},
     {"no-reinterpret-cast", "hygiene",
      "bans reinterpret_cast in src/ (UB-prone type punning); use std::memcpy"},
+    {"no-raw-simd", "hygiene",
+     "bans raw SIMD (__AVX2__/__AVX512*, immintrin.h, _mm256_*/_mm512_*, "
+     "__builtin_cpu_supports) outside src/tensor/backend/; extend a Backend "
+     "so the scalar reference and differential tests stay authoritative"},
 };
 
 struct Scope {
@@ -229,6 +233,7 @@ struct Scope {
   bool unordered_scoped = false;  // src/core, src/gmm, src/data
   bool route_agg_scoped = false;  // src/serve, src/obs
   bool thread_exempt = false;     // src/runtime
+  bool simd_exempt = false;       // src/tensor/backend
   bool is_header = false;
 };
 
@@ -241,6 +246,7 @@ Scope scope_of(const std::string& rel) {
                        starts_with(rel, "src/data/");
   s.route_agg_scoped = starts_with(rel, "src/serve/") || starts_with(rel, "src/obs/");
   s.thread_exempt = starts_with(rel, "src/runtime/");
+  s.simd_exempt = starts_with(rel, "src/tensor/backend/");
   s.is_header = has_extension(rel, {".hpp", ".h", ".hh"});
   return s;
 }
@@ -391,6 +397,19 @@ void check_line(const std::string& rel, const Scope& sc, const std::string& code
     if (contains_word(code, "reinterpret_cast")) {
       emit("no-reinterpret-cast",
            "reinterpret_cast type punning is UB-prone; use std::memcpy");
+    }
+  }
+
+  if (!sc.simd_exempt) {
+    if (contains(code, "immintrin.h") || contains(code, "x86intrin.h") ||
+        contains_word(code, "__AVX2__") || contains(code, "__AVX512") ||
+        contains(code, "_mm256_") || contains(code, "_mm512_") ||
+        contains(code, "__m256") || contains(code, "__m512") ||
+        contains_word(code, "__builtin_cpu_supports")) {
+      emit("no-raw-simd",
+           "raw SIMD outside src/tensor/backend/; add or extend a Backend "
+           "implementation so every vector path stays behind the dispatch "
+           "and its differential tests");
     }
   }
 }
