@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "common/registry.hpp"
 #include "core/detector.hpp"
 #include "core/diversity.hpp"
 #include "data/pattern_generator.hpp"
@@ -221,7 +222,7 @@ int main(int argc, char** argv) {
   // (speedups then reference its own scalar-relative entry only if scalar
   // is the pinned backend).
   std::vector<std::string> backend_names;
-  if (const char* pinned = std::getenv("HSD_BACKEND");
+  if (const char* pinned = std::getenv(hsd::reg::kEnvBackend);
       pinned != nullptr && *pinned != '\0' &&
       std::string_view(pinned) != "auto") {
     backend_names.emplace_back(pinned);

@@ -26,6 +26,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/registry.hpp"
 #include "core/diversity.hpp"
 #include "data/features.hpp"
 #include "litho/oracle.hpp"
@@ -178,8 +179,8 @@ int main(int argc, char** argv) {
       hsd::obs::enable_metrics(argv[++i]);
     }
   }
-  const std::size_t rounds = env_size("HSD_BENCH_ROUNDS", 7);
-  const std::size_t warmup = env_size("HSD_BENCH_WARMUP", 2);
+  const std::size_t rounds = env_size(hsd::reg::kEnvBenchRounds, 7);
+  const std::size_t warmup = env_size(hsd::reg::kEnvBenchWarmup, 2);
   const std::size_t hw = std::max(1u, std::thread::hardware_concurrency());
 
   std::vector<std::size_t> thread_counts{1, 2, 4};

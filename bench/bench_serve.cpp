@@ -45,6 +45,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/registry.hpp"
 #include "core/detector.hpp"
 #include "layout/clip.hpp"
 #include "obs/metrics.hpp"
@@ -361,13 +362,13 @@ int main(int argc, char** argv) {
     }
   }
 
-  const std::size_t requests = env_size("HSD_SERVE_REQUESTS", 256);
-  const std::size_t producers = env_size("HSD_SERVE_PRODUCERS", 4);
-  const std::size_t distinct = env_size("HSD_SERVE_DISTINCT", 8);
-  const std::size_t universe_size = env_size("HSD_SERVE_UNIVERSE", 1024);
-  const std::size_t repeats = env_size("HSD_SERVE_REPEATS", 3);
+  const std::size_t requests = env_size(hsd::reg::kEnvServeRequests, 256);
+  const std::size_t producers = env_size(hsd::reg::kEnvServeProducers, 4);
+  const std::size_t distinct = env_size(hsd::reg::kEnvServeDistinct, 8);
+  const std::size_t universe_size = env_size(hsd::reg::kEnvServeUniverse, 1024);
+  const std::size_t repeats = env_size(hsd::reg::kEnvServeRepeats, 3);
   const std::vector<std::size_t> shard_counts =
-      env_size_list("HSD_SERVE_SHARDS", {1, 2, 4});
+      env_size_list(hsd::reg::kEnvServeShards, {1, 2, 4});
 
   // Per-shard caches are read through the metrics rollup, so collection is
   // on for the whole bench (no export path: snapshots are read in-process).

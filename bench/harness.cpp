@@ -8,6 +8,7 @@
 #include <map>
 #include <stdexcept>
 
+#include "common/registry.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -24,23 +25,23 @@ double env_double(const char* name, double fallback) {
 }  // namespace
 
 double iccad12_scale() {
-  const double s = env_double("HSD_ICCAD12_SCALE", 0.05);
+  const double s = env_double(hsd::reg::kEnvIccad12Scale, 0.05);
   if (s <= 0.0 || s > 1.0) throw std::runtime_error("HSD_ICCAD12_SCALE out of (0, 1]");
   return s;
 }
 
 std::size_t repeats() {
-  const double r = env_double("HSD_REPEATS", 5.0);
+  const double r = env_double(hsd::reg::kEnvRepeats, 5.0);
   return r < 1.0 ? 1 : static_cast<std::size_t>(r);
 }
 
 std::size_t bench_rounds() {
-  const double r = env_double("HSD_BENCH_ROUNDS", 7.0);
+  const double r = env_double(hsd::reg::kEnvBenchRounds, 7.0);
   return r < 1.0 ? 1 : static_cast<std::size_t>(r);
 }
 
 std::size_t bench_warmup() {
-  const double w = env_double("HSD_BENCH_WARMUP", 2.0);
+  const double w = env_double(hsd::reg::kEnvBenchWarmup, 2.0);
   return w < 0.0 ? 0 : static_cast<std::size_t>(w);
 }
 

@@ -13,6 +13,7 @@
 
 #include "ckpt/checkpoint.hpp"
 #include "common/binio.hpp"
+#include "common/registry.hpp"
 #include "core/calibration.hpp"
 #include "data/features.hpp"
 #include "obs/metrics.hpp"
@@ -99,7 +100,7 @@ std::uint64_t config_fingerprint(const FrameworkConfig& cfg, std::size_t n_total
 
 /// HSD_FAULT_AFTER_ROUND as a round index, or 0 when unset/malformed.
 std::size_t fault_after_round_env() {
-  const char* env = std::getenv("HSD_FAULT_AFTER_ROUND");
+  const char* env = std::getenv(reg::kEnvFaultAfterRound);
   if (env == nullptr || *env == '\0') return 0;
   char* end = nullptr;
   const unsigned long long v = std::strtoull(env, &end, 10);

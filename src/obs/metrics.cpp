@@ -13,6 +13,8 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "common/registry.hpp"
+
 namespace hsd::obs {
 
 namespace detail {
@@ -184,7 +186,7 @@ void flush_at_exit() { flush_metrics(); }
 /// initializer lives in this TU, which is linked into any binary that
 /// touches a metric (they all reference detail::g_metrics_enabled).
 const bool g_env_init = [] {
-  if (const char* path = std::getenv("HSD_METRICS")) {
+  if (const char* path = std::getenv(reg::kEnvMetrics)) {
     if (*path != '\0') enable_metrics(path);
   }
   return true;

@@ -4,6 +4,8 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "common/registry.hpp"
+
 namespace hsd::obs {
 
 RoundReporter::RoundReporter(const std::string& path) {
@@ -17,7 +19,7 @@ RoundReporter::RoundReporter(const std::string& path) {
 
 RoundReporter RoundReporter::from_path_or_env(const std::string& path) {
   if (!path.empty()) return RoundReporter(path);
-  if (const char* env = std::getenv("HSD_ROUND_LOG")) {
+  if (const char* env = std::getenv(reg::kEnvRoundLog)) {
     if (*env != '\0') return RoundReporter(env);
   }
   return RoundReporter();

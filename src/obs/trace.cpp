@@ -8,6 +8,8 @@
 #include <ostream>
 #include <vector>
 
+#include "common/registry.hpp"
+
 namespace hsd::obs {
 
 namespace detail {
@@ -154,7 +156,7 @@ void flush_at_exit() { flush_trace(); }
 /// HSD_TRACE=<path> enables tracing for the whole process. Lives in this
 /// TU, which any Span user links (they reference detail::g_trace_enabled).
 const bool g_env_init = [] {
-  if (const char* path = std::getenv("HSD_TRACE")) {
+  if (const char* path = std::getenv(reg::kEnvTrace)) {
     if (*path != '\0') enable_trace(path);
   }
   return true;

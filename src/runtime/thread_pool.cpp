@@ -5,6 +5,7 @@
 #include <string>
 #include <utility>
 
+#include "common/registry.hpp"
 #include "obs/trace.hpp"
 
 namespace hsd::runtime {
@@ -135,7 +136,7 @@ void ThreadPool::worker_main(std::size_t id) {
 }
 
 std::size_t configured_threads() {
-  if (const char* env = std::getenv("HSD_THREADS")) {
+  if (const char* env = std::getenv(reg::kEnvThreads)) {
     char* end = nullptr;
     const long v = std::strtol(env, &end, 10);
     if (end != env && *end == '\0' && v > 0) return static_cast<std::size_t>(v);

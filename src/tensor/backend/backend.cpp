@@ -6,6 +6,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "common/registry.hpp"
 #include "obs/metrics.hpp"
 #include "tensor/backend/impl.hpp"
 
@@ -311,7 +312,7 @@ const Backend& active() {
   if (b == nullptr) {
     // Magic static: concurrent first calls resolve the environment once.
     static const Backend* const resolved = [] {
-      const char* env = std::getenv("HSD_BACKEND");
+      const char* env = std::getenv(reg::kEnvBackend);
       const Backend& r = resolve(env == nullptr ? std::string_view{} : env);
       record_selection(r);
       return &r;

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/binio.hpp"
+#include "common/registry.hpp"
 #include "gmm/gmm.hpp"
 #include "obs/metrics.hpp"
 #include "stats/rng.hpp"
@@ -23,7 +24,7 @@ namespace fs = std::filesystem;
 /// Fresh per-test directory under the test working dir. The name carries
 /// HSD_THREADS so the two ctest registrations of one binary never collide.
 std::string fresh_dir(const std::string& name) {
-  const char* threads = std::getenv("HSD_THREADS");
+  const char* threads = std::getenv(hsd::reg::kEnvThreads);
   std::string dir = "ckpt_fmt_" + name;
   if (threads != nullptr) dir += std::string("_t") + threads;
   fs::remove_all(dir);

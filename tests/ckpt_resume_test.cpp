@@ -15,6 +15,7 @@
 #include <string>
 
 #include "ckpt/checkpoint.hpp"
+#include "common/registry.hpp"
 #include "data/benchmark.hpp"
 #include "data/features.hpp"
 
@@ -66,7 +67,7 @@ struct ResumeFixture : public ::testing::Test {
   /// Fresh per-test checkpoint directory; the name carries HSD_THREADS so
   /// the two ctest registrations of this binary never collide.
   static std::string fresh_dir(const std::string& name) {
-    const char* threads = std::getenv("HSD_THREADS");
+    const char* threads = std::getenv(hsd::reg::kEnvThreads);
     std::string dir = "ckpt_resume_" + name;
     if (threads != nullptr) dir += std::string("_t") + threads;
     fs::remove_all(dir);
@@ -151,9 +152,9 @@ TEST_F(ResumeFixture, ResumeIsBitIdenticalAtEveryInterruptPoint) {
 TEST_F(ResumeFixture, FaultEnvVariableCrashesAfterTheRequestedRound) {
   FrameworkConfig cfg = small_config();
   cfg.checkpoint_dir = fresh_dir("env_fault");
-  ASSERT_EQ(setenv("HSD_FAULT_AFTER_ROUND", "2", 1), 0);
+  ASSERT_EQ(setenv(hsd::reg::kEnvFaultAfterRound, "2", 1), 0);
   EXPECT_THROW(run(cfg), std::runtime_error);
-  ASSERT_EQ(unsetenv("HSD_FAULT_AFTER_ROUND"), 0);
+  ASSERT_EQ(unsetenv(hsd::reg::kEnvFaultAfterRound), 0);
   // The crash landed after round 2's checkpoint was durable.
   const auto latest = ckpt::find_latest(cfg.checkpoint_dir);
   ASSERT_TRUE(latest.has_value());

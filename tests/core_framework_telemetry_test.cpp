@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "common/registry.hpp"
 #include "data/benchmark.hpp"
 #include "data/features.hpp"
 #include "obs/json.hpp"
@@ -142,7 +143,7 @@ TEST_F(TelemetryFixture, ReportingDoesNotPerturbTheRun) {
 
 TEST_F(TelemetryFixture, DisabledReporterWritesNothing) {
   const FrameworkConfig cfg = tiny_config();  // no round_log_path
-  ASSERT_EQ(std::getenv("HSD_ROUND_LOG"), nullptr)
+  ASSERT_EQ(std::getenv(hsd::reg::kEnvRoundLog), nullptr)
       << "tests assume HSD_ROUND_LOG is not set (see tests/README.md)";
   litho::LithoOracle oracle = bench_->make_oracle();
   EXPECT_NO_THROW(run_active_learning(cfg, *features_, bench_->clips, oracle));
@@ -151,13 +152,13 @@ TEST_F(TelemetryFixture, DisabledReporterWritesNothing) {
 TEST_F(TelemetryFixture, EnvVariableEnablesReporting) {
   const std::string path = temp_path("hsd_round_report_env.jsonl");
   std::filesystem::remove(path);
-  ASSERT_EQ(setenv("HSD_ROUND_LOG", path.c_str(), 1), 0);
+  ASSERT_EQ(setenv(hsd::reg::kEnvRoundLog, path.c_str(), 1), 0);
 
   FrameworkConfig cfg = tiny_config();
   cfg.iterations = 1;
   litho::LithoOracle oracle = bench_->make_oracle();
   run_active_learning(cfg, *features_, bench_->clips, oracle);
-  unsetenv("HSD_ROUND_LOG");
+  unsetenv(hsd::reg::kEnvRoundLog);
 
   const std::vector<obs::json::Value> records = read_jsonl(path);
   ASSERT_EQ(records.size(), 1u);

@@ -1,0 +1,35 @@
+// Task-capture fixtures: lambdas handed to deferred run()/submit() with
+// dangerous captures and no join path anywhere in the file.
+
+namespace fx {
+
+struct TaskGroup {
+  template <class F>
+  void run(F&&) {}
+};
+
+struct Pool {
+  template <class F>
+  void submit(F&&) {}
+};
+
+int deferred_ref(TaskGroup& group) {
+  int total = 0;
+  group.run([&total] { total += 1; });  // deferred-ref-capture: no wait()
+  return total;
+}
+
+void fire_and_forget(Pool& pool) {
+  int local = 7;
+  pool.submit([&] { local += 1; });  // deferred-ref-capture: submit never joins
+}
+
+struct Widget {
+  Pool pool;
+  void kick() {
+    pool.submit([this] { ping(); });  // detached-this-capture
+  }
+  void ping() {}
+};
+
+}  // namespace fx

@@ -1,0 +1,34 @@
+// Clean counterparts: by-reference captures into run() are fine when the
+// file joins the receiver, by-value captures are always fine, and [*this]
+// copies the object into the task.
+
+namespace fx {
+
+struct TaskGroup {
+  template <class F>
+  void run(F&&) {}
+  void wait() {}
+};
+
+int joined_ref(TaskGroup& group) {
+  int total = 0;
+  group.run([&total] { total += 1; });
+  group.wait();
+  return total;
+}
+
+void value_capture(TaskGroup& group) {
+  int local = 7;
+  group.run([local] { (void)local; });
+  group.wait();
+}
+
+struct Owner {
+  TaskGroup group;
+  void kick() {
+    group.run([*this] { (void)this; });
+    group.wait();
+  }
+};
+
+}  // namespace fx

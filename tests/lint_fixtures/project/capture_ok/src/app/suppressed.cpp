@@ -1,0 +1,25 @@
+// Inline suppressions must silence project-pass findings exactly like
+// per-line rule findings: same-line and previous-line comment forms.
+
+namespace fx {
+
+struct Pool {
+  template <class F>
+  void submit(F&&) {}
+};
+
+void audited_detach(Pool& pool) {
+  int local = 7;
+  pool.submit([&] { local += 1; });  // hsd-lint: allow(deferred-ref-capture)
+}
+
+struct Audited {
+  Pool pool;
+  void kick() {
+    // hsd-lint: allow(detached-this-capture)
+    pool.submit([this] { ping(); });
+  }
+  void ping() {}
+};
+
+}  // namespace fx

@@ -1,0 +1,6 @@
+// `app` declares no dependencies, so this include is a layer-violation.
+#include "util/u.hpp"
+
+namespace fx {
+int a_value() { return fx_util_value() + 1; }
+}  // namespace fx

@@ -1,0 +1,7 @@
+#pragma once
+// Half of a two-header include cycle (see c2.hpp).
+#include "app/c2.hpp"
+
+namespace fx {
+inline int c1_value() { return 1; }
+}  // namespace fx

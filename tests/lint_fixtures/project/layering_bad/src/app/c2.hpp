@@ -1,0 +1,7 @@
+#pragma once
+// Completes the include cycle with c1.hpp.
+#include "app/c1.hpp"
+
+namespace fx {
+inline int c2_value() { return 2; }
+}  // namespace fx

@@ -1,0 +1,4 @@
+// This module exists on disk but is not declared in layers.toml.
+namespace fx {
+int extra_value() { return 3; }
+}  // namespace fx

@@ -1,0 +1,5 @@
+// Declared in the manifest's loopx <-> loopy cycle; the directory exists
+// so only layer-manifest-error fires for it, not drift.
+namespace fx {
+int loopx_value() { return 4; }
+}  // namespace fx

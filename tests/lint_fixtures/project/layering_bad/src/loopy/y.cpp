@@ -1,0 +1,4 @@
+// Second half of the declared manifest cycle.
+namespace fx {
+int loopy_value() { return 5; }
+}  // namespace fx

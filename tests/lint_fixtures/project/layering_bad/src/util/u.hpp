@@ -1,0 +1,5 @@
+#pragma once
+
+namespace fx {
+inline int fx_util_value() { return 41; }
+}  // namespace fx

@@ -1,0 +1,6 @@
+// app -> util is declared in layers.toml, so this include is fine.
+#include "util/u.hpp"
+
+namespace fx {
+int a_value() { return fx_util_value() + 1; }
+}  // namespace fx

@@ -1,0 +1,32 @@
+// Call sites exercising the registry pass: unregistered and repeated env
+// literals, an unregistered metric name, and a dynamically-built name with
+// an unknown literal fragment.
+
+#include <cstdlib>
+#include <string>
+
+namespace fx {
+
+struct Obs {
+  void counter(const std::string&) {}
+};
+
+bool bad_env() {
+  return std::getenv("HSD_FX_SECRET") != nullptr;  // not registered at all
+}
+
+bool repeated_env() {
+  return std::getenv("HSD_FX_MODE") != nullptr;  // registered: use the constant
+}
+
+void touch(Obs& obs) {
+  obs.counter("fx/runs");     // registered, fine
+  obs.counter("fx/missing");  // unregistered-metric
+}
+
+void touch_dynamic(Obs& obs, const std::string& shard) {
+  // "fx/" occurs in a registered pattern; "/nope" occurs in none.
+  obs.counter("fx/" + shard + "/nope");
+}
+
+}  // namespace fx

@@ -1,0 +1,14 @@
+#pragma once
+// Fixture registry with two deliberate defects: `fx/runs` is registered
+// twice (registry-duplicate) and `fx/ghost` is not mentioned in the
+// fixture docs (registry-undocumented).
+
+namespace fx::reg {
+
+inline constexpr const char kEnvMode[] = "HSD_FX_MODE";  // hsd-reg: env
+
+inline constexpr const char kMetricRuns[] = "fx/runs";  // hsd-reg: metric
+inline constexpr const char kMetricRunsDup[] = "fx/runs";  // hsd-reg: metric
+inline constexpr const char kMetricGhost[] = "fx/ghost";  // hsd-reg: metric
+
+}  // namespace fx::reg

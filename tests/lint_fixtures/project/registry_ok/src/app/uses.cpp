@@ -1,0 +1,26 @@
+// Clean counterpart: env access through the registry constant, exact and
+// wildcard-matched metric names, and a dynamic name whose every literal
+// fragment occurs in a registered pattern.
+
+#include <cstdlib>
+#include <string>
+
+#include "common/registry.hpp"
+
+namespace fx {
+
+struct Obs {
+  void counter(const std::string&) {}
+};
+
+bool env_through_constant() {
+  return std::getenv(reg::kEnvMode) != nullptr;
+}
+
+void touch(Obs& obs, const std::string& backend) {
+  obs.counter("fx/runs");
+  obs.counter("fx/backend/avx2/selected");            // matches the % pattern
+  obs.counter("fx/backend/" + backend + "/selected");  // fragments all known
+}
+
+}  // namespace fx

@@ -1,0 +1,15 @@
+#pragma once
+// Clean fixture registry: one env var, one exact metric, one wildcard
+// metric pattern, one span. Everything is documented in DESIGN.md.
+
+namespace fx::reg {
+
+inline constexpr const char kEnvMode[] = "HSD_FX_MODE";  // hsd-reg: env
+
+inline constexpr const char kMetricRuns[] = "fx/runs";  // hsd-reg: metric
+inline constexpr const char kMetricBackendSelected[] =
+    "fx/backend/%/selected";  // hsd-reg: metric
+
+inline constexpr const char kSpanStep[] = "fx/step";  // hsd-reg: span
+
+}  // namespace fx::reg

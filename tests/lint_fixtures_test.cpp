@@ -1,0 +1,307 @@
+// Drives hsd_lint's project passes over the fixture trees under
+// tests/lint_fixtures/project/ — one firing and one clean tree per pass
+// (layering, task-capture safety, identifier registry) — and pins down
+// the machine-facing surfaces: the JSON document schema, the baseline
+// grandfather/burn-down semantics, and the `%` wildcard matcher.
+//
+// Each fixture tree is its own scan root: the layering pass only runs
+// when the tree has a layers.toml, the registry pass only when it has a
+// src/common/registry.hpp, so every tree exercises exactly one pass on
+// top of the always-on line rules (the fixtures are written to be clean
+// under those).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+#include "model.hpp"
+
+namespace {
+
+using hsd::lint::Baseline;
+using hsd::lint::Diagnostic;
+using hsd::lint::Options;
+using hsd::lint::RunResult;
+
+const std::filesystem::path kProjectRoot =
+    std::filesystem::path(HSD_LINT_FIXTURE_DIR) / "project";
+
+RunResult run_tree(const std::string& tree, const Baseline* baseline = nullptr) {
+  Options options;
+  options.root = kProjectRoot / tree;
+  if (baseline != nullptr) options.baseline = *baseline;
+  return hsd::lint::run_full(options);
+}
+
+/// rule -> number of findings.
+std::map<std::string, std::size_t> rule_counts(const RunResult& result) {
+  std::map<std::string, std::size_t> counts;
+  for (const auto& d : result.findings) counts[d.rule]++;
+  return counts;
+}
+
+std::string all_formatted(const RunResult& result) {
+  std::string out;
+  for (const auto& d : result.findings) out += hsd::lint::format(d) + "\n";
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Layering pass
+// ---------------------------------------------------------------------------
+
+TEST(LayeringPass, BadTreeFiresEveryLayeringRule) {
+  const RunResult result = run_tree("layering_bad");
+  const auto counts = rule_counts(result);
+  EXPECT_EQ(counts.at("layer-violation"), 1u) << all_formatted(result);
+  EXPECT_EQ(counts.at("include-cycle"), 1u) << all_formatted(result);
+  EXPECT_EQ(counts.at("layer-unlisted-module"), 1u) << all_formatted(result);
+  EXPECT_EQ(counts.at("layer-manifest-drift"), 1u) << all_formatted(result);
+  EXPECT_EQ(counts.at("layer-manifest-error"), 1u) << all_formatted(result);
+  EXPECT_EQ(result.findings.size(), 5u) << all_formatted(result);
+
+  for (const auto& d : result.findings) {
+    if (d.rule == "layer-violation") {
+      EXPECT_EQ(d.file, "src/app/a.cpp");
+      EXPECT_EQ(d.line, 2);
+      EXPECT_NE(d.message.find("`app` may not include `util`"), std::string::npos)
+          << d.message;
+    } else if (d.rule == "include-cycle") {
+      // Reported once, anchored at the lexicographically smallest file.
+      EXPECT_EQ(d.file, "src/app/c1.hpp");
+      EXPECT_NE(d.message.find("src/app/c1.hpp -> src/app/c2.hpp -> src/app/c1.hpp"),
+                std::string::npos)
+          << d.message;
+    } else {
+      // Manifest-level findings anchor at the manifest itself, line 0.
+      EXPECT_EQ(d.file, "layers.toml");
+      EXPECT_EQ(d.line, 0);
+      if (d.rule == "layer-manifest-drift") {
+        EXPECT_NE(d.message.find("`ghost`"), std::string::npos) << d.message;
+      } else if (d.rule == "layer-unlisted-module") {
+        EXPECT_NE(d.message.find("src/extra/"), std::string::npos) << d.message;
+      } else {
+        EXPECT_NE(d.message.find("loopx -> loopy -> loopx"), std::string::npos)
+            << d.message;
+      }
+    }
+  }
+}
+
+TEST(LayeringPass, CleanTreeHasNoFindings) {
+  const RunResult result = run_tree("layering_ok");
+  EXPECT_TRUE(result.findings.empty()) << all_formatted(result);
+}
+
+TEST(LayeringPass, MalformedManifestIsAManifestError) {
+  hsd::lint::LayerManifest manifest;
+  std::string err;
+  EXPECT_FALSE(manifest.parse("[modules]\napp\n", &err));  // missing `=`
+  EXPECT_FALSE(err.empty());
+  err.clear();
+  EXPECT_FALSE(manifest.parse("[modules]\napp = [\"util\"\n", &err));
+  EXPECT_FALSE(err.empty());
+  EXPECT_TRUE(manifest.parse(
+      "[modules]\napp = [\"util\"]\n\"tensor/backend\" = []\nutil = []\n", &err))
+      << err;
+  EXPECT_TRUE(manifest.allows("app", "util"));
+  EXPECT_FALSE(manifest.allows("util", "app"));
+  EXPECT_TRUE(manifest.declares("tensor/backend"));
+}
+
+// ---------------------------------------------------------------------------
+// Task-capture safety pass
+// ---------------------------------------------------------------------------
+
+TEST(CapturePass, BadTreeFlagsRefAndThisCaptures) {
+  const RunResult result = run_tree("capture_bad");
+  ASSERT_EQ(result.findings.size(), 3u) << all_formatted(result);
+
+  EXPECT_EQ(result.findings[0].rule, "deferred-ref-capture");
+  EXPECT_EQ(result.findings[0].file, "src/app/deferred.cpp");
+  EXPECT_EQ(result.findings[0].line, 18);  // group.run([&total] ...) without wait
+  EXPECT_NE(result.findings[0].message.find("`group`.wait()"), std::string::npos)
+      << result.findings[0].message;
+
+  EXPECT_EQ(result.findings[1].rule, "deferred-ref-capture");
+  EXPECT_EQ(result.findings[1].line, 24);  // pool.submit([&] ...) never joins
+  EXPECT_NE(result.findings[1].message.find("fire-and-forget"), std::string::npos)
+      << result.findings[1].message;
+
+  EXPECT_EQ(result.findings[2].rule, "detached-this-capture");
+  EXPECT_EQ(result.findings[2].line, 30);  // pool.submit([this] ...)
+}
+
+TEST(CapturePass, CleanTreeHasNoFindings) {
+  // joined.cpp: wait() join path / by-value / [*this] are all fine;
+  // suppressed.cpp: inline allow() comments silence pass findings too.
+  const RunResult result = run_tree("capture_ok");
+  EXPECT_TRUE(result.findings.empty()) << all_formatted(result);
+}
+
+// ---------------------------------------------------------------------------
+// Identifier-registry pass
+// ---------------------------------------------------------------------------
+
+TEST(RegistryPass, BadTreeFlagsEveryRegistryDefect) {
+  const RunResult result = run_tree("registry_bad");
+  ASSERT_EQ(result.findings.size(), 6u) << all_formatted(result);
+
+  // Sorted by (file, line, rule): call sites first, then the registry.
+  EXPECT_EQ(result.findings[0].file, "src/app/uses.cpp");
+  EXPECT_EQ(result.findings[0].line, 15);
+  EXPECT_EQ(result.findings[0].rule, "unregistered-env");
+  EXPECT_NE(result.findings[0].message.find("HSD_FX_SECRET"),  // hsd-lint: allow(unregistered-env)
+            std::string::npos);
+  EXPECT_NE(result.findings[0].message.find("not a registered"), std::string::npos)
+      << result.findings[0].message;
+
+  // A literal that *is* registered still fires: the constant must be used.
+  EXPECT_EQ(result.findings[1].line, 19);
+  EXPECT_EQ(result.findings[1].rule, "unregistered-env");
+  EXPECT_NE(result.findings[1].message.find("use the hsd::reg constant"),
+            std::string::npos)
+      << result.findings[1].message;
+
+  EXPECT_EQ(result.findings[2].line, 24);
+  EXPECT_EQ(result.findings[2].rule, "unregistered-metric");
+  EXPECT_NE(result.findings[2].message.find("fx/missing"), std::string::npos);
+
+  // Dynamically-built name: only the unknown fragment is flagged.
+  EXPECT_EQ(result.findings[3].line, 29);
+  EXPECT_EQ(result.findings[3].rule, "unregistered-metric");
+  EXPECT_NE(result.findings[3].message.find("/nope"), std::string::npos);
+
+  EXPECT_EQ(result.findings[4].file, "src/common/registry.hpp");
+  EXPECT_EQ(result.findings[4].line, 11);
+  EXPECT_EQ(result.findings[4].rule, "registry-duplicate");
+  EXPECT_NE(result.findings[4].message.find("src/common/registry.hpp:10"),
+            std::string::npos)
+      << result.findings[4].message;
+
+  EXPECT_EQ(result.findings[5].line, 12);
+  EXPECT_EQ(result.findings[5].rule, "registry-undocumented");
+  EXPECT_NE(result.findings[5].message.find("fx/ghost"), std::string::npos);
+}
+
+TEST(RegistryPass, CleanTreeHasNoFindings) {
+  const RunResult result = run_tree("registry_ok");
+  EXPECT_TRUE(result.findings.empty()) << all_formatted(result);
+}
+
+TEST(RegistryPass, WildcardMatchSemantics) {
+  using hsd::lint::wildcard_match;
+  EXPECT_TRUE(wildcard_match("fx/runs", "fx/runs"));
+  EXPECT_FALSE(wildcard_match("fx/runs", "fx/run"));
+  EXPECT_FALSE(wildcard_match("fx/runs", "fx/runs2"));
+  // '%' matches any (possibly empty) substring.
+  EXPECT_TRUE(wildcard_match("fx/%/selected", "fx/avx2/selected"));
+  EXPECT_TRUE(wildcard_match("fx/%/selected", "fx//selected"));
+  EXPECT_TRUE(wildcard_match("serve%/completed", "serve/completed"));
+  EXPECT_TRUE(wildcard_match("serve%/completed", "serve_shard3/completed"));
+  EXPECT_FALSE(wildcard_match("serve%/completed", "serve/shed"));
+  EXPECT_TRUE(wildcard_match("%", ""));
+  EXPECT_TRUE(wildcard_match("a%b%c", "a-x-b-y-c"));
+  EXPECT_FALSE(wildcard_match("a%b%c", "a-x-c-y-b"));
+}
+
+// ---------------------------------------------------------------------------
+// JSON document
+// ---------------------------------------------------------------------------
+
+TEST(LintJson, SchemaIsStable) {
+  RunResult result;
+  result.findings.push_back(
+      {"src/app/a.cpp", 2, "layer-violation", "module `app` may not include `util`"});
+  result.baselined = 3;
+  result.stale_baseline.push_back("src/gone.cpp:9:no-rand");
+
+  EXPECT_EQ(hsd::lint::to_json(result),
+            "{\"tool\":\"hsd_lint\",\"schema_version\":1,"
+            "\"summary\":{\"findings\":1,\"baselined\":3,\"stale_baseline\":1},"
+            "\"findings\":[{\"file\":\"src/app/a.cpp\",\"line\":2,"
+            "\"rule\":\"layer-violation\",\"category\":\"layering\","
+            "\"message\":\"module `app` may not include `util`\"}],"
+            "\"stale_baseline\":[\"src/gone.cpp:9:no-rand\"]}");
+}
+
+TEST(LintJson, EscapesSpecialCharacters) {
+  RunResult result;
+  result.findings.push_back({"src/\"odd\".cpp", 1, "no-rand", "a\\b\nc\td"});
+  const std::string json = hsd::lint::to_json(result);
+  EXPECT_NE(json.find("\"file\":\"src/\\\"odd\\\".cpp\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"message\":\"a\\\\b\\nc\\td\""), std::string::npos) << json;
+}
+
+TEST(LintJson, GithubAnnotationsEscapePercentAndColon) {
+  const Diagnostic d{"src/a:b.cpp", 0, "unregistered-metric", "pattern fx/% missing"};
+  EXPECT_EQ(hsd::lint::format_github(d),
+            "::error file=src/a%3Ab.cpp,line=1"
+            "::[unregistered-metric] pattern fx/%25 missing");
+}
+
+// ---------------------------------------------------------------------------
+// Baseline semantics
+// ---------------------------------------------------------------------------
+
+TEST(LintBaseline, ParseValidatesShape) {
+  Baseline baseline;
+  std::string err;
+  EXPECT_FALSE(baseline.parse("src/a.cpp\n", &err));
+  EXPECT_FALSE(err.empty());
+  EXPECT_FALSE(baseline.parse("src/a.cpp:xx:no-rand\n", &err));
+  EXPECT_TRUE(baseline.parse("# header\n\nsrc/a.cpp:12:no-rand\n", &err)) << err;
+  EXPECT_TRUE(baseline.contains("src/a.cpp:12:no-rand"));
+  EXPECT_FALSE(baseline.contains("src/a.cpp:13:no-rand"));
+}
+
+TEST(LintBaseline, KeyOfRoundTripsThroughParse) {
+  const Diagnostic d{"src/app/deferred.cpp", 18, "deferred-ref-capture", "msg"};
+  const std::string key = Baseline::key_of(d);
+  EXPECT_EQ(key, "src/app/deferred.cpp:18:deferred-ref-capture");
+  Baseline baseline;
+  std::string err;
+  ASSERT_TRUE(baseline.parse(key + "\n", &err)) << err;
+  EXPECT_TRUE(baseline.contains(key));
+}
+
+TEST(LintBaseline, GrandfathersMatchingFindings) {
+  // Baseline every capture_bad finding: the run is clean, all three are
+  // counted as baselined, nothing is stale.
+  const RunResult raw = run_tree("capture_bad");
+  ASSERT_EQ(raw.findings.size(), 3u);
+  std::string text;
+  for (const auto& d : raw.findings) text += Baseline::key_of(d) + "\n";
+
+  Baseline baseline;
+  std::string err;
+  ASSERT_TRUE(baseline.parse(text, &err)) << err;
+  const RunResult masked = run_tree("capture_bad", &baseline);
+  EXPECT_TRUE(masked.findings.empty()) << all_formatted(masked);
+  EXPECT_EQ(masked.baselined, 3u);
+  EXPECT_TRUE(masked.stale_baseline.empty());
+}
+
+TEST(LintBaseline, StaleEntriesAreReportedForBurnDown) {
+  // One real entry plus one that matches nothing: the other two findings
+  // surface, and the dead entry comes back as stale.
+  const RunResult raw = run_tree("capture_bad");
+  ASSERT_EQ(raw.findings.size(), 3u);
+  Baseline baseline;
+  std::string err;
+  ASSERT_TRUE(baseline.parse(Baseline::key_of(raw.findings[0]) +
+                                 "\nsrc/app/gone.cpp:7:no-rand\n",
+                             &err))
+      << err;
+  const RunResult result = run_tree("capture_bad", &baseline);
+  EXPECT_EQ(result.findings.size(), 2u) << all_formatted(result);
+  EXPECT_EQ(result.baselined, 1u);
+  ASSERT_EQ(result.stale_baseline.size(), 1u);
+  EXPECT_EQ(result.stale_baseline[0], "src/app/gone.cpp:7:no-rand");
+}
+
+}  // namespace

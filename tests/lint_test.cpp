@@ -205,10 +205,13 @@ TEST(LintCatalogue, RuleNamesAreUniqueAndCategorized) {
   for (const auto& r : hsd::lint::rules()) {
     names.push_back(r.name);
     EXPECT_TRUE(r.category == "determinism" || r.category == "concurrency" ||
-                r.category == "hygiene")
+                r.category == "hygiene" || r.category == "layering" ||
+                r.category == "capture-safety" || r.category == "registry")
         << r.name << " has category " << r.category;
     EXPECT_FALSE(r.summary.empty());
   }
+  // 14 line rules plus 5 layering, 2 capture-safety, 4 registry rules.
+  EXPECT_EQ(names.size(), 25u);
   std::sort(names.begin(), names.end());
   EXPECT_EQ(std::adjacent_find(names.begin(), names.end()), names.end());
 }

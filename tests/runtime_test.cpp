@@ -9,6 +9,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "common/registry.hpp"
+
 namespace hsd::runtime {
 namespace {
 
@@ -35,11 +37,11 @@ TEST_F(RuntimeTest, DeriveSeedSeparatesStreamsAndBases) {
 }
 
 TEST_F(RuntimeTest, ConfiguredThreadsReadsEnvironment) {
-  ASSERT_EQ(setenv("HSD_THREADS", "3", 1), 0);
+  ASSERT_EQ(setenv(hsd::reg::kEnvThreads, "3", 1), 0);
   EXPECT_EQ(configured_threads(), 3u);
-  ASSERT_EQ(setenv("HSD_THREADS", "not-a-number", 1), 0);
+  ASSERT_EQ(setenv(hsd::reg::kEnvThreads, "not-a-number", 1), 0);
   EXPECT_GE(configured_threads(), 1u);  // falls back to hardware_concurrency
-  ASSERT_EQ(unsetenv("HSD_THREADS"), 0);
+  ASSERT_EQ(unsetenv(hsd::reg::kEnvThreads), 0);
   EXPECT_GE(configured_threads(), 1u);
 }
 

@@ -1,0 +1,309 @@
+#include "lexer.hpp"
+
+#include <cctype>
+
+namespace hsd::lint {
+
+namespace {
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Two-character punctuators the passes care about keeping whole. Anything
+/// else is emitted one character at a time, which is all the downstream
+/// pattern matching needs.
+bool two_char_punct(char a, char b) {
+  switch (a) {
+    case '-': return b == '>' || b == '-' || b == '=';
+    case ':': return b == ':';
+    case '&': return b == '&' || b == '=';
+    case '|': return b == '|' || b == '=';
+    case '=': return b == '=';
+    case '!': return b == '=';
+    case '<': return b == '=' || b == '<';
+    case '>': return b == '=' || b == '>';
+    case '+': return b == '+' || b == '=';
+    case '*': return b == '=';
+    case '/': return b == '=';
+    default: return false;
+  }
+}
+
+struct Lexer {
+  const std::string& text;
+  LexedFile out;
+
+  int line = 1;
+  bool in_directive = false;
+  std::string directive_text;  // directive body incl. literal contents
+  int directive_line = 0;
+
+  // Current in-progress identifier/number token.
+  std::string buf;
+  TokKind buf_kind = TokKind::kIdent;
+
+  // True when the previous code character emitted a punct token with no
+  // intervening whitespace/ident/literal, so `-` + `>` glue into `->`.
+  bool glue = false;
+
+  explicit Lexer(const std::string& t) : text(t) { out.lines.emplace_back(); }
+
+  SourceLine& cur() { return out.lines.back(); }
+
+  void flush() {
+    if (!buf.empty()) {
+      out.tokens.push_back({buf_kind, buf, line});
+      buf.clear();
+    }
+  }
+
+  void emit_punct(char c) {
+    flush();
+    if (glue && !out.tokens.empty()) {
+      Token& last = out.tokens.back();
+      if (last.kind == TokKind::kPunct && last.text.size() == 1 &&
+          last.line == line && two_char_punct(last.text[0], c)) {
+        last.text += c;
+        glue = false;  // no three-character merges (`>>>` is `>>` `>`)
+        return;
+      }
+    }
+    out.tokens.push_back({TokKind::kPunct, std::string(1, c), line});
+    glue = true;
+  }
+
+  void emit_literal(TokKind kind, std::string contents, int start_line) {
+    flush();
+    glue = false;
+    out.tokens.push_back({kind, std::move(contents), start_line});
+  }
+
+  void code_char(char c) {
+    cur().code += c;
+    if (in_directive) {
+      directive_text += c;
+      return;  // directive bodies produce no code tokens
+    }
+    if (ident_char(c)) {
+      if (buf.empty()) {
+        buf_kind = std::isdigit(static_cast<unsigned char>(c)) != 0
+                       ? TokKind::kNumber
+                       : TokKind::kIdent;
+      }
+      buf += c;
+      glue = false;
+      return;
+    }
+    if (c == '.' && buf_kind == TokKind::kNumber && !buf.empty()) {
+      buf += c;  // 1.5, 1e-3 handled loosely as one number token
+      return;
+    }
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+      flush();
+      glue = false;
+      return;
+    }
+    emit_punct(c);
+  }
+
+  void end_directive() {
+    if (!in_directive) return;
+    in_directive = false;
+    // Parse `# include <...>` / `# include "..."` out of the body.
+    std::size_t i = 0;
+    while (i < directive_text.size() &&
+           (directive_text[i] == '#' || directive_text[i] == ' ' ||
+            directive_text[i] == '\t')) {
+      ++i;
+    }
+    if (directive_text.compare(i, 7, "include") == 0) {
+      i += 7;
+      while (i < directive_text.size() &&
+             (directive_text[i] == ' ' || directive_text[i] == '\t')) {
+        ++i;
+      }
+      if (i < directive_text.size()) {
+        const char open = directive_text[i];
+        const char close = open == '<' ? '>' : (open == '"' ? '"' : '\0');
+        if (close != '\0') {
+          const std::size_t end = directive_text.find(close, i + 1);
+          if (end != std::string::npos) {
+            out.includes.push_back(
+                {directive_text.substr(i + 1, end - i - 1), open == '<',
+                 directive_line});
+          }
+        }
+      }
+    }
+    directive_text.clear();
+  }
+
+  void newline() {
+    flush();
+    end_directive();
+    glue = false;
+    out.lines.emplace_back();
+    ++line;
+  }
+};
+
+}  // namespace
+
+LexedFile lex(const std::string& text) {
+  Lexer lx(text);
+  enum class State { kCode, kString, kChar, kLineComment, kBlockComment, kRawString };
+  State state = State::kCode;
+  std::string raw_terminator;  // for kRawString: )delim"
+  std::string literal;         // contents of the literal being scanned
+  int literal_line = 1;
+  const std::size_t n = text.size();
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const char c = text[i];
+    if (c == '\n') {
+      if (state == State::kLineComment) state = State::kCode;
+      if (state == State::kCode && lx.in_directive && i > 0 && text[i - 1] == '\\') {
+        // Line continuation inside a directive: the logical line goes on.
+        lx.out.lines.emplace_back();
+        ++lx.line;
+        continue;
+      }
+      if (state == State::kRawString || state == State::kString ||
+          state == State::kChar) {
+        // Literal spanning a newline (raw strings legitimately; plain
+        // literals only when malformed): keep scanning, advance the line.
+        if (state == State::kRawString) literal += c;
+        lx.out.lines.emplace_back();
+        ++lx.line;
+        continue;
+      }
+      lx.newline();
+      continue;
+    }
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && i + 1 < n && text[i + 1] == '/') {
+          lx.flush();
+          state = State::kLineComment;
+          ++i;
+        } else if (c == '/' && i + 1 < n && text[i + 1] == '*') {
+          lx.flush();
+          state = State::kBlockComment;
+          ++i;
+        } else if (c == 'R' && i + 1 < n && text[i + 1] == '"' &&
+                   (lx.cur().code.empty() ||
+                    !ident_char(lx.cur().code.back()))) {
+          // R"delim( ... )delim"
+          std::size_t j = i + 2;
+          std::string delim;
+          while (j < n && text[j] != '(' && text[j] != '\n') delim += text[j++];
+          raw_terminator = ")" + delim + "\"";
+          literal.clear();
+          literal_line = lx.line;
+          state = State::kRawString;
+          lx.cur().code += "\"\"";
+          if (lx.in_directive) lx.directive_text += "\"\"";
+          i = j;  // at '(' (or newline, handled next iteration)
+        } else if (c == '"') {
+          literal.clear();
+          literal_line = lx.line;
+          state = State::kString;
+          lx.cur().code += "\"\"";
+          if (lx.in_directive) lx.directive_text += '"';
+        } else if (c == '\'' && !lx.buf.empty() && i + 1 < n &&
+                   ident_char(text[i + 1]) &&
+                   lx.buf_kind == TokKind::kNumber) {
+          // Digit separator: 1'000'000 stays one number token.
+          lx.cur().code += c;
+          lx.buf += c;
+        } else if (c == '\'') {
+          literal.clear();
+          literal_line = lx.line;
+          state = State::kChar;
+          lx.cur().code += "''";
+        } else if (c == '#' && !lx.in_directive) {
+          // A '#' whose line prefix is all whitespace opens a directive.
+          const std::string& sofar = lx.cur().code;
+          const bool only_ws =
+              sofar.find_first_not_of(" \t") == std::string::npos;
+          if (only_ws) {
+            lx.flush();
+            lx.in_directive = true;
+            lx.directive_line = lx.line;
+            lx.directive_text.clear();
+            lx.directive_text.push_back('#');
+            lx.cur().code += c;
+          } else {
+            lx.code_char(c);
+          }
+        } else {
+          lx.code_char(c);
+        }
+        break;
+      case State::kString:
+        if (c == '\\' && i + 1 < n) {
+          literal += c;
+          literal += text[i + 1];
+          if (lx.in_directive) {
+            lx.directive_text += c;
+            lx.directive_text += text[i + 1];
+          }
+          ++i;
+        } else if (c == '"') {
+          state = State::kCode;
+          if (lx.in_directive) {
+            lx.directive_text += '"';
+          } else {
+            lx.emit_literal(TokKind::kString, literal, literal_line);
+          }
+        } else {
+          literal += c;
+          if (lx.in_directive) lx.directive_text += c;
+        }
+        break;
+      case State::kChar:
+        if (c == '\\' && i + 1 < n) {
+          literal += c;
+          literal += text[i + 1];
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+          if (!lx.in_directive) {
+            lx.emit_literal(TokKind::kChar, literal, literal_line);
+          }
+        } else {
+          literal += c;
+        }
+        break;
+      case State::kRawString:
+        if (c == raw_terminator[0] &&
+            text.compare(i, raw_terminator.size(), raw_terminator) == 0) {
+          i += raw_terminator.size() - 1;
+          state = State::kCode;
+          if (!lx.in_directive) {
+            lx.emit_literal(TokKind::kString, literal, literal_line);
+          }
+        } else {
+          literal += c;
+        }
+        break;
+      case State::kLineComment:
+        lx.cur().comment += c;
+        break;
+      case State::kBlockComment:
+        if (c == '*' && i + 1 < n && text[i + 1] == '/') {
+          state = State::kCode;
+          ++i;
+        } else {
+          lx.cur().comment += c;
+        }
+        break;
+    }
+  }
+  lx.flush();
+  lx.end_directive();
+  return lx.out;
+}
+
+}  // namespace hsd::lint

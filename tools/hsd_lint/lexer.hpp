@@ -1,0 +1,67 @@
+#pragma once
+// Shared preprocessor-aware lexer for hsd_lint. One scan of a translation
+// unit produces three coordinated views:
+//
+//   1. `tokens`   — the code token stream (identifiers, literals, puncts)
+//                   with 1-based line numbers. Comment text, string/char
+//                   literal *contents* (kept on the token), and
+//                   preprocessor directive bodies never appear as code
+//                   tokens, so token-level passes (capture safety,
+//                   identifier registry) cannot be fooled by commented-out
+//                   or quoted code.
+//   2. `includes` — every #include directive with its target and whether
+//                   it used angle brackets, feeding the cross-file
+//                   include-dependency graph.
+//   3. `lines`    — per-line (code, comment) channels with literal bodies
+//                   blanked, which the legacy line rules and the
+//                   `hsd-lint: allow(...)` suppression parser ride on.
+//
+// The lexer understands line continuations, raw strings, and nested block
+// comments spanning lines; it does not expand macros or evaluate #if
+// conditions (both arms of a conditional are scanned — a violation hidden
+// behind #if 0 is still a violation waiting to come back).
+
+#include <string>
+#include <vector>
+
+namespace hsd::lint {
+
+enum class TokKind {
+  kIdent,    // identifiers and keywords, including `this`
+  kNumber,   // numeric literal (pp-number, loosely)
+  kString,   // string literal; text holds the *contents* without quotes
+  kChar,     // character literal; text holds the contents without quotes
+  kPunct,    // punctuation; multi-char for -> :: && || and digraph-free C++
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int line = 0;  // 1-based
+};
+
+struct IncludeDirective {
+  std::string target;  // path between the quotes/brackets
+  bool angled = false;
+  int line = 0;  // 1-based
+};
+
+/// Per-line view used by the line rules: code with literal bodies blanked
+/// (a string literal becomes `""`, a char literal `''`) and the comment
+/// text that shared the line.
+struct SourceLine {
+  std::string code;
+  std::string comment;
+};
+
+struct LexedFile {
+  std::vector<Token> tokens;
+  std::vector<IncludeDirective> includes;
+  std::vector<SourceLine> lines;  // lines[i] is source line i+1
+};
+
+/// Lexes `text` (one file's contents). Never throws on malformed input;
+/// unterminated constructs simply end at EOF.
+LexedFile lex(const std::string& text);
+
+}  // namespace hsd::lint

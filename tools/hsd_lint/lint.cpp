@@ -5,99 +5,13 @@
 #include <fstream>
 #include <sstream>
 
+#include "lexer.hpp"
+#include "model.hpp"
+#include "passes.hpp"
+
 namespace hsd::lint {
 
 namespace {
-
-// ---------------------------------------------------------------------------
-// Preprocessing: split source text into per-line (code, comment) pairs with
-// string/char literals blanked out, so rules never match inside literals or
-// comments, and suppression comments are parsed from the comment channel.
-// ---------------------------------------------------------------------------
-
-struct SourceLine {
-  std::string code;
-  std::string comment;
-};
-
-std::vector<SourceLine> preprocess(const std::string& text) {
-  std::vector<SourceLine> lines(1);
-  enum class State { kCode, kString, kChar, kLineComment, kBlockComment, kRawString };
-  State state = State::kCode;
-  std::string raw_terminator;  // for kRawString: )delim"
-  const std::size_t n = text.size();
-  for (std::size_t i = 0; i < n; ++i) {
-    const char c = text[i];
-    if (c == '\n') {
-      if (state == State::kLineComment) state = State::kCode;
-      lines.emplace_back();
-      continue;
-    }
-    SourceLine& cur = lines.back();
-    switch (state) {
-      case State::kCode:
-        if (c == '/' && i + 1 < n && text[i + 1] == '/') {
-          state = State::kLineComment;
-          ++i;
-        } else if (c == '/' && i + 1 < n && text[i + 1] == '*') {
-          state = State::kBlockComment;
-          ++i;
-        } else if (c == 'R' && i + 1 < n && text[i + 1] == '"' &&
-                   (cur.code.empty() || !std::isalnum(static_cast<unsigned char>(
-                                            cur.code.back())))) {
-          // R"delim( ... )delim"
-          std::size_t j = i + 2;
-          std::string delim;
-          while (j < n && text[j] != '(' && text[j] != '\n') delim += text[j++];
-          raw_terminator = ")" + delim + "\"";
-          state = State::kRawString;
-          cur.code += "\"\"";
-          i = j;  // at '(' (or newline, handled next iteration)
-        } else if (c == '"') {
-          state = State::kString;
-          cur.code += "\"\"";
-        } else if (c == '\'') {
-          state = State::kChar;
-          cur.code += "''";
-        } else {
-          cur.code += c;
-        }
-        break;
-      case State::kString:
-        if (c == '\\' && i + 1 < n) {
-          ++i;
-        } else if (c == '"') {
-          state = State::kCode;
-        }
-        break;
-      case State::kChar:
-        if (c == '\\' && i + 1 < n) {
-          ++i;
-        } else if (c == '\'') {
-          state = State::kCode;
-        }
-        break;
-      case State::kRawString:
-        if (c == raw_terminator[0] && text.compare(i, raw_terminator.size(), raw_terminator) == 0) {
-          i += raw_terminator.size() - 1;
-          state = State::kCode;
-        }
-        break;
-      case State::kLineComment:
-        cur.comment += c;
-        break;
-      case State::kBlockComment:
-        if (c == '*' && i + 1 < n && text[i + 1] == '/') {
-          state = State::kCode;
-          ++i;
-        } else {
-          cur.comment += c;
-        }
-        break;
-    }
-  }
-  return lines;
-}
 
 // ---------------------------------------------------------------------------
 // Small string helpers
@@ -196,7 +110,7 @@ const std::vector<RuleInfo> kRules = {
      "explicitly via hsd::stats::Rng / runtime::derive_seed"},
     {"no-wall-clock", "determinism",
      "bans wall-clock/steady-clock reads outside src/obs, src/runtime, "
-     "src/serve, bench/"},
+     "src/serve, bench/, tools/"},
     {"no-unordered-in-core", "determinism",
      "bans std::unordered_map/set in src/core, src/gmm, src/data (iteration "
      "order is nondeterministic)"},
@@ -225,11 +139,45 @@ const std::vector<RuleInfo> kRules = {
      "bans raw SIMD (__AVX2__/__AVX512*, immintrin.h, _mm256_*/_mm512_*, "
      "__builtin_cpu_supports) outside src/tensor/backend/; extend a Backend "
      "so the scalar reference and differential tests stay authoritative"},
+    // --- project passes ----------------------------------------------------
+    {"layer-violation", "layering",
+     "an #include edge between src/ modules that the layers.toml DAG does "
+     "not allow; add the dependency to the manifest deliberately or break "
+     "the edge"},
+    {"include-cycle", "layering",
+     "a cyclic #include chain among scanned files; cycles make build order "
+     "and incremental rebuilds fragile"},
+    {"layer-unlisted-module", "layering",
+     "a src/ module exists on disk but is not declared in layers.toml; "
+     "every module must declare its allowed dependencies"},
+    {"layer-manifest-drift", "layering",
+     "layers.toml declares a module whose src/ directory does not exist"},
+    {"layer-manifest-error", "layering",
+     "layers.toml is malformed or its declared dependency graph has a cycle"},
+    {"deferred-ref-capture", "capture-safety",
+     "a lambda passed to TaskGroup::run / ThreadPool::submit captures by "
+     "reference with no wait() join path in the file; the task can outlive "
+     "the captured locals"},
+    {"detached-this-capture", "capture-safety",
+     "`this` captured into a deferred task with no join path in the file; "
+     "the callback can run after the object is destroyed"},
+    {"unregistered-env", "registry",
+     "an HSD_* environment-variable literal outside src/common/registry.hpp; "
+     "register it once and use the hsd::reg constant"},
+    {"unregistered-metric", "registry",
+     "an obs metric/span name (or name fragment) that matches no entry in "
+     "src/common/registry.hpp"},
+    {"registry-duplicate", "registry",
+     "an identifier registered more than once in src/common/registry.hpp; "
+     "the registry is the single source of truth"},
+    {"registry-undocumented", "registry",
+     "a registered identifier not mentioned in DESIGN.md/README.md; every "
+     "knob and metric must be documented where users look"},
 };
 
 struct Scope {
   bool in_src = false;
-  bool clock_exempt = false;      // src/obs, src/runtime, src/serve, bench
+  bool clock_exempt = false;      // src/obs, src/runtime, src/serve, bench, tools
   bool unordered_scoped = false;  // src/core, src/gmm, src/data
   bool route_agg_scoped = false;  // src/serve, src/obs
   bool thread_exempt = false;     // src/runtime
@@ -241,7 +189,8 @@ Scope scope_of(const std::string& rel) {
   Scope s;
   s.in_src = starts_with(rel, "src/");
   s.clock_exempt = starts_with(rel, "src/obs/") || starts_with(rel, "src/runtime/") ||
-                   starts_with(rel, "src/serve/") || starts_with(rel, "bench/");
+                   starts_with(rel, "src/serve/") || starts_with(rel, "bench/") ||
+                   starts_with(rel, "tools/");
   s.unordered_scoped = starts_with(rel, "src/core/") || starts_with(rel, "src/gmm/") ||
                        starts_with(rel, "src/data/");
   s.route_agg_scoped = starts_with(rel, "src/serve/") || starts_with(rel, "src/obs/");
@@ -414,6 +363,115 @@ void check_line(const std::string& rel, const Scope& sc, const std::string& code
   }
 }
 
+// ---------------------------------------------------------------------------
+// Per-file engine: line rules + file-level checks on a lexed file
+// ---------------------------------------------------------------------------
+
+std::vector<Diagnostic> line_pass(const std::string& rel, const LexedFile& lexed) {
+  const Scope sc = scope_of(rel);
+  const auto& lines = lexed.lines;
+
+  bool file_uses_atomics = false;
+  for (const auto& inc : lexed.includes) {
+    if (inc.angled && inc.target == "atomic") {
+      file_uses_atomics = true;
+      break;
+    }
+  }
+  if (!file_uses_atomics) {
+    for (const auto& l : lines) {
+      if (contains(l.code, "std::atomic")) {
+        file_uses_atomics = true;
+        break;
+      }
+    }
+  }
+
+  std::vector<Diagnostic> raw;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    check_line(rel, sc, lines[i].code, static_cast<int>(i) + 1,
+               file_uses_atomics, raw);
+  }
+
+  if (sc.is_header) {
+    bool has_pragma_once = false;
+    for (const auto& l : lines) {
+      if (contains(l.code, "#pragma once")) {
+        has_pragma_once = true;
+        break;
+      }
+    }
+    if (!has_pragma_once) {
+      raw.push_back({rel, 1, "pragma-once", "header is missing #pragma once"});
+    }
+  }
+
+  // A std::thread member is a leak-on-destruction hazard unless the same
+  // file also has a path that joins it (a joining destructor, stop(), or
+  // shutdown()). File-level: the declaration and the join rarely share a
+  // line.
+  if (!sc.thread_exempt) {
+    bool has_join_path = false;
+    for (const auto& l : lines) {
+      if (contains(l.code, ".join(") || contains_call(l.code, "stop") ||
+          contains_call(l.code, "shutdown")) {
+        has_join_path = true;
+        break;
+      }
+    }
+    if (!has_join_path) {
+      for (std::size_t i = 0; i < lines.size(); ++i) {
+        if (thread_member_decl(lines[i].code)) {
+          raw.push_back({rel, static_cast<int>(i) + 1, "thread-member-join",
+                         "std::thread member with no join()/stop()/shutdown() "
+                         "path in this file; a destructor that forgets to join "
+                         "calls std::terminate"});
+        }
+      }
+    }
+  }
+  return raw;
+}
+
+/// Drops diagnostics covered by an inline `hsd-lint: allow(rule)` on the
+/// flagged line or on a comment-only line directly above it. Diagnostics
+/// with line 0 (file/project level) pass through untouched.
+void apply_inline_suppressions(const std::vector<SourceLine>& lines,
+                               std::vector<Diagnostic>& diags) {
+  std::vector<Diagnostic> kept;
+  kept.reserve(diags.size());
+  for (auto& d : diags) {
+    if (d.line > 0 && static_cast<std::size_t>(d.line) <= lines.size()) {
+      const std::size_t idx = static_cast<std::size_t>(d.line) - 1;
+      std::set<std::string> allowed = parse_allows(lines[idx].comment);
+      if (idx > 0 && ltrim(lines[idx - 1].code).empty()) {
+        // A comment-only line directly above applies to this line.
+        const auto prev = parse_allows(lines[idx - 1].comment);
+        allowed.insert(prev.begin(), prev.end());
+      }
+      if (allowed.count(d.rule) > 0) continue;
+    }
+    kept.push_back(std::move(d));
+  }
+  diags.swap(kept);
+}
+
+void sort_diags(std::vector<Diagnostic>& out) {
+  std::sort(out.begin(), out.end(), [](const Diagnostic& a, const Diagnostic& b) {
+    if (a.file != b.file) return a.file < b.file;
+    if (a.line != b.line) return a.line < b.line;
+    return a.rule < b.rule;
+  });
+}
+
+std::string read_file(const std::filesystem::path& p) {
+  std::ifstream is(p, std::ios::binary);
+  if (!is) return "";
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  return buf.str();
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -461,163 +519,305 @@ bool AllowList::allows(const std::string& rel_path, const std::string& rule) con
 }
 
 // ---------------------------------------------------------------------------
+// Baseline
+// ---------------------------------------------------------------------------
+
+bool Baseline::parse(const std::string& text, std::string* error) {
+  std::istringstream is(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    const auto b = line.find_first_not_of(" \t\r");
+    if (b == std::string::npos) continue;
+    const auto e = line.find_last_not_of(" \t\r");
+    line = line.substr(b, e - b + 1);
+    if (line.empty() || line[0] == '#') continue;
+    // path:line:rule — the last two colons delimit line and rule.
+    const auto c2 = line.rfind(':');
+    const auto c1 = c2 == std::string::npos ? std::string::npos
+                                            : line.rfind(':', c2 - 1);
+    bool ok = c1 != std::string::npos && c1 > 0 && c2 > c1 + 1 &&
+              c2 + 1 < line.size();
+    if (ok) {
+      for (std::size_t i = c1 + 1; i < c2; ++i) {
+        if (!std::isdigit(static_cast<unsigned char>(line[i]))) {
+          ok = false;
+          break;
+        }
+      }
+    }
+    if (!ok) {
+      if (error) {
+        *error = "baseline line " + std::to_string(lineno) +
+                 ": expected `path:line:rule`, got `" + line + "`";
+      }
+      return false;
+    }
+    entries_.insert(line);
+  }
+  return true;
+}
+
+bool Baseline::load(const std::filesystem::path& path, std::string* error) {
+  std::ifstream is(path);
+  if (!is) {
+    if (error) *error = "cannot open baseline: " + path.string();
+    return false;
+  }
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  return parse(buf.str(), error);
+}
+
+std::string Baseline::key_of(const Diagnostic& d) {
+  return d.file + ":" + std::to_string(d.line) + ":" + d.rule;
+}
+
+// ---------------------------------------------------------------------------
 // Entry points
 // ---------------------------------------------------------------------------
 
 const std::vector<RuleInfo>& rules() { return kRules; }
 
+std::string category_of(const std::string& rule) {
+  for (const auto& r : kRules) {
+    if (r.name == rule) return r.category;
+  }
+  return "io";  // the synthetic io-error rule
+}
+
 std::vector<Diagnostic> lint_text(const std::string& rel_path, const std::string& text,
                                   const AllowList& allowlist) {
-  const Scope sc = scope_of(rel_path);
-  const std::vector<SourceLine> lines = preprocess(text);
-  const bool file_uses_atomics =
-      contains(text, "std::atomic") || contains(text, "<atomic>");
-
-  std::vector<Diagnostic> raw;
-  for (std::size_t i = 0; i < lines.size(); ++i) {
-    check_line(rel_path, sc, lines[i].code, static_cast<int>(i) + 1,
-               file_uses_atomics, raw);
-  }
-
-  if (sc.is_header && !contains(text, "#pragma once")) {
-    raw.push_back({rel_path, 1, "pragma-once", "header is missing #pragma once"});
-  }
-
-  // A std::thread member is a leak-on-destruction hazard unless the same
-  // file also has a path that joins it (a joining destructor, stop(), or
-  // shutdown()). File-level: the declaration and the join rarely share a
-  // line.
-  if (!sc.thread_exempt) {
-    bool has_join_path = false;
-    for (const auto& l : lines) {
-      if (contains(l.code, ".join(") || contains_call(l.code, "stop") ||
-          contains_call(l.code, "shutdown")) {
-        has_join_path = true;
-        break;
-      }
-    }
-    if (!has_join_path) {
-      for (std::size_t i = 0; i < lines.size(); ++i) {
-        if (thread_member_decl(lines[i].code)) {
-          raw.push_back({rel_path, static_cast<int>(i) + 1, "thread-member-join",
-                         "std::thread member with no join()/stop()/shutdown() "
-                         "path in this file; a destructor that forgets to join "
-                         "calls std::terminate"});
-        }
-      }
-    }
-  }
-
+  const LexedFile lexed = lex(text);
+  std::vector<Diagnostic> raw = line_pass(rel_path, lexed);
+  apply_inline_suppressions(lexed.lines, raw);
   std::vector<Diagnostic> out;
   for (auto& d : raw) {
     if (allowlist.allows(rel_path, d.rule)) continue;
-    const std::size_t idx = static_cast<std::size_t>(d.line) - 1;
-    std::set<std::string> allowed = parse_allows(lines[idx].comment);
-    if (idx > 0 && ltrim(lines[idx - 1].code).empty()) {
-      // A comment-only line directly above applies to this line.
-      const auto prev = parse_allows(lines[idx - 1].comment);
-      allowed.insert(prev.begin(), prev.end());
-    }
-    if (allowed.count(d.rule) > 0) continue;
     out.push_back(std::move(d));
   }
   return out;
 }
 
-namespace {
+RunResult run_full(const Options& options) {
+  std::vector<Diagnostic> all;
 
-bool lintable(const std::filesystem::path& p) {
-  const std::string ext = p.extension().string();
-  return ext == ".cpp" || ext == ".cc" || ext == ".cxx" || ext == ".hpp" ||
-         ext == ".h" || ext == ".hh" || ext == ".inl";
-}
-
-bool skipped_component(const std::filesystem::path& rel) {
-  for (const auto& part : rel) {
-    const std::string s = part.string();
-    if (s == "lint_fixtures" || s == "build" || (s.size() > 1 && s[0] == '.')) {
-      return true;
-    }
-  }
-  return false;
-}
-
-void lint_one(const std::filesystem::path& file, const std::filesystem::path& root,
-              const AllowList& allowlist, std::vector<Diagnostic>& out) {
-  std::error_code ec;
-  std::filesystem::path rel = std::filesystem::relative(file, root, ec);
-  if (ec || rel.empty()) rel = file;
-  const std::string rel_str = rel.generic_string();
-
-  std::ifstream is(file, std::ios::binary);
-  if (!is) {
-    out.push_back({rel_str, 0, "io-error", "cannot read file"});
-    return;
-  }
-  std::ostringstream buf;
-  buf << is.rdbuf();
-  auto diags = lint_text(rel_str, buf.str(), allowlist);
-  out.insert(out.end(), std::make_move_iterator(diags.begin()),
-             std::make_move_iterator(diags.end()));
-}
-
-void lint_tree(const std::filesystem::path& dir, const std::filesystem::path& root,
-               const AllowList& allowlist, std::vector<Diagnostic>& out) {
-  std::error_code ec;
-  std::filesystem::recursive_directory_iterator it(dir, ec), end;
-  if (ec) return;
-  for (; it != end; it.increment(ec)) {
-    if (ec) break;
-    const std::filesystem::path& p = it->path();
-    std::error_code rec;
-    const std::filesystem::path rel = std::filesystem::relative(p, root, rec);
-    if (!rec && skipped_component(rel)) {
-      if (it->is_directory()) it.disable_recursion_pending();
-      continue;
-    }
-    if (it->is_regular_file() && lintable(p)) {
-      lint_one(p, root, allowlist, out);
-    }
-  }
-}
-
-}  // namespace
-
-std::vector<Diagnostic> run(const Options& options) {
-  std::vector<Diagnostic> out;
   std::vector<std::filesystem::path> targets;
   const bool explicit_paths = !options.paths.empty();
   if (explicit_paths) {
     for (const auto& p : options.paths) {
       std::filesystem::path path(p);
       if (path.is_relative()) path = options.root / path;
+      std::error_code ec;
+      if (!std::filesystem::exists(path, ec)) {
+        // A default scan dir that doesn't exist under root is just skipped;
+        // a path the caller named must exist.
+        all.push_back({path.generic_string(), 0, "io-error",
+                       "no such file or directory"});
+        continue;
+      }
       targets.push_back(path);
     }
   } else {
     for (const auto& d : options.scan_dirs) targets.push_back(options.root / d);
   }
-  for (const auto& t : targets) {
-    if (std::filesystem::is_directory(t)) {
-      lint_tree(t, options.root, options.allowlist, out);
-    } else if (std::filesystem::exists(t)) {
-      lint_one(t, options.root, options.allowlist, out);
-    } else if (explicit_paths) {
-      // A default scan dir that doesn't exist under root is just skipped;
-      // a path the caller named must exist.
-      out.push_back({t.generic_string(), 0, "io-error", "no such file or directory"});
+
+  std::vector<std::string> io_errors;
+  const ProjectModel project = load_project(options.root, targets, &io_errors);
+  for (const auto& rel : io_errors) {
+    all.push_back({rel, 0, "io-error", "cannot read file"});
+  }
+
+  // Per-file: line rules, then the capture-safety pass.
+  for (const auto& f : project.files) {
+    std::vector<Diagnostic> file_diags = line_pass(f.rel, f.lex);
+    capture_pass(f, file_diags);
+    apply_inline_suppressions(f.lex.lines, file_diags);
+    all.insert(all.end(), std::make_move_iterator(file_diags.begin()),
+               std::make_move_iterator(file_diags.end()));
+  }
+
+  // Layering: runs when a manifest is checked in at the root or next to the
+  // tool. Fixture trees without a manifest skip the pass entirely.
+  std::filesystem::path manifest_path;
+  std::string manifest_rel;
+  for (const char* cand : {"layers.toml", "tools/hsd_lint/layers.toml"}) {
+    std::error_code ec;
+    if (std::filesystem::is_regular_file(options.root / cand, ec)) {
+      manifest_path = options.root / cand;
+      manifest_rel = cand;
+      break;
     }
   }
-  std::sort(out.begin(), out.end(), [](const Diagnostic& a, const Diagnostic& b) {
-    if (a.file != b.file) return a.file < b.file;
-    if (a.line != b.line) return a.line < b.line;
-    return a.rule < b.rule;
-  });
-  return out;
+  if (!manifest_path.empty()) {
+    LayerManifest manifest;
+    std::string err;
+    if (!manifest.load(manifest_path, &err)) {
+      all.push_back({manifest_rel, 0, "layer-manifest-error", err});
+    } else {
+      std::vector<Diagnostic> layer_diags;
+      layering_pass(project, manifest, manifest_rel, layer_diags);
+      for (auto& d : layer_diags) {
+        if (const FileModel* fm = project.find(d.file)) {
+          std::vector<Diagnostic> one{std::move(d)};
+          apply_inline_suppressions(fm->lex.lines, one);
+          if (!one.empty()) all.push_back(std::move(one.front()));
+        } else {
+          all.push_back(std::move(d));
+        }
+      }
+    }
+  }
+
+  // Registry: runs when the registry header exists under the root. The
+  // header itself may be outside the scanned targets (explicit-path runs),
+  // so it is lexed independently.
+  const std::string registry_rel = "src/common/registry.hpp";
+  std::error_code reg_ec;
+  if (std::filesystem::is_regular_file(options.root / registry_rel, reg_ec)) {
+    Registry registry;
+    registry.parse(lex(read_file(options.root / registry_rel)));
+    std::string docs_text;
+    for (const char* doc : {"DESIGN.md", "README.md", "tests/README.md"}) {
+      docs_text += read_file(options.root / doc);
+      docs_text += '\n';
+    }
+    std::vector<Diagnostic> reg_diags;
+    registry_pass(project, registry, registry_rel, docs_text, reg_diags);
+    for (auto& d : reg_diags) {
+      if (const FileModel* fm = project.find(d.file)) {
+        std::vector<Diagnostic> one{std::move(d)};
+        apply_inline_suppressions(fm->lex.lines, one);
+        if (!one.empty()) all.push_back(std::move(one.front()));
+      } else {
+        all.push_back(std::move(d));
+      }
+    }
+  }
+
+  // File-wide allowlist applies to every rule, including pass findings.
+  std::vector<Diagnostic> surviving;
+  surviving.reserve(all.size());
+  for (auto& d : all) {
+    if (options.allowlist.allows(d.file, d.rule)) continue;
+    surviving.push_back(std::move(d));
+  }
+  sort_diags(surviving);
+
+  // Baseline: grandfathered findings are counted, not reported; entries
+  // that matched nothing are stale and reported for burn-down.
+  RunResult result;
+  std::set<std::string> matched;
+  for (auto& d : surviving) {
+    const std::string key = Baseline::key_of(d);
+    if (options.baseline.contains(key)) {
+      ++result.baselined;
+      matched.insert(key);
+      continue;
+    }
+    result.findings.push_back(std::move(d));
+  }
+  for (const auto& entry : options.baseline.entries()) {
+    if (matched.count(entry) == 0) result.stale_baseline.push_back(entry);
+  }
+  return result;
+}
+
+std::vector<Diagnostic> run(const Options& options) {
+  return run_full(options).findings;
 }
 
 std::string format(const Diagnostic& d) {
   std::ostringstream os;
   os << d.file << ":" << d.line << ": error: [" << d.rule << "] " << d.message;
+  return os.str();
+}
+
+std::string format_github(const Diagnostic& d) {
+  // GitHub annotation syntax: property values escape % , : and newlines;
+  // message data escapes % and newlines.
+  auto esc_prop = [](const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      switch (c) {
+        case '%': out += "%25"; break;
+        case ',': out += "%2C"; break;
+        case ':': out += "%3A"; break;
+        case '\n': out += "%0A"; break;
+        case '\r': out += "%0D"; break;
+        default: out += c;
+      }
+    }
+    return out;
+  };
+  auto esc_data = [](const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      switch (c) {
+        case '%': out += "%25"; break;
+        case '\n': out += "%0A"; break;
+        case '\r': out += "%0D"; break;
+        default: out += c;
+      }
+    }
+    return out;
+  };
+  std::ostringstream os;
+  os << "::error file=" << esc_prop(d.file) << ",line=" << (d.line > 0 ? d.line : 1)
+     << "::[" << d.rule << "] " << esc_data(d.message);
+  return os.str();
+}
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* hex = "0123456789abcdef";
+          out += "\\u00";
+          out += hex[(c >> 4) & 0xF];
+          out += hex[c & 0xF];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_json(const RunResult& result) {
+  std::ostringstream os;
+  os << "{\"tool\":\"hsd_lint\",\"schema_version\":1,";
+  os << "\"summary\":{\"findings\":" << result.findings.size()
+     << ",\"baselined\":" << result.baselined
+     << ",\"stale_baseline\":" << result.stale_baseline.size() << "},";
+  os << "\"findings\":[";
+  for (std::size_t i = 0; i < result.findings.size(); ++i) {
+    const Diagnostic& d = result.findings[i];
+    if (i > 0) os << ",";
+    os << "{\"file\":\"" << json_escape(d.file) << "\",\"line\":" << d.line
+       << ",\"rule\":\"" << json_escape(d.rule) << "\",\"category\":\""
+       << json_escape(category_of(d.rule)) << "\",\"message\":\""
+       << json_escape(d.message) << "\"}";
+  }
+  os << "],\"stale_baseline\":[";
+  for (std::size_t i = 0; i < result.stale_baseline.size(); ++i) {
+    if (i > 0) os << ",";
+    os << "\"" << json_escape(result.stale_baseline[i]) << "\"";
+  }
+  os << "]}";
   return os.str();
 }
 

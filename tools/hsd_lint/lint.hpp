@@ -1,8 +1,11 @@
 #pragma once
 // hsd_lint — self-contained static analysis for the repo's determinism,
-// concurrency, and hygiene invariants. Token/line-level scanner; no
-// libclang. See DESIGN.md "Static analysis: hsd_lint" for the rule
-// catalogue and suppression syntax.
+// concurrency, hygiene, and architecture invariants. A preprocessor-aware
+// lexer (lexer.hpp) feeds per-line rules plus whole-project passes
+// (passes.hpp): include-graph layering against layers.toml, task-capture
+// safety for deferred APIs, and the HSD_*/obs identifier registry. See
+// DESIGN.md "Static analysis: hsd_lint" for the rule catalogue,
+// suppression syntax, and baseline workflow.
 
 #include <filesystem>
 #include <map>
@@ -14,14 +17,15 @@ namespace hsd::lint {
 
 struct Diagnostic {
   std::string file;  // path relative to the scan root, forward slashes
-  int line = 0;      // 1-based
+  int line = 0;      // 1-based; 0 for file/project-level findings
   std::string rule;
   std::string message;
 };
 
 struct RuleInfo {
   std::string name;
-  std::string category;  // determinism | concurrency | hygiene
+  std::string category;  // determinism | concurrency | hygiene | layering |
+                         // capture-safety | registry
   std::string summary;
 };
 
@@ -45,30 +49,78 @@ class AllowList {
   std::map<std::string, std::set<std::string>> entries_;
 };
 
+/// Grandfathered findings, one per line as `path:line:rule`. A finding
+/// matching an entry is suppressed (counted, not reported); entries that
+/// no longer match anything are reported back as stale so the baseline
+/// can be burned down. Blank lines and `#` comments are ignored.
+class Baseline {
+ public:
+  Baseline() = default;
+
+  bool parse(const std::string& text, std::string* error);
+  bool load(const std::filesystem::path& path, std::string* error);
+
+  static std::string key_of(const Diagnostic& d);
+  bool contains(const std::string& key) const { return entries_.count(key) > 0; }
+  const std::set<std::string>& entries() const { return entries_; }
+  bool empty() const { return entries_.empty(); }
+
+ private:
+  std::set<std::string> entries_;
+};
+
 struct Options {
   /// Root the scan (and allowlist paths) are relative to.
   std::filesystem::path root = ".";
   /// Directories under root to scan when no explicit paths are given.
-  std::vector<std::string> scan_dirs = {"src", "tests", "bench", "examples"};
+  std::vector<std::string> scan_dirs = {"src", "tests", "bench", "examples", "tools"};
   /// Explicit files/directories (relative to root or absolute); when
   /// non-empty these replace the default scan_dirs sweep.
   std::vector<std::string> paths;
   AllowList allowlist;
+  Baseline baseline;
+};
+
+struct RunResult {
+  /// Findings that survived suppressions, allowlisting, and the baseline,
+  /// sorted by (file, line, rule).
+  std::vector<Diagnostic> findings;
+  /// Findings matched (and swallowed) by the baseline.
+  std::size_t baselined = 0;
+  /// Baseline entries that matched nothing — stale, remove them.
+  std::vector<std::string> stale_baseline;
 };
 
 /// All rules, for --list-rules and the docs.
 const std::vector<RuleInfo>& rules();
 
+/// Category of a rule name ("io" for the synthetic io-error rule).
+std::string category_of(const std::string& rule);
+
 /// Lints one file whose content is `text` and whose path relative to the
-/// scan root is `rel_path` (used for rule scoping and allowlist lookup).
+/// scan root is `rel_path` (line rules only; used by unit tests).
 std::vector<Diagnostic> lint_text(const std::string& rel_path, const std::string& text,
                                   const AllowList& allowlist);
 
-/// Scans per Options. Files that cannot be read produce a diagnostic with
-/// rule "io-error".
+/// Full scan: line rules plus the project passes. The layering pass runs
+/// when `<root>/layers.toml` or `<root>/tools/hsd_lint/layers.toml`
+/// exists; the registry pass when `<root>/src/common/registry.hpp` exists.
+RunResult run_full(const Options& options);
+
+/// Compatibility wrapper: run_full().findings.
 std::vector<Diagnostic> run(const Options& options);
 
 /// `path:line: error: [rule] message` — one line per diagnostic.
 std::string format(const Diagnostic& d);
+
+/// GitHub Actions annotation: `::error file=...,line=...::[rule] message`.
+std::string format_github(const Diagnostic& d);
+
+/// Schema-stable JSON document for CI consumption:
+///   {"tool":"hsd_lint","schema_version":1,
+///    "summary":{"findings":N,"baselined":N,"stale_baseline":N},
+///    "findings":[{"file","line","rule","category","message"}...],
+///    "stale_baseline":["file:line:rule"...]}
+std::string to_json(const RunResult& result);
 
 }  // namespace hsd::lint

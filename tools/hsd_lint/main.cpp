@@ -1,13 +1,22 @@
 // hsd_lint CLI. Exit codes: 0 clean, 1 violations found, 2 usage/IO error.
 //
-//   hsd_lint [--root DIR] [--allowlist FILE|none] [--list-rules] [paths...]
+//   hsd_lint [--root DIR] [--allowlist FILE|none] [--baseline FILE|none]
+//            [--write-baseline FILE] [--json] [--github-annotations]
+//            [--list-rules] [paths...]
 //
-// With no paths, scans src/ tests/ bench/ examples/ under --root
+// With no paths, scans src/ tests/ bench/ examples/ tools/ under --root
 // (default: current directory). The default allowlist is
-// <root>/tools/hsd_lint/allowlist.txt when it exists.
+// <root>/tools/hsd_lint/allowlist.txt and the default baseline is
+// <root>/tools/hsd_lint/baseline.txt, each when it exists.
+//
+// Baseline workflow: `--write-baseline FILE` records every current finding
+// as `path:line:rule` and exits 0; subsequent runs suppress exactly those
+// entries, so only NEW findings fail. Entries that stop matching are
+// reported as stale (and fail the run) to force burn-down.
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -18,8 +27,9 @@ namespace {
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--root DIR] [--allowlist FILE|none] [--list-rules] "
-               "[paths...]\n",
+               "usage: %s [--root DIR] [--allowlist FILE|none] "
+               "[--baseline FILE|none] [--write-baseline FILE] [--json] "
+               "[--github-annotations] [--list-rules] [paths...]\n",
                argv0);
   return 2;
 }
@@ -29,7 +39,11 @@ int usage(const char* argv0) {
 int main(int argc, char** argv) {
   hsd::lint::Options options;
   std::string allowlist_arg;
+  std::string baseline_arg;
+  std::string write_baseline_arg;
   bool list_rules = false;
+  bool json = false;
+  bool github = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -39,6 +53,16 @@ int main(int argc, char** argv) {
     } else if (arg == "--allowlist") {
       if (++i >= argc) return usage(argv[0]);
       allowlist_arg = argv[i];
+    } else if (arg == "--baseline") {
+      if (++i >= argc) return usage(argv[0]);
+      baseline_arg = argv[i];
+    } else if (arg == "--write-baseline") {
+      if (++i >= argc) return usage(argv[0]);
+      write_baseline_arg = argv[i];
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--github-annotations") {
+      github = true;
     } else if (arg == "--list-rules") {
       list_rules = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -53,7 +77,7 @@ int main(int argc, char** argv) {
 
   if (list_rules) {
     for (const auto& r : hsd::lint::rules()) {
-      std::printf("%-24s %-12s %s\n", r.name.c_str(), r.category.c_str(),
+      std::printf("%-24s %-16s %s\n", r.name.c_str(), r.category.c_str(),
                   r.summary.c_str());
     }
     return 0;
@@ -75,13 +99,71 @@ int main(int argc, char** argv) {
     }
   }
 
-  const auto diagnostics = hsd::lint::run(options);
-  for (const auto& d : diagnostics) {
-    std::cout << hsd::lint::format(d) << "\n";
+  // When writing a fresh baseline, don't subtract the old one.
+  if (write_baseline_arg.empty()) {
+    if (baseline_arg == "none") {
+      // explicit opt-out
+    } else if (!baseline_arg.empty()) {
+      if (!options.baseline.load(baseline_arg, &err)) {
+        std::fprintf(stderr, "hsd_lint: %s\n", err.c_str());
+        return 2;
+      }
+    } else {
+      const std::filesystem::path def = options.root / "tools" / "hsd_lint" / "baseline.txt";
+      if (std::filesystem::exists(def) && !options.baseline.load(def, &err)) {
+        std::fprintf(stderr, "hsd_lint: %s\n", err.c_str());
+        return 2;
+      }
+    }
   }
-  if (!diagnostics.empty()) {
-    std::cerr << "hsd_lint: " << diagnostics.size() << " violation(s)\n";
+
+  const hsd::lint::RunResult result = hsd::lint::run_full(options);
+
+  if (!write_baseline_arg.empty()) {
+    std::ofstream os(write_baseline_arg);
+    if (!os) {
+      std::fprintf(stderr, "hsd_lint: cannot write baseline: %s\n",
+                   write_baseline_arg.c_str());
+      return 2;
+    }
+    os << "# hsd_lint baseline: grandfathered findings, one `path:line:rule`\n"
+       << "# per line. Regenerate with --write-baseline; remove entries as\n"
+       << "# they are fixed. New findings are never added automatically.\n";
+    for (const auto& d : result.findings) {
+      os << hsd::lint::Baseline::key_of(d) << "\n";
+    }
+    std::fprintf(stderr, "hsd_lint: wrote %zu baseline entr%s to %s\n",
+                 result.findings.size(), result.findings.size() == 1 ? "y" : "ies",
+                 write_baseline_arg.c_str());
+    return 0;
+  }
+
+  if (json) {
+    std::cout << hsd::lint::to_json(result) << "\n";
+  } else {
+    for (const auto& d : result.findings) {
+      std::cout << hsd::lint::format(d) << "\n";
+    }
+    for (const auto& stale : result.stale_baseline) {
+      std::cout << "stale baseline entry (fixed? remove it): " << stale << "\n";
+    }
+  }
+  if (github) {
+    for (const auto& d : result.findings) {
+      std::cout << hsd::lint::format_github(d) << "\n";
+    }
+  }
+
+  const bool failed = !result.findings.empty() || !result.stale_baseline.empty();
+  if (failed) {
+    std::fprintf(stderr, "hsd_lint: %zu violation(s), %zu stale baseline entr%s\n",
+                 result.findings.size(), result.stale_baseline.size(),
+                 result.stale_baseline.size() == 1 ? "y" : "ies");
     return 1;
+  }
+  if (result.baselined > 0) {
+    std::fprintf(stderr, "hsd_lint: clean (%zu baselined finding%s remaining)\n",
+                 result.baselined, result.baselined == 1 ? "" : "s");
   }
   return 0;
 }

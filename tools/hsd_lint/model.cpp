@@ -1,0 +1,296 @@
+#include "model.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+namespace hsd::lint {
+
+namespace {
+
+bool starts_with(const std::string& s, const std::string& prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+std::string trim(const std::string& s) {
+  const auto b = s.find_first_not_of(" \t\r");
+  if (b == std::string::npos) return "";
+  const auto e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+
+bool lexable(const std::filesystem::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".cc" || ext == ".cxx" || ext == ".hpp" ||
+         ext == ".h" || ext == ".hh" || ext == ".inl";
+}
+
+bool skipped_component(const std::filesystem::path& rel) {
+  for (const auto& part : rel) {
+    const std::string s = part.string();
+    if (s == "lint_fixtures" || s == "build" || (s.size() > 1 && s[0] == '.')) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+const FileModel* ProjectModel::find(const std::string& rel) const {
+  const auto it = std::lower_bound(
+      files.begin(), files.end(), rel,
+      [](const FileModel& f, const std::string& r) { return f.rel < r; });
+  if (it != files.end() && it->rel == rel) return &*it;
+  return nullptr;
+}
+
+std::string module_of(const std::string& rel) {
+  if (!starts_with(rel, "src/")) return "";
+  const std::string rest = rel.substr(4);
+  if (starts_with(rest, "tensor/backend/")) return "tensor/backend";
+  const std::size_t slash = rest.find('/');
+  if (slash == std::string::npos) return "";  // file directly under src/
+  return rest.substr(0, slash);
+}
+
+std::string resolve_include(const std::filesystem::path& root,
+                            const std::string& includer_rel,
+                            const std::string& target) {
+  std::vector<std::string> candidates;
+  // src/ is the project's include root (`#include "core/framework.hpp"`).
+  candidates.push_back("src/" + target);
+  // Same-directory includes (`#include "lint.hpp"`, tests/ helpers).
+  const std::size_t slash = includer_rel.rfind('/');
+  if (slash != std::string::npos) {
+    candidates.push_back(includer_rel.substr(0, slash + 1) + target);
+  }
+  // Root-relative (`#include "tests/backend_compare.hpp"`).
+  candidates.push_back(target);
+  for (const auto& cand : candidates) {
+    std::error_code ec;
+    const std::filesystem::path p = root / cand;
+    if (std::filesystem::is_regular_file(p, ec)) {
+      // Normalize away any "./" produced by same-dir resolution.
+      return std::filesystem::path(cand).lexically_normal().generic_string();
+    }
+  }
+  return "";
+}
+
+// ---------------------------------------------------------------------------
+// LayerManifest
+// ---------------------------------------------------------------------------
+
+bool LayerManifest::parse(const std::string& text, std::string* error) {
+  std::istringstream is(text);
+  std::string raw;
+  int lineno = 0;
+  bool in_modules = false;
+  auto fail = [&](const std::string& why) {
+    if (error) *error = "layers manifest line " + std::to_string(lineno) + ": " + why;
+    return false;
+  };
+  while (std::getline(is, raw)) {
+    ++lineno;
+    const std::size_t hash = raw.find('#');
+    std::string line = trim(hash == std::string::npos ? raw : raw.substr(0, hash));
+    if (line.empty()) continue;
+    if (line.front() == '[') {
+      if (line.back() != ']') return fail("unterminated section header");
+      in_modules = line == "[modules]";
+      continue;
+    }
+    if (!in_modules) continue;
+    const std::size_t eq = line.find('=');
+    if (eq == std::string::npos) return fail("expected `module = [deps...]`");
+    std::string name = trim(line.substr(0, eq));
+    if (name.size() >= 2 && name.front() == '"' && name.back() == '"') {
+      name = name.substr(1, name.size() - 2);
+    }
+    if (name.empty()) return fail("empty module name");
+    std::string rhs = trim(line.substr(eq + 1));
+    if (rhs.size() < 2 || rhs.front() != '[' || rhs.back() != ']') {
+      return fail("expected a [\"dep\", ...] list for module " + name);
+    }
+    rhs = rhs.substr(1, rhs.size() - 2);
+    std::vector<std::string> list;
+    std::string item;
+    std::istringstream items(rhs);
+    while (std::getline(items, item, ',')) {
+      item = trim(item);
+      if (item.empty()) continue;
+      if (item.size() < 2 || item.front() != '"' || item.back() != '"') {
+        return fail("dependency `" + item + "` must be quoted");
+      }
+      list.push_back(item.substr(1, item.size() - 2));
+    }
+    if (deps.count(name) > 0) return fail("module " + name + " declared twice");
+    deps[name] = std::move(list);
+  }
+  return true;
+}
+
+bool LayerManifest::load(const std::filesystem::path& path, std::string* error) {
+  std::ifstream is(path);
+  if (!is) {
+    if (error) *error = "cannot open layers manifest: " + path.string();
+    return false;
+  }
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  return parse(buf.str(), error);
+}
+
+bool LayerManifest::allows(const std::string& from, const std::string& to) const {
+  if (from == to) return true;
+  const auto it = deps.find(from);
+  if (it == deps.end()) return false;
+  return std::find(it->second.begin(), it->second.end(), to) != it->second.end();
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+void Registry::parse(const LexedFile& lexed) {
+  // Pattern per entry: Ident(constant) '[' ']' '=' String ';' where the
+  // line's comment carries `hsd-reg: <kind>`.
+  const auto& toks = lexed.tokens;
+  for (std::size_t i = 0; i + 5 < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdent) continue;
+    if (toks[i + 1].kind != TokKind::kPunct || toks[i + 1].text != "[") continue;
+    if (toks[i + 2].kind != TokKind::kPunct || toks[i + 2].text != "]") continue;
+    if (toks[i + 3].kind != TokKind::kPunct || toks[i + 3].text != "=") continue;
+    if (toks[i + 4].kind != TokKind::kString) continue;
+    if (toks[i + 5].kind != TokKind::kPunct || toks[i + 5].text != ";") continue;
+    const int line = toks[i + 4].line;
+    if (line <= 0 || static_cast<std::size_t>(line) > lexed.lines.size()) continue;
+    const std::string& comment = lexed.lines[static_cast<std::size_t>(line) - 1].comment;
+    const std::size_t tag = comment.find("hsd-reg:");
+    if (tag == std::string::npos) continue;
+    std::istringstream rest(comment.substr(tag + 8));
+    std::string kind;
+    rest >> kind;
+    if (kind != "env" && kind != "metric" && kind != "span") continue;
+    entries.push_back({toks[i].text, toks[i + 4].text, kind, line});
+  }
+}
+
+bool wildcard_match(const std::string& pattern, const std::string& name) {
+  // Iterative glob with '%' as the only wildcard (matches any substring).
+  std::size_t p = 0, s = 0, star = std::string::npos, mark = 0;
+  while (s < name.size()) {
+    if (p < pattern.size() && (pattern[p] == name[s])) {
+      ++p;
+      ++s;
+    } else if (p < pattern.size() && pattern[p] == '%') {
+      star = p++;
+      mark = s;
+    } else if (star != std::string::npos) {
+      p = star + 1;
+      s = ++mark;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '%') ++p;
+  return p == pattern.size();
+}
+
+bool Registry::matches_name(const std::string& name) const {
+  for (const auto& e : entries) {
+    if (e.kind == "env") continue;
+    if (wildcard_match(e.value, name)) return true;
+  }
+  return false;
+}
+
+bool Registry::matches_fragment(const std::string& fragment) const {
+  if (fragment.empty()) return true;
+  for (const auto& e : entries) {
+    if (e.kind == "env") continue;
+    if (e.value.find(fragment) != std::string::npos) return true;
+  }
+  return false;
+}
+
+bool Registry::has_env(const std::string& name) const {
+  for (const auto& e : entries) {
+    if (e.kind == "env" && e.value == name) return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// load_project
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void load_one(const std::filesystem::path& file, const std::filesystem::path& root,
+              ProjectModel& model, std::vector<std::string>* io_errors) {
+  std::error_code ec;
+  std::filesystem::path rel = std::filesystem::relative(file, root, ec);
+  if (ec || rel.empty()) rel = file;
+  const std::string rel_str = rel.generic_string();
+
+  std::ifstream is(file, std::ios::binary);
+  if (!is) {
+    if (io_errors) io_errors->push_back(rel_str);
+    return;
+  }
+  std::ostringstream buf;
+  buf << is.rdbuf();
+
+  FileModel fm;
+  fm.rel = rel_str;
+  fm.module = module_of(rel_str);
+  fm.lex = lex(buf.str());
+  for (const auto& inc : fm.lex.includes) {
+    if (inc.angled) continue;  // system headers are outside the model
+    const std::string resolved = resolve_include(root, rel_str, inc.target);
+    if (!resolved.empty()) fm.resolved.push_back({resolved, inc.line});
+  }
+  model.files.push_back(std::move(fm));
+}
+
+}  // namespace
+
+ProjectModel load_project(const std::filesystem::path& root,
+                          const std::vector<std::filesystem::path>& targets,
+                          std::vector<std::string>* io_errors) {
+  ProjectModel model;
+  model.root = root;
+  std::set<std::string> seen;
+  for (const auto& t : targets) {
+    std::error_code ec;
+    if (std::filesystem::is_directory(t, ec)) {
+      std::filesystem::recursive_directory_iterator it(t, ec), end;
+      if (ec) continue;
+      for (; it != end; it.increment(ec)) {
+        if (ec) break;
+        const std::filesystem::path& p = it->path();
+        std::error_code rec;
+        const std::filesystem::path rel = std::filesystem::relative(p, root, rec);
+        if (!rec && skipped_component(rel)) {
+          if (it->is_directory()) it.disable_recursion_pending();
+          continue;
+        }
+        if (it->is_regular_file() && lexable(p) &&
+            seen.insert(p.lexically_normal().generic_string()).second) {
+          load_one(p, root, model, io_errors);
+        }
+      }
+    } else if (std::filesystem::exists(t, ec)) {
+      if (seen.insert(t.lexically_normal().generic_string()).second) {
+        load_one(t, root, model, io_errors);
+      }
+    }
+  }
+  std::sort(model.files.begin(), model.files.end(),
+            [](const FileModel& a, const FileModel& b) { return a.rel < b.rel; });
+  return model;
+}
+
+}  // namespace hsd::lint

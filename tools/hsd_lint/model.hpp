@@ -1,0 +1,120 @@
+#pragma once
+// Whole-project model for hsd_lint's cross-file passes: every scanned file
+// lexed once, quote-includes resolved to repo-relative paths, and each
+// src/ file mapped to its architectural module. The layering manifest
+// (layers.toml) and the identifier registry (src/common/registry.hpp) are
+// parsed into structured form here; the passes in passes.hpp consume them.
+
+#include <filesystem>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lexer.hpp"
+
+namespace hsd::lint {
+
+struct FileModel {
+  std::string rel;     // path relative to the scan root, forward slashes
+  std::string module;  // "core", "tensor/backend", ... ; "" outside src/
+  LexedFile lex;
+  /// Quote-includes resolved to paths relative to the root (only those
+  /// that name a file that exists under the root), parallel to a subset
+  /// of lex.includes.
+  struct ResolvedInclude {
+    std::string target;  // root-relative path of the included file
+    int line = 0;
+  };
+  std::vector<ResolvedInclude> resolved;
+};
+
+struct ProjectModel {
+  std::filesystem::path root;
+  std::vector<FileModel> files;  // sorted by rel
+  const FileModel* find(const std::string& rel) const;
+};
+
+/// Architectural module of a root-relative path: "src/tensor/backend/x.cpp"
+/// -> "tensor/backend", "src/core/framework.cpp" -> "core", anything not
+/// under src/ -> "".
+std::string module_of(const std::string& rel);
+
+/// Resolves `target` of a quote-include appearing in `includer_rel`
+/// against the repo layout (src/ is the include root; same-directory
+/// includes also resolve). Returns the root-relative path, or "" when the
+/// target does not exist under root.
+std::string resolve_include(const std::filesystem::path& root,
+                            const std::string& includer_rel,
+                            const std::string& target);
+
+// ---------------------------------------------------------------------------
+// Layering manifest (layers.toml)
+// ---------------------------------------------------------------------------
+
+/// Parsed `[modules]` table: module name -> allowed dependency modules.
+/// Format, one module per line under a `[modules]` header:
+///
+///   [modules]
+///   core = ["nn", "tensor", "stats"]
+///   "tensor/backend" = ["obs"]
+///
+/// Self-dependencies are implicit. Blank lines and `#` comments ignored.
+struct LayerManifest {
+  std::map<std::string, std::vector<std::string>> deps;
+
+  bool parse(const std::string& text, std::string* error);
+  bool load(const std::filesystem::path& path, std::string* error);
+  bool declares(const std::string& module) const { return deps.count(module) > 0; }
+  bool allows(const std::string& from, const std::string& to) const;
+};
+
+// ---------------------------------------------------------------------------
+// Identifier registry (src/common/registry.hpp)
+// ---------------------------------------------------------------------------
+
+/// One registered identifier. Parsed from registry lines of the form
+///
+///   inline constexpr const char kThreads[] = "HSD_THREADS";  // hsd-reg: env
+///
+/// kind is the word after `hsd-reg:` (env | metric | span). Metric and
+/// span values may contain `%`, which matches any (possibly empty)
+/// substring of a concrete name (shard indices, backend names, ...).
+struct RegistryEntry {
+  std::string constant;  // C++ constant identifier (kThreads)
+  std::string value;     // registered name, possibly with % wildcards
+  std::string kind;      // env | metric | span
+  int line = 0;
+};
+
+struct Registry {
+  std::vector<RegistryEntry> entries;
+
+  /// Extracts entries from an already-lexed registry header.
+  void parse(const LexedFile& lexed);
+
+  /// True when `name` exactly matches a metric/span entry, expanding `%`
+  /// wildcards.
+  bool matches_name(const std::string& name) const;
+
+  /// True when `fragment` (a literal piece of a dynamically-built name)
+  /// occurs inside some metric/span entry's value.
+  bool matches_fragment(const std::string& fragment) const;
+
+  /// True when an env entry's value equals `name` exactly.
+  bool has_env(const std::string& name) const;
+};
+
+/// Glob-style match where '%' in `pattern` matches any (possibly empty)
+/// substring. Exposed for tests.
+bool wildcard_match(const std::string& pattern, const std::string& name);
+
+/// Loads the whole project: walks `targets` (files or directories under
+/// `root`), lexes every C/C++ source file, resolves includes, and assigns
+/// modules. Unreadable files are recorded in `io_errors` as root-relative
+/// paths.
+ProjectModel load_project(const std::filesystem::path& root,
+                          const std::vector<std::filesystem::path>& targets,
+                          std::vector<std::string>* io_errors);
+
+}  // namespace hsd::lint

@@ -1,0 +1,442 @@
+#include "passes.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace hsd::lint {
+
+namespace {
+
+bool starts_with(const std::string& s, const std::string& prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Layering
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// DFS cycle check over the declared manifest DAG. Returns a cycle as
+/// "a -> b -> a", or "" when the graph is acyclic.
+std::string manifest_cycle(const LayerManifest& manifest) {
+  std::map<std::string, int> color;  // 0 white, 1 grey, 2 black
+  std::vector<std::string> stack;
+  std::string cycle;
+
+  struct Dfs {
+    const LayerManifest& m;
+    std::map<std::string, int>& color;
+    std::vector<std::string>& stack;
+    std::string& cycle;
+    void visit(const std::string& node) {
+      if (!cycle.empty()) return;
+      color[node] = 1;
+      stack.push_back(node);
+      const auto it = m.deps.find(node);
+      if (it != m.deps.end()) {
+        for (const auto& dep : it->second) {
+          if (!m.declares(dep) || dep == node) continue;
+          const int c = color.count(dep) ? color[dep] : 0;
+          if (c == 1) {
+            const auto at = std::find(stack.begin(), stack.end(), dep);
+            cycle.clear();
+            for (auto j = at; j != stack.end(); ++j) cycle += *j + " -> ";
+            cycle += dep;
+            return;
+          }
+          if (c == 0) visit(dep);
+          if (!cycle.empty()) return;
+        }
+      }
+      stack.pop_back();
+      color[node] = 2;
+    }
+  } dfs{manifest, color, stack, cycle};
+
+  for (const auto& [name, _] : manifest.deps) {
+    if ((color.count(name) ? color[name] : 0) == 0) dfs.visit(name);
+  }
+  return cycle;
+}
+
+}  // namespace
+
+void layering_pass(const ProjectModel& project, const LayerManifest& manifest,
+                   const std::string& manifest_rel, std::vector<Diagnostic>& out) {
+  // Manifest drift: a declared module whose directory no longer exists.
+  for (const auto& [name, _] : manifest.deps) {
+    std::error_code ec;
+    if (!std::filesystem::is_directory(project.root / "src" / name, ec)) {
+      out.push_back({manifest_rel, 0, "layer-manifest-drift",
+                     "manifest declares module `" + name +
+                         "` but src/" + name + "/ does not exist"});
+    }
+  }
+
+  // The declared dependency graph must itself be a DAG.
+  const std::string cycle = manifest_cycle(manifest);
+  if (!cycle.empty()) {
+    out.push_back({manifest_rel, 0, "layer-manifest-error",
+                   "declared module DAG has a cycle: " + cycle});
+  }
+
+  // Every scanned src/ module must be declared.
+  std::set<std::string> undeclared;
+  for (const auto& f : project.files) {
+    if (!f.module.empty() && !manifest.declares(f.module)) {
+      undeclared.insert(f.module);
+    }
+  }
+  for (const auto& m : undeclared) {
+    out.push_back({manifest_rel, 0, "layer-unlisted-module",
+                   "src/" + m + "/ exists but is not declared in the manifest; "
+                   "add it (and its allowed dependencies) to [modules]"});
+  }
+
+  // Include edges between declared modules must follow the DAG.
+  for (const auto& f : project.files) {
+    if (f.module.empty() || !manifest.declares(f.module)) continue;
+    for (const auto& inc : f.resolved) {
+      const std::string to = module_of(inc.target);
+      if (to.empty() || to == f.module || !manifest.declares(to)) continue;
+      if (!manifest.allows(f.module, to)) {
+        out.push_back({f.rel, inc.line, "layer-violation",
+                       "module `" + f.module + "` may not include `" + to +
+                           "` (" + inc.target +
+                           "); allowed deps are declared in the layers manifest"});
+      }
+    }
+  }
+
+  // File-level include cycles among the scanned files.
+  std::map<std::string, int> color;  // 0 white, 1 grey, 2 black
+  std::vector<const FileModel*> stack;
+  std::set<std::string> reported;
+
+  struct Dfs {
+    const ProjectModel& project;
+    std::map<std::string, int>& color;
+    std::vector<const FileModel*>& stack;
+    std::set<std::string>& reported;
+    std::vector<Diagnostic>& out;
+
+    void visit(const FileModel& f) {
+      color[f.rel] = 1;
+      stack.push_back(&f);
+      for (const auto& inc : f.resolved) {
+        const FileModel* next = project.find(inc.target);
+        if (next == nullptr || next->rel == f.rel) continue;
+        const int c = color.count(next->rel) ? color[next->rel] : 0;
+        if (c == 1) {
+          // Back edge: the cycle is the stack suffix from `next` to `f`.
+          auto at = std::find_if(stack.begin(), stack.end(),
+                                 [&](const FileModel* p) { return p == next; });
+          std::vector<std::string> nodes;
+          for (auto j = at; j != stack.end(); ++j) nodes.push_back((*j)->rel);
+          // Normalize: rotate so the lexicographically smallest file leads,
+          // so each cycle is reported exactly once.
+          const auto smallest = std::min_element(nodes.begin(), nodes.end());
+          std::rotate(nodes.begin(), smallest, nodes.end());
+          std::string key;
+          for (const auto& nname : nodes) key += nname + " -> ";
+          key += nodes.front();
+          if (reported.insert(key).second) {
+            out.push_back({nodes.front(), 0, "include-cycle",
+                           "cyclic #include chain: " + key});
+          }
+          continue;
+        }
+        if (c == 0) visit(*next);
+      }
+      stack.pop_back();
+      color[f.rel] = 2;
+    }
+  } dfs{project, color, stack, reported, out};
+
+  for (const auto& f : project.files) {
+    if ((color.count(f.rel) ? color[f.rel] : 0) == 0) dfs.visit(f);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Task-capture safety
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct CaptureInfo {
+  bool by_ref = false;       // [&] default or [&x] named
+  bool captures_this = false;  // [this] (not [*this])
+  int line = 0;              // line of the lambda-intro '['
+};
+
+/// Parses a lambda capture list starting at tokens[open] == "[". Returns
+/// the index one past the matching "]", or open on parse failure.
+std::size_t parse_captures(const std::vector<Token>& toks, std::size_t open,
+                           CaptureInfo& info) {
+  info.line = toks[open].line;
+  std::size_t i = open + 1;
+  int paren = 0, brace = 0;
+  bool item_start = true;
+  const Token* prev = nullptr;
+  while (i < toks.size()) {
+    const Token& t = toks[i];
+    if (t.kind == TokKind::kPunct) {
+      if (t.text == "]" && paren == 0 && brace == 0) return i + 1;
+      if (t.text == "(") ++paren;
+      if (t.text == ")") --paren;
+      if (t.text == "{") ++brace;
+      if (t.text == "}") --brace;
+      if (t.text == "," && paren == 0 && brace == 0) {
+        item_start = true;
+        prev = &t;
+        ++i;
+        continue;
+      }
+      if (t.text == "&" && item_start) info.by_ref = true;
+    } else if (t.kind == TokKind::kIdent && t.text == "this") {
+      const bool deref = prev != nullptr && prev->kind == TokKind::kPunct &&
+                         prev->text == "*";
+      if (!deref) info.captures_this = true;
+    }
+    if (!(t.kind == TokKind::kPunct && t.text == "&")) item_start = false;
+    prev = &t;
+    ++i;
+  }
+  return open;  // unterminated; treat as no lambda
+}
+
+/// True when `receiver.wait(` / `receiver->wait(` appears anywhere in the
+/// file (the join path that makes by-reference captures structured).
+/// With an unknown receiver, any member wait() call counts.
+bool has_wait_path(const std::vector<Token>& toks, const std::string& receiver) {
+  for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kPunct ||
+        (toks[i].text != "." && toks[i].text != "->")) {
+      continue;
+    }
+    if (toks[i + 1].kind != TokKind::kIdent || toks[i + 1].text != "wait") continue;
+    if (toks[i + 2].kind != TokKind::kPunct || toks[i + 2].text != "(") continue;
+    if (receiver.empty()) return true;
+    if (i > 0 && toks[i - 1].kind == TokKind::kIdent && toks[i - 1].text == receiver) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+void capture_pass(const FileModel& file, std::vector<Diagnostic>& out) {
+  // src/runtime implements the deferral machinery itself; its internal
+  // submits (e.g. TaskGroup::run forwarding into the pool) are the audited
+  // home of these idioms.
+  if (starts_with(file.rel, "src/runtime/")) return;
+
+  const auto& toks = file.lex.tokens;
+  for (std::size_t i = 2; i + 1 < toks.size(); ++i) {
+    const Token& name = toks[i];
+    if (name.kind != TokKind::kIdent || (name.text != "run" && name.text != "submit")) {
+      continue;
+    }
+    const Token& dot = toks[i - 1];
+    if (dot.kind != TokKind::kPunct || (dot.text != "." && dot.text != "->")) continue;
+    if (toks[i + 1].kind != TokKind::kPunct || toks[i + 1].text != "(") continue;
+    if (i + 2 >= toks.size() || toks[i + 2].kind != TokKind::kPunct ||
+        toks[i + 2].text != "[") {
+      continue;  // first argument is not a lambda
+    }
+    std::string receiver;
+    if (toks[i - 2].kind == TokKind::kIdent) receiver = toks[i - 2].text;
+
+    CaptureInfo info;
+    if (parse_captures(toks, i + 2, info) == i + 2) continue;
+    if (!info.by_ref && !info.captures_this) continue;
+
+    const bool fire_and_forget = name.text == "submit";
+    const bool waited = !fire_and_forget && has_wait_path(toks, receiver);
+    if (waited) continue;
+
+    const std::string who = receiver.empty() ? "the receiver" : "`" + receiver + "`";
+    if (info.by_ref) {
+      out.push_back(
+          {file.rel, info.line, "deferred-ref-capture",
+           fire_and_forget
+               ? "by-reference capture in a lambda passed to fire-and-forget "
+                 "submit(); the task can outlive every captured local — "
+                 "capture by value or restructure onto TaskGroup + wait()"
+               : "by-reference capture in a lambda passed to deferred " +
+                     name.text + "() with no " + who +
+                     ".wait() join path in this file; captured locals can "
+                     "dangle when the task outlives this scope"});
+    }
+    if (info.captures_this) {
+      out.push_back(
+          {file.rel, info.line, "detached-this-capture",
+           "`this` captured into a deferred task with no join path in this "
+           "file; if the object is destroyed before the task runs, the "
+           "callback dereferences freed memory — join/wait before "
+           "destruction or capture owning state by value"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Identifier registry
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Entire-literal HSD_* env-var name: HSD_ followed by at least one
+/// uppercase/digit/underscore character, nothing else.
+bool is_env_literal(const std::string& s) {
+  if (s.size() < 5 || s.compare(0, 4, "HSD_") != 0) return false;
+  for (std::size_t i = 4; i < s.size(); ++i) {
+    const char c = s[i];
+    if (!(c == '_' || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9'))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool is_metric_callee(const std::string& name) {
+  return name == "counter" || name == "gauge" || name == "histogram" ||
+         name == "HSD_SPAN";  // macro callee, not an env var; hsd-lint: allow(unregistered-env)
+}
+
+/// Documented = every non-wildcard fragment of `value` appears in
+/// `docs_text` in order.
+bool documented(const std::string& docs_text, const std::string& value) {
+  std::size_t from = 0;
+  std::size_t start = 0;
+  while (start <= value.size()) {
+    std::size_t pct = value.find('%', start);
+    if (pct == std::string::npos) pct = value.size();
+    const std::string frag = value.substr(start, pct - start);
+    if (!frag.empty()) {
+      const std::size_t at = docs_text.find(frag, from);
+      if (at == std::string::npos) return false;
+      from = at + frag.size();
+    }
+    start = pct + 1;
+  }
+  return true;
+}
+
+}  // namespace
+
+void registry_pass(const ProjectModel& project, const Registry& registry,
+                   const std::string& registry_rel, const std::string& docs_text,
+                   std::vector<Diagnostic>& out) {
+  // Exactly-once: a value registered twice is a finding at the second site.
+  std::map<std::string, int> first_line;
+  for (const auto& e : registry.entries) {
+    const auto [it, inserted] = first_line.emplace(e.value, e.line);
+    if (!inserted) {
+      out.push_back({registry_rel, e.line, "registry-duplicate",
+                     "`" + e.value + "` is already registered at " + registry_rel +
+                         ":" + std::to_string(it->second) +
+                         "; every identifier must appear exactly once"});
+    }
+  }
+
+  // Documented: each entry's non-wildcard fragments must appear, in order,
+  // in the documentation set.
+  for (const auto& e : registry.entries) {
+    if (!documented(docs_text, e.value)) {
+      out.push_back({registry_rel, e.line, "registry-undocumented",
+                     "registered " + e.kind + " `" + e.value +
+                         "` is not mentioned in DESIGN.md/README.md; document "
+                         "what it does (and its unit/default) where users look"});
+    }
+  }
+
+  for (const auto& f : project.files) {
+    if (f.rel == registry_rel) continue;
+    const auto& toks = f.lex.tokens;
+
+    // HSD_* env-var string literals live only in the registry header.
+    for (const auto& t : toks) {
+      if (t.kind != TokKind::kString || !is_env_literal(t.text)) continue;
+      out.push_back(
+          {f.rel, t.line, "unregistered-env",
+           registry.has_env(t.text)
+               ? "`" + t.text + "` is registered; use the hsd::reg constant "
+                 "from common/registry.hpp instead of repeating the literal"
+               : "`" + t.text + "` is not a registered environment variable; "
+                 "declare it in common/registry.hpp (hsd-reg: env) and use "
+                 "the constant"});
+    }
+
+    // Metric/span names at obs call sites.
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+      if (toks[i].kind != TokKind::kIdent || !is_metric_callee(toks[i].text)) continue;
+      if (toks[i + 1].kind != TokKind::kPunct || toks[i + 1].text != "(") continue;
+      // Skip declarations/definitions of the obs API itself:
+      // `Counter& counter(std::string_view name)` has a type token right
+      // before the callee; call sites have `::`, `.` `=`, `(`, `,`, `{`,
+      // or a statement boundary instead.
+      if (i > 0 && toks[i - 1].kind == TokKind::kIdent) continue;
+
+      // First argument: tokens up to the matching ')' or a top-level ','.
+      std::vector<const Token*> arg;
+      int depth = 0;
+      bool more_args = false;
+      for (std::size_t j = i + 2; j < toks.size(); ++j) {
+        const Token& t = toks[j];
+        if (t.kind == TokKind::kPunct) {
+          if (t.text == "(" || t.text == "[" || t.text == "{") ++depth;
+          if (t.text == ")" || t.text == "]" || t.text == "}") {
+            if (t.text == ")" && depth == 0) break;
+            --depth;
+          }
+          if (t.text == "," && depth == 0) {
+            more_args = true;
+            break;
+          }
+        }
+        arg.push_back(&t);
+      }
+      (void)more_args;
+      if (arg.empty()) continue;
+
+      bool all_strings = true;
+      std::string literal;
+      for (const Token* t : arg) {
+        if (t->kind == TokKind::kString) {
+          literal += t->text;
+        } else {
+          all_strings = false;
+        }
+      }
+      if (all_strings) {
+        if (!registry.matches_name(literal)) {
+          out.push_back({f.rel, arg.front()->line, "unregistered-metric",
+                         "metric/span name `" + literal +
+                             "` is not declared in common/registry.hpp; "
+                             "register it (hsd-reg: metric|span) and document it"});
+        }
+      } else {
+        // Dynamically built name: every literal fragment must occur in
+        // some registered pattern, so typos in the static pieces are
+        // still caught.
+        for (const Token* t : arg) {
+          if (t->kind != TokKind::kString || t->text.empty()) continue;
+          if (!registry.matches_fragment(t->text)) {
+            out.push_back({f.rel, t->line, "unregistered-metric",
+                           "name fragment `" + t->text +
+                               "` does not occur in any registered metric/span "
+                               "pattern in common/registry.hpp"});
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace hsd::lint

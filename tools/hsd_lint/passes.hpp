@@ -1,0 +1,43 @@
+#pragma once
+// Whole-project analysis passes on top of the ProjectModel:
+//
+//   layering_pass  — every #include edge between src/ modules must be
+//                    allowed by the layers.toml DAG; cyclic include chains
+//                    and manifest drift (declared module with no
+//                    directory, module with no declaration) are findings.
+//   capture_pass   — lambdas handed to deferred task APIs (TaskGroup::run,
+//                    ThreadPool::submit and other fire-and-forget
+//                    `.submit(...)` enqueues) must not capture function
+//                    locals by reference unless a join path (`.wait()` on
+//                    the same receiver) exists in the file; `this` must
+//                    not ride into detached work without a join path.
+//   registry_pass  — every HSD_* env-var literal and every obs
+//                    metric/span name must trace back to exactly one entry
+//                    in src/common/registry.hpp, and every registry entry
+//                    must be documented in DESIGN.md/README.md.
+//
+// Each pass appends Diagnostics; scoping, suppression, allowlisting and
+// baselining are applied by the orchestrator in lint.cpp.
+
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+#include "model.hpp"
+
+namespace hsd::lint {
+
+void layering_pass(const ProjectModel& project, const LayerManifest& manifest,
+                   const std::string& manifest_rel, std::vector<Diagnostic>& out);
+
+void capture_pass(const FileModel& file, std::vector<Diagnostic>& out);
+
+/// `docs_text` is the concatenated text of the documentation files the
+/// registry entries must be mentioned in; `registry_rel` is the
+/// root-relative path of the registry header (its own literals are the
+/// canonical definitions, not violations).
+void registry_pass(const ProjectModel& project, const Registry& registry,
+                   const std::string& registry_rel, const std::string& docs_text,
+                   std::vector<Diagnostic>& out);
+
+}  // namespace hsd::lint
