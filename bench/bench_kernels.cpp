@@ -2,11 +2,15 @@
 // external benchmark framework): the dense primitives behind the
 // reproduction, measured per kernel backend.
 //
-// Two sections, one schema-stable JSON document (stdout + --out file):
+// Three sections, one schema-stable JSON document (stdout + --out file):
 //   * "dispatched"   — kernels routed through the src/tensor backend
 //     dispatch (GEMM variants, CNN forward, 2-D DCT). Each is measured
 //     once per registered backend, with the scalar reference first so
 //     every fast backend reports a speedup_vs_scalar.
+//   * "dct_batch"    — Dct2d::forward_lowfreq_batch_abs over clip
+//     populations N ∈ {64, 1024, 8192} versus the per-clip
+//     forward_lowfreq loop, per backend (speedup_vs_perclip is the
+//     batching win the serving and AL feature paths see).
 //   * "independent"  — hot loops that never touch the dispatcher (aerial
 //     image, GMM fit, diversity scan, QP solve, capped-simplex
 //     projection, pattern generation), measured once.
@@ -19,6 +23,8 @@
 // Env:     HSD_BENCH_ROUNDS (default 7)   HSD_BENCH_WARMUP (default 2)
 //          HSD_BACKEND restricts the dispatched sweep to that backend.
 
+#include <algorithm>
+#include <cmath>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -199,6 +205,81 @@ void emit_estimate(std::ostringstream& os, const TimingEstimate& est) {
      << ", \"mean_seconds\": " << est.mean_seconds;
 }
 
+/// Batched-vs-per-clip truncated DCT sweep (the FeatureExtractor hot path:
+/// g=32 rasters, keep=8). Emitted as its own schema section so the CI smoke
+/// can gate on speedup_vs_perclip.
+void emit_dct_batch_section(std::ostringstream& json,
+                            const std::vector<std::string>& backend_names,
+                            std::uint64_t seed, std::size_t warmup,
+                            std::size_t rounds) {
+  const std::size_t g = 32;
+  const std::size_t keep = 8;
+  const float scale = 1.0F / static_cast<float>(g);
+  const hsd::tensor::Dct2d dct(g);
+  json << "  \"dct_batch\": [\n";
+  const std::vector<std::size_t> sizes{64, 1024, 8192};
+  for (std::size_t si = 0; si < sizes.size(); ++si) {
+    const std::size_t n = sizes[si];
+    Rng rng(seed + 20);
+    std::vector<std::vector<float>> clip_masks(n, std::vector<float>(g * g));
+    std::vector<float> packed(n * g * g);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (auto& v : clip_masks[i]) v = static_cast<float>(rng.uniform());
+      std::copy(clip_masks[i].begin(), clip_masks[i].end(),
+                packed.begin() + static_cast<std::ptrdiff_t>(i * g * g));
+    }
+    std::vector<float> out(n * keep * keep);
+    json << "    {\"name\": \"dct_batch_" << n << "\", \"clips\": " << n
+         << ", \"grid\": " << g << ", \"keep\": " << keep
+         << ", \"backends\": [";
+    double scalar_min = 0.0;
+    for (std::size_t bi = 0; bi < backend_names.size(); ++bi) {
+      hsd::tensor::backend::set_active(backend_names[bi]);
+      const TimingEstimate batched = hsd::harness::measure(
+          [&] {
+            dct.forward_lowfreq_batch_abs(packed.data(), n, keep, scale,
+                                          out.data());
+          },
+          warmup, rounds);
+      // Per-clip baseline is the feature path as it stood before batching:
+      // a full g x g forward transform per clip, cropped to the keep x keep
+      // corner, plus the magnitude epilogue (forward_lowfreq used to compute
+      // the full transform too; the truncation shipped with the batch).
+      const TimingEstimate perclip = hsd::harness::measure(
+          [&] {
+            for (std::size_t i = 0; i < n; ++i) {
+              const std::vector<float> f = dct.forward(clip_masks[i]);
+              for (std::size_t u = 0; u < keep; ++u) {
+                for (std::size_t v = 0; v < keep; ++v) {
+                  out[i * keep * keep + u * keep + v] =
+                      std::abs(f[u * g + v]) * scale;
+                }
+              }
+            }
+          },
+          warmup, rounds);
+      if (backend_names[bi] == "scalar") scalar_min = batched.min_seconds;
+      if (bi > 0) json << ", ";
+      json << "\n      {\"backend\": \"" << backend_names[bi] << "\", ";
+      emit_estimate(json, batched);
+      json << ", \"perclip_min_seconds\": " << perclip.min_seconds
+           << ", \"perclip_mean_seconds\": " << perclip.mean_seconds;
+      if (batched.min_seconds > 0.0) {
+        json << ", \"speedup_vs_perclip\": "
+             << perclip.min_seconds / batched.min_seconds;
+        if (scalar_min > 0.0) {
+          json << ", \"speedup_vs_scalar\": "
+               << scalar_min / batched.min_seconds;
+        }
+      }
+      json << "}";
+    }
+    json << "]}" << (si + 1 < sizes.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n";
+  hsd::tensor::backend::set_active("auto");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -235,7 +316,7 @@ int main(int argc, char** argv) {
 
   std::ostringstream json;
   json << "{\n  \"bench\": \"bench_kernels\",\n";
-  json << "  \"schema_version\": 1,\n";
+  json << "  \"schema_version\": 2,\n";
   json << "  \"seed\": " << seed << ",\n";
   json << "  \"rounds\": " << rounds << ",\n  \"warmup\": " << warmup << ",\n";
   json << "  \"threads\": 1,\n";
@@ -270,6 +351,8 @@ int main(int argc, char** argv) {
   }
   json << "  ],\n";
   hsd::tensor::backend::set_active("auto");
+
+  emit_dct_batch_section(json, backend_names, seed, warmup, rounds);
 
   json << "  \"independent\": [\n";
   const std::vector<Case> independent = independent_cases(seed);

@@ -26,6 +26,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/env.hpp"
 #include "common/registry.hpp"
 #include "core/diversity.hpp"
 #include "data/features.hpp"
@@ -42,14 +43,6 @@ namespace {
 
 using hsd::stats::Rng;
 using hsd::tensor::Tensor;
-
-std::size_t env_size(const char* name, std::size_t fallback) {
-  if (const char* v = std::getenv(name)) {
-    const long parsed = std::strtol(v, nullptr, 10);
-    if (parsed > 0) return static_cast<std::size_t>(parsed);
-  }
-  return fallback;
-}
 
 double now_seconds() {
   return std::chrono::duration<double>(
@@ -179,8 +172,9 @@ int main(int argc, char** argv) {
       hsd::obs::enable_metrics(argv[++i]);
     }
   }
-  const std::size_t rounds = env_size(hsd::reg::kEnvBenchRounds, 7);
-  const std::size_t warmup = env_size(hsd::reg::kEnvBenchWarmup, 2);
+  const std::size_t rounds =
+      std::max<std::size_t>(1, hsd::common::env_size(hsd::reg::kEnvBenchRounds, 7));
+  const std::size_t warmup = hsd::common::env_size(hsd::reg::kEnvBenchWarmup, 2);
   const std::size_t hw = std::max(1u, std::thread::hardware_concurrency());
 
   std::vector<std::size_t> thread_counts{1, 2, 4};

@@ -41,10 +41,12 @@
 #include <iostream>
 #include <memory>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/env.hpp"
 #include "common/registry.hpp"
 #include "core/detector.hpp"
 #include "layout/clip.hpp"
@@ -67,24 +69,29 @@ using hsd::serve::ServiceConfig;
 using hsd::serve::Status;
 using hsd::serve::ZipfSampler;
 
+// Strict parse (common/env.hpp throws on malformed values); a well-formed
+// zero falls back to the default — every knob here is a positive count.
 std::size_t env_size(const char* name, std::size_t fallback) {
-  if (const char* v = std::getenv(name)) {
-    const long parsed = std::strtol(v, nullptr, 10);
-    if (parsed > 0) return static_cast<std::size_t>(parsed);
-  }
-  return fallback;
+  const std::size_t v = hsd::common::env_size(name, fallback);
+  return v == 0 ? fallback : v;
 }
 
 std::vector<std::size_t> env_size_list(const char* name,
                                        std::vector<std::size_t> fallback) {
   const char* v = std::getenv(name);
-  if (!v) return fallback;
+  if (v == nullptr || *v == '\0') return fallback;
   std::vector<std::size_t> out;
   std::istringstream is(v);
   std::string token;
   while (std::getline(is, token, ',')) {
-    const long parsed = std::strtol(token.c_str(), nullptr, 10);
-    if (parsed > 0) out.push_back(static_cast<std::size_t>(parsed));
+    char* end = nullptr;
+    const long parsed = std::strtol(token.c_str(), &end, 10);
+    if (end == token.c_str() || *end != '\0' || parsed <= 0) {
+      throw std::runtime_error(std::string(name) +
+                               ": malformed positive-integer list token \"" +
+                               token + "\"");
+    }
+    out.push_back(static_cast<std::size_t>(parsed));
   }
   return out.empty() ? fallback : out;
 }

@@ -8,45 +8,42 @@
 #include <map>
 #include <stdexcept>
 
+#include "common/env.hpp"
 #include "common/registry.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
 namespace hsd::harness {
 
-namespace {
-
-double env_double(const char* name, double fallback) {
-  const char* v = std::getenv(name);
-  if (v == nullptr || *v == '\0') return fallback;
-  return std::strtod(v, nullptr);
-}
-
-}  // namespace
-
 double iccad12_scale() {
-  const double s = env_double(hsd::reg::kEnvIccad12Scale, 0.05);
-  if (s <= 0.0 || s > 1.0) throw std::runtime_error("HSD_ICCAD12_SCALE out of (0, 1]");
+  const double s = common::env_double(hsd::reg::kEnvIccad12Scale, 0.05);
+  if (s <= 0.0 || s > 1.0) {
+    throw std::runtime_error(std::string(hsd::reg::kEnvIccad12Scale) +
+                             " out of (0, 1]");
+  }
   return s;
 }
 
 std::size_t repeats() {
-  const double r = env_double(hsd::reg::kEnvRepeats, 5.0);
-  return r < 1.0 ? 1 : static_cast<std::size_t>(r);
+  const std::size_t r = common::env_size(hsd::reg::kEnvRepeats, 5);
+  return r < 1 ? 1 : r;
 }
 
 std::size_t bench_rounds() {
-  const double r = env_double(hsd::reg::kEnvBenchRounds, 7.0);
-  return r < 1.0 ? 1 : static_cast<std::size_t>(r);
+  const std::size_t r = common::env_size(hsd::reg::kEnvBenchRounds, 7);
+  return r < 1 ? 1 : r;
 }
 
 std::size_t bench_warmup() {
-  const double w = env_double(hsd::reg::kEnvBenchWarmup, 2.0);
-  return w < 0.0 ? 0 : static_cast<std::size_t>(w);
+  return common::env_size(hsd::reg::kEnvBenchWarmup, 2);
 }
 
 TimingEstimate measure(const std::function<void()>& fn, std::size_t warmup,
                        std::size_t rounds) {
+  if (rounds == 0) {
+    throw std::invalid_argument(
+        "harness::measure: rounds == 0 (no sample to estimate from)");
+  }
   for (std::size_t i = 0; i < warmup; ++i) fn();
   TimingEstimate est;
   est.rounds_seconds.reserve(rounds);
@@ -59,11 +56,9 @@ TimingEstimate measure(const std::function<void()>& fn, std::size_t warmup,
     est.rounds_seconds.push_back(dt);
     est.mean_seconds += dt;
   }
-  if (rounds > 0) {
-    est.min_seconds =
-        *std::min_element(est.rounds_seconds.begin(), est.rounds_seconds.end());
-    est.mean_seconds /= static_cast<double>(rounds);
-  }
+  est.min_seconds =
+      *std::min_element(est.rounds_seconds.begin(), est.rounds_seconds.end());
+  est.mean_seconds /= static_cast<double>(rounds);
   return est;
 }
 

@@ -11,6 +11,10 @@
 //   HSD_REPEATS        repetition count for averaged experiments (default 5)
 //   HSD_BENCH_ROUNDS   timed rounds per microbenchmark measurement (default 7)
 //   HSD_BENCH_WARMUP   warmup runs per microbenchmark measurement (default 2)
+//
+// All knobs are parsed strictly (common/env.hpp): a malformed value throws
+// std::runtime_error naming the variable instead of silently becoming a
+// default.
 
 #include <functional>
 #include <string>
@@ -83,7 +87,9 @@ std::size_t bench_rounds();
 /// Warmup runs per measurement from HSD_BENCH_WARMUP (default 2).
 std::size_t bench_warmup();
 
-/// Runs `fn` `warmup` times untimed, then `rounds` timed rounds.
+/// Runs `fn` `warmup` times untimed, then `rounds` timed rounds. Throws
+/// std::invalid_argument when rounds == 0 — an estimate over an empty
+/// sample is meaningless, not zero.
 TimingEstimate measure(const std::function<void()>& fn, std::size_t warmup,
                        std::size_t rounds);
 

@@ -1,0 +1,55 @@
+#pragma once
+// Strict numeric environment-variable parsing. An unset or empty variable
+// yields the fallback; anything else must parse completely as a number of
+// the requested kind or the helper throws std::runtime_error naming the
+// variable. A malformed knob must fail loudly, not silently become a
+// default (HSD_BENCH_ROUNDS=abc once became strtod's 0.0 and ran the
+// benches with a clamped single round).
+
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace hsd::common {
+
+namespace detail {
+
+[[noreturn]] inline void throw_malformed_env(const char* name,
+                                             const char* value,
+                                             const char* kind) {
+  throw std::runtime_error(std::string(name) + ": malformed " + kind +
+                           " value \"" + value + "\"");
+}
+
+inline const char* skip_trailing_ws(const char* p) {
+  while (*p == ' ' || *p == '\t') ++p;
+  return p;
+}
+
+}  // namespace detail
+
+/// Floating-point env knob.
+inline double env_double(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(v, &end);
+  if (end == v || *detail::skip_trailing_ws(end) != '\0') {
+    detail::throw_malformed_env(name, v, "numeric");
+  }
+  return parsed;
+}
+
+/// Non-negative integer env knob (counts, sizes, round indices).
+inline std::size_t env_size(const char* name, std::size_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(v, &end, 10);
+  if (end == v || *detail::skip_trailing_ws(end) != '\0' || parsed < 0) {
+    detail::throw_malformed_env(name, v, "non-negative integer");
+  }
+  return static_cast<std::size_t>(parsed);
+}
+
+}  // namespace hsd::common

@@ -56,6 +56,7 @@ inline constexpr const char kMetDataClipsFeaturized[] = "data/clips_featurized";
 // tensor kernels and backend dispatch.
 inline constexpr const char kMetTensorMatmulCalls[] = "tensor/matmul_calls";  // hsd-reg: metric
 inline constexpr const char kMetTensorDct2dCalls[] = "tensor/dct2d_calls";  // hsd-reg: metric
+inline constexpr const char kMetTensorDct2dBatchCalls[] = "tensor/dct2d_batch_calls";  // hsd-reg: metric
 inline constexpr const char kMetTensorBackend[] = "tensor/backend";  // hsd-reg: metric
 inline constexpr const char kMetTensorBackendSelected[] = "tensor/backend/%/selected";  // hsd-reg: metric
 inline constexpr const char kMetTensorGemm[] = "tensor/%/gemm";  // hsd-reg: metric
@@ -122,6 +123,7 @@ inline constexpr const char kSpanLithoAerial[] = "litho/aerial";  // hsd-reg: sp
 inline constexpr const char kSpanDataDctFeatures[] = "data/dct_features";  // hsd-reg: span
 inline constexpr const char kSpanNnConvFwd[] = "nn/conv_fwd";  // hsd-reg: span
 inline constexpr const char kSpanNnConvBwd[] = "nn/conv_bwd";  // hsd-reg: span
+inline constexpr const char kSpanTensorDct2dBatch[] = "tensor/dct2d_batch";  // hsd-reg: span
 inline constexpr const char kSpanTensorMatmul[] = "tensor/matmul";  // hsd-reg: span
 inline constexpr const char kSpanTensorMatmulAtB[] = "tensor/matmul_at_b";  // hsd-reg: span
 inline constexpr const char kSpanTensorMatmulABt[] = "tensor/matmul_a_bt";  // hsd-reg: span

@@ -13,6 +13,7 @@
 
 #include "ckpt/checkpoint.hpp"
 #include "common/binio.hpp"
+#include "common/env.hpp"
 #include "common/registry.hpp"
 #include "core/calibration.hpp"
 #include "data/features.hpp"
@@ -98,13 +99,11 @@ std::uint64_t config_fingerprint(const FrameworkConfig& cfg, std::size_t n_total
   return h.value();
 }
 
-/// HSD_FAULT_AFTER_ROUND as a round index, or 0 when unset/malformed.
+/// HSD_FAULT_AFTER_ROUND as a round index, 0 when unset. A malformed value
+/// throws (common/env.hpp) — a fault-injection drill that silently doesn't
+/// inject would report a vacuous pass.
 std::size_t fault_after_round_env() {
-  const char* env = std::getenv(reg::kEnvFaultAfterRound);
-  if (env == nullptr || *env == '\0') return 0;
-  char* end = nullptr;
-  const unsigned long long v = std::strtoull(env, &end, 10);
-  return (end != nullptr && *end == '\0') ? static_cast<std::size_t>(v) : 0;
+  return common::env_size(reg::kEnvFaultAfterRound, 0);
 }
 
 ckpt::RoundLog to_round_log(const IterationLog& log) {

@@ -34,9 +34,19 @@ class FeatureExtractor {
   /// rasterization once.
   std::vector<float> extract_bitmap(const std::vector<float>& mask) const;
 
+  /// Batched extract_bitmap: `count` rasterized `grid x grid` bitmaps packed
+  /// back-to-back in `masks`, feature row i written to `out + i*dimension()`.
+  /// One call runs the whole population through the batched truncated DCT
+  /// (Dct2d::forward_lowfreq_batch_abs) — bit-identical per row to
+  /// extract_bitmap on every backend at any HSD_THREADS.
+  void extract_bitmaps(const float* masks, std::size_t count,
+                       float* out) const;
+
   const layout::Rasterizer& rasterizer() const { return raster_; }
 
   /// Batch extraction into an NCHW tensor (N, 1, keep, keep) for the CNN.
+  /// An empty clip vector yields the well-defined empty tensor
+  /// (0, 1, keep, keep).
   tensor::Tensor extract_batch(const std::vector<layout::Clip>& clips) const;
 
   /// Batch extraction of a whole benchmark.

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <stdexcept>
 #include <string>
 #include <utility>
 
+#include "common/env.hpp"
 #include "common/registry.hpp"
 #include "obs/trace.hpp"
 
@@ -136,10 +138,17 @@ void ThreadPool::worker_main(std::size_t id) {
 }
 
 std::size_t configured_threads() {
-  if (const char* env = std::getenv(reg::kEnvThreads)) {
-    char* end = nullptr;
-    const long v = std::strtol(env, &end, 10);
-    if (end != env && *end == '\0' && v > 0) return static_cast<std::size_t>(v);
+  // Strict parse: a malformed or non-positive HSD_THREADS throws instead of
+  // silently running at hardware width — the knob exists to pin determinism
+  // experiments, so ignoring a bad value is worse than failing.
+  if (const char* env = std::getenv(reg::kEnvThreads);
+      env != nullptr && *env != '\0') {
+    const std::size_t v = common::env_size(reg::kEnvThreads, 0);
+    if (v == 0) {
+      throw std::runtime_error(std::string(reg::kEnvThreads) +
+                               ": must be a positive integer");
+    }
+    return v;
   }
   const unsigned hw = std::thread::hardware_concurrency();
   return hw > 0 ? hw : 1;

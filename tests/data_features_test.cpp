@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <stdexcept>
 
+#include "backend_compare.hpp"
 #include "data/pattern_generator.hpp"
 
 namespace hsd::data {
@@ -66,7 +68,7 @@ TEST(FeatureTest, IdenticalClipsYieldIdenticalFeatures) {
   EXPECT_EQ(a, b);
 }
 
-TEST(FeatureTest, BatchMatchesSingle) {
+std::vector<layout::Clip> generated_clips(std::size_t count) {
   GeneratorConfig cfg;
   cfg.clip_side = 320;
   cfg.step = 5;
@@ -76,17 +78,56 @@ TEST(FeatureTest, BatchMatchesSingle) {
   cfg.max_space = 40;
   PatternGenerator gen(cfg, hsd::stats::Rng(9));
   std::vector<layout::Clip> clips;
-  for (int i = 0; i < 5; ++i) clips.push_back(gen.next());
+  for (std::size_t i = 0; i < count; ++i) clips.push_back(gen.next());
+  return clips;
+}
 
+TEST(FeatureTest, BatchMatchesSingleBitwiseOnScalar) {
+  const auto clips = generated_clips(5);
   const FeatureExtractor fx(32, 8);
+  // The batched DCT reproduces the per-clip accumulation order exactly, so
+  // on the bit-exact reference backend the rows must be byte-identical.
+  const hsd::testing::BackendGuard guard("scalar");
   const tensor::Tensor batch = fx.extract_batch(clips);
   EXPECT_EQ(batch.shape(), (tensor::Shape{5, 1, 8, 8}));
   for (std::size_t i = 0; i < clips.size(); ++i) {
     const auto single = fx.extract(clips[i]);
-    for (std::size_t j = 0; j < single.size(); ++j) {
-      EXPECT_FLOAT_EQ(batch[i * 64 + j], single[j]);
+    const std::vector<float> row(batch.data() + i * 64,
+                                 batch.data() + (i + 1) * 64);
+    EXPECT_TRUE(hsd::testing::compare_buffers(
+        single, row, hsd::testing::Tolerance{},
+        "extract_batch backend=scalar clip=" + std::to_string(i)));
+  }
+}
+
+TEST(FeatureTest, BatchMatchesSingleWithinUlpOnFastBackends) {
+  const auto clips = generated_clips(5);
+  const FeatureExtractor fx(32, 8);
+  // On a fast backend, batch and single-clip rows both come from that
+  // backend, but through different kernels (stacked gemm_a_bt vs gemm +
+  // gemm_a_bt), so agreement is ULP/abs-bounded, not exact (DESIGN.md §15).
+  const hsd::testing::Tolerance tol{128, 1e-5F};
+  for (const auto* be : hsd::testing::fast_backends()) {
+    const hsd::testing::BackendGuard guard(be->name());
+    const tensor::Tensor batch = fx.extract_batch(clips);
+    for (std::size_t i = 0; i < clips.size(); ++i) {
+      const auto single = fx.extract(clips[i]);
+      const std::vector<float> row(batch.data() + i * 64,
+                                   batch.data() + (i + 1) * 64);
+      EXPECT_TRUE(hsd::testing::compare_buffers(
+          single, row, tol,
+          "extract_batch backend=" + std::string(be->name()) +
+              " clip=" + std::to_string(i)));
     }
   }
+}
+
+TEST(FeatureTest, EmptyClipVectorYieldsEmptyBatch) {
+  const FeatureExtractor fx(32, 8);
+  const tensor::Tensor batch = fx.extract_batch({});
+  EXPECT_EQ(batch.shape(), (tensor::Shape{0, 1, 8, 8}));
+  EXPECT_EQ(batch.size(), 0u);
+  EXPECT_TRUE(to_double_rows(batch).empty());
 }
 
 TEST(FeatureTest, ToDoubleRowsFlattens) {
@@ -96,6 +137,15 @@ TEST(FeatureTest, ToDoubleRowsFlattens) {
   ASSERT_EQ(rows[0].size(), 4u);
   EXPECT_DOUBLE_EQ(rows[0][0], 1.0);
   EXPECT_DOUBLE_EQ(rows[1][3], 8.0);
+}
+
+TEST(FeatureTest, ToDoubleRowsRejectsRaggedStorage) {
+  // A constructed tensor always has size == volume, but mutable storage()
+  // access can break that invariant; to_double_rows must refuse to
+  // silently truncate the trailing partial row.
+  tensor::Tensor x({2, 2}, std::vector<float>{1, 2, 3, 4});
+  x.storage().push_back(5.0F);
+  EXPECT_THROW(to_double_rows(x), std::invalid_argument);
 }
 
 TEST(FeatureTest, InvalidKeepThrows) {

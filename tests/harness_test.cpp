@@ -1,0 +1,117 @@
+// Tests for the bench-side measurement harness: measure()'s round guard
+// and the strict numeric env parsing (common/env.hpp) behind every
+// harness knob. Registered from bench/CMakeLists.txt because it links
+// hsd_harness.
+
+#include "harness.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+#include "common/env.hpp"
+#include "common/registry.hpp"
+
+namespace hsd::harness {
+namespace {
+
+// Each test saves/clears the knobs it touches so order never matters.
+class EnvVarGuard {
+ public:
+  explicit EnvVarGuard(const char* name) : name_(name) {
+    if (const char* v = std::getenv(name)) saved_ = v;
+    unsetenv(name);
+  }
+  ~EnvVarGuard() {
+    if (saved_.has_value()) {
+      setenv(name_, saved_->c_str(), 1);
+    } else {
+      unsetenv(name_);
+    }
+  }
+  EnvVarGuard(const EnvVarGuard&) = delete;
+  EnvVarGuard& operator=(const EnvVarGuard&) = delete;
+
+ private:
+  const char* name_;
+  std::optional<std::string> saved_;
+};
+
+TEST(HarnessMeasureTest, ZeroRoundsThrows) {
+  EXPECT_THROW(measure([] {}, 0, 0), std::invalid_argument);
+  EXPECT_THROW(measure([] {}, 3, 0), std::invalid_argument);
+}
+
+TEST(HarnessMeasureTest, RunsWarmupPlusRounds) {
+  int calls = 0;
+  const TimingEstimate est = measure([&] { ++calls; }, 2, 3);
+  EXPECT_EQ(calls, 5);
+  ASSERT_EQ(est.rounds_seconds.size(), 3u);
+  EXPECT_GE(est.min_seconds, 0.0);
+  EXPECT_LE(est.min_seconds, est.mean_seconds + 1e-12);
+}
+
+TEST(HarnessEnvTest, MalformedBenchRoundsThrowsNamingVariable) {
+  const EnvVarGuard guard(hsd::reg::kEnvBenchRounds);
+  setenv(hsd::reg::kEnvBenchRounds, "abc", 1);
+  try {
+    bench_rounds();
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find(hsd::reg::kEnvBenchRounds),
+              std::string::npos);
+  }
+  setenv(hsd::reg::kEnvBenchRounds, "3x", 1);
+  EXPECT_THROW(bench_rounds(), std::runtime_error);
+  setenv(hsd::reg::kEnvBenchRounds, "-2", 1);
+  EXPECT_THROW(bench_rounds(), std::runtime_error);
+  setenv(hsd::reg::kEnvBenchRounds, "12", 1);
+  EXPECT_EQ(bench_rounds(), 12u);
+  unsetenv(hsd::reg::kEnvBenchRounds);
+  EXPECT_EQ(bench_rounds(), 7u);
+}
+
+TEST(HarnessEnvTest, WarmupAcceptsZeroRejectsGarbage) {
+  const EnvVarGuard guard(hsd::reg::kEnvBenchWarmup);
+  setenv(hsd::reg::kEnvBenchWarmup, "0", 1);
+  EXPECT_EQ(bench_warmup(), 0u);
+  setenv(hsd::reg::kEnvBenchWarmup, "oops", 1);
+  EXPECT_THROW(bench_warmup(), std::runtime_error);
+  unsetenv(hsd::reg::kEnvBenchWarmup);
+  EXPECT_EQ(bench_warmup(), 2u);
+}
+
+TEST(HarnessEnvTest, Iccad12ScaleStrictAndRangeChecked) {
+  const EnvVarGuard guard(hsd::reg::kEnvIccad12Scale);
+  setenv(hsd::reg::kEnvIccad12Scale, "0.25", 1);
+  EXPECT_DOUBLE_EQ(iccad12_scale(), 0.25);
+  setenv(hsd::reg::kEnvIccad12Scale, "abc", 1);
+  EXPECT_THROW(iccad12_scale(), std::runtime_error);
+  setenv(hsd::reg::kEnvIccad12Scale, "2.0", 1);
+  EXPECT_THROW(iccad12_scale(), std::runtime_error);  // out of (0, 1]
+  unsetenv(hsd::reg::kEnvIccad12Scale);
+  EXPECT_DOUBLE_EQ(iccad12_scale(), 0.05);
+}
+
+TEST(HarnessEnvTest, CommonHelpersParseStrictly) {
+  constexpr const char* kVar = "HARNESS_TEST_ONLY_VAR";
+  const EnvVarGuard guard(kVar);
+  EXPECT_DOUBLE_EQ(common::env_double(kVar, 1.5), 1.5);  // unset -> fallback
+  setenv(kVar, "", 1);
+  EXPECT_EQ(common::env_size(kVar, 9), 9u);  // empty -> fallback
+  setenv(kVar, "  ", 1);
+  EXPECT_THROW(common::env_size(kVar, 9), std::runtime_error);
+  setenv(kVar, "42 ", 1);  // trailing whitespace tolerated
+  EXPECT_EQ(common::env_size(kVar, 9), 42u);
+  setenv(kVar, "4.5", 1);
+  EXPECT_THROW(common::env_size(kVar, 9), std::runtime_error);
+  EXPECT_DOUBLE_EQ(common::env_double(kVar, 0.0), 4.5);
+  setenv(kVar, "1e3", 1);
+  EXPECT_DOUBLE_EQ(common::env_double(kVar, 0.0), 1000.0);
+}
+
+}  // namespace
+}  // namespace hsd::harness

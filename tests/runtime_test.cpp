@@ -39,8 +39,14 @@ TEST_F(RuntimeTest, DeriveSeedSeparatesStreamsAndBases) {
 TEST_F(RuntimeTest, ConfiguredThreadsReadsEnvironment) {
   ASSERT_EQ(setenv(hsd::reg::kEnvThreads, "3", 1), 0);
   EXPECT_EQ(configured_threads(), 3u);
+  // Strict parsing: a malformed or non-positive pin throws instead of
+  // silently running at hardware width.
   ASSERT_EQ(setenv(hsd::reg::kEnvThreads, "not-a-number", 1), 0);
-  EXPECT_GE(configured_threads(), 1u);  // falls back to hardware_concurrency
+  EXPECT_THROW(configured_threads(), std::runtime_error);
+  ASSERT_EQ(setenv(hsd::reg::kEnvThreads, "3x", 1), 0);
+  EXPECT_THROW(configured_threads(), std::runtime_error);
+  ASSERT_EQ(setenv(hsd::reg::kEnvThreads, "0", 1), 0);
+  EXPECT_THROW(configured_threads(), std::runtime_error);
   ASSERT_EQ(unsetenv(hsd::reg::kEnvThreads), 0);
   EXPECT_GE(configured_threads(), 1u);
 }

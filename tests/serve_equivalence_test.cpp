@@ -169,6 +169,61 @@ TEST(ServeEquivalence, MidDrainShutdownCompletesWithIdenticalBits) {
   runtime::set_global_threads(1);
 }
 
+TEST(ServeEquivalence, CachedVerdictsMatchFreshlyComputedPerBackend) {
+  // The batched DCT now fills the feature cache on the miss path; a later
+  // hit must return the very same bits that batched computation produced.
+  // Two passes of the same stream through one cache-on service: pass 1
+  // computes (and caches) every distinct clip, pass 2 is all cache hits,
+  // and the probabilities must agree exactly — per backend, per thread
+  // count.
+  const std::vector<layout::Clip> clips = request_stream();
+  std::vector<std::string> backends{"scalar"};
+  for (const auto* be : hsd::testing::fast_backends()) {
+    backends.emplace_back(be->name());
+  }
+  for (const std::string& backend : backends) {
+    const hsd::testing::BackendGuard guard(backend);
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+      runtime::set_global_threads(threads);
+      ServiceConfig cfg = base_config();
+      cfg.max_batch = 8;
+      cfg.cache_capacity = 64;  // > 12 distinct clips: nothing evicts
+      cfg.manual_pump = true;
+      InferenceService service(
+          cfg, core::HotspotDetector(detector_config(), stats::Rng(kSeed)));
+
+      const auto run_pass = [&] {
+        std::vector<std::future<Response>> futures;
+        for (const layout::Clip& clip : clips) {
+          futures.push_back(service.submit(clip));
+        }
+        while (service.pump() > 0) {
+        }
+        std::vector<Response> out;
+        out.reserve(futures.size());
+        for (auto& f : futures) out.push_back(f.get());
+        return out;
+      };
+      const std::vector<Response> first = run_pass();
+      const std::vector<Response> second = run_pass();
+
+      const std::string label =
+          "backend=" + backend + " threads=" + std::to_string(threads);
+      ASSERT_EQ(first.size(), second.size());
+      for (std::size_t i = 0; i < first.size(); ++i) {
+        ASSERT_EQ(first[i].status, Status::kOk) << label << " request " << i;
+        ASSERT_EQ(second[i].status, Status::kOk) << label << " request " << i;
+        EXPECT_TRUE(second[i].cache_hit) << label << " request " << i;
+        EXPECT_EQ(second[i].probability, first[i].probability)
+            << label << " request " << i;
+        EXPECT_EQ(second[i].hotspot, first[i].hotspot)
+            << label << " request " << i;
+      }
+    }
+  }
+  runtime::set_global_threads(1);
+}
+
 TEST(ServeEquivalence, FastBackendsPreserveVerdictsWithinProbTolerance) {
   // The backend axis: bit-identity is only promised per backend (the avx2
   // kernels fuse multiply-adds), so against a scalar-backend reference the
