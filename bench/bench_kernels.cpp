@@ -202,7 +202,10 @@ std::vector<Case> independent_cases(std::uint64_t seed) {
 
 void emit_estimate(std::ostringstream& os, const TimingEstimate& est) {
   os << "\"min_seconds\": " << est.min_seconds
-     << ", \"mean_seconds\": " << est.mean_seconds;
+     << ", \"mean_seconds\": " << est.mean_seconds
+     << ", \"ci_lo_seconds\": " << est.ci_lo_seconds
+     << ", \"ci_hi_seconds\": " << est.ci_hi_seconds
+     << ", \"outlier_rounds\": " << est.outlier_rounds;
 }
 
 /// Batched-vs-per-clip truncated DCT sweep (the FeatureExtractor hot path:
@@ -316,7 +319,7 @@ int main(int argc, char** argv) {
 
   std::ostringstream json;
   json << "{\n  \"bench\": \"bench_kernels\",\n";
-  json << "  \"schema_version\": 2,\n";
+  json << "  \"schema_version\": 3,\n";
   json << "  \"seed\": " << seed << ",\n";
   json << "  \"rounds\": " << rounds << ",\n  \"warmup\": " << warmup << ",\n";
   json << "  \"threads\": 1,\n";

@@ -18,6 +18,12 @@
 //     over shard count x offered QPS. Reports fleet p50/p95/p99, shed rate,
 //     and per-shard cache hit rates from the obs metrics rollup.
 //
+//  4. Transport sweep (closed loop): the same flooded fleet workload routed
+//     in-process vs. over UDS vs. over TCP (in-process shard servers, real
+//     sockets — DESIGN.md §16), isolating the RPC overhead per transport.
+//     Reports achieved QPS, latency percentiles, and the channel
+//     retry/reconnect counters (nonzero only when the transport misbehaved).
+//
 // Reproducibility: every stochastic stream (zipf clip choice, Poisson
 // arrivals) derives from one --seed via runtime::derive_seed, and each
 // fleet point reports a schedule_fingerprint — two runs at the same seed
@@ -31,6 +37,8 @@
 //          HSD_SERVE_UNIVERSE   fleet distinct-clip universe (default 1024)
 //          HSD_SERVE_SHARDS     fleet shard counts, comma list (default 1,2,4)
 //          HSD_SERVE_REPEATS    repeats per config (default 3)
+//          HSD_SERVE_TRANSPORTS transport axis, comma list of inproc|uds|tcp
+//                               (default inproc,uds,tcp; --transports wins)
 
 #include <algorithm>
 #include <chrono>
@@ -46,15 +54,20 @@
 #include <thread>
 #include <vector>
 
+#include <unistd.h>
+
 #include "common/env.hpp"
 #include "common/registry.hpp"
 #include "core/detector.hpp"
 #include "layout/clip.hpp"
+#include "net/client.hpp"
+#include "net/socket.hpp"
 #include "obs/metrics.hpp"
 #include "obs/rollup.hpp"
 #include "runtime/thread_pool.hpp"
 #include "serve/fleet.hpp"
 #include "serve/loadgen.hpp"
+#include "serve/remote.hpp"
 #include "serve/service.hpp"
 #include "stats/rng.hpp"
 
@@ -356,18 +369,152 @@ FleetPointStats run_fleet_point(const FleetConfig& fcfg, std::uint64_t model_see
   return pt;
 }
 
+// ---------------------------------------------------------------------------
+// Section 4: transport sweep (closed loop, inproc vs uds vs tcp)
+// ---------------------------------------------------------------------------
+
+std::vector<std::string> parse_transports(const std::string& csv) {
+  std::vector<std::string> out;
+  std::istringstream is(csv);
+  std::string token;
+  while (std::getline(is, token, ',')) {
+    if (token.empty()) continue;
+    if (token != "inproc" && token != "uds" && token != "tcp") {
+      throw std::runtime_error("bench_serve: unknown transport \"" + token +
+                               "\" (expected inproc|uds|tcp)");
+    }
+    out.push_back(token);
+  }
+  if (out.empty()) {
+    throw std::runtime_error("bench_serve: empty transport list");
+  }
+  return out;
+}
+
+struct TransportPointStats {
+  double achieved_qps = 0.0;
+  double p50_ms = 0.0, p95_ms = 0.0, p99_ms = 0.0;
+  std::uint64_t net_retries = 0;     ///< frames re-sent after connection loss
+  std::uint64_t net_reconnects = 0;  ///< channel re-establishments
+};
+
+/// Floods `requests` zipf-free round-robin clips through a fleet built on
+/// the named transport. For uds/tcp the shard servers run in-process but
+/// speak real sockets (DESIGN.md §16), so the delta vs. inproc is exactly
+/// the wire + syscall + channel cost.
+TransportPointStats run_transport_point(
+    const std::string& transport, const FleetConfig& fcfg,
+    std::uint64_t model_seed, const std::vector<hsd::layout::Clip>& clips,
+    std::size_t requests, std::size_t producers) {
+  static int bench_sockets = 0;  // unique UDS path per fleet construction
+  std::vector<std::unique_ptr<hsd::serve::ShardServer>> servers;
+  std::vector<hsd::serve::RemoteShard*> remotes;
+  std::unique_ptr<FleetRouter> fleet;
+  if (transport == "inproc") {
+    fleet = std::make_unique<FleetRouter>(
+        fcfg, [&] { return make_detector(fcfg.shard, model_seed); });
+  } else {
+    std::vector<std::unique_ptr<hsd::serve::Shard>> shard_ptrs;
+    for (std::size_t i = 0; i < fcfg.shards; ++i) {
+      hsd::serve::ShardServerConfig sscfg;
+      sscfg.service = fcfg.shard;
+      sscfg.service.shard_index = static_cast<std::uint32_t>(i);
+      sscfg.service.metric_prefix =
+          fcfg.shard.metric_prefix + "/shard" + std::to_string(i);
+      if (transport == "uds") {
+        hsd::net::Endpoint ep;
+        ep.kind = hsd::net::Endpoint::Kind::kUds;
+        ep.path = "/tmp/hsd-bench-" + std::to_string(::getpid()) + "-" +
+                  std::to_string(bench_sockets++) + ".sock";
+        sscfg.server.endpoint = ep;
+      } else {
+        sscfg.server.endpoint = hsd::net::parse_endpoint("tcp:127.0.0.1:0");
+      }
+      servers.push_back(std::make_unique<hsd::serve::ShardServer>(
+          sscfg, make_detector(fcfg.shard, model_seed)));
+      servers.back()->start();
+
+      hsd::serve::RemoteShardConfig rcfg;
+      rcfg.channel.endpoint = servers.back()->endpoint();
+      rcfg.channel.seed = i;
+      rcfg.channel.metric_prefix =
+          "serve/net/client/shard" + std::to_string(i);
+      rcfg.shard_index = static_cast<std::uint32_t>(i);
+      rcfg.feature_grid = fcfg.shard.feature_grid;
+      auto remote = std::make_unique<hsd::serve::RemoteShard>(rcfg);
+      remotes.push_back(remote.get());
+      shard_ptrs.push_back(std::move(remote));
+    }
+    fleet = std::make_unique<FleetRouter>(fcfg, std::move(shard_ptrs));
+  }
+
+  std::vector<std::vector<std::future<Response>>> futures(producers);
+  const double t0 = now_seconds();
+  std::vector<std::thread> threads;
+  threads.reserve(producers);
+  for (std::size_t p = 0; p < producers; ++p) {
+    threads.emplace_back([&, p] {
+      for (std::size_t i = p; i < requests; i += producers) {
+        futures[p].push_back(fleet->submit(clips[i % clips.size()]));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  TransportPointStats pt;
+  std::size_t ok = 0;
+  std::vector<double> latencies;
+  latencies.reserve(requests);
+  for (auto& lane : futures) {
+    for (auto& f : lane) {
+      const Response r = f.get();
+      if (r.status == Status::kOk) {
+        ++ok;
+        latencies.push_back(r.latency_seconds);
+      }
+    }
+  }
+  const double wall = now_seconds() - t0;
+
+  fleet->shutdown();
+  for (const auto* remote : remotes) {
+    const hsd::net::ChannelStats cs = remote->transport_stats();
+    pt.net_retries += cs.retries;
+    pt.net_reconnects += cs.reconnects;
+  }
+  fleet.reset();
+  for (auto& server : servers) server->drain_and_stop();
+
+  std::sort(latencies.begin(), latencies.end());
+  pt.achieved_qps = wall > 0 ? static_cast<double>(ok) / wall : 0.0;
+  pt.p50_ms = 1e3 * percentile(latencies, 0.50);
+  pt.p95_ms = 1e3 * percentile(latencies, 0.95);
+  pt.p99_ms = 1e3 * percentile(latencies, 0.99);
+  return pt;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::uint64_t seed = 1;
   std::string out_path = "BENCH_serve.json";
+  std::string transports_csv;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
       seed = std::strtoull(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--transports") == 0 && i + 1 < argc) {
+      transports_csv = argv[++i];
     }
   }
+  if (transports_csv.empty()) {
+    if (const char* env = std::getenv(hsd::reg::kEnvServeTransports)) {
+      transports_csv = env;
+    }
+  }
+  const std::vector<std::string> transports = parse_transports(
+      transports_csv.empty() ? "inproc,uds,tcp" : transports_csv);
 
   const std::size_t requests = env_size(hsd::reg::kEnvServeRequests, 256);
   const std::size_t producers = env_size(hsd::reg::kEnvServeProducers, 4);
@@ -386,7 +533,7 @@ int main(int argc, char** argv) {
 
   std::ostringstream json;
   json << "{\n  \"bench\": \"bench_serve\",\n";
-  json << "  \"schema_version\": 1,\n";
+  json << "  \"schema_version\": 2,\n";
   json << "  \"seed\": " << seed << ",\n";
   json << "  \"repeats\": " << repeats << ",\n";
   json << "  \"requests_per_point\": " << requests << ",\n";
@@ -557,7 +704,42 @@ int main(int argc, char** argv) {
       json << "]}";
     }
   }
-  json << "\n    ]\n  }\n}\n";
+  json << "\n    ]\n  },\n";
+
+  // --- Section 4: transport sweep ------------------------------------------
+  const std::size_t transport_shards = 2;
+  FleetConfig tcfg;
+  tcfg.shards = transport_shards;
+  tcfg.shard = cfg;
+  tcfg.shard.max_queue = requests;
+  tcfg.shard.cache_capacity = 4096;
+
+  json << "  \"transport\": {\n";
+  json << "    \"shards\": " << transport_shards << ",\n";
+  json << "    \"points\": [\n";
+  for (std::size_t ti = 0; ti < transports.size(); ++ti) {
+    std::vector<double> qps, p50, p95, p99;
+    std::uint64_t retries = 0, reconnects = 0;
+    for (std::size_t r = 0; r < repeats; ++r) {
+      const TransportPointStats pt = run_transport_point(
+          transports[ti], tcfg, model_seed, unique_clips, requests, producers);
+      qps.push_back(pt.achieved_qps);
+      p50.push_back(pt.p50_ms);
+      p95.push_back(pt.p95_ms);
+      p99.push_back(pt.p99_ms);
+      retries += pt.net_retries;
+      reconnects += pt.net_reconnects;
+    }
+    json << "      {\"transport\": \"" << transports[ti]
+         << "\", \"achieved_qps\": " << agg_json(aggregate(qps))
+         << ",\n       \"p50_ms\": " << agg_json(aggregate(p50))
+         << ", \"p95_ms\": " << agg_json(aggregate(p95))
+         << ", \"p99_ms\": " << agg_json(aggregate(p99))
+         << ",\n       \"net_retries\": " << retries
+         << ", \"net_reconnects\": " << reconnects << "}"
+         << (ti + 1 < transports.size() ? "," : "") << "\n";
+  }
+  json << "    ]\n  }\n}\n";
 
   const std::string doc = json.str();
   std::cout << doc;

@@ -10,6 +10,8 @@
 
 #include "common/env.hpp"
 #include "common/registry.hpp"
+#include "stats/bootstrap.hpp"
+#include "stats/rng.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -59,6 +61,14 @@ TimingEstimate measure(const std::function<void()>& fn, std::size_t warmup,
   est.min_seconds =
       *std::min_element(est.rounds_seconds.begin(), est.rounds_seconds.end());
   est.mean_seconds /= static_cast<double>(rounds);
+  // Fixed seed: the resample stream is a property of the estimator, not of
+  // the run, so identical rounds produce identical CI bounds.
+  stats::Rng rng(1729);
+  const stats::SampleDispersion d =
+      stats::sample_dispersion(est.rounds_seconds, rng);
+  est.ci_lo_seconds = d.mean_ci.lo;
+  est.ci_hi_seconds = d.mean_ci.hi;
+  est.outlier_rounds = d.outliers;
   return est;
 }
 

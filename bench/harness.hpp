@@ -73,11 +73,16 @@ struct PmRunResult {
 PmRunResult run_pm(const BuiltBenchmark& built, const pm::PmConfig& config);
 
 /// csbench-style warmup+repeat timing estimate: the minimum round is the
-/// headline number (least-noise estimate on a busy machine), the mean and
-/// the raw rounds are kept for dispersion reporting.
+/// headline number (least-noise estimate on a busy machine); the mean, a
+/// bootstrap 95% CI on it, a Tukey-fence outlier count, and the raw rounds
+/// are kept for dispersion reporting (stats::sample_dispersion with a fixed
+/// seed, so re-running a quiet machine regenerates identical JSON).
 struct TimingEstimate {
   double min_seconds = 0.0;
   double mean_seconds = 0.0;
+  double ci_lo_seconds = 0.0;       ///< bootstrap 95% CI lower bound on mean
+  double ci_hi_seconds = 0.0;       ///< bootstrap 95% CI upper bound on mean
+  std::size_t outlier_rounds = 0;   ///< rounds outside the 1.5*IQR fences
   std::vector<double> rounds_seconds;
 };
 

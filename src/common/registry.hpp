@@ -31,6 +31,7 @@ inline constexpr const char kEnvTrace[] = "HSD_TRACE";  // hsd-reg: env
 inline constexpr const char kEnvRoundLog[] = "HSD_ROUND_LOG";  // hsd-reg: env
 inline constexpr const char kEnvBackend[] = "HSD_BACKEND";  // hsd-reg: env
 inline constexpr const char kEnvFaultAfterRound[] = "HSD_FAULT_AFTER_ROUND";  // hsd-reg: env
+inline constexpr const char kEnvFaultNet[] = "HSD_FAULT_NET";  // hsd-reg: env
 
 // Benchmark harness knobs (bench/).
 inline constexpr const char kEnvIccad12Scale[] = "HSD_ICCAD12_SCALE";  // hsd-reg: env
@@ -43,6 +44,7 @@ inline constexpr const char kEnvServeDistinct[] = "HSD_SERVE_DISTINCT";  // hsd-
 inline constexpr const char kEnvServeUniverse[] = "HSD_SERVE_UNIVERSE";  // hsd-reg: env
 inline constexpr const char kEnvServeRepeats[] = "HSD_SERVE_REPEATS";  // hsd-reg: env
 inline constexpr const char kEnvServeShards[] = "HSD_SERVE_SHARDS";  // hsd-reg: env
+inline constexpr const char kEnvServeTransports[] = "HSD_SERVE_TRANSPORTS";  // hsd-reg: env
 
 // --- metrics ---------------------------------------------------------------
 
@@ -93,6 +95,26 @@ inline constexpr const char kMetServeBatchFill[] = "serve%/batch_fill";  // hsd-
 inline constexpr const char kMetServeRouterRequests[] = "serve%/router/requests";  // hsd-reg: metric
 inline constexpr const char kMetServeRouterShed[] = "serve%/router/shed";  // hsd-reg: metric
 
+// serving RPC transport (src/net). Server side registers full literals;
+// client channels register under "serve/net/client[/shard<i>]" — the `%`
+// absorbs the per-shard infix.
+inline constexpr const char kMetNetServerConnections[] = "serve/net/server/connections";  // hsd-reg: metric
+inline constexpr const char kMetNetServerFramesIn[] = "serve/net/server/frames_in";  // hsd-reg: metric
+inline constexpr const char kMetNetServerFramesOut[] = "serve/net/server/frames_out";  // hsd-reg: metric
+inline constexpr const char kMetNetServerBytesIn[] = "serve/net/server/bytes_in";  // hsd-reg: metric
+inline constexpr const char kMetNetServerBytesOut[] = "serve/net/server/bytes_out";  // hsd-reg: metric
+inline constexpr const char kMetNetServerOverflowRejects[] = "serve/net/server/overflow_rejects";  // hsd-reg: metric
+inline constexpr const char kMetNetServerShutdownRpcs[] = "serve/net/server/shutdown_rpcs";  // hsd-reg: metric
+inline constexpr const char kMetNetServerRpcSeconds[] = "serve/net/server/rpc_seconds";  // hsd-reg: metric
+inline constexpr const char kMetNetClientRequests[] = "serve/net/client%/requests";  // hsd-reg: metric
+inline constexpr const char kMetNetClientBytesOut[] = "serve/net/client%/bytes_out";  // hsd-reg: metric
+inline constexpr const char kMetNetClientBytesIn[] = "serve/net/client%/bytes_in";  // hsd-reg: metric
+inline constexpr const char kMetNetClientRetries[] = "serve/net/client%/retries";  // hsd-reg: metric
+inline constexpr const char kMetNetClientReconnects[] = "serve/net/client%/reconnects";  // hsd-reg: metric
+inline constexpr const char kMetNetClientTimeouts[] = "serve/net/client%/timeouts";  // hsd-reg: metric
+inline constexpr const char kMetNetClientNetErrors[] = "serve/net/client%/net_errors";  // hsd-reg: metric
+inline constexpr const char kMetNetClientRpcSeconds[] = "serve/net/client%/rpc_seconds";  // hsd-reg: metric
+
 // --- trace spans -----------------------------------------------------------
 
 // active-learning loop phases.
@@ -134,5 +156,9 @@ inline constexpr const char kSpanTensorCol2im[] = "tensor/col2im";  // hsd-reg: 
 inline constexpr const char kSpanServeBatch[] = "serve/batch";  // hsd-reg: span
 inline constexpr const char kSpanServeFeatures[] = "serve/features";  // hsd-reg: span
 inline constexpr const char kSpanServeForward[] = "serve/forward";  // hsd-reg: span
+
+// serving RPC transport.
+inline constexpr const char kSpanNetConnect[] = "net/connect";  // hsd-reg: span
+inline constexpr const char kSpanNetHandle[] = "net/handle";  // hsd-reg: span
 
 }  // namespace hsd::reg

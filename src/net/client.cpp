@@ -1,0 +1,539 @@
+#include "net/client.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+#include "common/registry.hpp"
+#include "obs/trace.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace hsd::net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+}  // namespace
+
+struct Channel::Pending {
+  std::uint64_t id = 0;
+  std::uint64_t serial = 0;  ///< 1-based submission index (fault matching)
+  std::vector<std::uint8_t> frame;
+  Callback done;
+  Clock::time_point submitted;
+  Clock::time_point deadline;
+  bool has_deadline = false;
+  std::size_t attempts = 0;  ///< connection losses charged to this call
+  bool sent = false;         ///< sent on the *current* connection
+  bool sent_once = false;    ///< ever sent (a later send is a retry)
+};
+
+struct Channel::Fault {
+  enum class Kind { kDropSend, kDropRecv, kDelay };
+  Kind kind = Kind::kDropSend;
+  std::uint64_t serial = 0;
+  std::uint64_t delay_ms = 0;
+  bool used = false;
+};
+
+/// Parses "drop-send@N,drop-recv@N,delay@N:MS". Strict: anything else
+/// throws, naming the bad entry — a typoed fault spec that silently
+/// injects nothing would make a robustness test pass vacuously.
+std::vector<Channel::Fault> Channel::parse_faults(const std::string& spec) {
+  std::vector<Channel::Fault> out;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string entry = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (entry.empty()) continue;
+    const std::size_t at = entry.find('@');
+    if (at == std::string::npos) {
+      throw NetError("net: bad fault entry `" + entry +
+                     "` (expected kind@serial)");
+    }
+    const std::string kind = entry.substr(0, at);
+    std::string serial_text = entry.substr(at + 1);
+    Channel::Fault f;
+    if (kind == "drop-send") {
+      f.kind = Channel::Fault::Kind::kDropSend;
+    } else if (kind == "drop-recv") {
+      f.kind = Channel::Fault::Kind::kDropRecv;
+    } else if (kind == "delay") {
+      f.kind = Channel::Fault::Kind::kDelay;
+      const std::size_t colon = serial_text.find(':');
+      if (colon == std::string::npos) {
+        throw NetError("net: delay fault needs @serial:ms, got `" + entry +
+                       "`");
+      }
+      const std::string ms_text = serial_text.substr(colon + 1);
+      serial_text = serial_text.substr(0, colon);
+      std::size_t used = 0;
+      try {
+        f.delay_ms = std::stoull(ms_text, &used);
+      } catch (const std::exception&) {
+        used = 0;
+      }
+      if (used != ms_text.size()) {
+        throw NetError("net: bad fault delay `" + ms_text + "` in `" + entry +
+                       "`");
+      }
+    } else {
+      throw NetError("net: unknown fault kind `" + kind + "` in `" + entry +
+                     "`");
+    }
+    std::size_t used = 0;
+    try {
+      f.serial = std::stoull(serial_text, &used);
+    } catch (const std::exception&) {
+      used = 0;
+    }
+    if (used != serial_text.size() || f.serial == 0) {
+      throw NetError("net: bad fault serial `" + serial_text + "` in `" +
+                     entry + "`");
+    }
+    out.push_back(f);
+  }
+  return out;
+}
+
+Channel::Channel(const ChannelConfig& config)
+    : config_(config),
+      met_requests_(obs::counter(config.metric_prefix + "/requests")),
+      met_bytes_out_(obs::counter(config.metric_prefix + "/bytes_out")),
+      met_bytes_in_(obs::counter(config.metric_prefix + "/bytes_in")),
+      met_retries_(obs::counter(config.metric_prefix + "/retries")),
+      met_reconnects_(obs::counter(config.metric_prefix + "/reconnects")),
+      met_timeouts_(obs::counter(config.metric_prefix + "/timeouts")),
+      met_net_errors_(obs::counter(config.metric_prefix + "/net_errors")),
+      met_rpc_seconds_(obs::histogram(config.metric_prefix + "/rpc_seconds")) {
+  std::string spec = config_.fault_spec;
+  if (spec.empty()) {
+    if (const char* env = std::getenv(reg::kEnvFaultNet)) spec = env;
+  }
+  faults_ = parse_faults(spec);
+  if (::pipe(wake_pipe_) != 0) {
+    throw NetError("net: wake pipe creation failed");
+  }
+  ::fcntl(wake_pipe_[0], F_SETFL, O_NONBLOCK);
+  ::fcntl(wake_pipe_[1], F_SETFL, O_NONBLOCK);
+  next_connect_ = Clock::now();
+  // Owns the socket for the channel's lifetime; joined in the destructor.
+  // hsd-lint: allow(no-raw-thread)
+  io_thread_ = std::thread([this] { io_main(); });
+}
+
+Channel::~Channel() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  wake();
+  if (io_thread_.joinable()) io_thread_.join();
+  ::close(wake_pipe_[0]);
+  ::close(wake_pipe_[1]);
+}
+
+void Channel::call(wire::PredictRequest&& req, Callback done) {
+  Pending p;
+  bool rejected = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stop_) {
+      rejected = true;
+    } else {
+      p.id = next_id_++;
+      ++live_calls_;
+    }
+  }
+  if (rejected) {
+    CallResult r;
+    r.kind = CallResult::Kind::kError;
+    r.error = "channel is shut down";
+    net_errors_.fetch_add(1, std::memory_order_relaxed);
+    met_net_errors_.add();
+    done(std::move(r));
+    return;
+  }
+  p.serial = p.id;
+  req.request_id = p.id;
+  p.frame = wire::encode(req);
+  p.done = std::move(done);
+  p.submitted = Clock::now();
+  if (config_.rpc_timeout_ms > 0) {
+    p.has_deadline = true;
+    p.deadline =
+        p.submitted + std::chrono::milliseconds(config_.rpc_timeout_ms);
+  }
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  met_requests_.add();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    intake_.push_back(std::move(p));
+  }
+  wake();
+}
+
+void Channel::drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  drained_cv_.wait(lock, [this] { return live_calls_ == 0; });
+}
+
+ChannelStats Channel::stats() const {
+  ChannelStats s;
+  s.requests = requests_.load(std::memory_order_relaxed);
+  s.retries = retries_.load(std::memory_order_relaxed);
+  s.reconnects = reconnects_.load(std::memory_order_relaxed);
+  s.timeouts = timeouts_.load(std::memory_order_relaxed);
+  s.net_errors = net_errors_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mutex_);
+  s.pending = live_calls_;
+  return s;
+}
+
+void Channel::wake() {
+  const std::uint8_t one = 1;
+  // Nonblocking: a full pipe already guarantees a pending wake-up.
+  [[maybe_unused]] const ssize_t rc = ::write(wake_pipe_[1], &one, 1);
+}
+
+void Channel::complete(Pending& p, CallResult&& result) {
+  p.done(std::move(result));
+  bool notify = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    --live_calls_;
+    notify = live_calls_ == 0;
+  }
+  if (notify) drained_cv_.notify_all();
+}
+
+void Channel::io_main() {
+  obs::set_current_thread_name("net-client");
+  std::map<std::uint64_t, Pending> pending;
+  auto wait_wake = [this](int timeout_ms) {
+    pollfd p{};
+    p.fd = wake_pipe_[0];
+    p.events = POLLIN;
+    ::poll(&p, 1, timeout_ms);
+    std::uint8_t buf[64];
+    while (::read(wake_pipe_[0], buf, sizeof(buf)) > 0) {
+    }
+  };
+
+  for (;;) {
+    bool stop = false;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stop = stop_;
+      while (!intake_.empty()) {
+        Pending p = std::move(intake_.front());
+        intake_.pop_front();
+        pending.emplace(p.id, std::move(p));
+      }
+    }
+    if (stop) {
+      for (auto& [id, p] : pending) {
+        CallResult r;
+        r.kind = CallResult::Kind::kError;
+        r.error = "channel destroyed with call in flight";
+        net_errors_.fetch_add(1, std::memory_order_relaxed);
+        met_net_errors_.add();
+        complete(p, std::move(r));
+      }
+      pending.clear();
+      return;
+    }
+    if (pending.empty()) {
+      wait_wake(100);
+      continue;
+    }
+
+    if (!conn_.valid()) establish(pending);
+    if (conn_.valid()) {
+      send_ready(pending);
+      if (conn_.valid()) read_frames(pending);
+    } else {
+      // Backoff window (or terminal connect failure): sleep interruptibly.
+      const auto now = Clock::now();
+      int ms = 10;
+      if (next_connect_ > now) {
+        const auto until = std::chrono::duration_cast<std::chrono::milliseconds>(
+            next_connect_ - now);
+        ms = static_cast<int>(
+            std::min<std::int64_t>(until.count() + 1, 100));
+      }
+      wait_wake(ms < 1 ? 1 : ms);
+    }
+    expire_deadlines(pending);
+  }
+}
+
+void Channel::establish(std::map<std::uint64_t, Pending>& pending) {
+  const auto now = Clock::now();
+  if (connect_failures_ > 0 && now < next_connect_) return;
+  try {
+    HSD_SPAN("net/connect");
+    conn_ = connect_to(config_.endpoint, config_.connect_timeout_ms);
+    read_buffer_.clear();
+    if (connected_once_) {
+      reconnects_.fetch_add(1, std::memory_order_relaxed);
+      met_reconnects_.add();
+    }
+    connected_once_ = true;
+    connect_failures_ = 0;
+    for (auto& [id, p] : pending) p.sent = false;  // resend in id order
+  } catch (const NetError&) {
+    ++connect_failures_;
+    // Charge one attempt to every waiting call so a dead server cannot hold
+    // requests hostage forever; fail the ones whose budget is spent.
+    std::vector<std::uint64_t> dead;
+    for (auto& [id, p] : pending) {
+      ++p.attempts;
+      if (p.attempts > config_.max_retries) dead.push_back(id);
+    }
+    for (const std::uint64_t id : dead) {
+      auto it = pending.find(id);
+      CallResult r;
+      r.kind = CallResult::Kind::kError;
+      r.error = "connect to " + to_string(config_.endpoint) +
+                " failed after retries";
+      net_errors_.fetch_add(1, std::memory_order_relaxed);
+      met_net_errors_.add();
+      complete(it->second, std::move(r));
+      pending.erase(it);
+    }
+    // Bounded exponential backoff; the jitter stream is derived from the
+    // channel seed and the failure ordinal, so it is reproducible per
+    // channel but decorrelated across channels.
+    const std::uint64_t shift =
+        connect_failures_ > 20 ? 20 : connect_failures_ - 1;
+    std::uint64_t base_us = config_.backoff_base_us << shift;
+    if (base_us > config_.backoff_max_us) base_us = config_.backoff_max_us;
+    const std::uint64_t jitter =
+        runtime::derive_seed(config_.seed, connect_failures_) %
+        (base_us / 2 + 1);
+    next_connect_ =
+        Clock::now() + std::chrono::microseconds(base_us / 2 + jitter);
+  }
+}
+
+void Channel::send_ready(std::map<std::uint64_t, Pending>& pending) {
+  for (auto& [id, p] : pending) {
+    if (p.sent) continue;
+    Fault* fault = nullptr;
+    for (Fault& f : faults_) {
+      if (!f.used && f.serial == p.serial) {
+        fault = &f;
+        break;
+      }
+    }
+    if (fault != nullptr && fault->kind == Fault::Kind::kDropSend) {
+      fault->used = true;
+      connection_lost(pending);
+      return;
+    }
+    if (!send_all(conn_, p.frame.data(), p.frame.size())) {
+      connection_lost(pending);
+      return;
+    }
+    met_bytes_out_.add(p.frame.size());
+    if (p.sent_once) {
+      retries_.fetch_add(1, std::memory_order_relaxed);
+      met_retries_.add();
+    }
+    p.sent = true;
+    p.sent_once = true;
+    if (fault != nullptr && fault->kind == Fault::Kind::kDropRecv) {
+      fault->used = true;
+      connection_lost(pending);
+      return;
+    }
+    if (fault != nullptr && fault->kind == Fault::Kind::kDelay) {
+      fault->used = true;
+      std::this_thread::sleep_for(std::chrono::milliseconds(fault->delay_ms));
+    }
+  }
+}
+
+void Channel::read_frames(std::map<std::uint64_t, Pending>& pending) {
+  // Wait for the socket (or a wake from a submitter), bounded by the
+  // nearest RPC deadline so expiry never waits on a silent server.
+  pollfd fds[2];
+  fds[0].fd = conn_.fd();
+  fds[0].events = POLLIN;
+  fds[1].fd = wake_pipe_[0];
+  fds[1].events = POLLIN;
+  int timeout_ms = 100;
+  const auto now = Clock::now();
+  for (const auto& [id, p] : pending) {
+    if (!p.has_deadline) continue;
+    const auto left =
+        std::chrono::duration_cast<std::chrono::milliseconds>(p.deadline - now);
+    const int ms = left.count() < 0 ? 0 : static_cast<int>(std::min<std::int64_t>(left.count(), 100));
+    if (ms < timeout_ms) timeout_ms = ms;
+  }
+  const int rc = ::poll(fds, 2, timeout_ms);
+  if (rc <= 0) return;
+  if ((fds[1].revents & POLLIN) != 0) {
+    std::uint8_t buf[64];
+    while (::read(wake_pipe_[0], buf, sizeof(buf)) > 0) {
+    }
+  }
+  if ((fds[0].revents & (POLLIN | POLLHUP | POLLERR)) == 0) return;
+
+  std::uint8_t chunk[64 * 1024];
+  const ssize_t got = ::recv(conn_.fd(), chunk, sizeof(chunk), 0);
+  if (got == 0) {
+    connection_lost(pending);
+    return;
+  }
+  if (got < 0) {
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) return;
+    connection_lost(pending);
+    return;
+  }
+  met_bytes_in_.add(static_cast<std::uint64_t>(got));
+  read_buffer_.insert(read_buffer_.end(), chunk, chunk + got);
+
+  std::size_t off = 0;
+  try {
+    while (read_buffer_.size() - off >= kFrameHeaderBytes) {
+      const FrameHeader header = decode_frame_header(
+          read_buffer_.data() + off, read_buffer_.size() - off);
+      if (read_buffer_.size() - off < kFrameHeaderBytes + header.payload_len) {
+        break;  // frame incomplete; wait for more bytes
+      }
+      const std::uint8_t* payload = read_buffer_.data() + off + kFrameHeaderBytes;
+      if (header.type == FrameType::kPredictResponse) {
+        wire::PredictResponse resp = wire::decode_predict_response(
+            payload, static_cast<std::size_t>(header.payload_len));
+        auto it = pending.find(resp.request_id);
+        if (it != pending.end()) {
+          met_rpc_seconds_.observe(
+              seconds_between(it->second.submitted, Clock::now()));
+          CallResult r;
+          r.kind = CallResult::Kind::kOk;
+          r.response = resp;
+          complete(it->second, std::move(r));
+          pending.erase(it);
+        }
+        // else: a late answer for a call that already timed out — dropped.
+      }
+      // Pong / shutdown-ack frames on a data channel are ignored.
+      off += kFrameHeaderBytes + header.payload_len;
+    }
+  } catch (const WireError&) {
+    // Framing lost (garbage or version skew): the connection is useless.
+    connection_lost(pending);
+    return;
+  }
+  if (off > 0) {
+    read_buffer_.erase(read_buffer_.begin(),
+                       read_buffer_.begin() + static_cast<std::ptrdiff_t>(off));
+  }
+}
+
+void Channel::connection_lost(std::map<std::uint64_t, Pending>& pending) {
+  conn_.close();
+  read_buffer_.clear();
+  std::vector<std::uint64_t> dead;
+  for (auto& [id, p] : pending) {
+    if (!p.sent) continue;
+    p.sent = false;
+    ++p.attempts;
+    if (p.attempts > config_.max_retries) dead.push_back(id);
+  }
+  for (const std::uint64_t id : dead) {
+    auto it = pending.find(id);
+    CallResult r;
+    r.kind = CallResult::Kind::kError;
+    r.error = "connection to " + to_string(config_.endpoint) +
+              " lost; retry budget exhausted";
+    net_errors_.fetch_add(1, std::memory_order_relaxed);
+    met_net_errors_.add();
+    complete(it->second, std::move(r));
+    pending.erase(it);
+  }
+}
+
+void Channel::expire_deadlines(std::map<std::uint64_t, Pending>& pending) {
+  const auto now = Clock::now();
+  std::vector<std::uint64_t> expired;
+  for (const auto& [id, p] : pending) {
+    if (p.has_deadline && now >= p.deadline) expired.push_back(id);
+  }
+  for (const std::uint64_t id : expired) {
+    auto it = pending.find(id);
+    CallResult r;
+    r.kind = CallResult::Kind::kTimeout;
+    timeouts_.fetch_add(1, std::memory_order_relaxed);
+    met_timeouts_.add();
+    complete(it->second, std::move(r));
+    pending.erase(it);
+  }
+}
+
+namespace {
+
+/// One request/response exchange on a throwaway connection.
+bool roundtrip(const Endpoint& ep, const std::vector<std::uint8_t>& frame,
+               FrameType expect, int timeout_ms) {
+  try {
+    Socket s = connect_to(ep, timeout_ms);
+    if (!send_all(s, frame.data(), frame.size())) return false;
+    const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+    auto recv_deadline = [&](std::uint8_t* out, std::size_t n) {
+      std::size_t got = 0;
+      while (got < n) {
+        const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+            deadline - Clock::now());
+        if (left.count() <= 0) return false;
+        const long rc = recv_some(s, out + got, n - got,
+                                  static_cast<int>(left.count()));
+        if (rc <= 0) return false;
+        got += static_cast<std::size_t>(rc);
+      }
+      return true;
+    };
+    std::uint8_t header_bytes[kFrameHeaderBytes];
+    if (!recv_deadline(header_bytes, kFrameHeaderBytes)) return false;
+    const FrameHeader header =
+        decode_frame_header(header_bytes, kFrameHeaderBytes);
+    std::vector<std::uint8_t> payload(header.payload_len);
+    if (header.payload_len > 0 &&
+        !recv_deadline(payload.data(), payload.size())) {
+      return false;
+    }
+    return header.type == expect;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+}  // namespace
+
+bool shutdown_rpc(const Endpoint& ep, int timeout_ms) {
+  return roundtrip(ep, wire::encode_shutdown_request(),
+                   FrameType::kShutdownAck, timeout_ms);
+}
+
+bool ping_rpc(const Endpoint& ep, int timeout_ms) {
+  return roundtrip(ep, wire::encode_ping(1), FrameType::kPong, timeout_ms);
+}
+
+}  // namespace hsd::net

@@ -1,0 +1,170 @@
+#pragma once
+// Client side of the serving RPC transport: a Channel owns one connection
+// to one shard server and pipelines predict calls over it.
+//
+// Threading model: a single IO thread owns the socket and every piece of
+// connection state (pending map, read buffer, reconnect/backoff schedule) —
+// submitters only append to a locked intake queue and kick a wake pipe, so
+// there is no send/recv interleaving to reason about. Completion callbacks
+// run on the IO thread; they must be cheap and non-blocking (the
+// serve/remote adapter just fulfills a promise).
+//
+// Reliability envelope (DESIGN.md §16):
+//   * connect + per-RPC deadlines — a call that cannot produce a response
+//     in time completes with kTimeout (serve maps it to kNetTimeout);
+//   * reconnect with bounded exponential backoff; the jitter stream is
+//     runtime::derive_seed(seed, attempt), so two clients with different
+//     seeds never thundering-herd in lockstep yet each is reproducible;
+//   * idempotent-safe retries — requests carry the rasterized bitmap and
+//     its content hash, and shard inference is a pure function of content,
+//     so resending after a connection loss can change nothing but latency.
+//     A request is resent at most max_retries times, then completes with
+//     kError (serve maps it to kNetError);
+//   * deterministic fault injection (HSD_FAULT_NET / ChannelConfig::
+//     fault_spec) for tests: "drop-send@N" kills the connection right
+//     before the Nth call is first sent, "drop-recv@N" right after (the
+//     response is lost), "delay@N:MS" stalls the IO thread after sending.
+//
+// Responses are matched by request id, so late responses for calls that
+// already timed out are recognized and dropped instead of corrupting a
+// later call.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/socket.hpp"
+#include "net/wire.hpp"
+#include "obs/metrics.hpp"
+
+namespace hsd::net {
+
+struct ChannelConfig {
+  Endpoint endpoint;
+  int connect_timeout_ms = 1000;
+  /// Per-RPC network deadline in ms (0 = none). Distinct from the serve
+  /// deadline inside the request — this one bounds the transport.
+  std::uint64_t rpc_timeout_ms = 5000;
+  /// Resend budget per request after connection losses.
+  std::size_t max_retries = 3;
+  std::uint64_t backoff_base_us = 500;
+  std::uint64_t backoff_max_us = 100000;
+  /// Base of the jitter stream (derive_seed(seed, attempt)).
+  std::uint64_t seed = 0;
+  /// Metric namespace; per-shard channels use "serve/net/client/shard<i>".
+  std::string metric_prefix = "serve/net/client";
+  /// Fault-injection spec; empty = read HSD_FAULT_NET from the environment.
+  std::string fault_spec;
+};
+
+struct CallResult {
+  enum class Kind { kOk, kTimeout, kError };
+  Kind kind = Kind::kError;
+  wire::PredictResponse response;  ///< valid iff kind == kOk
+  std::string error;               ///< diagnostic for kError
+};
+
+/// Point-in-time transport counters (also exported as obs metrics under the
+/// channel's metric prefix; these are for tests and the bench, which need
+/// them without enabling the metrics registry).
+struct ChannelStats {
+  std::uint64_t requests = 0;
+  std::uint64_t retries = 0;     ///< resends after a connection loss
+  std::uint64_t reconnects = 0;  ///< established connections lost + rebuilt
+  std::uint64_t timeouts = 0;
+  std::uint64_t net_errors = 0;
+  std::uint64_t pending = 0;     ///< calls not yet completed
+};
+
+class Channel {
+ public:
+  using Callback = std::function<void(CallResult&&)>;
+
+  explicit Channel(const ChannelConfig& config);
+  ~Channel();  // fails anything still pending with kError, then joins
+
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  /// Enqueues one RPC. `req.request_id` is assigned by the channel. `done`
+  /// runs exactly once, on the IO thread.
+  void call(wire::PredictRequest&& req, Callback done);
+
+  /// Blocks until every submitted call has completed (ok, timeout, or
+  /// error). New calls during a drain are serviced too.
+  void drain();
+
+  ChannelStats stats() const;
+  const ChannelConfig& config() const { return config_; }
+
+ private:
+  struct Pending;
+  struct Fault;
+
+  static std::vector<Fault> parse_faults(const std::string& spec);
+
+  void io_main();
+  void ingest_locked_intake(std::map<std::uint64_t, Pending>& pending);
+  void establish(std::map<std::uint64_t, Pending>& pending);
+  void send_ready(std::map<std::uint64_t, Pending>& pending);
+  void read_frames(std::map<std::uint64_t, Pending>& pending);
+  void connection_lost(std::map<std::uint64_t, Pending>& pending);
+  void expire_deadlines(std::map<std::uint64_t, Pending>& pending);
+  void complete(Pending& p, CallResult&& result);
+  void wake();
+
+  ChannelConfig config_;
+  std::vector<Fault> faults_;
+
+  // Intake shared with submitters.
+  mutable std::mutex mutex_;
+  std::condition_variable drained_cv_;
+  std::deque<Pending> intake_;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t live_calls_ = 0;  ///< submitted, callback not yet run
+  bool stop_ = false;
+
+  // IO-thread-owned connection state.
+  Socket conn_;
+  std::vector<std::uint8_t> read_buffer_;
+  std::uint64_t connect_failures_ = 0;
+  std::chrono::steady_clock::time_point next_connect_;
+  bool connected_once_ = false;
+
+  int wake_pipe_[2] = {-1, -1};
+
+  // Mirrors of the obs counters (see ChannelStats).
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> retries_{0};
+  std::atomic<std::uint64_t> reconnects_{0};
+  std::atomic<std::uint64_t> timeouts_{0};
+  std::atomic<std::uint64_t> net_errors_{0};
+
+  obs::Counter& met_requests_;
+  obs::Counter& met_bytes_out_;
+  obs::Counter& met_bytes_in_;
+  obs::Counter& met_retries_;
+  obs::Counter& met_reconnects_;
+  obs::Counter& met_timeouts_;
+  obs::Counter& met_net_errors_;
+  obs::Histogram& met_rpc_seconds_;
+
+  // Joined in the destructor (client.cpp).
+  // hsd-lint: allow(no-raw-thread, thread-member-join)
+  std::thread io_thread_;
+};
+
+/// Synchronous control RPCs on a throwaway connection (the Channel's IO
+/// thread owns the data-plane socket, so the control plane stays trivial).
+/// Return false on any failure or timeout.
+bool shutdown_rpc(const Endpoint& ep, int timeout_ms);
+bool ping_rpc(const Endpoint& ep, int timeout_ms);
+
+}  // namespace hsd::net

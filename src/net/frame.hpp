@@ -1,0 +1,230 @@
+#pragma once
+// Length-prefixed, versioned binary framing for the serving RPC transport
+// (DESIGN.md §16). Every message on a connection is one frame:
+//
+//   offset  size  field
+//   0       4     magic "HSDN" (0x4E445348 read as little-endian u32)
+//   4       2     protocol version (little-endian u16; currently 1)
+//   6       2     frame type (little-endian u16; see FrameType)
+//   8       8     payload length in bytes (little-endian u64)
+//   16      n     payload (message-specific; see net/wire.hpp)
+//
+// All integers are little-endian on the wire regardless of host order, and
+// floating-point values travel as their IEEE-754 bit patterns — that is
+// what makes the encoding golden-pinnable across platforms and lets a
+// remote shard's probability arrive bit-identical to an in-process one.
+//
+// Decoding is defensive: a frame with a bad magic, an unknown version, or a
+// payload length over kMaxPayloadBytes is rejected with WireError before
+// any payload is read, so a garbage or hostile peer cannot make the server
+// allocate unbounded memory. Reader bounds-checks every field read and
+// decode helpers require the payload to be fully consumed, so truncated and
+// oversized payloads are rejected rather than misparsed.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace hsd::net {
+
+/// Malformed wire data (bad magic/version/length, truncated or trailing
+/// payload bytes). Connections that produce one are torn down — framing
+/// cannot resynchronize inside a stream.
+class WireError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+inline constexpr std::uint32_t kFrameMagic = 0x4E445348u;  // "HSDN"
+inline constexpr std::uint16_t kProtocolVersion = 1;
+inline constexpr std::size_t kFrameHeaderBytes = 16;
+/// Upper bound on a single payload; a header announcing more is rejected
+/// before any allocation. Generous next to the largest real message (a
+/// 512x512 float bitmap is 1 MiB).
+inline constexpr std::uint64_t kMaxPayloadBytes = 16ull << 20;
+
+enum class FrameType : std::uint16_t {
+  kPredictRequest = 1,
+  kPredictResponse = 2,
+  kShutdownRequest = 3,
+  kShutdownAck = 4,
+  kPing = 5,
+  kPong = 6,
+};
+
+struct FrameHeader {
+  std::uint16_t version = 0;
+  FrameType type = FrameType::kPing;
+  std::uint64_t payload_len = 0;
+};
+
+/// Append-only little-endian encoder.
+class Writer {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v) {
+    buf_.push_back(static_cast<std::uint8_t>(v & 0xff));
+    buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+  }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+  void i64(std::int64_t v) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    u64(bits);
+  }
+  void f32(float v) {
+    std::uint32_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    u32(bits);
+  }
+  void f64(double v) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    u64(bits);
+  }
+
+  std::size_t size() const { return buf_.size(); }
+  const std::vector<std::uint8_t>& bytes() const { return buf_; }
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Bounds-checked little-endian decoder over a borrowed byte range.
+class Reader {
+ public:
+  Reader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+  explicit Reader(const std::vector<std::uint8_t>& buf)
+      : Reader(buf.data(), buf.size()) {}
+
+  std::uint8_t u8() {
+    need(1);
+    return data_[off_++];
+  }
+  std::uint16_t u16() {
+    need(2);
+    std::uint16_t v = 0;
+    for (int i = 0; i < 2; ++i) {
+      v = static_cast<std::uint16_t>(v | (std::uint16_t{data_[off_ + static_cast<std::size_t>(i)]} << (8 * i)));
+    }
+    off_ += 2;
+    return v;
+  }
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= std::uint32_t{data_[off_ + static_cast<std::size_t>(i)]} << (8 * i);
+    }
+    off_ += 4;
+    return v;
+  }
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= std::uint64_t{data_[off_ + static_cast<std::size_t>(i)]} << (8 * i);
+    }
+    off_ += 8;
+    return v;
+  }
+  std::int64_t i64() {
+    const std::uint64_t bits = u64();
+    std::int64_t v = 0;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  float f32() {
+    const std::uint32_t bits = u32();
+    float v = 0;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  double f64() {
+    const std::uint64_t bits = u64();
+    double v = 0;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  std::size_t remaining() const { return size_ - off_; }
+  bool done() const { return off_ == size_; }
+
+ private:
+  void need(std::size_t n) const {
+    if (size_ - off_ < n) {
+      throw WireError("net: truncated payload (need " + std::to_string(n) +
+                      " bytes, have " + std::to_string(size_ - off_) + ")");
+    }
+  }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t off_ = 0;
+};
+
+/// Appends a frame header announcing `payload_len` bytes of `type`.
+inline void append_frame_header(Writer& w, FrameType type,
+                                std::uint64_t payload_len) {
+  w.u32(kFrameMagic);
+  w.u16(kProtocolVersion);
+  w.u16(static_cast<std::uint16_t>(type));
+  w.u64(payload_len);
+}
+
+/// One complete frame from a payload already encoded into `payload`.
+inline std::vector<std::uint8_t> encode_frame(
+    FrameType type, const std::vector<std::uint8_t>& payload) {
+  Writer w;
+  append_frame_header(w, type, payload.size());
+  std::vector<std::uint8_t> out = w.take();
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+/// Validates and decodes the 16 header bytes at `data`. Throws WireError on
+/// short input, bad magic, version mismatch, or an oversized payload.
+inline FrameHeader decode_frame_header(const std::uint8_t* data,
+                                       std::size_t size) {
+  Reader r(data, size);
+  FrameHeader h;
+  std::uint32_t magic = 0;
+  try {
+    magic = r.u32();
+    h.version = r.u16();
+    h.type = static_cast<FrameType>(r.u16());
+    h.payload_len = r.u64();
+  } catch (const WireError&) {
+    throw WireError("net: truncated frame header");
+  }
+  if (magic != kFrameMagic) {
+    throw WireError("net: bad frame magic (not an HSDN stream)");
+  }
+  if (h.version != kProtocolVersion) {
+    throw WireError("net: protocol version " + std::to_string(h.version) +
+                    " unsupported (expected " +
+                    std::to_string(kProtocolVersion) + ")");
+  }
+  if (h.payload_len > kMaxPayloadBytes) {
+    throw WireError("net: oversized payload (" +
+                    std::to_string(h.payload_len) + " bytes > cap " +
+                    std::to_string(kMaxPayloadBytes) + ")");
+  }
+  return h;
+}
+
+}  // namespace hsd::net

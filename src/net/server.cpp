@@ -1,0 +1,278 @@
+#include "net/server.hpp"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace hsd::net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+/// Handles for the server-side transport metrics (DESIGN.md §14). One
+/// per Server; same-name servers in one process share cells, which is what
+/// the obs registry does for every repeated prefix.
+struct ServerMetrics {
+  ServerMetrics()
+      : connections(obs::counter("serve/net/server/connections")),
+        frames_in(obs::counter("serve/net/server/frames_in")),
+        frames_out(obs::counter("serve/net/server/frames_out")),
+        bytes_in(obs::counter("serve/net/server/bytes_in")),
+        bytes_out(obs::counter("serve/net/server/bytes_out")),
+        overflow_rejects(obs::counter("serve/net/server/overflow_rejects")),
+        shutdown_rpcs(obs::counter("serve/net/server/shutdown_rpcs")),
+        rpc_seconds(obs::histogram("serve/net/server/rpc_seconds")) {}
+
+  obs::Counter& connections;
+  obs::Counter& frames_in;
+  obs::Counter& frames_out;
+  obs::Counter& bytes_in;
+  obs::Counter& bytes_out;
+  obs::Counter& overflow_rejects;
+  obs::Counter& shutdown_rpcs;
+  obs::Histogram& rpc_seconds;
+};
+
+ServerMetrics& server_metrics() {
+  static ServerMetrics m;
+  return m;
+}
+
+}  // namespace
+
+struct Server::Connection {
+  explicit Connection(Socket s) : sock(std::move(s)) {}
+  ~Connection() { join(); }
+
+  void join() {
+    if (reader.joinable()) reader.join();
+    if (writer.joinable()) writer.join();
+  }
+
+  Socket sock;
+  std::mutex mutex;
+  std::condition_variable cv;
+  struct Entry {
+    std::function<std::vector<std::uint8_t>()> produce;
+    Clock::time_point received;
+  };
+  std::deque<Entry> queue;
+  bool reader_done = false;
+  bool broken = false;  ///< send failed; discard the rest unproduced
+  std::atomic<bool> finished{false};
+  // Both joined by join(), which the destructor guarantees.
+  // hsd-lint: allow(no-raw-thread)
+  std::thread reader;
+  // hsd-lint: allow(no-raw-thread)
+  std::thread writer;
+};
+
+Server::Server(const ServerConfig& config, Handler handler,
+               DrainCallback on_drain)
+    : config_(config),
+      handler_(std::move(handler)),
+      on_drain_(std::move(on_drain)) {}
+
+Server::~Server() { stop(); }
+
+void Server::start() {
+  std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+  if (started_) return;
+  listener_ = listen_on(config_.endpoint, config_.backlog);
+  bound_ = bound_endpoint(listener_, config_.endpoint);
+  accepting_.store(true, std::memory_order_release);
+  // Long-lived accept loop; joined in stop(), which the destructor
+  // guarantees. hsd-lint: allow(no-raw-thread)
+  accept_thread_ = std::thread([this] { accept_main(); });
+  started_ = true;
+}
+
+void Server::stop_accepting() {
+  accepting_.store(false, std::memory_order_release);
+}
+
+void Server::stop() {
+  std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+  if (stopped_ || !started_) {
+    stopped_ = true;
+    return;
+  }
+  accepting_.store(false, std::memory_order_release);
+  stop_.store(true, std::memory_order_release);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  listener_.close();
+  if (config_.endpoint.kind == Endpoint::Kind::kUds) {
+    ::unlink(config_.endpoint.path.c_str());
+  }
+  std::vector<std::unique_ptr<Connection>> conns;
+  {
+    std::lock_guard<std::mutex> conns_lock(conns_mutex_);
+    conns.swap(conns_);
+  }
+  // Unblock every parked reader, then let writers flush what is queued.
+  for (auto& conn : conns) conn->sock.shutdown_both();
+  for (auto& conn : conns) conn->join();
+  stopped_ = true;
+}
+
+void Server::accept_main() {
+  obs::set_current_thread_name("net-accept");
+  while (!stop_.load(std::memory_order_acquire)) {
+    if (accepting_.load(std::memory_order_acquire)) {
+      Socket sock = accept_with_timeout(listener_, 100);
+      if (sock.valid() && !stop_.load(std::memory_order_acquire)) {
+        server_metrics().connections.add();
+        auto conn = std::make_unique<Connection>(std::move(sock));
+        Connection& ref = *conn;
+        {
+          std::lock_guard<std::mutex> lock(conns_mutex_);
+          conns_.push_back(std::move(conn));
+        }
+        // Joined by Connection::join (reaped below or in stop()).
+        // hsd-lint: allow(no-raw-thread)
+        ref.reader = std::thread([this, &ref] { reader_main(ref); });
+        // hsd-lint: allow(no-raw-thread)
+        ref.writer = std::thread([this, &ref] { writer_main(ref); });
+      }
+    } else {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    reap_finished();
+  }
+}
+
+void Server::reap_finished() {
+  std::vector<std::unique_ptr<Connection>> dead;
+  {
+    std::lock_guard<std::mutex> lock(conns_mutex_);
+    for (auto it = conns_.begin(); it != conns_.end();) {
+      if ((*it)->finished.load(std::memory_order_acquire)) {
+        dead.push_back(std::move(*it));
+        it = conns_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (auto& conn : dead) conn->join();  // outside conns_mutex_
+}
+
+void Server::reader_main(Connection& conn) {
+  obs::set_current_thread_name("net-read");
+  ServerMetrics& m = server_metrics();
+  std::vector<std::uint8_t> payload;
+  for (;;) {
+    std::uint8_t header_bytes[kFrameHeaderBytes];
+    if (!recv_exact(conn.sock, header_bytes, kFrameHeaderBytes)) break;
+    FrameHeader header;
+    Connection::Entry entry;
+    entry.received = Clock::now();
+    try {
+      header = decode_frame_header(header_bytes, kFrameHeaderBytes);
+      payload.resize(header.payload_len);
+      if (header.payload_len > 0 &&
+          !recv_exact(conn.sock, payload.data(), payload.size())) {
+        break;
+      }
+      m.frames_in.add();
+      m.bytes_in.add(kFrameHeaderBytes + header.payload_len);
+
+      if (header.type == FrameType::kPredictRequest) {
+        wire::PredictRequest req =
+            wire::decode_predict_request(payload.data(), payload.size());
+        bool overloaded = false;
+        {
+          std::lock_guard<std::mutex> lock(conn.mutex);
+          overloaded = conn.queue.size() >= config_.max_inflight;
+        }
+        if (overloaded) {
+          // Bounded per-connection admission: answer with the same status
+          // family the in-process bounded queue uses, handler unconsulted.
+          m.overflow_rejects.add();
+          wire::PredictResponse resp;
+          resp.request_id = req.request_id;
+          resp.content_hash = req.content_hash;
+          resp.status = (req.flags & wire::kFlagShedAsFleet) != 0
+                            ? wire::kStatusFleetOverloaded
+                            : wire::kStatusQueueFull;
+          entry.produce = [resp] { return wire::encode(resp); };
+        } else {
+          ResponseWaiter waiter = handler_(std::move(req));
+          entry.produce = [waiter = std::move(waiter)] {
+            return wire::encode(waiter());
+          };
+        }
+      } else if (header.type == FrameType::kShutdownRequest) {
+        m.shutdown_rpcs.add();
+        drain_requested_.store(true, std::memory_order_release);
+        if (!drain_fired_.exchange(true, std::memory_order_acq_rel) &&
+            on_drain_) {
+          on_drain_();
+        }
+        entry.produce = [] { return wire::encode_shutdown_ack(); };
+      } else if (header.type == FrameType::kPing) {
+        const std::uint64_t token =
+            wire::decode_token(payload.data(), payload.size());
+        entry.produce = [token] { return wire::encode_pong(token); };
+      } else {
+        // Client-role frames arriving at a server cannot be resynced.
+        break;
+      }
+    } catch (const WireError&) {
+      break;  // framing is lost; tear the connection down
+    } catch (const NetError&) {
+      break;
+    }
+    {
+      std::lock_guard<std::mutex> lock(conn.mutex);
+      conn.queue.push_back(std::move(entry));
+    }
+    conn.cv.notify_one();
+  }
+  {
+    std::lock_guard<std::mutex> lock(conn.mutex);
+    conn.reader_done = true;
+  }
+  conn.cv.notify_one();
+}
+
+void Server::writer_main(Connection& conn) {
+  obs::set_current_thread_name("net-write");
+  ServerMetrics& m = server_metrics();
+  for (;;) {
+    Connection::Entry entry;
+    {
+      std::unique_lock<std::mutex> lock(conn.mutex);
+      conn.cv.wait(lock,
+                   [&conn] { return conn.reader_done || !conn.queue.empty(); });
+      if (conn.queue.empty()) break;  // reader_done and nothing left
+      entry = std::move(conn.queue.front());
+      conn.queue.pop_front();
+      if (conn.broken) continue;  // discard unproduced: peer is gone
+    }
+    HSD_SPAN("net/handle");
+    const std::vector<std::uint8_t> bytes = entry.produce();
+    m.rpc_seconds.observe(seconds_between(entry.received, Clock::now()));
+    if (!send_all(conn.sock, bytes.data(), bytes.size())) {
+      std::lock_guard<std::mutex> lock(conn.mutex);
+      conn.broken = true;
+      continue;
+    }
+    m.frames_out.add();
+    m.bytes_out.add(bytes.size());
+  }
+  conn.finished.store(true, std::memory_order_release);
+}
+
+}  // namespace hsd::net

@@ -1,0 +1,121 @@
+#pragma once
+// Blocking-socket RPC server for the serving transport: an accept loop plus
+// one reader + one writer thread per connection, speaking the framed
+// protocol from net/frame.hpp / net/wire.hpp.
+//
+// The server is deliberately generic — it hands decoded PredictRequests to
+// a Handler and gets back a ResponseWaiter (a callable that blocks until
+// the embedder's answer is ready). The serve/remote adapter is the only
+// place that knows those waiters are InferenceService futures; src/net
+// never includes serve code, keeping the layering DAG acyclic.
+//
+// Per-connection pipeline: the reader thread decodes frames and fast-hands
+// each request to the handler (which only enqueues — admission is cheap),
+// pushing the returned waiter onto a FIFO write queue; the writer thread
+// pops in order, blocks until that answer is ready, encodes, and sends.
+// Responses therefore leave in request order per connection, but nothing
+// upstream relies on that — they carry request ids.
+//
+// Bounded admission: at most `max_inflight` responses may be outstanding
+// per connection. Past that the server answers queue-full/fleet-overloaded
+// (per the request's shed flag) without consulting the handler, mirroring
+// the in-process bounded-queue semantics.
+//
+// Drain contract (two-phase, DESIGN.md §16): a `shutdown` RPC or SIGTERM
+// begins phase one — `drain_requested()` flips and `on_drain` fires once
+// (use it to stop admission, e.g. InferenceService::begin_shutdown). The
+// embedder then completes everything admitted (service.shutdown()) and
+// finally calls stop(), which closes the listener, unblocks parked
+// readers, lets writers flush every queued waiter (all resolvable by
+// then — that ordering is the contract), and joins. Calling stop() while
+// handed-out waiters can still block forever is an embedder bug.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "net/socket.hpp"
+#include "net/wire.hpp"
+
+namespace hsd::net {
+
+struct ServerConfig {
+  Endpoint endpoint;
+  int backlog = 16;
+  /// Outstanding (queued-but-unsent) responses per connection before the
+  /// server sheds with queue-full/fleet-overloaded.
+  std::size_t max_inflight = 256;
+};
+
+class Server {
+ public:
+  /// Blocks until the embedder's answer for one request is ready.
+  using ResponseWaiter = std::function<wire::PredictResponse()>;
+  /// Runs on the connection's reader thread for every PredictRequest; must
+  /// only enqueue work (fast, non-blocking admission).
+  using Handler = std::function<ResponseWaiter(wire::PredictRequest&&)>;
+  /// Fires exactly once, on the reader thread that received the first
+  /// shutdown RPC. Must not block on the server (begin-phase only).
+  using DrainCallback = std::function<void()>;
+
+  Server(const ServerConfig& config, Handler handler,
+         DrainCallback on_drain = {});
+  ~Server();  // stop()
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens, and starts the accept loop. Throws NetError.
+  void start();
+
+  /// The endpoint actually bound (resolves tcp port 0). Valid after start().
+  const Endpoint& endpoint() const { return bound_; }
+
+  /// True once a shutdown RPC has arrived. The host loop polls this (or
+  /// a SIGTERM flag) and then runs the drain sequence.
+  bool drain_requested() const {
+    return drain_requested_.load(std::memory_order_acquire);
+  }
+
+  /// Phase one of a local drain: stop accepting new connections (existing
+  /// connections keep flowing). Idempotent.
+  void stop_accepting();
+
+  /// Full teardown: stop accepting, unblock connection readers, flush every
+  /// queued response, join all threads. Idempotent. See the drain contract
+  /// above for when this may be called.
+  void stop();
+
+ private:
+  struct Connection;
+
+  void accept_main();
+  void reader_main(Connection& conn);
+  void writer_main(Connection& conn);
+  void reap_finished();
+
+  ServerConfig config_;
+  Handler handler_;
+  DrainCallback on_drain_;
+  Socket listener_;
+  Endpoint bound_;
+  std::atomic<bool> accepting_{false};
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> drain_requested_{false};
+  std::atomic<bool> drain_fired_{false};
+  bool started_ = false;
+  bool stopped_ = false;
+  std::mutex lifecycle_mutex_;  ///< serializes start()/stop()
+  std::mutex conns_mutex_;
+  std::vector<std::unique_ptr<Connection>> conns_;
+  // Joined in stop(), which the destructor guarantees.
+  // hsd-lint: allow(no-raw-thread)
+  std::thread accept_thread_;
+};
+
+}  // namespace hsd::net

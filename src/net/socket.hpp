@@ -1,0 +1,98 @@
+#pragma once
+// Thin POSIX socket layer for the serving RPC transport: endpoint parsing
+// ("uds:/path/to.sock" | "tcp:host:port"), an RAII fd wrapper, and the
+// handful of blocking helpers the server accept loop and client channel
+// need (listen, timed accept, timed connect, send-all, timed recv). All
+// failures surface as NetError with the endpoint and errno text — callers
+// translate them into retries or kNetError statuses; nothing here retries
+// on its own.
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace hsd::net {
+
+/// Transport-level failure (connect refused, peer reset, bind error, ...).
+class NetError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+struct Endpoint {
+  enum class Kind { kUds, kTcp };
+  Kind kind = Kind::kUds;
+  std::string path;          ///< UDS socket path
+  std::string host;          ///< TCP host (numeric or name)
+  std::uint16_t port = 0;    ///< TCP port (0 = kernel-assigned at bind)
+};
+
+/// Parses "uds:<path>" or "tcp:<host>:<port>". Throws NetError on anything
+/// else (including UDS paths too long for sockaddr_un).
+Endpoint parse_endpoint(const std::string& spec);
+
+/// Canonical "uds:..."/"tcp:..." form (round-trips through parse_endpoint).
+std::string to_string(const Endpoint& ep);
+
+/// Move-only owning fd. Closing is idempotent; a default-constructed Socket
+/// is invalid.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { close(); }
+
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept {
+    if (this != &other) {
+      close();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  void close();
+  /// shutdown(2) both directions — unblocks a peer thread parked in recv on
+  /// this fd without racing the close.
+  void shutdown_both();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Binds + listens on `ep`. For UDS a stale socket file from a previous run
+/// is unlinked first. For TCP port 0, the kernel picks a port — read it
+/// back with bound_endpoint(). Throws NetError.
+Socket listen_on(const Endpoint& ep, int backlog);
+
+/// The endpoint a listener actually bound (resolves TCP port 0).
+Endpoint bound_endpoint(const Socket& listener, const Endpoint& requested);
+
+/// Waits up to `timeout_ms` for a connection. Returns an invalid Socket on
+/// timeout; throws NetError if the listener itself fails.
+Socket accept_with_timeout(const Socket& listener, int timeout_ms);
+
+/// Connects with a deadline. Throws NetError on failure or timeout.
+Socket connect_to(const Endpoint& ep, int timeout_ms);
+
+/// Writes all `n` bytes. Returns false when the peer is gone (EPIPE/reset);
+/// throws NetError on unexpected local failures.
+bool send_all(const Socket& s, const std::uint8_t* data, std::size_t n);
+
+/// Reads up to `cap` bytes, waiting at most `timeout_ms` (-1 = forever).
+/// Returns the byte count, 0 on orderly EOF, -1 on timeout. Throws NetError
+/// on hard errors.
+long recv_some(const Socket& s, std::uint8_t* out, std::size_t cap,
+               int timeout_ms);
+
+/// Reads exactly `n` bytes (blocking). Returns false on EOF or peer reset
+/// before `n` bytes arrived.
+bool recv_exact(const Socket& s, std::uint8_t* out, std::size_t n);
+
+}  // namespace hsd::net

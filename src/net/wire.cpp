@@ -1,0 +1,131 @@
+#include "net/wire.hpp"
+
+#include <string>
+
+namespace hsd::net::wire {
+
+namespace {
+
+// PredictRequest payload layout (after the 16-byte frame header):
+//   request_id u64 | content_hash u64 | grid u32 | flags u8 |
+//   deadline_budget_us i64 | bitmap f32[grid*grid]
+constexpr std::size_t kPredictRequestFixedBytes = 8 + 8 + 4 + 1 + 8;
+
+// PredictResponse payload layout:
+//   request_id u64 | status u8 | hotspot u8 | cache_hit u8 | shard u32 |
+//   content_hash u64 | batch_size u64 | probability f64 | server_seconds f64
+constexpr std::size_t kPredictResponseBytes = 8 + 1 + 1 + 1 + 4 + 8 + 8 + 8 + 8;
+
+}  // namespace
+
+std::vector<std::uint8_t> encode(const PredictRequest& req) {
+  Writer w;
+  append_frame_header(
+      w, FrameType::kPredictRequest,
+      kPredictRequestFixedBytes + req.bitmap.size() * sizeof(float));
+  w.u64(req.request_id);
+  w.u64(req.content_hash);
+  w.u32(req.grid);
+  w.u8(req.flags);
+  w.i64(req.deadline_budget_us);
+  for (const float v : req.bitmap) w.f32(v);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode(const PredictResponse& resp) {
+  Writer w;
+  append_frame_header(w, FrameType::kPredictResponse, kPredictResponseBytes);
+  w.u64(resp.request_id);
+  w.u8(resp.status);
+  w.u8(resp.hotspot);
+  w.u8(resp.cache_hit);
+  w.u32(resp.shard);
+  w.u64(resp.content_hash);
+  w.u64(resp.batch_size);
+  w.f64(resp.probability);
+  w.f64(resp.server_seconds);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_shutdown_request() {
+  Writer w;
+  append_frame_header(w, FrameType::kShutdownRequest, 0);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_shutdown_ack() {
+  Writer w;
+  append_frame_header(w, FrameType::kShutdownAck, 0);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_ping(std::uint64_t token) {
+  Writer w;
+  append_frame_header(w, FrameType::kPing, 8);
+  w.u64(token);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_pong(std::uint64_t token) {
+  Writer w;
+  append_frame_header(w, FrameType::kPong, 8);
+  w.u64(token);
+  return w.take();
+}
+
+PredictRequest decode_predict_request(const std::uint8_t* payload,
+                                      std::size_t size) {
+  Reader r(payload, size);
+  PredictRequest req;
+  req.request_id = r.u64();
+  req.content_hash = r.u64();
+  req.grid = r.u32();
+  req.flags = r.u8();
+  req.deadline_budget_us = r.i64();
+  // Cap the grid before computing cells*4 so a hostile header can neither
+  // overflow the size arithmetic nor drive a giant allocation.
+  if (req.grid > (1u << 15) ||
+      std::uint64_t{req.grid} * req.grid * sizeof(float) > kMaxPayloadBytes) {
+    throw WireError("net: PredictRequest grid " + std::to_string(req.grid) +
+                    " exceeds the payload cap");
+  }
+  const std::uint64_t cells = std::uint64_t{req.grid} * req.grid;
+  if (r.remaining() != cells * sizeof(float)) {
+    throw WireError(
+        "net: PredictRequest bitmap length mismatch (grid " +
+        std::to_string(req.grid) + " needs " +
+        std::to_string(cells * sizeof(float)) + " bytes, payload carries " +
+        std::to_string(r.remaining()) + ")");
+  }
+  req.bitmap.resize(cells);
+  for (std::uint64_t i = 0; i < cells; ++i) req.bitmap[i] = r.f32();
+  return req;
+}
+
+PredictResponse decode_predict_response(const std::uint8_t* payload,
+                                        std::size_t size) {
+  Reader r(payload, size);
+  PredictResponse resp;
+  resp.request_id = r.u64();
+  resp.status = r.u8();
+  resp.hotspot = r.u8();
+  resp.cache_hit = r.u8();
+  resp.shard = r.u32();
+  resp.content_hash = r.u64();
+  resp.batch_size = r.u64();
+  resp.probability = r.f64();
+  resp.server_seconds = r.f64();
+  if (!r.done()) {
+    throw WireError("net: PredictResponse has trailing payload bytes");
+  }
+  return resp;
+}
+
+std::uint64_t decode_token(const std::uint8_t* payload, std::size_t size) {
+  Reader r(payload, size);
+  const std::uint64_t token = r.u64();
+  if (!r.done()) throw WireError("net: ping/pong has trailing payload bytes");
+  return token;
+}
+
+}  // namespace hsd::net::wire

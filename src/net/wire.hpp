@@ -1,0 +1,86 @@
+#pragma once
+// Message vocabulary of the serving RPC protocol (DESIGN.md §16): the
+// payloads that travel inside net/frame.hpp frames. The types here are
+// deliberately plain data — src/net knows nothing about serve::Request /
+// serve::Response; the serve/remote adapter maps between the two vocabularies
+// so the transport layer stays reusable and the layering DAG stays acyclic
+// (net depends only on common/obs/runtime).
+//
+// Status codes are pinned wire constants, decoupled from the numeric values
+// of serve::Status, so reordering the C++ enum can never silently change
+// the protocol. The client-side kNetError/kNetTimeout family never appears
+// on the wire: those statuses are synthesized locally when no well-formed
+// response arrived at all.
+//
+// Encoding stability: every encode_* result is golden-pinned by
+// net_wire_test; changing a single byte of the layout requires a protocol
+// version bump.
+
+#include <cstdint>
+#include <vector>
+
+#include "net/frame.hpp"
+
+namespace hsd::net::wire {
+
+// Request/verdict status codes on the wire (u8).
+inline constexpr std::uint8_t kStatusOk = 0;
+inline constexpr std::uint8_t kStatusQueueFull = 1;
+inline constexpr std::uint8_t kStatusShutdown = 2;
+inline constexpr std::uint8_t kStatusDeadlineExceeded = 3;
+inline constexpr std::uint8_t kStatusFleetOverloaded = 4;
+
+// PredictRequest flag bits.
+inline constexpr std::uint8_t kFlagHasDeadline = 1u << 0;
+inline constexpr std::uint8_t kFlagShedAsFleet = 1u << 1;
+
+/// One clip to score. The client ships the rasterized bitmap plus its
+/// FNV-1a content hash (the router already computed both to route), so the
+/// server never re-rasterizes and redelivery after a retry is harmless:
+/// the same bytes hash to the same verdict.
+struct PredictRequest {
+  std::uint64_t request_id = 0;    ///< client-chosen id echoed by the reply
+  std::uint64_t content_hash = 0;  ///< FNV-1a of `bitmap`
+  std::uint32_t grid = 0;          ///< bitmap is grid*grid floats, row-major
+  std::uint8_t flags = 0;          ///< kFlagHasDeadline | kFlagShedAsFleet
+  /// Remaining deadline budget relative to receipt, in microseconds (the
+  /// wall clocks of client and server are never compared). Negative means
+  /// already expired. Meaningful only when kFlagHasDeadline is set.
+  std::int64_t deadline_budget_us = 0;
+  std::vector<float> bitmap;
+};
+
+/// The verdict for one PredictRequest.
+struct PredictResponse {
+  std::uint64_t request_id = 0;
+  std::uint8_t status = kStatusShutdown;  ///< kStatus* constant
+  std::uint8_t hotspot = 0;
+  std::uint8_t cache_hit = 0;
+  std::uint32_t shard = 0;
+  std::uint64_t content_hash = 0;
+  std::uint64_t batch_size = 0;
+  double probability = 0.0;     ///< exact IEEE-754 bits of the shard's answer
+  double server_seconds = 0.0;  ///< server-side admission -> answer latency
+};
+
+// ShutdownRequest / ShutdownAck / Ping / Pong carry no payload fields beyond
+// the frame header; Ping/Pong echo a token for liveness round-trips.
+
+/// Encodes a complete frame (header + payload).
+std::vector<std::uint8_t> encode(const PredictRequest& req);
+std::vector<std::uint8_t> encode(const PredictResponse& resp);
+std::vector<std::uint8_t> encode_shutdown_request();
+std::vector<std::uint8_t> encode_shutdown_ack();
+std::vector<std::uint8_t> encode_ping(std::uint64_t token);
+std::vector<std::uint8_t> encode_pong(std::uint64_t token);
+
+/// Decodes a payload (frame header already validated and stripped). Throws
+/// WireError when the payload is truncated, self-inconsistent (bitmap length
+/// vs. grid), or has trailing bytes.
+PredictRequest decode_predict_request(const std::uint8_t* payload,
+                                      std::size_t size);
+PredictResponse decode_predict_response(const std::uint8_t* payload,
+                                        std::size_t size);
+std::uint64_t decode_token(const std::uint8_t* payload, std::size_t size);
+
+}  // namespace hsd::net::wire

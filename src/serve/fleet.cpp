@@ -26,6 +26,17 @@ FleetRouter::FleetRouter(
   }
 }
 
+FleetRouter::FleetRouter(const FleetConfig& config,
+                         std::vector<std::unique_ptr<Shard>> shards)
+    : config_(config),
+      ring_(shards.size(), config.virtual_nodes),
+      extractor_(config.shard.feature_grid, config.shard.feature_keep),
+      routed_(obs::counter(config.shard.metric_prefix + "/router/requests")),
+      shed_(obs::counter(config.shard.metric_prefix + "/router/shed")),
+      shards_(std::move(shards)) {
+  config_.shards = shards_.size();
+}
+
 FleetRouter::~FleetRouter() { shutdown(); }
 
 std::future<Response> FleetRouter::submit(const layout::Clip& clip) {

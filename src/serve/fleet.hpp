@@ -52,6 +52,7 @@
 #include "serve/hash_ring.hpp"
 #include "serve/request.hpp"
 #include "serve/service.hpp"
+#include "serve/shard.hpp"
 
 namespace hsd::serve {
 
@@ -78,6 +79,17 @@ class FleetRouter {
   /// purity is what makes fleet answers independent of the shard count.
   FleetRouter(const FleetConfig& config,
               const std::function<core::HotspotDetector()>& detector_factory);
+
+  /// Transport-agnostic constructor: routes over pre-built shards (e.g.
+  /// serve/remote.hpp RemoteShards speaking to other processes). The ring
+  /// is sized to `shards.size()`; ring slot i routes to shards[i], so with
+  /// remote shards the server process behind shards[i] must be configured
+  /// with shard_index i for responses to match the in-process fleet
+  /// bit-for-bit. config.shard's feature grid/keep still configure the
+  /// router-side rasterizer and must match the shard services'.
+  FleetRouter(const FleetConfig& config,
+              std::vector<std::unique_ptr<Shard>> shards);
+
   ~FleetRouter();  // shutdown() all shards
 
   FleetRouter(const FleetRouter&) = delete;
@@ -117,7 +129,7 @@ class FleetRouter {
   obs::MetricsSnapshot fleet_rollup() const;
 
   std::size_t num_shards() const { return shards_.size(); }
-  InferenceService& shard(std::size_t i) { return *shards_.at(i); }
+  Shard& shard(std::size_t i) { return *shards_.at(i); }
   const HashRing& ring() const { return ring_; }
   const FleetConfig& config() const { return config_; }
 
@@ -129,7 +141,7 @@ class FleetRouter {
   FleetConfig config_;
   HashRing ring_;
   data::FeatureExtractor extractor_;  ///< router-side rasterize + hash only
-  std::vector<std::unique_ptr<InferenceService>> shards_;
+  std::vector<std::unique_ptr<Shard>> shards_;
   obs::Counter& routed_;
   obs::Counter& shed_;
 };

@@ -1,0 +1,187 @@
+#include "serve/remote.hpp"
+
+#include <chrono>
+#include <memory>
+#include <utility>
+
+namespace hsd::serve {
+
+Status status_from_wire(std::uint8_t wire_status) {
+  switch (wire_status) {
+    case net::wire::kStatusOk: return Status::kOk;
+    case net::wire::kStatusQueueFull: return Status::kRejectedQueueFull;
+    case net::wire::kStatusShutdown: return Status::kRejectedShutdown;
+    case net::wire::kStatusDeadlineExceeded: return Status::kDeadlineExceeded;
+    case net::wire::kStatusFleetOverloaded: return Status::kShedFleetOverloaded;
+    default: return Status::kNetError;
+  }
+}
+
+std::uint8_t status_to_wire(Status status) {
+  switch (status) {
+    case Status::kOk: return net::wire::kStatusOk;
+    case Status::kRejectedQueueFull: return net::wire::kStatusQueueFull;
+    case Status::kRejectedShutdown: return net::wire::kStatusShutdown;
+    case Status::kDeadlineExceeded: return net::wire::kStatusDeadlineExceeded;
+    case Status::kShedFleetOverloaded: return net::wire::kStatusFleetOverloaded;
+    case Status::kNetTimeout:
+    case Status::kNetError: break;  // client-only; unreachable server-side
+  }
+  return net::wire::kStatusShutdown;
+}
+
+RemoteShard::RemoteShard(const RemoteShardConfig& config)
+    : config_(config), channel_(config.channel) {}
+
+RemoteShard::~RemoteShard() { shutdown(); }
+
+std::future<Response> RemoteShard::submit_routed(Request&& req,
+                                                 bool& admitted) {
+  admitted = true;  // admission verdicts arrive in the response
+
+  net::wire::PredictRequest wreq;  // request_id assigned by the channel
+  wreq.content_hash = req.content_hash;
+  wreq.grid = static_cast<std::uint32_t>(config_.feature_grid);
+  if (req.has_deadline) {
+    wreq.flags |= net::wire::kFlagHasDeadline;
+    // Ship the budget relative to now; the server resolves it against its
+    // own clock, so the two processes' clocks are never compared.
+    wreq.deadline_budget_us =
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            req.deadline - Request::Clock::now())
+            .count();
+  }
+  if (req.overflow_status == Status::kShedFleetOverloaded) {
+    wreq.flags |= net::wire::kFlagShedAsFleet;
+  }
+  wreq.bitmap = std::move(req.bitmap);
+
+  // The channel callback must be copyable (std::function), so the
+  // request's promise moves behind a shared_ptr.
+  auto promise =
+      std::make_shared<std::promise<Response>>(std::move(req.promise));
+  std::future<Response> future = promise->get_future();
+
+  const auto enqueued = req.enqueued;
+  const std::uint64_t content_hash = req.content_hash;
+  const std::uint32_t slot = config_.shard_index;
+  channel_.call(std::move(wreq),
+                [promise, enqueued, content_hash, slot](net::CallResult&& r) {
+                  Response resp;
+                  if (r.kind == net::CallResult::Kind::kOk) {
+                    resp.status = status_from_wire(r.response.status);
+                    resp.probability = r.response.probability;
+                    resp.hotspot = r.response.hotspot != 0;
+                    resp.cache_hit = r.response.cache_hit != 0;
+                    resp.shard = r.response.shard;
+                    resp.content_hash = r.response.content_hash;
+                    resp.batch_size =
+                        static_cast<std::size_t>(r.response.batch_size);
+                  } else {
+                    resp.status = r.kind == net::CallResult::Kind::kTimeout
+                                      ? Status::kNetTimeout
+                                      : Status::kNetError;
+                    resp.shard = slot;
+                    resp.content_hash = content_hash;
+                  }
+                  resp.latency_seconds = std::chrono::duration<double>(
+                                             Request::Clock::now() - enqueued)
+                                             .count();
+                  promise->set_value(std::move(resp));
+                });
+  return future;
+}
+
+std::size_t RemoteShard::pump() { return 0; }
+
+void RemoteShard::begin_shutdown() {
+  if (!config_.drain_server) return;
+  if (drain_sent_.exchange(true)) return;
+  net::shutdown_rpc(config_.channel.endpoint, config_.drain_rpc_timeout_ms);
+}
+
+void RemoteShard::shutdown() {
+  begin_shutdown();
+  channel_.drain();
+}
+
+std::size_t RemoteShard::queue_depth() const {
+  return static_cast<std::size_t>(channel_.stats().pending);
+}
+
+namespace {
+
+ShardServerConfig sanitize(ShardServerConfig config) {
+  // Waiters block until the collector answers; a pump-less service would
+  // deadlock every connection writer.
+  config.service.manual_pump = false;
+  return config;
+}
+
+}  // namespace
+
+ShardServer::ShardServer(const ShardServerConfig& config,
+                         core::HotspotDetector detector)
+    : config_(sanitize(config)),
+      service_(config_.service, std::move(detector)),
+      server_(
+          config_.server,
+          [this](net::wire::PredictRequest&& wreq) {
+            return handle(std::move(wreq));
+          },
+          [this] { service_.begin_shutdown(); }) {}
+
+ShardServer::~ShardServer() { drain_and_stop(); }
+
+void ShardServer::start() { server_.start(); }
+
+void ShardServer::drain_and_stop() {
+  server_.stop_accepting();
+  service_.begin_shutdown();
+  // Everything admitted completes here, so every waiter the server still
+  // holds is resolvable before the sockets come down (net::Server's drain
+  // contract).
+  service_.shutdown();
+  server_.stop();
+}
+
+net::Server::ResponseWaiter ShardServer::handle(
+    net::wire::PredictRequest&& wreq) {
+  Request req;
+  req.enqueued = Request::Clock::now();
+  req.bitmap = std::move(wreq.bitmap);
+  req.content_hash = wreq.content_hash;
+  req.prehashed = true;
+  req.has_deadline = (wreq.flags & net::wire::kFlagHasDeadline) != 0;
+  if (req.has_deadline) {
+    req.deadline =
+        req.enqueued + std::chrono::microseconds(wreq.deadline_budget_us);
+  }
+  req.overflow_status = (wreq.flags & net::wire::kFlagShedAsFleet) != 0
+                            ? Status::kShedFleetOverloaded
+                            : Status::kRejectedQueueFull;
+
+  const std::uint64_t id = wreq.request_id;
+  const auto start = req.enqueued;
+  bool admitted = false;  // rejections still resolve the future immediately
+  auto future = std::make_shared<std::future<Response>>(
+      service_.submit_routed(std::move(req), admitted));
+
+  return [future, id, start]() {
+    Response r = future->get();
+    net::wire::PredictResponse out;
+    out.request_id = id;
+    out.status = status_to_wire(r.status);
+    out.hotspot = r.hotspot ? 1 : 0;
+    out.cache_hit = r.cache_hit ? 1 : 0;
+    out.shard = r.shard;
+    out.content_hash = r.content_hash;
+    out.batch_size = static_cast<std::uint64_t>(r.batch_size);
+    out.probability = r.probability;
+    out.server_seconds =
+        std::chrono::duration<double>(Request::Clock::now() - start).count();
+    return out;
+  };
+}
+
+}  // namespace hsd::serve

@@ -1,0 +1,160 @@
+#pragma once
+// The serve <-> net adapter: the only code that knows both vocabularies
+// (serve::Request/Response and net::wire::*). Everything needed to split
+// the fleet across OS processes lives here:
+//
+//   * ShardServer — hosts one InferenceService shard behind a net::Server.
+//     The handler maps each wire PredictRequest to a serve::Request
+//     (prehashed bitmap + relative deadline budget resolved against the
+//     server's own clock) and hands the service future back as the
+//     connection's ResponseWaiter. Drain is two-phase: a `shutdown` RPC or
+//     the embedder's SIGTERM loop triggers begin_shutdown (stop admitting),
+//     then drain_and_stop() completes everything admitted before tearing
+//     the sockets down — so every accepted request is answered, exactly
+//     like an in-process fleet drain.
+//
+//   * RemoteShard — implements the serve::Shard seam over a net::Channel,
+//     so FleetRouter routes over TCP or UDS without knowing it. Wire
+//     statuses map 1:1 back onto serve::Status; when the transport itself
+//     fails (retry budget exhausted, RPC deadline) the shard synthesizes
+//     the client-side kNetError/kNetTimeout statuses, which never travel
+//     on the wire.
+//
+// Determinism: shard inference is a pure function of clip content and the
+// bitmap + content hash travel with the request, so a remote fleet's
+// answers are bit-identical to the in-process fleet at any shard count x
+// batch cut x HSD_THREADS — pinned by serve_remote_equivalence_test,
+// including across mid-drain shutdown and injected connection kills.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <future>
+
+#include "core/detector.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
+#include "net/wire.hpp"
+#include "serve/request.hpp"
+#include "serve/service.hpp"
+#include "serve/shard.hpp"
+
+namespace hsd::serve {
+
+/// Wire status (net::wire::kStatus*) -> serve::Status. Unknown wire values
+/// map to kNetError (a server speaking a newer status vocabulary is a
+/// transport-level failure, not a verdict).
+Status status_from_wire(std::uint8_t wire_status);
+
+/// serve::Status -> wire status. The client-only kNetTimeout/kNetError
+/// family is unreachable on the server side; mapped defensively to
+/// kStatusShutdown.
+std::uint8_t status_to_wire(Status status);
+
+struct RemoteShardConfig {
+  /// Transport to the shard server (endpoint, deadlines, retry budget,
+  /// backoff seed, metric prefix, fault spec).
+  net::ChannelConfig channel;
+  /// Stamped into synthesized kNetError/kNetTimeout responses so failure
+  /// metrics still attribute to the right ring slot. Successful responses
+  /// carry the server's own shard index.
+  std::uint32_t shard_index = 0;
+  /// Raster grid of the bitmaps this shard ships; must match the server's
+  /// ServiceConfig::feature_grid.
+  std::size_t feature_grid = 64;
+  /// Forward drains to the server: begin_shutdown() sends one `shutdown`
+  /// RPC. Off by default — a router tearing down its own view of the fleet
+  /// must not take down a server other clients may share.
+  bool drain_server = false;
+  int drain_rpc_timeout_ms = 2000;
+};
+
+/// serve::Shard implemented over a socket to a ShardServer in another
+/// process. Thread-safe like InferenceService: any number of concurrent
+/// submitters; completions run on the channel's IO thread.
+class RemoteShard : public Shard {
+ public:
+  explicit RemoteShard(const RemoteShardConfig& config);
+  ~RemoteShard() override;  // shutdown()
+
+  RemoteShard(const RemoteShard&) = delete;
+  RemoteShard& operator=(const RemoteShard&) = delete;
+
+  /// Ships the request's prehashed bitmap to the server. `admitted` is
+  /// always true — admission happens in the server process and a shed
+  /// arrives as a kShedFleetOverloaded/kRejectedQueueFull response.
+  std::future<Response> submit_routed(Request&& req, bool& admitted) override;
+
+  /// Remote shards have no local queue to pump; always 0. A manual-pump
+  /// router spinning on its futures still terminates because the server
+  /// answers asynchronously.
+  std::size_t pump() override;
+
+  /// Sends one `shutdown` RPC when drain_server is set (once, idempotent);
+  /// otherwise a no-op — stopping local admission is the router's job.
+  void begin_shutdown() override;
+
+  /// begin_shutdown() + waits for every in-flight call to complete (ok,
+  /// shed, timeout, or error). Idempotent.
+  void shutdown() override;
+
+  /// In-flight calls not yet answered (transport view of queue depth).
+  std::size_t queue_depth() const override;
+
+  /// Transport counters for tests and the bench (retries, reconnects, ...).
+  net::ChannelStats transport_stats() const { return channel_.stats(); }
+
+  const RemoteShardConfig& config() const { return config_; }
+
+ private:
+  RemoteShardConfig config_;
+  net::Channel channel_;
+  std::atomic<bool> drain_sent_{false};
+};
+
+struct ShardServerConfig {
+  /// The hosted shard. manual_pump is forced off (waiters block on the
+  /// collector thread); shard_index must match the ring slot the routers
+  /// assign this server, or fleet answers diverge from in-process.
+  ServiceConfig service;
+  /// Listener endpoint + per-connection admission bound.
+  net::ServerConfig server;
+};
+
+/// One InferenceService shard hosted behind a net::Server — the process
+/// boundary of the multi-process fleet (`hsd_cli shard-server`).
+class ShardServer {
+ public:
+  ShardServer(const ShardServerConfig& config, core::HotspotDetector detector);
+  ~ShardServer();  // drain_and_stop()
+
+  ShardServer(const ShardServer&) = delete;
+  ShardServer& operator=(const ShardServer&) = delete;
+
+  /// Binds and starts serving. Throws net::NetError.
+  void start();
+
+  /// The endpoint actually bound (resolves tcp port 0). Valid after start().
+  const net::Endpoint& endpoint() const { return server_.endpoint(); }
+
+  /// True once a `shutdown` RPC has arrived (admission is already stopped
+  /// by then). The host loop polls this — or its own SIGTERM flag — and
+  /// then calls drain_and_stop().
+  bool drain_requested() const { return server_.drain_requested(); }
+
+  /// The full two-phase drain: stop accepting connections, stop admitting
+  /// requests, complete everything admitted, flush + close all
+  /// connections. Idempotent; called by the destructor.
+  void drain_and_stop();
+
+  InferenceService& service() { return service_; }
+
+ private:
+  net::Server::ResponseWaiter handle(net::wire::PredictRequest&& wreq);
+
+  ShardServerConfig config_;
+  InferenceService service_;
+  net::Server server_;
+};
+
+}  // namespace hsd::serve

@@ -20,6 +20,11 @@ enum class Status {
   kRejectedShutdown,       ///< submitted after shutdown() began
   kDeadlineExceeded,       ///< deadline passed before its batch executed
   kShedFleetOverloaded,    ///< fleet router: target shard's queue was full
+  // The transport status family (serve/remote.hpp): synthesized client-side
+  // when a remote shard produced no well-formed response at all. Never on
+  // the wire — a server always answers with one of the statuses above.
+  kNetTimeout,             ///< RPC deadline expired (includes retries)
+  kNetError,               ///< connection failed and retry budget exhausted
 };
 
 /// Stable lowercase identifier (JSON output, metrics, logs).
@@ -30,6 +35,8 @@ inline const char* status_name(Status s) {
     case Status::kRejectedShutdown: return "rejected_shutdown";
     case Status::kDeadlineExceeded: return "deadline_exceeded";
     case Status::kShedFleetOverloaded: return "fleet_overloaded";
+    case Status::kNetTimeout: return "net_timeout";
+    case Status::kNetError: return "net_error";
   }
   return "unknown";
 }

@@ -47,6 +47,7 @@
 #include "layout/clip.hpp"
 #include "serve/request.hpp"
 #include "serve/serve_metrics.hpp"
+#include "serve/shard.hpp"
 #include "serve/worker.hpp"
 
 namespace hsd::serve {
@@ -85,12 +86,12 @@ struct ServiceConfig {
 /// Thread-safe for any number of concurrent submitters; all model and cache
 /// state is touched only by the single batch-execution context (collector
 /// thread, or the pump() caller in manual mode).
-class InferenceService {
+class InferenceService : public Shard {
  public:
   /// Takes ownership of the (trained) detector. The detector config's
   /// input_side must equal `config.feature_keep`.
   InferenceService(const ServiceConfig& config, core::HotspotDetector detector);
-  ~InferenceService();  // shutdown() + join
+  ~InferenceService() override;  // shutdown() + join
 
   InferenceService(const InferenceService&) = delete;
   InferenceService& operator=(const InferenceService&) = delete;
@@ -109,7 +110,7 @@ class InferenceService {
   /// deadline, and overflow status already set by the caller). `admitted`
   /// reports whether the request entered the queue or was rejected
   /// immediately (shed / shutdown).
-  std::future<Response> submit_routed(Request&& req, bool& admitted);
+  std::future<Response> submit_routed(Request&& req, bool& admitted) override;
 
   /// Synchronous convenience: submit and wait (pumps inline in manual mode).
   Response predict(const layout::Clip& clip);
@@ -117,20 +118,20 @@ class InferenceService {
   /// Manual mode: drains one micro-batch on the calling thread. Returns the
   /// number of requests answered (including deadline rejections); 0 when
   /// the queue is empty. Also usable after shutdown() to finish a drain.
-  std::size_t pump();
+  std::size_t pump() override;
 
   /// Phase one of a drain: stops admitting (new submissions resolve
   /// kRejectedShutdown) and wakes the collector, without waiting for the
   /// queue to empty. The fleet router calls this on every shard before
   /// draining any of them. Idempotent.
-  void begin_shutdown();
+  void begin_shutdown() override;
 
   /// Stops admitting, completes every already-admitted request, and joins
   /// the collector. Idempotent; called by the destructor.
-  void shutdown();
+  void shutdown() override;
 
   /// Requests admitted but not yet claimed by a batch.
-  std::size_t queue_depth() const;
+  std::size_t queue_depth() const override;
 
   const ServiceConfig& config() const { return config_; }
 

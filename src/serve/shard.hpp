@@ -1,0 +1,44 @@
+#pragma once
+// The shard seam of the serving stack. FleetRouter routes self-contained
+// Requests to Shard instances; whether a shard is the in-process
+// InferenceService or a socket to another OS process (serve/remote.hpp) is
+// invisible above this interface — that transparency is what makes the
+// multi-process split a transport swap instead of a router rewrite, and it
+// is why remote fleet answers can be pinned bit-identical to in-process
+// ones (serve_remote_equivalence_test).
+
+#include <cstddef>
+#include <future>
+
+#include "serve/request.hpp"
+
+namespace hsd::serve {
+
+class Shard {
+ public:
+  virtual ~Shard() = default;
+
+  /// Accepts one fully-formed request (prehashed bitmap, deadline, overflow
+  /// status set by the router). The future always resolves. `admitted`
+  /// reports whether the request entered a local queue; a remote shard
+  /// always reports true — its shed/shutdown outcome arrives in the
+  /// response instead, because admission happens in another process.
+  virtual std::future<Response> submit_routed(Request&& req,
+                                              bool& admitted) = 0;
+
+  /// Manual-pump mode: drains one micro-batch on the calling thread;
+  /// returns requests answered. Remote shards have no local queue and
+  /// return 0 (their server pumps for them).
+  virtual std::size_t pump() = 0;
+
+  /// Phase one of a drain: stop admitting, without waiting. Idempotent.
+  virtual void begin_shutdown() = 0;
+
+  /// Completes everything admitted, then returns. Idempotent.
+  virtual void shutdown() = 0;
+
+  /// Requests admitted but not yet answered.
+  virtual std::size_t queue_depth() const = 0;
+};
+
+}  // namespace hsd::serve

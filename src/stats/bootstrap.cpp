@@ -43,4 +43,40 @@ BootstrapInterval bootstrap_mean_ci(const std::vector<double>& sample, Rng& rng,
   return ci;
 }
 
+namespace {
+
+/// Linear-interpolation quantile of an already-sorted sample.
+double sorted_quantile(const std::vector<double>& sorted, double q) {
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = lo + 1 < sorted.size() ? lo + 1 : lo;
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+}  // namespace
+
+SampleDispersion sample_dispersion(const std::vector<double>& sample, Rng& rng,
+                                   double confidence, std::size_t resamples,
+                                   double fence) {
+  if (fence < 0.0) {
+    throw std::invalid_argument("sample_dispersion: fence must be >= 0");
+  }
+  SampleDispersion d;
+  d.mean_ci = bootstrap_mean_ci(sample, rng, confidence, resamples);
+  if (sample.empty()) return d;
+
+  std::vector<double> sorted = sample;
+  std::sort(sorted.begin(), sorted.end());
+  d.q1 = sorted_quantile(sorted, 0.25);
+  d.q3 = sorted_quantile(sorted, 0.75);
+  const double iqr = d.q3 - d.q1;
+  const double lo = d.q1 - fence * iqr;
+  const double hi = d.q3 + fence * iqr;
+  for (const double v : sorted) {
+    if (v < lo || v > hi) ++d.outliers;
+  }
+  return d;
+}
+
 }  // namespace hsd::stats

@@ -25,4 +25,22 @@ BootstrapInterval bootstrap_mean_ci(const std::vector<double>& sample, Rng& rng,
                                     double confidence = 0.95,
                                     std::size_t resamples = 2000);
 
+/// Dispersion report for a small timing/accuracy sample: the bootstrap mean
+/// CI plus a Tukey-fence outlier count, so a bench entry can say both "how
+/// stable is the estimate" and "how many rounds were disturbed".
+struct SampleDispersion {
+  BootstrapInterval mean_ci;
+  double q1 = 0.0;            ///< lower quartile (linear interpolation)
+  double q3 = 0.0;            ///< upper quartile
+  std::size_t outliers = 0;   ///< points outside [q1 - k*IQR, q3 + k*IQR]
+};
+
+/// Bootstrap CI + Tukey IQR-fence outlier count (k = 1.5 by default).
+/// Deterministic given `rng`'s seed — reseed per measurement so bench JSON
+/// regenerates bit-identically.
+SampleDispersion sample_dispersion(const std::vector<double>& sample, Rng& rng,
+                                   double confidence = 0.95,
+                                   std::size_t resamples = 2000,
+                                   double fence = 1.5);
+
 }  // namespace hsd::stats

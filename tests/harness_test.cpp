@@ -54,6 +54,18 @@ TEST(HarnessMeasureTest, RunsWarmupPlusRounds) {
   EXPECT_LE(est.min_seconds, est.mean_seconds + 1e-12);
 }
 
+TEST(HarnessMeasureTest, BootstrapDispersionFieldsBracketTheMean) {
+  const TimingEstimate est = measure([] {}, 0, 8);
+  EXPECT_LE(est.ci_lo_seconds, est.mean_seconds + 1e-12);
+  EXPECT_GE(est.ci_hi_seconds, est.mean_seconds - 1e-12);
+  EXPECT_LE(est.outlier_rounds, est.rounds_seconds.size());
+  // Single-round estimates collapse the interval onto the point.
+  const TimingEstimate one = measure([] {}, 0, 1);
+  EXPECT_DOUBLE_EQ(one.ci_lo_seconds, one.mean_seconds);
+  EXPECT_DOUBLE_EQ(one.ci_hi_seconds, one.mean_seconds);
+  EXPECT_EQ(one.outlier_rounds, 0u);
+}
+
 TEST(HarnessEnvTest, MalformedBenchRoundsThrowsNamingVariable) {
   const EnvVarGuard guard(hsd::reg::kEnvBenchRounds);
   setenv(hsd::reg::kEnvBenchRounds, "abc", 1);

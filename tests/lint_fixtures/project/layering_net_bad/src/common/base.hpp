@@ -1,0 +1,2 @@
+#pragma once
+inline int base() { return 0; }

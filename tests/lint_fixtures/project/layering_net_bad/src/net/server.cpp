@@ -1,0 +1,4 @@
+// The forbidden edge: the transport reaching up into the serving layer.
+#include "serve/adapter.hpp"
+
+int serve_from_net() { return adapt(); }

@@ -1,0 +1,3 @@
+#pragma once
+#include "common/base.hpp"
+inline int frame() { return base(); }

@@ -1,0 +1,5 @@
+// The allowed direction: the serve-side adapter speaks the transport's
+// wire vocabulary.
+#include "net/wire.hpp"
+
+int remote() { return frame(); }

@@ -1,0 +1,10 @@
+// Same clock read as clock_bad.cpp, but src/net is exempt by scope:
+// deadlines, backoff schedules, and latency metrics are the transport's
+// whole job.
+#include <chrono>
+
+double stamp() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}

@@ -97,6 +97,24 @@ TEST(LayeringPass, CleanTreeHasNoFindings) {
   EXPECT_TRUE(result.findings.empty()) << all_formatted(result);
 }
 
+// The transport layering pinned as fixtures: net reaching up into serve
+// fires, serve depending on net is the declared direction and stays clean
+// (mirrors the real repo's `net = [...]` / `serve = [..., "net"]` entries).
+TEST(LayeringPass, NetMayNotIncludeServe) {
+  const RunResult result = run_tree("layering_net_bad");
+  ASSERT_EQ(result.findings.size(), 1u) << all_formatted(result);
+  EXPECT_EQ(result.findings[0].rule, "layer-violation");
+  EXPECT_EQ(result.findings[0].file, "src/net/server.cpp");
+  EXPECT_NE(result.findings[0].message.find("`net` may not include `serve`"),
+            std::string::npos)
+      << result.findings[0].message;
+}
+
+TEST(LayeringPass, ServeOverNetIsClean) {
+  const RunResult result = run_tree("layering_net_ok");
+  EXPECT_TRUE(result.findings.empty()) << all_formatted(result);
+}
+
 TEST(LayeringPass, MalformedManifestIsAManifestError) {
   hsd::lint::LayerManifest manifest;
   std::string err;

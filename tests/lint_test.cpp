@@ -47,6 +47,8 @@ TEST(LintRules, WallClockScoping) {
   EXPECT_EQ(count_rule(lint_fixture_file("src/app/clock_bad.cpp"), "no-wall-clock"), 1u);
   // The identical clock read inside src/obs is exempt by path scope.
   EXPECT_TRUE(lint_fixture_file("src/obs/clock_ok.cpp").empty());
+  // src/net is exempt too: socket deadlines are wall-time by nature.
+  EXPECT_TRUE(lint_fixture_file("src/net/clock_ok.cpp").empty());
 }
 
 TEST(LintRules, UnorderedContainersInCore) {

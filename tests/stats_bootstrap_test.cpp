@@ -83,5 +83,55 @@ TEST(BootstrapTest, DeterministicUnderSeed) {
   EXPECT_DOUBLE_EQ(a.hi, b.hi);
 }
 
+TEST(SampleDispersionTest, QuartilesAndNoOutliersOnTightSample) {
+  Rng rng(21);
+  const auto d = sample_dispersion({1.0, 2.0, 3.0, 4.0, 5.0}, rng);
+  EXPECT_DOUBLE_EQ(d.q1, 2.0);
+  EXPECT_DOUBLE_EQ(d.q3, 4.0);
+  EXPECT_EQ(d.outliers, 0u);
+  EXPECT_DOUBLE_EQ(d.mean_ci.point, 3.0);
+  EXPECT_LE(d.mean_ci.lo, d.mean_ci.point);
+  EXPECT_GE(d.mean_ci.hi, d.mean_ci.point);
+}
+
+TEST(SampleDispersionTest, CountsTukeyFenceOutliers) {
+  // Tight cluster around 1 with one wild point: IQR is small, so 100.0
+  // falls far above q3 + 1.5*IQR.
+  Rng rng(23);
+  const auto d =
+      sample_dispersion({1.0, 1.1, 0.9, 1.05, 0.95, 1.0, 100.0}, rng);
+  EXPECT_EQ(d.outliers, 1u);
+  // A lax fence admits everything.
+  Rng rng2(23);
+  const auto lax =
+      sample_dispersion({1.0, 1.1, 0.9, 1.05, 0.95, 1.0, 100.0}, rng2,
+                        0.95, 2000, 1e6);
+  EXPECT_EQ(lax.outliers, 0u);
+}
+
+TEST(SampleDispersionTest, DegenerateAndInvalidInputs) {
+  Rng rng(25);
+  const auto empty = sample_dispersion({}, rng);
+  EXPECT_EQ(empty.outliers, 0u);
+  EXPECT_DOUBLE_EQ(empty.q1, 0.0);
+  EXPECT_DOUBLE_EQ(empty.q3, 0.0);
+  const auto single = sample_dispersion({3.0}, rng);
+  EXPECT_DOUBLE_EQ(single.q1, 3.0);
+  EXPECT_DOUBLE_EQ(single.q3, 3.0);
+  EXPECT_EQ(single.outliers, 0u);
+  EXPECT_THROW(sample_dispersion({1.0}, rng, 0.95, 2000, -0.5),
+               std::invalid_argument);
+}
+
+TEST(SampleDispersionTest, DeterministicUnderSeed) {
+  std::vector<double> sample{0.2, 0.9, 0.4, 0.7, 0.1, 5.0};
+  Rng r1(27), r2(27);
+  const auto a = sample_dispersion(sample, r1);
+  const auto b = sample_dispersion(sample, r2);
+  EXPECT_DOUBLE_EQ(a.mean_ci.lo, b.mean_ci.lo);
+  EXPECT_DOUBLE_EQ(a.mean_ci.hi, b.mean_ci.hi);
+  EXPECT_EQ(a.outliers, b.outliers);
+}
+
 }  // namespace
 }  // namespace hsd::stats

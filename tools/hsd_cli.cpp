@@ -16,28 +16,51 @@
 //   hsd_cli serve <benchmark|file> [--requests N] [--expired N]
 //               [--max-batch K] [--max-delay-us U] [--max-queue Q]
 //               [--cache N] [--shards S] [--train-epochs E]
-//               [--checkpoint-dir DIR]
+//               [--checkpoint-dir DIR] [--transport inproc|uds|tcp]
+//               [--endpoints EP1,EP2,...] [--drain-remote]
 //       Stand up the dynamic-batching inference service, replay the
 //       benchmark's clips through it, and print a JSON summary (status
 //       counts, cache hits, throughput, latency percentiles). --shards S
 //       serves through a content-routed fleet of S shards instead of one
 //       standalone service (adds shed counts and per-shard ok counts).
+//       --transport uds|tcp serves the same fleet over sockets: either
+//       against in-process shard servers it spins up itself, or against
+//       external `hsd_cli shard-server` processes named by --endpoints
+//       (--drain-remote forwards the fleet drain to them as `shutdown`
+//       RPCs). Answers are bit-identical across transports.
 //       With --checkpoint-dir the model and temperature come from the
 //       latest AL checkpoint; otherwise a model is quick-trained on the
 //       benchmark.
+//   hsd_cli shard-server <benchmark|file> --listen ENDPOINT
+//               [--shard-index I] [--max-inflight M] [serve model/queue
+//               options]
+//       Host one inference shard of the multi-process fleet behind
+//       "uds:/path.sock" or "tcp:host:port" (tcp port 0 = kernel-picked,
+//       printed on stderr). Runs until a `shutdown` RPC or SIGTERM, then
+//       drains gracefully: everything admitted is answered before exit.
+//       Started from the same benchmark/seed/train options as its
+//       siblings, every shard server trains a bit-identical model replica,
+//       which is what makes the remote fleet's answers equal the
+//       in-process fleet's.
 //
 //   <benchmark> is one of: iccad12 iccad16-1 iccad16-2 iccad16-3 iccad16-4;
 //   anything else is treated as a saved-bundle path.
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <functional>
 #include <future>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "ckpt/checkpoint.hpp"
@@ -46,10 +69,13 @@
 #include "core/metrics.hpp"
 #include "data/features.hpp"
 #include "data/io.hpp"
+#include "net/client.hpp"
+#include "net/socket.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "pm/pattern_matching.hpp"
 #include "serve/fleet.hpp"
+#include "serve/remote.hpp"
 #include "serve/service.hpp"
 
 namespace {
@@ -89,7 +115,7 @@ Args parse_args(int argc, char** argv) {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: hsd_cli <build|info|run|pm|serve> <benchmark|file> [options]\n"
+               "usage: hsd_cli <build|info|run|pm|serve|shard-server> <benchmark|file> [options]\n"
                "  build --out FILE [--scale S] [--seed N]\n"
                "  run   [--strategy ours|ts|qp|random|coreset|badge|pred-entropy]\n"
                "        [--iterations N] [--batch K] [--query N] [--seed N] [--csv]\n"
@@ -101,6 +127,11 @@ int usage() {
                "        [--max-delay-us U] [--max-queue Q] [--cache N]\n"
                "        [--shards S] [--train-epochs E] [--seed N]\n"
                "        [--checkpoint-dir DIR]\n"
+               "        [--transport inproc|uds|tcp]  serve the fleet over sockets\n"
+               "        [--endpoints EP1,EP2,...]     use external shard servers\n"
+               "        [--drain-remote]              forward drain as shutdown RPCs\n"
+               "  shard-server --listen uds:/path.sock|tcp:host:port\n"
+               "        [--shard-index I] [--max-inflight M] [serve model/queue opts]\n"
                "observability (any command; also via HSD_TRACE/HSD_METRICS env):\n"
                "  --trace FILE    Chrome trace_event JSON (chrome://tracing, Perfetto)\n"
                "  --metrics FILE  metrics registry snapshot JSON\n");
@@ -293,35 +324,38 @@ double percentile(const std::vector<double>& sorted, double q) {
   return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
 }
 
-int cmd_serve(const Args& args) {
-  if (args.positional.size() < 2) return usage();
-  const data::Benchmark bench = resolve_benchmark(args.positional[1], args);
+/// Model + calibration shared by `serve` and `shard-server`: either
+/// restored from the latest AL checkpoint or quick-trained on the
+/// benchmark's own labels. Deterministic given the same benchmark, seed,
+/// and epochs — two shard-server processes started with identical flags
+/// train bit-identical replicas, the precondition for remote fleet answers
+/// matching in-process ones.
+struct PreparedModel {
+  core::HotspotDetector detector;
+  core::DetectorConfig dcfg;  ///< config the final model carries
+  double temperature = 1.0;
+  std::uint64_t seed = 7;
+};
 
-  serve::ServiceConfig scfg;
-  scfg.feature_grid = bench.spec.feature_grid;
-  scfg.feature_keep = bench.spec.feature_keep;
-  if (args.get("max-batch")) scfg.max_batch = std::stoul(*args.get("max-batch"));
-  if (args.get("max-delay-us")) scfg.max_delay_us = std::stoull(*args.get("max-delay-us"));
-  if (args.get("max-queue")) scfg.max_queue = std::stoul(*args.get("max-queue"));
-  if (args.get("cache")) scfg.cache_capacity = std::stoul(*args.get("cache"));
-
+std::optional<PreparedModel> prepare_model(const data::Benchmark& bench,
+                                           const Args& args) {
   core::DetectorConfig dcfg;
   dcfg.input_side = bench.spec.feature_keep;
   const std::uint64_t seed = args.get("seed") ? std::stoull(*args.get("seed")) : 7;
   core::HotspotDetector detector(dcfg, stats::Rng(seed));
-  core::DetectorConfig dcfg_used = dcfg;  ///< config the final model carries
+  double temperature = 1.0;
 
   if (const auto dir = args.get("checkpoint-dir")) {
     const auto latest = ckpt::find_latest(*dir);
     if (!latest) {
       std::fprintf(stderr, "no checkpoint found in %s\n", dir->c_str());
-      return 1;
+      return std::nullopt;
     }
     std::fprintf(stderr, "restoring model from %s...\n", latest->c_str());
     const ckpt::RunState st = ckpt::load_file(*latest);
     std::istringstream blob(st.detector_state);
     detector.load_state(blob);
-    scfg.temperature = st.last_temperature;
+    temperature = st.last_temperature;
   } else {
     // No checkpoint: quick-train a model on the benchmark's own labels so
     // the service has something meaningful to serve, then fit T (Eq. 5).
@@ -330,27 +364,77 @@ int cmd_serve(const Args& args) {
     std::fprintf(stderr, "quick-training (%zu epochs)...\n", epochs);
     const data::FeatureExtractor fx(bench.spec.feature_grid, bench.spec.feature_keep);
     const tensor::Tensor features = fx.extract_benchmark(bench);
-    core::DetectorConfig tcfg = dcfg;
-    tcfg.initial_epochs = epochs;
-    dcfg_used = tcfg;
-    detector = core::HotspotDetector(tcfg, stats::Rng(seed));
+    dcfg.initial_epochs = epochs;
+    detector = core::HotspotDetector(dcfg, stats::Rng(seed));
     detector.train_initial(features, bench.labels);
     const core::CalibrationResult cal =
         core::fit_temperature(detector.logits(features), bench.labels);
-    scfg.temperature = cal.temperature;
+    temperature = cal.temperature;
   }
+  return PreparedModel{std::move(detector), dcfg, temperature, seed};
+}
+
+/// Queue/batch knobs shared by `serve` and `shard-server`.
+serve::ServiceConfig service_config_from_args(const data::Benchmark& bench,
+                                              const Args& args) {
+  serve::ServiceConfig scfg;
+  scfg.feature_grid = bench.spec.feature_grid;
+  scfg.feature_keep = bench.spec.feature_keep;
+  if (args.get("max-batch")) scfg.max_batch = std::stoul(*args.get("max-batch"));
+  if (args.get("max-delay-us")) scfg.max_delay_us = std::stoull(*args.get("max-delay-us"));
+  if (args.get("max-queue")) scfg.max_queue = std::stoul(*args.get("max-queue"));
+  if (args.get("cache")) scfg.cache_capacity = std::stoul(*args.get("cache"));
+  return scfg;
+}
+
+int cmd_serve(const Args& args) {
+  if (args.positional.size() < 2) return usage();
+  const data::Benchmark bench = resolve_benchmark(args.positional[1], args);
+
+  serve::ServiceConfig scfg = service_config_from_args(bench, args);
+  auto model = prepare_model(bench, args);
+  if (!model) return 1;
+  scfg.temperature = model->temperature;
+  const std::uint64_t seed = model->seed;
+  const core::DetectorConfig dcfg_used = model->dcfg;
+  core::HotspotDetector detector = std::move(model->detector);
 
   const std::size_t requests =
       args.get("requests") ? std::stoul(*args.get("requests")) : bench.size();
   const std::size_t expired =
       args.get("expired") ? std::stoul(*args.get("expired")) : 0;
-  const std::size_t shards =
+  std::size_t shards =
       args.get("shards") ? std::stoul(*args.get("shards")) : 0;
+
+  const std::string transport = args.get("transport").value_or("inproc");
+  if (transport != "inproc" && transport != "uds" && transport != "tcp") {
+    std::fprintf(stderr, "unknown transport '%s'\n", transport.c_str());
+    return 2;
+  }
+  std::vector<net::Endpoint> endpoints;
+  if (const auto eps = args.get("endpoints")) {
+    if (transport == "inproc") {
+      std::fprintf(stderr, "--endpoints requires --transport uds|tcp\n");
+      return 2;
+    }
+    std::size_t pos = 0;
+    while (pos <= eps->size()) {
+      std::size_t comma = eps->find(',', pos);
+      if (comma == std::string::npos) comma = eps->size();
+      const std::string one = eps->substr(pos, comma - pos);
+      if (!one.empty()) endpoints.push_back(net::parse_endpoint(one));
+      pos = comma + 1;
+    }
+    if (endpoints.empty()) return usage();
+    shards = endpoints.size();
+  }
+  if (transport != "inproc" && shards == 0) shards = 1;
 
   // Drives `svc` (standalone InferenceService or FleetRouter — identical
   // submit surface) with the request stream and prints the result JSON.
+  // `extra` appends transport-specific JSON fields before the close brace.
   std::vector<std::size_t> per_shard(shards > 0 ? shards : 1, 0);
-  const auto drive = [&](auto& svc) {
+  const auto drive = [&](auto& svc, const std::function<void()>& extra) {
     const auto t0 = std::chrono::steady_clock::now();
     std::vector<std::future<serve::Response>> futures;
     futures.reserve(requests);
@@ -366,7 +450,8 @@ int cmd_serve(const Args& args) {
     }
 
     std::size_t ok = 0, queue_full = 0, after_shutdown = 0, deadline = 0;
-    std::size_t shed = 0, hotspots = 0, cache_hits = 0;
+    std::size_t shed = 0, net_timeout = 0, net_error = 0;
+    std::size_t hotspots = 0, cache_hits = 0;
     std::vector<double> latencies;
     latencies.reserve(requests);
     for (auto& f : futures) {
@@ -383,6 +468,8 @@ int cmd_serve(const Args& args) {
         case serve::Status::kRejectedShutdown: ++after_shutdown; break;
         case serve::Status::kDeadlineExceeded: ++deadline; break;
         case serve::Status::kShedFleetOverloaded: ++shed; break;
+        case serve::Status::kNetTimeout: ++net_timeout; break;
+        case serve::Status::kNetError: ++net_error; break;
       }
     }
     svc.shutdown();
@@ -394,16 +481,18 @@ int cmd_serve(const Args& args) {
     std::printf("{\"benchmark\": \"%s\", \"requests\": %zu, \"ok\": %zu,\n"
                 " \"rejected_queue_full\": %zu, \"rejected_shutdown\": %zu,\n"
                 " \"deadline_exceeded\": %zu, \"fleet_overloaded\": %zu,\n"
+                " \"net_timeout\": %zu, \"net_error\": %zu,\n"
                 " \"hotspots\": %zu, \"cache_hits\": %zu,\n"
                 " \"temperature\": %.4f, \"qps\": %.1f,\n"
                 " \"p50_ms\": %.3f, \"p95_ms\": %.3f, \"p99_ms\": %.3f,\n"
-                " \"shards\": %zu",
+                " \"transport\": \"%s\", \"shards\": %zu",
                 bench.spec.name.c_str(), requests, ok, queue_full,
-                after_shutdown, deadline, shed, hotspots, cache_hits,
-                scfg.temperature, wall > 0 ? static_cast<double>(ok) / wall : 0.0,
+                after_shutdown, deadline, shed, net_timeout, net_error,
+                hotspots, cache_hits, scfg.temperature,
+                wall > 0 ? static_cast<double>(ok) / wall : 0.0,
                 1e3 * percentile(latencies, 0.50),
                 1e3 * percentile(latencies, 0.95),
-                1e3 * percentile(latencies, 0.99), shards);
+                1e3 * percentile(latencies, 0.99), transport.c_str(), shards);
     if (shards > 0) {
       std::printf(",\n \"per_shard_ok\": [");
       for (std::size_t s = 0; s < per_shard.size(); ++s) {
@@ -411,10 +500,74 @@ int cmd_serve(const Args& args) {
       }
       std::printf("]");
     }
+    if (extra) extra();
     std::printf("}\n");
   };
 
-  if (shards > 0) {
+  if (transport != "inproc") {
+    // Remote fleet: route over sockets to shard servers — in-process ones
+    // spun up here (model replicated bit-identically from one state blob),
+    // or external `hsd_cli shard-server` processes named by --endpoints.
+    std::ostringstream blob;
+    detector.save_state(blob);
+    const std::string state = blob.str();
+
+    std::vector<std::unique_ptr<serve::ShardServer>> servers;
+    if (endpoints.empty()) {
+      for (std::size_t i = 0; i < shards; ++i) {
+        serve::ShardServerConfig sscfg;
+        sscfg.service = scfg;
+        sscfg.service.shard_index = static_cast<std::uint32_t>(i);
+        sscfg.service.metric_prefix = "serve/shard" + std::to_string(i);
+        if (transport == "uds") {
+          sscfg.server.endpoint.kind = net::Endpoint::Kind::kUds;
+          sscfg.server.endpoint.path = "/tmp/hsd-serve-" +
+                                       std::to_string(::getpid()) + "-" +
+                                       std::to_string(i) + ".sock";
+        } else {
+          sscfg.server.endpoint = net::parse_endpoint("tcp:127.0.0.1:0");
+        }
+        core::HotspotDetector replica(dcfg_used, stats::Rng(seed));
+        std::istringstream is(state);
+        replica.load_state(is);
+        servers.push_back(
+            std::make_unique<serve::ShardServer>(sscfg, std::move(replica)));
+        servers.back()->start();
+        endpoints.push_back(servers.back()->endpoint());
+      }
+    }
+
+    const bool drain_remote = args.has("drain-remote");
+    std::vector<serve::RemoteShard*> remotes;
+    std::vector<std::unique_ptr<serve::Shard>> shard_ptrs;
+    for (std::size_t i = 0; i < shards; ++i) {
+      serve::RemoteShardConfig rcfg;
+      rcfg.channel.endpoint = endpoints[i];
+      rcfg.channel.seed = i;
+      rcfg.channel.metric_prefix = "serve/net/client/shard" + std::to_string(i);
+      rcfg.shard_index = static_cast<std::uint32_t>(i);
+      rcfg.feature_grid = scfg.feature_grid;
+      rcfg.drain_server = drain_remote;
+      auto remote = std::make_unique<serve::RemoteShard>(rcfg);
+      remotes.push_back(remote.get());
+      shard_ptrs.push_back(std::move(remote));
+    }
+    serve::FleetConfig fcfg;
+    fcfg.shard = scfg;
+    serve::FleetRouter fleet(fcfg, std::move(shard_ptrs));
+    drive(fleet, [&] {
+      std::uint64_t retries = 0, reconnects = 0;
+      for (const serve::RemoteShard* r : remotes) {
+        const net::ChannelStats st = r->transport_stats();
+        retries += st.retries;
+        reconnects += st.reconnects;
+      }
+      std::printf(",\n \"net_retries\": %llu, \"net_reconnects\": %llu",
+                  static_cast<unsigned long long>(retries),
+                  static_cast<unsigned long long>(reconnects));
+    });
+    for (auto& srv : servers) srv->drain_and_stop();
+  } else if (shards > 0) {
     // Replicate the trained model bit-identically onto every shard: the
     // factory reloads one serialized state blob, so it is pure by
     // construction (the fleet determinism contract).
@@ -430,11 +583,57 @@ int cmd_serve(const Args& args) {
       replica.load_state(is);
       return replica;
     });
-    drive(fleet);
+    drive(fleet, {});
   } else {
     serve::InferenceService service(scfg, std::move(detector));
-    drive(service);
+    drive(service, {});
   }
+  return 0;
+}
+
+// SIGTERM/SIGINT land here; the shard-server host loop polls the flag and
+// runs the graceful drain on the main thread (signal-safe by construction:
+// the handler only stores).
+volatile std::sig_atomic_t g_shard_server_stop = 0;
+void on_stop_signal(int) { g_shard_server_stop = 1; }
+
+int cmd_shard_server(const Args& args) {
+  if (args.positional.size() < 2 || !args.has("listen")) return usage();
+  const data::Benchmark bench = resolve_benchmark(args.positional[1], args);
+
+  auto model = prepare_model(bench, args);
+  if (!model) return 1;
+
+  const std::uint32_t shard_index =
+      args.get("shard-index")
+          ? static_cast<std::uint32_t>(std::stoul(*args.get("shard-index")))
+          : 0;
+  serve::ShardServerConfig cfg;
+  cfg.service = service_config_from_args(bench, args);
+  cfg.service.temperature = model->temperature;
+  cfg.service.shard_index = shard_index;
+  // Same prefix the in-process fleet assigns ring slot <i>, so dashboards
+  // aggregate a multi-process fleet exactly like a single-process one.
+  cfg.service.metric_prefix = "serve/shard" + std::to_string(shard_index);
+  cfg.server.endpoint = net::parse_endpoint(*args.get("listen"));
+  if (args.get("max-inflight")) {
+    cfg.server.max_inflight = std::stoul(*args.get("max-inflight"));
+  }
+
+  serve::ShardServer server(cfg, std::move(model->detector));
+  server.start();
+  std::fprintf(stderr, "shard %u serving on %s\n", shard_index,
+               net::to_string(server.endpoint()).c_str());
+
+  g_shard_server_stop = 0;
+  std::signal(SIGTERM, on_stop_signal);
+  std::signal(SIGINT, on_stop_signal);
+  while (!server.drain_requested() && !g_shard_server_stop) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  std::fprintf(stderr, "shard %u draining...\n", shard_index);
+  server.drain_and_stop();
+  std::printf("{\"shard\": %u, \"drained\": true}\n", shard_index);
   return 0;
 }
 
@@ -451,6 +650,7 @@ int main(int argc, char** argv) {
     if (cmd == "run") return cmd_run(args);
     if (cmd == "pm") return cmd_pm(args);
     if (cmd == "serve") return cmd_serve(args);
+    if (cmd == "shard-server") return cmd_shard_server(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

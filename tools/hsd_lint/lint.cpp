@@ -177,7 +177,8 @@ const std::vector<RuleInfo> kRules = {
 
 struct Scope {
   bool in_src = false;
-  bool clock_exempt = false;      // src/obs, src/runtime, src/serve, bench, tools
+  bool clock_exempt = false;      // src/obs, src/runtime, src/net, src/serve,
+                                  // bench, tools
   bool unordered_scoped = false;  // src/core, src/gmm, src/data
   bool route_agg_scoped = false;  // src/serve, src/obs
   bool thread_exempt = false;     // src/runtime
@@ -189,8 +190,8 @@ Scope scope_of(const std::string& rel) {
   Scope s;
   s.in_src = starts_with(rel, "src/");
   s.clock_exempt = starts_with(rel, "src/obs/") || starts_with(rel, "src/runtime/") ||
-                   starts_with(rel, "src/serve/") || starts_with(rel, "bench/") ||
-                   starts_with(rel, "tools/");
+                   starts_with(rel, "src/net/") || starts_with(rel, "src/serve/") ||
+                   starts_with(rel, "bench/") || starts_with(rel, "tools/");
   s.unordered_scoped = starts_with(rel, "src/core/") || starts_with(rel, "src/gmm/") ||
                        starts_with(rel, "src/data/");
   s.route_agg_scoped = starts_with(rel, "src/serve/") || starts_with(rel, "src/obs/");
